@@ -1,0 +1,107 @@
+//! The generic adaptivity loop: measure → analyze → plan → actuate.
+//!
+//! The Deshpande–Ives–Raman survey (the seminar's core reading on adaptive
+//! query processing) describes every adaptive technique as an instance of
+//! this four-phase control loop, differing only in how tightly the phases
+//! interleave (System R: once per query; eddies: per tuple). The trait here
+//! makes that structure explicit so new adaptive components plug into the
+//! same driver, and so tests can assert loop behavior abstractly.
+
+/// What an adaptivity-loop iteration decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopOutcome {
+    /// Measurements look consistent with the current plan: keep going.
+    Keep,
+    /// The component changed its plan/configuration.
+    Adapted,
+    /// The component has finished (input exhausted, query done).
+    Done,
+}
+
+/// A component driven by the measure/analyze/plan/actuate loop.
+pub trait AdaptiveComponent {
+    /// The measurement type collected each iteration.
+    type Measurement;
+
+    /// Measure: collect current runtime observations.
+    fn measure(&mut self) -> Self::Measurement;
+
+    /// Analyze + plan: decide whether the current strategy still holds.
+    fn analyze(&mut self, m: &Self::Measurement) -> LoopOutcome;
+
+    /// Actuate: apply the decision (called only when `analyze` returned
+    /// [`LoopOutcome::Adapted`]).
+    fn actuate(&mut self);
+
+    /// Run the loop until `Done`, returning how many adaptations occurred.
+    fn run_loop(&mut self, max_iterations: usize) -> usize {
+        let mut adaptations = 0;
+        for _ in 0..max_iterations {
+            let m = self.measure();
+            match self.analyze(&m) {
+                LoopOutcome::Keep => {}
+                LoopOutcome::Adapted => {
+                    self.actuate();
+                    adaptations += 1;
+                }
+                LoopOutcome::Done => break,
+            }
+        }
+        adaptations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy component: a counter whose "plan" is a step size; it adapts the
+    /// step whenever the measured value crosses a threshold.
+    struct Stepper {
+        value: i64,
+        step: i64,
+        thresholds: Vec<i64>,
+        limit: i64,
+    }
+
+    impl AdaptiveComponent for Stepper {
+        type Measurement = i64;
+
+        fn measure(&mut self) -> i64 {
+            self.value += self.step;
+            self.value
+        }
+
+        fn analyze(&mut self, m: &i64) -> LoopOutcome {
+            if *m >= self.limit {
+                return LoopOutcome::Done;
+            }
+            if self.thresholds.first().map(|t| m >= t).unwrap_or(false) {
+                return LoopOutcome::Adapted;
+            }
+            LoopOutcome::Keep
+        }
+
+        fn actuate(&mut self) {
+            self.thresholds.remove(0);
+            self.step *= 2;
+        }
+    }
+
+    #[test]
+    fn loop_counts_adaptations_and_stops() {
+        let mut s = Stepper { value: 0, step: 1, thresholds: vec![5, 20], limit: 100 };
+        let adaptations = s.run_loop(1000);
+        assert_eq!(adaptations, 2);
+        assert!(s.value >= 100);
+        assert_eq!(s.step, 4);
+    }
+
+    #[test]
+    fn loop_respects_iteration_bound() {
+        let mut s = Stepper { value: 0, step: 1, thresholds: vec![], limit: i64::MAX };
+        let adaptations = s.run_loop(10);
+        assert_eq!(adaptations, 0);
+        assert_eq!(s.value, 10);
+    }
+}

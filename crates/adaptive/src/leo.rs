@@ -1,0 +1,190 @@
+//! The LEO learning loop.
+//!
+//! Each execution compares the per-node actual cardinalities (from the plan's
+//! meters) with the estimates the plan carried, and records adjustment
+//! factors in a shared [`FeedbackRepo`]. Optimizing through a
+//! [`FeedbackEstimator`](rqp_stats::FeedbackEstimator) then applies the
+//! corrections — estimates converge toward actuals over repeated workloads
+//! (experiment E19 measures the q-error decay).
+
+use rqp_common::{Result, Row};
+use rqp_exec::ExecContext;
+use rqp_opt::{plan as plan_query, PlannerConfig, QuerySpec};
+use rqp_stats::{CardEstimator, FeedbackRepo};
+use rqp_storage::Catalog;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Post-mortem record for one plan node.
+#[derive(Debug, Clone)]
+pub struct NodeObservation {
+    /// Node fingerprint.
+    pub label: String,
+    /// Optimizer estimate.
+    pub estimated: f64,
+    /// Observed actual.
+    pub actual: usize,
+    /// Whether the observation was stored in the repository.
+    pub learned: bool,
+}
+
+/// The result of one feedback-instrumented execution.
+#[derive(Debug)]
+pub struct LeoReport {
+    /// Query result.
+    pub rows: Vec<Row>,
+    /// Cost charged.
+    pub cost: f64,
+    /// Per-node observations.
+    pub observations: Vec<NodeObservation>,
+    /// Fingerprint of the executed plan.
+    pub plan_fingerprint: String,
+}
+
+impl LeoReport {
+    /// Maximum q-error across the observed nodes.
+    pub fn max_q_error(&self) -> f64 {
+        self.observations
+            .iter()
+            .map(|o| rqp_stats::q_error(o.estimated, o.actual as f64))
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Plan with `est` (ideally a [`FeedbackEstimator`](rqp_stats::FeedbackEstimator)
+/// sharing `repo`), execute, and record every node's actual cardinality in
+/// `repo`.
+pub fn run_with_feedback(
+    spec: &QuerySpec,
+    catalog: &Catalog,
+    est: &dyn CardEstimator,
+    repo: &Rc<RefCell<FeedbackRepo>>,
+    cfg: PlannerConfig,
+    ctx: &ExecContext,
+) -> Result<LeoReport> {
+    let plan = plan_query(spec, catalog, est, cfg)?;
+    let fingerprint = plan.fingerprint();
+    let mut built = plan.build(catalog, ctx, None)?;
+    let start = ctx.clock.now();
+    let rows = built.run();
+    let cost = ctx.clock.now() - start;
+    let mut observations = Vec::with_capacity(built.meters.len());
+    for (i, m) in built.meters.iter().enumerate() {
+        let actual = m.counter.get();
+        let learned = match &m.feedback_signature {
+            Some(sig) => {
+                // LEO attributes error *per operator*: normalize this node's
+                // estimate by its children's own errors, so a join whose
+                // inputs were misestimated does not absorb (and later
+                // double-apply) their correction. adjusted = est × ∏
+                // (actual_child / est_child).
+                let mut adjusted = m.est_rows;
+                for c in built.children_of(i) {
+                    let cm = &built.meters[c];
+                    adjusted *=
+                        (cm.counter.get() as f64).max(1.0) / cm.est_rows.max(1.0);
+                }
+                repo.borrow_mut().observe(sig, adjusted, actual as f64);
+                true
+            }
+            None => false,
+        };
+        observations.push(NodeObservation {
+            label: m.label.clone(),
+            estimated: m.est_rows,
+            actual,
+            learned,
+        });
+    }
+    Ok(LeoReport { rows, cost, observations, plan_fingerprint: fingerprint })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::{DataType, Schema, Value};
+    use rqp_stats::{FeedbackEstimator, LyingEstimator, StatsEstimator, TableStatsRegistry};
+    use rqp_storage::Table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("g", DataType::Int)]);
+        let mut t = Table::new("t", schema.clone());
+        for i in 0..2000i64 {
+            t.append(vec![Value::Int(i), Value::Int(i % 20)]);
+        }
+        c.add_table(t);
+        let mut u = Table::new("u", schema);
+        for i in 0..200i64 {
+            u.append(vec![Value::Int(i), Value::Int(i % 20)]);
+        }
+        c.add_table(u);
+        c
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new()
+            .join("t", "g", "u", "g")
+            .filter("t", col("t.k").lt(lit(500i64)))
+    }
+
+    #[test]
+    fn observations_cover_scans_and_joins() {
+        let c = catalog();
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&c, 16));
+        let est = StatsEstimator::new(reg);
+        let repo = Rc::new(RefCell::new(FeedbackRepo::new(1.0)));
+        let ctx = ExecContext::unbounded();
+        let report =
+            run_with_feedback(&spec(), &c, &est, &repo, PlannerConfig::default(), &ctx)
+                .unwrap();
+        assert_eq!(report.rows.len(), 5000, "500 × 10 matches");
+        assert!(report.observations.iter().any(|o| o.learned));
+        assert!(report.cost > 0.0);
+        assert!(!repo.borrow().is_empty());
+    }
+
+    #[test]
+    fn feedback_corrects_future_estimates() {
+        let c = catalog();
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&c, 16));
+        let repo = Rc::new(RefCell::new(FeedbackRepo::new(1.0)));
+        // A liar underestimates t's filter 50×; LEO should learn it away.
+        let lying = LyingEstimator::new(Box::new(StatsEstimator::new(Rc::clone(&reg))))
+            .with_table_factor("t", 0.02);
+        let est = FeedbackEstimator::new(Box::new(lying), Rc::clone(&repo));
+        let ctx = ExecContext::unbounded();
+        let r1 =
+            run_with_feedback(&spec(), &c, &est, &repo, PlannerConfig::default(), &ctx)
+                .unwrap();
+        let q1 = r1.max_q_error();
+        let r2 =
+            run_with_feedback(&spec(), &c, &est, &repo, PlannerConfig::default(), &ctx)
+                .unwrap();
+        let q2 = r2.max_q_error();
+        assert!(
+            q2 < q1 / 2.0,
+            "feedback must cut the q-error: epoch1 {q1:.1} epoch2 {q2:.1}"
+        );
+        assert_eq!(r1.rows.len(), r2.rows.len());
+    }
+
+    #[test]
+    fn repeated_epochs_converge_near_one() {
+        let c = catalog();
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&c, 16));
+        let repo = Rc::new(RefCell::new(FeedbackRepo::new(1.0)));
+        let lying = LyingEstimator::new(Box::new(StatsEstimator::new(Rc::clone(&reg))))
+            .with_table_factor("t", 0.02);
+        let est = FeedbackEstimator::new(Box::new(lying), Rc::clone(&repo));
+        let ctx = ExecContext::unbounded();
+        let mut last_q = f64::INFINITY;
+        for _ in 0..4 {
+            let r = run_with_feedback(&spec(), &c, &est, &repo, PlannerConfig::default(), &ctx)
+                .unwrap();
+            last_q = r.max_q_error();
+        }
+        assert!(last_q < 2.5, "converged q-error should be small, got {last_q}");
+    }
+}

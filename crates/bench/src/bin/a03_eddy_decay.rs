@@ -1,0 +1,7 @@
+//! Ablation binary; see DESIGN.md's ablation index. Pass `--fast` for a
+//! reduced-size run.
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("{}", rqp_bench::a03_eddy_decay(fast));
+}

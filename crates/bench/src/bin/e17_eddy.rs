@@ -1,0 +1,7 @@
+//! Experiment harness binary; see DESIGN.md's per-experiment index.
+//! Pass `--fast` for a reduced-size run.
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("{}", rqp_bench::e17_eddy(fast));
+}

@@ -1,0 +1,470 @@
+//! E11, E16, E17, E18: robust execution mechanisms.
+
+use rand::Rng;
+use rqp::common::rng::seeded;
+use rqp::exec::{
+    collect, AGreedyFilterOp, AMergeScanOp, CrackerScanOp, EddyFilterOp, ExecContext,
+    GJoinOp, HashJoinOp, IndexNlJoinOp, IndexScanOp, MergeJoinOp, Operator, RoutingPolicy,
+    SortOp, TableScanOp,
+};
+use rqp::expr::{col, lit};
+use rqp::metrics::ReportTable;
+use rqp::{Catalog, DataType, Row, Schema, Table, Value};
+
+/// E11 — adaptive indexing: cracking vs adaptive merging vs scan vs eager
+/// index over a query sequence (the convergence curve).
+pub fn e11_cracking(fast: bool) -> String {
+    let (rows, queries) = if fast { (30_000usize, 12usize) } else { (200_000, 25) };
+    let range = (rows / 100) as i64; // ~1% selectivity
+    let mut rng = seeded(11);
+    let mut catalog = Catalog::new();
+    let mut t = Table::new("t", Schema::from_pairs(&[("k", DataType::Int)]));
+    for _ in 0..rows {
+        t.append(vec![Value::Int(rng.gen_range(0..rows as i64))]);
+    }
+    catalog.add_table(t);
+    catalog.create_cracker("t", "k").expect("cracker");
+    catalog.create_amerge("t", "k", 0).expect("amerge");
+    // Eager index pays its build up front.
+    let eager_ctx = ExecContext::unbounded();
+    eager_ctx
+        .clock
+        .charge_compares(rows as f64 * (rows as f64).log2());
+    catalog.create_index("ix", "t", "k").expect("index");
+
+    let scan_ctx = ExecContext::unbounded();
+    let crack_ctx = ExecContext::unbounded();
+    let amerge_ctx = ExecContext::unbounded();
+    let mut table = ReportTable::new(&["query", "scan", "crack", "amerge", "eager index"]);
+    let mut prev = [0.0, eager_ctx.clock.now(), 0.0, 0.0];
+    let mut crack_q1 = 0.0;
+    let mut crack_last = 0.0;
+    for q in 0..queries {
+        let lo = rng.gen_range(0..rows as i64 - range);
+        let hi = lo + range - 1;
+        let mut scan = TableScanOp::new(catalog.table("t").expect("t"), scan_ctx.clone());
+        while scan.next().is_some() {}
+        let mut crack = CrackerScanOp::new(
+            catalog.cracker("t", "k").expect("cracker"),
+            catalog.table("t").expect("t"),
+            lo,
+            hi,
+            crack_ctx.clone(),
+        );
+        let n_crack = collect(&mut crack).len();
+        let mut amerge = AMergeScanOp::new(
+            catalog.amerge("t", "k").expect("amerge"),
+            catalog.table("t").expect("t"),
+            lo,
+            hi,
+            amerge_ctx.clone(),
+        );
+        let n_amerge = collect(&mut amerge).len();
+        assert_eq!(n_crack, n_amerge);
+        let mut ix = IndexScanOp::new(
+            catalog.index("ix").expect("ix"),
+            catalog.table("t").expect("t"),
+            Some(Value::Int(lo)),
+            Some(Value::Int(hi)),
+            eager_ctx.clone(),
+        );
+        let n_ix = collect(&mut ix).len();
+        assert_eq!(n_crack, n_ix);
+        let now = [
+            scan_ctx.clock.now(),
+            eager_ctx.clock.now(),
+            crack_ctx.clock.now(),
+            amerge_ctx.clock.now(),
+        ];
+        let d_crack = now[2] - prev[2];
+        if q == 0 {
+            crack_q1 = d_crack;
+        }
+        crack_last = d_crack;
+        table.row(&[
+            format!("{q}"),
+            format!("{:.0}", now[0] - prev[0]),
+            format!("{:.0}", d_crack),
+            format!("{:.0}", now[3] - prev[3]),
+            format!("{:.0}", now[1] - prev[1]),
+        ]);
+        prev = now;
+    }
+    format!(
+        "E11 — adaptive indexing convergence ({rows} rows, {queries} 1% range queries)\n\n{table}\n\
+         cumulative: scan {:.0} | crack {:.0} | amerge {:.0} | eager index \
+         incl. build {:.0}\n\
+         Expected shape: crack query 0 ≈ a scan, converging toward the index \
+         (first {crack_q1:.0} → last {crack_last:.0}); total adaptive work ≪ \
+         eager build unless the whole domain is queried.\n",
+        scan_ctx.clock.now(),
+        crack_ctx.clock.now(),
+        amerge_ctx.clock.now(),
+        eager_ctx.clock.now(),
+    )
+}
+
+/// A two-phase drifting source: selectivity roles of the two predicate
+/// columns swap halfway through.
+fn drifting_table(n: i64) -> (Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+    let rows = (0..n)
+        .map(|i| {
+            if i < n / 2 {
+                vec![Value::Int(i % 40), Value::Int(200 + i % 800)]
+            } else {
+                vec![Value::Int(200 + i % 800), Value::Int(i % 40)]
+            }
+        })
+        .collect();
+    (schema, rows)
+}
+
+struct VecOp {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl Operator for VecOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn next(&mut self) -> Option<Row> {
+        self.rows.next()
+    }
+}
+
+fn vec_op(schema: Schema, rows: Vec<Row>) -> Box<dyn Operator> {
+    Box::new(VecOp { schema, rows: rows.into_iter() })
+}
+
+/// E16 — A-Greedy adaptive selection ordering under mid-stream drift.
+pub fn e16_agreedy(fast: bool) -> String {
+    let n = if fast { 20_000 } else { 100_000 };
+    let (schema, rows) = drifting_table(n);
+    let preds = vec![col("a").lt(lit(100i64)), col("b").lt(lit(100i64))];
+    let ctx = ExecContext::unbounded();
+
+    // Static order tuned for phase 1 (b first): stale after the drift.
+    let mut stale_evals = 0usize;
+    {
+        let p_b = preds[1].bind(&schema).expect("bind");
+        let p_a = preds[0].bind(&schema).expect("bind");
+        for r in &rows {
+            stale_evals += 1;
+            if p_b.eval_bool(r) {
+                stale_evals += 1;
+                let _ = p_a.eval_bool(r);
+            }
+        }
+    }
+    // Optimal static per phase (an oracle that knew the drift): best first
+    // predicate each phase drops ~everything, so ≈ n evaluations.
+    let optimal_evals = rows.len();
+
+    let mut agreedy = AGreedyFilterOp::new(
+        vec_op(schema.clone(), rows.clone()),
+        &preds,
+        300,
+        0.05,
+        200,
+        16,
+        ctx.clone(),
+    )
+    .expect("agreedy");
+    let out = collect(&mut agreedy);
+
+    let mut t = ReportTable::new(&["strategy", "predicate evaluations", "vs optimal"]);
+    for (name, evals) in [
+        ("static (stale after drift)", stale_evals),
+        ("A-Greedy", agreedy.evaluations),
+        ("oracle static per phase", optimal_evals),
+    ] {
+        t.row(&[
+            name.into(),
+            format!("{evals}"),
+            format!("{:.2}x", evals as f64 / optimal_evals as f64),
+        ]);
+    }
+    format!(
+        "E16 — A-Greedy adaptive selection ordering (drift at tuple {})\n\n{t}\n\
+         result rows: {} (identical across strategies); reorderings performed: {}\n\
+         Expected shape: A-Greedy tracks the oracle within its sampling \
+         overhead; the stale static order pays ~2 evaluations/tuple after \
+         the flip.\n",
+        n / 2,
+        out.len(),
+        agreedy.reorderings,
+    )
+}
+
+/// E17 — eddies vs a fixed plan under selectivity drift.
+pub fn e17_eddy(fast: bool) -> String {
+    let n = if fast { 20_000 } else { 100_000 };
+    let (schema, rows) = drifting_table(n);
+    let preds = vec![col("a").lt(lit(100i64)), col("b").lt(lit(100i64))];
+    let run = |policy: RoutingPolicy| -> (usize, usize) {
+        let ctx = ExecContext::unbounded();
+        let mut eddy =
+            EddyFilterOp::new(vec_op(schema.clone(), rows.clone()), &preds, policy, 17, ctx)
+                .expect("eddy");
+        let out = collect(&mut eddy);
+        (eddy.evaluations, out.len())
+    };
+    let (lottery_evals, lottery_rows) = run(RoutingPolicy::Lottery { decay: 0.999 });
+    let (fixed_a_evals, fixed_rows) = run(RoutingPolicy::Fixed(vec![0, 1]));
+    let (fixed_b_evals, _) = run(RoutingPolicy::Fixed(vec![1, 0]));
+    assert_eq!(lottery_rows, fixed_rows);
+    let mut t = ReportTable::new(&["policy", "evaluations", "per tuple"]);
+    for (name, evals) in [
+        ("fixed a-first (good early, bad late)", fixed_a_evals),
+        ("fixed b-first (bad early, good late)", fixed_b_evals),
+        ("eddy lottery (adapts at the flip)", lottery_evals),
+    ] {
+        t.row(&[name.into(), format!("{evals}"), format!("{:.2}", evals as f64 / n as f64)]);
+    }
+    format!(
+        "E17 — eddy routing under mid-stream selectivity drift\n\n{t}\n\
+         Expected shape: each fixed order is optimal in one phase and \
+         pessimal in the other (~1.5 evals/tuple); the eddy re-routes within \
+         its lottery exploration and beats both.\n",
+    )
+}
+
+/// E18 — the generalized join vs the traditional repertoire across regimes.
+pub fn e18_gjoin(fast: bool) -> String {
+    let n = if fast { 4_000i64 } else { 20_000i64 };
+    let mut rng = seeded(18);
+    let mut keys = |n: i64, shuffled: bool| -> Vec<i64> {
+        (0..n)
+            .map(|i| if shuffled { rng.gen_range(0..n / 4) } else { i % (n / 4) })
+            .collect()
+    };
+    let make = |name: &'static str, ks: &[i64]| -> Box<dyn Operator> {
+        let schema = Schema::from_pairs(&[(
+            Box::leak(format!("{name}.k").into_boxed_str()) as &str,
+            DataType::Int,
+        )]);
+        vec_op(schema, ks.iter().map(|&k| vec![Value::Int(k)]).collect())
+    };
+
+    // The regimes of the g-join abstract: sorted inputs, unsorted inputs,
+    // indexed inner with small outer.
+    let mut t = ReportTable::new(&["regime", "hash", "merge(+sort)", "INL", "g-join", "winner", "gjoin/best"]);
+    let mut worst_ratio = 1.0f64;
+
+    // Regime A: both inputs sorted.
+    {
+        let mut ka = keys(n, false);
+        ka.sort_unstable();
+        let mut kb = keys(n / 2, false);
+        kb.sort_unstable();
+        let run_hash = cost(|ctx| {
+            let mut j = HashJoinOp::new(make("l", &ka), make("r", &kb), &["l.k"], &["r.k"], ctx)
+                .expect("hash");
+            collect(&mut j).len()
+        });
+        let run_merge = cost(|ctx| {
+            let mut j =
+                MergeJoinOp::new(make("l", &ka), make("r", &kb), &["l.k"], &["r.k"], ctx)
+                    .expect("merge");
+            collect(&mut j).len()
+        });
+        let run_g = cost(|ctx| {
+            let mut j = GJoinOp::new(
+                make("l", &ka),
+                make("r", &kb),
+                &["l.k"],
+                &["r.k"],
+                true,
+                true,
+                None,
+                ctx,
+            )
+            .expect("gjoin");
+            collect(&mut j).len()
+        });
+        worst_ratio = worst_ratio.max(report_row(
+            &mut t,
+            "sorted ⋈ sorted",
+            run_hash,
+            run_merge,
+            None,
+            run_g,
+        ));
+    }
+
+    // Regime B: both inputs unsorted.
+    {
+        let ka = keys(n, true);
+        let kb = keys(n / 2, true);
+        let run_hash = cost(|ctx| {
+            let mut j = HashJoinOp::new(make("l", &ka), make("r", &kb), &["l.k"], &["r.k"], ctx)
+                .expect("hash");
+            collect(&mut j).len()
+        });
+        let run_merge = cost(|ctx| {
+            let sl = Box::new(SortOp::asc(make("l", &ka), &["l.k"], ctx.clone()).expect("sort"));
+            let sr = Box::new(SortOp::asc(make("r", &kb), &["r.k"], ctx.clone()).expect("sort"));
+            let mut j = MergeJoinOp::new(sl, sr, &["l.k"], &["r.k"], ctx).expect("merge");
+            collect(&mut j).len()
+        });
+        let run_g = cost(|ctx| {
+            let mut j = GJoinOp::new(
+                make("l", &ka),
+                make("r", &kb),
+                &["l.k"],
+                &["r.k"],
+                false,
+                false,
+                None,
+                ctx,
+            )
+            .expect("gjoin");
+            collect(&mut j).len()
+        });
+        worst_ratio = worst_ratio.max(report_row(
+            &mut t,
+            "unsorted ⋈ unsorted",
+            run_hash,
+            run_merge,
+            None,
+            run_g,
+        ));
+    }
+
+    // Regime C: tiny outer, indexed inner.
+    {
+        let mut catalog = Catalog::new();
+        let mut inner = Table::new("inner", Schema::from_pairs(&[("k", DataType::Int)]));
+        for i in 0..n {
+            inner.append(vec![Value::Int(i % (n / 4))]);
+        }
+        catalog.add_table(inner);
+        catalog.create_index("ix", "inner", "k").expect("ix");
+        let outer_keys: Vec<i64> = (0..10).map(|i| i * 3).collect();
+        let run_hash = cost(|ctx| {
+            let mut scan = TableScanOp::new(catalog.table("inner").expect("t"), ctx.clone());
+            let mut inner_rows = Vec::new();
+            while let Some(r) = scan.next() {
+                inner_rows.push(r);
+            }
+            let schema = Schema::from_pairs(&[("inner.k", DataType::Int)]);
+            let mut j = HashJoinOp::new(
+                make("l", &outer_keys),
+                vec_op(schema, inner_rows),
+                &["l.k"],
+                &["inner.k"],
+                ctx,
+            )
+            .expect("hash");
+            collect(&mut j).len()
+        });
+        let run_inl = cost(|ctx| {
+            let mut j = IndexNlJoinOp::new(
+                make("l", &outer_keys),
+                "l.k",
+                catalog.index("ix").expect("ix"),
+                catalog.table("inner").expect("t"),
+                ctx,
+            )
+            .expect("inl");
+            collect(&mut j).len()
+        });
+        let run_g = cost(|ctx| {
+            let ii = rqp::exec::gjoin::InnerIndex {
+                index: catalog.index("ix").expect("ix"),
+                table: catalog.table("inner").expect("t"),
+            };
+            let dummy = vec_op(Schema::from_pairs(&[("inner.k", DataType::Int)]), vec![]);
+            let mut j = GJoinOp::new(
+                make("l", &outer_keys),
+                dummy,
+                &["l.k"],
+                &["inner.k"],
+                false,
+                false,
+                Some(ii),
+                ctx,
+            )
+            .expect("gjoin");
+            collect(&mut j).len()
+        });
+        worst_ratio = worst_ratio.max(report_row(
+            &mut t,
+            "tiny outer, indexed inner",
+            run_hash,
+            (f64::NAN, 0),
+            Some(run_inl),
+            run_g,
+        ));
+    }
+
+    format!(
+        "E18 — generalized join vs the traditional repertoire\n\n{t}\n\
+         Expected shape: g-join tracks the per-regime best within a small \
+         constant everywhere (worst observed ratio: {worst_ratio:.2}x) — \
+         ending mistaken join-method choices by removing the choice.\n",
+    )
+}
+
+fn cost(f: impl FnOnce(ExecContext) -> usize) -> (f64, usize) {
+    let ctx = ExecContext::unbounded();
+    let rows = f(ctx.clone());
+    (ctx.clock.now(), rows)
+}
+
+fn report_row(
+    t: &mut ReportTable,
+    regime: &str,
+    hash: (f64, usize),
+    merge: (f64, usize),
+    inl: Option<(f64, usize)>,
+    gjoin: (f64, usize),
+) -> f64 {
+    // All present algorithms must agree on output cardinality.
+    let mut cards = vec![hash.1, gjoin.1];
+    if !merge.0.is_nan() {
+        cards.push(merge.1);
+    }
+    if let Some(i) = inl {
+        cards.push(i.1);
+    }
+    cards.dedup();
+    assert_eq!(cards.len(), 1, "join algorithms disagree in regime {regime}");
+
+    let mut best = hash.0;
+    if !merge.0.is_nan() {
+        best = best.min(merge.0);
+    }
+    if let Some(i) = inl {
+        best = best.min(i.0);
+    }
+    let ratio = gjoin.0 / best;
+    let winner = {
+        let mut w = ("hash", hash.0);
+        if !merge.0.is_nan() && merge.0 < w.1 {
+            w = ("merge", merge.0);
+        }
+        if let Some(i) = inl {
+            if i.0 < w.1 {
+                w = ("INL", i.0);
+            }
+        }
+        if gjoin.0 <= w.1 {
+            "g-join"
+        } else {
+            w.0
+        }
+    };
+    t.row(&[
+        regime.into(),
+        format!("{:.0}", hash.0),
+        if merge.0.is_nan() { "—".into() } else { format!("{:.0}", merge.0) },
+        inl.map(|i| format!("{:.0}", i.0)).unwrap_or_else(|| "—".into()),
+        format!("{:.0}", gjoin.0),
+        winner.into(),
+        format!("{ratio:.2}x"),
+    ]);
+    ratio
+}

@@ -1,0 +1,18 @@
+//! The experiments, grouped by theme. The `eNN_*` naming follows the
+//! per-experiment index in `DESIGN.md`.
+
+pub mod ablations;
+pub mod benchmarks;
+pub mod estimation;
+pub mod execution;
+pub mod optimizer;
+pub mod pop;
+pub mod resources;
+
+pub use ablations::{a01_pop_theta, a02_amerge_runsize, a03_eddy_decay};
+pub use benchmarks::{e04_tractor_pull, e05_extrinsic, e06_equivalence};
+pub use estimation::{e08_card_metrics, e19_leo, e22_blackhat};
+pub use execution::{e11_cracking, e16_agreedy, e17_eddy, e18_gjoin};
+pub use optimizer::{e07_smoothness, e09_robust_opt, e10_plan_diagram, e20_rio, e21_stats_refresh};
+pub use pop::{e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter};
+pub use resources::{e12_advisor, e13_fmt, e14_fpt, e15_mixed};

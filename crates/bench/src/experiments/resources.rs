@@ -1,0 +1,257 @@
+//! E12–E15: physical design and resource/workload management.
+
+use rqp::common::rng::seeded;
+use rqp::exec::ExecContext;
+use rqp::expr::col;
+use rqp::metrics::{ReportTable, Summary};
+use rqp::opt::{plan, PlannerConfig};
+use rqp::physical::advisor::{advise, AdvisorConfig};
+use rqp::physical::evaluate_advice;
+use rqp::stats::{StatsEstimator, TableStatsRegistry};
+use rqp::workload::manager::{fluctuating_memory_test, fluctuating_parallelism_test};
+use rqp::workload::{tpch::TpchParams, Job, OltpSimulator, TpchDb, WorkloadManager};
+use rqp::QuerySpec;
+use std::rc::Rc;
+
+/// E12 — index-advisor robustness under workload drift: plain vs
+/// robustness-aware advisor.
+pub fn e12_advisor(fast: bool) -> String {
+    let li = if fast { 3000 } else { 10_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, with_indexes: false, ..Default::default() },
+        12,
+    );
+    let reg = TableStatsRegistry::analyze_catalog(&db.catalog, 16);
+    let est = StatsEstimator::new(Rc::new(reg.clone()));
+
+    let narrow = |lo0: i64| -> Vec<QuerySpec> {
+        (0..4)
+            .map(|i| {
+                QuerySpec::new().table("lineitem").filter(
+                    "lineitem",
+                    col("lineitem.shipdate").between(lo0 + i * 60, lo0 + i * 60 + 3),
+                )
+            })
+            .collect()
+    };
+    let training = narrow(100);
+    // W1: same pattern, shifted constants. W2: wider ranges. W3: different
+    // column entirely.
+    let w1 = narrow(1200);
+    let w2: Vec<QuerySpec> = (0..4)
+        .map(|i| {
+            QuerySpec::new().table("lineitem").filter(
+                "lineitem",
+                col("lineitem.shipdate").between(i * 300, i * 300 + 1200),
+            )
+        })
+        .collect();
+    let w3: Vec<QuerySpec> = (0..4)
+        .map(|i| {
+            QuerySpec::new().table("lineitem").filter(
+                "lineitem",
+                col("lineitem.quantity").between(i * 2, i * 2 + 1),
+            )
+        })
+        .collect();
+    let drifted = vec![w1, w2, w3];
+
+    let mut t = ReportTable::new(&[
+        "advisor", "indexes", "T0", "T1 (shifted)", "T2 (widened)", "T3 (other col)",
+        "max |Ti−T0|/T0",
+    ]);
+    for (name, cfg) in [
+        ("classic", AdvisorConfig::default()),
+        ("robust (Risk+Generality)", AdvisorConfig::robust(3)),
+    ] {
+        let advice = advise(&db.catalog, &reg, &training, cfg).expect("advise");
+        let report =
+            evaluate_advice(&db.catalog, &est, &advice, &training, &drifted).expect("evaluate");
+        t.row(&[
+            name.into(),
+            format!(
+                "{:?}",
+                advice
+                    .indexes
+                    .iter()
+                    .map(|c| format!("{}.{}", c.table, c.column))
+                    .collect::<Vec<_>>()
+            ),
+            format!("{:.0}", report.t0),
+            format!("{:.0}", report.drifted[0]),
+            format!("{:.0}", report.drifted[1]),
+            format!("{:.0}", report.drifted[2]),
+            format!("{:.2}", report.max_relative_difference()),
+        ]);
+    }
+    format!(
+        "E12 — advisor robustness: tune on W0, evaluate on drifted W1..W3\n\n{t}\n\
+         Expected shape: pattern-preserving drift (T1) stays near T0; \
+         hostile drifts (T2, T3) define the robustness parameter; the \
+         risk-aware advisor should never be more fragile than the classic one.\n",
+    )
+}
+
+/// E13 — FMT: fluctuating memory between the memUBL/memLBL baselines.
+pub fn e13_fmt(fast: bool) -> String {
+    let li = if fast { 3000 } else { 10_000 };
+    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 13);
+    let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
+    let est = StatsEstimator::new(reg);
+    let mut rng = seeded(13);
+    let specs = db.analytic_mix(if fast { 6 } else { 12 }, &mut rng);
+
+    let mut t = ReportTable::new(&["schedule", "total cost", "position (0=UBL best, 1=LBL)"]);
+    let schedules: Vec<(&str, Vec<f64>)> = vec![
+        ("step-down (50k→5k→500→150)", vec![50_000.0, 5_000.0, 500.0, 150.0]),
+        ("oscillating (150↔50k)", vec![150.0, 50_000.0]),
+        ("random-ish", vec![200.0, 20_000.0, 800.0, 50_000.0, 150.0]),
+    ];
+    let mut header = String::new();
+    for (name, schedule) in &schedules {
+        let report = fluctuating_memory_test(
+            &db.catalog,
+            &est,
+            &specs,
+            schedule,
+            1e9,
+            150.0,
+        )
+        .expect("fmt");
+        if header.is_empty() {
+            header = format!(
+                "memUBL (all memory): {:.0}   memLBL (min memory): {:.0}",
+                report.mem_ubl_cost, report.mem_lbl_cost
+            );
+        }
+        assert!(report.within_bounds(), "robustness bound violated");
+        t.row(&[
+            (*name).into(),
+            format!("{:.0}", report.scheduled_cost()),
+            format!("{:.2}", report.position()),
+        ]);
+    }
+    format!(
+        "E13 — FMT: fluctuating memory test ({} queries)\n\n{header}\n\n{t}\n\
+         Expected shape: every schedule lands between the baselines — the \
+         engine degrades smoothly with memory, no cliff outside [UBL, LBL].\n",
+        specs.len()
+    )
+}
+
+/// E14 — FPT: a competing query steals processing share from Qi.
+pub fn e14_fpt(fast: bool) -> String {
+    let li = if fast { 3000 } else { 10_000 };
+    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 14);
+    let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
+    let est = StatsEstimator::new(reg);
+    // Qi and Qm demands measured by really executing.
+    let demand = |spec: &QuerySpec| -> f64 {
+        let p = plan(spec, &db.catalog, &est, PlannerConfig::default()).expect("plan");
+        let ctx = ExecContext::unbounded();
+        p.build(&db.catalog, &ctx, None).expect("build").run();
+        ctx.clock.now()
+    };
+    let qi = demand(&db.q3(1, 1200));
+    let qm = demand(&db.q5(0, 24, 100));
+    let weights = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let report = fluctuating_parallelism_test(qi, qm, qi * 0.002, &weights, 10.0);
+    let mut t = ReportTable::new(&["Qm weight (processes)", "Qi response", "slowdown vs solo"]);
+    for ((w, resp), slow) in report.contended.iter().zip(report.slowdowns()) {
+        t.row(&[format!("{w}"), format!("{resp:.1}"), format!("{slow:.2}x")]);
+    }
+    format!(
+        "E14 — FPT: fluctuating degree of parallelism (Qi demand {qi:.0}, \
+         Qm demand {qm:.0})\n\nsolo response: {:.1}\n\n{t}\n\
+         Expected shape: slowdown grows smoothly (hyperbolically) with the \
+         competitor's share — no collapse, which is the robustness claim.\n",
+        report.solo_response
+    )
+}
+
+/// E15 — mixed OLTP/OLAP (TPC-CH-like) with and without workload management.
+pub fn e15_mixed(fast: bool) -> String {
+    let li = if fast { 4000 } else { 16_000 };
+    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 15);
+    let est = StatsEstimator::new(Rc::new(TableStatsRegistry::analyze_catalog(
+        &db.catalog,
+        16,
+    )));
+    let mut oltp = OltpSimulator::new(db.catalog.clone(), ExecContext::unbounded(), 15);
+    let txn_demand = oltp.run_stream(if fast { 40 } else { 100 });
+    let mut rng = seeded(15);
+    let olap_demands: Vec<f64> = db
+        .analytic_mix(4, &mut rng)
+        .iter()
+        .map(|q| {
+            let p = plan(q, &db.catalog, &est, PlannerConfig::default()).expect("plan");
+            let ctx = ExecContext::unbounded();
+            p.build(&db.catalog, &ctx, None).expect("build").run();
+            ctx.clock.now()
+        })
+        .collect();
+
+    let capacity = 4.0;
+    let n_txn = if fast { 100 } else { 300 };
+    let make_jobs = |txn_prio: u8, olap_prio: u8| -> Vec<Job> {
+        let mut jobs: Vec<Job> = (0..n_txn)
+            .map(|i| Job {
+                id: i,
+                arrival: i as f64 * 3.0,
+                demand: txn_demand,
+                priority: txn_prio,
+                weight: 1.0,
+            })
+            .collect();
+        for (k, &d) in olap_demands.iter().enumerate() {
+            jobs.push(Job {
+                id: 10_000 + k,
+                arrival: 15.0 + k as f64 * 120.0,
+                demand: d,
+                priority: olap_prio,
+                weight: 8.0,
+            });
+        }
+        jobs
+    };
+    let mut t = ReportTable::new(&[
+        "policy", "txn mean", "txn p-max", "olap mean", "makespan",
+    ]);
+    let mut rows_out: Vec<(String, f64)> = Vec::new();
+    for (name, mpl, tp, op) in [
+        ("free-for-all", 64usize, 1u8, 1u8),
+        ("MPL gate (2)", 2, 1, 1),
+        ("MPL + txn priority", 2, 0, 2),
+    ] {
+        let out = WorkloadManager::new(mpl, capacity).simulate(&make_jobs(tp, op));
+        let txn: Vec<f64> = out
+            .jobs
+            .iter()
+            .filter(|j| j.id < 10_000)
+            .map(|j| j.response)
+            .collect();
+        let olap: Vec<f64> = out
+            .jobs
+            .iter()
+            .filter(|j| j.id >= 10_000)
+            .map(|j| j.response)
+            .collect();
+        let ts = Summary::of(&txn);
+        rows_out.push((name.to_owned(), ts.mean));
+        t.row(&[
+            name.into(),
+            format!("{:.1}", ts.mean),
+            format!("{:.1}", ts.max),
+            format!("{:.1}", Summary::of(&olap).mean),
+            format!("{:.1}", out.makespan),
+        ]);
+    }
+    format!(
+        "E15 — mixed OLTP/OLAP workload (txn demand {txn_demand:.1}, OLAP \
+         demands {:?})\n\n{t}\n\
+         Expected shape: transaction latency collapses under unmanaged \
+         analytic competition and is restored by the MPL gate + priorities \
+         at modest OLAP cost.\n",
+        olap_demands.iter().map(|d| d.round()).collect::<Vec<_>>()
+    )
+}

@@ -1,0 +1,226 @@
+//! The deterministic cost clock.
+//!
+//! The Dagstuhl report's robustness metrics are all ratios and variances of
+//! *response time*. Real wall-clock time is noisy and machine-dependent, so
+//! the engine charges abstract **cost units** to a [`CostClock`] instead:
+//! sequential page reads, random page reads, per-tuple CPU work, and spill
+//! traffic each have a configurable weight ([`CostModelParams`]). The clock is
+//! the experiment-level notion of "response time"; criterion benches measure
+//! real time separately for the micro-level claims.
+//!
+//! The clock uses interior mutability (`Cell`) so every operator in a plan can
+//! hold a [`SharedClock`] (an `Rc`) and charge as it runs, single-threaded.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Weights of the abstract cost model, in arbitrary "cost units".
+///
+/// Defaults are chosen so that one sequential page ≈ 100 tuples of CPU work
+/// and a random page is 4× a sequential one — the classic ratio that creates
+/// the scan-vs-index crossover the smoothness experiments (E07) measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModelParams {
+    /// Tuples per page: converts row counts to page counts.
+    pub rows_per_page: f64,
+    /// Cost of reading one page sequentially.
+    pub seq_page: f64,
+    /// Cost of reading one page at a random position.
+    pub rand_page: f64,
+    /// CPU cost of touching/producing one tuple.
+    pub cpu_tuple: f64,
+    /// CPU cost of one comparison (sorting, merging).
+    pub cpu_compare: f64,
+    /// CPU cost of one hash-table insert.
+    pub hash_build: f64,
+    /// CPU cost of one hash-table probe.
+    pub hash_probe: f64,
+    /// Cost of spilling one page to temp storage and reading it back.
+    pub spill_page: f64,
+}
+
+impl Default for CostModelParams {
+    fn default() -> Self {
+        CostModelParams {
+            rows_per_page: 100.0,
+            seq_page: 1.0,
+            rand_page: 4.0,
+            cpu_tuple: 0.005,
+            cpu_compare: 0.002,
+            hash_build: 0.01,
+            hash_probe: 0.005,
+            spill_page: 2.5,
+        }
+    }
+}
+
+/// Running totals per cost category, for post-mortem attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Cost charged for sequential I/O.
+    pub seq_io: f64,
+    /// Cost charged for random I/O.
+    pub rand_io: f64,
+    /// Cost charged for CPU work.
+    pub cpu: f64,
+    /// Cost charged for spills.
+    pub spill: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.seq_io + self.rand_io + self.cpu + self.spill
+    }
+}
+
+/// A deterministic virtual clock accumulating cost units.
+#[derive(Debug)]
+pub struct CostClock {
+    params: CostModelParams,
+    seq_io: Cell<f64>,
+    rand_io: Cell<f64>,
+    cpu: Cell<f64>,
+    spill: Cell<f64>,
+}
+
+/// Shared handle to a [`CostClock`]; clone freely into every operator.
+pub type SharedClock = Rc<CostClock>;
+
+impl CostClock {
+    /// New clock with the given parameters.
+    pub fn new(params: CostModelParams) -> SharedClock {
+        Rc::new(CostClock {
+            params,
+            seq_io: Cell::new(0.0),
+            rand_io: Cell::new(0.0),
+            cpu: Cell::new(0.0),
+            spill: Cell::new(0.0),
+        })
+    }
+
+    /// New clock with default parameters.
+    pub fn default_clock() -> SharedClock {
+        Self::new(CostModelParams::default())
+    }
+
+    /// The cost parameters this clock charges with.
+    pub fn params(&self) -> &CostModelParams {
+        &self.params
+    }
+
+    /// Charge a sequential scan of `rows` tuples (page I/O + per-tuple CPU).
+    pub fn charge_seq_rows(&self, rows: f64) {
+        let pages = (rows / self.params.rows_per_page).ceil();
+        self.seq_io.set(self.seq_io.get() + pages * self.params.seq_page);
+        self.cpu.set(self.cpu.get() + rows * self.params.cpu_tuple);
+    }
+
+    /// Charge `n` random page accesses (e.g. unclustered index fetches).
+    pub fn charge_random_pages(&self, n: f64) {
+        self.rand_io.set(self.rand_io.get() + n * self.params.rand_page);
+    }
+
+    /// Charge exactly `n` sequential page reads (no per-tuple CPU).
+    pub fn charge_seq_pages(&self, n: f64) {
+        self.seq_io.set(self.seq_io.get() + n * self.params.seq_page);
+    }
+
+    /// Charge CPU work for touching `n` tuples.
+    pub fn charge_cpu_tuples(&self, n: f64) {
+        self.cpu.set(self.cpu.get() + n * self.params.cpu_tuple);
+    }
+
+    /// Charge `n` comparisons.
+    pub fn charge_compares(&self, n: f64) {
+        self.cpu.set(self.cpu.get() + n * self.params.cpu_compare);
+    }
+
+    /// Charge `n` hash-table builds.
+    pub fn charge_hash_build(&self, n: f64) {
+        self.cpu.set(self.cpu.get() + n * self.params.hash_build);
+    }
+
+    /// Charge `n` hash-table probes.
+    pub fn charge_hash_probe(&self, n: f64) {
+        self.cpu.set(self.cpu.get() + n * self.params.hash_probe);
+    }
+
+    /// Charge spilling `rows` tuples to temp storage and reading them back.
+    pub fn charge_spill_rows(&self, rows: f64) {
+        let pages = (rows / self.params.rows_per_page).ceil();
+        self.spill.set(self.spill.get() + pages * self.params.spill_page);
+    }
+
+    /// Current virtual time (total cost charged so far).
+    pub fn now(&self) -> f64 {
+        self.seq_io.get() + self.rand_io.get() + self.cpu.get() + self.spill.get()
+    }
+
+    /// Per-category totals.
+    pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            seq_io: self.seq_io.get(),
+            rand_io: self.rand_io.get(),
+            cpu: self.cpu.get(),
+            spill: self.spill.get(),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.seq_io.set(0.0);
+        self.rand_io.set(0.0);
+        self.cpu.set(0.0);
+        self.spill.set(0.0);
+    }
+
+    /// Measure the cost of running `f`: returns (result, cost charged by `f`).
+    pub fn lap<T>(&self, f: impl FnOnce() -> T) -> (T, f64) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_scan_charges_pages_and_cpu() {
+        let c = CostClock::default_clock();
+        c.charge_seq_rows(250.0);
+        // 3 pages * 1.0 + 250 * 0.005
+        assert!((c.now() - (3.0 + 1.25)).abs() < 1e-9);
+        let b = c.breakdown();
+        assert!((b.seq_io - 3.0).abs() < 1e-9);
+        assert!((b.cpu - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_pages_cost_more() {
+        let c = CostClock::default_clock();
+        c.charge_random_pages(3.0);
+        assert!((c.now() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lap_measures_delta() {
+        let c = CostClock::default_clock();
+        c.charge_cpu_tuples(100.0);
+        let (_, d) = c.lap(|| c.charge_cpu_tuples(200.0));
+        assert!((d - 1.0).abs() < 1e-9);
+        assert!((c.now() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let c = CostClock::default_clock();
+        c.charge_spill_rows(1000.0);
+        assert!(c.now() > 0.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.breakdown().total(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RqpError>;
+
+/// All errors the `rqp` engine can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RqpError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound(String),
+    /// A column suffix matched more than one qualified field.
+    AmbiguousColumn(String),
+    /// A referenced table does not exist in the catalog.
+    TableNotFound(String),
+    /// A referenced index does not exist.
+    IndexNotFound(String),
+    /// Operation applied to a value of the wrong type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually got.
+        got: String,
+    },
+    /// The optimizer could not produce a plan.
+    Planning(String),
+    /// A runtime execution failure.
+    Execution(String),
+    /// An invalid argument or configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for RqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RqpError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            RqpError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            RqpError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            RqpError::IndexNotFound(i) => write!(f, "index not found: {i}"),
+            RqpError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            RqpError::Planning(m) => write!(f, "planning error: {m}"),
+            RqpError::Execution(m) => write!(f, "execution error: {m}"),
+            RqpError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RqpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RqpError::ColumnNotFound("x".into()).to_string(),
+            "column not found: x"
+        );
+        assert_eq!(
+            RqpError::TypeMismatch { expected: "INT".into(), got: "STR".into() }.to_string(),
+            "type mismatch: expected INT, got STR"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RqpError::Planning("p".into()));
+    }
+}

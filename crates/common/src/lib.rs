@@ -1,0 +1,36 @@
+//! # rqp-common
+//!
+//! Shared foundation types for the `rqp` robust-query-processing testbed:
+//!
+//! * [`value`] — dynamically typed scalar [`value::Value`]s and [`value::DataType`]s
+//!   with a total order suitable for sorting and B-tree keys;
+//! * [`schema`] — [`schema::Schema`]/[`schema::Field`] describing row shapes, and
+//!   the [`schema::Row`] type flowing between operators;
+//! * [`expr`] — a small scalar/boolean expression algebra ([`expr::Expr`]) with
+//!   evaluation, binding (name → index resolution), conjunct decomposition and
+//!   the semantics-preserving rewrites used by the equivalent-query robustness
+//!   benchmark;
+//! * [`error`] — the crate-wide [`error::RqpError`] error enum;
+//! * [`clock`] — the deterministic [`clock::CostClock`] "virtual time" that every
+//!   operator charges I/O and CPU cost units to, making robustness experiments
+//!   exactly reproducible;
+//! * [`rng`] — seeded random-number helpers (uniform, Zipf, correlated draws)
+//!   so all workloads are deterministic.
+//!
+//! Everything else in the workspace (`rqp-storage`, `rqp-stats`, `rqp-exec`,
+//! `rqp-opt`, …) builds on these types.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod error;
+pub mod expr;
+pub mod rng;
+pub mod schema;
+pub mod value;
+
+pub use clock::{CostClock, CostModelParams, SharedClock};
+pub use error::{Result, RqpError};
+pub use expr::{CmpOp, Expr, SimplePred};
+pub use schema::{Field, Row, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,162 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic choice in the testbed (data generation, query parameters,
+//! sampling estimators, eddy lotteries) flows from an explicit seed through
+//! [`seeded`], so every experiment output is exactly reproducible.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded [`StdRng`]. All `rqp` code takes RNGs by `&mut impl Rng` and
+/// callers create them here.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream label, so independent
+/// generators never share a stream by accident.
+pub fn child_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, mixed with the parent.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ parent.rotate_left(17);
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A Zipf-distributed sampler over `1..=n` with exponent `theta`.
+///
+/// `theta = 0` is uniform; `theta ≈ 1` is the classic heavy skew used by the
+/// "black hat" and skewed-join experiments. The cumulative distribution is
+/// precomputed once (O(n) memory), and each draw is a binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `1..=n`. Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a value in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        // First index whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+impl Distribution<u64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+/// Fisher–Yates sample of `k` distinct indices from `0..n`.
+pub fn sample_distinct(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let xs: Vec<u32> = (0..10).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn child_seeds_differ_by_label() {
+        assert_ne!(child_seed(1, "a"), child_seed(1, "b"));
+        assert_ne!(child_seed(1, "a"), child_seed(2, "a"));
+        assert_eq!(child_seed(1, "a"), child_seed(1, "a"));
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = seeded(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "uniform-ish expected, got {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = seeded(7);
+        let mut first = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 1 {
+                first += 1;
+            }
+        }
+        // P(1) = 1/H_100 ≈ 0.193
+        assert!(first > 1500, "rank 1 should dominate, got {first}");
+    }
+
+    #[test]
+    fn zipf_stays_in_domain() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn distinct_sample() {
+        let mut rng = seeded(1);
+        let s = sample_distinct(&mut rng, 20, 5);
+        assert_eq!(s.len(), 5);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().all(|&i| i < 20));
+        // k > n clamps
+        assert_eq!(sample_distinct(&mut rng, 3, 10).len(), 3);
+    }
+}

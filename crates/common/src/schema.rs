@@ -1,0 +1,190 @@
+//! Schemas, fields and rows.
+//!
+//! A [`Schema`] is an ordered list of [`Field`]s. Field names are
+//! dot-qualified (`"lineitem.quantity"`) once a scan binds a table, so joins
+//! can concatenate schemas without collisions; lookup by unqualified suffix is
+//! supported for convenience.
+
+use crate::error::{Result, RqpError};
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, possibly dot-qualified with its table.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// A row: one value per schema field.
+pub type Row = Vec<Value>;
+
+/// An ordered list of named, typed columns.
+///
+/// Schemas are immutable and cheaply cloneable (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields: Arc::new(fields) }
+    }
+
+    /// Convenience: build from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// The fields of this schema in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of a column by name.
+    ///
+    /// An exact match on the full (possibly qualified) name wins; otherwise a
+    /// unique match on the unqualified suffix (`"qty"` matching
+    /// `"lineitem.qty"`) is accepted. Ambiguous suffixes and misses error.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(i);
+        }
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            let suffix_match = f
+                .name
+                .rsplit_once('.')
+                .map(|(_, suffix)| suffix == name)
+                .unwrap_or(false);
+            if suffix_match {
+                if found.is_some() {
+                    return Err(RqpError::AmbiguousColumn(name.to_owned()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| RqpError::ColumnNotFound(name.to_owned()))
+    }
+
+    /// Concatenate two schemas (for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        fields.extend_from_slice(self.fields());
+        fields.extend_from_slice(other.fields());
+        Schema::new(fields)
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Qualify every unqualified field name with `table.`.
+    pub fn qualify(&self, table: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| {
+                    let name = if f.name.contains('.') {
+                        f.name.clone()
+                    } else {
+                        format!("{table}.{}", f.name)
+                    };
+                    Field { name, dtype: f.dtype }
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::from_pairs(&[
+            ("t.a", DataType::Int),
+            ("t.b", DataType::Float),
+            ("u.a", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn exact_and_suffix_lookup() {
+        let s = s();
+        assert_eq!(s.index_of("t.a").unwrap(), 0);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("a"), Err(RqpError::AmbiguousColumn(_))));
+        assert!(matches!(s.index_of("zz"), Err(RqpError::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn join_and_project() {
+        let a = Schema::from_pairs(&[("x", DataType::Int)]);
+        let b = Schema::from_pairs(&[("y", DataType::Str)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        let p = j.project(&[1]);
+        assert_eq!(p.field(0).name, "y");
+    }
+
+    #[test]
+    fn qualify_skips_already_qualified() {
+        let q = s().qualify("v");
+        assert_eq!(q.field(0).name, "t.a");
+        let plain = Schema::from_pairs(&[("c", DataType::Int)]).qualify("v");
+        assert_eq!(plain.field(0).name, "v.c");
+    }
+
+    #[test]
+    fn display() {
+        let a = Schema::from_pairs(&[("x", DataType::Int)]);
+        assert_eq!(a.to_string(), "(x: INT)");
+    }
+}

@@ -1,0 +1,273 @@
+//! Dynamically typed scalar values.
+//!
+//! The engine is dynamically typed at the row level: every cell is a
+//! [`Value`]. Storage keeps columns in typed vectors (`rqp-storage`), but rows
+//! flowing between operators are `Vec<Value>`. A [`Value`] has a *total*
+//! order (`Ord`), with floats ordered by `f64::total_cmp` and `Null` sorting
+//! first, so values can be used directly as B-tree keys and sort keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column or scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Null` exists for outer-join padding and absent aggregates; the synthetic
+/// data generators never produce it inside base tables.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (sorts before everything; equal to itself for grouping).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an `i64`, coercing from float by truncation.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64`, coercing from int.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Numeric comparison helper: compares Int/Float cross-type numerically,
+    /// strings lexicographically, `Null` first. This is the engine-wide total
+    /// order used by sorts, merges and B-trees.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Heterogeneous non-numeric comparisons order by type tag so the
+            // order stays total; queries never rely on this.
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+
+    /// Arithmetic addition (numeric only); `Null` propagates.
+    pub fn add(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a + b, |a, b| a + b)
+    }
+
+    /// Arithmetic subtraction (numeric only); `Null` propagates.
+    pub fn sub(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a - b, |a, b| a - b)
+    }
+
+    /// Arithmetic multiplication (numeric only); `Null` propagates.
+    pub fn mul(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a * b, |a, b| a * b)
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    f_int: impl Fn(i64, i64) -> i64,
+    f_float: impl Fn(f64, f64) -> f64,
+) -> Value {
+    use Value::*;
+    match (a, b) {
+        (Int(x), Int(y)) => Int(f_int(*x, *y)),
+        (Float(x), Float(y)) => Float(f_float(*x, *y)),
+        (Int(x), Float(y)) => Float(f_float(*x as f64, *y)),
+        (Float(x), Int(y)) => Float(f_float(*x, *y as f64)),
+        _ => Null,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash ints and integral floats identically so Int(3) and
+            // Float(3.0), which compare equal, also hash equal.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_order() {
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)), Value::Float(3.0));
+        assert!(Value::Null.add(&Value::Int(1)).is_null());
+        assert_eq!(Value::Int(5).sub(&Value::Int(2)), Value::Int(3));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Float(2.9).as_int(), Some(2));
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("a".into()).to_string(), "'a'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

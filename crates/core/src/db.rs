@@ -1,0 +1,351 @@
+//! The high-level `Database` facade.
+
+use rqp_adaptive::pop::{no_lies, run_with_pop, PopConfig};
+use rqp_adaptive::run_with_feedback;
+use rqp_common::{Result, Row, RqpError};
+use rqp_exec::ExecContext;
+use rqp_opt::robust::{robust_plan, RobustMode};
+use rqp_opt::{plan as plan_query, PhysicalPlan, PlannerConfig, QuerySpec};
+use rqp_stats::{
+    CardEstimator, FeedbackEstimator, FeedbackRepo, LyingEstimator, StatsEstimator,
+    TableStatsRegistry,
+};
+use rqp_storage::{Catalog, Table};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How a query should be optimized and executed.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecutionMode {
+    /// Classic compile-time optimization, run to completion.
+    Static,
+    /// Babcock–Chaudhuri robust plan choice at the given cost percentile,
+    /// hedging against per-table estimation error of the given factor.
+    Robust {
+        /// Cost percentile to minimize (e.g. 0.9).
+        percentile: f64,
+        /// Assumed possible estimation-error factor.
+        error_factor: f64,
+    },
+    /// Progressive optimization: CHECK operators + mid-query re-optimization.
+    Pop {
+        /// Validity-range threshold θ.
+        theta: f64,
+        /// Re-optimization budget.
+        max_reopts: usize,
+    },
+    /// Execute with LEO feedback: estimates corrected by (and actuals
+    /// recorded into) the database's feedback repository.
+    Leo,
+}
+
+impl ExecutionMode {
+    /// POP with default parameters.
+    pub fn pop() -> Self {
+        let d = PopConfig::default();
+        ExecutionMode::Pop { theta: d.theta, max_reopts: d.max_reopts }
+    }
+
+    /// Robust with default parameters (90th percentile, 20× error box).
+    pub fn robust() -> Self {
+        ExecutionMode::Robust { percentile: 0.9, error_factor: 20.0 }
+    }
+}
+
+/// Result of executing a query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Cost-clock units charged.
+    pub cost: f64,
+    /// Fingerprint of the (final) plan executed.
+    pub plan: String,
+    /// Mid-query re-optimizations (POP only; 0 otherwise).
+    pub reoptimizations: usize,
+}
+
+/// A catalog plus statistics, feedback state and configuration — the
+/// top-level entry point.
+pub struct Database {
+    catalog: Catalog,
+    registry: Rc<TableStatsRegistry>,
+    feedback: Rc<RefCell<FeedbackRepo>>,
+    /// Planner configuration used for every query.
+    pub planner_config: PlannerConfig,
+    /// Histogram buckets used by [`Database::analyze`].
+    pub stat_buckets: usize,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::from_catalog(Catalog::new())
+    }
+
+    /// Wrap an existing catalog. Call [`Database::analyze`] before planning.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Database {
+            catalog,
+            registry: Rc::new(TableStatsRegistry::new()),
+            feedback: Rc::new(RefCell::new(FeedbackRepo::new(0.8))),
+            planner_config: PlannerConfig::default(),
+            stat_buckets: 32,
+        }
+    }
+
+    /// Register a table (replacing any previous table of the same name).
+    pub fn add_table(&mut self, table: Table) {
+        self.catalog.add_table(table);
+    }
+
+    /// Create a B-tree index.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        table: &str,
+        column: &str,
+    ) -> Result<()> {
+        self.catalog.create_index(name, table, column)
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (snapshots held by running queries are
+    /// copy-on-write protected).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Gather statistics for every table (like SQL `ANALYZE`).
+    pub fn analyze(&mut self) {
+        self.registry =
+            Rc::new(TableStatsRegistry::analyze_catalog(&self.catalog, self.stat_buckets));
+    }
+
+    /// The statistics registry.
+    pub fn registry(&self) -> &TableStatsRegistry {
+        &self.registry
+    }
+
+    /// The LEO feedback repository.
+    pub fn feedback(&self) -> Rc<RefCell<FeedbackRepo>> {
+        Rc::clone(&self.feedback)
+    }
+
+    /// The histogram+independence estimator over the current statistics.
+    pub fn estimator(&self) -> StatsEstimator {
+        StatsEstimator::new(Rc::clone(&self.registry))
+    }
+
+    /// Optimize a query (static mode) and return the plan.
+    pub fn plan(&self, spec: &QuerySpec) -> Result<PhysicalPlan> {
+        let est = self.estimator();
+        plan_query(spec, &self.catalog, &est, self.planner_config)
+    }
+
+    /// EXPLAIN: the chosen plan rendered as a tree.
+    pub fn explain(&self, spec: &QuerySpec) -> Result<String> {
+        Ok(self.plan(spec)?.to_string())
+    }
+
+    /// Execute with classic static optimization.
+    pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult> {
+        self.execute_mode(spec, ExecutionMode::Static)
+    }
+
+    /// Execute under the given mode.
+    pub fn execute_mode(&self, spec: &QuerySpec, mode: ExecutionMode) -> Result<QueryResult> {
+        match mode {
+            ExecutionMode::Static => {
+                let plan = self.plan(spec)?;
+                let ctx = ExecContext::with_memory(self.planner_config.memory_rows);
+                let fingerprint = plan.fingerprint();
+                let rows = plan.build(&self.catalog, &ctx, None)?.run();
+                Ok(QueryResult {
+                    rows,
+                    cost: ctx.clock.now(),
+                    plan: fingerprint,
+                    reoptimizations: 0,
+                })
+            }
+            ExecutionMode::Robust { percentile, error_factor } => {
+                if error_factor < 1.0 {
+                    return Err(RqpError::Invalid("error_factor must be ≥ 1".into()));
+                }
+                // Scenarios: the point estimate plus over/under scenarios
+                // for every table in the query.
+                let base = self.estimator();
+                let mut scenarios: Vec<Box<dyn CardEstimator>> =
+                    vec![Box::new(base.clone())];
+                for t in &spec.tables {
+                    for f in [1.0 / error_factor, error_factor] {
+                        scenarios.push(Box::new(
+                            LyingEstimator::new(Box::new(base.clone()))
+                                .with_table_factor(t, f),
+                        ));
+                    }
+                }
+                let choice = robust_plan(
+                    spec,
+                    &self.catalog,
+                    &scenarios,
+                    self.planner_config,
+                    RobustMode::Percentile(percentile),
+                )?;
+                let ctx = ExecContext::with_memory(self.planner_config.memory_rows);
+                let fingerprint = choice.plan.fingerprint();
+                let rows = choice.plan.build(&self.catalog, &ctx, None)?.run();
+                Ok(QueryResult {
+                    rows,
+                    cost: ctx.clock.now(),
+                    plan: fingerprint,
+                    reoptimizations: 0,
+                })
+            }
+            ExecutionMode::Pop { theta, max_reopts } => {
+                let ctx = ExecContext::with_memory(self.planner_config.memory_rows);
+                let report = run_with_pop(
+                    spec,
+                    &self.catalog,
+                    &self.registry,
+                    &no_lies,
+                    self.planner_config,
+                    PopConfig { theta, max_reopts },
+                    &ctx,
+                )?;
+                Ok(QueryResult {
+                    plan: report
+                        .rounds
+                        .last()
+                        .map(|r| r.plan_fingerprint.clone())
+                        .unwrap_or_default(),
+                    reoptimizations: report.reoptimizations(),
+                    cost: report.total_cost,
+                    rows: report.rows,
+                })
+            }
+            ExecutionMode::Leo => {
+                let est = FeedbackEstimator::new(
+                    Box::new(self.estimator()),
+                    Rc::clone(&self.feedback),
+                );
+                let ctx = ExecContext::with_memory(self.planner_config.memory_rows);
+                let report = run_with_feedback(
+                    spec,
+                    &self.catalog,
+                    &est,
+                    &self.feedback,
+                    self.planner_config,
+                    &ctx,
+                )?;
+                Ok(QueryResult {
+                    plan: report.plan_fingerprint.clone(),
+                    cost: report.cost,
+                    rows: report.rows,
+                    reoptimizations: 0,
+                })
+            }
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::{DataType, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("g", DataType::Int)]);
+        let mut t = Table::new("t", schema.clone());
+        for i in 0..1000i64 {
+            t.append(vec![Value::Int(i), Value::Int(i % 10)]);
+        }
+        db.add_table(t);
+        let mut u = Table::new("u", schema);
+        for i in 0..50i64 {
+            u.append(vec![Value::Int(i), Value::Int(i % 10)]);
+        }
+        db.add_table(u);
+        db.create_index("ix_t_k", "t", "k").unwrap();
+        db.analyze();
+        db
+    }
+
+    fn join_spec() -> QuerySpec {
+        QuerySpec::new()
+            .join("t", "g", "u", "g")
+            .filter("t", col("t.k").lt(lit(100i64)))
+    }
+
+    #[test]
+    fn static_execution() {
+        let db = db();
+        let r = db.execute(&join_spec()).unwrap();
+        assert_eq!(r.rows.len(), 500, "100 t-rows × 5 matching u-rows");
+        assert!(r.cost > 0.0);
+        assert!(!r.plan.is_empty());
+        assert_eq!(r.reoptimizations, 0);
+    }
+
+    #[test]
+    fn all_modes_agree_on_results() {
+        let db = db();
+        let baseline = db.execute(&join_spec()).unwrap().rows.len();
+        for mode in [ExecutionMode::robust(), ExecutionMode::pop(), ExecutionMode::Leo] {
+            let r = db.execute_mode(&join_spec(), mode).unwrap();
+            assert_eq!(r.rows.len(), baseline, "mode {mode:?} changed the answer");
+        }
+    }
+
+    #[test]
+    fn explain_renders() {
+        let db = db();
+        let s = db.explain(&join_spec()).unwrap();
+        assert!(s.contains("Scan") || s.contains("Join"), "{s}");
+    }
+
+    #[test]
+    fn leo_populates_feedback() {
+        let db = db();
+        assert!(db.feedback().borrow().is_empty());
+        db.execute_mode(&join_spec(), ExecutionMode::Leo).unwrap();
+        assert!(!db.feedback().borrow().is_empty());
+    }
+
+    #[test]
+    fn robust_rejects_bad_factor() {
+        let db = db();
+        let r = db.execute_mode(
+            &join_spec(),
+            ExecutionMode::Robust { percentile: 0.9, error_factor: 0.5 },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn analyze_refreshes_statistics() {
+        let mut db = db();
+        let rows_before = db.estimator().table_rows("t");
+        for i in 0..500i64 {
+            db.catalog_mut()
+                .table_mut("t")
+                .unwrap()
+                .append(vec![Value::Int(1000 + i), Value::Int(i % 10)]);
+        }
+        assert_eq!(db.estimator().table_rows("t"), rows_before, "stale until ANALYZE");
+        db.analyze();
+        assert_eq!(db.estimator().table_rows("t"), 1500.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Hash aggregation.
+
+use crate::context::ExecContext;
+use crate::{BoxOp, Operator};
+use rqp_common::{DataType, Field, Result, Row, RqpError, Schema, Value};
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(*) (column ignored) or COUNT(col).
+    Count,
+    /// SUM(col).
+    Sum,
+    /// MIN(col).
+    Min,
+    /// MAX(col).
+    Max,
+    /// AVG(col).
+    Avg,
+}
+
+/// One aggregate column specification.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column name (`None` only for COUNT(*)).
+    pub col: Option<String>,
+    /// Output field name.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `COUNT(*) AS alias`
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        AggSpec { func: AggFunc::Count, col: None, alias: alias.into() }
+    }
+
+    /// `func(col) AS alias`
+    pub fn on(func: AggFunc, col: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggSpec { func, col: Some(col.into()), alias: alias.into() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AggState {
+    count: f64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0.0, sum: 0.0, min: None, max: None }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match v {
+            None => self.count += 1.0, // COUNT(*)
+            Some(v) if !v.is_null() => {
+                self.count += 1.0;
+                if let Some(x) = v.as_float() {
+                    self.sum += x;
+                }
+                if self.min.as_ref().map(|m| v < m).unwrap_or(true) {
+                    self.min = Some(v.clone());
+                }
+                if self.max.as_ref().map(|m| v > m).unwrap_or(true) {
+                    self.max = Some(v.clone());
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.count > 0.0 {
+                    Value::Float(self.sum / self.count)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// Hash-based GROUP BY aggregation.
+///
+/// With no group columns it produces exactly one row (global aggregates),
+/// even over empty input (COUNT = 0) — SQL semantics.
+pub struct HashAggOp {
+    inner: Option<BoxOp>,
+    group_cols: Vec<usize>,
+    aggs: Vec<(AggFunc, Option<usize>)>,
+    schema: Schema,
+    ctx: ExecContext,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl HashAggOp {
+    /// Aggregate `inner`, grouping by `group_by` columns.
+    pub fn new(
+        inner: BoxOp,
+        group_by: &[&str],
+        aggs: &[AggSpec],
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        if aggs.is_empty() && group_by.is_empty() {
+            return Err(RqpError::Invalid("aggregation needs groups or aggregates".into()));
+        }
+        let in_schema = inner.schema().clone();
+        let group_cols: Vec<usize> = group_by
+            .iter()
+            .map(|c| in_schema.index_of(c))
+            .collect::<Result<_>>()?;
+        let mut fields: Vec<Field> = group_cols
+            .iter()
+            .map(|&i| in_schema.field(i).clone())
+            .collect();
+        let mut bound_aggs = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let col = a.col.as_deref().map(|c| in_schema.index_of(c)).transpose()?;
+            let dtype = match a.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Sum | AggFunc::Avg => DataType::Float,
+                AggFunc::Min | AggFunc::Max => col
+                    .map(|i| in_schema.field(i).dtype)
+                    .unwrap_or(DataType::Float),
+            };
+            fields.push(Field::new(a.alias.clone(), dtype));
+            bound_aggs.push((a.func, col));
+        }
+        Ok(HashAggOp {
+            inner: Some(inner),
+            group_cols,
+            aggs: bound_aggs,
+            schema: Schema::new(fields),
+            ctx,
+            out: None,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut inner = self.inner.take().expect("run once");
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        let mut n = 0.0;
+        while let Some(r) = inner.next() {
+            n += 1.0;
+            let key: Vec<Value> = self.group_cols.iter().map(|&i| r[i].clone()).collect();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| vec![AggState::new(); self.aggs.len()]);
+            for (s, (_, col)) in states.iter_mut().zip(&self.aggs) {
+                s.update(col.map(|i| &r[i]));
+            }
+        }
+        self.ctx.clock.charge_hash_build(n);
+        if groups.is_empty() && self.group_cols.is_empty() {
+            groups.insert(Vec::new(), vec![AggState::new(); self.aggs.len()]);
+        }
+        let mut rows: Vec<Row> = groups
+            .into_iter()
+            .map(|(mut key, states)| {
+                key.extend(
+                    states
+                        .iter()
+                        .zip(&self.aggs)
+                        .map(|(s, (f, _))| s.finish(*f)),
+                );
+                key
+            })
+            .collect();
+        // Deterministic output order.
+        rows.sort_by(|a, b| {
+            for i in 0..self.group_cols.len() {
+                let o = a[i].total_cmp(&b[i]);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.ctx.clock.charge_cpu_tuples(rows.len() as f64);
+        self.out = Some(rows.into_iter());
+    }
+}
+
+impl Operator for HashAggOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.out.is_none() {
+            self.run();
+        }
+        self.out.as_mut().expect("filled").next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::collect;
+    use crate::filter::test_support::RowsOp;
+
+    fn src() -> BoxOp {
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Float)]);
+        // groups 0,1,2 with 3,3,4 rows; v = 10*g + i
+        let rows: Vec<Row> = vec![
+            (0, 0.0),
+            (0, 1.0),
+            (0, 2.0),
+            (1, 10.0),
+            (1, 11.0),
+            (1, 12.0),
+            (2, 20.0),
+            (2, 21.0),
+            (2, 22.0),
+            (2, 23.0),
+        ]
+        .into_iter()
+        .map(|(g, v)| vec![Value::Int(g), Value::Float(v)])
+        .collect();
+        RowsOp::boxed(schema, rows)
+    }
+
+    #[test]
+    fn group_by_with_all_functions() {
+        let ctx = ExecContext::unbounded();
+        let aggs = vec![
+            AggSpec::count_star("n"),
+            AggSpec::on(AggFunc::Sum, "v", "s"),
+            AggSpec::on(AggFunc::Min, "v", "lo"),
+            AggSpec::on(AggFunc::Max, "v", "hi"),
+            AggSpec::on(AggFunc::Avg, "v", "avg"),
+        ];
+        let mut a = HashAggOp::new(src(), &["g"], &aggs, ctx).unwrap();
+        let out = collect(&mut a);
+        assert_eq!(out.len(), 3);
+        // group 0: n=3, s=3, lo=0, hi=2, avg=1
+        assert_eq!(out[0][0], Value::Int(0));
+        assert_eq!(out[0][1], Value::Int(3));
+        assert_eq!(out[0][2], Value::Float(3.0));
+        assert_eq!(out[0][3], Value::Float(0.0));
+        assert_eq!(out[0][4], Value::Float(2.0));
+        assert_eq!(out[0][5], Value::Float(1.0));
+        // group 2: n=4, s=86
+        assert_eq!(out[2][1], Value::Int(4));
+        assert_eq!(out[2][2], Value::Float(86.0));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let ctx = ExecContext::unbounded();
+        let schema = Schema::from_pairs(&[("v", DataType::Float)]);
+        let aggs = vec![AggSpec::count_star("n"), AggSpec::on(AggFunc::Avg, "v", "a")];
+        let mut a =
+            HashAggOp::new(RowsOp::boxed(schema, vec![]), &[], &aggs, ctx).unwrap();
+        let out = collect(&mut a);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(0));
+        assert!(out[0][1].is_null());
+    }
+
+    #[test]
+    fn group_by_empty_input_yields_no_groups() {
+        let ctx = ExecContext::unbounded();
+        let schema = Schema::from_pairs(&[("g", DataType::Int)]);
+        let aggs = vec![AggSpec::count_star("n")];
+        let mut a =
+            HashAggOp::new(RowsOp::boxed(schema, vec![]), &["g"], &aggs, ctx).unwrap();
+        assert!(collect(&mut a).is_empty());
+    }
+
+    #[test]
+    fn output_deterministically_sorted() {
+        let ctx = ExecContext::unbounded();
+        let aggs = vec![AggSpec::count_star("n")];
+        let mut a = HashAggOp::new(src(), &["g"], &aggs, ctx).unwrap();
+        let out = collect(&mut a);
+        assert!(out.windows(2).all(|w| w[0][0] <= w[1][0]));
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let ctx = ExecContext::unbounded();
+        assert!(HashAggOp::new(src(), &[], &[], ctx.clone()).is_err());
+        let aggs = vec![AggSpec::on(AggFunc::Sum, "nope", "s")];
+        assert!(HashAggOp::new(src(), &["g"], &aggs, ctx).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Execution context: cost clock, memory governor, row metering.
+
+use crate::{BoxOp, Operator};
+use rqp_common::{CostClock, Row, Schema, SharedClock};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Workspace-memory governor, in *rows* of workspace.
+///
+/// The seminar's resource-management session ("grow & shrink memory",
+/// FMT) needs memory that can fluctuate *while queries run*: operators ask
+/// for a grant each time they materialize, so a budget change between two
+/// pipeline stages is observed by the later stage. Spills are charged by the
+/// operators themselves via the cost clock.
+#[derive(Debug)]
+pub struct MemoryGovernor {
+    budget_rows: Cell<f64>,
+}
+
+impl MemoryGovernor {
+    /// A governor with the given workspace budget (rows).
+    pub fn new(budget_rows: f64) -> Rc<Self> {
+        Rc::new(MemoryGovernor { budget_rows: Cell::new(budget_rows.max(0.0)) })
+    }
+
+    /// Current budget.
+    pub fn budget(&self) -> f64 {
+        self.budget_rows.get()
+    }
+
+    /// Change the budget (FMT schedules call this mid-workload).
+    pub fn set_budget(&self, rows: f64) {
+        self.budget_rows.set(rows.max(0.0));
+    }
+
+    /// Grant up to `want` rows of workspace; returns the granted amount
+    /// (never below a one-page minimum so operators always make progress).
+    pub fn grant(&self, want: f64) -> f64 {
+        want.min(self.budget_rows.get()).max(100.0)
+    }
+}
+
+/// Everything an operator needs from its environment.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// The deterministic cost clock ("response time").
+    pub clock: SharedClock,
+    /// The workspace-memory governor.
+    pub memory: Rc<MemoryGovernor>,
+}
+
+impl ExecContext {
+    /// Context with the given clock and memory budget.
+    pub fn new(clock: SharedClock, memory_rows: f64) -> Self {
+        ExecContext { clock, memory: MemoryGovernor::new(memory_rows) }
+    }
+
+    /// Default context: fresh clock, effectively unbounded memory.
+    pub fn unbounded() -> Self {
+        ExecContext::new(CostClock::default_clock(), f64::INFINITY)
+    }
+
+    /// Default context with a bounded workspace.
+    pub fn with_memory(memory_rows: f64) -> Self {
+        ExecContext::new(CostClock::default_clock(), memory_rows)
+    }
+}
+
+/// A pass-through operator that counts the rows flowing through it.
+///
+/// The plan builder wraps each plan node in a `Meter` so post-mortem analysis
+/// (LEO) and checkpoints (POP) can read actual cardinalities per node.
+pub struct Meter {
+    inner: BoxOp,
+    counter: Rc<Cell<usize>>,
+}
+
+impl Meter {
+    /// Wrap `inner`; the shared counter can be read while the plan runs.
+    pub fn new(inner: BoxOp) -> (Self, Rc<Cell<usize>>) {
+        let counter = Rc::new(Cell::new(0));
+        (Meter { inner, counter: Rc::clone(&counter) }, counter)
+    }
+
+    /// Wrap `inner` with an existing counter.
+    pub fn with_counter(inner: BoxOp, counter: Rc<Cell<usize>>) -> Self {
+        Meter { inner, counter }
+    }
+}
+
+impl Operator for Meter {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        let row = self.inner.next();
+        if row.is_some() {
+            self.counter.set(self.counter.get() + 1);
+        }
+        row
+    }
+}
+
+/// Drain an operator into a vector.
+pub fn collect(op: &mut dyn Operator) -> Vec<Row> {
+    let mut out = Vec::new();
+    while let Some(r) = op.next() {
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::{DataType, Value};
+
+    /// A tiny literal-rows source for tests.
+    pub struct RowsOp {
+        schema: Schema,
+        rows: std::vec::IntoIter<Row>,
+    }
+
+    impl RowsOp {
+        pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+            RowsOp { schema, rows: rows.into_iter() }
+        }
+    }
+
+    impl Operator for RowsOp {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn next(&mut self) -> Option<Row> {
+            self.rows.next()
+        }
+    }
+
+    #[test]
+    fn meter_counts_rows() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let rows: Vec<Row> = (0..5).map(|i| vec![Value::Int(i)]).collect();
+        let src = Box::new(RowsOp::new(schema, rows));
+        let (mut m, counter) = Meter::new(src);
+        assert_eq!(counter.get(), 0);
+        let out = collect(&mut m);
+        assert_eq!(out.len(), 5);
+        assert_eq!(counter.get(), 5);
+    }
+
+    #[test]
+    fn governor_grant_and_fluctuation() {
+        let g = MemoryGovernor::new(10_000.0);
+        assert_eq!(g.grant(5_000.0), 5_000.0);
+        assert_eq!(g.grant(50_000.0), 10_000.0);
+        g.set_budget(1_000.0);
+        assert_eq!(g.grant(50_000.0), 1_000.0);
+        g.set_budget(0.0);
+        assert_eq!(g.grant(50_000.0), 100.0, "one-page floor");
+    }
+
+    #[test]
+    fn contexts() {
+        let c = ExecContext::unbounded();
+        assert_eq!(c.clock.now(), 0.0);
+        assert!(c.memory.budget().is_infinite());
+        let c = ExecContext::with_memory(500.0);
+        assert_eq!(c.memory.budget(), 500.0);
+    }
+}

@@ -1,0 +1,501 @@
+//! Eddies: continuously adaptive tuple routing (Avnur & Hellerstein,
+//! SIGMOD 2000).
+//!
+//! An eddy routes each tuple through a set of operators in an order chosen
+//! *per tuple* from runtime statistics, instead of a compile-time order.
+//! Two operators are provided:
+//!
+//! * [`EddyFilterOp`] — routes tuples through selection predicates; the
+//!   lottery policy gives each predicate tickets proportional to its
+//!   observed *drop* rate (drop early = win), with exponential decay so the
+//!   routing tracks mid-stream selectivity drift;
+//! * [`StarEddyOp`] — routes driver tuples through pre-built join SteMs
+//!   (hash tables on dimension tables), adaptively choosing the probe order
+//!   of a star join — the "query bubble / m-join" shape the seminar's
+//!   deferred-decisions session describes, reduced to its adaptive-ordering
+//!   core.
+
+use crate::context::ExecContext;
+use crate::{BoxOp, Operator};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rqp_common::expr::BoundExpr;
+use rqp_common::{Expr, Result, Row, RqpError, Schema, Value};
+use std::collections::HashMap;
+
+/// How the eddy picks the next operator for a tuple.
+#[derive(Debug, Clone)]
+pub enum RoutingPolicy {
+    /// Fixed order (the non-adaptive baseline).
+    Fixed(Vec<usize>),
+    /// Lottery scheduling: tickets ∝ observed drop rate, with decay factor
+    /// applied per tuple (closer to 1.0 = longer memory).
+    Lottery {
+        /// Per-tuple decay of historic ticket counts, in (0, 1].
+        decay: f64,
+    },
+}
+
+/// Per-predicate runtime statistics (decayed counters).
+#[derive(Debug, Clone, Copy)]
+struct FilterStats {
+    seen: f64,
+    dropped: f64,
+}
+
+impl FilterStats {
+    fn drop_rate(&self) -> f64 {
+        if self.seen < 1.0 {
+            0.5 // uninformed prior
+        } else {
+            self.dropped / self.seen
+        }
+    }
+}
+
+/// Eddy over selection predicates.
+pub struct EddyFilterOp {
+    inner: BoxOp,
+    filters: Vec<BoundExpr>,
+    stats: Vec<FilterStats>,
+    policy: RoutingPolicy,
+    schema: Schema,
+    ctx: ExecContext,
+    rng: StdRng,
+    /// Total predicate evaluations performed (the eddy's work metric).
+    pub evaluations: usize,
+}
+
+impl EddyFilterOp {
+    /// Route `inner`'s tuples through `preds` under `policy`.
+    pub fn new(
+        inner: BoxOp,
+        preds: &[Expr],
+        policy: RoutingPolicy,
+        seed: u64,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        if preds.is_empty() {
+            return Err(RqpError::Invalid("eddy needs at least one predicate".into()));
+        }
+        if let RoutingPolicy::Fixed(order) = &policy {
+            if order.len() != preds.len() {
+                return Err(RqpError::Invalid("fixed order must cover all predicates".into()));
+            }
+        }
+        let schema = inner.schema().clone();
+        let filters: Vec<BoundExpr> = preds
+            .iter()
+            .map(|p| p.bind(&schema))
+            .collect::<Result<_>>()?;
+        let stats = vec![FilterStats { seen: 0.0, dropped: 0.0 }; filters.len()];
+        Ok(EddyFilterOp {
+            inner,
+            filters,
+            stats,
+            policy,
+            schema,
+            ctx,
+            rng: rqp_common::rng::seeded(seed),
+            evaluations: 0,
+        })
+    }
+
+    /// Current routing order the eddy would choose (most tickets first).
+    pub fn preferred_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.filters.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.stats[b]
+                .drop_rate()
+                .partial_cmp(&self.stats[a].drop_rate())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+
+    fn route_order(&mut self) -> Vec<usize> {
+        match &self.policy {
+            RoutingPolicy::Fixed(order) => order.clone(),
+            RoutingPolicy::Lottery { .. } => {
+                // Weighted sampling without replacement by ticket counts.
+                let mut remaining: Vec<usize> = (0..self.filters.len()).collect();
+                let mut order = Vec::with_capacity(remaining.len());
+                while !remaining.is_empty() {
+                    let weights: Vec<f64> = remaining
+                        .iter()
+                        .map(|&i| self.stats[i].drop_rate() + 0.05)
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut pick = self.rng.gen::<f64>() * total;
+                    let mut chosen = 0usize;
+                    for (j, w) in weights.iter().enumerate() {
+                        if pick < *w {
+                            chosen = j;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    order.push(remaining.swap_remove(chosen));
+                }
+                order
+            }
+        }
+    }
+}
+
+impl Operator for EddyFilterOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        'tuple: loop {
+            let row = self.inner.next()?;
+            let order = self.route_order();
+            let decay = match self.policy {
+                RoutingPolicy::Lottery { decay } => decay,
+                _ => 1.0,
+            };
+            for &f in &order {
+                self.evaluations += 1;
+                self.ctx.clock.charge_compares(1.0);
+                let passed = self.filters[f].eval_bool(&row);
+                let s = &mut self.stats[f];
+                s.seen = s.seen * decay + 1.0;
+                s.dropped = s.dropped * decay + if passed { 0.0 } else { 1.0 };
+                if !passed {
+                    continue 'tuple;
+                }
+            }
+            return Some(row);
+        }
+    }
+}
+
+/// A SteM: a pre-built hash table on one dimension table's join key.
+pub struct SteM {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// Key → matching dimension rows.
+    table: HashMap<Value, Vec<Row>>,
+    /// Width of a dimension row (for schema construction).
+    schema: Schema,
+}
+
+impl SteM {
+    /// Build from `(key, row)` pairs.
+    pub fn build(name: impl Into<String>, schema: Schema, pairs: Vec<(Value, Row)>) -> Self {
+        let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+        for (k, r) in pairs {
+            table.entry(k).or_default().push(r);
+        }
+        SteM { name: name.into(), table, schema }
+    }
+
+    fn probe(&self, key: &Value) -> Option<&Vec<Row>> {
+        self.table.get(key)
+    }
+}
+
+/// Eddy routing driver tuples through star-join SteMs with adaptive probe
+/// ordering.
+pub struct StarEddyOp {
+    driver: BoxOp,
+    stems: Vec<SteM>,
+    /// Driver column index holding the key for each SteM.
+    key_cols: Vec<usize>,
+    stats: Vec<FilterStats>,
+    policy: RoutingPolicy,
+    schema: Schema,
+    ctx: ExecContext,
+    rng: StdRng,
+    pending: Vec<Row>,
+    /// Total SteM probes performed.
+    pub probes: usize,
+}
+
+impl StarEddyOp {
+    /// Route `driver` tuples through `stems`, probing `driver[key_cols[i]]`
+    /// into `stems[i]`.
+    pub fn new(
+        driver: BoxOp,
+        stems: Vec<SteM>,
+        key_cols: &[&str],
+        policy: RoutingPolicy,
+        seed: u64,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        if stems.len() != key_cols.len() || stems.is_empty() {
+            return Err(RqpError::Invalid("one key column per SteM required".into()));
+        }
+        let driver_schema = driver.schema().clone();
+        let cols: Vec<usize> = key_cols
+            .iter()
+            .map(|k| driver_schema.index_of(k))
+            .collect::<Result<_>>()?;
+        let mut schema = driver_schema;
+        for s in &stems {
+            schema = schema.join(&s.schema);
+        }
+        let stats = vec![FilterStats { seen: 0.0, dropped: 0.0 }; stems.len()];
+        Ok(StarEddyOp {
+            driver,
+            stems,
+            key_cols: cols,
+            stats,
+            policy,
+            schema,
+            ctx,
+            rng: rqp_common::rng::seeded(seed),
+            pending: Vec::new(),
+            probes: 0,
+        })
+    }
+
+    /// SteM order the eddy currently prefers (most-dropping first).
+    pub fn preferred_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.stems.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.stats[b]
+                .drop_rate()
+                .partial_cmp(&self.stats[a].drop_rate())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+
+    fn route_order(&mut self) -> Vec<usize> {
+        match &self.policy {
+            RoutingPolicy::Fixed(order) => order.clone(),
+            RoutingPolicy::Lottery { .. } => {
+                let mut remaining: Vec<usize> = (0..self.stems.len()).collect();
+                let mut order = Vec::with_capacity(remaining.len());
+                while !remaining.is_empty() {
+                    let weights: Vec<f64> = remaining
+                        .iter()
+                        .map(|&i| self.stats[i].drop_rate() + 0.05)
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut pick = self.rng.gen::<f64>() * total;
+                    let mut chosen = 0usize;
+                    for (j, w) in weights.iter().enumerate() {
+                        if pick < *w {
+                            chosen = j;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    order.push(remaining.swap_remove(chosen));
+                }
+                order
+            }
+        }
+    }
+}
+
+impl Operator for StarEddyOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Some(row);
+            }
+            let driver_row = self.driver.next()?;
+            let order = self.route_order();
+            let decay = match self.policy {
+                RoutingPolicy::Lottery { decay } => decay,
+                _ => 1.0,
+            };
+            // Probe SteMs in the chosen order; a miss drops the tuple early.
+            // Matched dimension rows per SteM, gathered in probe order.
+            let mut per_stem: Vec<(usize, Vec<Row>)> = Vec::with_capacity(order.len());
+            let mut dropped = false;
+            for &s in &order {
+                self.probes += 1;
+                self.ctx.clock.charge_hash_probe(1.0);
+                let key = &driver_row[self.key_cols[s]];
+                let hit = self.stems[s].probe(key);
+                let st = &mut self.stats[s];
+                st.seen = st.seen * decay + 1.0;
+                st.dropped = st.dropped * decay + if hit.is_some() { 0.0 } else { 1.0 };
+                match hit {
+                    Some(rows) => per_stem.push((s, rows.clone())),
+                    None => {
+                        dropped = true;
+                        break;
+                    }
+                }
+            }
+            if dropped {
+                continue;
+            }
+            // Emit the cross product of matches, with dimension columns in
+            // declared SteM order (schema order), not probe order.
+            per_stem.sort_by_key(|&(s, _)| s);
+            let mut results = vec![driver_row];
+            for (_, dim_rows) in per_stem {
+                let mut expanded = Vec::with_capacity(results.len() * dim_rows.len());
+                for base in &results {
+                    for d in &dim_rows {
+                        self.ctx.clock.charge_cpu_tuples(1.0);
+                        let mut row = base.clone();
+                        row.extend(d.clone());
+                        expanded.push(row);
+                    }
+                }
+                results = expanded;
+            }
+            self.pending = results;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::collect;
+    use crate::filter::test_support::RowsOp;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::DataType;
+
+    fn src(n: i64) -> BoxOp {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| vec![Value::Int(i % 10), Value::Int(i % 100)])
+            .collect();
+        RowsOp::boxed(schema, rows)
+    }
+
+    #[test]
+    fn eddy_filters_correctly() {
+        let ctx = ExecContext::unbounded();
+        let preds = vec![col("a").lt(lit(5i64)), col("b").lt(lit(50i64))];
+        let mut e = EddyFilterOp::new(src(1000), &preds, RoutingPolicy::Lottery { decay: 0.99 }, 7, ctx)
+            .unwrap();
+        let out = collect(&mut e);
+        // a<5: half; b<50: half; a and b correlated via i → count exactly:
+        let expected = (0..1000)
+            .filter(|i| i % 10 < 5 && i % 100 < 50)
+            .count();
+        assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn lottery_learns_to_run_selective_filter_first() {
+        let ctx = ExecContext::unbounded();
+        // p0 passes 90%, p1 passes 1% → eddy should prefer p1 first.
+        let preds = vec![col("a").ge(lit(1i64)), col("b").eq(lit(0i64))];
+        let mut e = EddyFilterOp::new(
+            src(5000),
+            &preds,
+            RoutingPolicy::Lottery { decay: 0.995 },
+            7,
+            ctx,
+        )
+        .unwrap();
+        let _ = collect(&mut e);
+        assert_eq!(e.preferred_order()[0], 1, "selective predicate first");
+        // The adaptive eddy does fewer evaluations than the worst fixed order.
+        let ctx2 = ExecContext::unbounded();
+        let mut worst = EddyFilterOp::new(
+            src(5000),
+            &preds,
+            RoutingPolicy::Fixed(vec![0, 1]),
+            7,
+            ctx2,
+        )
+        .unwrap();
+        let _ = collect(&mut worst);
+        assert!(
+            e.evaluations < worst.evaluations,
+            "eddy {} vs fixed-bad {}",
+            e.evaluations,
+            worst.evaluations
+        );
+    }
+
+    #[test]
+    fn fixed_policy_validates_order() {
+        let ctx = ExecContext::unbounded();
+        let preds = vec![col("a").lt(lit(5i64))];
+        assert!(EddyFilterOp::new(
+            src(10),
+            &preds,
+            RoutingPolicy::Fixed(vec![0, 1]),
+            7,
+            ctx
+        )
+        .is_err());
+    }
+
+    fn dim_stem(name: &str, keys: std::ops::Range<i64>) -> SteM {
+        let schema = Schema::from_pairs(&[(
+            Box::leak(format!("{name}.v").into_boxed_str()) as &str,
+            DataType::Int,
+        )]);
+        let pairs: Vec<(Value, Row)> = keys
+            .map(|k| (Value::Int(k), vec![Value::Int(k * 1000)]))
+            .collect();
+        SteM::build(name, schema, pairs)
+    }
+
+    #[test]
+    fn star_eddy_joins_correctly() {
+        let ctx = ExecContext::unbounded();
+        // Driver a∈0..10, b∈0..100. dim1 matches a<5, dim2 matches b<30.
+        let stems = vec![dim_stem("d1", 0..5), dim_stem("d2", 0..30)];
+        let mut e = StarEddyOp::new(
+            src(1000),
+            stems,
+            &["a", "b"],
+            RoutingPolicy::Lottery { decay: 0.99 },
+            3,
+            ctx,
+        )
+        .unwrap();
+        let out = collect(&mut e);
+        let expected = (0..1000)
+            .filter(|i| i % 10 < 5 && i % 100 < 30)
+            .count();
+        assert_eq!(out.len(), expected);
+        // Check join semantics on one row: d1.v == a*1000.
+        let r = &out[0];
+        assert_eq!(r[2], Value::Int(r[0].as_int().unwrap() * 1000));
+        assert_eq!(r[3], Value::Int(r[1].as_int().unwrap() * 1000));
+    }
+
+    #[test]
+    fn star_eddy_prefers_most_selective_stem() {
+        let ctx = ExecContext::unbounded();
+        // d1 matches everything (a∈0..10 ⊆ 0..10); d2 matches 1 of 100 keys.
+        let stems = vec![dim_stem("d1", 0..10), dim_stem("d2", 0..1)];
+        let mut e = StarEddyOp::new(
+            src(5000),
+            stems,
+            &["a", "b"],
+            RoutingPolicy::Lottery { decay: 0.995 },
+            3,
+            ctx,
+        )
+        .unwrap();
+        let _ = collect(&mut e);
+        assert_eq!(e.preferred_order()[0], 1);
+        // Compare probes vs the bad fixed order.
+        let ctx2 = ExecContext::unbounded();
+        let stems2 = vec![dim_stem("d1", 0..10), dim_stem("d2", 0..1)];
+        let mut fixed = StarEddyOp::new(
+            src(5000),
+            stems2,
+            &["a", "b"],
+            RoutingPolicy::Fixed(vec![0, 1]),
+            3,
+            ctx2,
+        )
+        .unwrap();
+        let _ = collect(&mut fixed);
+        assert!(e.probes < fixed.probes, "eddy {} vs fixed {}", e.probes, fixed.probes);
+    }
+}

@@ -1,0 +1,76 @@
+//! # rqp-exec
+//!
+//! The Volcano-style execution engine. Every operator implements
+//! [`Operator`] (`open`-free, pull-based `next()`), charges the shared
+//! [cost clock](rqp_common::clock) as it touches pages and tuples, and counts
+//! the *actual* rows it produces — the raw material of every adaptive
+//! technique in the seminar (POP checks actuals against validity ranges, LEO
+//! feeds them back to the optimizer, eddies re-route on observed pass rates).
+//!
+//! Operator inventory:
+//!
+//! * [`scan`] — table scan, (un)clustered B-tree index scan, cracker scan,
+//!   adaptive-merge scan;
+//! * [`filter`] — filter and project;
+//! * [`join`] — hash join (with Grace-style spill), sort-merge join,
+//!   index-nested-loop join, block-nested-loop join;
+//! * [`gjoin`] — Graefe's **generalized join**: one algorithm that behaves
+//!   like merge join on sorted inputs, like hash join on unsorted inputs and
+//!   like index-nested-loop when an index + small outer make probing cheap;
+//! * [`symjoin`] — the symmetric (pipelined, non-blocking) hash join used by
+//!   adaptive routing;
+//! * [`mjoin`] — the **n-ary symmetric hash join (MJoin)** with adaptive
+//!   probing sequences;
+//! * [`sort`] — memory-bounded sort with external-run spill accounting, and
+//!   top-N;
+//! * [`agg`] — hash aggregation (COUNT/SUM/MIN/MAX/AVG);
+//! * [`eddy`] — an **eddy** (Avnur & Hellerstein) with lottery-scheduled
+//!   routing over selection predicates and star-join probe SteMs;
+//! * [`agreedy`] — **A-Greedy** adaptive selection ordering (Babu et al.);
+//! * [`checkpoint`] — **POP CHECK operators** (Markl et al.): materialization
+//!   points that compare actual cardinality against a validity range and
+//!   signal re-optimization;
+//! * [`context`] — the execution context: cost clock, memory governor,
+//!   metered row counters.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod agreedy;
+pub mod checkpoint;
+pub mod context;
+pub mod eddy;
+pub mod filter;
+pub mod gjoin;
+pub mod join;
+pub mod mjoin;
+pub mod scan;
+pub mod sort;
+pub mod symjoin;
+
+pub use agg::{AggFunc, AggSpec, HashAggOp};
+pub use agreedy::AGreedyFilterOp;
+pub use checkpoint::{CheckOp, CheckOutcome, PopSignal};
+pub use context::{collect, ExecContext, MemoryGovernor, Meter};
+pub use eddy::{EddyFilterOp, RoutingPolicy, StarEddyOp};
+pub use filter::{FilterOp, ProjectOp};
+pub use gjoin::GJoinOp;
+pub use join::{BnlJoinOp, HashJoinOp, IndexNlJoinOp, MergeJoinOp};
+pub use mjoin::MJoinOp;
+pub use scan::{AMergeScanOp, CrackerScanOp, IndexScanOp, MultiIndexScanOp, TableScanOp};
+pub use sort::{SortOp, TopNOp};
+pub use symjoin::SymmetricHashJoinOp;
+
+use rqp_common::{Row, Schema};
+
+/// A pull-based physical operator.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Option<Row>;
+}
+
+/// Boxed operator, the unit of plan composition.
+pub type BoxOp = Box<dyn Operator>;

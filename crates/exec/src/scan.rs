@@ -1,0 +1,439 @@
+//! Scan operators: full table scan, B-tree index scan, cracker scan,
+//! adaptive-merge scan.
+//!
+//! The cost asymmetry between these access paths — sequential pages for the
+//! full scan, random pages per row for an unclustered index — is the origin
+//! of the scan-vs-index *performance cliff* that the selectivity-smoothness
+//! experiment (E07) measures, and that robust plan selection tries to keep
+//! away from.
+
+use crate::context::ExecContext;
+use crate::Operator;
+use rqp_common::{Row, Schema, Value};
+use rqp_storage::{AdaptiveMergeIndex, BTreeIndex, CrackerColumn, MultiIndex, RowId, Table};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Sequential scan of a whole table.
+pub struct TableScanOp {
+    table: Rc<Table>,
+    schema: Schema,
+    ctx: ExecContext,
+    pos: usize,
+    rows_per_page: f64,
+}
+
+impl TableScanOp {
+    /// Scan `table`, emitting rows with the qualified schema.
+    pub fn new(table: Rc<Table>, ctx: ExecContext) -> Self {
+        let schema = table.qualified_schema();
+        let rows_per_page = ctx.clock.params().rows_per_page;
+        TableScanOp { table, schema, ctx, pos: 0, rows_per_page }
+    }
+}
+
+impl Operator for TableScanOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.pos >= self.table.nrows() {
+            return None;
+        }
+        // One sequential page each time the cursor crosses a page boundary.
+        if self.pos as f64 % self.rows_per_page == 0.0 {
+            self.ctx.clock.charge_seq_pages(1.0);
+        }
+        self.ctx.clock.charge_cpu_tuples(1.0);
+        let row = self.table.row(self.pos);
+        self.pos += 1;
+        Some(row)
+    }
+}
+
+/// B-tree index scan over an inclusive key range.
+///
+/// Clustered: matched rows are fetched with sequential pages. Unclustered:
+/// every row costs one random page — cheap at low selectivity, disastrous at
+/// high selectivity.
+pub struct IndexScanOp {
+    index: Rc<BTreeIndex>,
+    table: Rc<Table>,
+    schema: Schema,
+    ctx: ExecContext,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    rowids: Option<Vec<RowId>>,
+    pos: usize,
+    rows_per_page: f64,
+}
+
+impl IndexScanOp {
+    /// Scan `index` over `[lo, hi]` (inclusive; `None` = unbounded).
+    pub fn new(
+        index: Rc<BTreeIndex>,
+        table: Rc<Table>,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        ctx: ExecContext,
+    ) -> Self {
+        let schema = table.qualified_schema();
+        let rows_per_page = ctx.clock.params().rows_per_page;
+        IndexScanOp {
+            index,
+            table,
+            schema,
+            ctx,
+            lo,
+            hi,
+            rowids: None,
+            pos: 0,
+            rows_per_page,
+        }
+    }
+
+    fn open(&mut self) {
+        // B-tree descent: log2(entries) comparisons.
+        let n = self.index.entries().max(2) as f64;
+        self.ctx.clock.charge_compares(n.log2());
+        let ids = self.index.lookup_range(self.lo.as_ref(), self.hi.as_ref());
+        self.rowids = Some(ids);
+    }
+}
+
+impl Operator for IndexScanOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.rowids.is_none() {
+            self.open();
+        }
+        let ids = self.rowids.as_ref().expect("opened above");
+        if self.pos >= ids.len() {
+            return None;
+        }
+        let rid = ids[self.pos];
+        if self.index.clustered() {
+            if self.pos as f64 % self.rows_per_page == 0.0 {
+                self.ctx.clock.charge_seq_pages(1.0);
+            }
+        } else {
+            self.ctx.clock.charge_random_pages(1.0);
+        }
+        self.ctx.clock.charge_cpu_tuples(1.0);
+        self.pos += 1;
+        Some(self.table.row(rid))
+    }
+}
+
+/// Composite-index scan: equality prefix + optional range on the next
+/// indexed column, residual predicates applied upstream. Fetches are charged
+/// as random pages (composite indexes are secondary/unclustered here).
+pub struct MultiIndexScanOp {
+    index: Rc<MultiIndex>,
+    table: Rc<Table>,
+    schema: Schema,
+    ctx: ExecContext,
+    prefix: Vec<Value>,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    rowids: Option<Vec<RowId>>,
+    pos: usize,
+}
+
+impl MultiIndexScanOp {
+    /// Scan rows whose leading indexed columns equal `prefix`, with the next
+    /// column in `[lo, hi]`.
+    pub fn new(
+        index: Rc<MultiIndex>,
+        table: Rc<Table>,
+        prefix: Vec<Value>,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        ctx: ExecContext,
+    ) -> Self {
+        let schema = table.qualified_schema();
+        MultiIndexScanOp { index, table, schema, ctx, prefix, lo, hi, rowids: None, pos: 0 }
+    }
+}
+
+impl Operator for MultiIndexScanOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.rowids.is_none() {
+            let n = self.index.entries().max(2) as f64;
+            self.ctx.clock.charge_compares(n.log2());
+            let ids = self
+                .index
+                .lookup(&self.prefix, self.lo.as_ref(), self.hi.as_ref())
+                .unwrap_or_default();
+            self.rowids = Some(ids);
+        }
+        let ids = self.rowids.as_ref().expect("opened above");
+        if self.pos >= ids.len() {
+            return None;
+        }
+        self.ctx.clock.charge_random_pages(1.0);
+        self.ctx.clock.charge_cpu_tuples(1.0);
+        let row = self.table.row(ids[self.pos]);
+        self.pos += 1;
+        Some(row)
+    }
+}
+
+/// Scan answered by a cracker column: cracking work is charged as CPU, then
+/// rows are reconstructed from the base table.
+pub struct CrackerScanOp {
+    cracker: Rc<RefCell<CrackerColumn>>,
+    table: Rc<Table>,
+    schema: Schema,
+    ctx: ExecContext,
+    lo: i64,
+    hi: i64,
+    rowids: Option<Vec<RowId>>,
+    pos: usize,
+}
+
+impl CrackerScanOp {
+    /// Scan `[lo, hi]` via the cracker column of one of `table`'s columns.
+    pub fn new(
+        cracker: Rc<RefCell<CrackerColumn>>,
+        table: Rc<Table>,
+        lo: i64,
+        hi: i64,
+        ctx: ExecContext,
+    ) -> Self {
+        let schema = table.qualified_schema();
+        CrackerScanOp { cracker, table, schema, ctx, lo, hi, rowids: None, pos: 0 }
+    }
+}
+
+impl Operator for CrackerScanOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.rowids.is_none() {
+            let (ids, stats) = self.cracker.borrow_mut().query(self.lo, self.hi);
+            // Partitioning work: one compare + potential swap per touched
+            // tuple; merged updates cost a tuple move each.
+            self.ctx.clock.charge_compares(stats.touched as f64);
+            self.ctx.clock.charge_cpu_tuples(stats.merged_updates as f64);
+            self.rowids = Some(ids);
+        }
+        let ids = self.rowids.as_ref().expect("opened above");
+        if self.pos >= ids.len() {
+            return None;
+        }
+        self.ctx.clock.charge_cpu_tuples(1.0);
+        let row = self.table.row(ids[self.pos]);
+        self.pos += 1;
+        Some(row)
+    }
+}
+
+/// Scan answered by an adaptive-merge index.
+pub struct AMergeScanOp {
+    amerge: Rc<RefCell<AdaptiveMergeIndex>>,
+    table: Rc<Table>,
+    schema: Schema,
+    ctx: ExecContext,
+    lo: i64,
+    hi: i64,
+    rowids: Option<Vec<RowId>>,
+    pos: usize,
+}
+
+impl AMergeScanOp {
+    /// Scan `[lo, hi]` via an adaptive-merge index of one of `table`'s
+    /// columns.
+    pub fn new(
+        amerge: Rc<RefCell<AdaptiveMergeIndex>>,
+        table: Rc<Table>,
+        lo: i64,
+        hi: i64,
+        ctx: ExecContext,
+    ) -> Self {
+        let schema = table.qualified_schema();
+        AMergeScanOp { amerge, table, schema, ctx, lo, hi, rowids: None, pos: 0 }
+    }
+}
+
+impl Operator for AMergeScanOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.rowids.is_none() {
+            let (ids, stats) = self.amerge.borrow_mut().query(self.lo, self.hi);
+            self.ctx.clock.charge_compares(stats.probes as f64);
+            // Moving an entry into the merged index ≈ one B-tree insert.
+            self.ctx.clock.charge_hash_build(stats.moved as f64);
+            self.rowids = Some(ids);
+        }
+        let ids = self.rowids.as_ref().expect("opened above");
+        if self.pos >= ids.len() {
+            return None;
+        }
+        self.ctx.clock.charge_cpu_tuples(1.0);
+        let row = self.table.row(ids[self.pos]);
+        self.pos += 1;
+        Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::collect;
+    use rqp_common::DataType;
+    use rqp_storage::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..1000i64 {
+            t.append(vec![Value::Int(i), Value::Float(i as f64)]);
+        }
+        c.add_table(t);
+        c.create_index("ix", "t", "k").unwrap();
+        c.create_cracker("t", "k").unwrap();
+        c.create_amerge("t", "k", 100).unwrap();
+        c
+    }
+
+    #[test]
+    fn table_scan_reads_all_and_charges_pages() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let mut s = TableScanOp::new(c.table("t").unwrap(), ctx.clone());
+        let rows = collect(&mut s);
+        assert_eq!(rows.len(), 1000);
+        let b = ctx.clock.breakdown();
+        assert!((b.seq_io - 10.0).abs() < 1e-9, "10 pages, got {}", b.seq_io);
+        assert!(b.rand_io == 0.0);
+        assert_eq!(s.schema().field(0).name, "t.k");
+    }
+
+    #[test]
+    fn clustered_index_scan_range() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let idx = c.index("ix").unwrap();
+        assert!(idx.clustered());
+        let mut s = IndexScanOp::new(
+            idx,
+            c.table("t").unwrap(),
+            Some(Value::Int(100)),
+            Some(Value::Int(199)),
+            ctx.clone(),
+        );
+        let rows = collect(&mut s);
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[0][0], Value::Int(100));
+        let b = ctx.clock.breakdown();
+        assert!(b.seq_io <= 1.0 + 1e-9, "clustered: ~1 page for 100 rows");
+        assert_eq!(b.rand_io, 0.0);
+    }
+
+    #[test]
+    fn unclustered_index_scan_charges_random_io() {
+        let mut c = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..1000i64 {
+            t.append(vec![Value::Int((i * 7919) % 1000)]);
+        }
+        c.add_table(t);
+        c.create_index("ix", "t", "k").unwrap();
+        let idx = c.index("ix").unwrap();
+        assert!(!idx.clustered());
+        let ctx = ExecContext::unbounded();
+        let mut s = IndexScanOp::new(
+            idx,
+            c.table("t").unwrap(),
+            Some(Value::Int(0)),
+            Some(Value::Int(99)),
+            ctx.clone(),
+        );
+        let rows = collect(&mut s);
+        assert_eq!(rows.len(), 100);
+        let b = ctx.clock.breakdown();
+        assert!(b.rand_io >= 100.0 * 4.0 - 1e-9, "one random page per row");
+    }
+
+    #[test]
+    fn cracker_scan_matches_table_scan_results() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let mut s = CrackerScanOp::new(
+            c.cracker("t", "k").unwrap(),
+            c.table("t").unwrap(),
+            250,
+            349,
+            ctx.clone(),
+        );
+        let mut rows = collect(&mut s);
+        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[0][0], Value::Int(250));
+        assert!(ctx.clock.now() > 0.0);
+        // Second identical query is much cheaper.
+        let ctx2 = ExecContext::unbounded();
+        let mut s2 = CrackerScanOp::new(
+            c.cracker("t", "k").unwrap(),
+            c.table("t").unwrap(),
+            250,
+            349,
+            ctx2.clone(),
+        );
+        let rows2 = collect(&mut s2);
+        assert_eq!(rows2.len(), 100);
+        assert!(ctx2.clock.now() < ctx.clock.now() / 2.0);
+    }
+
+    #[test]
+    fn amerge_scan_matches_and_converges() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let mut s = AMergeScanOp::new(
+            c.amerge("t", "k").unwrap(),
+            c.table("t").unwrap(),
+            500,
+            599,
+            ctx.clone(),
+        );
+        let rows = collect(&mut s);
+        assert_eq!(rows.len(), 100);
+        let first_cost = ctx.clock.now();
+        let ctx2 = ExecContext::unbounded();
+        let mut s2 = AMergeScanOp::new(
+            c.amerge("t", "k").unwrap(),
+            c.table("t").unwrap(),
+            500,
+            599,
+            ctx2.clone(),
+        );
+        collect(&mut s2);
+        assert!(ctx2.clock.now() < first_cost);
+    }
+
+    #[test]
+    fn empty_table_scan() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("e", Schema::from_pairs(&[("x", DataType::Int)])));
+        let ctx = ExecContext::unbounded();
+        let mut s = TableScanOp::new(c.table("e").unwrap(), ctx.clone());
+        assert!(s.next().is_none());
+        assert_eq!(ctx.clock.now(), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Sort and top-N operators with memory-bounded spill accounting.
+
+use crate::context::ExecContext;
+use crate::{BoxOp, Operator};
+use rqp_common::{Result, Row, Schema};
+use std::cmp::Ordering;
+
+/// Sort direction per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+fn cmp_rows(a: &Row, b: &Row, keys: &[(usize, SortOrder)]) -> Ordering {
+    for &(i, ord) in keys {
+        let o = a[i].total_cmp(&b[i]);
+        if o != Ordering::Equal {
+            return match ord {
+                SortOrder::Asc => o,
+                SortOrder::Desc => o.reverse(),
+            };
+        }
+    }
+    Ordering::Equal
+}
+
+/// Full sort: materializes the input, sorts, then streams.
+///
+/// If the input exceeds the memory grant, external-run generation and merge
+/// are *charged* (one spill round trip of the overflow plus merge
+/// comparisons) — the data itself stays in memory, only the cost model pays,
+/// which is all the robustness metrics observe. The "grow & shrink memory"
+/// session's point — rigid workspaces cause cliffs — reproduces as a cost
+/// step at `input > grant`.
+pub struct SortOp {
+    inner: Option<BoxOp>,
+    keys: Vec<(usize, SortOrder)>,
+    schema: Schema,
+    ctx: ExecContext,
+    sorted: Option<std::vec::IntoIter<Row>>,
+}
+
+impl SortOp {
+    /// Sort by the named columns.
+    pub fn new(inner: BoxOp, keys: &[(&str, SortOrder)], ctx: ExecContext) -> Result<Self> {
+        let schema = inner.schema().clone();
+        let bound: Vec<(usize, SortOrder)> = keys
+            .iter()
+            .map(|(k, o)| schema.index_of(k).map(|i| (i, *o)))
+            .collect::<Result<_>>()?;
+        Ok(SortOp { inner: Some(inner), keys: bound, schema, ctx, sorted: None })
+    }
+
+    /// Ascending sort by the named columns.
+    pub fn asc(inner: BoxOp, keys: &[&str], ctx: ExecContext) -> Result<Self> {
+        let pairs: Vec<(&str, SortOrder)> =
+            keys.iter().map(|k| (*k, SortOrder::Asc)).collect();
+        Self::new(inner, &pairs, ctx)
+    }
+
+    fn materialize(&mut self) {
+        let mut inner = self.inner.take().expect("materialize once");
+        let mut rows = Vec::new();
+        while let Some(r) = inner.next() {
+            rows.push(r);
+        }
+        let n = rows.len() as f64;
+        if n > 1.0 {
+            let grant = self.ctx.memory.grant(n);
+            // In-memory comparisons: n log2(n) within runs.
+            self.ctx.clock.charge_compares(n * n.log2());
+            if n > grant {
+                // External sort: spill overflow once (write+read), plus a
+                // merge pass of comparisons across runs.
+                let overflow = n - grant;
+                self.ctx.clock.charge_spill_rows(overflow);
+                let runs = (n / grant).ceil().max(2.0);
+                self.ctx.clock.charge_compares(n * runs.log2());
+            }
+        }
+        rows.sort_by(|a, b| cmp_rows(a, b, &self.keys));
+        self.sorted = Some(rows.into_iter());
+    }
+}
+
+impl Operator for SortOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.sorted.is_none() {
+            self.materialize();
+        }
+        let row = self.sorted.as_mut().expect("materialized").next();
+        if row.is_some() {
+            self.ctx.clock.charge_cpu_tuples(1.0);
+        }
+        row
+    }
+}
+
+/// Top-N by sort keys, using a bounded heap (never spills).
+pub struct TopNOp {
+    inner: Option<BoxOp>,
+    keys: Vec<(usize, SortOrder)>,
+    n: usize,
+    schema: Schema,
+    ctx: ExecContext,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl TopNOp {
+    /// Keep the first `n` rows in sort order.
+    pub fn new(
+        inner: BoxOp,
+        keys: &[(&str, SortOrder)],
+        n: usize,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        let schema = inner.schema().clone();
+        let bound: Vec<(usize, SortOrder)> = keys
+            .iter()
+            .map(|(k, o)| schema.index_of(k).map(|i| (i, *o)))
+            .collect::<Result<_>>()?;
+        Ok(TopNOp { inner: Some(inner), keys: bound, n, schema, ctx, out: None })
+    }
+}
+
+impl Operator for TopNOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        if self.out.is_none() {
+            let mut inner = self.inner.take().expect("run once");
+            // Simple bounded selection: keep a sorted buffer of ≤ n rows.
+            let mut buf: Vec<Row> = Vec::with_capacity(self.n + 1);
+            while let Some(r) = inner.next() {
+                self.ctx
+                    .clock
+                    .charge_compares((buf.len().max(1) as f64).log2() + 1.0);
+                let pos = buf
+                    .binary_search_by(|probe| cmp_rows(probe, &r, &self.keys))
+                    .unwrap_or_else(|e| e);
+                if pos < self.n {
+                    buf.insert(pos, r);
+                    buf.truncate(self.n);
+                }
+            }
+            self.out = Some(buf.into_iter());
+        }
+        self.out.as_mut().expect("filled").next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::collect;
+    use crate::filter::test_support::RowsOp;
+    use rqp_common::{DataType, Value};
+
+    fn src(n: i64) -> BoxOp {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| vec![Value::Int((i * 7919) % n), Value::Int(i)])
+            .collect();
+        RowsOp::boxed(schema, rows)
+    }
+
+    #[test]
+    fn sorts_ascending() {
+        let ctx = ExecContext::unbounded();
+        let mut s = SortOp::asc(src(100), &["a"], ctx).unwrap();
+        let out = collect(&mut s);
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0][0] <= w[1][0]));
+    }
+
+    #[test]
+    fn sorts_descending_with_secondary_key() {
+        let ctx = ExecContext::unbounded();
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(0)],
+        ];
+        let mut s = SortOp::new(
+            RowsOp::boxed(schema, rows),
+            &[("a", SortOrder::Desc), ("b", SortOrder::Asc)],
+            ctx,
+        )
+        .unwrap();
+        let out = collect(&mut s);
+        assert_eq!(out[0][0], Value::Int(2));
+        assert_eq!(out[1], vec![Value::Int(1), Value::Int(1)]);
+    }
+
+    #[test]
+    fn memory_pressure_charges_spill() {
+        let tight = ExecContext::with_memory(100.0);
+        let mut s = SortOp::asc(src(10_000), &["a"], tight.clone()).unwrap();
+        let out = collect(&mut s);
+        assert_eq!(out.len(), 10_000);
+        assert!(out.windows(2).all(|w| w[0][0] <= w[1][0]), "spill keeps order");
+        assert!(tight.clock.breakdown().spill > 0.0);
+
+        let ample = ExecContext::unbounded();
+        let mut s = SortOp::asc(src(10_000), &["a"], ample.clone()).unwrap();
+        collect(&mut s);
+        assert_eq!(ample.clock.breakdown().spill, 0.0);
+        assert!(ample.clock.now() < tight.clock.now());
+    }
+
+    #[test]
+    fn topn_matches_sort_prefix() {
+        let ctx = ExecContext::unbounded();
+        let mut t = TopNOp::new(src(500), &[("a", SortOrder::Asc)], 10, ctx.clone()).unwrap();
+        let top = collect(&mut t);
+        let mut s = SortOp::asc(src(500), &["a"], ctx).unwrap();
+        let full = collect(&mut s);
+        assert_eq!(top.len(), 10);
+        for (a, b) in top.iter().zip(full.iter()) {
+            assert_eq!(a[0], b[0]);
+        }
+    }
+
+    #[test]
+    fn topn_with_fewer_rows_than_n() {
+        let ctx = ExecContext::unbounded();
+        let mut t = TopNOp::new(src(3), &[("a", SortOrder::Asc)], 10, ctx).unwrap();
+        assert_eq!(collect(&mut t).len(), 3);
+    }
+
+    #[test]
+    fn empty_sort() {
+        let ctx = ExecContext::unbounded();
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let mut s = SortOp::asc(RowsOp::boxed(schema, vec![]), &["a"], ctx.clone()).unwrap();
+        assert!(s.next().is_none());
+        assert_eq!(ctx.clock.now(), 0.0);
+    }
+
+    #[test]
+    fn unknown_sort_key_errors() {
+        let ctx = ExecContext::unbounded();
+        assert!(SortOp::asc(src(5), &["zz"], ctx).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Visualizing robustness (after Graefe, Kuno & Wiener, "Visualizing the
+//! robustness of query execution", CIDR 2009 — seminar reading list).
+//!
+//! The paper's device: render performance over a parameter space as a
+//! contour/heat map, because robustness problems are *shapes* — cliffs,
+//! ridges, plateaus — that summary statistics hide. [`CostContour`] renders
+//! a grid of costs as an ASCII heat map with logarithmic shading, plus a 1-D
+//! [`sparkline`] for parameter sweeps (the E07 visual).
+
+/// Shading ramp from cheap to expensive.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// A 2-D cost surface renderer.
+#[derive(Debug, Clone)]
+pub struct CostContour {
+    /// `costs[y][x]`, rendered with y increasing upward.
+    pub costs: Vec<Vec<f64>>,
+}
+
+impl CostContour {
+    /// Wrap a cost grid (rows may not be empty).
+    pub fn new(costs: Vec<Vec<f64>>) -> Self {
+        assert!(
+            !costs.is_empty() && costs.iter().all(|r| !r.is_empty()),
+            "contour needs a non-empty grid"
+        );
+        CostContour { costs }
+    }
+
+    fn bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &self.costs {
+            for &c in row {
+                if c.is_finite() {
+                    lo = lo.min(c);
+                    hi = hi.max(c);
+                }
+            }
+        }
+        (lo.max(1e-12), hi.max(1e-12))
+    }
+
+    /// Shade one value on the log scale between the grid's min and max.
+    fn shade(&self, v: f64) -> char {
+        let (lo, hi) = self.bounds();
+        if !v.is_finite() {
+            return '?';
+        }
+        if hi <= lo {
+            return RAMP[0];
+        }
+        let t = ((v.max(1e-12).ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0);
+        RAMP[((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
+    }
+
+    /// Render the heat map (origin bottom-left), one character per cell,
+    /// with a legend line.
+    pub fn render(&self) -> String {
+        let (lo, hi) = self.bounds();
+        let mut out = String::new();
+        for row in self.costs.iter().rev() {
+            for &c in row {
+                out.push(self.shade(c));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "legend: '{}' ≈ {:.1} … '{}' ≈ {:.1} (log scale)\n",
+            RAMP[0],
+            lo,
+            RAMP[RAMP.len() - 1],
+            hi
+        ));
+        out
+    }
+
+    /// The largest cost ratio between any two horizontally or vertically
+    /// adjacent cells — a numeric "cliff detector" to pair with the picture.
+    pub fn max_cliff(&self) -> f64 {
+        let mut worst = 1.0f64;
+        let h = self.costs.len();
+        for y in 0..h {
+            let w = self.costs[y].len();
+            for x in 0..w {
+                let c = self.costs[y][x].max(1e-12);
+                if x + 1 < w {
+                    let r = self.costs[y][x + 1].max(1e-12);
+                    worst = worst.max((c / r).max(r / c));
+                }
+                if y + 1 < h && x < self.costs[y + 1].len() {
+                    let d = self.costs[y + 1][x].max(1e-12);
+                    worst = worst.max((c / d).max(d / c));
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// One-line sparkline for a 1-D sweep (log-shaded like the contour).
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let c = CostContour::new(vec![values.to_vec()]);
+    values.iter().map(|&v| c.shade(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_surface_renders_uniform() {
+        let c = CostContour::new(vec![vec![5.0; 4]; 3]);
+        let r = c.render();
+        let first_line = r.lines().next().unwrap();
+        assert_eq!(first_line, "    ", "flat = lightest shade");
+        assert!((c.max_cliff() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cliff_is_visible_and_measured() {
+        // Left half cheap, right half 100× — the index-past-crossover shape.
+        let grid: Vec<Vec<f64>> = (0..4)
+            .map(|_| vec![10.0, 10.0, 1000.0, 1000.0])
+            .collect();
+        let c = CostContour::new(grid);
+        let r = c.render();
+        let line = r.lines().next().unwrap();
+        assert!(line.starts_with("  "), "cheap side light: {line:?}");
+        assert!(line.ends_with("@@"), "expensive side dark: {line:?}");
+        assert!((c.max_cliff() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn origin_is_bottom_left() {
+        // costs[0] is the bottom row; it must be rendered last.
+        let c = CostContour::new(vec![vec![1.0], vec![1000.0]]);
+        let rendered = c.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "@", "top row = costs[1]");
+        assert_eq!(lines[1], " ", "bottom row = costs[0]");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = sparkline(&[1.0, 10.0, 100.0, 1000.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[3], '@');
+        assert!(sparkline(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty grid")]
+    fn empty_grid_rejected() {
+        CostContour::new(vec![]);
+    }
+
+    #[test]
+    fn handles_non_finite_cells() {
+        let c = CostContour::new(vec![vec![1.0, f64::INFINITY, 10.0]]);
+        assert!(c.render().contains('?'));
+    }
+}

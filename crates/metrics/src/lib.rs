@@ -1,0 +1,41 @@
+//! # rqp-metrics
+//!
+//! The robustness metrics defined by the Dagstuhl 10381 break-out sessions,
+//! implemented exactly as specified so experiments report the seminar's own
+//! numbers:
+//!
+//! * [`summary`] — distribution summaries: quantiles, box plots (POP Figure
+//!   1's rendering), mean/geometric mean, coefficient of variation;
+//! * [`robustness`] — Sattler et al.'s **performance** `P(q) = |O(q) −
+//!   E(q)|`, **smoothness** `S(Q)` (coefficient of variation over a query
+//!   family), the **cardinality-error geometric mean** `C(Q)`, and Nica et
+//!   al.'s **Metric1/Metric2** (per-operator estimation error sums) and
+//!   **Metric3** (`|RunTimeOpt − RunTimeBest| / RunTimeBest`);
+//! * [`variability`] — the end-to-end benchmark's split of **intrinsic**
+//!   variability (the ideal plan's cost genuinely changes with the
+//!   environment) from **extrinsic** variability (the system's divergence
+//!   from the ideal plan) — only the latter counts against robustness;
+//! * [`stability`] — plan-flip counting and regression accounting for the
+//!   statistics-refresh ("automatic disaster") experiment;
+//! * [`contour`] — ASCII cost-surface heat maps and sparklines ("Visualizing
+//!   the robustness of query execution", Graefe/Kuno/Wiener CIDR 2009): the
+//!   cliffs and plateaus robustness problems are made of, as pictures;
+//! * [`table`] — plain-text table rendering for experiment reports.
+
+#![warn(missing_docs)]
+
+pub mod contour;
+pub mod robustness;
+pub mod stability;
+pub mod summary;
+pub mod table;
+pub mod variability;
+
+pub use contour::{sparkline, CostContour};
+pub use robustness::{
+    cardinality_error_geomean, metric1, metric3, performance, smoothness,
+};
+pub use stability::PlanStability;
+pub use summary::{BoxPlot, Summary};
+pub use table::Table as ReportTable;
+pub use variability::VariabilityReport;

@@ -1,0 +1,138 @@
+//! The seminar's robustness metrics, verbatim.
+//!
+//! From "Measuring the Robustness of Query Optimization: Towards a
+//! Robustness Metric" (Sattler, Poess, Waas, Salem, Schoening, Paulley):
+//!
+//! * `P(q) = |O(q) − E(q)|` — performance of a query as the gap between
+//!   measured (`E`) and optimal (`O`) execution time;
+//! * `S(Q) = σ/μ` of the `P(qi)` over a parameterized query family —
+//!   smoothness; robust systems have flat `P` curves;
+//! * `C(Q) = (∏ |aᵢ−eᵢ|/aᵢ)^(1/n)` — geometric mean of relative cardinality
+//!   errors at the top of each plan.
+//!
+//! From "Robust Query Optimization: Cardinality estimation for queries with
+//! complex expressions" (Nica et al.):
+//!
+//! * `Metric1 = Σ_ops |est − act| / act` over the chosen plan's operators
+//!   (and `Metric2` — the same sum over all enumerated plans' operators,
+//!   which callers obtain by applying [`metric1`] to each plan's operator
+//!   list and summing);
+//! * `Metric3 = |RunTimeOpt − RunTimeBest| / RunTimeBest`.
+
+/// `P(q) = |optimal − measured|`.
+pub fn performance(optimal: f64, measured: f64) -> f64 {
+    (optimal - measured).abs()
+}
+
+/// `S(Q)`: coefficient of variation of the per-query performance gaps.
+///
+/// Returns 0 for empty input or an all-zero gap vector (perfectly robust).
+pub fn smoothness(performance_gaps: &[f64]) -> f64 {
+    if performance_gaps.is_empty() {
+        return 0.0;
+    }
+    let n = performance_gaps.len() as f64;
+    let mean = performance_gaps.iter().sum::<f64>() / n;
+    if mean.abs() < f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    let var = performance_gaps
+        .iter()
+        .map(|p| (p - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+/// `C(Q)`: geometric mean of relative top-level cardinality errors
+/// `|a − e| / a` over a query set. Zero-error queries contribute a floor of
+/// `1/a` (one row) so the geometric mean stays defined, mirroring the
+/// q-error convention.
+pub fn cardinality_error_geomean(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let log_sum: f64 = pairs
+        .iter()
+        .map(|&(est, act)| {
+            let act = act.max(1.0);
+            let rel = ((act - est).abs() / act).max(1.0 / act);
+            rel.ln()
+        })
+        .sum();
+    (log_sum / n).exp()
+}
+
+/// `Metric1`: sum over plan operators of `|est − act| / act` (actuals floored
+/// at one row).
+pub fn metric1(operators: &[(f64, f64)]) -> f64 {
+    operators
+        .iter()
+        .map(|&(est, act)| (est - act).abs() / act.max(1.0))
+        .sum()
+}
+
+/// `Metric3 = |RunTimeOpt − RunTimeBest| / RunTimeBest` where `RunTimeOpt`
+/// is the best runtime among all enumerated plans and `RunTimeBest` the
+/// runtime of the plan the optimizer chose.
+pub fn metric3(runtime_opt: f64, runtime_best: f64) -> f64 {
+    if runtime_best <= 0.0 {
+        0.0
+    } else {
+        (runtime_opt - runtime_best).abs() / runtime_best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_gap() {
+        assert_eq!(performance(100.0, 130.0), 30.0);
+        assert_eq!(performance(130.0, 100.0), 30.0);
+        assert_eq!(performance(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn smoothness_flat_is_zero_variation() {
+        assert_eq!(smoothness(&[10.0, 10.0, 10.0]), 0.0);
+        assert_eq!(smoothness(&[]), 0.0);
+        assert_eq!(smoothness(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn smoothness_detects_cliffs() {
+        let smooth = smoothness(&[10.0, 11.0, 9.0, 10.0]);
+        let cliff = smoothness(&[10.0, 10.0, 10.0, 500.0]);
+        assert!(cliff > smooth * 5.0, "cliff {cliff} vs smooth {smooth}");
+    }
+
+    #[test]
+    fn c_q_geometric_mean() {
+        // errors 0.5 and 0.5 → geomean 0.5
+        let c = cardinality_error_geomean(&[(50.0, 100.0), (150.0, 100.0)]);
+        assert!((c - 0.5).abs() < 1e-9);
+        // perfect estimates floor at 1/act
+        let c = cardinality_error_geomean(&[(100.0, 100.0)]);
+        assert!((c - 0.01).abs() < 1e-9);
+        assert_eq!(cardinality_error_geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn metric1_sums_relative_errors() {
+        let m = metric1(&[(10.0, 100.0), (100.0, 100.0), (300.0, 100.0)]);
+        assert!((m - (0.9 + 0.0 + 2.0)).abs() < 1e-9);
+        // zero actuals floored
+        let m = metric1(&[(5.0, 0.0)]);
+        assert!((m - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric3_relative_gap() {
+        assert_eq!(metric3(100.0, 100.0), 0.0);
+        assert!((metric3(100.0, 150.0) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(metric3(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Plan stability accounting.
+//!
+//! The report's motivating anecdote: "insertion of a few new rows … triggers
+//! an automatic update of statistics, which uses a different sample …, which
+//! leads to an entirely different query execution plan, which might actually
+//! perform much worse". [`PlanStability`] tracks a sequence of (plan
+//! fingerprint, cost) observations per query across statistics refreshes and
+//! reports flip counts and the regression distribution — experiment E21's
+//! bookkeeping.
+
+use std::collections::BTreeSet;
+
+/// One observation of a query after some event (e.g. a stats refresh).
+#[derive(Debug, Clone)]
+pub struct PlanObservation {
+    /// Plan identity.
+    pub fingerprint: String,
+    /// Execution cost observed.
+    pub cost: f64,
+}
+
+/// Stability accounting over a sequence of observations of the same query.
+#[derive(Debug, Clone, Default)]
+pub struct PlanStability {
+    observations: Vec<PlanObservation>,
+}
+
+impl PlanStability {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the plan and cost after the next event.
+    pub fn record(&mut self, fingerprint: impl Into<String>, cost: f64) {
+        self.observations.push(PlanObservation { fingerprint: fingerprint.into(), cost });
+    }
+
+    /// Number of events observed.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Number of adjacent plan changes.
+    pub fn flips(&self) -> usize {
+        self.observations
+            .windows(2)
+            .filter(|w| w[0].fingerprint != w[1].fingerprint)
+            .count()
+    }
+
+    /// Number of distinct plans seen.
+    pub fn distinct_plans(&self) -> usize {
+        self.observations
+            .iter()
+            .map(|o| o.fingerprint.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Cost ratios across adjacent flips (`after / before`); values ≫ 1 are
+    /// the "automatic disasters".
+    pub fn flip_regressions(&self) -> Vec<f64> {
+        self.observations
+            .windows(2)
+            .filter(|w| w[0].fingerprint != w[1].fingerprint && w[0].cost > 0.0)
+            .map(|w| w[1].cost / w[0].cost)
+            .collect()
+    }
+
+    /// The worst flip regression (1.0 if no flips).
+    pub fn worst_regression(&self) -> f64 {
+        self.flip_regressions().into_iter().fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_sequence_has_no_flips() {
+        let mut s = PlanStability::new();
+        for _ in 0..5 {
+            s.record("hj(a,b)", 100.0);
+        }
+        assert_eq!(s.flips(), 0);
+        assert_eq!(s.distinct_plans(), 1);
+        assert_eq!(s.worst_regression(), 1.0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn flips_and_regressions_counted() {
+        let mut s = PlanStability::new();
+        s.record("a", 100.0);
+        s.record("b", 400.0); // disaster: 4×
+        s.record("b", 390.0);
+        s.record("a", 100.0); // recovery flip: 0.26×
+        assert_eq!(s.flips(), 2);
+        assert_eq!(s.distinct_plans(), 2);
+        let reg = s.flip_regressions();
+        assert_eq!(reg.len(), 2);
+        assert!((s.worst_regression() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let s = PlanStability::new();
+        assert!(s.is_empty());
+        assert_eq!(s.flips(), 0);
+        assert_eq!(s.distinct_plans(), 0);
+        assert_eq!(s.worst_regression(), 1.0);
+    }
+}

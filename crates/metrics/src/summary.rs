@@ -1,0 +1,192 @@
+//! Distribution summaries and box plots.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Geometric mean (requires positive values; 0 otherwise).
+    pub geo_mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute from a sample (empty input → all-zero summary).
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, geo_mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let geo_mean = if xs.iter().all(|&x| x > 0.0) {
+            (xs.iter().map(|x| x.ln()).sum::<f64>() / n).exp()
+        } else {
+            0.0
+        };
+        Summary {
+            n: xs.len(),
+            mean,
+            geo_mean,
+            std_dev: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation (σ/μ); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// The `p`-quantile of a sample (linear interpolation).
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let p = p.clamp(0.0, 1.0);
+    let idx = p * (s.len() as f64 - 1.0);
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let w = idx - lo as f64;
+        s[lo] * (1.0 - w) + s[hi] * w
+    }
+}
+
+/// A five-number box plot with Tukey whiskers — the rendering of POP
+/// Figure 1 ("the blue rectangles represent the mid-50% of the queries…
+/// the red lines the range of the remaining outliers").
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lowest value above `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest value below `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Values outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxPlot {
+    /// Compute from a sample.
+    pub fn of(xs: &[f64]) -> BoxPlot {
+        let q1 = quantile(xs, 0.25);
+        let median = quantile(xs, 0.5);
+        let q3 = quantile(xs, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = xs
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo_fence)
+            .fold(f64::INFINITY, f64::min);
+        let whisker_hi = xs
+            .iter()
+            .copied()
+            .filter(|&x| x <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut outliers: Vec<f64> = xs
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        outliers.sort_by(f64::total_cmp);
+        BoxPlot { q1, median, q3, whisker_lo, whisker_hi, outliers }
+    }
+
+    /// One-line rendering: `lo ─[q1 │med│ q3]─ hi (k outliers up to max)`.
+    pub fn render(&self) -> String {
+        let tail = if self.outliers.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({} outliers up to {:.1})",
+                self.outliers.len(),
+                self.outliers.last().expect("non-empty")
+            )
+        };
+        format!(
+            "{:.1} ─[{:.1} │{:.1}│ {:.1}]─ {:.1}{tail}",
+            self.whisker_lo, self.q1, self.median, self.q3, self.whisker_hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        assert!(s.cv() > 0.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.cv(), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_positive_only() {
+        let s = Summary::of(&[1.0, 100.0]);
+        assert!((s.geo_mean - 10.0).abs() < 1e-9);
+        let z = Summary::of(&[0.0, 100.0]);
+        assert_eq!(z.geo_mean, 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn boxplot_identifies_outliers() {
+        let mut xs: Vec<f64> = (0..20).map(|i| 10.0 + i as f64).collect();
+        xs.push(1000.0);
+        let b = BoxPlot::of(&xs);
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 29.0 + 1e-9);
+        assert!(b.q1 < b.median && b.median < b.q3);
+        let r = b.render();
+        assert!(r.contains("outliers"), "{r}");
+    }
+
+    #[test]
+    fn boxplot_without_outliers() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b = BoxPlot::of(&xs);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 0.0);
+        assert_eq!(b.whisker_hi, 9.0);
+    }
+}

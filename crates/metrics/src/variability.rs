@@ -1,0 +1,135 @@
+//! Intrinsic vs extrinsic variability (Agrawal, Ailamaki, Bruno,
+//! Giakoumakis, Haritsa, Idreos, Lehner, Polyzotis — "Measuring end to end
+//! robustness for Query Processors").
+//!
+//! Given a query executed across a set of environments:
+//!
+//! * **intrinsic variability** is the variation of the *ideal* plan's cost —
+//!   "the true complexity of the query in the new environment"; any system
+//!   must pay it;
+//! * **extrinsic variability** "stems from the inability of the system to
+//!   model and adapt to changes" — the divergence between the cost of the
+//!   plan the system actually ran and the ideal plan's cost, per
+//!   environment. Robustness should only measure this.
+
+use crate::summary::Summary;
+
+/// Per-environment observation: the cost of the system's chosen plan and the
+/// cost of the ideal plan for that environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvObservation {
+    /// Label-free environment index.
+    pub env: usize,
+    /// Cost of the plan the system executed.
+    pub chosen_cost: f64,
+    /// Cost of the environment's ideal plan.
+    pub ideal_cost: f64,
+}
+
+/// The decomposition.
+#[derive(Debug, Clone)]
+pub struct VariabilityReport {
+    /// Observations, by environment.
+    pub observations: Vec<EnvObservation>,
+}
+
+impl VariabilityReport {
+    /// Build from `(chosen_cost, ideal_cost)` pairs in environment order.
+    pub fn from_costs(pairs: &[(f64, f64)]) -> Self {
+        VariabilityReport {
+            observations: pairs
+                .iter()
+                .enumerate()
+                .map(|(env, &(chosen_cost, ideal_cost))| EnvObservation {
+                    env,
+                    chosen_cost,
+                    ideal_cost,
+                })
+                .collect(),
+        }
+    }
+
+    /// Intrinsic variability: coefficient of variation of the ideal costs
+    /// across environments.
+    pub fn intrinsic(&self) -> f64 {
+        Summary::of(
+            &self
+                .observations
+                .iter()
+                .map(|o| o.ideal_cost)
+                .collect::<Vec<_>>(),
+        )
+        .cv()
+    }
+
+    /// Per-environment divergence `chosen / ideal` (≥ 1 when ideal is truly
+    /// optimal).
+    pub fn divergences(&self) -> Vec<f64> {
+        self.observations
+            .iter()
+            .map(|o| {
+                if o.ideal_cost <= 0.0 {
+                    1.0
+                } else {
+                    o.chosen_cost / o.ideal_cost
+                }
+            })
+            .collect()
+    }
+
+    /// Extrinsic variability: the mean divergence minus one (0 = the system
+    /// tracked the ideal plan in every environment).
+    pub fn extrinsic(&self) -> f64 {
+        let d = self.divergences();
+        if d.is_empty() {
+            0.0
+        } else {
+            (d.iter().sum::<f64>() / d.len() as f64 - 1.0).max(0.0)
+        }
+    }
+
+    /// Worst-environment divergence.
+    pub fn worst_divergence(&self) -> f64 {
+        self.divergences().into_iter().fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_adaptive_system_has_zero_extrinsic() {
+        // Ideal cost varies 10× across environments (intrinsic), but the
+        // system always matches it.
+        let r = VariabilityReport::from_costs(&[(10.0, 10.0), (50.0, 50.0), (100.0, 100.0)]);
+        assert!(r.intrinsic() > 0.3, "environments genuinely differ");
+        assert_eq!(r.extrinsic(), 0.0);
+        assert_eq!(r.worst_divergence(), 1.0);
+    }
+
+    #[test]
+    fn rigid_system_shows_extrinsic_variability() {
+        // Same intrinsic profile, but the system's static plan pays 1×, 3×,
+        // 8× the ideal.
+        let r = VariabilityReport::from_costs(&[(10.0, 10.0), (150.0, 50.0), (800.0, 100.0)]);
+        assert!(r.extrinsic() > 2.0);
+        assert!((r.worst_divergence() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intrinsic_zero_when_environments_identical() {
+        let r = VariabilityReport::from_costs(&[(12.0, 10.0), (11.0, 10.0)]);
+        assert_eq!(r.intrinsic(), 0.0);
+        assert!(r.extrinsic() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = VariabilityReport::from_costs(&[]);
+        assert_eq!(r.extrinsic(), 0.0);
+        assert_eq!(r.worst_divergence(), 1.0);
+        let r = VariabilityReport::from_costs(&[(5.0, 0.0)]);
+        assert_eq!(r.divergences(), vec![1.0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Parametric plan caching (PQO-lite).
+//!
+//! Queries with parameter markers are re-executed with many parameter
+//! values; re-optimizing each invocation is wasted work when nearby
+//! parameters share an optimal plan, but blindly reusing one cached plan is
+//! the classic parameter-sniffing hazard the seminar's "late binding"
+//! session dissects. The cache here buckets parameters by the *estimated
+//! selectivity* of the parameterized predicate (log-scale buckets) and keeps
+//! one plan per bucket — the progressive-parametric middle ground.
+
+use crate::physical::PhysicalPlan;
+use rqp_common::Result;
+use std::collections::HashMap;
+
+/// Whether a lookup was served from cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqoOutcome {
+    /// Plan reused from the cache.
+    Hit,
+    /// Plan newly optimized and inserted.
+    Miss,
+}
+
+/// A per-query-template plan cache bucketed by selectivity.
+#[derive(Default)]
+pub struct ParametricPlanCache {
+    plans: HashMap<(String, i32), PhysicalPlan>,
+    hits: usize,
+    misses: usize,
+    /// Buckets per decade of selectivity.
+    resolution: f64,
+}
+
+impl ParametricPlanCache {
+    /// Cache with `buckets_per_decade` selectivity resolution (2 is a good
+    /// default: buckets at ×√10 spacing).
+    pub fn new(buckets_per_decade: f64) -> Self {
+        ParametricPlanCache {
+            plans: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            resolution: buckets_per_decade.max(0.1),
+        }
+    }
+
+    fn bucket(&self, selectivity: f64) -> i32 {
+        let s = selectivity.clamp(1e-12, 1.0);
+        (s.log10() * self.resolution).floor() as i32
+    }
+
+    /// Get the cached plan for `(template, selectivity)` or compute one with
+    /// `optimize` and cache it.
+    pub fn get_or_plan(
+        &mut self,
+        template: &str,
+        selectivity: f64,
+        optimize: impl FnOnce() -> Result<PhysicalPlan>,
+    ) -> Result<(PhysicalPlan, PqoOutcome)> {
+        let key = (template.to_owned(), self.bucket(selectivity));
+        if let Some(p) = self.plans.get(&key) {
+            self.hits += 1;
+            return Ok((p.clone(), PqoOutcome::Hit));
+        }
+        let p = optimize()?;
+        self.plans.insert(key, p.clone());
+        self.misses += 1;
+        Ok((p, PqoOutcome::Miss))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses (optimizations) so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True if no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Drop all cached plans (e.g. after a statistics refresh).
+    pub fn invalidate(&mut self) {
+        self.plans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_plan(rows: f64) -> PhysicalPlan {
+        PhysicalPlan::TableScan {
+            table: "t".into(),
+            filter: None,
+            est_rows: rows,
+            est_cost: rows,
+        }
+    }
+
+    #[test]
+    fn same_bucket_hits() {
+        let mut cache = ParametricPlanCache::new(2.0);
+        let (_, o1) = cache
+            .get_or_plan("q1", 0.010, || Ok(dummy_plan(10.0)))
+            .unwrap();
+        assert_eq!(o1, PqoOutcome::Miss);
+        let (p, o2) = cache
+            .get_or_plan("q1", 0.012, || Ok(dummy_plan(999.0)))
+            .unwrap();
+        assert_eq!(o2, PqoOutcome::Hit);
+        assert_eq!(p.est_rows(), 10.0, "cached plan reused, not re-optimized");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distant_selectivities_miss() {
+        let mut cache = ParametricPlanCache::new(2.0);
+        cache.get_or_plan("q1", 0.001, || Ok(dummy_plan(1.0))).unwrap();
+        let (_, o) = cache
+            .get_or_plan("q1", 0.5, || Ok(dummy_plan(2.0)))
+            .unwrap();
+        assert_eq!(o, PqoOutcome::Miss);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn templates_are_isolated() {
+        let mut cache = ParametricPlanCache::new(2.0);
+        cache.get_or_plan("q1", 0.01, || Ok(dummy_plan(1.0))).unwrap();
+        let (_, o) = cache
+            .get_or_plan("q2", 0.01, || Ok(dummy_plan(2.0)))
+            .unwrap();
+        assert_eq!(o, PqoOutcome::Miss);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut cache = ParametricPlanCache::new(2.0);
+        cache.get_or_plan("q1", 0.01, || Ok(dummy_plan(1.0))).unwrap();
+        assert!(!cache.is_empty());
+        cache.invalidate();
+        assert!(cache.is_empty());
+        let (_, o) = cache
+            .get_or_plan("q1", 0.01, || Ok(dummy_plan(1.0)))
+            .unwrap();
+        assert_eq!(o, PqoOutcome::Miss);
+    }
+
+    #[test]
+    fn extreme_selectivities_dont_panic() {
+        let mut cache = ParametricPlanCache::new(2.0);
+        for s in [0.0, 1e-30, 1.0, 2.0, f64::NAN] {
+            let r = cache.get_or_plan("q", s, || Ok(dummy_plan(1.0)));
+            assert!(r.is_ok());
+        }
+    }
+}

@@ -1,0 +1,1070 @@
+//! Physical plan trees.
+//!
+//! A [`PhysicalPlan`] carries, per node, the estimated output rows and
+//! cumulative cost it was planned with. Three capabilities matter to the
+//! robustness experiments:
+//!
+//! * [`PhysicalPlan::fingerprint`] — a structure-only identity (used to
+//!   color plan diagrams and detect plan flips);
+//! * [`PhysicalPlan::reestimate`] — re-derive rows/cost for the *same* plan
+//!   shape under a *different* estimator (robust costing, plan diagrams,
+//!   validity ranges all need to ask "what would this plan cost if the
+//!   selectivities were X?");
+//! * [`PhysicalPlan::build`] — compile to `rqp-exec` operators, wrapping
+//!   every node in a [`rqp_exec::Meter`] so actual cardinalities are
+//!   observable (POP, LEO).
+
+use crate::cost::CostModel;
+use crate::query::JoinEdge;
+use rqp_common::{Expr, Result, RqpError, Value};
+use rqp_exec::{
+    AggSpec, BoxOp, CheckOp, ExecContext, FilterOp, GJoinOp, HashAggOp, HashJoinOp,
+    IndexNlJoinOp, IndexScanOp, MergeJoinOp, Meter, PopSignal, ProjectOp, SortOp, TableScanOp,
+    TopNOp,
+};
+use rqp_stats::CardEstimator;
+use rqp_storage::Catalog;
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A physical plan node (with estimates attached).
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Sequential scan + optional filter.
+    TableScan {
+        /// Table name.
+        table: String,
+        /// Full local predicate applied at this node.
+        filter: Option<Expr>,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Index range scan + residual filter.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Index name in the catalog.
+        index: String,
+        /// Indexed column (unqualified).
+        column: String,
+        /// Inclusive lower bound.
+        lo: Option<Value>,
+        /// Inclusive upper bound.
+        hi: Option<Value>,
+        /// The predicate answered by the index range (for re-estimation).
+        range_filter: Expr,
+        /// Residual predicate applied after the index.
+        residual: Option<Expr>,
+        /// Estimated output rows (after residual).
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Composite-index scan: equality prefix + range on the next column.
+    MultiIndexScan {
+        /// Table name.
+        table: String,
+        /// Composite index name.
+        index: String,
+        /// Equality values for the leading indexed columns.
+        prefix: Vec<Value>,
+        /// Inclusive lower bound on the column after the prefix.
+        lo: Option<Value>,
+        /// Inclusive upper bound.
+        hi: Option<Value>,
+        /// The predicate the index answers (for re-estimation).
+        range_filter: Expr,
+        /// Residual predicate applied after the index.
+        residual: Option<Expr>,
+        /// Estimated output rows (after residual).
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Hash join (right child is the build side).
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Join edges, oriented left→right.
+        edges: Vec<JoinEdge>,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Sort-merge join (children sorted on demand).
+    MergeJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join edges, oriented left→right.
+        edges: Vec<JoinEdge>,
+        /// Sort the left input first.
+        sort_left: bool,
+        /// Sort the right input first.
+        sort_right: bool,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Generalized join (g-join).
+    GJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join edges, oriented left→right.
+        edges: Vec<JoinEdge>,
+        /// Left input arrives sorted on the key.
+        left_sorted: bool,
+        /// Right input arrives sorted on the key.
+        right_sorted: bool,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Index-nested-loop join into a base table.
+    IndexNlJoin {
+        /// Outer input.
+        outer: Box<PhysicalPlan>,
+        /// Inner table name.
+        inner_table: String,
+        /// Inner index name.
+        inner_index: String,
+        /// Edge oriented outer→inner.
+        edge: JoinEdge,
+        /// Inner local predicate applied as residual after the probe.
+        inner_residual: Option<Expr>,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// POP checkpoint (materializes, compares against the validity range).
+    Check {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Checkpoint id.
+        id: usize,
+        /// Validity range on actual cardinality.
+        validity: (f64, f64),
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Group-by columns (qualified).
+        group_by: Vec<String>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Sort (ascending).
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort columns (qualified).
+        keys: Vec<String>,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Top-N (ascending by keys).
+    TopN {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort columns (qualified).
+        keys: Vec<String>,
+        /// Row limit.
+        n: usize,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+    /// Column projection.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Output columns (qualified).
+        columns: Vec<String>,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated cumulative cost.
+        est_cost: f64,
+    },
+}
+
+impl PhysicalPlan {
+    /// Estimated output rows of this node.
+    pub fn est_rows(&self) -> f64 {
+        use PhysicalPlan::*;
+        match self {
+            TableScan { est_rows, .. }
+            | IndexScan { est_rows, .. }
+            | MultiIndexScan { est_rows, .. }
+            | HashJoin { est_rows, .. }
+            | MergeJoin { est_rows, .. }
+            | GJoin { est_rows, .. }
+            | IndexNlJoin { est_rows, .. }
+            | Check { est_rows, .. }
+            | Aggregate { est_rows, .. }
+            | Sort { est_rows, .. }
+            | TopN { est_rows, .. }
+            | Project { est_rows, .. } => *est_rows,
+        }
+    }
+
+    /// Estimated cumulative cost of this node.
+    pub fn est_cost(&self) -> f64 {
+        use PhysicalPlan::*;
+        match self {
+            TableScan { est_cost, .. }
+            | IndexScan { est_cost, .. }
+            | MultiIndexScan { est_cost, .. }
+            | HashJoin { est_cost, .. }
+            | MergeJoin { est_cost, .. }
+            | GJoin { est_cost, .. }
+            | IndexNlJoin { est_cost, .. }
+            | Check { est_cost, .. }
+            | Aggregate { est_cost, .. }
+            | Sort { est_cost, .. }
+            | TopN { est_cost, .. }
+            | Project { est_cost, .. } => *est_cost,
+        }
+    }
+
+    /// Structure-only identity: same fingerprint ⇔ same operators, same
+    /// shape, same access paths (estimates excluded). Used to color plan
+    /// diagrams and count plan flips.
+    pub fn fingerprint(&self) -> String {
+        use PhysicalPlan::*;
+        match self {
+            TableScan { table, .. } => format!("scan({table})"),
+            IndexScan { table, index, .. } => format!("ixscan({table}:{index})"),
+            MultiIndexScan { table, index, .. } => format!("mixscan({table}:{index})"),
+            HashJoin { left, right, .. } => {
+                format!("hj({},{})", left.fingerprint(), right.fingerprint())
+            }
+            MergeJoin { left, right, .. } => {
+                format!("mj({},{})", left.fingerprint(), right.fingerprint())
+            }
+            GJoin { left, right, .. } => {
+                format!("gj({},{})", left.fingerprint(), right.fingerprint())
+            }
+            IndexNlJoin { outer, inner_table, inner_index, .. } => {
+                format!("inl({},{inner_table}:{inner_index})", outer.fingerprint())
+            }
+            Check { input, .. } => format!("check({})", input.fingerprint()),
+            Aggregate { input, .. } => format!("agg({})", input.fingerprint()),
+            Sort { input, .. } => format!("sort({})", input.fingerprint()),
+            TopN { input, n, .. } => format!("top{n}({})", input.fingerprint()),
+            Project { input, .. } => format!("proj({})", input.fingerprint()),
+        }
+    }
+
+    /// Tables covered by this subtree, sorted.
+    pub fn tables(&self) -> Vec<String> {
+        use PhysicalPlan::*;
+        let mut out = match self {
+            TableScan { table, .. }
+            | IndexScan { table, .. }
+            | MultiIndexScan { table, .. } => vec![table.clone()],
+            HashJoin { left, right, .. }
+            | MergeJoin { left, right, .. }
+            | GJoin { left, right, .. } => {
+                let mut v = left.tables();
+                v.extend(right.tables());
+                v
+            }
+            IndexNlJoin { outer, inner_table, .. } => {
+                let mut v = outer.tables();
+                v.push(inner_table.clone());
+                v
+            }
+            Check { input, .. }
+            | Aggregate { input, .. }
+            | Sort { input, .. }
+            | TopN { input, .. }
+            | Project { input, .. } => input.tables(),
+        };
+        out.sort();
+        out
+    }
+
+    /// Re-derive `(rows, cumulative_cost)` for this plan shape under a
+    /// different estimator (and cost model). The plan's stored estimates are
+    /// untouched; a fresh annotated copy is returned alongside.
+    pub fn reestimate(&self, est: &dyn CardEstimator, cm: &CostModel) -> (f64, f64) {
+        use PhysicalPlan::*;
+        match self {
+            TableScan { table, filter, .. } => {
+                let base = est.table_rows(table);
+                let rows = match filter {
+                    Some(f) => base * est.selectivity(table, f),
+                    None => base,
+                };
+                let mut cost = cm.scan(base);
+                if filter.is_some() {
+                    cost += cm.filter(base);
+                }
+                (rows, cost)
+            }
+            IndexScan { table, range_filter, residual, .. } => {
+                let base = est.table_rows(table);
+                let matched = base * est.selectivity(table, range_filter);
+                let rows = match residual {
+                    Some(r) => matched * est.selectivity(table, r),
+                    None => matched,
+                };
+                // Clustered-ness must come from the plan-time catalog; the
+                // conservative (unclustered) assumption is used here since
+                // reestimation has no catalog. Planner-built nodes embed the
+                // distinction in est_cost; reestimate is used for *relative*
+                // comparisons across scenarios where the same assumption
+                // applies to every candidate.
+                let mut cost = cm.index_scan(base, matched, false);
+                if residual.is_some() {
+                    cost += cm.filter(matched);
+                }
+                (rows, cost)
+            }
+            MultiIndexScan { table, range_filter, residual, .. } => {
+                let base = est.table_rows(table);
+                let matched = base * est.selectivity(table, range_filter);
+                let rows = match residual {
+                    Some(r) => matched * est.selectivity(table, r),
+                    None => matched,
+                };
+                let mut cost = cm.index_scan(base, matched, false);
+                if residual.is_some() {
+                    cost += cm.filter(matched);
+                }
+                (rows, cost)
+            }
+            HashJoin { left, right, edges, .. } => {
+                let (lr, lc) = left.reestimate(est, cm);
+                let (rr, rc) = right.reestimate(est, cm);
+                let rows = join_rows(lr, rr, edges, est);
+                (rows, lc + rc + cm.hash_join(rr, lr, rows))
+            }
+            MergeJoin { left, right, edges, sort_left, sort_right, .. } => {
+                let (lr, lc) = left.reestimate(est, cm);
+                let (rr, rc) = right.reestimate(est, cm);
+                let rows = join_rows(lr, rr, edges, est);
+                let mut cost = lc + rc + cm.merge_join(lr, rr, rows);
+                if *sort_left {
+                    cost += cm.sort(lr);
+                }
+                if *sort_right {
+                    cost += cm.sort(rr);
+                }
+                (rows, cost)
+            }
+            GJoin { left, right, edges, left_sorted, right_sorted, .. } => {
+                let (lr, lc) = left.reestimate(est, cm);
+                let (rr, rc) = right.reestimate(est, cm);
+                let rows = join_rows(lr, rr, edges, est);
+                (rows, lc + rc + cm.g_join(lr, rr, rows, *left_sorted, *right_sorted))
+            }
+            IndexNlJoin { outer, inner_table, edge, inner_residual, .. } => {
+                let (or, oc) = outer.reestimate(est, cm);
+                let inner_rows = est.table_rows(inner_table);
+                let js = est.join_selectivity(
+                    &edge.left_table,
+                    &edge.left_col,
+                    &edge.right_table,
+                    &edge.right_col,
+                );
+                let matches_total = or * inner_rows * js;
+                let rows = match inner_residual {
+                    Some(p) => matches_total * est.selectivity(inner_table, p),
+                    None => matches_total,
+                };
+                let mut cost = oc + cm.index_nl_join(or, inner_rows, matches_total, false);
+                if inner_residual.is_some() {
+                    cost += cm.filter(matches_total);
+                }
+                (rows, cost)
+            }
+            Check { input, .. } => {
+                let (r, c) = input.reestimate(est, cm);
+                (r, c + cm.materialize(r))
+            }
+            Aggregate { input, group_by, .. } => {
+                let (r, c) = input.reestimate(est, cm);
+                let groups = if group_by.is_empty() { 1.0 } else { r.sqrt().max(1.0) };
+                (groups, c + cm.hash_agg(r, groups))
+            }
+            Sort { input, .. } => {
+                let (r, c) = input.reestimate(est, cm);
+                (r, c + cm.sort(r))
+            }
+            TopN { input, n, .. } => {
+                let (r, c) = input.reestimate(est, cm);
+                ((*n as f64).min(r), c + cm.top_n(r, *n as f64))
+            }
+            Project { input, .. } => {
+                let (r, c) = input.reestimate(est, cm);
+                (r, c + cm.materialize(r))
+            }
+        }
+    }
+
+    /// Compile to executable operators, metering every node.
+    pub fn build(
+        &self,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+        signal: Option<Rc<PopSignal>>,
+    ) -> Result<BuiltPlan> {
+        let mut meters = Vec::new();
+        let root = self.build_node(catalog, ctx, &signal, &mut meters)?;
+        Ok(BuiltPlan { root, meters })
+    }
+
+    fn build_node(
+        &self,
+        catalog: &Catalog,
+        ctx: &ExecContext,
+        signal: &Option<Rc<PopSignal>>,
+        meters: &mut Vec<NodeMeter>,
+    ) -> Result<BoxOp> {
+        use PhysicalPlan::*;
+        let subtree_start = meters.len();
+        let op: BoxOp = match self {
+            TableScan { table, filter, .. } => {
+                let t = catalog.table(table)?;
+                let scan: BoxOp = Box::new(TableScanOp::new(t, ctx.clone()));
+                match filter {
+                    Some(f) => Box::new(FilterOp::new(scan, f, ctx.clone())?),
+                    None => scan,
+                }
+            }
+            IndexScan { table, index, lo, hi, residual, .. } => {
+                let t = catalog.table(table)?;
+                let ix = catalog.index(index)?;
+                let scan: BoxOp = Box::new(IndexScanOp::new(
+                    ix,
+                    t,
+                    lo.clone(),
+                    hi.clone(),
+                    ctx.clone(),
+                ));
+                match residual {
+                    Some(r) => Box::new(FilterOp::new(scan, r, ctx.clone())?),
+                    None => scan,
+                }
+            }
+            MultiIndexScan { table, index, prefix, lo, hi, residual, .. } => {
+                let t = catalog.table(table)?;
+                let ix = catalog.multi_index(index)?;
+                let scan: BoxOp = Box::new(rqp_exec::MultiIndexScanOp::new(
+                    ix,
+                    t,
+                    prefix.clone(),
+                    lo.clone(),
+                    hi.clone(),
+                    ctx.clone(),
+                ));
+                match residual {
+                    Some(r) => Box::new(FilterOp::new(scan, r, ctx.clone())?),
+                    None => scan,
+                }
+            }
+            HashJoin { left, right, edges, .. } => {
+                let l = left.build_node(catalog, ctx, signal, meters)?;
+                let r = right.build_node(catalog, ctx, signal, meters)?;
+                let (lk, rk) = edge_keys(edges);
+                let lk_refs: Vec<&str> = lk.iter().map(|s| s.as_str()).collect();
+                let rk_refs: Vec<&str> = rk.iter().map(|s| s.as_str()).collect();
+                Box::new(HashJoinOp::new(l, r, &lk_refs, &rk_refs, ctx.clone())?)
+            }
+            MergeJoin { left, right, edges, sort_left, sort_right, .. } => {
+                let mut l = left.build_node(catalog, ctx, signal, meters)?;
+                let mut r = right.build_node(catalog, ctx, signal, meters)?;
+                let (lk, rk) = edge_keys(edges);
+                if *sort_left {
+                    let keys: Vec<&str> = lk.iter().map(|s| s.as_str()).collect();
+                    l = Box::new(SortOp::asc(l, &keys, ctx.clone())?);
+                }
+                if *sort_right {
+                    let keys: Vec<&str> = rk.iter().map(|s| s.as_str()).collect();
+                    r = Box::new(SortOp::asc(r, &keys, ctx.clone())?);
+                }
+                let lk_refs: Vec<&str> = lk.iter().map(|s| s.as_str()).collect();
+                let rk_refs: Vec<&str> = rk.iter().map(|s| s.as_str()).collect();
+                Box::new(MergeJoinOp::new(l, r, &lk_refs, &rk_refs, ctx.clone())?)
+            }
+            GJoin { left, right, edges, left_sorted, right_sorted, .. } => {
+                let l = left.build_node(catalog, ctx, signal, meters)?;
+                let r = right.build_node(catalog, ctx, signal, meters)?;
+                let (lk, rk) = edge_keys(edges);
+                let lk_refs: Vec<&str> = lk.iter().map(|s| s.as_str()).collect();
+                let rk_refs: Vec<&str> = rk.iter().map(|s| s.as_str()).collect();
+                Box::new(GJoinOp::new(
+                    l,
+                    r,
+                    &lk_refs,
+                    &rk_refs,
+                    *left_sorted,
+                    *right_sorted,
+                    None,
+                    ctx.clone(),
+                )?)
+            }
+            IndexNlJoin { outer, inner_table, inner_index, edge, inner_residual, .. } => {
+                let o = outer.build_node(catalog, ctx, signal, meters)?;
+                let ix = catalog.index(inner_index)?;
+                let t = catalog.table(inner_table)?;
+                let join: BoxOp = Box::new(IndexNlJoinOp::new(
+                    o,
+                    &edge.left_qualified(),
+                    ix,
+                    t,
+                    ctx.clone(),
+                )?);
+                match inner_residual {
+                    Some(p) => Box::new(FilterOp::new(join, p, ctx.clone())?),
+                    None => join,
+                }
+            }
+            Check { input, id, validity, est_rows, .. } => {
+                let i = input.build_node(catalog, ctx, signal, meters)?;
+                let sig = signal.as_ref().ok_or_else(|| {
+                    RqpError::Planning("CHECK node requires a PopSignal".into())
+                })?;
+                Box::new(CheckOp::new(
+                    i,
+                    *id,
+                    *est_rows,
+                    *validity,
+                    Rc::clone(sig),
+                    ctx.clone(),
+                ))
+            }
+            Aggregate { input, group_by, aggs, .. } => {
+                let i = input.build_node(catalog, ctx, signal, meters)?;
+                let gb: Vec<&str> = group_by.iter().map(|s| s.as_str()).collect();
+                Box::new(HashAggOp::new(i, &gb, aggs, ctx.clone())?)
+            }
+            Sort { input, keys, .. } => {
+                let i = input.build_node(catalog, ctx, signal, meters)?;
+                let ks: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+                Box::new(SortOp::asc(i, &ks, ctx.clone())?)
+            }
+            TopN { input, keys, n, .. } => {
+                let i = input.build_node(catalog, ctx, signal, meters)?;
+                let ks: Vec<(&str, rqp_exec::sort::SortOrder)> = keys
+                    .iter()
+                    .map(|s| (s.as_str(), rqp_exec::sort::SortOrder::Asc))
+                    .collect();
+                Box::new(TopNOp::new(i, &ks, *n, ctx.clone())?)
+            }
+            Project { input, columns, .. } => {
+                let i = input.build_node(catalog, ctx, signal, meters)?;
+                let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+                Box::new(ProjectOp::columns(i, &cols, ctx.clone())?)
+            }
+        };
+        let counter = Rc::new(Cell::new(0usize));
+        let metered = Meter::with_counter(op, Rc::clone(&counter));
+        meters.push(NodeMeter {
+            label: self.fingerprint(),
+            est_rows: self.est_rows(),
+            counter,
+            feedback_signature: self.feedback_signature(),
+            subtree_start,
+        });
+        Ok(Box::new(metered))
+    }
+
+    /// LEO feedback signature for this node (scans and joins only).
+    fn feedback_signature(&self) -> Option<String> {
+        use PhysicalPlan::*;
+        match self {
+            TableScan { table, filter: Some(f), .. } => {
+                Some(rqp_stats::FeedbackRepo::signature(table, f))
+            }
+            IndexScan { table, range_filter, residual, .. }
+            | MultiIndexScan { table, range_filter, residual, .. } => {
+                let full = match residual {
+                    Some(r) => range_filter.clone().and(r.clone()),
+                    None => range_filter.clone(),
+                };
+                Some(rqp_stats::FeedbackRepo::signature(table, &full))
+            }
+            HashJoin { edges, .. } | MergeJoin { edges, .. } | GJoin { edges, .. } => {
+                edges.first().map(|e| {
+                    format!(
+                        "join|{}.{}={}.{}",
+                        e.left_table, e.left_col, e.right_table, e.right_col
+                    )
+                })
+            }
+            IndexNlJoin { edge, .. } => Some(format!(
+                "join|{}.{}={}.{}",
+                edge.left_table, edge.left_col, edge.right_table, edge.right_col
+            )),
+            _ => None,
+        }
+    }
+
+    fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        use PhysicalPlan::*;
+        let pad = "  ".repeat(indent);
+        let head = |name: &str| {
+            format!(
+                "{pad}{name} [rows≈{:.0} cost≈{:.1}]",
+                self.est_rows(),
+                self.est_cost()
+            )
+        };
+        match self {
+            TableScan { table, filter, .. } => {
+                writeln!(
+                    f,
+                    "{} {}{}",
+                    head("TableScan"),
+                    table,
+                    filter
+                        .as_ref()
+                        .map(|p| format!(" filter {p}"))
+                        .unwrap_or_default()
+                )
+            }
+            IndexScan { table, index, lo, hi, residual, .. } => {
+                writeln!(
+                    f,
+                    "{} {table} via {index} [{:?}..{:?}]{}",
+                    head("IndexScan"),
+                    lo,
+                    hi,
+                    residual
+                        .as_ref()
+                        .map(|p| format!(" residual {p}"))
+                        .unwrap_or_default()
+                )
+            }
+            MultiIndexScan { table, index, prefix, lo, hi, residual, .. } => {
+                writeln!(
+                    f,
+                    "{} {table} via {index} prefix {prefix:?} [{:?}..{:?}]{}",
+                    head("MultiIndexScan"),
+                    lo,
+                    hi,
+                    residual
+                        .as_ref()
+                        .map(|p| format!(" residual {p}"))
+                        .unwrap_or_default()
+                )
+            }
+            HashJoin { left, right, edges, .. } => {
+                writeln!(f, "{} on {}", head("HashJoin"), fmt_edges(edges))?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            MergeJoin { left, right, edges, .. } => {
+                writeln!(f, "{} on {}", head("MergeJoin"), fmt_edges(edges))?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            GJoin { left, right, edges, .. } => {
+                writeln!(f, "{} on {}", head("GJoin"), fmt_edges(edges))?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            IndexNlJoin { outer, inner_table, inner_index, edge, .. } => {
+                writeln!(
+                    f,
+                    "{} probe {inner_table}:{inner_index} on {}",
+                    head("IndexNLJoin"),
+                    fmt_edges(std::slice::from_ref(edge))
+                )?;
+                outer.fmt_tree(f, indent + 1)
+            }
+            Check { input, id, validity, .. } => {
+                writeln!(f, "{} #{id} valid [{:.0},{:.0}]", head("CHECK"), validity.0, validity.1)?;
+                input.fmt_tree(f, indent + 1)
+            }
+            Aggregate { input, group_by, .. } => {
+                writeln!(f, "{} by {:?}", head("HashAgg"), group_by)?;
+                input.fmt_tree(f, indent + 1)
+            }
+            Sort { input, keys, .. } => {
+                writeln!(f, "{} by {:?}", head("Sort"), keys)?;
+                input.fmt_tree(f, indent + 1)
+            }
+            TopN { input, keys, n, .. } => {
+                writeln!(f, "{} {n} by {:?}", head("TopN"), keys)?;
+                input.fmt_tree(f, indent + 1)
+            }
+            Project { input, columns, .. } => {
+                writeln!(f, "{} {:?}", head("Project"), columns)?;
+                input.fmt_tree(f, indent + 1)
+            }
+        }
+    }
+}
+
+fn fmt_edges(edges: &[JoinEdge]) -> String {
+    edges
+        .iter()
+        .map(|e| format!("{}={}", e.left_qualified(), e.right_qualified()))
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+/// Qualified key column lists for join construction.
+fn edge_keys(edges: &[JoinEdge]) -> (Vec<String>, Vec<String>) {
+    let lk = edges.iter().map(|e| e.left_qualified()).collect();
+    let rk = edges.iter().map(|e| e.right_qualified()).collect();
+    (lk, rk)
+}
+
+/// Estimated join output: |L| × |R| × ∏ edge selectivities.
+pub(crate) fn join_rows(lr: f64, rr: f64, edges: &[JoinEdge], est: &dyn CardEstimator) -> f64 {
+    let sel: f64 = edges
+        .iter()
+        .map(|e| {
+            est.join_selectivity(&e.left_table, &e.left_col, &e.right_table, &e.right_col)
+        })
+        .product();
+    lr * rr * sel
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_tree(f, 0)
+    }
+}
+
+/// Actual-cardinality meter for one plan node.
+pub struct NodeMeter {
+    /// Node fingerprint (human-readable).
+    pub label: String,
+    /// The estimate the plan carried.
+    pub est_rows: f64,
+    /// Live counter of rows produced.
+    pub counter: Rc<Cell<usize>>,
+    /// LEO feedback key for this node, when applicable.
+    pub feedback_signature: Option<String>,
+    /// Index of the first meter belonging to this node's subtree (meters are
+    /// pushed in post-order; the subtree of meter `i` is `subtree_start..i`).
+    pub subtree_start: usize,
+}
+
+/// A compiled plan: root operator plus per-node meters.
+pub struct BuiltPlan {
+    /// Root operator (pull from this).
+    pub root: BoxOp,
+    /// Meters in build (post-)order; the last is the root.
+    pub meters: Vec<NodeMeter>,
+}
+
+impl BuiltPlan {
+    /// Drain the plan, returning all rows.
+    pub fn run(&mut self) -> Vec<rqp_common::Row> {
+        rqp_exec::collect(self.root.as_mut())
+    }
+
+    /// Indices of meter `i`'s *direct* children (post-order recovery).
+    pub fn children_of(&self, i: usize) -> Vec<usize> {
+        let start = self.meters[i].subtree_start;
+        let mut out = Vec::new();
+        let mut j = i;
+        while j > start {
+            let child = j - 1;
+            out.push(child);
+            j = self.meters[child].subtree_start;
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::{DataType, Schema, Value};
+    use rqp_stats::{StatsEstimator, TableStatsRegistry};
+    use rqp_storage::Table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("g", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..1000i64 {
+            t.append(vec![Value::Int(i), Value::Int(i % 10)]);
+        }
+        c.add_table(t);
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("w", DataType::Int)]);
+        let mut u = Table::new("u", schema);
+        for i in 0..100i64 {
+            u.append(vec![Value::Int(i % 10), Value::Int(i)]);
+        }
+        c.add_table(u);
+        c.create_index("ix_t_k", "t", "k").unwrap();
+        c
+    }
+
+    fn scan(table: &str, filter: Option<Expr>) -> PhysicalPlan {
+        PhysicalPlan::TableScan { table: table.into(), filter, est_rows: 0.0, est_cost: 0.0 }
+    }
+
+    #[test]
+    fn build_and_run_scan_filter() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let plan = scan("t", Some(col("t.k").lt(lit(100i64))));
+        let mut built = plan.build(&c, &ctx, None).unwrap();
+        let rows = built.run();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(built.meters.len(), 1);
+        assert_eq!(built.meters[0].counter.get(), 100);
+    }
+
+    #[test]
+    fn build_hash_join_plan() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("t", Some(col("t.k").lt(lit(50i64))))),
+            right: Box::new(scan("u", None)),
+            edges: vec![JoinEdge::new("t", "g", "u", "g")],
+            est_rows: 500.0,
+            est_cost: 0.0,
+        };
+        let mut built = plan.build(&c, &ctx, None).unwrap();
+        let rows = built.run();
+        // 50 t-rows × 10 matching u-rows each
+        assert_eq!(rows.len(), 500);
+        assert_eq!(built.meters.len(), 3);
+        // meters in post-order: t-scan, u-scan, join
+        assert_eq!(built.meters[2].counter.get(), 500);
+    }
+
+    #[test]
+    fn merge_join_with_sorts_matches_hash_join() {
+        let c = catalog();
+        let mk_children = || {
+            (
+                Box::new(scan("t", Some(col("t.k").lt(lit(50i64))))),
+                Box::new(scan("u", None)),
+            )
+        };
+        let edges = vec![JoinEdge::new("t", "g", "u", "g")];
+        let (l, r) = mk_children();
+        let mj = PhysicalPlan::MergeJoin {
+            left: l,
+            right: r,
+            edges: edges.clone(),
+            sort_left: true,
+            sort_right: true,
+            est_rows: 0.0,
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext::unbounded();
+        let n_mj = mj.build(&c, &ctx, None).unwrap().run().len();
+        assert_eq!(n_mj, 500);
+    }
+
+    #[test]
+    fn index_scan_plan() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let plan = PhysicalPlan::IndexScan {
+            table: "t".into(),
+            index: "ix_t_k".into(),
+            column: "k".into(),
+            lo: Some(Value::Int(10)),
+            hi: Some(Value::Int(19)),
+            range_filter: col("t.k").between(10i64, 19i64),
+            residual: Some(col("t.g").eq(lit(5i64))),
+            est_rows: 1.0,
+            est_cost: 0.0,
+        };
+        let mut built = plan.build(&c, &ctx, None).unwrap();
+        let rows = built.run();
+        assert_eq!(rows.len(), 1); // k=15 only
+        assert_eq!(rows[0][0], Value::Int(15));
+    }
+
+    #[test]
+    fn inl_join_plan() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let plan = PhysicalPlan::IndexNlJoin {
+            outer: Box::new(scan("u", Some(col("u.w").lt(lit(5i64))))),
+            inner_table: "t".into(),
+            inner_index: "ix_t_k".into(),
+            edge: JoinEdge::new("u", "w", "t", "k"),
+            inner_residual: None,
+            est_rows: 5.0,
+            est_cost: 0.0,
+        };
+        let mut built = plan.build(&c, &ctx, None).unwrap();
+        let rows = built.run();
+        assert_eq!(rows.len(), 5, "w∈0..5 each matches one t.k");
+    }
+
+    #[test]
+    fn aggregate_and_sort_pipeline() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::Aggregate {
+                input: Box::new(scan("t", None)),
+                group_by: vec!["t.g".into()],
+                aggs: vec![AggSpec::count_star("n")],
+                est_rows: 10.0,
+                est_cost: 0.0,
+            }),
+            keys: vec!["n".into()],
+            est_rows: 10.0,
+            est_cost: 0.0,
+        };
+        let mut built = plan.build(&c, &ctx, None).unwrap();
+        let rows = built.run();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r[1] == Value::Int(100)));
+    }
+
+    #[test]
+    fn fingerprints_ignore_estimates() {
+        let a = scan("t", Some(col("t.k").lt(lit(10i64))));
+        let mut b = scan("t", Some(col("t.k").lt(lit(900i64))));
+        if let PhysicalPlan::TableScan { est_rows, .. } = &mut b {
+            *est_rows = 900.0;
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn reestimate_under_oracle() {
+        let c = Rc::new(catalog());
+        let oracle = rqp_stats::OracleEstimator::new(Rc::clone(&c));
+        let cm = CostModel::default();
+        let plan = scan("t", Some(col("t.k").lt(lit(100i64))));
+        let (rows, cost) = plan.reestimate(&oracle, &cm);
+        assert!((rows - 100.0).abs() < 1e-6);
+        assert!(cost > 0.0);
+        // Join reestimation.
+        let j = PhysicalPlan::HashJoin {
+            left: Box::new(scan("t", None)),
+            right: Box::new(scan("u", None)),
+            edges: vec![JoinEdge::new("t", "g", "u", "g")],
+            est_rows: 0.0,
+            est_cost: 0.0,
+        };
+        let (rows, _) = j.reestimate(&oracle, &cm);
+        assert!((rows - 10_000.0).abs() < 1.0, "1000×100×0.1, got {rows}");
+    }
+
+    #[test]
+    fn reestimate_with_stats_registry() {
+        let c = catalog();
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&c, 16));
+        let est = StatsEstimator::new(reg);
+        let cm = CostModel::default();
+        let plan = scan("t", Some(col("t.k").between(0i64, 249i64)));
+        let (rows, _) = plan.reestimate(&est, &cm);
+        assert!((rows - 250.0).abs() < 30.0, "got {rows}");
+    }
+
+    #[test]
+    fn check_node_requires_signal() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        let plan = PhysicalPlan::Check {
+            input: Box::new(scan("t", None)),
+            id: 0,
+            validity: (0.0, 1e9),
+            est_rows: 1000.0,
+            est_cost: 0.0,
+        };
+        assert!(plan.build(&c, &ctx, None).is_err());
+        let sig = PopSignal::new();
+        let mut built = plan.build(&c, &ctx, Some(sig)).unwrap();
+        assert_eq!(built.run().len(), 1000);
+    }
+
+    #[test]
+    fn meter_children_recovered_in_post_order() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        // join(scan(t), join-ish right): a 3-meter tree — t-scan, u-scan, join.
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("t", Some(col("t.k").lt(lit(50i64))))),
+            right: Box::new(scan("u", None)),
+            edges: vec![JoinEdge::new("t", "g", "u", "g")],
+            est_rows: 500.0,
+            est_cost: 0.0,
+        };
+        let built = plan.build(&c, &ctx, None).unwrap();
+        assert_eq!(built.meters.len(), 3);
+        // Root is last; its children are the two scans, in build order.
+        let kids = built.children_of(2);
+        assert_eq!(kids, vec![0, 1]);
+        assert!(built.meters[0].label.contains("scan(t)"));
+        assert!(built.meters[1].label.contains("scan(u)"));
+        // Leaves have no children.
+        assert!(built.children_of(0).is_empty());
+        assert!(built.children_of(1).is_empty());
+    }
+
+    #[test]
+    fn meter_children_in_nested_plans() {
+        let c = catalog();
+        let ctx = ExecContext::unbounded();
+        // agg(join(scan, scan)): meters = [t, u, join, agg].
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(scan("t", None)),
+                right: Box::new(scan("u", None)),
+                edges: vec![JoinEdge::new("t", "g", "u", "g")],
+                est_rows: 0.0,
+                est_cost: 0.0,
+            }),
+            group_by: vec!["t.g".into()],
+            aggs: vec![AggSpec::count_star("n")],
+            est_rows: 10.0,
+            est_cost: 0.0,
+        };
+        let built = plan.build(&c, &ctx, None).unwrap();
+        assert_eq!(built.meters.len(), 4);
+        assert_eq!(built.children_of(3), vec![2], "agg's child is the join");
+        assert_eq!(built.children_of(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("t", None)),
+            right: Box::new(scan("u", None)),
+            edges: vec![JoinEdge::new("t", "g", "u", "g")],
+            est_rows: 10.0,
+            est_cost: 5.0,
+        };
+        let s = plan.to_string();
+        assert!(s.contains("HashJoin") && s.contains("TableScan"), "{s}");
+        assert_eq!(plan.tables(), vec!["t".to_string(), "u".to_string()]);
+    }
+}

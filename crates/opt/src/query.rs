@@ -1,0 +1,309 @@
+//! The conjunctive-query descriptor consumed by the planner.
+
+use rqp_common::{Expr, Result, RqpError};
+use rqp_exec::AggSpec;
+use std::collections::HashMap;
+
+/// One equi-join edge between two tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Left table name.
+    pub left_table: String,
+    /// Left join column (unqualified).
+    pub left_col: String,
+    /// Right table name.
+    pub right_table: String,
+    /// Right join column (unqualified).
+    pub right_col: String,
+}
+
+impl JoinEdge {
+    /// Create an edge `left_table.left_col = right_table.right_col`.
+    pub fn new(
+        left_table: impl Into<String>,
+        left_col: impl Into<String>,
+        right_table: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> Self {
+        JoinEdge {
+            left_table: left_table.into(),
+            left_col: left_col.into(),
+            right_table: right_table.into(),
+            right_col: right_col.into(),
+        }
+    }
+
+    /// Qualified left column (`"t.c"`). A column that already carries a
+    /// qualifier (temp tables materialized from intermediates keep their
+    /// original qualified field names) is returned verbatim.
+    pub fn left_qualified(&self) -> String {
+        if self.left_col.contains('.') {
+            self.left_col.clone()
+        } else {
+            format!("{}.{}", self.left_table, self.left_col)
+        }
+    }
+
+    /// Qualified right column.
+    pub fn right_qualified(&self) -> String {
+        if self.right_col.contains('.') {
+            self.right_col.clone()
+        } else {
+            format!("{}.{}", self.right_table, self.right_col)
+        }
+    }
+
+    /// Does this edge connect `a` and `b` (in either direction)?
+    pub fn connects(&self, a: &str, b: &str) -> bool {
+        (self.left_table == a && self.right_table == b)
+            || (self.left_table == b && self.right_table == a)
+    }
+
+    /// The edge oriented so that `left_table == table`, if it touches it.
+    pub fn oriented_from(&self, table: &str) -> Option<JoinEdge> {
+        if self.left_table == table {
+            Some(self.clone())
+        } else if self.right_table == table {
+            Some(JoinEdge {
+                left_table: self.right_table.clone(),
+                left_col: self.right_col.clone(),
+                right_table: self.left_table.clone(),
+                right_col: self.left_col.clone(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A (select-project-join-aggregate) query over base tables.
+///
+/// Built with the fluent API:
+///
+/// ```
+/// use rqp_opt::QuerySpec;
+/// use rqp_common::expr::{col, lit};
+///
+/// let q = QuerySpec::new()
+///     .table("orders")
+///     .table("customer")
+///     .join("orders", "custkey", "customer", "custkey")
+///     .filter("orders", col("orders.total").gt(lit(100.0)))
+///     .project(&["customer.name", "orders.total"]);
+/// assert_eq!(q.tables.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuerySpec {
+    /// Base tables, in declaration order.
+    pub tables: Vec<String>,
+    /// Local predicate per table (conjunction).
+    pub local_preds: HashMap<String, Expr>,
+    /// Equi-join edges.
+    pub joins: Vec<JoinEdge>,
+    /// Output columns (qualified); `None` keeps everything.
+    pub projections: Option<Vec<String>>,
+    /// GROUP BY columns (qualified).
+    pub group_by: Vec<String>,
+    /// Aggregates (empty = no aggregation).
+    pub aggs: Vec<AggSpec>,
+    /// ORDER BY columns (qualified, ascending).
+    pub order_by: Vec<String>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl QuerySpec {
+    /// Empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a base table.
+    pub fn table(mut self, name: impl Into<String>) -> Self {
+        self.tables.push(name.into());
+        self
+    }
+
+    /// Add an equi-join edge (tables are added implicitly if missing).
+    pub fn join(
+        mut self,
+        left_table: &str,
+        left_col: &str,
+        right_table: &str,
+        right_col: &str,
+    ) -> Self {
+        for t in [left_table, right_table] {
+            if !self.tables.iter().any(|x| x == t) {
+                self.tables.push(t.to_owned());
+            }
+        }
+        self.joins
+            .push(JoinEdge::new(left_table, left_col, right_table, right_col));
+        self
+    }
+
+    /// AND a predicate onto a table's local filter.
+    pub fn filter(mut self, table: &str, pred: Expr) -> Self {
+        let entry = self
+            .local_preds
+            .remove(table)
+            .map(|e| e.and(pred.clone()))
+            .unwrap_or(pred);
+        self.local_preds.insert(table.to_owned(), entry);
+        self
+    }
+
+    /// Project to the named (qualified) columns.
+    pub fn project(mut self, cols: &[&str]) -> Self {
+        self.projections = Some(cols.iter().map(|c| (*c).to_owned()).collect());
+        self
+    }
+
+    /// Group by columns with aggregates.
+    pub fn aggregate(mut self, group_by: &[&str], aggs: Vec<AggSpec>) -> Self {
+        self.group_by = group_by.iter().map(|c| (*c).to_owned()).collect();
+        self.aggs = aggs;
+        self
+    }
+
+    /// Order ascending by columns.
+    pub fn order(mut self, cols: &[&str]) -> Self {
+        self.order_by = cols.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// Keep only the first `n` rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Local predicate of `table` (TRUE if none).
+    pub fn local_pred(&self, table: &str) -> Expr {
+        self.local_preds
+            .get(table)
+            .cloned()
+            .unwrap_or_else(Expr::true_)
+    }
+
+    /// All edges between the table sets `a` and `b`.
+    pub fn edges_between<'a>(
+        &'a self,
+        a: &'a [String],
+        b: &'a [String],
+    ) -> impl Iterator<Item = &'a JoinEdge> {
+        self.joins.iter().filter(move |e| {
+            (a.contains(&e.left_table) && b.contains(&e.right_table))
+                || (b.contains(&e.left_table) && a.contains(&e.right_table))
+        })
+    }
+
+    /// Validate basic well-formedness: tables non-empty, unique, joins refer
+    /// to declared tables, join graph connected.
+    pub fn validate(&self) -> Result<()> {
+        if self.tables.is_empty() {
+            return Err(RqpError::Planning("query references no tables".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.tables {
+            if !seen.insert(t) {
+                return Err(RqpError::Planning(format!("duplicate table {t}")));
+            }
+        }
+        for e in &self.joins {
+            for t in [&e.left_table, &e.right_table] {
+                if !self.tables.contains(t) {
+                    return Err(RqpError::Planning(format!(
+                        "join references undeclared table {t}"
+                    )));
+                }
+            }
+        }
+        // Connectivity (no Cartesian products planned).
+        if self.tables.len() > 1 {
+            let mut reached = std::collections::HashSet::new();
+            reached.insert(self.tables[0].clone());
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for e in &self.joins {
+                    let l_in = reached.contains(&e.left_table);
+                    let r_in = reached.contains(&e.right_table);
+                    if l_in != r_in {
+                        reached.insert(if l_in {
+                            e.right_table.clone()
+                        } else {
+                            e.left_table.clone()
+                        });
+                        changed = true;
+                    }
+                }
+            }
+            if reached.len() != self.tables.len() {
+                return Err(RqpError::Planning(
+                    "join graph is disconnected (Cartesian product not supported)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::expr::{col, lit};
+
+    #[test]
+    fn builder_accumulates() {
+        let q = QuerySpec::new()
+            .join("a", "x", "b", "x")
+            .join("b", "y", "c", "y")
+            .filter("a", col("a.v").lt(lit(5i64)))
+            .filter("a", col("a.w").gt(lit(0i64)))
+            .project(&["a.v"])
+            .limit(10);
+        assert_eq!(q.tables, vec!["a", "b", "c"]);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.local_pred("a").conjuncts().len(), 2);
+        assert_eq!(q.local_pred("b"), Expr::true_());
+        assert_eq!(q.limit, Some(10));
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_orientation() {
+        let e = JoinEdge::new("a", "x", "b", "y");
+        assert!(e.connects("a", "b") && e.connects("b", "a"));
+        assert!(!e.connects("a", "c"));
+        let o = e.oriented_from("b").unwrap();
+        assert_eq!(o.left_table, "b");
+        assert_eq!(o.left_col, "y");
+        assert_eq!(o.right_qualified(), "a.x");
+        assert!(e.oriented_from("z").is_none());
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        assert!(QuerySpec::new().validate().is_err());
+        let dup = QuerySpec::new().table("a").table("a");
+        assert!(dup.validate().is_err());
+        let disconnected = QuerySpec::new().table("a").table("b");
+        assert!(disconnected.validate().is_err());
+        let mut bad_join = QuerySpec::new().table("a").table("b");
+        bad_join.joins.push(JoinEdge::new("a", "x", "zz", "y"));
+        assert!(bad_join.validate().is_err());
+    }
+
+    #[test]
+    fn edges_between_sets() {
+        let q = QuerySpec::new()
+            .join("a", "x", "b", "x")
+            .join("b", "y", "c", "y")
+            .join("a", "z", "c", "z");
+        let left = vec!["a".to_string()];
+        let right = vec!["b".to_string(), "c".to_string()];
+        let edges: Vec<_> = q.edges_between(&left, &right).collect();
+        assert_eq!(edges.len(), 2);
+    }
+}

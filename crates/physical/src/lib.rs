@@ -1,0 +1,25 @@
+//! # rqp-physical
+//!
+//! Physical database design and its robustness — the seminar's day-4 track:
+//!
+//! * [`advisor`] — a classic what-if **index advisor** (candidate columns
+//!   from the workload, greedy selection by estimated benefit) extended with
+//!   Gebaly & Aboulnaga's **Risk** (sensitivity of the advice to estimation
+//!   error) and **Generality** (how well the index set serves queries beyond
+//!   the training workload) objectives;
+//! * [`drift`] — the advisor-robustness evaluation protocol from the
+//!   "Assessing the Robustness of Index Selection Tools" break-out: tune on
+//!   workload `W0`, evaluate on drifted `W1..Wn`, compare `Tᵢ` against `T₀`;
+//! * [`statsrefresh`] — the report's "automatic disaster" scenario: a small
+//!   insert triggers a statistics refresh from a *different sample*, plans
+//!   flip, and performance regresses; with and without plan pinning.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod drift;
+pub mod statsrefresh;
+
+pub use advisor::{advise, Advice, AdvisorConfig, CandidateIndex};
+pub use drift::{evaluate_advice, DriftReport};
+pub use statsrefresh::{stats_refresh_experiment, RefreshConfig, RefreshReport};

@@ -1,0 +1,43 @@
+//! # rqp-stats
+//!
+//! Statistics and cardinality estimation — the seminar's diagnosis is that
+//! *"cardinality estimation is the Achilles' heel of most query optimizers"*;
+//! this crate makes every estimation regime a first-class, swappable
+//! component so experiments can inject, measure and correct estimation error:
+//!
+//! * [`histogram`] — equi-width and equi-depth histograms;
+//! * [`sthist`] — **self-tuning histograms** (Aboulnaga & Chaudhuri, SIGMOD
+//!   1999) refined by query feedback without scanning data;
+//! * [`sample`] — sampling estimators with Beta-posterior uncertainty, the
+//!   input to Babcock–Chaudhuri robust plan selection;
+//! * [`maxent`] — **maximum-entropy consistent selectivity** (Markl et al.,
+//!   VLDB J. 2007) combining overlapping multivariate knowledge without bias;
+//! * [`qerror`] — the multiplicative **q-error** metric (Moerkotte, Neumann &
+//!   Steidl, VLDB 2009);
+//! * [`feedback`] — a **LEO-style feedback repository** (Stillger et al.,
+//!   VLDB 2001) of observed actual/estimate adjustment factors;
+//! * [`estimator`] — the [`estimator::CardEstimator`] trait plus concrete
+//!   estimators: histogram+independence, oracle (true counts), *lying*
+//!   (controlled error injection — the report's root cause, made a test
+//!   input), feedback-corrected, and sampling.
+
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod feedback;
+pub mod histogram;
+pub mod maxent;
+pub mod qerror;
+pub mod sample;
+pub mod sthist;
+
+pub use estimator::{
+    CardEstimator, ColumnStats, LyingEstimator, OracleEstimator, StatsEstimator, TableStats,
+    TableStatsRegistry,
+};
+pub use feedback::{FeedbackEstimator, FeedbackRepo};
+pub use histogram::{EquiDepthHistogram, EquiWidthHistogram, Histogram};
+pub use maxent::MaxEntSolver;
+pub use qerror::{q_error, QErrorSummary};
+pub use sample::SamplingEstimator;
+pub use sthist::SelfTuningHistogram;

@@ -1,0 +1,109 @@
+//! The q-error metric (Moerkotte, Neumann & Steidl, PVLDB 2009).
+//!
+//! `q(e, a) = max(e/a, a/e)` — the *multiplicative* estimation error, ≥ 1,
+//! symmetric in over- and under-estimation. The paper proves plan-quality
+//! bounds in terms of the maximum q-error over all intermediate results; the
+//! seminar's estimation break-outs adopt it (alongside the additive Metric1/2
+//! of Nica et al.) as the estimation-robustness currency. E08 and E19 report
+//! q-error summaries.
+
+/// The q-error of estimate `e` against actual `a`.
+///
+/// Both values are floored at one row (the convention of the paper) so that
+/// empty results don't produce infinities; the result is always ≥ 1.
+pub fn q_error(estimate: f64, actual: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let a = actual.max(1.0);
+    (e / a).max(a / e)
+}
+
+/// Aggregate q-error statistics over a set of (estimate, actual) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Maximum q-error (the bound-relevant statistic).
+    pub max: f64,
+    /// Geometric mean of q-errors.
+    pub geo_mean: f64,
+    /// Median q-error.
+    pub median: f64,
+    /// 95th percentile q-error.
+    pub p95: f64,
+}
+
+impl QErrorSummary {
+    /// Summarize `(estimate, actual)` pairs. Empty input yields the identity
+    /// summary (all statistics 1).
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        if pairs.is_empty() {
+            return QErrorSummary { count: 0, max: 1.0, geo_mean: 1.0, median: 1.0, p95: 1.0 };
+        }
+        let mut qs: Vec<f64> = pairs.iter().map(|&(e, a)| q_error(e, a)).collect();
+        qs.sort_by(f64::total_cmp);
+        let count = qs.len();
+        let max = *qs.last().expect("non-empty");
+        let geo_mean = (qs.iter().map(|q| q.ln()).sum::<f64>() / count as f64).exp();
+        let median = qs[count / 2];
+        let p95 = qs[((count as f64 * 0.95) as usize).min(count - 1)];
+        QErrorSummary { count, max, geo_mean, median, p95 }
+    }
+}
+
+impl std::fmt::Display for QErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "q-error n={} median={:.2} geo-mean={:.2} p95={:.2} max={:.2}",
+            self.count, self.median, self.geo_mean, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(50.0, 50.0), 1.0);
+        // floor at 1 row avoids infinities
+        assert_eq!(q_error(0.0, 100.0), 100.0);
+        assert_eq!(q_error(100.0, 0.0), 100.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn always_at_least_one() {
+        for (e, a) in [(1.0, 1.0), (0.5, 0.7), (3.0, 2.0), (1e9, 1.0)] {
+            assert!(q_error(e, a) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let pairs = vec![(10.0, 10.0), (20.0, 10.0), (10.0, 40.0), (1.0, 1000.0)];
+        let s = QErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 1000.0);
+        assert!(s.median >= 2.0 && s.median <= 4.0);
+        assert!(s.geo_mean > 1.0 && s.geo_mean < s.max);
+    }
+
+    #[test]
+    fn empty_summary_is_identity() {
+        let s = QErrorSummary::from_pairs(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.geo_mean, 1.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = QErrorSummary::from_pairs(&[(2.0, 1.0)]);
+        let out = s.to_string();
+        assert!(out.contains("max=2.00"), "{out}");
+    }
+}

@@ -1,0 +1,269 @@
+//! The catalog: named tables, indexes and adaptive-index stores.
+//!
+//! Tables are held behind `Rc` so running operators can keep cheap snapshot
+//! handles; mutation goes through [`Catalog::table_mut`], which copies on
+//! write if a snapshot is still live (a poor man's snapshot isolation —
+//! readers never observe concurrent appends).
+
+use crate::amerge::AdaptiveMergeIndex;
+use crate::crack::CrackerColumn;
+use crate::index::BTreeIndex;
+use crate::multi_index::MultiIndex;
+use crate::table::Table;
+use rqp_common::{Result, RqpError};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A named collection of tables, B-tree indexes and adaptive indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Rc<Table>>,
+    indexes: HashMap<String, Rc<BTreeIndex>>,
+    /// (table, column) → index name, for optimizer access-path lookup.
+    index_by_col: HashMap<(String, String), String>,
+    multi_indexes: HashMap<String, Rc<MultiIndex>>,
+    crackers: HashMap<(String, String), Rc<RefCell<CrackerColumn>>>,
+    amerges: HashMap<(String, String), Rc<RefCell<AdaptiveMergeIndex>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_owned(), Rc::new(table));
+    }
+
+    /// Snapshot handle to a table.
+    pub fn table(&self, name: &str) -> Result<Rc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RqpError::TableNotFound(name.to_owned()))
+    }
+
+    /// Mutable access to a table (copy-on-write if snapshots are live).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let rc = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| RqpError::TableNotFound(name.to_owned()))?;
+        Ok(Rc::make_mut(rc))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True if `name` is a registered table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Build and register a B-tree index named `index_name` on
+    /// `table.column`. Replaces any index of the same name.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        table: &str,
+        column: &str,
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        let t = self.table(table)?;
+        let idx = BTreeIndex::build(index_name.clone(), &t, column)?;
+        self.index_by_col
+            .insert((table.to_owned(), idx.column().to_owned()), index_name.clone());
+        self.indexes.insert(index_name, Rc::new(idx));
+        Ok(())
+    }
+
+    /// Drop an index by name (no-op if absent).
+    pub fn drop_index(&mut self, index_name: &str) {
+        if let Some(idx) = self.indexes.remove(index_name) {
+            self.index_by_col
+                .remove(&(idx.table().to_owned(), idx.column().to_owned()));
+        }
+    }
+
+    /// Index handle by name.
+    pub fn index(&self, name: &str) -> Result<Rc<BTreeIndex>> {
+        self.indexes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RqpError::IndexNotFound(name.to_owned()))
+    }
+
+    /// Find an index on `table.column`, if one exists.
+    pub fn index_on(&self, table: &str, column: &str) -> Option<Rc<BTreeIndex>> {
+        let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
+        self.index_by_col
+            .get(&(table.to_owned(), unq.to_owned()))
+            .and_then(|n| self.indexes.get(n).cloned())
+    }
+
+    /// All index names, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.indexes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Build and register a composite index over `table.(columns…)`.
+    pub fn create_multi_index(
+        &mut self,
+        index_name: impl Into<String>,
+        table: &str,
+        columns: &[&str],
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        let t = self.table(table)?;
+        let idx = MultiIndex::build(index_name.clone(), &t, columns)?;
+        self.multi_indexes.insert(index_name, Rc::new(idx));
+        Ok(())
+    }
+
+    /// Composite index by name.
+    pub fn multi_index(&self, name: &str) -> Result<Rc<MultiIndex>> {
+        self.multi_indexes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RqpError::IndexNotFound(name.to_owned()))
+    }
+
+    /// All composite indexes on `table`.
+    pub fn multi_indexes_on(&self, table: &str) -> Vec<Rc<MultiIndex>> {
+        let mut out: Vec<Rc<MultiIndex>> = self
+            .multi_indexes
+            .values()
+            .filter(|ix| ix.table() == table)
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.name().cmp(b.name()));
+        out
+    }
+
+    /// Create a cracker column over an integer `table.column`.
+    pub fn create_cracker(&mut self, table: &str, column: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let col = t.column_by_name(column)?;
+        let keys = col.as_int_slice().ok_or_else(|| RqpError::TypeMismatch {
+            expected: "INT column for cracking".into(),
+            got: col.data_type().to_string(),
+        })?;
+        let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
+        self.crackers.insert(
+            (table.to_owned(), unq.to_owned()),
+            Rc::new(RefCell::new(CrackerColumn::new(keys))),
+        );
+        Ok(())
+    }
+
+    /// Cracker column over `table.column`, if created.
+    pub fn cracker(&self, table: &str, column: &str) -> Option<Rc<RefCell<CrackerColumn>>> {
+        let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
+        self.crackers.get(&(table.to_owned(), unq.to_owned())).cloned()
+    }
+
+    /// Create an adaptive-merge index over an integer `table.column`.
+    pub fn create_amerge(&mut self, table: &str, column: &str, run_size: usize) -> Result<()> {
+        let t = self.table(table)?;
+        let col = t.column_by_name(column)?;
+        let keys = col.as_int_slice().ok_or_else(|| RqpError::TypeMismatch {
+            expected: "INT column for adaptive merging".into(),
+            got: col.data_type().to_string(),
+        })?;
+        let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
+        self.amerges.insert(
+            (table.to_owned(), unq.to_owned()),
+            Rc::new(RefCell::new(AdaptiveMergeIndex::new(keys, run_size))),
+        );
+        Ok(())
+    }
+
+    /// Adaptive-merge index over `table.column`, if created.
+    pub fn amerge(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Option<Rc<RefCell<AdaptiveMergeIndex>>> {
+        let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
+        self.amerges.get(&(table.to_owned(), unq.to_owned())).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::{DataType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..50 {
+            t.append(vec![Value::Int(i), Value::Float(i as f64)]);
+        }
+        c.add_table(t);
+        c
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let c = catalog();
+        assert!(c.has_table("t"));
+        assert_eq!(c.table("t").unwrap().nrows(), 50);
+        assert!(c.table("missing").is_err());
+        assert_eq!(c.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn index_lookup_by_column() {
+        let mut c = catalog();
+        c.create_index("ix_t_k", "t", "k").unwrap();
+        assert!(c.index_on("t", "k").is_some());
+        assert!(c.index_on("t", "t.k").is_some(), "qualified names accepted");
+        assert!(c.index_on("t", "v").is_none());
+        assert_eq!(c.index("ix_t_k").unwrap().entries(), 50);
+        c.drop_index("ix_t_k");
+        assert!(c.index_on("t", "k").is_none());
+    }
+
+    #[test]
+    fn snapshot_isolation_on_write() {
+        let mut c = catalog();
+        let snap = c.table("t").unwrap();
+        c.table_mut("t")
+            .unwrap()
+            .append(vec![Value::Int(99), Value::Float(9.9)]);
+        assert_eq!(snap.nrows(), 50, "snapshot unaffected");
+        assert_eq!(c.table("t").unwrap().nrows(), 51);
+    }
+
+    #[test]
+    fn cracker_and_amerge_registration() {
+        let mut c = catalog();
+        c.create_cracker("t", "k").unwrap();
+        c.create_amerge("t", "k", 8).unwrap();
+        let cr = c.cracker("t", "k").unwrap();
+        let (rows, _) = cr.borrow_mut().query(10, 19);
+        assert_eq!(rows.len(), 10);
+        let am = c.amerge("t", "k").unwrap();
+        let (rows, _) = am.borrow_mut().query(10, 19);
+        assert_eq!(rows.len(), 10);
+        assert!(c.cracker("t", "v").is_none());
+    }
+
+    #[test]
+    fn cracker_requires_int_column() {
+        let mut c = catalog();
+        assert!(c.create_cracker("t", "v").is_err());
+        assert!(c.create_amerge("t", "v", 4).is_err());
+    }
+}

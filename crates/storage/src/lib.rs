@@ -1,0 +1,47 @@
+//! # rqp-storage
+//!
+//! In-memory columnar storage substrate for the robust-query-processing
+//! testbed:
+//!
+//! * [`mod@column`] — typed column vectors with min/max/distinct statistics
+//!   surface;
+//! * [`table`] — a [`table::Table`] of columns plus row-wise access;
+//! * [`index`] — clustered/unclustered B-tree secondary indexes
+//!   ([`index::BTreeIndex`]) and multi-column composite indexes
+//!   ([`multi_index::MultiIndex`]) with prefix + range lookups;
+//! * [`crack`] — **database cracking** (Idreos, Kersten, Manegold): a cracker
+//!   column physically reorganized as a side effect of range queries, the
+//!   seminar's flagship *adaptive indexing* technique;
+//! * [`amerge`] — **adaptive merging** (Graefe, Kuno): sorted runs merged on
+//!   demand by the key ranges queries actually touch;
+//! * [`shared_scan`] — a circular shared-scan coordinator in the spirit of
+//!   QPipe/Crescando ("clock scan"), used by the mixed-workload experiments;
+//! * [`catalog`] — the named collection of tables and indexes the optimizer
+//!   plans against.
+//!
+//! Storage is pure data: it counts the tuples and pieces it touches but does
+//! not charge the cost clock — execution operators in `rqp-exec` translate
+//! touch counts into cost units.
+
+#![warn(missing_docs)]
+
+pub mod amerge;
+pub mod catalog;
+pub mod column;
+pub mod crack;
+pub mod index;
+pub mod multi_index;
+pub mod shared_scan;
+pub mod table;
+
+pub use amerge::AdaptiveMergeIndex;
+pub use catalog::Catalog;
+pub use column::ColumnData;
+pub use crack::CrackerColumn;
+pub use index::BTreeIndex;
+pub use multi_index::MultiIndex;
+pub use shared_scan::SharedScanCoordinator;
+pub use table::Table;
+
+/// Row identifier within a table (position in insertion order).
+pub type RowId = usize;

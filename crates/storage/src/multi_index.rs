@@ -1,0 +1,245 @@
+//! Multi-column (composite) B-tree indexes.
+//!
+//! The equivalent-query break-out's test design is explicit about these:
+//! "With respect to selection from multi-column indexes, restrictions might
+//! apply to leading, intermediate, or trailing index fields; they may be
+//! equality or range predicates… an index on (A, B, C) should be used for
+//! `A = 4 AND B BETWEEN 7 AND 11`". A [`MultiIndex`] keys a B-tree on a
+//! column *tuple*; lookups take an equality prefix plus an optional range on
+//! the next column — trailing restrictions stay residual, exactly the
+//! access-path algebra the session wants exercised.
+
+use crate::table::Table;
+use crate::RowId;
+use rqp_common::{Result, RqpError, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A B-tree index over an ordered list of columns.
+#[derive(Debug, Clone)]
+pub struct MultiIndex {
+    name: String,
+    table: String,
+    columns: Vec<String>,
+    map: BTreeMap<Vec<Value>, Vec<RowId>>,
+    entries: usize,
+}
+
+impl MultiIndex {
+    /// Build over `table.(columns…)` in the given order.
+    pub fn build(name: impl Into<String>, table: &Table, columns: &[&str]) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(RqpError::Invalid("multi-index needs at least one column".into()));
+        }
+        let idxs: Vec<usize> = columns
+            .iter()
+            .map(|c| table.column_index(c))
+            .collect::<Result<_>>()?;
+        let mut map: BTreeMap<Vec<Value>, Vec<RowId>> = BTreeMap::new();
+        for rid in 0..table.nrows() {
+            let row = table.row(rid);
+            let key: Vec<Value> = idxs.iter().map(|&i| row[i].clone()).collect();
+            map.entry(key).or_default().push(rid);
+        }
+        Ok(MultiIndex {
+            name: name.into(),
+            table: table.name().to_owned(),
+            columns: columns
+                .iter()
+                .map(|c| {
+                    c.rsplit_once('.')
+                        .map(|(_, u)| u.to_owned())
+                        .unwrap_or_else(|| (*c).to_owned())
+                })
+                .collect(),
+            entries: table.nrows(),
+            map,
+        })
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Indexed table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Indexed columns, leading first (unqualified).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Row ids whose leading columns equal `prefix`, with an optional
+    /// inclusive `[lo, hi]` range on the column *after* the prefix.
+    ///
+    /// `prefix` may be empty (pure range on the first column) and at most
+    /// `columns().len()` long; when it covers every column the range must be
+    /// absent. Errors on a longer prefix.
+    pub fn lookup(
+        &self,
+        prefix: &[Value],
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<RowId>> {
+        if prefix.len() > self.columns.len() {
+            return Err(RqpError::Invalid(format!(
+                "prefix of {} values exceeds {} indexed columns",
+                prefix.len(),
+                self.columns.len()
+            )));
+        }
+        if prefix.len() == self.columns.len() && (lo.is_some() || hi.is_some()) {
+            return Err(RqpError::Invalid(
+                "range column exceeds the indexed columns".into(),
+            ));
+        }
+        // Lower bound: prefix ++ [lo] (or just prefix). Lexicographic order
+        // makes every key extending `prefix` sort at or after this bound.
+        let mut lower = prefix.to_vec();
+        if let Some(l) = lo {
+            lower.push(l.clone());
+        }
+        let mut out = Vec::new();
+        for (key, rids) in self.map.range((Bound::Included(lower), Bound::Unbounded)) {
+            if key.len() < prefix.len() || key[..prefix.len()] != *prefix {
+                break; // left the prefix region
+            }
+            if let Some(h) = hi {
+                if key.len() > prefix.len() && key[prefix.len()] > *h {
+                    break;
+                }
+            }
+            out.extend_from_slice(rids);
+        }
+        Ok(out)
+    }
+
+    /// Exact fraction of entries matched by a lookup (statistics surface).
+    pub fn selectivity(
+        &self,
+        prefix: &[Value],
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<f64> {
+        if self.entries == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.lookup(prefix, lo, hi)?.len() as f64 / self.entries as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::{DataType, Schema};
+
+    /// (a, b, c) with a ∈ 0..5, b ∈ 0..10, c sequential.
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..500i64 {
+            t.append(vec![Value::Int(i % 5), Value::Int(i % 10), Value::Int(i)]);
+        }
+        t
+    }
+
+    fn truth(f: impl Fn(i64, i64, i64) -> bool) -> Vec<RowId> {
+        (0..500i64)
+            .filter(|&i| f(i % 5, i % 10, i))
+            .map(|i| i as RowId)
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<RowId>) -> Vec<RowId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn full_prefix_equality() {
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        let got = ix
+            .lookup(&[Value::Int(3), Value::Int(8)], None, None)
+            .unwrap();
+        assert_eq!(sorted(got), truth(|a, b, _| a == 3 && b == 8));
+        assert_eq!(ix.columns(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn the_session_example_eq_then_range() {
+        // "an index on (A, B, C) should be used for A = 4 AND B BETWEEN 7 AND 11"
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b", "c"]).unwrap();
+        let got = ix
+            .lookup(&[Value::Int(4)], Some(&Value::Int(7)), Some(&Value::Int(11)))
+            .unwrap();
+        assert_eq!(sorted(got), truth(|a, b, _| a == 4 && (7..=11).contains(&b)));
+    }
+
+    #[test]
+    fn empty_prefix_is_a_leading_range() {
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        let got = ix
+            .lookup(&[], Some(&Value::Int(1)), Some(&Value::Int(2)))
+            .unwrap();
+        assert_eq!(sorted(got), truth(|a, _, _| (1..=2).contains(&a)));
+    }
+
+    #[test]
+    fn open_ended_ranges() {
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        let got = ix.lookup(&[Value::Int(2)], Some(&Value::Int(7)), None).unwrap();
+        assert_eq!(sorted(got), truth(|a, b, _| a == 2 && b >= 7));
+        let got = ix.lookup(&[Value::Int(2)], None, Some(&Value::Int(3))).unwrap();
+        assert_eq!(sorted(got), truth(|a, b, _| a == 2 && b <= 3));
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        assert!(ix
+            .lookup(&[Value::Int(1), Value::Int(2), Value::Int(3)], None, None)
+            .is_err());
+        assert!(ix
+            .lookup(&[Value::Int(1), Value::Int(2)], Some(&Value::Int(0)), None)
+            .is_err());
+        assert!(MultiIndex::build("x", &t, &[]).is_err());
+        assert!(MultiIndex::build("x", &t, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn selectivity_exact() {
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        let s = ix.selectivity(&[Value::Int(0)], None, None).unwrap();
+        assert!((s - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_match_prefix() {
+        let t = table();
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        assert!(ix.lookup(&[Value::Int(99)], None, None).unwrap().is_empty());
+        // hi < lo yields empty
+        assert!(ix
+            .lookup(&[Value::Int(1)], Some(&Value::Int(9)), Some(&Value::Int(2)))
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared (circular) scans.
+//!
+//! The seminar's "robust execution algorithms" session lists *shared &
+//! coordinated scans* as a robustness technique: many concurrent scan-heavy
+//! queries attach to one continuously rotating scan cursor (QPipe, Crescando
+//! "clock scan") instead of each thrashing the I/O path. The
+//! [`SharedScanCoordinator`] is a deterministic discrete simulator over page
+//! units: queries attach at arrival times, ride the cursor one full rotation,
+//! and detach. It reports per-query completion times and total I/O for the
+//! shared policy vs naive independent scans — the input to the mixed-workload
+//! experiments.
+
+/// One scan query's outcome under the shared policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanOutcome {
+    /// Arrival time (in page-read units).
+    pub arrival: f64,
+    /// Completion time.
+    pub completion: f64,
+    /// Response time (completion − arrival).
+    pub response: f64,
+}
+
+/// Result of simulating a batch of scan queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedScanReport {
+    /// Per-query outcomes under the shared circular scan.
+    pub shared: Vec<ScanOutcome>,
+    /// Per-query outcomes when each query scans independently but queues on
+    /// one I/O channel (FIFO).
+    pub independent: Vec<ScanOutcome>,
+    /// Total pages read by the shared scan.
+    pub shared_pages: f64,
+    /// Total pages read by independent scans.
+    pub independent_pages: f64,
+}
+
+impl SharedScanReport {
+    /// Mean response under the shared policy.
+    pub fn shared_mean_response(&self) -> f64 {
+        mean(self.shared.iter().map(|o| o.response))
+    }
+
+    /// Mean response under independent scans.
+    pub fn independent_mean_response(&self) -> f64 {
+        mean(self.independent.iter().map(|o| o.response))
+    }
+
+    /// I/O saved by sharing, as a fraction of independent I/O.
+    pub fn io_savings(&self) -> f64 {
+        if self.independent_pages == 0.0 {
+            0.0
+        } else {
+            1.0 - self.shared_pages / self.independent_pages
+        }
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Deterministic simulator for shared vs independent scans.
+#[derive(Debug, Clone)]
+pub struct SharedScanCoordinator {
+    table_pages: f64,
+}
+
+impl SharedScanCoordinator {
+    /// A coordinator over a table of `table_pages` pages.
+    pub fn new(table_pages: f64) -> Self {
+        assert!(table_pages > 0.0, "table must have pages");
+        SharedScanCoordinator { table_pages }
+    }
+
+    /// Simulate queries arriving at the given times (sorted or not), where
+    /// each query needs one full pass over the table and one page costs one
+    /// time unit on a single I/O channel.
+    ///
+    /// Shared policy: the cursor rotates whenever ≥1 query is attached; a
+    /// query attaching at cursor position `p` completes when the cursor
+    /// returns to `p`. Idle gaps (no attached queries) advance wall time but
+    /// not the cursor.
+    pub fn simulate(&self, arrivals: &[f64]) -> SharedScanReport {
+        let mut order: Vec<f64> = arrivals.to_vec();
+        order.sort_by(f64::total_cmp);
+
+        // --- shared circular scan ---
+        let mut shared = Vec::with_capacity(order.len());
+        let mut shared_pages = 0.0;
+        // Active queries: (arrival, pages_still_needed).
+        let mut active: Vec<(f64, f64)> = Vec::new();
+        let mut t: f64 = 0.0;
+        let mut pending = order.clone();
+        pending.reverse(); // pop from the back = earliest first
+        while !pending.is_empty() || !active.is_empty() {
+            if active.is_empty() {
+                // Jump to next arrival.
+                let a = pending.pop().expect("loop guard ensures pending");
+                t = t.max(a);
+                active.push((a, self.table_pages));
+            }
+            // Scan until the next event: a query finishing or a new arrival.
+            let next_arrival = pending.last().copied().unwrap_or(f64::INFINITY);
+            let min_left = active
+                .iter()
+                .map(|&(_, left)| left)
+                .fold(f64::INFINITY, f64::min);
+            let until_finish = t + min_left;
+            if next_arrival < until_finish {
+                let delta = next_arrival - t;
+                for q in &mut active {
+                    q.1 -= delta;
+                }
+                shared_pages += delta;
+                t = next_arrival;
+                pending.pop();
+                active.push((t, self.table_pages));
+            } else {
+                let delta = min_left;
+                for q in &mut active {
+                    q.1 -= delta;
+                }
+                shared_pages += delta;
+                t = until_finish;
+                active.retain(|&(arr, left)| {
+                    if left <= 1e-9 {
+                        shared.push(ScanOutcome {
+                            arrival: arr,
+                            completion: t,
+                            response: t - arr,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        shared.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+
+        // --- independent scans on one FIFO channel ---
+        let mut independent = Vec::with_capacity(order.len());
+        let mut channel_free: f64 = 0.0;
+        for &a in &order {
+            let start = channel_free.max(a);
+            let completion = start + self.table_pages;
+            independent.push(ScanOutcome { arrival: a, completion, response: completion - a });
+            channel_free = completion;
+        }
+        let independent_pages = self.table_pages * order.len() as f64;
+
+        SharedScanReport { shared, independent, shared_pages, independent_pages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_query_costs_one_pass() {
+        let c = SharedScanCoordinator::new(100.0);
+        let r = c.simulate(&[0.0]);
+        assert_eq!(r.shared.len(), 1);
+        assert!((r.shared[0].response - 100.0).abs() < 1e-9);
+        assert!((r.shared_pages - 100.0).abs() < 1e-9);
+        assert!((r.independent_pages - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_queries_share_one_rotation() {
+        let c = SharedScanCoordinator::new(100.0);
+        let r = c.simulate(&[0.0, 0.0, 0.0, 0.0]);
+        // All four ride the same pass: 100 pages total vs 400 independent.
+        assert!((r.shared_pages - 100.0).abs() < 1e-9);
+        assert!((r.independent_pages - 400.0).abs() < 1e-9);
+        assert!(r.io_savings() > 0.7);
+        for o in &r.shared {
+            assert!((o.response - 100.0).abs() < 1e-9);
+        }
+        // Independent FIFO makes the last query wait 400.
+        assert!((r.independent.last().unwrap().response - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_rides_partial_then_wraps() {
+        let c = SharedScanCoordinator::new(100.0);
+        let r = c.simulate(&[0.0, 50.0]);
+        // Query 2 attaches mid-rotation and needs a full rotation of its own
+        // position: completes at 150.
+        let q2 = &r.shared[1];
+        assert!((q2.completion - 150.0).abs() < 1e-9, "got {}", q2.completion);
+        // Shared I/O: cursor ran continuously 0..150 = 150 pages vs 200.
+        assert!((r.shared_pages - 150.0).abs() < 1e-9);
+        assert!(r.io_savings() > 0.2);
+    }
+
+    #[test]
+    fn idle_gap_does_not_burn_io() {
+        let c = SharedScanCoordinator::new(10.0);
+        let r = c.simulate(&[0.0, 1000.0]);
+        assert!((r.shared_pages - 20.0).abs() < 1e-9);
+        assert!((r.shared[1].completion - 1010.0).abs() < 1e-9);
+        assert!((r.io_savings() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_response_shared_beats_independent_under_load() {
+        let c = SharedScanCoordinator::new(100.0);
+        let arrivals: Vec<f64> = (0..10).map(|i| i as f64 * 5.0).collect();
+        let r = c.simulate(&arrivals);
+        assert!(
+            r.shared_mean_response() < r.independent_mean_response(),
+            "shared {} vs independent {}",
+            r.shared_mean_response(),
+            r.independent_mean_response()
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::ColumnData;
+use crate::RowId;
+use rqp_common::{Result, Row, RqpError, Schema, Value};
+
+/// An in-memory table stored column-wise.
+///
+/// The schema's field names are *unqualified* (`"quantity"`); scans qualify
+/// them with the table name so joins don't collide.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::empty(f.dtype))
+            .collect();
+        Table { name: name.into(), schema, columns, nrows: 0 }
+    }
+
+    /// Create a table directly from columns (must be equal length and match
+    /// the schema's types).
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<ColumnData>,
+    ) -> Result<Self> {
+        if columns.len() != schema.len() {
+            return Err(RqpError::Invalid(format!(
+                "schema has {} fields but {} columns supplied",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let nrows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != nrows {
+                return Err(RqpError::Invalid(format!(
+                    "column {i} has {} rows, expected {nrows}",
+                    c.len()
+                )));
+            }
+            if c.data_type() != schema.field(i).dtype {
+                return Err(RqpError::TypeMismatch {
+                    expected: schema.field(i).dtype.to_string(),
+                    got: c.data_type().to_string(),
+                });
+            }
+        }
+        Ok(Table { name: name.into(), schema, columns, nrows })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unqualified schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Schema with every field qualified as `table.column`.
+    pub fn qualified_schema(&self) -> Schema {
+        self.schema.qualify(&self.name)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// Column by name: exact match first (fields of materialized temp tables
+    /// keep their original qualified names), then the unqualified suffix.
+    pub fn column_by_name(&self, name: &str) -> Result<&ColumnData> {
+        Ok(&self.columns[self.column_index(name)?])
+    }
+
+    /// Index of a column by (unqualified or qualified) name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        if let Ok(i) = self.schema.index_of(name) {
+            return Ok(i);
+        }
+        let unq = name.rsplit_once('.').map(|(_, c)| c).unwrap_or(name);
+        self.schema.index_of(unq)
+    }
+
+    /// Materialize row `id` (panics if out of bounds).
+    pub fn row(&self, id: RowId) -> Row {
+        self.columns.iter().map(|c| c.get(id)).collect()
+    }
+
+    /// Append one row (panics on arity/type mismatch — loading is
+    /// programmatic).
+    pub fn append(&mut self, row: Row) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.nrows += 1;
+    }
+
+    /// Append many rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) {
+        for r in rows {
+            self.append(r);
+        }
+    }
+
+    /// Cell value at `(row, column-name)`.
+    pub fn value(&self, id: RowId, column: &str) -> Result<Value> {
+        Ok(self.column_by_name(column)?.get(id))
+    }
+
+    /// Iterate all rows in insertion order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.nrows).map(|i| self.row(i))
+    }
+
+    /// Count rows matching a predicate evaluated against the *qualified*
+    /// schema. Used by "oracle" estimators and metric code (true
+    /// cardinalities), not by the query path.
+    pub fn count_where(&self, pred: &rqp_common::Expr) -> Result<usize> {
+        let schema = self.qualified_schema();
+        let bound = pred.bind(&schema)?;
+        let mut n = 0;
+        for r in self.iter_rows() {
+            if bound.eval_bool(&r) {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::DataType;
+
+    fn tbl() -> Table {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Float)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..10 {
+            t.append(vec![Value::Int(i), Value::Float(i as f64 * 0.5)]);
+        }
+        t
+    }
+
+    #[test]
+    fn append_and_row() {
+        let t = tbl();
+        assert_eq!(t.nrows(), 10);
+        assert_eq!(t.row(3), vec![Value::Int(3), Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn qualified_schema_and_lookup() {
+        let t = tbl();
+        let q = t.qualified_schema();
+        assert_eq!(q.field(0).name, "t.id");
+        assert_eq!(t.column_by_name("t.v").unwrap().len(), 10);
+        assert_eq!(t.column_index("v").unwrap(), 1);
+        assert!(t.column_by_name("zz").is_err());
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let ok = Table::from_columns("x", schema.clone(), vec![vec![1i64, 2].into()]);
+        assert_eq!(ok.unwrap().nrows(), 2);
+        let bad_arity = Table::from_columns("x", schema.clone(), vec![]);
+        assert!(bad_arity.is_err());
+        let bad_type = Table::from_columns("x", schema, vec![vec![1.0f64].into()]);
+        assert!(bad_type.is_err());
+    }
+
+    #[test]
+    fn count_where_true_cardinality() {
+        let t = tbl();
+        let n = t.count_where(&col("t.id").lt(lit(4i64))).unwrap();
+        assert_eq!(n, 4);
+        let n = t.count_where(&col("v").ge(lit(2.0))).unwrap();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn iter_rows_order() {
+        let t = tbl();
+        let ids: Vec<i64> = t
+            .iter_rows()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+}

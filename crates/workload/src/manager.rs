@@ -1,0 +1,408 @@
+//! Workload management: MPL admission, weighted processor sharing, and the
+//! FMT / FPT resource tests.
+//!
+//! The seminar's "Measuring the Effects of Dynamic Activities" break-out
+//! defines two resource-robustness tests over TPC-H-like workloads:
+//!
+//! * **FMT** (Fluctuating Memory Test) — run the workload while the
+//!   available memory changes; a robust system's performance stays between
+//!   the all-memory upper baseline (*memUBL*) and the minimum-memory lower
+//!   baseline (*memLBL*);
+//! * **FPT** (Fluctuating degree-of-Parallelism Test) — measure how a
+//!   running query `Qi` degrades when a competing `Qm` takes processes away.
+//!
+//! [`WorkloadManager`] is a deterministic discrete-event simulator: jobs
+//! carry *service demands in cost units* (measured by really executing plans
+//! on the cost clock), and the manager schedules them under an MPL gate with
+//! priority admission and weighted processor sharing.
+
+use rqp_common::{Result, RqpError};
+use rqp_exec::ExecContext;
+use rqp_opt::{plan, PlannerConfig, QuerySpec};
+use rqp_stats::CardEstimator;
+use rqp_storage::Catalog;
+
+/// A unit of work for the manager.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Identifier.
+    pub id: usize,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Service demand in cost units.
+    pub demand: f64,
+    /// Priority (0 = highest); admission prefers higher priority.
+    pub priority: u8,
+    /// Share weight while running (its "degree of parallelism").
+    pub weight: f64,
+}
+
+/// Per-job simulation outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: usize,
+    /// Time admitted to the run set.
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Response time (finish − arrival).
+    pub response: f64,
+}
+
+/// Aggregate simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-job outcomes, by job id order.
+    pub jobs: Vec<JobOutcome>,
+    /// Time the last job finished.
+    pub makespan: f64,
+}
+
+impl SimOutcome {
+    /// Mean response time.
+    pub fn mean_response(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.jobs.iter().map(|j| j.response).sum::<f64>() / self.jobs.len() as f64
+        }
+    }
+
+    /// Outcome of one job.
+    pub fn job(&self, id: usize) -> Option<&JobOutcome> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+}
+
+/// The manager: MPL gate + priority queue + weighted processor sharing.
+///
+/// ```
+/// use rqp_workload::{Job, WorkloadManager};
+///
+/// let mgr = WorkloadManager::new(1, 10.0); // serial machine, 10 units/s
+/// let out = mgr.simulate(&[
+///     Job { id: 0, arrival: 0.0, demand: 100.0, priority: 1, weight: 1.0 },
+///     Job { id: 1, arrival: 1.0, demand: 10.0, priority: 0, weight: 1.0 },
+/// ]);
+/// // The high-priority latecomer runs right after the first job finishes.
+/// assert!(out.job(1).unwrap().start >= 10.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadManager {
+    /// Maximum concurrent jobs.
+    pub mpl: usize,
+    /// Total service capacity (cost units per time unit).
+    pub capacity: f64,
+}
+
+impl WorkloadManager {
+    /// New manager.
+    pub fn new(mpl: usize, capacity: f64) -> Self {
+        assert!(mpl > 0 && capacity > 0.0);
+        WorkloadManager { mpl, capacity }
+    }
+
+    /// Simulate to completion.
+    pub fn simulate(&self, jobs: &[Job]) -> SimOutcome {
+        #[derive(Debug, Clone, Copy)]
+        struct Running {
+            job: Job,
+            start: f64,
+            left: f64,
+        }
+        let mut pending: Vec<Job> = jobs.to_vec();
+        pending.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        pending.reverse(); // pop() = earliest
+        let mut waiting: Vec<Job> = Vec::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut done: Vec<JobOutcome> = Vec::new();
+        let mut t: f64 = 0.0;
+
+        let admit = |waiting: &mut Vec<Job>, running: &mut Vec<Running>, mpl: usize, t: f64| {
+            // Highest priority (lowest number), FIFO within priority.
+            waiting.sort_by(|a, b| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then(a.arrival.total_cmp(&b.arrival))
+            });
+            while running.len() < mpl && !waiting.is_empty() {
+                let j = waiting.remove(0);
+                running.push(Running { job: j, start: t, left: j.demand });
+            }
+        };
+
+        while !pending.is_empty() || !waiting.is_empty() || !running.is_empty() {
+            admit(&mut waiting, &mut running, self.mpl, t);
+            if running.is_empty() {
+                // Idle until the next arrival.
+                let j = pending.pop().expect("loop invariant: work exists");
+                t = t.max(j.arrival);
+                waiting.push(j);
+                continue;
+            }
+            let total_weight: f64 = running.iter().map(|r| r.job.weight.max(1e-9)).sum();
+            // Per-job service rate under weighted sharing.
+            let rate = |r: &Running| self.capacity * r.job.weight.max(1e-9) / total_weight;
+            let next_finish = running
+                .iter()
+                .map(|r| t + r.left / rate(r))
+                .fold(f64::INFINITY, f64::min);
+            let next_arrival = pending.last().map(|j| j.arrival).unwrap_or(f64::INFINITY);
+            let t_next = next_finish.min(next_arrival.max(t));
+            let dt = (t_next - t).max(0.0);
+            for r in &mut running {
+                r.left -= rate(r) * dt;
+            }
+            t = t_next;
+            if next_arrival <= next_finish && !pending.is_empty() {
+                let j = pending.pop().expect("checked");
+                waiting.push(j);
+            }
+            running.retain(|r| {
+                if r.left <= 1e-9 {
+                    done.push(JobOutcome {
+                        id: r.job.id,
+                        start: r.start,
+                        finish: t,
+                        response: t - r.job.arrival,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        done.sort_by_key(|j| j.id);
+        SimOutcome { jobs: done, makespan: t }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FMT
+// ---------------------------------------------------------------------------
+
+/// Result of the fluctuating-memory test.
+#[derive(Debug, Clone)]
+pub struct FmtReport {
+    /// Total workload cost with maximal memory (upper baseline — best case).
+    pub mem_ubl_cost: f64,
+    /// Total workload cost with minimal memory (lower baseline — worst case).
+    pub mem_lbl_cost: f64,
+    /// Per-query `(memory, cost)` under the fluctuating schedule.
+    pub scheduled: Vec<(f64, f64)>,
+}
+
+impl FmtReport {
+    /// Total cost under the schedule.
+    pub fn scheduled_cost(&self) -> f64 {
+        self.scheduled.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// The robustness check: the scheduled run must land between the
+    /// baselines (small tolerance for page rounding).
+    pub fn within_bounds(&self) -> bool {
+        let s = self.scheduled_cost();
+        s >= self.mem_ubl_cost * 0.999 && s <= self.mem_lbl_cost * 1.001
+    }
+
+    /// Normalized position in `[0, 1]`: 0 = at the upper baseline (best),
+    /// 1 = at the lower baseline (worst).
+    pub fn position(&self) -> f64 {
+        let span = self.mem_lbl_cost - self.mem_ubl_cost;
+        if span <= 0.0 {
+            0.0
+        } else {
+            ((self.scheduled_cost() - self.mem_ubl_cost) / span).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Run the FMT: execute `specs` three times — max memory, min memory, and
+/// under `schedule` (memory per query, cycled).
+pub fn fluctuating_memory_test(
+    catalog: &Catalog,
+    est: &dyn CardEstimator,
+    specs: &[QuerySpec],
+    schedule: &[f64],
+    max_memory: f64,
+    min_memory: f64,
+) -> Result<FmtReport> {
+    if schedule.is_empty() || specs.is_empty() {
+        return Err(RqpError::Invalid("FMT needs queries and a schedule".into()));
+    }
+    let run_at = |mem: f64, spec: &QuerySpec| -> Result<f64> {
+        let cfg = PlannerConfig { memory_rows: mem, ..Default::default() };
+        let p = plan(spec, catalog, est, cfg)?;
+        let ctx = ExecContext::with_memory(mem);
+        p.build(catalog, &ctx, None)?.run();
+        Ok(ctx.clock.now())
+    };
+    let mut ubl = 0.0;
+    let mut lbl = 0.0;
+    let mut scheduled = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        ubl += run_at(max_memory, spec)?;
+        lbl += run_at(min_memory, spec)?;
+        let mem = schedule[i % schedule.len()].clamp(min_memory, max_memory);
+        scheduled.push((mem, run_at(mem, spec)?));
+    }
+    Ok(FmtReport { mem_ubl_cost: ubl, mem_lbl_cost: lbl, scheduled })
+}
+
+// ---------------------------------------------------------------------------
+// FPT
+// ---------------------------------------------------------------------------
+
+/// Result of the fluctuating-parallelism test.
+#[derive(Debug, Clone)]
+pub struct FptReport {
+    /// `Qi`'s response when running alone with full weight.
+    pub solo_response: f64,
+    /// `(Qm weight, Qi response)` for each contention level.
+    pub contended: Vec<(f64, f64)>,
+}
+
+impl FptReport {
+    /// Slowdown factors relative to solo.
+    pub fn slowdowns(&self) -> Vec<f64> {
+        self.contended
+            .iter()
+            .map(|&(_, r)| r / self.solo_response)
+            .collect()
+    }
+}
+
+/// Run the FPT: `Qi` (demand `qi_demand`, weight 1) runs from t=0; a
+/// competitor `Qm` (demand `qm_demand`) arrives at `qm_arrival` with each of
+/// the given weights ("how many processes it demands").
+pub fn fluctuating_parallelism_test(
+    qi_demand: f64,
+    qm_demand: f64,
+    qm_arrival: f64,
+    qm_weights: &[f64],
+    capacity: f64,
+) -> FptReport {
+    let mgr = WorkloadManager::new(8, capacity);
+    let solo = mgr.simulate(&[Job {
+        id: 0,
+        arrival: 0.0,
+        demand: qi_demand,
+        priority: 1,
+        weight: 1.0,
+    }]);
+    let solo_response = solo.jobs[0].response;
+    let contended = qm_weights
+        .iter()
+        .map(|&w| {
+            let out = mgr.simulate(&[
+                Job { id: 0, arrival: 0.0, demand: qi_demand, priority: 1, weight: 1.0 },
+                Job { id: 1, arrival: qm_arrival, demand: qm_demand, priority: 1, weight: w },
+            ]);
+            (w, out.job(0).expect("Qi completes").response)
+        })
+        .collect();
+    FptReport { solo_response, contended }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{TpchDb, TpchParams};
+    use rqp_stats::{StatsEstimator, TableStatsRegistry};
+    use std::rc::Rc;
+
+    #[test]
+    fn single_job_runs_at_capacity() {
+        let mgr = WorkloadManager::new(4, 10.0);
+        let out = mgr.simulate(&[Job {
+            id: 0,
+            arrival: 5.0,
+            demand: 100.0,
+            priority: 0,
+            weight: 1.0,
+        }]);
+        let j = out.job(0).unwrap();
+        assert!((j.finish - 15.0).abs() < 1e-9);
+        assert!((j.response - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpl_gate_queues_excess_jobs() {
+        let mgr = WorkloadManager::new(1, 10.0);
+        let jobs: Vec<Job> = (0..3)
+            .map(|i| Job { id: i, arrival: 0.0, demand: 100.0, priority: 0, weight: 1.0 })
+            .collect();
+        let out = mgr.simulate(&jobs);
+        // Serial: finishes at 10, 20, 30.
+        let mut finishes: Vec<f64> = out.jobs.iter().map(|j| j.finish).collect();
+        finishes.sort_by(f64::total_cmp);
+        assert!((finishes[0] - 10.0).abs() < 1e-9);
+        assert!((finishes[2] - 30.0).abs() < 1e-9);
+        assert!((out.makespan - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priorities_jump_the_queue() {
+        let mgr = WorkloadManager::new(1, 10.0);
+        let jobs = vec![
+            Job { id: 0, arrival: 0.0, demand: 100.0, priority: 1, weight: 1.0 },
+            Job { id: 1, arrival: 1.0, demand: 100.0, priority: 1, weight: 1.0 },
+            Job { id: 2, arrival: 2.0, demand: 100.0, priority: 0, weight: 1.0 },
+        ];
+        let out = mgr.simulate(&jobs);
+        // Job 2 (high priority) must start before job 1 despite arriving later.
+        assert!(out.job(2).unwrap().start < out.job(1).unwrap().start);
+    }
+
+    #[test]
+    fn weighted_sharing_splits_capacity() {
+        let mgr = WorkloadManager::new(4, 10.0);
+        let jobs = vec![
+            Job { id: 0, arrival: 0.0, demand: 100.0, priority: 0, weight: 3.0 },
+            Job { id: 1, arrival: 0.0, demand: 100.0, priority: 0, weight: 1.0 },
+        ];
+        let out = mgr.simulate(&jobs);
+        // Job 0 gets 7.5/s → finishes ~13.33; then job 1 runs alone.
+        assert!(out.job(0).unwrap().finish < out.job(1).unwrap().finish);
+        assert!((out.job(0).unwrap().finish - 100.0 / 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fpt_slowdown_grows_with_competitor_weight() {
+        let r = fluctuating_parallelism_test(1000.0, 1000.0, 0.0, &[0.5, 1.0, 3.0], 10.0);
+        let s = r.slowdowns();
+        assert!(s.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{s:?}");
+        assert!(s[0] > 1.0, "any competitor slows Qi down");
+        assert!((r.solo_response - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_bounds_hold() {
+        let db = TpchDb::build(TpchParams { lineitem_rows: 3000, ..Default::default() }, 5);
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
+        let est = StatsEstimator::new(reg);
+        let mut rng = rqp_common::rng::seeded(5);
+        let specs = db.analytic_mix(6, &mut rng);
+        let report = fluctuating_memory_test(
+            &db.catalog,
+            &est,
+            &specs,
+            &[200.0, 5000.0, 50_000.0],
+            1e9,
+            150.0,
+        )
+        .unwrap();
+        assert!(report.mem_ubl_cost <= report.mem_lbl_cost);
+        assert!(report.within_bounds(), "position {}", report.position());
+        assert!((0.0..=1.0).contains(&report.position()));
+    }
+
+    #[test]
+    fn fmt_rejects_empty() {
+        let db = TpchDb::build(TpchParams { lineitem_rows: 500, ..Default::default() }, 5);
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
+        let est = StatsEstimator::new(reg);
+        assert!(fluctuating_memory_test(&db.catalog, &est, &[], &[1.0], 10.0, 1.0).is_err());
+    }
+}

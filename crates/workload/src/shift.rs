@@ -1,0 +1,205 @@
+//! Workload-shift detection (after Holze & Ritter, "Towards workload shift
+//! detection and prediction for autonomic databases" — seminar reading list).
+//!
+//! Self-tuning components (advisors, plan caches, LEO repositories) are
+//! tuned to a workload; when the workload *shifts*, yesterday's tuning is
+//! today's fragility. The [`ShiftDetector`] classifies incoming queries into
+//! coarse classes, maintains a reference distribution, and signals a shift
+//! when the recent window's distribution diverges beyond a threshold (total
+//! variation distance). On a signal, the reference re-bases — the detector
+//! is the trigger that tells the tuning stack to re-learn.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A detected workload shift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShiftEvent {
+    /// Total-variation distance that triggered the signal.
+    pub distance: f64,
+    /// Observations consumed so far.
+    pub at_observation: usize,
+    /// Classes that grew the most, with their probability increase.
+    pub grew: Vec<(String, f64)>,
+}
+
+/// Sliding-window workload-shift detector.
+#[derive(Debug, Clone)]
+pub struct ShiftDetector {
+    window: usize,
+    threshold: f64,
+    reference: HashMap<String, f64>,
+    recent: VecDeque<String>,
+    observations: usize,
+    warmed_up: bool,
+    /// Checks are suppressed until this many more observations arrive
+    /// (set after a signal so one shift fires one event, not one per tuple
+    /// of the transition).
+    cooldown: usize,
+}
+
+impl ShiftDetector {
+    /// Detector with the given window size and total-variation threshold
+    /// (e.g. 0.3 = signal when 30% of the query mass moved class).
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window >= 4, "window too small to estimate a distribution");
+        assert!((0.0..=1.0).contains(&threshold));
+        ShiftDetector {
+            window,
+            threshold,
+            reference: HashMap::new(),
+            recent: VecDeque::with_capacity(window),
+            observations: 0,
+            warmed_up: false,
+            cooldown: 0,
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// The current reference distribution.
+    pub fn reference(&self) -> &HashMap<String, f64> {
+        &self.reference
+    }
+
+    fn window_distribution(&self) -> HashMap<String, f64> {
+        let mut d: HashMap<String, f64> = HashMap::new();
+        for c in &self.recent {
+            *d.entry(c.clone()).or_default() += 1.0;
+        }
+        let n = self.recent.len().max(1) as f64;
+        for v in d.values_mut() {
+            *v /= n;
+        }
+        d
+    }
+
+    /// Observe one query of class `class`; returns a shift event when the
+    /// recent window has diverged from the reference.
+    pub fn observe(&mut self, class: &str) -> Option<ShiftEvent> {
+        self.observations += 1;
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(class.to_owned());
+        if self.recent.len() < self.window {
+            return None;
+        }
+        if !self.warmed_up {
+            // First full window becomes the reference.
+            self.reference = self.window_distribution();
+            self.warmed_up = true;
+            return None;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            // Keep the reference tracking through the transition.
+            if self.cooldown == 0 {
+                self.reference = self.window_distribution();
+            }
+            return None;
+        }
+        let current = self.window_distribution();
+        // Total variation distance.
+        let mut classes: Vec<&String> =
+            self.reference.keys().chain(current.keys()).collect();
+        classes.sort();
+        classes.dedup();
+        let mut tv = 0.0;
+        let mut grew = Vec::new();
+        for c in classes {
+            let r = self.reference.get(c).copied().unwrap_or(0.0);
+            let q = current.get(c).copied().unwrap_or(0.0);
+            tv += (r - q).abs();
+            if q > r + 1e-12 {
+                grew.push((c.clone(), q - r));
+            }
+        }
+        let tv = tv / 2.0;
+        if tv >= self.threshold {
+            grew.sort_by(|a, b| b.1.total_cmp(&a.1));
+            self.reference = current;
+            self.cooldown = self.window;
+            Some(ShiftEvent { distance: tv, at_observation: self.observations, grew })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_workload_never_signals() {
+        let mut d = ShiftDetector::new(20, 0.3);
+        for i in 0..500 {
+            let class = if i % 3 == 0 { "oltp" } else { "olap" };
+            assert!(d.observe(class).is_none(), "no shift at {i}");
+        }
+        assert_eq!(d.observations(), 500);
+    }
+
+    #[test]
+    fn abrupt_shift_signals_once_then_rebases() {
+        let mut d = ShiftDetector::new(20, 0.4);
+        for _ in 0..100 {
+            assert!(d.observe("oltp").is_none());
+        }
+        // Flip entirely to analytics.
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            if let Some(e) = d.observe("olap") {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 1, "one signal per shift, then rebase");
+        let e = &events[0];
+        assert!(e.distance >= 0.4);
+        assert_eq!(e.grew[0].0, "olap");
+        // The rebased reference absorbs the new mix: continuing is quiet.
+        for _ in 0..100 {
+            assert!(d.observe("olap").is_none());
+        }
+    }
+
+    #[test]
+    fn gradual_drift_below_threshold_is_tolerated() {
+        let mut d = ShiftDetector::new(40, 0.5);
+        let mut signals = 0;
+        for i in 0..400 {
+            // Mix moves from 90/10 to 70/30 — a mild drift.
+            let olap_share = 10 + (i / 40);
+            let class = if i % 100 < olap_share { "olap" } else { "oltp" };
+            if d.observe(class).is_some() {
+                signals += 1;
+            }
+        }
+        assert_eq!(signals, 0, "mild drift below threshold must not alarm");
+    }
+
+    #[test]
+    fn new_class_appearance_detected() {
+        let mut d = ShiftDetector::new(20, 0.3);
+        for _ in 0..50 {
+            d.observe("reporting");
+        }
+        let mut signalled = false;
+        for _ in 0..30 {
+            if d.observe("adhoc").is_some() {
+                signalled = true;
+                break;
+            }
+        }
+        assert!(signalled, "a brand-new query class is a shift");
+    }
+
+    #[test]
+    #[should_panic(expected = "window too small")]
+    fn tiny_window_rejected() {
+        ShiftDetector::new(2, 0.3);
+    }
+}

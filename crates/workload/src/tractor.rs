@@ -1,0 +1,195 @@
+//! The tractor-pull benchmark (Kersten, Kemper, Markl, Nica, Poess, Sattler).
+//!
+//! "The tractor pull suite is formulated to evaluate a system systematically
+//! against an increasingly complex workload": each round increases the load
+//! (bigger tables, more joins), the sled gets heavier, and the metric is the
+//! *increasing variance in response time* until the system stalls against a
+//! budget. The distance travelled before the stall, and how gracefully
+//! variance grows, compare systems' robustness rather than raw speed.
+
+use crate::star::{StarDb, StarParams};
+use rand::Rng;
+use rqp_common::rng::{child_seed, seeded};
+use rqp_common::Result;
+use rqp_exec::{AggSpec, ExecContext};
+use rqp_opt::{plan, PlannerConfig, QuerySpec};
+use rqp_stats::{StatsEstimator, TableStatsRegistry};
+use std::rc::Rc;
+
+/// Configuration of a tractor pull.
+#[derive(Debug, Clone, Copy)]
+pub struct TractorConfig {
+    /// Maximum rounds to attempt.
+    pub max_rounds: usize,
+    /// Fact rows in round 0.
+    pub base_rows: usize,
+    /// Fact-row multiplier per round (the heavier sled).
+    pub growth: f64,
+    /// Query instances per round (with jittered parameters).
+    pub queries_per_round: usize,
+    /// Cost budget per query; exceeding the budget on average = stall.
+    pub stall_budget: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TractorConfig {
+    fn default() -> Self {
+        TractorConfig {
+            max_rounds: 8,
+            base_rows: 1000,
+            growth: 2.0,
+            queries_per_round: 5,
+            stall_budget: 50_000.0,
+            seed: 271,
+        }
+    }
+}
+
+/// Result of one round.
+#[derive(Debug, Clone)]
+pub struct TractorRound {
+    /// Round number (0-based).
+    pub round: usize,
+    /// Fact rows this round.
+    pub fact_rows: usize,
+    /// Number of dimension joins this round (1–3).
+    pub joins: usize,
+    /// Mean query cost.
+    pub mean_cost: f64,
+    /// Coefficient of variation of query costs (the robustness signal).
+    pub cv: f64,
+    /// Worst query cost.
+    pub max_cost: f64,
+    /// Whether the round stalled (mean cost over budget).
+    pub stalled: bool,
+}
+
+/// The tractor-pull driver.
+pub struct TractorPull;
+
+impl TractorPull {
+    /// Run the pull; stops after the first stalled round (inclusive).
+    pub fn run(cfg: TractorConfig) -> Result<Vec<TractorRound>> {
+        let mut rounds = Vec::new();
+        let mut rng = seeded(child_seed(cfg.seed, "tractor"));
+        for round in 0..cfg.max_rounds {
+            let fact_rows =
+                ((cfg.base_rows as f64) * cfg.growth.powi(round as i32)).round() as usize;
+            let joins = 1 + (round / 2).min(2);
+            let db = StarDb::build(
+                StarParams { fact_rows, ..Default::default() },
+                child_seed(cfg.seed, &format!("round{round}")),
+            );
+            let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
+            let est = StatsEstimator::new(reg);
+
+            let mut costs = Vec::with_capacity(cfg.queries_per_round);
+            for _ in 0..cfg.queries_per_round {
+                let ks: Vec<i64> = (0..3)
+                    .map(|d| if d < joins { rng.gen_range(2..9) } else { 10 })
+                    .collect();
+                let spec = round_query(&db, joins, &ks);
+                let p = plan(&spec, &db.catalog, &est, PlannerConfig::default())?;
+                let ctx = ExecContext::unbounded();
+                p.build(&db.catalog, &ctx, None)?.run();
+                costs.push(ctx.clock.now());
+            }
+            let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+            let var = costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
+                / costs.len() as f64;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            let max_cost = costs.iter().cloned().fold(0.0, f64::max);
+            let stalled = mean > cfg.stall_budget;
+            rounds.push(TractorRound {
+                round,
+                fact_rows,
+                joins,
+                mean_cost: mean,
+                cv,
+                max_cost,
+                stalled,
+            });
+            if stalled {
+                break;
+            }
+        }
+        Ok(rounds)
+    }
+
+    /// Distance metric: rounds completed before stalling.
+    pub fn distance(rounds: &[TractorRound]) -> usize {
+        rounds.iter().filter(|r| !r.stalled).count()
+    }
+}
+
+fn round_query(db: &StarDb, joins: usize, ks: &[i64]) -> QuerySpec {
+    use rqp_common::expr::{col, lit};
+    let mut q = QuerySpec::new().table("fact");
+    let dims = ["d1", "d2", "d3"];
+    let fks = ["fk1", "fk2", "fk3"];
+    for d in 0..joins {
+        q = q.join("fact", fks[d], dims[d], "key");
+        if ks[d] < 10 {
+            q = q.filter(dims[d], col(format!("{}.attr", dims[d])).lt(lit(ks[d])));
+        }
+    }
+    let _ = db;
+    q.aggregate(&[], vec![AggSpec::count_star("n")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_completes_rounds_and_costs_grow() {
+        let rounds = TractorPull::run(TractorConfig {
+            max_rounds: 4,
+            base_rows: 500,
+            growth: 2.0,
+            queries_per_round: 3,
+            stall_budget: 1e12,
+            seed: 7,
+        })
+        .unwrap();
+        assert_eq!(rounds.len(), 4);
+        assert!(rounds.windows(2).all(|w| w[1].fact_rows > w[0].fact_rows));
+        assert!(
+            rounds.last().unwrap().mean_cost > rounds[0].mean_cost,
+            "heavier sled costs more"
+        );
+        assert_eq!(TractorPull::distance(&rounds), 4);
+    }
+
+    #[test]
+    fn stall_stops_the_pull() {
+        let rounds = TractorPull::run(TractorConfig {
+            max_rounds: 10,
+            base_rows: 500,
+            growth: 4.0,
+            queries_per_round: 2,
+            stall_budget: 200.0,
+            seed: 7,
+        })
+        .unwrap();
+        assert!(rounds.len() < 10, "must stall before 10 quadrupling rounds");
+        assert!(rounds.last().unwrap().stalled);
+        assert!(TractorPull::distance(&rounds) < rounds.len());
+    }
+
+    #[test]
+    fn joins_escalate() {
+        let rounds = TractorPull::run(TractorConfig {
+            max_rounds: 5,
+            base_rows: 300,
+            growth: 1.5,
+            queries_per_round: 2,
+            stall_budget: 1e12,
+            seed: 3,
+        })
+        .unwrap();
+        assert_eq!(rounds[0].joins, 1);
+        assert!(rounds[4].joins >= 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * all join algorithms compute the same multiset;
+//! * cracking / adaptive merging / index / scan agree on every range;
+//! * expression rewrites preserve semantics on arbitrary rows;
+//! * the cracker invariant survives arbitrary query/update interleavings;
+//! * sort output is ordered and a permutation of its input;
+//! * max-entropy distributions honor their constraints.
+
+use proptest::prelude::*;
+use rqp::common::rng::seeded;
+use rqp::exec::{collect, ExecContext, GJoinOp, HashJoinOp, MergeJoinOp, Operator, SortOp};
+use rqp::expr::{col, lit, rewrites};
+use rqp::stats::MaxEntSolver;
+use rqp::storage::{AdaptiveMergeIndex, CrackerColumn, MultiIndex, Table};
+use rqp::{DataType, Row, Schema, Value};
+use rand::Rng;
+
+/// Literal row source for operator property tests.
+struct RowsOp {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl RowsOp {
+    fn boxed(name: &str, keys: &[i64]) -> Box<dyn Operator> {
+        let schema = Schema::from_pairs(&[(
+            Box::leak(format!("{name}.k").into_boxed_str()) as &str,
+            DataType::Int,
+        )]);
+        Box::new(RowsOp {
+            schema,
+            rows: keys
+                .iter()
+                .map(|&k| vec![Value::Int(k)])
+                .collect::<Vec<_>>()
+                .into_iter(),
+        })
+    }
+}
+
+impl Operator for RowsOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn next(&mut self) -> Option<Row> {
+        self.rows.next()
+    }
+}
+
+fn multiset(rows: Vec<Row>) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_algorithms_agree(
+        left in prop::collection::vec(0i64..20, 0..60),
+        right in prop::collection::vec(0i64..20, 0..60),
+    ) {
+        let ctx = ExecContext::unbounded();
+        let hash = {
+            let mut j = HashJoinOp::new(
+                RowsOp::boxed("l", &left), RowsOp::boxed("r", &right),
+                &["l.k"], &["r.k"], ctx.clone()).unwrap();
+            multiset(collect(&mut j))
+        };
+        let merge = {
+            let mut ls = left.clone();
+            ls.sort_unstable();
+            let mut rs = right.clone();
+            rs.sort_unstable();
+            let mut j = MergeJoinOp::new(
+                RowsOp::boxed("l", &ls), RowsOp::boxed("r", &rs),
+                &["l.k"], &["r.k"], ctx.clone()).unwrap();
+            multiset(collect(&mut j))
+        };
+        let gjoin = {
+            let mut j = GJoinOp::new(
+                RowsOp::boxed("l", &left), RowsOp::boxed("r", &right),
+                &["l.k"], &["r.k"], false, false, None, ctx).unwrap();
+            multiset(collect(&mut j))
+        };
+        prop_assert_eq!(&hash, &merge);
+        prop_assert_eq!(&hash, &gjoin);
+        // Sanity: cardinality equals the key-count convolution.
+        let expected: usize = (0..20)
+            .map(|k| {
+                left.iter().filter(|&&x| x == k).count()
+                    * right.iter().filter(|&&x| x == k).count()
+            })
+            .sum();
+        prop_assert_eq!(hash.len(), expected);
+    }
+
+    #[test]
+    fn adaptive_indexes_agree_with_filter(
+        keys in prop::collection::vec(-50i64..50, 1..200),
+        ranges in prop::collection::vec((-60i64..60, 0i64..30), 1..12),
+    ) {
+        let mut cracker = CrackerColumn::new(&keys);
+        let mut amerge = AdaptiveMergeIndex::new(&keys, 16);
+        for &(lo, width) in &ranges {
+            let hi = lo + width;
+            let mut expected: Vec<usize> = keys.iter().enumerate()
+                .filter(|(_, &k)| k >= lo && k <= hi)
+                .map(|(i, _)| i)
+                .collect();
+            expected.sort_unstable();
+            let (mut got_c, _) = cracker.query(lo, hi);
+            got_c.sort_unstable();
+            prop_assert_eq!(&got_c, &expected);
+            prop_assert!(cracker.check_invariant());
+            let (mut got_a, _) = amerge.query(lo, hi);
+            got_a.sort_unstable();
+            prop_assert_eq!(&got_a, &expected);
+            prop_assert!(amerge.check_invariant());
+        }
+    }
+
+    #[test]
+    fn cracker_survives_interleaved_updates(
+        keys in prop::collection::vec(0i64..100, 1..100),
+        ops in prop::collection::vec((0u8..3, 0i64..100, 0i64..20), 1..20),
+    ) {
+        let mut cracker = CrackerColumn::new(&keys);
+        // Shadow model: multiset of (key, rowid).
+        let mut model: Vec<(i64, usize)> =
+            keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+        let mut next_rid = keys.len();
+        for &(op, a, b) in &ops {
+            match op {
+                0 => {
+                    // insert
+                    cracker.insert(a, next_rid);
+                    model.push((a, next_rid));
+                    next_rid += 1;
+                }
+                1 => {
+                    // delete first model entry with key a, if any
+                    if let Some(pos) = model.iter().position(|&(k, _)| k == a) {
+                        let (k, rid) = model.remove(pos);
+                        cracker.delete(k, rid);
+                    }
+                }
+                _ => {
+                    let (lo, hi) = (a, a + b);
+                    let (mut got, _) = cracker.query(lo, hi);
+                    got.sort_unstable();
+                    let mut want: Vec<usize> = model.iter()
+                        .filter(|&&(k, _)| k >= lo && k <= hi)
+                        .map(|&(_, r)| r)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                    prop_assert!(cracker.check_invariant());
+                }
+            }
+        }
+        // Final full query flushes all pending updates.
+        let (mut got, _) = cracker.query(i64::MIN, i64::MAX);
+        got.sort_unstable();
+        let mut want: Vec<usize> = model.iter().map(|&(_, r)| r).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_index_agrees_with_filter(
+        rows in prop::collection::vec((0i64..8, 0i64..12), 1..150),
+        a_eq in 0i64..8,
+        b_lo in 0i64..12,
+        b_width in 0i64..6,
+    ) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for &(a, b) in &rows {
+            t.append(vec![Value::Int(a), Value::Int(b)]);
+        }
+        let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
+        let b_hi = b_lo + b_width;
+        let mut got = ix
+            .lookup(&[Value::Int(a_eq)], Some(&Value::Int(b_lo)), Some(&Value::Int(b_hi)))
+            .unwrap();
+        got.sort_unstable();
+        let want: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a == a_eq && b >= b_lo && b <= b_hi)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+        // Pure-prefix lookup is the union over all b.
+        let mut all = ix.lookup(&[Value::Int(a_eq)], None, None).unwrap();
+        all.sort_unstable();
+        let want_all: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, _))| a == a_eq)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(all, want_all);
+    }
+
+    #[test]
+    fn rewrites_preserve_predicate_semantics(
+        a_vals in prop::collection::vec(-10i64..10, 1..30),
+        lo in -10i64..5,
+        width in 0i64..10,
+        in_list in prop::collection::vec(-10i64..10, 1..4),
+    ) {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let base = col("a").between(lo, lo + width)
+            .or(col("a").in_list(in_list.iter().map(|&v| Value::Int(v)).collect()))
+            .and(col("a").ne(lit(0i64)).not().not());
+        for variant in rewrites::variants(&base) {
+            for &v in &a_vals {
+                let row = vec![Value::Int(v)];
+                prop_assert_eq!(
+                    base.eval_bool(&row, &schema).unwrap(),
+                    variant.eval_bool(&row, &schema).unwrap(),
+                    "variant {} disagrees at a={}", variant, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_ordered_permutation(keys in prop::collection::vec(-1000i64..1000, 0..300)) {
+        let ctx = ExecContext::unbounded();
+        let mut s = SortOp::asc(RowsOp::boxed("t", &keys), &["t.k"], ctx).unwrap();
+        let out = collect(&mut s);
+        prop_assert_eq!(out.len(), keys.len());
+        prop_assert!(out.windows(2).all(|w| w[0][0] <= w[1][0]));
+        let mut sorted_in = keys.clone();
+        sorted_in.sort_unstable();
+        let got: Vec<i64> = out.iter().map(|r| r[0].as_int().unwrap()).collect();
+        prop_assert_eq!(got, sorted_in);
+    }
+
+    #[test]
+    fn maxent_honors_constraints(s1 in 0.05f64..0.95, s2 in 0.05f64..0.95) {
+        let mut solver = MaxEntSolver::new(2).unwrap();
+        solver.add_constraint(0b01, s1).unwrap();
+        solver.add_constraint(0b10, s2).unwrap();
+        let d = solver.solve(300, 1e-10);
+        prop_assert!((d.selectivity(0b01) - s1).abs() < 1e-4);
+        prop_assert!((d.selectivity(0b10) - s2).abs() < 1e-4);
+        // Without joint knowledge, ME = independence.
+        prop_assert!((d.selectivity(0b11) - s1 * s2).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn memory_fluctuation_mid_plan_is_observed() {
+    // Not a proptest, but a deterministic edge probe: changing the governor
+    // budget between pipeline stages affects the later stage's spill.
+    let mut rng = seeded(8);
+    let keys: Vec<i64> = (0..5000).map(|_| rng.gen_range(0..5000)).collect();
+    let ctx = ExecContext::with_memory(f64::INFINITY);
+    let mut sort = SortOp::asc(RowsOp::boxed("t", &keys), &["t.k"], ctx.clone()).unwrap();
+    // Shrink the workspace *before* the sort materializes.
+    ctx.memory.set_budget(100.0);
+    let out = collect(&mut sort);
+    assert_eq!(out.len(), 5000);
+    assert!(ctx.clock.breakdown().spill > 0.0, "shrunk budget must be seen");
+}
