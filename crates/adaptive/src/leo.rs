@@ -1,7 +1,7 @@
 //! The LEO learning loop.
 //!
-//! Each execution compares the per-node actual cardinalities (from the plan's
-//! meters) with the estimates the plan carried, and records adjustment
+//! Each execution compares the per-node actual cardinalities (observed via
+//! the operators' telemetry spans) with the estimates the plan carried, and records adjustment
 //! factors in a shared [`FeedbackRepo`]. Optimizing through a
 //! [`FeedbackEstimator`](rqp_stats::FeedbackEstimator) then applies the
 //! corrections — estimates converge toward actuals over repeated workloads
@@ -70,7 +70,7 @@ pub fn run_with_feedback(
     let cost = ctx.clock.now() - start;
     let mut observations = Vec::with_capacity(built.meters.len());
     for (i, m) in built.meters.iter().enumerate() {
-        let actual = m.counter.get();
+        let actual = m.actual_rows();
         let learned = match &m.feedback_signature {
             Some(sig) => {
                 // LEO attributes error *per operator*: normalize this node's
@@ -82,7 +82,7 @@ pub fn run_with_feedback(
                 for c in built.children_of(i) {
                     let cm = &built.meters[c];
                     adjusted *=
-                        (cm.counter.get() as f64).max(1.0) / cm.est_rows.max(1.0);
+                        (cm.actual_rows() as f64).max(1.0) / cm.est_rows.max(1.0);
                 }
                 repo.borrow_mut().observe(sig, adjusted, actual as f64);
                 true

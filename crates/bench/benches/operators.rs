@@ -1,13 +1,13 @@
-//! Criterion micro-benchmarks of the execution operators and adaptive
+//! Stopwatch micro-benchmarks of the execution operators and adaptive
 //! storage structures (real wall-clock time, complementing the cost-clock
-//! experiments).
+//! experiments). Run with `cargo bench -p rqp-bench --bench operators`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::Rng;
 use rqp::common::rng::seeded;
 use rqp::exec::{collect, ExecContext, GJoinOp, HashJoinOp, MergeJoinOp, Operator, SortOp};
 use rqp::storage::{AdaptiveMergeIndex, BTreeIndex, CrackerColumn};
 use rqp::{DataType, Row, Schema, Table, Value};
+use rqp_bench::stopwatch::Group;
 
 struct VecOp {
     schema: Schema,
@@ -43,86 +43,60 @@ fn keys(n: i64, domain: i64, seed: u64) -> Vec<i64> {
     (0..n).map(|_| rng.gen_range(0..domain)).collect()
 }
 
-fn bench_joins(c: &mut Criterion) {
+fn bench_joins() {
     let l = keys(20_000, 5_000, 1);
     let r = keys(5_000, 5_000, 2);
     let mut sorted_l = l.clone();
     sorted_l.sort_unstable();
     let mut sorted_r = r.clone();
     sorted_r.sort_unstable();
-    let mut g = c.benchmark_group("join_20k_x_5k");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("hash_join", |b| {
-        b.iter_batched(
-            || (src("l", &l), src("r", &r)),
-            |(lo, ro)| {
-                let ctx = ExecContext::unbounded();
-                let mut j =
-                    HashJoinOp::new(lo, ro, &["l.k"], &["r.k"], ctx).expect("join");
-                collect(&mut j).len()
-            },
-            BatchSize::LargeInput,
-        )
+    let g = Group::new("join_20k_x_5k");
+    g.bench("hash_join", || {
+        let ctx = ExecContext::unbounded();
+        let mut j =
+            HashJoinOp::new(src("l", &l), src("r", &r), &["l.k"], &["r.k"], ctx).expect("join");
+        collect(&mut j).len()
     });
-    g.bench_function("merge_join_presorted", |b| {
-        b.iter_batched(
-            || (src("l", &sorted_l), src("r", &sorted_r)),
-            |(lo, ro)| {
-                let ctx = ExecContext::unbounded();
-                let mut j =
-                    MergeJoinOp::new(lo, ro, &["l.k"], &["r.k"], ctx).expect("join");
-                collect(&mut j).len()
-            },
-            BatchSize::LargeInput,
+    g.bench("merge_join_presorted", || {
+        let ctx = ExecContext::unbounded();
+        let mut j = MergeJoinOp::new(
+            src("l", &sorted_l),
+            src("r", &sorted_r),
+            &["l.k"],
+            &["r.k"],
+            ctx,
         )
+        .expect("join");
+        collect(&mut j).len()
     });
-    g.bench_function("g_join_unsorted", |b| {
-        b.iter_batched(
-            || (src("l", &l), src("r", &r)),
-            |(lo, ro)| {
-                let ctx = ExecContext::unbounded();
-                let mut j = GJoinOp::new(
-                    lo,
-                    ro,
-                    &["l.k"],
-                    &["r.k"],
-                    false,
-                    false,
-                    None,
-                    ctx,
-                )
-                .expect("join");
-                collect(&mut j).len()
-            },
-            BatchSize::LargeInput,
+    g.bench("g_join_unsorted", || {
+        let ctx = ExecContext::unbounded();
+        let mut j = GJoinOp::new(
+            src("l", &l),
+            src("r", &r),
+            &["l.k"],
+            &["r.k"],
+            false,
+            false,
+            None,
+            ctx,
         )
+        .expect("join");
+        collect(&mut j).len()
     });
-    g.finish();
 }
 
-fn bench_sort(c: &mut Criterion) {
+fn bench_sort() {
     let data = keys(50_000, 1_000_000, 3);
-    let mut g = c.benchmark_group("sort_50k");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("sort_operator", |b| {
-        b.iter_batched(
-            || src("t", &data),
-            |op| {
-                let ctx = ExecContext::unbounded();
-                let mut s = SortOp::asc(op, &["t.k"], ctx).expect("sort");
-                collect(&mut s).len()
-            },
-            BatchSize::LargeInput,
-        )
+    let g = Group::new("sort_50k");
+    g.bench("sort_operator", || {
+        let ctx = ExecContext::unbounded();
+        let mut s = SortOp::asc(src("t", &data), &["t.k"], ctx).expect("sort");
+        collect(&mut s).len()
     });
-    g.finish();
 }
 
-fn bench_adaptive_indexing(c: &mut Criterion) {
+fn bench_adaptive_indexing() {
     let data = keys(100_000, 100_000, 4);
     let ranges: Vec<(i64, i64)> = {
         let mut rng = seeded(5);
@@ -133,57 +107,44 @@ fn bench_adaptive_indexing(c: &mut Criterion) {
             })
             .collect()
     };
-    let mut g = c.benchmark_group("adaptive_indexing_100k_50q");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("cracking", |b| {
-        b.iter_batched(
-            || CrackerColumn::new(&data),
-            |mut cr| {
-                let mut total = 0usize;
-                for &(lo, hi) in &ranges {
-                    total += cr.query(lo, hi).0.len();
-                }
-                total
-            },
-            BatchSize::LargeInput,
-        )
+    let g = Group::new("adaptive_indexing_100k_50q");
+    g.bench("cracking", || {
+        let mut cr = CrackerColumn::new(&data);
+        let mut total = 0usize;
+        for &(lo, hi) in &ranges {
+            total += cr.query(lo, hi).0.len();
+        }
+        total
     });
-    g.bench_function("adaptive_merging", |b| {
-        b.iter_batched(
-            || AdaptiveMergeIndex::new(&data, 0),
-            |mut am| {
-                let mut total = 0usize;
-                for &(lo, hi) in &ranges {
-                    total += am.query(lo, hi).0.len();
-                }
-                total
-            },
-            BatchSize::LargeInput,
-        )
+    g.bench("adaptive_merging", || {
+        let mut am = AdaptiveMergeIndex::new(&data, 0);
+        let mut total = 0usize;
+        for &(lo, hi) in &ranges {
+            total += am.query(lo, hi).0.len();
+        }
+        total
     });
-    g.bench_function("eager_btree_build_then_query", |b| {
-        let table = {
-            let mut t = Table::new("t", Schema::from_pairs(&[("k", DataType::Int)]));
-            for &k in &data {
-                t.append(vec![Value::Int(k)]);
-            }
-            t
-        };
-        b.iter(|| {
-            let ix = BTreeIndex::build("ix", &table, "k").expect("index");
-            let mut total = 0usize;
-            for &(lo, hi) in &ranges {
-                total += ix
-                    .lookup_range(Some(&Value::Int(lo)), Some(&Value::Int(hi)))
-                    .len();
-            }
-            total
-        })
+    let table = {
+        let mut t = Table::new("t", Schema::from_pairs(&[("k", DataType::Int)]));
+        for &k in &data {
+            t.append(vec![Value::Int(k)]);
+        }
+        t
+    };
+    g.bench("eager_btree_build_then_query", || {
+        let ix = BTreeIndex::build("ix", &table, "k").expect("index");
+        let mut total = 0usize;
+        for &(lo, hi) in &ranges {
+            total += ix
+                .lookup_range(Some(&Value::Int(lo)), Some(&Value::Int(hi)))
+                .len();
+        }
+        total
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_joins, bench_sort, bench_adaptive_indexing);
-criterion_main!(benches);
+fn main() {
+    bench_joins();
+    bench_sort();
+    bench_adaptive_indexing();
+}

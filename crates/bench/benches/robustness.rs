@@ -1,55 +1,37 @@
-//! Criterion wrappers over the experiment harness: every table/figure
+//! Stopwatch wrappers over the experiment harness: every table/figure
 //! regenerates under `cargo bench` (fast mode), timing the full experiment
 //! pipeline. The primary artifacts are the printed reports from the `e*`
 //! binaries; these benches guarantee the experiments stay runnable and give
 //! a wall-clock baseline per experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rqp_bench::stopwatch::Group;
 
 macro_rules! exp_bench {
-    ($group:ident, $($name:ident),+ $(,)?) => {
-        fn $group(c: &mut Criterion) {
-            let mut g = c.benchmark_group(stringify!($group));
-            g.sample_size(10);
-            g.warm_up_time(std::time::Duration::from_millis(500));
-            g.measurement_time(std::time::Duration::from_secs(2));
-            $(
-                g.bench_function(stringify!($name), |b| {
-                    b.iter(|| {
-                        let report = rqp_bench::$name(true);
-                        assert!(!report.is_empty());
-                        report.len()
-                    })
-                });
-            )+
-            g.finish();
-        }
-    };
+    ($group:literal, $($name:ident),+ $(,)?) => {{
+        let g = Group::new($group);
+        $(
+            g.bench(stringify!($name), || {
+                let report = rqp_bench::$name(true);
+                assert!(!report.is_empty());
+                report.len()
+            });
+        )+
+    }};
 }
 
-exp_bench!(pop_figures, e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter);
-exp_bench!(seminar_benchmarks, e04_tractor_pull, e05_extrinsic, e06_equivalence);
-exp_bench!(
-    optimizer_robustness,
-    e07_smoothness,
-    e09_robust_opt,
-    e10_plan_diagram,
-    e20_rio,
-    e21_stats_refresh,
-);
-exp_bench!(estimation, e08_card_metrics, e19_leo, e22_blackhat);
-exp_bench!(execution, e11_cracking, e16_agreedy, e17_eddy, e18_gjoin);
-exp_bench!(resources, e12_advisor, e13_fmt, e14_fpt, e15_mixed);
-exp_bench!(ablations, a01_pop_theta, a02_amerge_runsize, a03_eddy_decay);
-
-criterion_group!(
-    benches,
-    pop_figures,
-    seminar_benchmarks,
-    optimizer_robustness,
-    estimation,
-    execution,
-    resources,
-    ablations
-);
-criterion_main!(benches);
+fn main() {
+    exp_bench!("pop_figures", e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter);
+    exp_bench!("seminar_benchmarks", e04_tractor_pull, e05_extrinsic, e06_equivalence);
+    exp_bench!(
+        "optimizer_robustness",
+        e07_smoothness,
+        e09_robust_opt,
+        e10_plan_diagram,
+        e20_rio,
+        e21_stats_refresh,
+    );
+    exp_bench!("estimation", e08_card_metrics, e19_leo, e22_blackhat);
+    exp_bench!("execution", e11_cracking, e16_agreedy, e17_eddy, e18_gjoin);
+    exp_bench!("resources", e12_advisor, e13_fmt, e14_fpt, e15_mixed);
+    exp_bench!("ablations", a01_pop_theta, a02_amerge_runsize, a03_eddy_decay);
+}

@@ -75,9 +75,48 @@ pub fn run_pop_workload(fast: bool) -> Vec<PopPoint> {
     out
 }
 
+/// Assemble E01's run report: the workload's cost distributions and
+/// re-optimization counts as metrics, plus the full operator span trace of
+/// one representative problem query (a severe 100× underestimate) executed
+/// under POP. Written to `exp_output/` by [`e01_pop_aggregate`].
+pub fn e01_run_report(fast: bool, points: &[PopPoint]) -> rqp::telemetry::RunReport {
+    let ctx = ExecContext::unbounded();
+    let std_hist = ctx.metrics.histogram("cost.standard");
+    let pop_hist = ctx.metrics.histogram("cost.pop");
+    let reopts = ctx.metrics.counter("pop.reoptimizations");
+    for p in points {
+        std_hist.observe(p.standard);
+        pop_hist.observe(p.pop);
+        reopts.add(p.reopts as u64);
+    }
+    let li_rows = if fast { 3000 } else { 12_000 };
+    let db = TpchDb::build(TpchParams { lineitem_rows: li_rows, ..Default::default() }, 1001);
+    let registry = TableStatsRegistry::analyze_catalog(&db.catalog, 32);
+    let wrap: Box<EstimatorWrapper<'_>> = Box::new(|e| {
+        Box::new(LyingEstimator::new(e).with_table_factor("lineitem", 0.01))
+    });
+    run_with_pop(
+        &db.q3(1, 1200),
+        &db.catalog,
+        &registry,
+        wrap.as_ref(),
+        PlannerConfig::default(),
+        PopConfig::default(),
+        &ctx,
+    )
+    .expect("traced POP run");
+    ctx.run_report("e01_pop_aggregate")
+        .with_config("fast", if fast { "true" } else { "false" })
+        .with_config("queries", &points.len().to_string())
+}
+
 /// E01 — Figure 1: aggregated improvement (box plots).
 pub fn e01_pop_aggregate(fast: bool) -> String {
     let points = run_pop_workload(fast);
+    let footer = match e01_run_report(fast, &points).write_to(std::path::Path::new("exp_output")) {
+        Ok(path) => format!("run report: {}", path.display()),
+        Err(e) => format!("run report: write failed ({e})"),
+    };
     let std_costs: Vec<f64> = points.iter().map(|p| p.standard).collect();
     let pop_costs: Vec<f64> = points.iter().map(|p| p.pop).collect();
     let sb = BoxPlot::of(&std_costs);
@@ -100,7 +139,7 @@ pub fn e01_pop_aggregate(fast: bool) -> String {
         "E01 — POP Figure 1: aggregated improvement ({} queries)\n\n\
          standard: {}\nPOP:      {}\n\n{t}\n\
          Expected shape: mid-50% barely moves, the outlier tail collapses.\n\
-         tail compression (max std / max POP): {:.1}x\n",
+         tail compression (max std / max POP): {:.1}x\n{footer}\n",
         points.len(),
         sb.render(),
         pb.render(),
@@ -158,4 +197,32 @@ pub fn e03_pop_scatter(fast: bool) -> String {
          falls far below it for the problem queries.\n",
         points.len()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e01_run_report_round_trips_schema() {
+        let points = vec![
+            PopPoint { standard: 100.0, pop: 50.0, reopts: 1 },
+            PopPoint { standard: 80.0, pop: 80.0, reopts: 0 },
+        ];
+        let report = e01_run_report(true, &points);
+        assert_eq!(report.experiment, "e01_pop_aggregate");
+        assert!(!report.spans.is_empty(), "traced query must leave spans");
+        assert!(
+            report.spans.iter().any(|s| s.kind == "check"),
+            "POP instrumentation must show up as check spans"
+        );
+        let text = report.to_json().pretty();
+        let back = rqp::telemetry::RunReport::from_json(&text).expect("parse");
+        assert_eq!(back.experiment, report.experiment);
+        assert_eq!(back.config, report.config);
+        assert_eq!(back.cost, report.cost);
+        assert_eq!(back.metrics, report.metrics);
+        assert_eq!(back.spans.len(), report.spans.len());
+        assert_eq!(back.to_json().pretty(), text, "re-serialization is stable");
+    }
 }

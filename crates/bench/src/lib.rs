@@ -17,5 +17,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod stopwatch;
 
 pub use experiments::*;

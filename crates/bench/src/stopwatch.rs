@@ -1,0 +1,50 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace is hermetic (no crates.io), so criterion is replaced by
+//! this stopwatch: per benchmark it runs a warm-up pass, then a fixed number
+//! of timed samples, and prints min/median/mean. The cost-clock experiments
+//! (`e01`–`e22`) remain the primary artifacts; these numbers are a coarse
+//! wall-clock baseline for catching order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 10;
+
+/// A named group of stopwatch benchmarks, printed as one block.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Start a group; prints the header immediately.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Group { name: name.to_string() }
+    }
+
+    /// Time `f` (one warm-up call, then [`SAMPLES`] timed calls) and print a
+    /// row. The closure's return value is consumed with `std::hint::black_box`
+    /// so the work is not optimized away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[SAMPLES / 2];
+        let mean = times.iter().sum::<Duration>() / SAMPLES as u32;
+        println!(
+            "{:<40} median {:>10.3?}  min {:>10.3?}  mean {:>10.3?}  ({SAMPLES} samples)",
+            format!("{}/{name}", self.name),
+            median,
+            min,
+            mean,
+        );
+    }
+}

@@ -29,7 +29,7 @@ pub mod rng;
 pub mod schema;
 pub mod value;
 
-pub use clock::{CostClock, CostModelParams, SharedClock};
+pub use clock::{CostBreakdown, CostClock, CostModelParams, SharedClock};
 pub use error::{Result, RqpError};
 pub use expr::{CmpOp, Expr, SimplePred};
 pub use schema::{Field, Row, Schema};

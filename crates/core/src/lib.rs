@@ -19,6 +19,7 @@
 //! | [`physical`] | `rqp-physical` | index advisor (classic and **Risk/Generality**), drift evaluation, stats-refresh disasters |
 //! | [`workload`] | `rqp-workload` | TPC-H-like / star / OLTP generators, black-hat traps, tractor pull, FMT/FPT, workload manager |
 //! | [`metrics`] | `rqp-metrics` | S(Q), C(Q), Metric1/3, intrinsic/extrinsic variability, plan stability, box plots |
+//! | [`telemetry`] | `rqp-telemetry` | operator spans, metrics registry, EXPLAIN ANALYZE trace trees, JSON run reports |
 //!
 //! ## Quick start
 //!
@@ -52,6 +53,7 @@ pub use rqp_opt as opt;
 pub use rqp_physical as physical;
 pub use rqp_stats as stats;
 pub use rqp_storage as storage;
+pub use rqp_telemetry as telemetry;
 pub use rqp_workload as workload;
 
 mod db;

@@ -3,6 +3,7 @@
 use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::{DataType, Field, Result, Row, RqpError, Schema, Value};
+use rqp_telemetry::SpanHandle;
 use std::collections::HashMap;
 
 /// Aggregate functions.
@@ -103,6 +104,7 @@ pub struct HashAggOp {
     schema: Schema,
     ctx: ExecContext,
     out: Option<std::vec::IntoIter<Row>>,
+    span: SpanHandle,
 }
 
 impl HashAggOp {
@@ -138,6 +140,7 @@ impl HashAggOp {
             fields.push(Field::new(a.alias.clone(), dtype));
             bound_aggs.push((a.func, col));
         }
+        let span = ctx.op_span("hash_agg", &[&inner]);
         Ok(HashAggOp {
             inner: Some(inner),
             group_cols,
@@ -145,6 +148,7 @@ impl HashAggOp {
             schema: Schema::new(fields),
             ctx,
             out: None,
+            span,
         })
     }
 
@@ -202,7 +206,16 @@ impl Operator for HashAggOp {
         if self.out.is_none() {
             self.run();
         }
-        self.out.as_mut().expect("filled").next()
+        let row = self.out.as_mut().expect("filled").next();
+        match &row {
+            Some(_) => self.span.produced(&self.ctx.clock),
+            None => self.span.close(&self.ctx.clock),
+        }
+        row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rqp_common::expr::BoundExpr;
 use rqp_common::{Expr, Result, Row, RqpError, Schema};
+use rqp_telemetry::SpanHandle;
 use std::collections::VecDeque;
 
 /// Adaptive selection-ordering operator.
@@ -42,6 +43,7 @@ pub struct AGreedyFilterOp {
     pub evaluations: usize,
     /// Number of times the order actually changed.
     pub reorderings: usize,
+    span: SpanHandle,
 }
 
 impl AGreedyFilterOp {
@@ -64,6 +66,7 @@ impl AGreedyFilterOp {
             .map(|p| p.bind(&schema))
             .collect::<Result<_>>()?;
         let order = (0..filters.len()).collect();
+        let span = ctx.op_span("agreedy_filter", &[&inner]);
         Ok(AGreedyFilterOp {
             inner,
             filters,
@@ -78,6 +81,7 @@ impl AGreedyFilterOp {
             rng: rqp_common::rng::seeded(seed),
             evaluations: 0,
             reorderings: 0,
+            span,
         })
     }
 
@@ -130,7 +134,10 @@ impl Operator for AGreedyFilterOp {
 
     fn next(&mut self) -> Option<Row> {
         'tuple: loop {
-            let row = self.inner.next()?;
+            let Some(row) = self.inner.next() else {
+                self.span.close(&self.ctx.clock);
+                return None;
+            };
             self.tuples_seen += 1;
             let profile_this = self.rng.gen::<f64>() < self.sample_prob;
             if profile_this {
@@ -153,6 +160,7 @@ impl Operator for AGreedyFilterOp {
                     self.rederive_order();
                 }
                 if passed_all {
+                    self.span.produced(&self.ctx.clock);
                     return Some(row);
                 }
                 continue 'tuple;
@@ -169,8 +177,13 @@ impl Operator for AGreedyFilterOp {
             if self.tuples_seen.is_multiple_of(self.reopt_interval) {
                 self.rederive_order();
             }
+            self.span.produced(&self.ctx.clock);
             return Some(row);
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

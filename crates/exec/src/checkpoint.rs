@@ -13,6 +13,7 @@
 use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::{Row, Schema};
+use rqp_telemetry::SpanHandle;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -89,6 +90,11 @@ pub struct CheckOp {
     ctx: ExecContext,
     buffered: Option<std::vec::IntoIter<Row>>,
     outcome: CheckOutcome,
+    span: SpanHandle,
+    /// The input's span, when it carries one: the authoritative actual-
+    /// cardinality observation (un-instrumented test sources fall back to
+    /// the buffer length).
+    input_span: Option<SpanHandle>,
 }
 
 impl CheckOp {
@@ -103,6 +109,10 @@ impl CheckOp {
         ctx: ExecContext,
     ) -> Self {
         let schema = inner.schema().clone();
+        let span = ctx.op_span("check", &[&inner]);
+        span.set_est_rows(estimated_rows);
+        span.set_detail(&format!("cp{checkpoint_id} [{},{}]", validity.0, validity.1));
+        let input_span = inner.span().cloned();
         CheckOp {
             inner: Some(inner),
             checkpoint_id,
@@ -113,6 +123,8 @@ impl CheckOp {
             ctx,
             buffered: None,
             outcome: CheckOutcome::Pending,
+            span,
+            input_span,
         }
     }
 
@@ -129,14 +141,19 @@ impl CheckOp {
         }
         // Materialization cost: write + read the intermediate once.
         self.ctx.clock.charge_cpu_tuples(buffer.len() as f64);
-        let actual = buffer.len() as f64;
+        // Fully drained, so the input's span observation equals the buffer
+        // length; prefer the span as the single source of actuals.
+        let actual = match &self.input_span {
+            Some(s) => s.rows() as f64,
+            None => buffer.len() as f64,
+        };
         if actual < self.validity.0 || actual > self.validity.1 {
             self.outcome = CheckOutcome::Violated;
             self.signal.publish(CheckViolation {
                 checkpoint_id: self.checkpoint_id,
                 estimated_rows: self.estimated_rows,
                 validity: self.validity,
-                actual_rows: buffer.len(),
+                actual_rows: actual as usize,
                 buffer,
                 schema: self.schema.clone(),
             });
@@ -157,7 +174,16 @@ impl Operator for CheckOp {
         if self.buffered.is_none() {
             self.materialize();
         }
-        self.buffered.as_mut().expect("materialized").next()
+        let row = self.buffered.as_mut().expect("materialized").next();
+        match &row {
+            Some(_) => self.span.produced(&self.ctx.clock),
+            None => self.span.close(&self.ctx.clock),
+        }
+        row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

@@ -1,7 +1,8 @@
-//! Execution context: cost clock, memory governor, row metering.
+//! Execution context: cost clock, memory governor, span tracer, metrics.
 
 use crate::{BoxOp, Operator};
 use rqp_common::{CostClock, Row, Schema, SharedClock};
+use rqp_telemetry::{MetricsRegistry, SpanHandle, Tracer};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -12,15 +13,29 @@ use std::rc::Rc;
 /// for a grant each time they materialize, so a budget change between two
 /// pipeline stages is observed by the later stage. Spills are charged by the
 /// operators themselves via the cost clock.
+///
+/// The governor also keeps pure-accounting tallies (grants issued,
+/// outstanding workspace, high-water mark) so run reports can show memory
+/// pressure; the tallies never influence what is granted.
 #[derive(Debug)]
 pub struct MemoryGovernor {
     budget_rows: Cell<f64>,
+    outstanding: Cell<f64>,
+    peak_outstanding: Cell<f64>,
+    grant_count: Cell<u64>,
+    granted_total: Cell<f64>,
 }
 
 impl MemoryGovernor {
     /// A governor with the given workspace budget (rows).
     pub fn new(budget_rows: f64) -> Rc<Self> {
-        Rc::new(MemoryGovernor { budget_rows: Cell::new(budget_rows.max(0.0)) })
+        Rc::new(MemoryGovernor {
+            budget_rows: Cell::new(budget_rows.max(0.0)),
+            outstanding: Cell::new(0.0),
+            peak_outstanding: Cell::new(0.0),
+            grant_count: Cell::new(0),
+            granted_total: Cell::new(0.0),
+        })
     }
 
     /// Current budget.
@@ -28,7 +43,9 @@ impl MemoryGovernor {
         self.budget_rows.get()
     }
 
-    /// Change the budget (FMT schedules call this mid-workload).
+    /// Change the budget (FMT schedules call this mid-workload). Outstanding
+    /// grants are *not* revoked: shrinking below what is already handed out
+    /// leaves the governor overcommitted until operators release.
     pub fn set_budget(&self, rows: f64) {
         self.budget_rows.set(rows.max(0.0));
     }
@@ -36,7 +53,46 @@ impl MemoryGovernor {
     /// Grant up to `want` rows of workspace; returns the granted amount
     /// (never below a one-page minimum so operators always make progress).
     pub fn grant(&self, want: f64) -> f64 {
-        want.min(self.budget_rows.get()).max(100.0)
+        let granted = want.min(self.budget_rows.get()).max(100.0);
+        self.outstanding.set(self.outstanding.get() + granted);
+        if self.outstanding.get() > self.peak_outstanding.get() {
+            self.peak_outstanding.set(self.outstanding.get());
+        }
+        self.grant_count.set(self.grant_count.get() + 1);
+        self.granted_total.set(self.granted_total.get() + granted);
+        granted
+    }
+
+    /// Return `rows` of workspace (an operator released its materialization).
+    /// Clamped so sloppy callers cannot drive the tally negative.
+    pub fn release(&self, rows: f64) {
+        self.outstanding.set((self.outstanding.get() - rows.max(0.0)).max(0.0));
+    }
+
+    /// Workspace currently handed out and not yet released.
+    pub fn outstanding(&self) -> f64 {
+        self.outstanding.get()
+    }
+
+    /// High-water mark of [`outstanding`](Self::outstanding).
+    pub fn peak_outstanding(&self) -> f64 {
+        self.peak_outstanding.get()
+    }
+
+    /// Number of grants issued.
+    pub fn grant_count(&self) -> u64 {
+        self.grant_count.get()
+    }
+
+    /// Sum of all grants issued.
+    pub fn granted_total(&self) -> f64 {
+        self.granted_total.get()
+    }
+
+    /// True while more workspace is outstanding than the current budget —
+    /// the state a mid-query budget shrink leaves behind.
+    pub fn overcommitted(&self) -> bool {
+        self.outstanding.get() > self.budget_rows.get()
     }
 }
 
@@ -47,12 +103,21 @@ pub struct ExecContext {
     pub clock: SharedClock,
     /// The workspace-memory governor.
     pub memory: Rc<MemoryGovernor>,
+    /// Collects one span per operator constructed under this context.
+    pub tracer: Tracer,
+    /// Named counters/gauges/histograms for everything that isn't a plan node.
+    pub metrics: MetricsRegistry,
 }
 
 impl ExecContext {
     /// Context with the given clock and memory budget.
     pub fn new(clock: SharedClock, memory_rows: f64) -> Self {
-        ExecContext { clock, memory: MemoryGovernor::new(memory_rows) }
+        ExecContext {
+            clock,
+            memory: MemoryGovernor::new(memory_rows),
+            tracer: Tracer::new(),
+            metrics: MetricsRegistry::new(),
+        }
     }
 
     /// Default context: fresh clock, effectively unbounded memory.
@@ -64,41 +129,75 @@ impl ExecContext {
     pub fn with_memory(memory_rows: f64) -> Self {
         ExecContext::new(CostClock::default_clock(), memory_rows)
     }
+
+    /// Open a span for an operator under construction, re-parenting the
+    /// spans of its `inputs` beneath it — the trace tree emerges from
+    /// construction order.
+    pub fn op_span(&self, kind: &'static str, inputs: &[&BoxOp]) -> SpanHandle {
+        let span = self.tracer.open(kind, &self.clock);
+        for op in inputs {
+            if let Some(s) = op.span() {
+                s.set_parent(span.id());
+            }
+        }
+        span
+    }
+
+    /// Assemble a [`RunReport`](rqp_telemetry::RunReport) from everything
+    /// this context observed: the cost-clock breakdown, every span, every
+    /// metric. Experiments call this once at the end of a run and
+    /// [`write_to`](rqp_telemetry::RunReport::write_to) `exp_output/`.
+    pub fn run_report(&self, experiment: &str) -> rqp_telemetry::RunReport {
+        let mut report = rqp_telemetry::RunReport::new(experiment);
+        report.cost = self.clock.breakdown();
+        report.spans = self.tracer.snapshot();
+        report.metrics = self.metrics.snapshot();
+        report
+    }
 }
 
-/// A pass-through operator that counts the rows flowing through it.
+/// A pass-through operator that gives an un-instrumented input a span.
 ///
-/// The plan builder wraps each plan node in a `Meter` so post-mortem analysis
-/// (LEO) and checkpoints (POP) can read actual cardinalities per node.
-pub struct Meter {
+/// This absorbs the old `Meter` row counter into the span API: wrapping a
+/// source in `SpanOp` counts its rows exactly as `Meter` did, but the count
+/// lands in the trace next to every other operator's observations instead of
+/// in a bespoke `Rc<Cell<usize>>`. Operators in this crate already carry
+/// spans; `SpanOp` is for ad-hoc pipelines (tests, benches, raw sources).
+pub struct SpanOp {
     inner: BoxOp,
-    counter: Rc<Cell<usize>>,
+    span: SpanHandle,
+    clock: SharedClock,
 }
 
-impl Meter {
-    /// Wrap `inner`; the shared counter can be read while the plan runs.
-    pub fn new(inner: BoxOp) -> (Self, Rc<Cell<usize>>) {
-        let counter = Rc::new(Cell::new(0));
-        (Meter { inner, counter: Rc::clone(&counter) }, counter)
+impl SpanOp {
+    /// Wrap `inner` under a fresh span of the given kind.
+    pub fn new(inner: BoxOp, kind: &'static str, ctx: &ExecContext) -> Self {
+        let span = ctx.op_span(kind, &[&inner]);
+        SpanOp { inner, span, clock: Rc::clone(&ctx.clock) }
     }
 
-    /// Wrap `inner` with an existing counter.
-    pub fn with_counter(inner: BoxOp, counter: Rc<Cell<usize>>) -> Self {
-        Meter { inner, counter }
+    /// A handle to the span counting this operator's output.
+    pub fn handle(&self) -> SpanHandle {
+        self.span.clone()
     }
 }
 
-impl Operator for Meter {
+impl Operator for SpanOp {
     fn schema(&self) -> &Schema {
         self.inner.schema()
     }
 
     fn next(&mut self) -> Option<Row> {
         let row = self.inner.next();
-        if row.is_some() {
-            self.counter.set(self.counter.get() + 1);
+        match &row {
+            Some(_) => self.span.produced(&self.clock),
+            None => self.span.close(&self.clock),
         }
         row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -138,15 +237,19 @@ mod tests {
     }
 
     #[test]
-    fn meter_counts_rows() {
+    fn span_op_counts_rows() {
+        let ctx = ExecContext::unbounded();
         let schema = Schema::from_pairs(&[("x", DataType::Int)]);
         let rows: Vec<Row> = (0..5).map(|i| vec![Value::Int(i)]).collect();
         let src = Box::new(RowsOp::new(schema, rows));
-        let (mut m, counter) = Meter::new(src);
-        assert_eq!(counter.get(), 0);
+        let mut m = SpanOp::new(src, "rows", &ctx);
+        let handle = m.handle();
+        assert_eq!(handle.rows(), 0);
         let out = collect(&mut m);
         assert_eq!(out.len(), 5);
-        assert_eq!(counter.get(), 5);
+        assert_eq!(handle.rows(), 5);
+        assert!(handle.is_closed());
+        assert_eq!(ctx.tracer.len(), 1);
     }
 
     #[test]
@@ -161,11 +264,74 @@ mod tests {
     }
 
     #[test]
+    fn governor_zero_budget_still_makes_progress() {
+        let g = MemoryGovernor::new(0.0);
+        assert_eq!(g.budget(), 0.0);
+        // Every ask is floored at one page so operators never deadlock…
+        assert_eq!(g.grant(1_000_000.0), 100.0);
+        assert_eq!(g.grant(0.0), 100.0);
+        // …and the governor knows it handed out more than it has.
+        assert_eq!(g.outstanding(), 200.0);
+        assert!(g.overcommitted());
+        // A negative construction budget clamps to zero, same behavior.
+        let g = MemoryGovernor::new(-5.0);
+        assert_eq!(g.budget(), 0.0);
+        assert_eq!(g.grant(500.0), 100.0);
+    }
+
+    #[test]
+    fn governor_shrink_below_outstanding_grants() {
+        let g = MemoryGovernor::new(10_000.0);
+        let a = g.grant(8_000.0);
+        assert_eq!(a, 8_000.0);
+        assert!(!g.overcommitted());
+        // FMT shrinks the budget mid-query, below what is already out.
+        g.set_budget(1_000.0);
+        assert!(g.overcommitted(), "8000 outstanding vs budget 1000");
+        // New grants see the shrunken budget; old grants are not revoked.
+        let b = g.grant(5_000.0);
+        assert_eq!(b, 1_000.0);
+        assert_eq!(g.outstanding(), 9_000.0);
+        // Releasing the big materialization clears the overcommit.
+        g.release(a);
+        assert_eq!(g.outstanding(), 1_000.0);
+        assert!(!g.overcommitted());
+    }
+
+    #[test]
+    fn governor_accounting_across_concurrent_operators() {
+        let g = MemoryGovernor::new(4_000.0);
+        // Two operators materialize at the same time (e.g. both sides of a
+        // sort-merge join): each grant is tallied, not just the last one.
+        let sort_l = g.grant(3_000.0);
+        let sort_r = g.grant(3_000.0);
+        assert_eq!((sort_l, sort_r), (3_000.0, 3_000.0));
+        assert_eq!(g.grant_count(), 2);
+        assert_eq!(g.granted_total(), 6_000.0);
+        assert_eq!(g.outstanding(), 6_000.0);
+        assert_eq!(g.peak_outstanding(), 6_000.0);
+        assert!(g.overcommitted(), "governor admits both, but visibly");
+        g.release(sort_l);
+        g.release(sort_r);
+        assert_eq!(g.outstanding(), 0.0);
+        assert_eq!(g.peak_outstanding(), 6_000.0, "peak survives release");
+        // Over-release clamps instead of going negative.
+        g.release(1_000.0);
+        assert_eq!(g.outstanding(), 0.0);
+    }
+
+    #[test]
     fn contexts() {
         let c = ExecContext::unbounded();
         assert_eq!(c.clock.now(), 0.0);
         assert!(c.memory.budget().is_infinite());
+        assert!(c.tracer.is_empty());
+        assert!(c.metrics.is_empty());
         let c = ExecContext::with_memory(500.0);
         assert_eq!(c.memory.budget(), 500.0);
+        // Clones share the tracer and metrics namespace.
+        let c2 = c.clone();
+        c2.tracer.open("probe", &c2.clock);
+        assert_eq!(c.tracer.len(), 1);
     }
 }

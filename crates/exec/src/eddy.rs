@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rqp_common::expr::BoundExpr;
 use rqp_common::{Expr, Result, Row, RqpError, Schema, Value};
+use rqp_telemetry::SpanHandle;
 use std::collections::HashMap;
 
 /// How the eddy picks the next operator for a tuple.
@@ -64,6 +65,7 @@ pub struct EddyFilterOp {
     rng: StdRng,
     /// Total predicate evaluations performed (the eddy's work metric).
     pub evaluations: usize,
+    span: SpanHandle,
 }
 
 impl EddyFilterOp {
@@ -89,6 +91,7 @@ impl EddyFilterOp {
             .map(|p| p.bind(&schema))
             .collect::<Result<_>>()?;
         let stats = vec![FilterStats { seen: 0.0, dropped: 0.0 }; filters.len()];
+        let span = ctx.op_span("eddy_filter", &[&inner]);
         Ok(EddyFilterOp {
             inner,
             filters,
@@ -98,6 +101,7 @@ impl EddyFilterOp {
             ctx,
             rng: rqp_common::rng::seeded(seed),
             evaluations: 0,
+            span,
         })
     }
 
@@ -150,7 +154,10 @@ impl Operator for EddyFilterOp {
 
     fn next(&mut self) -> Option<Row> {
         'tuple: loop {
-            let row = self.inner.next()?;
+            let Some(row) = self.inner.next() else {
+                self.span.close(&self.ctx.clock);
+                return None;
+            };
             let order = self.route_order();
             let decay = match self.policy {
                 RoutingPolicy::Lottery { decay } => decay,
@@ -167,8 +174,13 @@ impl Operator for EddyFilterOp {
                     continue 'tuple;
                 }
             }
+            self.span.produced(&self.ctx.clock);
             return Some(row);
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -212,6 +224,7 @@ pub struct StarEddyOp {
     pending: Vec<Row>,
     /// Total SteM probes performed.
     pub probes: usize,
+    span: SpanHandle,
 }
 
 impl StarEddyOp {
@@ -238,6 +251,7 @@ impl StarEddyOp {
             schema = schema.join(&s.schema);
         }
         let stats = vec![FilterStats { seen: 0.0, dropped: 0.0 }; stems.len()];
+        let span = ctx.op_span("star_eddy", &[&driver]);
         Ok(StarEddyOp {
             driver,
             stems,
@@ -249,6 +263,7 @@ impl StarEddyOp {
             rng: rqp_common::rng::seeded(seed),
             pending: Vec::new(),
             probes: 0,
+            span,
         })
     }
 
@@ -301,9 +316,13 @@ impl Operator for StarEddyOp {
     fn next(&mut self) -> Option<Row> {
         loop {
             if let Some(row) = self.pending.pop() {
+                self.span.produced(&self.ctx.clock);
                 return Some(row);
             }
-            let driver_row = self.driver.next()?;
+            let Some(driver_row) = self.driver.next() else {
+                self.span.close(&self.ctx.clock);
+                return None;
+            };
             let order = self.route_order();
             let decay = match self.policy {
                 RoutingPolicy::Lottery { decay } => decay,
@@ -350,6 +369,10 @@ impl Operator for StarEddyOp {
             }
             self.pending = results;
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

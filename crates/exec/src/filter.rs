@@ -4,6 +4,7 @@ use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::expr::BoundExpr;
 use rqp_common::{Expr, Result, Row, Schema};
+use rqp_telemetry::SpanHandle;
 
 /// Filters rows by a predicate.
 pub struct FilterOp {
@@ -15,6 +16,7 @@ pub struct FilterOp {
     pub examined: usize,
     /// Rows passed.
     pub passed: usize,
+    span: SpanHandle,
 }
 
 impl FilterOp {
@@ -22,7 +24,9 @@ impl FilterOp {
     pub fn new(inner: BoxOp, pred: &Expr, ctx: ExecContext) -> Result<Self> {
         let schema = inner.schema().clone();
         let bound = pred.bind(&schema)?;
-        Ok(FilterOp { inner, bound, ctx, schema, examined: 0, passed: 0 })
+        let span = ctx.op_span("filter", &[&inner]);
+        span.set_detail(&pred.to_string());
+        Ok(FilterOp { inner, bound, ctx, schema, examined: 0, passed: 0, span })
     }
 
     /// Observed pass rate so far (1.0 before any row is examined).
@@ -42,14 +46,22 @@ impl Operator for FilterOp {
 
     fn next(&mut self) -> Option<Row> {
         loop {
-            let row = self.inner.next()?;
+            let Some(row) = self.inner.next() else {
+                self.span.close(&self.ctx.clock);
+                return None;
+            };
             self.examined += 1;
             self.ctx.clock.charge_compares(1.0);
             if self.bound.eval_bool(&row) {
                 self.passed += 1;
+                self.span.produced(&self.ctx.clock);
                 return Some(row);
             }
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -59,6 +71,7 @@ pub struct ProjectOp {
     exprs: Vec<BoundExpr>,
     schema: Schema,
     ctx: ExecContext,
+    span: SpanHandle,
 }
 
 impl ProjectOp {
@@ -85,7 +98,8 @@ impl ProjectOp {
             fields.push(rqp_common::Field::new(*name, dtype));
             bound.push(e.bind(&in_schema)?);
         }
-        Ok(ProjectOp { inner, exprs: bound, schema: Schema::new(fields), ctx })
+        let span = ctx.op_span("project", &[&inner]);
+        Ok(ProjectOp { inner, exprs: bound, schema: Schema::new(fields), ctx, span })
     }
 
     /// Convenience: project to a subset of input columns by name, keeping the
@@ -102,14 +116,22 @@ impl Operator for ProjectOp {
     }
 
     fn next(&mut self) -> Option<Row> {
-        let row = self.inner.next()?;
+        let Some(row) = self.inner.next() else {
+            self.span.close(&self.ctx.clock);
+            return None;
+        };
         self.ctx.clock.charge_cpu_tuples(1.0);
+        self.span.produced(&self.ctx.clock);
         Some(
             self.exprs
                 .iter()
                 .map(|e| e.eval(&row).unwrap_or(rqp_common::Value::Null))
                 .collect(),
         )
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

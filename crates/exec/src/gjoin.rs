@@ -18,6 +18,7 @@ use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::{Result, Row, RqpError, Schema, Value};
 use rqp_storage::{BTreeIndex, Table};
+use rqp_telemetry::SpanHandle;
 use std::cmp::Ordering;
 use std::rc::Rc;
 
@@ -42,6 +43,7 @@ pub struct GJoinOp {
     ctx: ExecContext,
     out: Option<std::vec::IntoIter<Row>>,
     strategy: Option<GJoinStrategy>,
+    span: SpanHandle,
 }
 
 /// Which internal mode the g-join chose at runtime.
@@ -84,6 +86,7 @@ impl GJoinOp {
             Some(ii) => left.schema().join(&ii.table.qualified_schema()),
             None => left.schema().join(right.schema()),
         };
+        let span = ctx.op_span("g_join", &[&left, &right]);
         Ok(GJoinOp {
             left: Some(left),
             right: Some(right),
@@ -96,6 +99,7 @@ impl GJoinOp {
             ctx,
             out: None,
             strategy: None,
+            span,
         })
     }
 
@@ -124,9 +128,11 @@ impl GJoinOp {
             return;
         }
         let grant = self.ctx.memory.grant(n);
+        self.span.record_grant(grant);
         self.ctx.clock.charge_compares(n * n.log2().max(1.0));
         if n > grant {
             self.ctx.clock.charge_spill_rows(n - grant);
+            self.span.record_spill(n - grant);
             let runs = (n / grant).ceil().max(2.0);
             self.ctx.clock.charge_compares(n * runs.log2());
         }
@@ -247,8 +253,27 @@ impl Operator for GJoinOp {
     fn next(&mut self) -> Option<Row> {
         if self.out.is_none() {
             self.run();
+            self.span.set_detail(match self.strategy {
+                Some(GJoinStrategy::IndexProbe) => "index_probe",
+                Some(GJoinStrategy::Merge) => "merge",
+                None => "",
+            });
         }
-        self.out.as_mut().expect("ran").next()
+        let row = self.out.as_mut().expect("ran").next();
+        match &row {
+            Some(_) => self.span.produced(&self.ctx.clock),
+            None => {
+                if !self.span.is_closed() {
+                    self.ctx.memory.release(self.span.mem_granted());
+                    self.span.close(&self.ctx.clock);
+                }
+            }
+        }
+        row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

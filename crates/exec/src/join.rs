@@ -13,6 +13,7 @@ use crate::{BoxOp, Operator};
 use rqp_common::expr::BoundExpr;
 use rqp_common::{Expr, Result, Row, RqpError, Schema, Value};
 use rqp_storage::{BTreeIndex, Table};
+use rqp_telemetry::SpanHandle;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -41,6 +42,7 @@ pub struct HashJoinOp {
     probe_rows: f64,
     pending: Vec<Row>,
     current_left: Option<Row>,
+    span: SpanHandle,
 }
 
 impl HashJoinOp {
@@ -58,6 +60,7 @@ impl HashJoinOp {
         let lk = bind_keys(left.schema(), left_keys)?;
         let rk = bind_keys(right.schema(), right_keys)?;
         let schema = left.schema().join(right.schema());
+        let span = ctx.op_span("hash_join", &[&left, &right]);
         Ok(HashJoinOp {
             left,
             right: Some(right),
@@ -71,6 +74,7 @@ impl HashJoinOp {
             probe_rows: 0.0,
             pending: Vec::new(),
             current_left: None,
+            span,
         })
     }
 
@@ -82,9 +86,12 @@ impl HashJoinOp {
         }
         let n = rows.len() as f64;
         let grant = self.ctx.memory.grant(n);
+        self.span.record_grant(grant);
         if n > grant {
             self.spill_fraction = 1.0 - grant / n;
-            self.ctx.clock.charge_spill_rows(n * self.spill_fraction);
+            let spilled = n * self.spill_fraction;
+            self.ctx.clock.charge_spill_rows(spilled);
+            self.span.record_spill(spilled);
         }
         self.ctx.clock.charge_hash_build(n);
         for r in rows {
@@ -110,6 +117,7 @@ impl Operator for HashJoinOp {
                 self.ctx.clock.charge_cpu_tuples(1.0);
                 let mut out = left_row.clone();
                 out.extend(right_row);
+                self.span.produced(&self.ctx.clock);
                 return Some(out);
             }
             match self.left.next() {
@@ -125,15 +133,23 @@ impl Operator for HashJoinOp {
                 None => {
                     if self.spill_fraction > 0.0 && self.probe_rows > 0.0 {
                         // Spill the probe side's share once, at the end.
-                        self.ctx
-                            .clock
-                            .charge_spill_rows(self.probe_rows * self.spill_fraction);
+                        let spilled = self.probe_rows * self.spill_fraction;
+                        self.ctx.clock.charge_spill_rows(spilled);
+                        self.span.record_spill(spilled);
                         self.probe_rows = 0.0;
+                    }
+                    if !self.span.is_closed() {
+                        self.ctx.memory.release(self.span.mem_granted());
+                        self.span.close(&self.ctx.clock);
                     }
                     return None;
                 }
             }
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -151,6 +167,7 @@ pub struct MergeJoinOp {
     group: Vec<Row>,
     group_pos: usize,
     started: bool,
+    span: SpanHandle,
 }
 
 impl MergeJoinOp {
@@ -168,6 +185,7 @@ impl MergeJoinOp {
         let lk = bind_keys(left.schema(), left_keys)?;
         let rk = bind_keys(right.schema(), right_keys)?;
         let schema = left.schema().join(right.schema());
+        let span = ctx.op_span("merge_join", &[&left, &right]);
         Ok(MergeJoinOp {
             left,
             right,
@@ -180,6 +198,7 @@ impl MergeJoinOp {
             group: Vec::new(),
             group_pos: 0,
             started: false,
+            span,
         })
     }
 
@@ -196,14 +215,8 @@ impl MergeJoinOp {
     fn left_key_eq(&self, a: &Row, b: &Row) -> bool {
         self.left_keys.iter().all(|&i| a[i] == b[i])
     }
-}
 
-impl Operator for MergeJoinOp {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next(&mut self) -> Option<Row> {
+    fn produce(&mut self) -> Option<Row> {
         if !self.started {
             self.left_row = self.left.next();
             self.right_row = self.right.next();
@@ -274,6 +287,25 @@ impl Operator for MergeJoinOp {
     }
 }
 
+impl Operator for MergeJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        let row = self.produce();
+        match &row {
+            Some(_) => self.span.produced(&self.ctx.clock),
+            None => self.span.close(&self.ctx.clock),
+        }
+        row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
+    }
+}
+
 /// Index-nested-loop join: probes a B-tree index on the inner table for each
 /// outer row.
 pub struct IndexNlJoinOp {
@@ -286,6 +318,7 @@ pub struct IndexNlJoinOp {
     pending: Vec<Row>,
     current_outer: Option<Row>,
     rows_per_page: f64,
+    span: SpanHandle,
 }
 
 impl IndexNlJoinOp {
@@ -300,6 +333,8 @@ impl IndexNlJoinOp {
         let ok = outer.schema().index_of(outer_key)?;
         let schema = outer.schema().join(&inner_table.qualified_schema());
         let rows_per_page = ctx.clock.params().rows_per_page;
+        let span = ctx.op_span("index_nl_join", &[&outer]);
+        span.set_detail(&format!("{}:{}", inner_table.name(), index.name()));
         Ok(IndexNlJoinOp {
             outer,
             index,
@@ -310,6 +345,7 @@ impl IndexNlJoinOp {
             pending: Vec::new(),
             current_outer: None,
             rows_per_page,
+            span,
         })
     }
 }
@@ -326,9 +362,13 @@ impl Operator for IndexNlJoinOp {
                 self.ctx.clock.charge_cpu_tuples(1.0);
                 let mut out = o.clone();
                 out.extend(inner_row);
+                self.span.produced(&self.ctx.clock);
                 return Some(out);
             }
-            let o = self.outer.next()?;
+            let Some(o) = self.outer.next() else {
+                self.span.close(&self.ctx.clock);
+                return None;
+            };
             // B-tree descent per probe.
             let n = self.index.entries().max(2) as f64;
             self.ctx.clock.charge_compares(n.log2());
@@ -348,6 +388,10 @@ impl Operator for IndexNlJoinOp {
             }
         }
     }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
+    }
 }
 
 /// Block-nested-loop join with an arbitrary join predicate (the fallback for
@@ -361,6 +405,7 @@ pub struct BnlJoinOp {
     ctx: ExecContext,
     current_left: Option<Row>,
     right_pos: usize,
+    span: SpanHandle,
 }
 
 impl BnlJoinOp {
@@ -369,6 +414,7 @@ impl BnlJoinOp {
     pub fn new(left: BoxOp, right: BoxOp, pred: Option<&Expr>, ctx: ExecContext) -> Result<Self> {
         let schema = left.schema().join(right.schema());
         let bound = pred.map(|p| p.bind(&schema)).transpose()?;
+        let span = ctx.op_span("bnl_join", &[&left, &right]);
         Ok(BnlJoinOp {
             left,
             right_rows: None,
@@ -378,16 +424,11 @@ impl BnlJoinOp {
             ctx,
             current_left: None,
             right_pos: 0,
+            span,
         })
     }
-}
 
-impl Operator for BnlJoinOp {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next(&mut self) -> Option<Row> {
+    fn produce(&mut self) -> Option<Row> {
         if self.right_rows.is_none() {
             let mut src = self.right_src.take().expect("materialize once");
             let mut rows = Vec::new();
@@ -421,6 +462,25 @@ impl Operator for BnlJoinOp {
             }
             self.current_left = None;
         }
+    }
+}
+
+impl Operator for BnlJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        let row = self.produce();
+        match &row {
+            Some(_) => self.span.produced(&self.ctx.clock),
+            None => self.span.close(&self.ctx.clock),
+        }
+        row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

@@ -31,7 +31,11 @@
 //!   points that compare actual cardinality against a validity range and
 //!   signal re-optimization;
 //! * [`context`] — the execution context: cost clock, memory governor,
-//!   metered row counters.
+//!   span tracer and metrics registry.
+//!
+//! Every operator opens a [`rqp_telemetry`] span at construction and bumps
+//! it per produced row, so actual cardinalities, grants and spills are
+//! always observable via [`ExecContext::tracer`] — no wrapper needed.
 
 #![warn(missing_docs)]
 
@@ -51,7 +55,7 @@ pub mod symjoin;
 pub use agg::{AggFunc, AggSpec, HashAggOp};
 pub use agreedy::AGreedyFilterOp;
 pub use checkpoint::{CheckOp, CheckOutcome, PopSignal};
-pub use context::{collect, ExecContext, MemoryGovernor, Meter};
+pub use context::{collect, ExecContext, MemoryGovernor, SpanOp};
 pub use eddy::{EddyFilterOp, RoutingPolicy, StarEddyOp};
 pub use filter::{FilterOp, ProjectOp};
 pub use gjoin::GJoinOp;
@@ -63,6 +67,8 @@ pub use symjoin::SymmetricHashJoinOp;
 
 use rqp_common::{Row, Schema};
 
+pub use rqp_telemetry::SpanHandle;
+
 /// A pull-based physical operator.
 pub trait Operator {
     /// Output schema.
@@ -70,6 +76,16 @@ pub trait Operator {
 
     /// Produce the next row, or `None` when exhausted.
     fn next(&mut self) -> Option<Row>;
+
+    /// The telemetry span counting this operator's output, if it keeps one.
+    ///
+    /// Every operator in this crate does; the default exists so external
+    /// sources (test fixtures, adapters) don't have to. Consumers parent
+    /// their inputs' spans beneath their own at construction, which is how
+    /// the trace tree takes the plan's shape.
+    fn span(&self) -> Option<&SpanHandle> {
+        None
+    }
 }
 
 /// Boxed operator, the unit of plan composition.

@@ -17,6 +17,7 @@
 use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::{Result, Row, RqpError, Schema, Value};
+use rqp_telemetry::SpanHandle;
 use std::collections::HashMap;
 
 /// N-ary symmetric hash join on one shared key.
@@ -35,6 +36,7 @@ pub struct MJoinOp {
     pending: Vec<Row>,
     /// Total probe operations (work metric).
     pub total_probes: usize,
+    span: SpanHandle,
 }
 
 impl MJoinOp {
@@ -55,6 +57,8 @@ impl MJoinOp {
             schema = schema.join(op.schema());
         }
         let n = inputs.len();
+        let refs: Vec<&BoxOp> = inputs.iter().collect();
+        let span = ctx.op_span("m_join", &refs);
         Ok(MJoinOp {
             inputs,
             key_cols,
@@ -67,6 +71,7 @@ impl MJoinOp {
             next_input: 0,
             pending: Vec::new(),
             total_probes: 0,
+            span,
         })
     }
 
@@ -170,12 +175,18 @@ impl Operator for MJoinOp {
     fn next(&mut self) -> Option<Row> {
         loop {
             if let Some(r) = self.pending.pop() {
+                self.span.produced(&self.ctx.clock);
                 return Some(r);
             }
             if !self.step() {
+                self.span.close(&self.ctx.clock);
                 return None;
             }
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

@@ -11,6 +11,7 @@ use crate::context::ExecContext;
 use crate::Operator;
 use rqp_common::{Row, Schema, Value};
 use rqp_storage::{AdaptiveMergeIndex, BTreeIndex, CrackerColumn, MultiIndex, RowId, Table};
+use rqp_telemetry::SpanHandle;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -21,6 +22,7 @@ pub struct TableScanOp {
     ctx: ExecContext,
     pos: usize,
     rows_per_page: f64,
+    span: SpanHandle,
 }
 
 impl TableScanOp {
@@ -28,7 +30,9 @@ impl TableScanOp {
     pub fn new(table: Rc<Table>, ctx: ExecContext) -> Self {
         let schema = table.qualified_schema();
         let rows_per_page = ctx.clock.params().rows_per_page;
-        TableScanOp { table, schema, ctx, pos: 0, rows_per_page }
+        let span = ctx.tracer.open("table_scan", &ctx.clock);
+        span.set_detail(table.name());
+        TableScanOp { table, schema, ctx, pos: 0, rows_per_page, span }
     }
 }
 
@@ -39,6 +43,7 @@ impl Operator for TableScanOp {
 
     fn next(&mut self) -> Option<Row> {
         if self.pos >= self.table.nrows() {
+            self.span.close(&self.ctx.clock);
             return None;
         }
         // One sequential page each time the cursor crosses a page boundary.
@@ -48,7 +53,12 @@ impl Operator for TableScanOp {
         self.ctx.clock.charge_cpu_tuples(1.0);
         let row = self.table.row(self.pos);
         self.pos += 1;
+        self.span.produced(&self.ctx.clock);
         Some(row)
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -67,6 +77,7 @@ pub struct IndexScanOp {
     rowids: Option<Vec<RowId>>,
     pos: usize,
     rows_per_page: f64,
+    span: SpanHandle,
 }
 
 impl IndexScanOp {
@@ -80,6 +91,8 @@ impl IndexScanOp {
     ) -> Self {
         let schema = table.qualified_schema();
         let rows_per_page = ctx.clock.params().rows_per_page;
+        let span = ctx.tracer.open("index_scan", &ctx.clock);
+        span.set_detail(&format!("{}:{}", table.name(), index.name()));
         IndexScanOp {
             index,
             table,
@@ -90,6 +103,7 @@ impl IndexScanOp {
             rowids: None,
             pos: 0,
             rows_per_page,
+            span,
         }
     }
 
@@ -113,6 +127,7 @@ impl Operator for IndexScanOp {
         }
         let ids = self.rowids.as_ref().expect("opened above");
         if self.pos >= ids.len() {
+            self.span.close(&self.ctx.clock);
             return None;
         }
         let rid = ids[self.pos];
@@ -125,7 +140,12 @@ impl Operator for IndexScanOp {
         }
         self.ctx.clock.charge_cpu_tuples(1.0);
         self.pos += 1;
+        self.span.produced(&self.ctx.clock);
         Some(self.table.row(rid))
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -142,6 +162,7 @@ pub struct MultiIndexScanOp {
     hi: Option<Value>,
     rowids: Option<Vec<RowId>>,
     pos: usize,
+    span: SpanHandle,
 }
 
 impl MultiIndexScanOp {
@@ -156,7 +177,20 @@ impl MultiIndexScanOp {
         ctx: ExecContext,
     ) -> Self {
         let schema = table.qualified_schema();
-        MultiIndexScanOp { index, table, schema, ctx, prefix, lo, hi, rowids: None, pos: 0 }
+        let span = ctx.tracer.open("multi_index_scan", &ctx.clock);
+        span.set_detail(&format!("{}:{}", table.name(), index.name()));
+        MultiIndexScanOp {
+            index,
+            table,
+            schema,
+            ctx,
+            prefix,
+            lo,
+            hi,
+            rowids: None,
+            pos: 0,
+            span,
+        }
     }
 }
 
@@ -177,13 +211,19 @@ impl Operator for MultiIndexScanOp {
         }
         let ids = self.rowids.as_ref().expect("opened above");
         if self.pos >= ids.len() {
+            self.span.close(&self.ctx.clock);
             return None;
         }
         self.ctx.clock.charge_random_pages(1.0);
         self.ctx.clock.charge_cpu_tuples(1.0);
         let row = self.table.row(ids[self.pos]);
         self.pos += 1;
+        self.span.produced(&self.ctx.clock);
         Some(row)
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -198,6 +238,7 @@ pub struct CrackerScanOp {
     hi: i64,
     rowids: Option<Vec<RowId>>,
     pos: usize,
+    span: SpanHandle,
 }
 
 impl CrackerScanOp {
@@ -210,7 +251,9 @@ impl CrackerScanOp {
         ctx: ExecContext,
     ) -> Self {
         let schema = table.qualified_schema();
-        CrackerScanOp { cracker, table, schema, ctx, lo, hi, rowids: None, pos: 0 }
+        let span = ctx.tracer.open("cracker_scan", &ctx.clock);
+        span.set_detail(table.name());
+        CrackerScanOp { cracker, table, schema, ctx, lo, hi, rowids: None, pos: 0, span }
     }
 }
 
@@ -230,12 +273,18 @@ impl Operator for CrackerScanOp {
         }
         let ids = self.rowids.as_ref().expect("opened above");
         if self.pos >= ids.len() {
+            self.span.close(&self.ctx.clock);
             return None;
         }
         self.ctx.clock.charge_cpu_tuples(1.0);
         let row = self.table.row(ids[self.pos]);
         self.pos += 1;
+        self.span.produced(&self.ctx.clock);
         Some(row)
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -249,6 +298,7 @@ pub struct AMergeScanOp {
     hi: i64,
     rowids: Option<Vec<RowId>>,
     pos: usize,
+    span: SpanHandle,
 }
 
 impl AMergeScanOp {
@@ -262,7 +312,9 @@ impl AMergeScanOp {
         ctx: ExecContext,
     ) -> Self {
         let schema = table.qualified_schema();
-        AMergeScanOp { amerge, table, schema, ctx, lo, hi, rowids: None, pos: 0 }
+        let span = ctx.tracer.open("amerge_scan", &ctx.clock);
+        span.set_detail(table.name());
+        AMergeScanOp { amerge, table, schema, ctx, lo, hi, rowids: None, pos: 0, span }
     }
 }
 
@@ -281,12 +333,18 @@ impl Operator for AMergeScanOp {
         }
         let ids = self.rowids.as_ref().expect("opened above");
         if self.pos >= ids.len() {
+            self.span.close(&self.ctx.clock);
             return None;
         }
         self.ctx.clock.charge_cpu_tuples(1.0);
         let row = self.table.row(ids[self.pos]);
         self.pos += 1;
+        self.span.produced(&self.ctx.clock);
         Some(row)
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

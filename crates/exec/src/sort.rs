@@ -3,6 +3,7 @@
 use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::{Result, Row, Schema};
+use rqp_telemetry::SpanHandle;
 use std::cmp::Ordering;
 
 /// Sort direction per key.
@@ -41,6 +42,7 @@ pub struct SortOp {
     schema: Schema,
     ctx: ExecContext,
     sorted: Option<std::vec::IntoIter<Row>>,
+    span: SpanHandle,
 }
 
 impl SortOp {
@@ -51,7 +53,8 @@ impl SortOp {
             .iter()
             .map(|(k, o)| schema.index_of(k).map(|i| (i, *o)))
             .collect::<Result<_>>()?;
-        Ok(SortOp { inner: Some(inner), keys: bound, schema, ctx, sorted: None })
+        let span = ctx.op_span("sort", &[&inner]);
+        Ok(SortOp { inner: Some(inner), keys: bound, schema, ctx, sorted: None, span })
     }
 
     /// Ascending sort by the named columns.
@@ -70,6 +73,7 @@ impl SortOp {
         let n = rows.len() as f64;
         if n > 1.0 {
             let grant = self.ctx.memory.grant(n);
+            self.span.record_grant(grant);
             // In-memory comparisons: n log2(n) within runs.
             self.ctx.clock.charge_compares(n * n.log2());
             if n > grant {
@@ -77,6 +81,7 @@ impl SortOp {
                 // merge pass of comparisons across runs.
                 let overflow = n - grant;
                 self.ctx.clock.charge_spill_rows(overflow);
+                self.span.record_spill(overflow);
                 let runs = (n / grant).ceil().max(2.0);
                 self.ctx.clock.charge_compares(n * runs.log2());
             }
@@ -96,10 +101,23 @@ impl Operator for SortOp {
             self.materialize();
         }
         let row = self.sorted.as_mut().expect("materialized").next();
-        if row.is_some() {
-            self.ctx.clock.charge_cpu_tuples(1.0);
+        match &row {
+            Some(_) => {
+                self.ctx.clock.charge_cpu_tuples(1.0);
+                self.span.produced(&self.ctx.clock);
+            }
+            None => {
+                if !self.span.is_closed() {
+                    self.ctx.memory.release(self.span.mem_granted());
+                    self.span.close(&self.ctx.clock);
+                }
+            }
         }
         row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 
@@ -111,6 +129,7 @@ pub struct TopNOp {
     schema: Schema,
     ctx: ExecContext,
     out: Option<std::vec::IntoIter<Row>>,
+    span: SpanHandle,
 }
 
 impl TopNOp {
@@ -126,7 +145,8 @@ impl TopNOp {
             .iter()
             .map(|(k, o)| schema.index_of(k).map(|i| (i, *o)))
             .collect::<Result<_>>()?;
-        Ok(TopNOp { inner: Some(inner), keys: bound, n, schema, ctx, out: None })
+        let span = ctx.op_span("top_n", &[&inner]);
+        Ok(TopNOp { inner: Some(inner), keys: bound, n, schema, ctx, out: None, span })
     }
 }
 
@@ -154,7 +174,16 @@ impl Operator for TopNOp {
             }
             self.out = Some(buf.into_iter());
         }
-        self.out.as_mut().expect("filled").next()
+        let row = self.out.as_mut().expect("filled").next();
+        match &row {
+            Some(_) => self.span.produced(&self.ctx.clock),
+            None => self.span.close(&self.ctx.clock),
+        }
+        row
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

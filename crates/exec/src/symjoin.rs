@@ -9,6 +9,7 @@
 use crate::context::ExecContext;
 use crate::{BoxOp, Operator};
 use rqp_common::{Result, Row, RqpError, Schema, Value};
+use rqp_telemetry::SpanHandle;
 use std::collections::HashMap;
 
 /// Pipelined symmetric hash join.
@@ -26,6 +27,7 @@ pub struct SymmetricHashJoinOp {
     /// Pull from left next (alternation flag).
     pull_left: bool,
     pending: Vec<Row>,
+    span: SpanHandle,
 }
 
 impl SymmetricHashJoinOp {
@@ -49,6 +51,7 @@ impl SymmetricHashJoinOp {
             .map(|k| right.schema().index_of(k))
             .collect::<Result<_>>()?;
         let schema = left.schema().join(right.schema());
+        let span = ctx.op_span("sym_hash_join", &[&left, &right]);
         Ok(SymmetricHashJoinOp {
             left,
             right,
@@ -62,6 +65,7 @@ impl SymmetricHashJoinOp {
             right_done: false,
             pull_left: true,
             pending: Vec::new(),
+            span,
         })
     }
 
@@ -135,13 +139,19 @@ impl Operator for SymmetricHashJoinOp {
     fn next(&mut self) -> Option<Row> {
         loop {
             if let Some(row) = self.pending.pop() {
+                self.span.produced(&self.ctx.clock);
                 return Some(row);
             }
             if self.left_done && self.right_done {
+                self.span.close(&self.ctx.clock);
                 return None;
             }
             self.step();
         }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
     }
 }
 

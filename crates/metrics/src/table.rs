@@ -120,7 +120,7 @@ mod tests {
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
         assert_eq!(fnum(42.0), "42");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(5.67891), "5.68");
         assert!(fnum(123456.0).contains('e'));
         assert!(fnum(0.0001).contains('e'));
     }

@@ -10,21 +10,21 @@
 //!   shape under a *different* estimator (robust costing, plan diagrams,
 //!   validity ranges all need to ask "what would this plan cost if the
 //!   selectivities were X?");
-//! * [`PhysicalPlan::build`] — compile to `rqp-exec` operators, wrapping
-//!   every node in a [`rqp_exec::Meter`] so actual cardinalities are
-//!   observable (POP, LEO).
+//! * [`PhysicalPlan::build`] — compile to `rqp-exec` operators. Every
+//!   operator carries a telemetry span, so actual cardinalities are
+//!   observable (POP, LEO) through the per-node [`NodeMeter`]s without any
+//!   wrapper layer.
 
 use crate::cost::CostModel;
 use crate::query::JoinEdge;
 use rqp_common::{Expr, Result, RqpError, Value};
 use rqp_exec::{
     AggSpec, BoxOp, CheckOp, ExecContext, FilterOp, GJoinOp, HashAggOp, HashJoinOp,
-    IndexNlJoinOp, IndexScanOp, MergeJoinOp, Meter, PopSignal, ProjectOp, SortOp, TableScanOp,
-    TopNOp,
+    IndexNlJoinOp, IndexScanOp, MergeJoinOp, PopSignal, ProjectOp, SortOp, SpanHandle,
+    TableScanOp, TopNOp,
 };
 use rqp_stats::CardEstimator;
 use rqp_storage::Catalog;
-use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -583,16 +583,20 @@ impl PhysicalPlan {
                 Box::new(ProjectOp::columns(i, &cols, ctx.clone())?)
             }
         };
-        let counter = Rc::new(Cell::new(0usize));
-        let metered = Meter::with_counter(op, Rc::clone(&counter));
+        let span = op
+            .span()
+            .expect("every rqp-exec operator carries a span")
+            .clone();
+        span.set_detail(&self.fingerprint());
+        span.set_est_rows(self.est_rows());
         meters.push(NodeMeter {
             label: self.fingerprint(),
             est_rows: self.est_rows(),
-            counter,
+            span,
             feedback_signature: self.feedback_signature(),
             subtree_start,
         });
-        Ok(Box::new(metered))
+        Ok(op)
     }
 
     /// LEO feedback signature for this node (scans and joins only).
@@ -761,13 +765,21 @@ pub struct NodeMeter {
     pub label: String,
     /// The estimate the plan carried.
     pub est_rows: f64,
-    /// Live counter of rows produced.
-    pub counter: Rc<Cell<usize>>,
+    /// Telemetry span of the node's top operator: live actuals, timings,
+    /// memory grants and spills.
+    pub span: SpanHandle,
     /// LEO feedback key for this node, when applicable.
     pub feedback_signature: Option<String>,
     /// Index of the first meter belonging to this node's subtree (meters are
     /// pushed in post-order; the subtree of meter `i` is `subtree_start..i`).
     pub subtree_start: usize,
+}
+
+impl NodeMeter {
+    /// Rows this node has actually produced so far.
+    pub fn actual_rows(&self) -> usize {
+        self.span.rows() as usize
+    }
 }
 
 /// A compiled plan: root operator plus per-node meters.
@@ -838,7 +850,7 @@ mod tests {
         let rows = built.run();
         assert_eq!(rows.len(), 100);
         assert_eq!(built.meters.len(), 1);
-        assert_eq!(built.meters[0].counter.get(), 100);
+        assert_eq!(built.meters[0].actual_rows(), 100);
     }
 
     #[test]
@@ -858,7 +870,7 @@ mod tests {
         assert_eq!(rows.len(), 500);
         assert_eq!(built.meters.len(), 3);
         // meters in post-order: t-scan, u-scan, join
-        assert_eq!(built.meters[2].counter.get(), 500);
+        assert_eq!(built.meters[2].actual_rows(), 500);
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub fn stats_refresh_experiment(
                         // "new" values
                         for v in &mut row {
                             if let Value::Int(x) = v {
-                                *v = Value::Int(*x + rng.gen_range(-1..=1));
+                                *v = Value::Int(*x + rng.gen_range(-1i64..=1));
                             }
                         }
                         row

@@ -1,0 +1,445 @@
+//! A dependency-free JSON value, writer and parser.
+//!
+//! The tier-1 gate builds with no network access, so serde is off the table;
+//! run reports instead round-trip through this small [`Json`] enum. The
+//! writer emits deterministic output (object keys keep insertion order), and
+//! the parser is a plain recursive-descent implementation sufficient for
+//! reading back what the writer produced — plus ordinary hand-written JSON.
+//!
+//! Numbers are `f64`. Non-finite values (NaN, ±inf) have no JSON encoding,
+//! so the writer emits them as `null` and readers treat `null`-valued
+//! numeric fields as NaN; this matches how spans use NaN for "never
+//! happened" timestamps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Wrap a string slice.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Wrap a number, mapping non-finite values to `null`.
+    pub fn num(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(x)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Look up a key in an object. `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, treating `null` as NaN (the writer's encoding of
+    /// non-finite numbers). `None` for strings, bools, arrays, objects.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The bool value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Returns a description of the first error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Collect an object's pairs into a map (for order-insensitive checks).
+    pub fn to_map(&self) -> Option<BTreeMap<&str, &Json>> {
+        match self {
+            Json::Obj(pairs) => Some(pairs.iter().map(|(k, v)| (k.as_str(), v)).collect()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        f.write_str(&out)
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        // {:?} is Rust's shortest round-trippable float formatting.
+        out.push_str(&format!("{x:?}"));
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("e01")),
+            ("count", Json::num(42.0)),
+            ("ratio", Json::num(0.125)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::num(1.0), Json::str("two"), Json::Bool(false)]),
+            ),
+            ("nested", Json::obj(vec![("empty_arr", Json::Arr(vec![]))])),
+        ]);
+        let text = doc.pretty();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let doc = Json::obj(vec![("t", Json::num(f64::NAN)), ("u", Json::num(f64::INFINITY))]);
+        let text = doc.to_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let back = Json::parse(&text).expect("parse");
+        assert!(back.get("t").unwrap().as_num().unwrap().is_nan());
+        assert!(back.get("u").unwrap().as_num().unwrap().is_nan());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let doc = Json::Str("a\"b\\c\nd\te — π".to_string());
+        let back = Json::parse(&doc.to_string()).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parses_hand_written_json() {
+        let back = Json::parse(
+            r#" { "a" : [ 1 , -2.5e3 , true , null ] , "b" : { } , "c" : "xAy" } "#,
+        )
+        .expect("parse");
+        let a = back.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0].as_num(), Some(1.0));
+        assert_eq!(a[1].as_num(), Some(-2500.0));
+        assert_eq!(a[2].as_bool(), Some(true));
+        assert_eq!(a[3], Json::Null);
+        assert_eq!(back.get("c").unwrap().as_str(), Some("xAy"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::num(42.0).to_string(), "42");
+        assert_eq!(Json::num(0.5).to_string(), "0.5");
+        assert_eq!(Json::num(-3.0).to_string(), "-3");
+    }
+}

@@ -1,0 +1,39 @@
+//! # rqp-telemetry
+//!
+//! The runtime observability substrate. Every robustness mechanism in the
+//! seminar is a feedback loop over *observed* execution behavior — POP
+//! compares actual cardinalities against validity ranges, LEO learns from
+//! per-node actuals, Rio's validity boxes need live counters — and
+//! "Visualizing the robustness of query execution" (Graefe/Kuno/Wiener)
+//! argues robustness work starts from making that behavior visible. This
+//! crate is the one place it all flows through:
+//!
+//! * [`span`] — **operator spans**: lightweight per-operator records
+//!   (estimated vs actual rows, open/first-row/close positions on the cost
+//!   clock, memory grants, spill volume) collected by a [`Tracer`]. Handles
+//!   are `Rc`-backed with `Cell` fields, so bumping a span in an operator's
+//!   inner loop is a single unsynchronized store — no allocation, no
+//!   locking;
+//! * [`metrics`] — a **metrics registry** of named counters, gauges and
+//!   log-scale histograms, with the same cheap-handle discipline;
+//! * [`trace`] — assembles spans into a **query trace tree** and renders it
+//!   `EXPLAIN ANALYZE`-style;
+//! * [`report`] — **structured run reports**: a JSON document per
+//!   experiment run (cost breakdown, trace, metrics) that the bench harness
+//!   writes to `exp_output/`, diffable across commits;
+//! * [`json`] — the dependency-free JSON value type, writer and parser the
+//!   reports round-trip through.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use report::RunReport;
+pub use span::{SpanHandle, SpanSnapshot, Tracer};
+pub use trace::{TraceNode, TraceTree};

@@ -1,0 +1,368 @@
+//! Named counters, gauges and log-scale histograms.
+//!
+//! Where spans describe the *plan tree*, metrics describe everything else:
+//! POP re-plan counts, LEO adjustment magnitudes, governor grant traffic,
+//! eddy routing decisions. A [`MetricsRegistry`] hands out `Rc`-backed
+//! handles ([`Counter`], [`Gauge`], [`Histogram`]) that are cheap enough to
+//! bump per tuple; registering the same name twice returns a handle to the
+//! same underlying instrument, so call sites don't need to coordinate.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A monotonically increasing count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A value that can move both ways (e.g. outstanding memory grants).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, x: f64) {
+        self.0.set(x);
+    }
+
+    /// Add `dx` (may be negative).
+    #[inline]
+    pub fn add(&self, dx: f64) {
+        self.0.set(self.0.get() + dx);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// Number of power-of-two buckets a [`Histogram`] keeps (values up to 2^63).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of non-negative values.
+///
+/// Bucket `i` counts observations `v` with `floor(log2(max(v,1))) == i`
+/// (bucket 0 holds 0 and 1). Log-scale buckets match how cardinality and
+/// q-error facts are analyzed in the robustness literature: what matters is
+/// the order of magnitude, and the full range fits in 64 fixed slots with no
+/// allocation per observation.
+#[derive(Debug, Clone)]
+pub struct Histogram(Rc<HistogramData>);
+
+#[derive(Debug)]
+struct HistogramData {
+    buckets: RefCell<[u64; HISTOGRAM_BUCKETS]>,
+    count: Cell<u64>,
+    sum: Cell<f64>,
+    max: Cell<f64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Rc::new(HistogramData {
+            buckets: RefCell::new([0; HISTOGRAM_BUCKETS]),
+            count: Cell::new(0),
+            sum: Cell::new(0.0),
+            max: Cell::new(0.0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Record one observation. Negative and NaN values clamp to zero.
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = (v.max(1.0).log2().floor() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.0.buckets.borrow_mut()[idx] += 1;
+        self.0.count.set(self.0.count.get() + 1);
+        self.0.sum.set(self.0.sum.get() + v);
+        if v > self.0.max.get() {
+            self.0.max.set(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.get()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.0.sum.get()
+    }
+
+    /// Mean of observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count() == 0 {
+            f64::NAN
+        } else {
+            self.sum() / self.count() as f64
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.0.max.get()
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (by bucket
+    /// counts). An order-of-magnitude answer, which is what log buckets can
+    /// give; NaN when empty.
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.0.buckets.borrow().iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (1u64 << (i + 1).min(63)) as f64;
+            }
+        }
+        f64::NAN
+    }
+
+    /// The non-empty buckets as `(bucket_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.0
+            .buckets
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| ((1u64 << (i + 1).min(63)) as f64, c))
+            .collect()
+    }
+}
+
+/// One instrument's state, snapshotted for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's count.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(f64),
+    /// A histogram, as `(count, sum, max, nonzero buckets)`.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// Largest observation.
+        max: f64,
+        /// Non-empty `(bucket_upper_bound, count)` pairs.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// Named snapshot of every instrument in a registry, in registration order.
+pub type MetricsSnapshot = Vec<(String, MetricValue)>;
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The home of every named instrument for one execution context.
+///
+/// Cloning shares the underlying table (`Rc`), so every subsystem can hold
+/// its own registry handle and the run report still sees one namespace.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry(Rc<RefCell<Vec<(String, Instrument)>>>);
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRegistry({} instruments)", self.0.borrow().len())
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut table = self.0.borrow_mut();
+        if let Some((_, inst)) = table.iter().find(|(n, _)| n == name) {
+            match inst {
+                Instrument::Counter(c) => return c.clone(),
+                _ => panic!("metric {name:?} is not a counter"),
+            }
+        }
+        let c = Counter::default();
+        table.push((name.to_string(), Instrument::Counter(c.clone())));
+        c
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut table = self.0.borrow_mut();
+        if let Some((_, inst)) = table.iter().find(|(n, _)| n == name) {
+            match inst {
+                Instrument::Gauge(g) => return g.clone(),
+                _ => panic!("metric {name:?} is not a gauge"),
+            }
+        }
+        let g = Gauge::default();
+        table.push((name.to_string(), Instrument::Gauge(g.clone())));
+        g
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut table = self.0.borrow_mut();
+        if let Some((_, inst)) = table.iter().find(|(n, _)| n == name) {
+            match inst {
+                Instrument::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name:?} is not a histogram"),
+            }
+        }
+        let h = Histogram::default();
+        table.push((name.to_string(), Instrument::Histogram(h.clone())));
+        h
+    }
+
+    /// Snapshot every instrument, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.0
+            .borrow()
+            .iter()
+            .map(|(name, inst)| {
+                let value = match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        buckets: h.nonzero_buckets(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("pop.replans");
+        let b = reg.counter("pop.replans");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("governor.outstanding");
+        g.set(100.0);
+        g.add(-30.0);
+        assert_eq!(g.get(), 70.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let h = Histogram::default();
+        for v in [0.0, 1.0, 3.0, 1000.0, -5.0, f64::NAN] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000.0);
+        assert!((h.sum() - 1004.0).abs() < 1e-9);
+        let buckets = h.nonzero_buckets();
+        // 0,1,-5,NaN land in bucket 0 (bound 2); 3 in bucket 1 (bound 4);
+        // 1000 in bucket 9 (bound 1024).
+        assert_eq!(buckets, vec![(2.0, 4), (4.0, 1), (1024.0, 1)]);
+    }
+
+    #[test]
+    fn quantile_bound_is_order_of_magnitude() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1.0);
+        }
+        for _ in 0..10 {
+            h.observe(1000.0);
+        }
+        assert_eq!(h.quantile_bound(0.5), 2.0);
+        assert_eq!(h.quantile_bound(0.99), 1024.0);
+        let empty = Histogram::default();
+        assert!(empty.quantile_bound(0.5).is_nan());
+        assert!(empty.mean().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last");
+        reg.gauge("a.first");
+        reg.histogram("m.mid").observe(5.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["z.last", "a.first", "m.mid"]);
+        match &snap[2].1 {
+            MetricValue::Histogram { count, .. } => assert_eq!(*count, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Operator spans: the per-operator unit of observation.
+//!
+//! A span is opened when an operator is constructed, bumped once per row the
+//! operator produces, and closed when the operator exhausts. All positions
+//! are **cost-clock readings** (the engine's deterministic notion of
+//! response time), so span timings are exactly reproducible across runs.
+//!
+//! Handles are designed for inner loops: a [`SpanHandle`] is an `Rc` around
+//! `Cell` fields, so [`SpanHandle::produced`] is a branch and two
+//! unsynchronized stores — no allocation, no locking, no formatting. The
+//! expensive parts (labels, tree assembly, rendering) happen once, at
+//! construction or post-mortem.
+
+use rqp_common::CostClock;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// The observation record behind a [`SpanHandle`].
+#[derive(Debug)]
+pub struct SpanData {
+    id: usize,
+    kind: &'static str,
+    detail: RefCell<String>,
+    parent: Cell<Option<usize>>,
+    est_rows: Cell<f64>,
+    rows_out: Cell<u64>,
+    opened_at: Cell<f64>,
+    first_row_at: Cell<f64>,
+    closed_at: Cell<f64>,
+    mem_granted: Cell<f64>,
+    spilled_rows: Cell<f64>,
+    spill_events: Cell<u64>,
+}
+
+/// Cheap (`Rc`) handle to one operator's span.
+#[derive(Debug, Clone)]
+pub struct SpanHandle(Rc<SpanData>);
+
+impl SpanHandle {
+    /// Span id, unique within its [`Tracer`].
+    pub fn id(&self) -> usize {
+        self.0.id
+    }
+
+    /// Operator kind, e.g. `"hash_join"`.
+    pub fn kind(&self) -> &'static str {
+        self.0.kind
+    }
+
+    /// Free-form annotation (plan fingerprints, key columns, …).
+    pub fn detail(&self) -> String {
+        self.0.detail.borrow().clone()
+    }
+
+    /// Replace the annotation.
+    pub fn set_detail(&self, detail: &str) {
+        *self.0.detail.borrow_mut() = detail.to_string();
+    }
+
+    /// Parent span id, if this operator feeds another instrumented operator.
+    pub fn parent(&self) -> Option<usize> {
+        self.0.parent.get()
+    }
+
+    /// Link this span under `parent_id`. Called by consuming operators on
+    /// their inputs' spans — the plan tree emerges from construction order.
+    pub fn set_parent(&self, parent_id: usize) {
+        self.0.parent.set(Some(parent_id));
+    }
+
+    /// The optimizer's row estimate for this operator (NaN = never set).
+    pub fn est_rows(&self) -> f64 {
+        self.0.est_rows.get()
+    }
+
+    /// Attach the optimizer's row estimate.
+    pub fn set_est_rows(&self, est: f64) {
+        self.0.est_rows.set(est);
+    }
+
+    /// Rows produced so far.
+    pub fn rows(&self) -> u64 {
+        self.0.rows_out.get()
+    }
+
+    /// Record one produced row — the inner-loop hot path. The first row also
+    /// stamps the clock position, so time-to-first-row is observable.
+    #[inline]
+    pub fn produced(&self, clock: &CostClock) {
+        let n = self.0.rows_out.get();
+        if n == 0 {
+            self.0.first_row_at.set(clock.now());
+        }
+        self.0.rows_out.set(n + 1);
+    }
+
+    /// Cost-clock position when the operator was constructed.
+    pub fn opened_at(&self) -> f64 {
+        self.0.opened_at.get()
+    }
+
+    /// Cost-clock position at the first produced row (NaN = no rows yet).
+    pub fn first_row_at(&self) -> f64 {
+        self.0.first_row_at.get()
+    }
+
+    /// Cost-clock position when the operator exhausted (NaN = still open).
+    pub fn closed_at(&self) -> f64 {
+        self.0.closed_at.get()
+    }
+
+    /// Mark the span closed at the clock's current position. Idempotent:
+    /// only the first close is recorded (operators may see `next() == None`
+    /// repeatedly).
+    pub fn close(&self, clock: &CostClock) {
+        if self.0.closed_at.get().is_nan() {
+            self.0.closed_at.set(clock.now());
+        }
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        !self.0.closed_at.get().is_nan()
+    }
+
+    /// Record a workspace-memory grant (rows). The span keeps the maximum
+    /// grant observed — the operator's high-water memory footprint.
+    pub fn record_grant(&self, rows: f64) {
+        if rows > self.0.mem_granted.get() {
+            self.0.mem_granted.set(rows);
+        }
+    }
+
+    /// Largest memory grant observed (rows of workspace).
+    pub fn mem_granted(&self) -> f64 {
+        self.0.mem_granted.get()
+    }
+
+    /// Record a spill of `rows` rows to temp storage.
+    pub fn record_spill(&self, rows: f64) {
+        self.0.spilled_rows.set(self.0.spilled_rows.get() + rows);
+        self.0.spill_events.set(self.0.spill_events.get() + 1);
+    }
+
+    /// Total rows spilled.
+    pub fn spilled_rows(&self) -> f64 {
+        self.0.spilled_rows.get()
+    }
+
+    /// Number of spill events.
+    pub fn spill_events(&self) -> u64 {
+        self.0.spill_events.get()
+    }
+
+    /// q-error of the estimate vs the observed actual: `max(est/act,
+    /// act/est)` with both floored at one row. NaN when no estimate was set.
+    pub fn q_error(&self) -> f64 {
+        let est = self.0.est_rows.get();
+        if est.is_nan() {
+            return f64::NAN;
+        }
+        let est = est.max(1.0);
+        let act = (self.0.rows_out.get() as f64).max(1.0);
+        (est / act).max(act / est)
+    }
+
+    /// An owned, plain-data copy of the span's current state.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            id: self.0.id,
+            parent: self.0.parent.get(),
+            kind: self.0.kind.to_string(),
+            detail: self.0.detail.borrow().clone(),
+            est_rows: self.0.est_rows.get(),
+            rows_out: self.0.rows_out.get(),
+            opened_at: self.0.opened_at.get(),
+            first_row_at: self.0.first_row_at.get(),
+            closed_at: self.0.closed_at.get(),
+            mem_granted: self.0.mem_granted.get(),
+            spilled_rows: self.0.spilled_rows.get(),
+            spill_events: self.0.spill_events.get(),
+        }
+    }
+}
+
+/// An owned, immutable copy of a span — the run-report / rendering unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span id (unique within the trace).
+    pub id: usize,
+    /// Parent span id.
+    pub parent: Option<usize>,
+    /// Operator kind.
+    pub kind: String,
+    /// Free-form annotation.
+    pub detail: String,
+    /// Optimizer estimate (NaN = none).
+    pub est_rows: f64,
+    /// Actual rows produced.
+    pub rows_out: u64,
+    /// Clock position at construction.
+    pub opened_at: f64,
+    /// Clock position at first row (NaN = none).
+    pub first_row_at: f64,
+    /// Clock position at exhaustion (NaN = never closed).
+    pub closed_at: f64,
+    /// High-water memory grant (rows).
+    pub mem_granted: f64,
+    /// Total spilled rows.
+    pub spilled_rows: f64,
+    /// Spill event count.
+    pub spill_events: u64,
+}
+
+impl SpanSnapshot {
+    /// q-error of the estimate (see [`SpanHandle::q_error`]).
+    pub fn q_error(&self) -> f64 {
+        if self.est_rows.is_nan() {
+            return f64::NAN;
+        }
+        let est = self.est_rows.max(1.0);
+        let act = (self.rows_out as f64).max(1.0);
+        (est / act).max(act / est)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    spans: RefCell<Vec<SpanHandle>>,
+}
+
+/// Collects every span opened under one execution context.
+///
+/// Cloning shares the underlying collection (`Rc`), so the context, the
+/// plan builder and the post-mortem consumers all see the same trace.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Rc<TracerInner>);
+
+impl Tracer {
+    /// Fresh, empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Open a span of the given operator kind, stamped with the clock's
+    /// current position.
+    pub fn open(&self, kind: &'static str, clock: &CostClock) -> SpanHandle {
+        let mut spans = self.0.spans.borrow_mut();
+        let handle = SpanHandle(Rc::new(SpanData {
+            id: spans.len(),
+            kind,
+            detail: RefCell::new(String::new()),
+            parent: Cell::new(None),
+            est_rows: Cell::new(f64::NAN),
+            rows_out: Cell::new(0),
+            opened_at: Cell::new(clock.now()),
+            first_row_at: Cell::new(f64::NAN),
+            closed_at: Cell::new(f64::NAN),
+            mem_granted: Cell::new(0.0),
+            spilled_rows: Cell::new(0.0),
+            spill_events: Cell::new(0),
+        }));
+        spans.push(handle.clone());
+        handle
+    }
+
+    /// Number of spans opened so far.
+    pub fn len(&self) -> usize {
+        self.0.spans.borrow().len()
+    }
+
+    /// True when no spans have been opened.
+    pub fn is_empty(&self) -> bool {
+        self.0.spans.borrow().is_empty()
+    }
+
+    /// Snapshot every span (in open order).
+    pub fn snapshot(&self) -> Vec<SpanSnapshot> {
+        self.0.spans.borrow().iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Live handles to every span (in open order).
+    pub fn spans(&self) -> Vec<SpanHandle> {
+        self.0.spans.borrow().clone()
+    }
+
+    /// Drop all spans collected so far (e.g. between POP rounds when only
+    /// the final round should be reported).
+    pub fn clear(&self) {
+        self.0.spans.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_lifecycle() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        clock.charge_seq_pages(2.0);
+        let s = tracer.open("table_scan", &clock);
+        assert_eq!(s.opened_at(), 2.0);
+        assert!(s.first_row_at().is_nan());
+        assert!(!s.is_closed());
+        clock.charge_seq_pages(1.0);
+        s.produced(&clock);
+        s.produced(&clock);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.first_row_at(), 3.0);
+        clock.charge_seq_pages(1.0);
+        s.close(&clock);
+        assert_eq!(s.closed_at(), 4.0);
+        // Idempotent close.
+        clock.charge_seq_pages(10.0);
+        s.close(&clock);
+        assert_eq!(s.closed_at(), 4.0);
+    }
+
+    #[test]
+    fn parents_and_snapshots() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let parent = tracer.open("hash_join", &clock);
+        let child = tracer.open("table_scan", &clock);
+        child.set_parent(parent.id());
+        child.set_detail("scan(t)");
+        child.set_est_rows(100.0);
+        for _ in 0..150 {
+            child.produced(&clock);
+        }
+        let snaps = tracer.snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[1].parent, Some(parent.id()));
+        assert_eq!(snaps[1].detail, "scan(t)");
+        assert_eq!(snaps[1].rows_out, 150);
+        assert!((snaps[1].q_error() - 1.5).abs() < 1e-12);
+        assert!(snaps[0].q_error().is_nan(), "no estimate set");
+    }
+
+    #[test]
+    fn grants_and_spills() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let s = tracer.open("sort", &clock);
+        s.record_grant(500.0);
+        s.record_grant(200.0);
+        assert_eq!(s.mem_granted(), 500.0, "high-water grant");
+        s.record_spill(1000.0);
+        s.record_spill(250.0);
+        assert_eq!(s.spilled_rows(), 1250.0);
+        assert_eq!(s.spill_events(), 2);
+    }
+
+    #[test]
+    fn q_error_floors_at_one_row() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let s = tracer.open("filter", &clock);
+        s.set_est_rows(0.001);
+        // Zero actual rows, near-zero estimate: q-error is 1, not inf.
+        assert_eq!(s.q_error(), 1.0);
+    }
+
+    #[test]
+    fn tracer_clear() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        tracer.open("a", &clock);
+        tracer.open("b", &clock);
+        assert_eq!(tracer.len(), 2);
+        tracer.clear();
+        assert!(tracer.is_empty());
+        // Ids restart from zero after a clear.
+        assert_eq!(tracer.open("c", &clock).id(), 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * all join algorithms compute the same multiset;
 //! * cracking / adaptive merging / index / scan agree on every range;
@@ -6,15 +6,34 @@
 //! * the cracker invariant survives arbitrary query/update interleavings;
 //! * sort output is ordered and a permutation of its input;
 //! * max-entropy distributions honor their constraints.
+//!
+//! Each property draws its cases from a seeded in-tree RNG (the workspace is
+//! hermetic — no proptest), so every failure is exactly reproducible: the
+//! case index is part of the assertion message, and rerunning the test
+//! replays the identical inputs.
 
-use proptest::prelude::*;
-use rqp::common::rng::seeded;
+use rqp::common::rng::{child_seed, seeded};
 use rqp::exec::{collect, ExecContext, GJoinOp, HashJoinOp, MergeJoinOp, Operator, SortOp};
 use rqp::expr::{col, lit, rewrites};
 use rqp::stats::MaxEntSolver;
 use rqp::storage::{AdaptiveMergeIndex, CrackerColumn, MultiIndex, Table};
 use rqp::{DataType, Row, Schema, Value};
+use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Cases per property — matches the proptest budget this file replaced.
+const CASES: u64 = 48;
+
+/// The RNG for case `i` of property `label`: independent streams per case so
+/// properties can be tightened or reordered without reshuffling inputs.
+fn case_rng(label: &str, i: u64) -> StdRng {
+    seeded(child_seed(0x5eed ^ i, label))
+}
+
+fn int_vec(rng: &mut StdRng, lo: i64, hi: i64, max_len: usize) -> Vec<i64> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
 /// Literal row source for operator property tests.
 struct RowsOp {
@@ -54,19 +73,22 @@ fn multiset(rows: Vec<Row>) -> Vec<String> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn join_algorithms_agree(
-        left in prop::collection::vec(0i64..20, 0..60),
-        right in prop::collection::vec(0i64..20, 0..60),
-    ) {
+#[test]
+fn join_algorithms_agree() {
+    for case in 0..CASES {
+        let mut rng = case_rng("join-agree", case);
+        let left = int_vec(&mut rng, 0, 20, 60);
+        let right = int_vec(&mut rng, 0, 20, 60);
         let ctx = ExecContext::unbounded();
         let hash = {
             let mut j = HashJoinOp::new(
-                RowsOp::boxed("l", &left), RowsOp::boxed("r", &right),
-                &["l.k"], &["r.k"], ctx.clone()).unwrap();
+                RowsOp::boxed("l", &left),
+                RowsOp::boxed("r", &right),
+                &["l.k"],
+                &["r.k"],
+                ctx.clone(),
+            )
+            .unwrap();
             multiset(collect(&mut j))
         };
         let merge = {
@@ -75,18 +97,31 @@ proptest! {
             let mut rs = right.clone();
             rs.sort_unstable();
             let mut j = MergeJoinOp::new(
-                RowsOp::boxed("l", &ls), RowsOp::boxed("r", &rs),
-                &["l.k"], &["r.k"], ctx.clone()).unwrap();
+                RowsOp::boxed("l", &ls),
+                RowsOp::boxed("r", &rs),
+                &["l.k"],
+                &["r.k"],
+                ctx.clone(),
+            )
+            .unwrap();
             multiset(collect(&mut j))
         };
         let gjoin = {
             let mut j = GJoinOp::new(
-                RowsOp::boxed("l", &left), RowsOp::boxed("r", &right),
-                &["l.k"], &["r.k"], false, false, None, ctx).unwrap();
+                RowsOp::boxed("l", &left),
+                RowsOp::boxed("r", &right),
+                &["l.k"],
+                &["r.k"],
+                false,
+                false,
+                None,
+                ctx,
+            )
+            .unwrap();
             multiset(collect(&mut j))
         };
-        prop_assert_eq!(&hash, &merge);
-        prop_assert_eq!(&hash, &gjoin);
+        assert_eq!(hash, merge, "case {case}: hash vs merge");
+        assert_eq!(hash, gjoin, "case {case}: hash vs gjoin");
         // Sanity: cardinality equals the key-count convolution.
         let expected: usize = (0..20)
             .map(|k| {
@@ -94,45 +129,61 @@ proptest! {
                     * right.iter().filter(|&&x| x == k).count()
             })
             .sum();
-        prop_assert_eq!(hash.len(), expected);
+        assert_eq!(hash.len(), expected, "case {case}: cardinality");
     }
+}
 
-    #[test]
-    fn adaptive_indexes_agree_with_filter(
-        keys in prop::collection::vec(-50i64..50, 1..200),
-        ranges in prop::collection::vec((-60i64..60, 0i64..30), 1..12),
-    ) {
+#[test]
+fn adaptive_indexes_agree_with_filter() {
+    for case in 0..CASES {
+        let mut rng = case_rng("adaptive-index", case);
+        let mut keys = int_vec(&mut rng, -50, 50, 200);
+        if keys.is_empty() {
+            keys.push(rng.gen_range(-50i64..50));
+        }
+        let n_ranges = rng.gen_range(1usize..12);
         let mut cracker = CrackerColumn::new(&keys);
         let mut amerge = AdaptiveMergeIndex::new(&keys, 16);
-        for &(lo, width) in &ranges {
-            let hi = lo + width;
-            let mut expected: Vec<usize> = keys.iter().enumerate()
+        for _ in 0..n_ranges {
+            let lo = rng.gen_range(-60i64..60);
+            let hi = lo + rng.gen_range(0i64..30);
+            let mut expected: Vec<usize> = keys
+                .iter()
+                .enumerate()
                 .filter(|(_, &k)| k >= lo && k <= hi)
                 .map(|(i, _)| i)
                 .collect();
             expected.sort_unstable();
             let (mut got_c, _) = cracker.query(lo, hi);
             got_c.sort_unstable();
-            prop_assert_eq!(&got_c, &expected);
-            prop_assert!(cracker.check_invariant());
+            assert_eq!(got_c, expected, "case {case}: cracker [{lo},{hi}]");
+            assert!(cracker.check_invariant(), "case {case}: cracker invariant");
             let (mut got_a, _) = amerge.query(lo, hi);
             got_a.sort_unstable();
-            prop_assert_eq!(&got_a, &expected);
-            prop_assert!(amerge.check_invariant());
+            assert_eq!(got_a, expected, "case {case}: amerge [{lo},{hi}]");
+            assert!(amerge.check_invariant(), "case {case}: amerge invariant");
         }
     }
+}
 
-    #[test]
-    fn cracker_survives_interleaved_updates(
-        keys in prop::collection::vec(0i64..100, 1..100),
-        ops in prop::collection::vec((0u8..3, 0i64..100, 0i64..20), 1..20),
-    ) {
+#[test]
+fn cracker_survives_interleaved_updates() {
+    for case in 0..CASES {
+        let mut rng = case_rng("cracker-updates", case);
+        let mut keys = int_vec(&mut rng, 0, 100, 100);
+        if keys.is_empty() {
+            keys.push(rng.gen_range(0i64..100));
+        }
+        let n_ops = rng.gen_range(1usize..20);
         let mut cracker = CrackerColumn::new(&keys);
         // Shadow model: multiset of (key, rowid).
         let mut model: Vec<(i64, usize)> =
             keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
         let mut next_rid = keys.len();
-        for &(op, a, b) in &ops {
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u8..3);
+            let a = rng.gen_range(0i64..100);
+            let b = rng.gen_range(0i64..20);
             match op {
                 0 => {
                     // insert
@@ -151,13 +202,14 @@ proptest! {
                     let (lo, hi) = (a, a + b);
                     let (mut got, _) = cracker.query(lo, hi);
                     got.sort_unstable();
-                    let mut want: Vec<usize> = model.iter()
+                    let mut want: Vec<usize> = model
+                        .iter()
                         .filter(|&&(k, _)| k >= lo && k <= hi)
                         .map(|&(_, r)| r)
                         .collect();
                     want.sort_unstable();
-                    prop_assert_eq!(got, want);
-                    prop_assert!(cracker.check_invariant());
+                    assert_eq!(got, want, "case {case}: query [{lo},{hi}]");
+                    assert!(cracker.check_invariant(), "case {case}: invariant");
                 }
             }
         }
@@ -166,23 +218,27 @@ proptest! {
         got.sort_unstable();
         let mut want: Vec<usize> = model.iter().map(|&(_, r)| r).collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: final full query");
     }
+}
 
-    #[test]
-    fn multi_index_agrees_with_filter(
-        rows in prop::collection::vec((0i64..8, 0i64..12), 1..150),
-        a_eq in 0i64..8,
-        b_lo in 0i64..12,
-        b_width in 0i64..6,
-    ) {
+#[test]
+fn multi_index_agrees_with_filter() {
+    for case in 0..CASES {
+        let mut rng = case_rng("multi-index", case);
+        let n_rows = rng.gen_range(1usize..150);
+        let rows: Vec<(i64, i64)> = (0..n_rows)
+            .map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..12)))
+            .collect();
+        let a_eq = rng.gen_range(0i64..8);
+        let b_lo = rng.gen_range(0i64..12);
+        let b_hi = b_lo + rng.gen_range(0i64..6);
         let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
         let mut t = Table::new("t", schema);
         for &(a, b) in &rows {
             t.append(vec![Value::Int(a), Value::Int(b)]);
         }
         let ix = MultiIndex::build("ix", &t, &["a", "b"]).unwrap();
-        let b_hi = b_lo + b_width;
         let mut got = ix
             .lookup(&[Value::Int(a_eq)], Some(&Value::Int(b_lo)), Some(&Value::Int(b_hi)))
             .unwrap();
@@ -193,7 +249,7 @@ proptest! {
             .filter(|(_, &(a, b))| a == a_eq && b >= b_lo && b <= b_hi)
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: range lookup");
         // Pure-prefix lookup is the union over all b.
         let mut all = ix.lookup(&[Value::Int(a_eq)], None, None).unwrap();
         all.sort_unstable();
@@ -203,62 +259,90 @@ proptest! {
             .filter(|(_, &(a, _))| a == a_eq)
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(all, want_all);
+        assert_eq!(all, want_all, "case {case}: prefix lookup");
     }
+}
 
-    #[test]
-    fn rewrites_preserve_predicate_semantics(
-        a_vals in prop::collection::vec(-10i64..10, 1..30),
-        lo in -10i64..5,
-        width in 0i64..10,
-        in_list in prop::collection::vec(-10i64..10, 1..4),
-    ) {
+#[test]
+fn rewrites_preserve_predicate_semantics() {
+    for case in 0..CASES {
+        let mut rng = case_rng("rewrites", case);
+        let mut a_vals = int_vec(&mut rng, -10, 10, 30);
+        if a_vals.is_empty() {
+            a_vals.push(rng.gen_range(-10i64..10));
+        }
+        let lo = rng.gen_range(-10i64..5);
+        let width = rng.gen_range(0i64..10);
+        let n_list = rng.gen_range(1usize..4);
+        let in_list: Vec<i64> = (0..n_list).map(|_| rng.gen_range(-10i64..10)).collect();
         let schema = Schema::from_pairs(&[("a", DataType::Int)]);
-        let base = col("a").between(lo, lo + width)
+        let base = col("a")
+            .between(lo, lo + width)
             .or(col("a").in_list(in_list.iter().map(|&v| Value::Int(v)).collect()))
             .and(col("a").ne(lit(0i64)).not().not());
         for variant in rewrites::variants(&base) {
             for &v in &a_vals {
                 let row = vec![Value::Int(v)];
-                prop_assert_eq!(
+                assert_eq!(
                     base.eval_bool(&row, &schema).unwrap(),
                     variant.eval_bool(&row, &schema).unwrap(),
-                    "variant {} disagrees at a={}", variant, v
+                    "case {case}: variant {variant} disagrees at a={v}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn sort_is_ordered_permutation(keys in prop::collection::vec(-1000i64..1000, 0..300)) {
+#[test]
+fn sort_is_ordered_permutation() {
+    for case in 0..CASES {
+        let mut rng = case_rng("sort-perm", case);
+        let keys = int_vec(&mut rng, -1000, 1000, 300);
         let ctx = ExecContext::unbounded();
         let mut s = SortOp::asc(RowsOp::boxed("t", &keys), &["t.k"], ctx).unwrap();
         let out = collect(&mut s);
-        prop_assert_eq!(out.len(), keys.len());
-        prop_assert!(out.windows(2).all(|w| w[0][0] <= w[1][0]));
+        assert_eq!(out.len(), keys.len(), "case {case}: length");
+        assert!(
+            out.windows(2).all(|w| w[0][0] <= w[1][0]),
+            "case {case}: ordering"
+        );
         let mut sorted_in = keys.clone();
         sorted_in.sort_unstable();
         let got: Vec<i64> = out.iter().map(|r| r[0].as_int().unwrap()).collect();
-        prop_assert_eq!(got, sorted_in);
+        assert_eq!(got, sorted_in, "case {case}: permutation");
     }
+}
 
-    #[test]
-    fn maxent_honors_constraints(s1 in 0.05f64..0.95, s2 in 0.05f64..0.95) {
+#[test]
+fn maxent_honors_constraints() {
+    for case in 0..CASES {
+        let mut rng = case_rng("maxent", case);
+        let s1 = rng.gen_range(0.05f64..0.95);
+        let s2 = rng.gen_range(0.05f64..0.95);
         let mut solver = MaxEntSolver::new(2).unwrap();
         solver.add_constraint(0b01, s1).unwrap();
         solver.add_constraint(0b10, s2).unwrap();
         let d = solver.solve(300, 1e-10);
-        prop_assert!((d.selectivity(0b01) - s1).abs() < 1e-4);
-        prop_assert!((d.selectivity(0b10) - s2).abs() < 1e-4);
+        assert!(
+            (d.selectivity(0b01) - s1).abs() < 1e-4,
+            "case {case}: s1 constraint"
+        );
+        assert!(
+            (d.selectivity(0b10) - s2).abs() < 1e-4,
+            "case {case}: s2 constraint"
+        );
         // Without joint knowledge, ME = independence.
-        prop_assert!((d.selectivity(0b11) - s1 * s2).abs() < 1e-3);
+        assert!(
+            (d.selectivity(0b11) - s1 * s2).abs() < 1e-3,
+            "case {case}: independence"
+        );
     }
 }
 
 #[test]
 fn memory_fluctuation_mid_plan_is_observed() {
-    // Not a proptest, but a deterministic edge probe: changing the governor
-    // budget between pipeline stages affects the later stage's spill.
+    // A deterministic edge probe: changing the governor budget between
+    // pipeline stages affects the later stage's spill.
     let mut rng = seeded(8);
     let keys: Vec<i64> = (0..5000).map(|_| rng.gen_range(0..5000)).collect();
     let ctx = ExecContext::with_memory(f64::INFINITY);
