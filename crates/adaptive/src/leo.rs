@@ -85,6 +85,16 @@ pub fn run_with_feedback(
                         (cm.actual_rows() as f64).max(1.0) / cm.est_rows.max(1.0);
                 }
                 repo.borrow_mut().observe(sig, adjusted, actual as f64);
+                let q = rqp_stats::q_error(adjusted, actual as f64);
+                ctx.metrics.histogram("leo.q_error").observe(q);
+                if q > 1.0 + 1e-9 {
+                    ctx.metrics.counter("leo.corrections").inc();
+                    m.span.record_event(
+                        &ctx.clock,
+                        "leo.correction",
+                        &format!("{sig}: est {adjusted:.1} vs actual {actual} (q {q:.2})"),
+                    );
+                }
                 true
             }
             None => false,
@@ -143,6 +153,31 @@ mod tests {
         assert!(report.observations.iter().any(|o| o.learned));
         assert!(report.cost > 0.0);
         assert!(!repo.borrow().is_empty());
+        // Learned observations leave a telemetry trail.
+        let hist = ctx.metrics.histogram("leo.q_error");
+        assert!(hist.count() > 0, "every learned node observes its q-error");
+    }
+
+    #[test]
+    fn misestimates_surface_as_correction_events() {
+        let c = catalog();
+        let reg = Rc::new(TableStatsRegistry::analyze_catalog(&c, 16));
+        let repo = Rc::new(RefCell::new(FeedbackRepo::new(1.0)));
+        let lying = LyingEstimator::new(Box::new(StatsEstimator::new(Rc::clone(&reg))))
+            .with_table_factor("t", 0.02);
+        let est = FeedbackEstimator::new(Box::new(lying), Rc::clone(&repo));
+        let ctx = ExecContext::unbounded();
+        run_with_feedback(&spec(), &c, &est, &repo, PlannerConfig::default(), &ctx).unwrap();
+        assert!(ctx.metrics.counter("leo.corrections").get() >= 1);
+        let events: Vec<_> = ctx
+            .tracer
+            .snapshot()
+            .into_iter()
+            .flat_map(|s| s.events)
+            .filter(|e| e.kind == "leo.correction")
+            .collect();
+        assert!(!events.is_empty(), "50x lie must show up as correction events");
+        assert!(events.iter().any(|e| e.detail.contains("q ")), "{events:?}");
     }
 
     #[test]

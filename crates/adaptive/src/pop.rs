@@ -145,6 +145,7 @@ pub fn run_with_pop(
                     )),
                     plan_fingerprint: fingerprint,
                 });
+                ctx.metrics.counter("pop.reoptimizations").inc();
                 // Materialize the intermediate as a temp base table with
                 // actual statistics, rewrite the remaining query over it.
                 let temp_name = format!("__pop_tmp{round}");

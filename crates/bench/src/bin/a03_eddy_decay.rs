@@ -1,7 +1,7 @@
-//! Ablation binary; see DESIGN.md's ablation index. Pass `--fast` for a
-//! reduced-size run.
+//! Experiment binary; see DESIGN.md's per-experiment index. Pass `--fast`
+//! for a reduced-size run. Writes `a03_eddy_decay.txt` and a JSON run report to
+//! `exp_output/` (override with `RQP_EXP_OUTPUT`).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    println!("{}", rqp_bench::a03_eddy_decay(fast));
+    rqp_bench::experiments::harness::cli_main("a03_eddy_decay", rqp_bench::a03_eddy_decay);
 }

@@ -1,7 +1,7 @@
-//! Experiment harness binary; see DESIGN.md's per-experiment index.
-//! Pass `--fast` for a reduced-size run.
+//! Experiment binary; see DESIGN.md's per-experiment index. Pass `--fast`
+//! for a reduced-size run. Writes `e12_advisor.txt` and a JSON run report to
+//! `exp_output/` (override with `RQP_EXP_OUTPUT`).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    println!("{}", rqp_bench::e12_advisor(fast));
+    rqp_bench::experiments::harness::cli_main("e12_advisor", rqp_bench::e12_advisor);
 }

@@ -1,8 +1,8 @@
 //! A01–A03: ablations over the design choices `DESIGN.md` calls out.
 
+use super::harness::{self, Harness};
 use rand::Rng;
 use rqp::adaptive::pop::{run_standard, run_with_pop, EstimatorWrapper, PopConfig};
-use rqp::common::rng::seeded;
 use rqp::exec::{collect, EddyFilterOp, ExecContext, Operator, RoutingPolicy};
 use rqp::expr::{col, lit};
 use rqp::metrics::ReportTable;
@@ -14,53 +14,77 @@ use rqp::{DataType, Row, Schema, Value};
 
 /// A01 — POP θ sensitivity: validity-range tightness vs overhead/recovery.
 pub fn a01_pop_theta(fast: bool) -> String {
-    let li = if fast { 3000 } else { 10_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 101);
-    let registry = TableStatsRegistry::analyze_catalog(&db.catalog, 32);
-    // A moderately wrong estimate (12×): tight thetas catch it, loose ones
-    // ride it out.
-    let wrap: Box<EstimatorWrapper<'_>> = Box::new(|e| {
-        Box::new(LyingEstimator::new(e).with_table_factor("lineitem", 1.0 / 12.0))
-    });
-    let spec = db.q3(1, 1200);
-    let cfg = PlannerConfig::default();
-    let ctx = ExecContext::unbounded();
-    let (_, std_cost) =
-        run_standard(&spec, &db.catalog, &registry, wrap.as_ref(), cfg, &ctx).expect("std");
-    let mut t = ReportTable::new(&["theta", "reopts", "POP cost", "vs standard"]);
-    for theta in [1.5, 2.0, 5.0, 20.0, 100.0] {
+    harness::run("a01_pop_theta", fast, |h| {
+        let li = if h.fast() { 3000 } else { 10_000 };
+        let db = TpchDb::build(
+            TpchParams { lineitem_rows: li, ..Default::default() },
+            h.note_seed("db", 101),
+        );
+        let registry = TableStatsRegistry::analyze_catalog(&db.catalog, 32);
+        // A moderately wrong estimate (12×): tight thetas catch it, loose ones
+        // ride it out.
+        let wrap: Box<EstimatorWrapper<'_>> = Box::new(|e| {
+            Box::new(LyingEstimator::new(e).with_table_factor("lineitem", 1.0 / 12.0))
+        });
+        let spec = db.q3(1, 1200);
+        let cfg = PlannerConfig::default();
         let ctx = ExecContext::unbounded();
-        let report = run_with_pop(
-            &spec,
-            &db.catalog,
-            &registry,
-            wrap.as_ref(),
-            cfg,
-            PopConfig { theta, max_reopts: 3 },
-            &ctx,
+        let (_, std_cost) =
+            run_standard(&spec, &db.catalog, &registry, wrap.as_ref(), cfg, &ctx).expect("std");
+        let thetas = [1.5, 2.0, 5.0, 20.0, 100.0];
+        h.config("thetas", thetas.len());
+        let mut t = ReportTable::new(&["theta", "reopts", "POP cost", "vs standard"]);
+        let mut gaps = Vec::new();
+        let mut pairs = Vec::new();
+        let mut best = f64::INFINITY;
+        for (i, theta) in thetas.into_iter().enumerate() {
+            // The last (loosest) θ runs on the harness context so one full
+            // CHECK-instrumented trace lands in the report.
+            let ctx = if i + 1 == thetas.len() { h.ctx().clone() } else { ExecContext::unbounded() };
+            let start = ctx.clock.now();
+            let report = run_with_pop(
+                &spec,
+                &db.catalog,
+                &registry,
+                wrap.as_ref(),
+                cfg,
+                PopConfig { theta, max_reopts: 3 },
+                &ctx,
+            )
+            .expect("pop");
+            let cost = ctx.clock.now() - start;
+            best = best.min(cost);
+            gaps.push((cost - std_cost).abs());
+            pairs.push((cost, std_cost.min(cost)));
+            t.row(&[
+                format!("{theta}"),
+                format!("{}", report.reoptimizations()),
+                format!("{:.0}", report.total_cost),
+                format!("{:.2}x", report.total_cost / std_cost),
+            ]);
+        }
+        h.perf_gaps(&gaps);
+        h.env_costs(&pairs);
+        h.m3(std_cost, best);
+        format!(
+            "A01 — POP validity-threshold ablation (12x underestimate; standard \
+             cost {std_cost:.0})\n\n{t}\n\
+             Expected shape: θ below the injected error catches and repairs the \
+             plan; θ above it degenerates to standard execution plus CHECK \
+             overhead. The knee sits at the error magnitude — validity ranges \
+             are only as useful as they are honest about estimation accuracy.\n",
         )
-        .expect("pop");
-        t.row(&[
-            format!("{theta}"),
-            format!("{}", report.reoptimizations()),
-            format!("{:.0}", report.total_cost),
-            format!("{:.2}x", report.total_cost / std_cost),
-        ]);
-    }
-    format!(
-        "A01 — POP validity-threshold ablation (12x underestimate; standard \
-         cost {std_cost:.0})\n\n{t}\n\
-         Expected shape: θ below the injected error catches and repairs the \
-         plan; θ above it degenerates to standard execution plus CHECK \
-         overhead. The knee sits at the error magnitude — validity ranges \
-         are only as useful as they are honest about estimation accuracy.\n",
-    )
+    })
 }
 
 /// A02 — adaptive-merge run-size ablation: build cost vs convergence.
 pub fn a02_amerge_runsize(fast: bool) -> String {
-    let n = if fast { 30_000usize } else { 150_000 };
-    let mut rng = seeded(102);
+    harness::run("a02_amerge_runsize", fast, a02_body)
+}
+
+fn a02_body(h: &mut Harness) -> String {
+    let n = if h.fast() { 30_000usize } else { 150_000 };
+    let mut rng = h.seeded("amerge-keys", 102);
     let keys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..n as i64)).collect();
     let queries: Vec<(i64, i64)> = (0..20)
         .map(|_| {
@@ -72,6 +96,7 @@ pub fn a02_amerge_runsize(fast: bool) -> String {
         "run size", "runs", "build compares", "q0 moved", "q19 moved", "total moved",
     ]);
     let sqrt_n = (n as f64).sqrt().ceil() as usize;
+    let mut build_costs = Vec::new();
     for (label, run_size) in [
         ("√n", sqrt_n),
         ("n/100", n / 100),
@@ -92,6 +117,7 @@ pub fn a02_amerge_runsize(fast: bool) -> String {
             last = st.moved;
             total += st.moved;
         }
+        build_costs.push(build as f64 + total as f64);
         t.row(&[
             label.into(),
             format!("{runs}"),
@@ -101,6 +127,12 @@ pub fn a02_amerge_runsize(fast: bool) -> String {
             format!("{total}"),
         ]);
     }
+    h.config("rows", n);
+    // Per-configuration total work (build comparisons + key moves): the
+    // sweep's performance profile, folded into smoothness by the scoreboard.
+    let floor = build_costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    h.perf_gaps(&build_costs.iter().map(|c| c - floor).collect::<Vec<_>>());
+    h.env_costs(&build_costs.iter().map(|c| (*c, floor)).collect::<Vec<_>>());
     format!(
         "A02 — adaptive-merge run-size ablation ({n} rows, 20 1% queries)\n\n{t}\n\
          Expected shape: bigger runs cost more comparisons up front but the \
@@ -112,7 +144,11 @@ pub fn a02_amerge_runsize(fast: bool) -> String {
 
 /// A03 — eddy lottery decay: adaptation speed vs stability.
 pub fn a03_eddy_decay(fast: bool) -> String {
-    let n: i64 = if fast { 20_000 } else { 100_000 };
+    harness::run("a03_eddy_decay", fast, a03_body)
+}
+
+fn a03_body(h: &mut Harness) -> String {
+    let n: i64 = if h.fast() { 20_000 } else { 100_000 };
     let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
     let rows: Vec<Row> = (0..n)
         .map(|i| {
@@ -136,25 +172,35 @@ pub fn a03_eddy_decay(fast: bool) -> String {
         }
     }
     let preds = vec![col("a").lt(lit(100i64)), col("b").lt(lit(100i64))];
+    let decays = [0.9, 0.99, 0.999, 1.0];
+    let lottery_seed = h.note_seed("eddy-lottery", 103);
+    h.config("decays", decays.len());
     let mut t = ReportTable::new(&["decay", "evaluations", "per tuple"]);
-    for decay in [0.9, 0.99, 0.999, 1.0] {
-        let ctx = ExecContext::unbounded();
+    let mut evals = Vec::new();
+    for (i, decay) in decays.into_iter().enumerate() {
+        // The first (fastest-forgetting) decay runs on the harness context so
+        // its `eddy.reroute` events land in the run report.
+        let ctx = if i == 0 { h.ctx().clone() } else { ExecContext::unbounded() };
         let src = Box::new(VecOp { schema: schema.clone(), rows: rows.clone().into_iter() });
         let mut eddy = EddyFilterOp::new(
             src,
             &preds,
             RoutingPolicy::Lottery { decay },
-            103,
+            lottery_seed,
             ctx,
         )
         .expect("eddy");
         let _ = collect(&mut eddy);
+        evals.push(eddy.evaluations as f64);
         t.row(&[
             format!("{decay}"),
             format!("{}", eddy.evaluations),
             format!("{:.3}", eddy.evaluations as f64 / n as f64),
         ]);
     }
+    let floor = evals.iter().cloned().fold(f64::INFINITY, f64::min);
+    h.perf_gaps(&evals.iter().map(|e| e - floor).collect::<Vec<_>>());
+    h.env_costs(&evals.iter().map(|e| (*e, floor)).collect::<Vec<_>>());
     format!(
         "A03 — eddy lottery-decay ablation (selectivity flip at tuple {})\n\n{t}\n\
          Expected shape: decay < 1 forgets the stale phase and re-adapts \

@@ -1,6 +1,6 @@
 //! E04–E06: the seminar's proposed robustness benchmarks.
 
-use rqp::common::rng::seeded;
+use super::harness::{self, Harness};
 use rqp::exec::ExecContext;
 use rqp::expr::{col, lit, rewrites};
 use rqp::metrics::{ReportTable, VariabilityReport};
@@ -13,6 +13,11 @@ use std::rc::Rc;
 
 /// E04 — the tractor-pull benchmark: escalate load until the stall.
 pub fn e04_tractor_pull(fast: bool) -> String {
+    harness::run("e04_tractor_pull", fast, e04_body)
+}
+
+fn e04_body(h: &mut Harness) -> String {
+    let fast = h.fast();
     let cfg = if fast {
         TractorConfig {
             max_rounds: 4,
@@ -32,7 +37,14 @@ pub fn e04_tractor_pull(fast: bool) -> String {
             seed: 41,
         }
     };
+    h.note_seed("tractor", cfg.seed);
     let rounds = TractorPull::run(cfg).expect("tractor pull");
+    h.config("rounds", rounds.len());
+    h.gauge("tractor.distance", TractorPull::distance(&rounds) as f64);
+    // Per-round spread between the worst and the mean query — the
+    // response-time-variance signal the benchmark is built around.
+    h.perf_gaps(&rounds.iter().map(|r| r.max_cost - r.mean_cost).collect::<Vec<_>>());
+    h.env_costs(&rounds.iter().map(|r| (r.max_cost, r.mean_cost)).collect::<Vec<_>>());
     let mut t = ReportTable::new(&[
         "round", "fact rows", "joins", "mean cost", "CV", "max cost", "status",
     ]);
@@ -62,8 +74,15 @@ pub fn e04_tractor_pull(fast: bool) -> String {
 /// big-memory plan everywhere; the *adaptive* system re-plans per
 /// environment (the ideal-plan approximation the break-out proposes).
 pub fn e05_extrinsic(fast: bool) -> String {
-    let li = if fast { 3000 } else { 10_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 5);
+    harness::run("e05_extrinsic", fast, e05_body)
+}
+
+fn e05_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 3000 } else { 10_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 5),
+    );
     let oracle = OracleEstimator::new(Rc::new(db.catalog.clone()));
     let spec = db.q3(1, 1200);
     let environments: [f64; 4] = [f64::INFINITY, 5_000.0, 500.0, 120.0];
@@ -98,6 +117,14 @@ pub fn e05_extrinsic(fast: bool) -> String {
             format!("{:.2}x", rigid_cost / ideal_cost),
         ]);
     }
+    h.config("environments", environments.len());
+    // The rigid system's (chosen, ideal) pairs are the experiment's
+    // extrinsic-variability evidence; the ideal totals bound Metric3.
+    h.env_costs(&rigid_pairs);
+    h.m3(
+        rigid_pairs.iter().map(|(c, _)| c).sum(),
+        rigid_pairs.iter().map(|(_, i)| i).sum(),
+    );
     let rigid_report = VariabilityReport::from_costs(&rigid_pairs);
     let adaptive_report = VariabilityReport::from_costs(&adaptive_pairs);
     format!(
@@ -117,8 +144,15 @@ pub fn e05_extrinsic(fast: bool) -> String {
 /// E06 — equivalent-query consistency: semantically equal formulations must
 /// cost (and estimate) the same.
 pub fn e06_equivalence(fast: bool) -> String {
-    let li = if fast { 3000 } else { 10_000 };
-    let mut db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 6);
+    harness::run("e06_equivalence", fast, e06_body)
+}
+
+fn e06_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 3000 } else { 10_000 };
+    let mut db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 6),
+    );
     // The session's multi-column case: an index on (returnflag, quantity)
     // should serve "returnflag = 1 AND quantity BETWEEN 7 AND 11" in every
     // phrasing.
@@ -127,7 +161,7 @@ pub fn e06_equivalence(fast: bool) -> String {
         .expect("composite index");
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 32));
     let est = StatsEstimator::new(Rc::clone(&reg));
-    let mut rng = seeded(66);
+    let mut rng = h.seeded("in-list", 66);
     use rand::Rng;
 
     let families: Vec<(&str, rqp::Expr)> = vec![
@@ -162,6 +196,8 @@ pub fn e06_equivalence(fast: bool) -> String {
         "family", "variants", "distinct results", "plans", "est spread", "cost spread",
     ]);
     let mut worst_cost_spread = 1.0f64;
+    let mut env_pairs = Vec::new();
+    let mut spread_gaps = Vec::new();
     for (name, base) in &families {
         let variants = rewrites::variants(base);
         let mut results = std::collections::BTreeSet::new();
@@ -185,6 +221,11 @@ pub fn e06_equivalence(fast: bool) -> String {
         };
         let cost_spread = spread(&costs);
         worst_cost_spread = worst_cost_spread.max(cost_spread);
+        // Each phrasing is an "environment" whose ideal is the family's
+        // cheapest variant; a robust system keeps every pair identical.
+        let cheapest = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        env_pairs.extend(costs.iter().map(|c| (*c, cheapest)));
+        spread_gaps.push(cost_spread - 1.0);
         t.row(&[
             (*name).into(),
             format!("{}", variants.len()),
@@ -194,6 +235,9 @@ pub fn e06_equivalence(fast: bool) -> String {
             format!("{cost_spread:.2}x"),
         ]);
     }
+    h.config("families", families.len());
+    h.perf_gaps(&spread_gaps);
+    h.env_costs(&env_pairs);
     format!(
         "E06 — equivalent-query robustness (Graefe et al. break-out)\n\n{t}\n\
          Ideal: every family has 1 distinct result (required) and spreads of \

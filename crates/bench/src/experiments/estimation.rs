@@ -1,5 +1,6 @@
 //! E08, E19, E22: cardinality-estimation robustness.
 
+use super::harness::{self, Harness};
 use rqp::adaptive::run_with_feedback;
 use rqp::exec::ExecContext;
 use rqp::expr::col;
@@ -18,16 +19,20 @@ use std::rc::Rc;
 /// E08 — Metric1/Metric3 and C(Q) across estimation regimes on a correlated
 /// star schema.
 pub fn e08_card_metrics(fast: bool) -> String {
-    let fact_rows = if fast { 3000 } else { 12_000 };
+    harness::run("e08_card_metrics", fast, e08_body)
+}
+
+fn e08_body(h: &mut Harness) -> String {
+    let fact_rows = if h.fast() { 3000 } else { 12_000 };
     let db = StarDb::build(
         StarParams { fact_rows, correlated_fks: true, fk_skew: 0.6, ..Default::default() },
-        8,
+        h.note_seed("db", 8),
     );
     let catalog = Rc::new(db.catalog.clone());
     let oracle = OracleEstimator::new(Rc::clone(&catalog));
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 32));
     let stats = StatsEstimator::new(Rc::clone(&reg));
-    let mut rng = rqp::common::rng::seeded(88);
+    let mut rng = h.seeded("sampling", 88);
     let sampler = SamplingEstimator::build(
         &db.catalog.table("fact").expect("fact"),
         (fact_rows / 10).max(100),
@@ -102,18 +107,22 @@ pub fn e08_card_metrics(fast: bool) -> String {
     }
 
     // Metric3: impose each enumerated plan for one star query, compare the
-    // chosen plan's runtime to the best imposed runtime.
+    // chosen plan's runtime to the best imposed runtime. The chosen plan runs
+    // on the harness context so its per-operator (estimate, actual) spans
+    // feed the scoreboard's M1/q-error columns.
     let spec = db.star_query(4, 4, 10);
     let chosen = plan(&spec, &db.catalog, &stats, PlannerConfig::default()).expect("plan");
-    let run = |p: &rqp::PhysicalPlan| -> f64 {
-        let ctx = ExecContext::unbounded();
-        p.build(&db.catalog, &ctx, None).expect("build").run();
-        ctx.clock.now()
+    let run = |p: &rqp::PhysicalPlan, ctx: &ExecContext| -> f64 {
+        let start = ctx.clock.now();
+        p.build(&db.catalog, ctx, None).expect("build").run();
+        ctx.clock.now() - start
     };
-    let runtime_best = run(&chosen);
+    let runtime_best = run(&chosen, h.ctx());
     let oracle_plan = plan(&spec, &db.catalog, &oracle, PlannerConfig::default()).expect("plan");
-    let runtime_opt = run(&oracle_plan).min(runtime_best);
+    let runtime_opt = run(&oracle_plan, &ExecContext::unbounded()).min(runtime_best);
     let m3 = metric3(runtime_opt, runtime_best);
+    h.m3(runtime_opt, runtime_best);
+    h.config("regimes", regimes.len());
 
     format!(
         "E08 — cardinality-error metrics on a correlated star schema\n\n{t}\n\
@@ -132,10 +141,15 @@ fn lit_i(v: i64) -> rqp::Expr {
 
 /// E19 — LEO feedback: q-error decay over repeated workload epochs.
 pub fn e19_leo(fast: bool) -> String {
+    harness::run("e19_leo", fast, e19_body)
+}
+
+fn e19_body(h: &mut Harness) -> String {
+    let fast = h.fast();
     let fact_rows = if fast { 3000 } else { 10_000 };
     let db = StarDb::build(
         StarParams { fact_rows, correlated_fks: true, ..Default::default() },
-        19,
+        h.note_seed("db", 19),
     );
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 32));
     let repo = Rc::new(RefCell::new(FeedbackRepo::new(0.8)));
@@ -163,14 +177,15 @@ pub fn e19_leo(fast: bool) -> String {
         let mut worst_leo = 1.0f64;
         let mut worst_plain = 1.0f64;
         for q in &workload {
-            let ctx = ExecContext::unbounded();
+            // LEO runs share the harness context: its leo.q_error histogram
+            // and leo.correction events accumulate across the epochs.
             let r = run_with_feedback(
                 q,
                 &db.catalog,
                 &with_feedback,
                 &repo,
                 PlannerConfig::default(),
-                &ctx,
+                h.ctx(),
             )
             .expect("leo run");
             worst_leo = worst_leo.max(r.max_q_error());
@@ -198,6 +213,9 @@ pub fn e19_leo(fast: bool) -> String {
             format!("{worst_plain:.2}"),
         ]);
     }
+    h.config("epochs", epochs);
+    h.gauge("leo.first_epoch_q", first_leo);
+    h.gauge("leo.final_epoch_q", last_leo);
     format!(
         "E19 — LEO learning loop: repeated workload epochs\n\n{t}\n\
          learned signatures: {}\n\
@@ -210,11 +228,16 @@ pub fn e19_leo(fast: bool) -> String {
 /// E22 — black-hat cardinality stress: estimation error per trap, in orders
 /// of magnitude.
 pub fn e22_blackhat(fast: bool) -> String {
-    let rows = if fast { 3000 } else { 20_000 };
-    let bh = BlackHatDb::build(rows, 22);
+    harness::run("e22_blackhat", fast, e22_body)
+}
+
+fn e22_body(h: &mut Harness) -> String {
+    let rows = if h.fast() { 3000 } else { 20_000 };
+    let bh = BlackHatDb::build(rows, h.note_seed("db", 22));
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&bh.catalog, 32));
     let est = StatsEstimator::new(Rc::clone(&reg));
     let mut t = ReportTable::new(&["trap", "estimate", "actual", "q-error", "magnitude (log10)"]);
+    let mut worst_q = 1.0f64;
     for trap in bh.traps() {
         let truth = bh.true_cardinality(&trap) as f64;
         let guess = match (&trap.target_table, &trap.pred) {
@@ -226,6 +249,8 @@ pub fn e22_blackhat(fast: bool) -> String {
             }
         };
         let q = rqp::stats::q_error(guess, truth);
+        worst_q = worst_q.max(q);
+        h.ctx().metrics.histogram("blackhat.q_error").observe(q);
         t.row(&[
             trap.name.into(),
             format!("{guess:.1}"),
@@ -234,6 +259,7 @@ pub fn e22_blackhat(fast: bool) -> String {
             format!("{:.1}", q.log10()),
         ]);
     }
+    h.gauge("blackhat.worst_q_log10", worst_q.log10());
     format!(
         "E22 — black-hat query optimization: the estimation trap list\n\n{t}\n\
          Expected shape: redundant/correlated predicates underestimate by \

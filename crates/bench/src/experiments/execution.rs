@@ -1,7 +1,7 @@
 //! E11, E16, E17, E18: robust execution mechanisms.
 
+use super::harness::{self, Harness};
 use rand::Rng;
-use rqp::common::rng::seeded;
 use rqp::exec::{
     collect, AGreedyFilterOp, AMergeScanOp, CrackerScanOp, EddyFilterOp, ExecContext,
     GJoinOp, HashJoinOp, IndexNlJoinOp, IndexScanOp, MergeJoinOp, Operator, RoutingPolicy,
@@ -14,9 +14,13 @@ use rqp::{Catalog, DataType, Row, Schema, Table, Value};
 /// E11 — adaptive indexing: cracking vs adaptive merging vs scan vs eager
 /// index over a query sequence (the convergence curve).
 pub fn e11_cracking(fast: bool) -> String {
-    let (rows, queries) = if fast { (30_000usize, 12usize) } else { (200_000, 25) };
+    harness::run("e11_cracking", fast, e11_body)
+}
+
+fn e11_body(h: &mut Harness) -> String {
+    let (rows, queries) = if h.fast() { (30_000usize, 12usize) } else { (200_000, 25) };
     let range = (rows / 100) as i64; // ~1% selectivity
-    let mut rng = seeded(11);
+    let mut rng = h.seeded("keys-and-queries", 11);
     let mut catalog = Catalog::new();
     let mut t = Table::new("t", Schema::from_pairs(&[("k", DataType::Int)]));
     for _ in 0..rows {
@@ -39,6 +43,7 @@ pub fn e11_cracking(fast: bool) -> String {
     let mut prev = [0.0, eager_ctx.clock.now(), 0.0, 0.0];
     let mut crack_q1 = 0.0;
     let mut crack_last = 0.0;
+    let mut crack_deltas = Vec::new();
     for q in 0..queries {
         let lo = rng.gen_range(0..rows as i64 - range);
         let hi = lo + range - 1;
@@ -81,6 +86,7 @@ pub fn e11_cracking(fast: bool) -> String {
             crack_q1 = d_crack;
         }
         crack_last = d_crack;
+        crack_deltas.push(d_crack);
         table.row(&[
             format!("{q}"),
             format!("{:.0}", now[0] - prev[0]),
@@ -90,6 +96,18 @@ pub fn e11_cracking(fast: bool) -> String {
         ]);
         prev = now;
     }
+    h.config("queries", queries);
+    // Cracking's per-query cost curve (convergence smoothness) and each
+    // strategy's cumulative work against the cheapest.
+    h.perf_gaps(&crack_deltas);
+    let totals = [
+        scan_ctx.clock.now(),
+        crack_ctx.clock.now(),
+        amerge_ctx.clock.now(),
+        eager_ctx.clock.now(),
+    ];
+    let best_total = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+    h.env_costs(&totals.iter().map(|t| (*t, best_total)).collect::<Vec<_>>());
     format!(
         "E11 — adaptive indexing convergence ({rows} rows, {queries} 1% range queries)\n\n{table}\n\
          cumulative: scan {:.0} | crack {:.0} | amerge {:.0} | eager index \
@@ -140,10 +158,15 @@ fn vec_op(schema: Schema, rows: Vec<Row>) -> Box<dyn Operator> {
 
 /// E16 — A-Greedy adaptive selection ordering under mid-stream drift.
 pub fn e16_agreedy(fast: bool) -> String {
-    let n = if fast { 20_000 } else { 100_000 };
+    harness::run("e16_agreedy", fast, e16_body)
+}
+
+fn e16_body(h: &mut Harness) -> String {
+    let n = if h.fast() { 20_000 } else { 100_000 };
     let (schema, rows) = drifting_table(n);
     let preds = vec![col("a").lt(lit(100i64)), col("b").lt(lit(100i64))];
-    let ctx = ExecContext::unbounded();
+    // A-Greedy runs on the harness context so its spans land in the report.
+    let ctx = h.ctx().clone();
 
     // Static order tuned for phase 1 (b first): stale after the drift.
     let mut stale_evals = 0usize;
@@ -186,6 +209,12 @@ pub fn e16_agreedy(fast: bool) -> String {
             format!("{:.2}x", evals as f64 / optimal_evals as f64),
         ]);
     }
+    h.config("drift_at", n / 2);
+    h.gauge("agreedy.reorderings", agreedy.reorderings as f64);
+    h.env_costs(&[
+        (stale_evals as f64, optimal_evals as f64),
+        (agreedy.evaluations as f64, optimal_evals as f64),
+    ]);
     format!(
         "E16 — A-Greedy adaptive selection ordering (drift at tuple {})\n\n{t}\n\
          result rows: {} (identical across strategies); reorderings performed: {}\n\
@@ -200,21 +229,41 @@ pub fn e16_agreedy(fast: bool) -> String {
 
 /// E17 — eddies vs a fixed plan under selectivity drift.
 pub fn e17_eddy(fast: bool) -> String {
-    let n = if fast { 20_000 } else { 100_000 };
+    harness::run("e17_eddy", fast, e17_body)
+}
+
+fn e17_body(h: &mut Harness) -> String {
+    let n = if h.fast() { 20_000 } else { 100_000 };
     let (schema, rows) = drifting_table(n);
     let preds = vec![col("a").lt(lit(100i64)), col("b").lt(lit(100i64))];
-    let run = |policy: RoutingPolicy| -> (usize, usize) {
-        let ctx = ExecContext::unbounded();
-        let mut eddy =
-            EddyFilterOp::new(vec_op(schema.clone(), rows.clone()), &preds, policy, 17, ctx)
-                .expect("eddy");
+    let lottery_seed = h.note_seed("eddy-lottery", 17);
+    let run = |policy: RoutingPolicy, ctx: ExecContext| -> (usize, usize) {
+        let mut eddy = EddyFilterOp::new(
+            vec_op(schema.clone(), rows.clone()),
+            &preds,
+            policy,
+            lottery_seed,
+            ctx,
+        )
+        .expect("eddy");
         let out = collect(&mut eddy);
         (eddy.evaluations, out.len())
     };
-    let (lottery_evals, lottery_rows) = run(RoutingPolicy::Lottery { decay: 0.999 });
-    let (fixed_a_evals, fixed_rows) = run(RoutingPolicy::Fixed(vec![0, 1]));
-    let (fixed_b_evals, _) = run(RoutingPolicy::Fixed(vec![1, 0]));
+    // The lottery run executes on the harness context so its eddy.reroute
+    // events land in the run report.
+    let (lottery_evals, lottery_rows) =
+        run(RoutingPolicy::Lottery { decay: 0.999 }, h.ctx().clone());
+    let (fixed_a_evals, fixed_rows) =
+        run(RoutingPolicy::Fixed(vec![0, 1]), ExecContext::unbounded());
+    let (fixed_b_evals, _) = run(RoutingPolicy::Fixed(vec![1, 0]), ExecContext::unbounded());
     assert_eq!(lottery_rows, fixed_rows);
+    let best = lottery_evals.min(fixed_a_evals).min(fixed_b_evals) as f64;
+    h.config("drift_at", n / 2);
+    h.env_costs(&[
+        (fixed_a_evals as f64, best),
+        (fixed_b_evals as f64, best),
+        (lottery_evals as f64, best),
+    ]);
     let mut t = ReportTable::new(&["policy", "evaluations", "per tuple"]);
     for (name, evals) in [
         ("fixed a-first (good early, bad late)", fixed_a_evals),
@@ -233,8 +282,12 @@ pub fn e17_eddy(fast: bool) -> String {
 
 /// E18 — the generalized join vs the traditional repertoire across regimes.
 pub fn e18_gjoin(fast: bool) -> String {
-    let n = if fast { 4_000i64 } else { 20_000i64 };
-    let mut rng = seeded(18);
+    harness::run("e18_gjoin", fast, e18_body)
+}
+
+fn e18_body(h: &mut Harness) -> String {
+    let n = if h.fast() { 4_000i64 } else { 20_000i64 };
+    let mut rng = h.seeded("keys", 18);
     let mut keys = |n: i64, shuffled: bool| -> Vec<i64> {
         (0..n)
             .map(|i| if shuffled { rng.gen_range(0..n / 4) } else { i % (n / 4) })
@@ -252,6 +305,7 @@ pub fn e18_gjoin(fast: bool) -> String {
     // indexed inner with small outer.
     let mut t = ReportTable::new(&["regime", "hash", "merge(+sort)", "INL", "g-join", "winner", "gjoin/best"]);
     let mut worst_ratio = 1.0f64;
+    let mut env_pairs = Vec::new();
 
     // Regime A: both inputs sorted.
     {
@@ -284,14 +338,10 @@ pub fn e18_gjoin(fast: bool) -> String {
             .expect("gjoin");
             collect(&mut j).len()
         });
-        worst_ratio = worst_ratio.max(report_row(
-            &mut t,
-            "sorted ⋈ sorted",
-            run_hash,
-            run_merge,
-            None,
-            run_g,
-        ));
+        let ratio =
+            report_row(&mut t, "sorted ⋈ sorted", run_hash, run_merge, None, run_g);
+        worst_ratio = worst_ratio.max(ratio);
+        env_pairs.push((run_g.0, run_g.0 / ratio));
     }
 
     // Regime B: both inputs unsorted.
@@ -323,14 +373,10 @@ pub fn e18_gjoin(fast: bool) -> String {
             .expect("gjoin");
             collect(&mut j).len()
         });
-        worst_ratio = worst_ratio.max(report_row(
-            &mut t,
-            "unsorted ⋈ unsorted",
-            run_hash,
-            run_merge,
-            None,
-            run_g,
-        ));
+        let ratio =
+            report_row(&mut t, "unsorted ⋈ unsorted", run_hash, run_merge, None, run_g);
+        worst_ratio = worst_ratio.max(ratio);
+        env_pairs.push((run_g.0, run_g.0 / ratio));
     }
 
     // Regime C: tiny outer, indexed inner.
@@ -390,15 +436,22 @@ pub fn e18_gjoin(fast: bool) -> String {
             .expect("gjoin");
             collect(&mut j).len()
         });
-        worst_ratio = worst_ratio.max(report_row(
+        let ratio = report_row(
             &mut t,
             "tiny outer, indexed inner",
             run_hash,
             (f64::NAN, 0),
             Some(run_inl),
             run_g,
-        ));
+        );
+        worst_ratio = worst_ratio.max(ratio);
+        env_pairs.push((run_g.0, run_g.0 / ratio));
     }
+
+    // Each regime is an environment: g-join's cost vs the best traditional
+    // algorithm's. Robustness = staying near the ideal in all of them.
+    h.env_costs(&env_pairs);
+    h.gauge("gjoin.worst_ratio", worst_ratio);
 
     format!(
         "E18 — generalized join vs the traditional repertoire\n\n{t}\n\

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod benchmarks;
 pub mod estimation;
 pub mod execution;
+pub mod harness;
 pub mod optimizer;
 pub mod pop;
 pub mod resources;

@@ -1,5 +1,6 @@
 //! E07, E09, E10, E20, E21: optimizer-level robustness.
 
+use super::harness::{self, Harness};
 use rqp::exec::ExecContext;
 use rqp::expr::col;
 use rqp::metrics::{smoothness, CostContour, ReportTable};
@@ -17,8 +18,15 @@ use std::rc::Rc;
 /// E07 — the selectivity sweep: P(q) per plan family and the smoothness
 /// metric S(Q).
 pub fn e07_smoothness(fast: bool) -> String {
-    let li = if fast { 4000 } else { 20_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 7);
+    harness::run("e07_smoothness", fast, e07_body)
+}
+
+fn e07_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 4000 } else { 20_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 7),
+    );
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 32));
     let est = StatsEstimator::new(Rc::clone(&reg));
     let sweep: Vec<f64> = [0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.6, 1.0].to_vec();
@@ -91,6 +99,20 @@ pub fn e07_smoothness(fast: bool) -> String {
     let s_scan = smoothness(&gaps(&scan_costs));
     let s_index = smoothness(&gaps(&index_costs));
     let s_chosen = smoothness(&gaps(&chosen_costs));
+    // The optimizer's own P(q) series is the experiment's headline sample
+    // set: the scoreboard recomputes S(Q) from it.
+    h.config("sweep_points", sweep.len());
+    h.perf_gaps(&gaps(&chosen_costs));
+    h.env_costs(
+        &chosen_costs
+            .iter()
+            .zip(scan_costs.iter().zip(&index_costs))
+            .map(|(&c, (&s, &i))| (c, s.min(i)))
+            .collect::<Vec<_>>(),
+    );
+    h.gauge("smoothness.forced_scan", s_scan);
+    h.gauge("smoothness.forced_index", s_index);
+    h.gauge("smoothness.optimizer", s_chosen);
     // One contour over all three series → a shared shading scale, so the
     // index cliff is visible against the flat scan.
     let surface = CostContour::new(vec![
@@ -122,8 +144,15 @@ pub fn e07_smoothness(fast: bool) -> String {
 /// E09 — Babcock–Chaudhuri robust plan selection: expected vs percentile
 /// costing under selectivity uncertainty.
 pub fn e09_robust_opt(fast: bool) -> String {
-    let li = if fast { 4000 } else { 20_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 9);
+    harness::run("e09_robust_opt", fast, e09_body)
+}
+
+fn e09_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 4000 } else { 20_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 9),
+    );
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 32));
     let est = StatsEstimator::new(Rc::clone(&reg));
     // A highly selective filter puts index-nested-loop on the table at the
@@ -137,6 +166,7 @@ pub fn e09_robust_opt(fast: bool) -> String {
 
     let mut t = ReportTable::new(&["mode", "plan", "cost@point", "mean cost", "worst cost"]);
     let cm = CostModel::default();
+    let mut worsts = Vec::new();
     for (name, mode) in [
         ("classic (point)", RobustMode::Point),
         ("least expected cost", RobustMode::LeastExpectedCost),
@@ -152,6 +182,7 @@ pub fn e09_robust_opt(fast: bool) -> String {
             .collect();
         let mean = costs.iter().sum::<f64>() / costs.len() as f64;
         let worst = costs.iter().cloned().fold(0.0, f64::max);
+        worsts.push(worst);
         t.row(&[
             name.into(),
             short(&choice.plan.fingerprint()),
@@ -160,6 +191,10 @@ pub fn e09_robust_opt(fast: bool) -> String {
             format!("{worst:.0}"),
         ]);
     }
+    // Each mode's worst-case cost vs the best achievable worst case.
+    let best_worst = worsts.iter().cloned().fold(f64::INFINITY, f64::min);
+    h.env_costs(&worsts.iter().map(|w| (*w, best_worst)).collect::<Vec<_>>());
+    h.config("scenarios", scenarios.len());
     format!(
         "E09 — robust plan selection under selectivity uncertainty \
          (error factors {factors:?})\n\n{t}\n\
@@ -171,11 +206,15 @@ pub fn e09_robust_opt(fast: bool) -> String {
 
 /// E10 — plan diagrams and anorexic reduction.
 pub fn e10_plan_diagram(fast: bool) -> String {
-    let fact_rows = if fast { 4000 } else { 16_000 };
-    let db = StarDb::build(StarParams { fact_rows, ..Default::default() }, 10);
+    harness::run("e10_plan_diagram", fast, e10_body)
+}
+
+fn e10_body(h: &mut Harness) -> String {
+    let fact_rows = if h.fast() { 4000 } else { 16_000 };
+    let db = StarDb::build(StarParams { fact_rows, ..Default::default() }, h.note_seed("db", 10));
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
     let est = StatsEstimator::new(reg);
-    let g = if fast { 8 } else { 12 };
+    let g = if h.fast() { 8 } else { 12 };
     let grid: Vec<f64> = (1..=g)
         .map(|i| (i as f64 / g as f64).powi(3).max(1e-4))
         .collect();
@@ -192,6 +231,11 @@ pub fn e10_plan_diagram(fast: bool) -> String {
     let mut t = ReportTable::new(&["lambda", "plans before", "plans after", "max inflation"]);
     for lambda in [0.0, 0.1, 0.2, 0.5, 1.0] {
         let red = AnorexicReduction::reduce(&d, lambda);
+        if (lambda - 0.2).abs() < 1e-9 {
+            h.gauge("diagram.plans_before", d.plan_count() as f64);
+            h.gauge("diagram.plans_after_l02", red.plan_count() as f64);
+            h.gauge("diagram.max_inflation_l02", red.max_inflation);
+        }
         t.row(&[
             format!("{lambda}"),
             format!("{}", d.plan_count()),
@@ -210,6 +254,8 @@ pub fn e10_plan_diagram(fast: bool) -> String {
         })
         .collect();
     let contour = CostContour::new(opt_surface);
+    h.config("grid", grid.len());
+    h.gauge("diagram.max_cliff", contour.max_cliff());
     format!(
         "E10 — plan diagram ({0}x{0} selectivity grid) and anorexic reduction\n\n\
          diagram (letters = distinct plans, origin bottom-left):\n{1}\n\
@@ -227,8 +273,15 @@ pub fn e10_plan_diagram(fast: bool) -> String {
 
 /// E20 — Rio: uncertainty buckets → bounding boxes → robust or switchable.
 pub fn e20_rio(fast: bool) -> String {
-    let li = if fast { 4000 } else { 16_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 20);
+    harness::run("e20_rio", fast, e20_body)
+}
+
+fn e20_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 4000 } else { 16_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 20),
+    );
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 32));
     let est = StatsEstimator::new(Rc::clone(&reg));
     let spec = QuerySpec::new()
@@ -238,6 +291,7 @@ pub fn e20_rio(fast: bool) -> String {
         "uncertainty", "box factor", "verdict", "corner plans", "chosen worst-corner",
         "point-plan worst-corner",
     ]);
+    let mut env_pairs = Vec::new();
     for level in UncertaintyLevel::all() {
         let a = RioAnalysis::analyze(
             &spec,
@@ -249,6 +303,8 @@ pub fn e20_rio(fast: bool) -> String {
         )
         .expect("rio");
         let worst = |c: (f64, f64, f64)| c.0.max(c.1).max(c.2);
+        let chosen_worst = worst(a.chosen_corner_costs);
+        env_pairs.push((chosen_worst, chosen_worst.min(worst(a.point_corner_costs))));
         t.row(&[
             format!("{level:?}"),
             format!("{:.1}", level.box_factor()),
@@ -261,6 +317,7 @@ pub fn e20_rio(fast: bool) -> String {
             format!("{:.0}", worst(a.point_corner_costs)),
         ]);
     }
+    h.env_costs(&env_pairs);
     format!(
         "E20 — Rio proactive re-optimization: bounding-box analysis per \
          uncertainty level\n\n{t}\n\
@@ -273,8 +330,16 @@ pub fn e20_rio(fast: bool) -> String {
 /// E21 — the statistics-refresh "automatic disaster", with and without plan
 /// pinning.
 pub fn e21_stats_refresh(fast: bool) -> String {
+    harness::run("e21_stats_refresh", fast, e21_body)
+}
+
+fn e21_body(h: &mut Harness) -> String {
+    let fast = h.fast();
     let li = if fast { 3000 } else { 8000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 21);
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 21),
+    );
     // Queries parked near the scan/index crossover — the fragile zone.
     let workload: Vec<QuerySpec> = (0..4)
         .map(|i| {
@@ -290,7 +355,7 @@ pub fn e21_stats_refresh(fast: bool) -> String {
         insert_fraction: 0.01,
         sample_size: 50,
         buckets: 4,
-        seed: 2121,
+        seed: h.note_seed("refresh", 2121),
         ..Default::default()
     };
     let unpinned =
@@ -315,6 +380,11 @@ pub fn e21_stats_refresh(fast: bool) -> String {
             format!("{:.2}x", r.worst_regression()),
         ]);
     }
+    h.config("epochs", epochs);
+    h.gauge("refresh.flips_unpinned", unpinned.total_flips() as f64);
+    h.gauge("refresh.flips_pinned", pinned.total_flips() as f64);
+    h.gauge("refresh.worst_regression_unpinned", unpinned.worst_regression());
+    h.gauge("refresh.worst_regression_pinned", pinned.worst_regression());
     format!(
         "E21 — 'automatic disaster': tiny inserts + sampled stats refresh \
          ({epochs} epochs, 4 crossover queries)\n\n{t}\n\

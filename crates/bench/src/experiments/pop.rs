@@ -15,9 +15,10 @@
 //! mild, a tail severe) — the estimation-error distribution every production
 //! DBA recognizes.
 
+use super::harness::{self, Harness};
 use rand::Rng;
 use rqp::adaptive::pop::{run_standard, run_with_pop, EstimatorWrapper, PopConfig};
-use rqp::common::rng::{child_seed, seeded};
+use rqp::common::rng::child_seed;
 use rqp::exec::ExecContext;
 use rqp::metrics::{BoxPlot, ReportTable, Summary};
 use rqp::opt::PlannerConfig;
@@ -35,12 +36,16 @@ pub struct PopPoint {
     pub reopts: usize,
 }
 
-/// Run the shared POP problem workload.
-pub fn run_pop_workload(fast: bool) -> Vec<PopPoint> {
-    let (li_rows, n_queries) = if fast { (3000, 12) } else { (12_000, 60) };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li_rows, ..Default::default() }, 1001);
+/// Run the shared POP problem workload, recording its seeds and headline
+/// numbers on the harness.
+pub fn run_pop_workload(h: &mut Harness) -> Vec<PopPoint> {
+    let (li_rows, n_queries) = if h.fast() { (3000, 12) } else { (12_000, 60) };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li_rows, ..Default::default() },
+        h.note_seed("db", 1001),
+    );
     let registry = TableStatsRegistry::analyze_catalog(&db.catalog, 32);
-    let mut rng = seeded(child_seed(1001, "pop-workload"));
+    let mut rng = h.seeded("pop-workload", child_seed(1001, "pop-workload"));
     let mut out = Vec::with_capacity(n_queries);
     for qi in 0..n_queries {
         // Error severity: log-uniform underestimate in [1, 1000]×.
@@ -72,25 +77,32 @@ pub fn run_pop_workload(fast: bool) -> Vec<PopPoint> {
         assert_eq!(rows_std.len(), report.rows.len(), "POP must not change answers");
         out.push(PopPoint { standard, pop: report.total_cost, reopts: report.reoptimizations() });
     }
+    // The workload's paper-metric samples: per-query gap between the
+    // regimes (smoothness of improvement), and the static regime's
+    // divergence from the adaptive one (extrinsic variability).
+    h.config("queries", out.len());
+    h.perf_gaps(&out.iter().map(|p| (p.standard - p.pop).abs()).collect::<Vec<_>>());
+    h.env_costs(&out.iter().map(|p| (p.standard, p.pop)).collect::<Vec<_>>());
     out
 }
 
-/// Assemble E01's run report: the workload's cost distributions and
-/// re-optimization counts as metrics, plus the full operator span trace of
-/// one representative problem query (a severe 100× underestimate) executed
-/// under POP. Written to `exp_output/` by [`e01_pop_aggregate`].
-pub fn e01_run_report(fast: bool, points: &[PopPoint]) -> rqp::telemetry::RunReport {
-    let ctx = ExecContext::unbounded();
-    let std_hist = ctx.metrics.histogram("cost.standard");
-    let pop_hist = ctx.metrics.histogram("cost.pop");
-    let reopts = ctx.metrics.counter("pop.reoptimizations");
+/// Record the workload's cost distributions and re-optimization counts on
+/// the harness registry, and execute one representative problem query (a
+/// severe 100× underestimate) under POP on the harness context so its full
+/// operator span trace — `check` spans, `pop.violation` events — lands in
+/// the run report.
+fn instrument_e01(h: &mut Harness, points: &[PopPoint]) {
+    let std_hist = h.ctx().metrics.histogram("cost.standard");
+    let pop_hist = h.ctx().metrics.histogram("cost.pop");
     for p in points {
         std_hist.observe(p.standard);
         pop_hist.observe(p.pop);
-        reopts.add(p.reopts as u64);
     }
-    let li_rows = if fast { 3000 } else { 12_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li_rows, ..Default::default() }, 1001);
+    let li_rows = if h.fast() { 3000 } else { 12_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li_rows, ..Default::default() },
+        h.note_seed("db-representative", 1001),
+    );
     let registry = TableStatsRegistry::analyze_catalog(&db.catalog, 32);
     let wrap: Box<EstimatorWrapper<'_>> = Box::new(|e| {
         Box::new(LyingEstimator::new(e).with_table_factor("lineitem", 0.01))
@@ -102,54 +114,57 @@ pub fn e01_run_report(fast: bool, points: &[PopPoint]) -> rqp::telemetry::RunRep
         wrap.as_ref(),
         PlannerConfig::default(),
         PopConfig::default(),
-        &ctx,
+        h.ctx(),
     )
     .expect("traced POP run");
-    ctx.run_report("e01_pop_aggregate")
-        .with_config("fast", if fast { "true" } else { "false" })
-        .with_config("queries", &points.len().to_string())
 }
 
 /// E01 — Figure 1: aggregated improvement (box plots).
 pub fn e01_pop_aggregate(fast: bool) -> String {
-    let points = run_pop_workload(fast);
-    let footer = match e01_run_report(fast, &points).write_to(std::path::Path::new("exp_output")) {
-        Ok(path) => format!("run report: {}", path.display()),
-        Err(e) => format!("run report: write failed ({e})"),
-    };
-    let std_costs: Vec<f64> = points.iter().map(|p| p.standard).collect();
-    let pop_costs: Vec<f64> = points.iter().map(|p| p.pop).collect();
-    let sb = BoxPlot::of(&std_costs);
-    let pb = BoxPlot::of(&pop_costs);
-    let ss = Summary::of(&std_costs);
-    let ps = Summary::of(&pop_costs);
-    let mut t = ReportTable::new(&["regime", "q1", "median", "q3", "whisker-hi", "max", "mean"]);
-    for (name, b, s) in [("standard", &sb, &ss), ("POP", &pb, &ps)] {
-        t.row(&[
-            name.into(),
-            format!("{:.0}", b.q1),
-            format!("{:.0}", b.median),
-            format!("{:.0}", b.q3),
-            format!("{:.0}", b.whisker_hi),
-            format!("{:.0}", s.max),
-            format!("{:.0}", s.mean),
-        ]);
-    }
-    format!(
-        "E01 — POP Figure 1: aggregated improvement ({} queries)\n\n\
-         standard: {}\nPOP:      {}\n\n{t}\n\
-         Expected shape: mid-50% barely moves, the outlier tail collapses.\n\
-         tail compression (max std / max POP): {:.1}x\n{footer}\n",
-        points.len(),
-        sb.render(),
-        pb.render(),
-        ss.max / ps.max.max(1.0),
-    )
+    harness::run("e01_pop_aggregate", fast, |h| {
+        let points = run_pop_workload(h);
+        instrument_e01(h, &points);
+        let std_costs: Vec<f64> = points.iter().map(|p| p.standard).collect();
+        let pop_costs: Vec<f64> = points.iter().map(|p| p.pop).collect();
+        let sb = BoxPlot::of(&std_costs);
+        let pb = BoxPlot::of(&pop_costs);
+        let ss = Summary::of(&std_costs);
+        let ps = Summary::of(&pop_costs);
+        let mut t =
+            ReportTable::new(&["regime", "q1", "median", "q3", "whisker-hi", "max", "mean"]);
+        for (name, b, s) in [("standard", &sb, &ss), ("POP", &pb, &ps)] {
+            t.row(&[
+                name.into(),
+                format!("{:.0}", b.q1),
+                format!("{:.0}", b.median),
+                format!("{:.0}", b.q3),
+                format!("{:.0}", b.whisker_hi),
+                format!("{:.0}", s.max),
+                format!("{:.0}", s.mean),
+            ]);
+        }
+        format!(
+            "E01 — POP Figure 1: aggregated improvement ({} queries)\n\n\
+             standard: {}\nPOP:      {}\n\n{t}\n\
+             Expected shape: mid-50% barely moves, the outlier tail collapses.\n\
+             tail compression (max std / max POP): {:.1}x\n",
+            points.len(),
+            sb.render(),
+            pb.render(),
+            ss.max / ps.max.max(1.0),
+        )
+    })
 }
 
 /// E02 — Figure 2: per-query speed-up ratios in decreasing order.
 pub fn e02_pop_ratio(fast: bool) -> String {
-    let points = run_pop_workload(fast);
+    harness::run("e02_pop_ratio", fast, |h| {
+        let points = run_pop_workload(h);
+        e02_body(&points)
+    })
+}
+
+fn e02_body(points: &[PopPoint]) -> String {
     let mut ratios: Vec<(f64, usize)> =
         points.iter().map(|p| (p.standard / p.pop.max(1e-9), p.reopts)).collect();
     ratios.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -175,10 +190,16 @@ pub fn e02_pop_ratio(fast: bool) -> String {
 
 /// E03 — Figure 3: scatter of standard (x) vs POP (y) response time.
 pub fn e03_pop_scatter(fast: bool) -> String {
-    let points = run_pop_workload(fast);
+    harness::run("e03_pop_scatter", fast, |h| {
+        let points = run_pop_workload(h);
+        e03_body(&points)
+    })
+}
+
+fn e03_body(points: &[PopPoint]) -> String {
     let mut t = ReportTable::new(&["std (x)", "POP (y)", "y/x", "side of diagonal"]);
     let mut below = 0usize;
-    for p in &points {
+    for p in points {
         let ratio = p.pop / p.standard.max(1e-9);
         if ratio <= 1.0 {
             below += 1;
@@ -204,25 +225,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn e01_run_report_round_trips_schema() {
-        let points = vec![
-            PopPoint { standard: 100.0, pop: 50.0, reopts: 1 },
-            PopPoint { standard: 80.0, pop: 80.0, reopts: 0 },
-        ];
-        let report = e01_run_report(true, &points);
+    fn e01_report_carries_trace_seeds_and_paper_samples() {
+        let dir = std::env::temp_dir().join("rqp_e01_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let guard = harness::test_env::redirect(&dir);
+        let out = e01_pop_aggregate(true);
+        drop(guard);
+        assert!(out.contains("run report:"), "{out}");
+        let text = std::fs::read_to_string(dir.join("e01_pop_aggregate.json")).unwrap();
+        let report = rqp::telemetry::RunReport::from_json(&text).expect("parse");
         assert_eq!(report.experiment, "e01_pop_aggregate");
         assert!(!report.spans.is_empty(), "traced query must leave spans");
         assert!(
             report.spans.iter().any(|s| s.kind == "check"),
             "POP instrumentation must show up as check spans"
         );
-        let text = report.to_json().pretty();
-        let back = rqp::telemetry::RunReport::from_json(&text).expect("parse");
-        assert_eq!(back.experiment, report.experiment);
-        assert_eq!(back.config, report.config);
-        assert_eq!(back.cost, report.cost);
-        assert_eq!(back.metrics, report.metrics);
-        assert_eq!(back.spans.len(), report.spans.len());
-        assert_eq!(back.to_json().pretty(), text, "re-serialization is stable");
+        assert!(report.rng.iter().any(|(s, _)| s == "db"), "db seed recorded");
+        assert!(
+            report.rng.iter().any(|(s, _)| s == "pop-workload"),
+            "workload stream recorded"
+        );
+        assert!(
+            report
+                .metrics
+                .iter()
+                .any(|(name, _)| name
+                    .starts_with(rqp::telemetry::scoreboard::samples::PERF_GAP_PREFIX)),
+            "paper perf-gap samples published"
+        );
+        assert_eq!(
+            report.to_json().pretty(),
+            text,
+            "re-serialization is stable"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

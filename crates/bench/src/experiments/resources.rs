@@ -1,6 +1,6 @@
 //! E12–E15: physical design and resource/workload management.
 
-use rqp::common::rng::seeded;
+use super::harness::{self, Harness};
 use rqp::exec::ExecContext;
 use rqp::expr::col;
 use rqp::metrics::{ReportTable, Summary};
@@ -16,10 +16,14 @@ use std::rc::Rc;
 /// E12 — index-advisor robustness under workload drift: plain vs
 /// robustness-aware advisor.
 pub fn e12_advisor(fast: bool) -> String {
-    let li = if fast { 3000 } else { 10_000 };
+    harness::run("e12_advisor", fast, e12_body)
+}
+
+fn e12_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 3000 } else { 10_000 };
     let db = TpchDb::build(
         TpchParams { lineitem_rows: li, with_indexes: false, ..Default::default() },
-        12,
+        h.note_seed("db", 12),
     );
     let reg = TableStatsRegistry::analyze_catalog(&db.catalog, 16);
     let est = StatsEstimator::new(Rc::new(reg.clone()));
@@ -60,6 +64,7 @@ pub fn e12_advisor(fast: bool) -> String {
         "advisor", "indexes", "T0", "T1 (shifted)", "T2 (widened)", "T3 (other col)",
         "max |Ti−T0|/T0",
     ]);
+    let mut env_pairs = Vec::new();
     for (name, cfg) in [
         ("classic", AdvisorConfig::default()),
         ("robust (Risk+Generality)", AdvisorConfig::robust(3)),
@@ -67,6 +72,9 @@ pub fn e12_advisor(fast: bool) -> String {
         let advice = advise(&db.catalog, &reg, &training, cfg).expect("advise");
         let report =
             evaluate_advice(&db.catalog, &est, &advice, &training, &drifted).expect("evaluate");
+        // Each drifted workload is an environment; the training-time cost is
+        // the ideal the advisor promised.
+        env_pairs.extend(report.drifted.iter().map(|&ti| (ti.max(report.t0), report.t0)));
         t.row(&[
             name.into(),
             format!(
@@ -84,6 +92,7 @@ pub fn e12_advisor(fast: bool) -> String {
             format!("{:.2}", report.max_relative_difference()),
         ]);
     }
+    h.env_costs(&env_pairs);
     format!(
         "E12 — advisor robustness: tune on W0, evaluate on drifted W1..W3\n\n{t}\n\
          Expected shape: pattern-preserving drift (T1) stays near T0; \
@@ -94,11 +103,19 @@ pub fn e12_advisor(fast: bool) -> String {
 
 /// E13 — FMT: fluctuating memory between the memUBL/memLBL baselines.
 pub fn e13_fmt(fast: bool) -> String {
+    harness::run("e13_fmt", fast, e13_body)
+}
+
+fn e13_body(h: &mut Harness) -> String {
+    let fast = h.fast();
     let li = if fast { 3000 } else { 10_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 13);
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 13),
+    );
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
     let est = StatsEstimator::new(reg);
-    let mut rng = seeded(13);
+    let mut rng = h.seeded("analytic-mix", 13);
     let specs = db.analytic_mix(if fast { 6 } else { 12 }, &mut rng);
 
     let mut t = ReportTable::new(&["schedule", "total cost", "position (0=UBL best, 1=LBL)"]);
@@ -108,6 +125,7 @@ pub fn e13_fmt(fast: bool) -> String {
         ("random-ish", vec![200.0, 20_000.0, 800.0, 50_000.0, 150.0]),
     ];
     let mut header = String::new();
+    let mut env_pairs = Vec::new();
     for (name, schedule) in &schedules {
         let report = fluctuating_memory_test(
             &db.catalog,
@@ -125,12 +143,16 @@ pub fn e13_fmt(fast: bool) -> String {
             );
         }
         assert!(report.within_bounds(), "robustness bound violated");
+        // Each memory schedule is an environment; memUBL is the ideal.
+        env_pairs.push((report.scheduled_cost(), report.mem_ubl_cost));
         t.row(&[
             (*name).into(),
             format!("{:.0}", report.scheduled_cost()),
             format!("{:.2}", report.position()),
         ]);
     }
+    h.env_costs(&env_pairs);
+    h.config("queries", specs.len());
     format!(
         "E13 — FMT: fluctuating memory test ({} queries)\n\n{header}\n\n{t}\n\
          Expected shape: every schedule lands between the baselines — the \
@@ -141,8 +163,15 @@ pub fn e13_fmt(fast: bool) -> String {
 
 /// E14 — FPT: a competing query steals processing share from Qi.
 pub fn e14_fpt(fast: bool) -> String {
-    let li = if fast { 3000 } else { 10_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 14);
+    harness::run("e14_fpt", fast, e14_body)
+}
+
+fn e14_body(h: &mut Harness) -> String {
+    let li = if h.fast() { 3000 } else { 10_000 };
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 14),
+    );
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
     let est = StatsEstimator::new(reg);
     // Qi and Qm demands measured by really executing.
@@ -160,6 +189,21 @@ pub fn e14_fpt(fast: bool) -> String {
     for ((w, resp), slow) in report.contended.iter().zip(report.slowdowns()) {
         t.row(&[format!("{w}"), format!("{resp:.1}"), format!("{slow:.2}x")]);
     }
+    // Each contention level is an environment; solo response is the ideal.
+    h.env_costs(
+        &report
+            .contended
+            .iter()
+            .map(|(_, resp)| (*resp, report.solo_response))
+            .collect::<Vec<_>>(),
+    );
+    h.perf_gaps(
+        &report
+            .contended
+            .iter()
+            .map(|(_, resp)| resp - report.solo_response)
+            .collect::<Vec<_>>(),
+    );
     format!(
         "E14 — FPT: fluctuating degree of parallelism (Qi demand {qi:.0}, \
          Qm demand {qm:.0})\n\nsolo response: {:.1}\n\n{t}\n\
@@ -171,15 +215,27 @@ pub fn e14_fpt(fast: bool) -> String {
 
 /// E15 — mixed OLTP/OLAP (TPC-CH-like) with and without workload management.
 pub fn e15_mixed(fast: bool) -> String {
+    harness::run("e15_mixed", fast, e15_body)
+}
+
+fn e15_body(h: &mut Harness) -> String {
+    let fast = h.fast();
     let li = if fast { 4000 } else { 16_000 };
-    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 15);
+    let db = TpchDb::build(
+        TpchParams { lineitem_rows: li, ..Default::default() },
+        h.note_seed("db", 15),
+    );
     let est = StatsEstimator::new(Rc::new(TableStatsRegistry::analyze_catalog(
         &db.catalog,
         16,
     )));
-    let mut oltp = OltpSimulator::new(db.catalog.clone(), ExecContext::unbounded(), 15);
+    let mut oltp = OltpSimulator::new(
+        db.catalog.clone(),
+        ExecContext::unbounded(),
+        h.note_seed("oltp", 15),
+    );
     let txn_demand = oltp.run_stream(if fast { 40 } else { 100 });
-    let mut rng = seeded(15);
+    let mut rng = h.seeded("analytic-mix", 15);
     let olap_demands: Vec<f64> = db
         .analytic_mix(4, &mut rng)
         .iter()
@@ -246,6 +302,10 @@ pub fn e15_mixed(fast: bool) -> String {
             format!("{:.1}", out.makespan),
         ]);
     }
+    // Each management policy is an environment for transaction latency; the
+    // best policy's mean is the ideal.
+    let best_mean = rows_out.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+    h.env_costs(&rows_out.iter().map(|(_, m)| (*m, best_mean)).collect::<Vec<_>>());
     format!(
         "E15 — mixed OLTP/OLAP workload (txn demand {txn_demand:.1}, OLAP \
          demands {:?})\n\n{t}\n\

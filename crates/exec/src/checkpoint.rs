@@ -149,6 +149,16 @@ impl CheckOp {
         };
         if actual < self.validity.0 || actual > self.validity.1 {
             self.outcome = CheckOutcome::Violated;
+            self.span.record_event(
+                &self.ctx.clock,
+                "pop.violation",
+                &format!(
+                    "cp{} actual={} outside [{},{}] (est {})",
+                    self.checkpoint_id, actual, self.validity.0, self.validity.1,
+                    self.estimated_rows
+                ),
+            );
+            self.ctx.metrics.counter("pop.violations").inc();
             self.signal.publish(CheckViolation {
                 checkpoint_id: self.checkpoint_id,
                 estimated_rows: self.estimated_rows,
@@ -221,6 +231,10 @@ mod tests {
         let v = signal.take().expect("violation published");
         assert_eq!(v.checkpoint_id, 7);
         assert_eq!(v.actual_rows, 500);
+        let events = c.span.events();
+        assert_eq!(events.len(), 1, "violation recorded as a span event");
+        assert_eq!(events[0].kind, "pop.violation");
+        assert!(events[0].detail.contains("cp7"), "{}", events[0].detail);
         assert_eq!(v.buffer.len(), 500, "intermediate preserved for reuse");
         assert_eq!(v.validity, (10.0, 100.0));
         assert!(!signal.violated(), "take clears");

@@ -54,6 +54,10 @@ impl FilterStats {
     }
 }
 
+/// Cap on `eddy.reroute` events recorded per span; the metrics counter
+/// keeps the full count, but a thrashing eddy must not bloat the report.
+const MAX_REROUTE_EVENTS: usize = 32;
+
 /// Eddy over selection predicates.
 pub struct EddyFilterOp {
     inner: BoxOp,
@@ -66,6 +70,8 @@ pub struct EddyFilterOp {
     /// Total predicate evaluations performed (the eddy's work metric).
     pub evaluations: usize,
     span: SpanHandle,
+    last_preferred: Vec<usize>,
+    reroute_events: usize,
 }
 
 impl EddyFilterOp {
@@ -92,6 +98,7 @@ impl EddyFilterOp {
             .collect::<Result<_>>()?;
         let stats = vec![FilterStats { seen: 0.0, dropped: 0.0 }; filters.len()];
         let span = ctx.op_span("eddy_filter", &[&inner]);
+        let last_preferred = (0..filters.len()).collect();
         Ok(EddyFilterOp {
             inner,
             filters,
@@ -102,6 +109,8 @@ impl EddyFilterOp {
             rng: rqp_common::rng::seeded(seed),
             evaluations: 0,
             span,
+            last_preferred,
+            reroute_events: 0,
         })
     }
 
@@ -145,6 +154,24 @@ impl EddyFilterOp {
             }
         }
     }
+
+    /// After a tuple's statistics update, note whether the eddy's preferred
+    /// routing order shifted — the adaptive decision worth reporting.
+    fn note_reroute(&mut self) {
+        let now = self.preferred_order();
+        if now != self.last_preferred {
+            self.ctx.metrics.counter("eddy.reroutes").inc();
+            if self.reroute_events < MAX_REROUTE_EVENTS {
+                self.span.record_event(
+                    &self.ctx.clock,
+                    "eddy.reroute",
+                    &format!("preferred order {:?} -> {now:?}", self.last_preferred),
+                );
+                self.reroute_events += 1;
+            }
+            self.last_preferred = now;
+        }
+    }
 }
 
 impl Operator for EddyFilterOp {
@@ -171,9 +198,11 @@ impl Operator for EddyFilterOp {
                 s.seen = s.seen * decay + 1.0;
                 s.dropped = s.dropped * decay + if passed { 0.0 } else { 1.0 };
                 if !passed {
+                    self.note_reroute();
                     continue 'tuple;
                 }
             }
+            self.note_reroute();
             self.span.produced(&self.ctx.clock);
             return Some(row);
         }
@@ -225,6 +254,8 @@ pub struct StarEddyOp {
     /// Total SteM probes performed.
     pub probes: usize,
     span: SpanHandle,
+    last_preferred: Vec<usize>,
+    reroute_events: usize,
 }
 
 impl StarEddyOp {
@@ -252,6 +283,7 @@ impl StarEddyOp {
         }
         let stats = vec![FilterStats { seen: 0.0, dropped: 0.0 }; stems.len()];
         let span = ctx.op_span("star_eddy", &[&driver]);
+        let last_preferred = (0..stems.len()).collect();
         Ok(StarEddyOp {
             driver,
             stems,
@@ -264,6 +296,8 @@ impl StarEddyOp {
             pending: Vec::new(),
             probes: 0,
             span,
+            last_preferred,
+            reroute_events: 0,
         })
     }
 
@@ -304,6 +338,23 @@ impl StarEddyOp {
                 }
                 order
             }
+        }
+    }
+
+    /// See [`EddyFilterOp::note_reroute`].
+    fn note_reroute(&mut self) {
+        let now = self.preferred_order();
+        if now != self.last_preferred {
+            self.ctx.metrics.counter("eddy.reroutes").inc();
+            if self.reroute_events < MAX_REROUTE_EVENTS {
+                self.span.record_event(
+                    &self.ctx.clock,
+                    "eddy.reroute",
+                    &format!("preferred order {:?} -> {now:?}", self.last_preferred),
+                );
+                self.reroute_events += 1;
+            }
+            self.last_preferred = now;
         }
     }
 }
@@ -348,6 +399,7 @@ impl Operator for StarEddyOp {
                     }
                 }
             }
+            self.note_reroute();
             if dropped {
                 continue;
             }
@@ -421,6 +473,13 @@ mod tests {
         .unwrap();
         let _ = collect(&mut e);
         assert_eq!(e.preferred_order()[0], 1, "selective predicate first");
+        // The order shift is an observable adaptive decision.
+        assert!(e.ctx.metrics.counter("eddy.reroutes").get() >= 1);
+        assert!(e.span.events().iter().any(|ev| ev.kind == "eddy.reroute"));
+        assert!(
+            e.span.events().len() <= MAX_REROUTE_EVENTS,
+            "report-side event volume is capped"
+        );
         // The adaptive eddy does fewer evaluations than the worst fixed order.
         let ctx2 = ExecContext::unbounded();
         let mut worst = EddyFilterOp::new(

@@ -92,6 +92,11 @@ impl HashJoinOp {
             let spilled = n * self.spill_fraction;
             self.ctx.clock.charge_spill_rows(spilled);
             self.span.record_spill(spilled);
+            self.span.record_event(
+                &self.ctx.clock,
+                "governor.spill",
+                &format!("hash build spilled {spilled:.0} of {n:.0} rows (grant {grant:.0})"),
+            );
         }
         self.ctx.clock.charge_hash_build(n);
         for r in rows {
@@ -136,6 +141,11 @@ impl Operator for HashJoinOp {
                         let spilled = self.probe_rows * self.spill_fraction;
                         self.ctx.clock.charge_spill_rows(spilled);
                         self.span.record_spill(spilled);
+                        self.span.record_event(
+                            &self.ctx.clock,
+                            "governor.spill",
+                            &format!("hash probe spilled {spilled:.0} rows"),
+                        );
                         self.probe_rows = 0.0;
                     }
                     if !self.span.is_closed() {

@@ -82,6 +82,11 @@ impl SortOp {
                 let overflow = n - grant;
                 self.ctx.clock.charge_spill_rows(overflow);
                 self.span.record_spill(overflow);
+                self.span.record_event(
+                    &self.ctx.clock,
+                    "governor.spill",
+                    &format!("sort spilled {overflow:.0} of {n:.0} rows (grant {grant:.0})"),
+                );
                 let runs = (n / grant).ceil().max(2.0);
                 self.ctx.clock.charge_compares(n * runs.log2());
             }

@@ -19,8 +19,13 @@
 //! * [`trace`] — assembles spans into a **query trace tree** and renders it
 //!   `EXPLAIN ANALYZE`-style;
 //! * [`report`] — **structured run reports**: a JSON document per
-//!   experiment run (cost breakdown, trace, metrics) that the bench harness
-//!   writes to `exp_output/`, diffable across commits;
+//!   experiment run (cost breakdown, trace, metrics, RNG seeds,
+//!   adaptive-decision events) that the bench harness writes to
+//!   `exp_output/`, diffable across commits;
+//! * [`scoreboard`] — folds a directory of run reports into one
+//!   cross-run **scoreboard** of the paper metrics (M1/M3, smoothness,
+//!   intrinsic/extrinsic variability), with a thresholded diff — the CI
+//!   regression gate behind `rqp-report diff`;
 //! * [`json`] — the dependency-free JSON value type, writer and parser the
 //!   reports round-trip through.
 
@@ -29,11 +34,15 @@
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod scoreboard;
 pub mod span;
 pub mod trace;
 
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    bucket_quantile, Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
 pub use report::RunReport;
-pub use span::{SpanHandle, SpanSnapshot, Tracer};
+pub use scoreboard::{DiffThresholds, Regression, Scoreboard, ScoreboardEntry};
+pub use span::{SpanEvent, SpanHandle, SpanSnapshot, Tracer};
 pub use trace::{TraceNode, TraceTree};

@@ -144,6 +144,22 @@ impl Histogram {
         f64::NAN
     }
 
+    /// Median bound: upper bound of the bucket holding the 50th percentile.
+    pub fn p50(&self) -> f64 {
+        self.quantile_bound(0.50)
+    }
+
+    /// Upper bound of the bucket holding the 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile_bound(0.95)
+    }
+
+    /// Upper bound of the bucket holding the 99th percentile — the
+    /// robustness literature's tail of interest.
+    pub fn p99(&self) -> f64 {
+        self.quantile_bound(0.99)
+    }
+
     /// The non-empty buckets as `(bucket_upper_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
         self.0
@@ -155,6 +171,26 @@ impl Histogram {
             .map(|(i, &c)| ((1u64 << (i + 1).min(63)) as f64, c))
             .collect()
     }
+}
+
+/// Quantile bound computed from snapshotted `(bucket_upper_bound, count)`
+/// pairs — the same answer [`Histogram::quantile_bound`] gives on the live
+/// instrument, available after the instrument is gone (report JSON,
+/// scoreboards). NaN when empty.
+pub fn bucket_quantile(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for &(le, c) in buckets {
+        seen += c;
+        if seen >= target {
+            return le;
+        }
+    }
+    f64::NAN
 }
 
 /// One instrument's state, snapshotted for reporting.
@@ -338,9 +374,25 @@ mod tests {
         }
         assert_eq!(h.quantile_bound(0.5), 2.0);
         assert_eq!(h.quantile_bound(0.99), 1024.0);
+        assert_eq!(h.p50(), 2.0);
+        assert_eq!(h.p95(), 1024.0);
+        assert_eq!(h.p99(), 1024.0);
         let empty = Histogram::default();
         assert!(empty.quantile_bound(0.5).is_nan());
         assert!(empty.mean().is_nan());
+    }
+
+    #[test]
+    fn bucket_quantile_matches_live_instrument() {
+        let h = Histogram::default();
+        for v in [1.0, 3.0, 9.0, 100.0, 100.0, 4096.0] {
+            h.observe(v);
+        }
+        let buckets = h.nonzero_buckets();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(bucket_quantile(&buckets, q), h.quantile_bound(q), "q={q}");
+        }
+        assert!(bucket_quantile(&[], 0.5).is_nan());
     }
 
     #[test]

@@ -8,15 +8,19 @@
 //! regression-detection story for the robustness experiments.
 
 use crate::json::Json;
-use crate::metrics::{MetricValue, MetricsSnapshot};
-use crate::span::SpanSnapshot;
+use crate::metrics::{bucket_quantile, MetricValue, MetricsSnapshot};
+use crate::span::{SpanEvent, SpanSnapshot};
 use crate::trace::TraceTree;
 use rqp_common::CostBreakdown;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Schema version stamped into every report; bump on breaking changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — config, cost breakdown, spans, metrics.
+/// * v2 — adds `rng` seed streams, per-span `events`, and histogram
+///   p50/p95/p99 quantile bounds.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Everything one experiment run leaves behind.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +29,9 @@ pub struct RunReport {
     pub experiment: String,
     /// Configuration labels, e.g. `[("mode", "fast"), ("seed", "42")]`.
     pub config: Vec<(String, String)>,
+    /// Every named RNG stream the run drew from, as `(stream, seed)` — the
+    /// report alone is enough to reproduce the run.
+    pub rng: Vec<(String, u64)>,
     /// Final cost-clock breakdown.
     pub cost: CostBreakdown,
     /// Every span collected during the run, in open order.
@@ -39,6 +46,7 @@ impl RunReport {
         RunReport {
             experiment: experiment.to_string(),
             config: Vec::new(),
+            rng: Vec::new(),
             cost: CostBreakdown::default(),
             spans: Vec::new(),
             metrics: Vec::new(),
@@ -49,6 +57,24 @@ impl RunReport {
     pub fn with_config(mut self, key: &str, value: &str) -> RunReport {
         self.config.push((key.to_string(), value.to_string()));
         self
+    }
+
+    /// Record a named RNG stream's seed.
+    pub fn with_seed(mut self, stream: &str, seed: u64) -> RunReport {
+        self.rng.push((stream.to_string(), seed));
+        self
+    }
+
+    /// Every adaptive-decision event across all spans, as
+    /// `(span_id, event)`, ordered by firing position on the cost clock.
+    pub fn events(&self) -> Vec<(usize, SpanEvent)> {
+        let mut all: Vec<(usize, SpanEvent)> = self
+            .spans
+            .iter()
+            .flat_map(|s| s.events.iter().map(move |e| (s.id, e.clone())))
+            .collect();
+        all.sort_by(|a, b| a.1.at.total_cmp(&b.1.at).then(a.0.cmp(&b.0)));
+        all
     }
 
     /// The trace tree assembled from the report's spans.
@@ -67,6 +93,19 @@ impl RunReport {
                     self.config
                         .iter()
                         .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "rng",
+                Json::Obj(
+                    self.rng
+                        .iter()
+                        // Seeds are serialized as strings: u64 values (e.g.
+                        // from child_seed) exceed f64's integer range, and a
+                        // recorded seed that lost its low bits could not
+                        // reproduce the run.
+                        .map(|(stream, seed)| (stream.clone(), Json::str(&seed.to_string())))
                         .collect(),
                 ),
             ),
@@ -126,6 +165,20 @@ impl RunReport {
                 .collect::<Result<Vec<_>, String>>()?,
             _ => return Err("missing config".to_string()),
         };
+        let rng = match doc.get("rng") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(stream, v)| {
+                    let seed = v
+                        .as_str()
+                        .ok_or("non-string rng seed")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad rng seed for {stream}: {e}"))?;
+                    Ok((stream.clone(), seed))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("missing rng".to_string()),
+        };
         let cost_doc = doc.get("cost").ok_or("missing cost")?;
         let cost_field = |key: &str| -> Result<f64, String> {
             cost_doc
@@ -153,7 +206,7 @@ impl RunReport {
                 .collect::<Result<Vec<_>, String>>()?,
             _ => return Err("missing metrics".to_string()),
         };
-        Ok(RunReport { experiment, config, cost, spans, metrics })
+        Ok(RunReport { experiment, config, rng, cost, spans, metrics })
     }
 
     /// Write the report to `<dir>/<experiment>.json`, creating the
@@ -183,6 +236,21 @@ fn span_to_json(s: &SpanSnapshot) -> Json {
         ("mem_granted", Json::num(s.mem_granted)),
         ("spilled_rows", Json::num(s.spilled_rows)),
         ("spill_events", Json::num(s.spill_events as f64)),
+        (
+            "events",
+            Json::Arr(
+                s.events
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("at", Json::num(e.at)),
+                            ("kind", Json::str(&e.kind)),
+                            ("detail", Json::str(&e.detail)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -198,6 +266,27 @@ fn span_from_json(doc: &Json) -> Result<SpanSnapshot, String> {
             .map(str::to_string)
             .ok_or(format!("span missing {key}"))
     };
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("span missing events")?
+        .iter()
+        .map(|e| {
+            Ok(SpanEvent {
+                at: e.get("at").and_then(Json::as_num).ok_or("event missing at")?,
+                kind: e
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("event missing kind")?
+                    .to_string(),
+                detail: e
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .ok_or("event missing detail")?
+                    .to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     // `parent: null` decodes through as_num as NaN; map it back to None.
     let parent = num("parent")?;
     Ok(SpanSnapshot {
@@ -213,6 +302,7 @@ fn span_from_json(doc: &Json) -> Result<SpanSnapshot, String> {
         mem_granted: num("mem_granted")?,
         spilled_rows: num("spilled_rows")?,
         spill_events: num("spill_events")? as u64,
+        events,
     })
 }
 
@@ -231,6 +321,11 @@ fn metric_to_json(v: &MetricValue) -> Json {
             ("count", Json::num(*count as f64)),
             ("sum", Json::num(*sum)),
             ("max", Json::num(*max)),
+            // Quantile bounds are derived from the buckets at serialization
+            // time (never parsed back), so round-trips stay byte-stable.
+            ("p50", Json::num(bucket_quantile(buckets, 0.50))),
+            ("p95", Json::num(bucket_quantile(buckets, 0.95))),
+            ("p99", Json::num(bucket_quantile(buckets, 0.99))),
             (
                 "buckets",
                 Json::Arr(
@@ -313,6 +408,7 @@ mod tests {
         }
         join.record_grant(256.0);
         join.record_spill(128.0);
+        join.record_event(&clock, "pop.violation", "cp0 actual=420 range=[450,550]");
         scan.close(&clock);
         join.close(&clock);
         reg.counter("pop.replans").add(2);
@@ -320,7 +416,9 @@ mod tests {
         reg.histogram("leo.q_error").observe(3.5);
         let mut report = RunReport::new("e99_round_trip")
             .with_config("mode", "fast")
-            .with_config("seed", "42");
+            .with_config("seed", "42")
+            .with_seed("workload", 42)
+            .with_seed("noise", 1234);
         report.cost = clock.breakdown();
         report.spans = tracer.snapshot();
         report.metrics = reg.snapshot();
@@ -337,10 +435,31 @@ mod tests {
         // text, which must be identical byte-for-byte.
         assert_eq!(back.experiment, report.experiment);
         assert_eq!(back.config, report.config);
+        assert_eq!(back.rng, report.rng);
         assert_eq!(back.cost, report.cost);
         assert_eq!(back.metrics, report.metrics);
         assert_eq!(back.spans.len(), report.spans.len());
+        assert_eq!(back.spans[0].events, report.spans[0].events);
         assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn events_listing_is_clock_ordered() {
+        let report = sample_report();
+        let events = report.events();
+        assert_eq!(events.len(), 1);
+        let (span_id, ev) = &events[0];
+        assert_eq!(*span_id, 0, "event fired on the join span");
+        assert_eq!(ev.kind, "pop.violation");
+    }
+
+    #[test]
+    fn histogram_json_carries_quantile_bounds() {
+        let report = sample_report();
+        let doc = report.to_json();
+        let hist = doc.get("metrics").and_then(|m| m.get("leo.q_error")).expect("histogram");
+        assert_eq!(hist.get("p50").and_then(Json::as_num), Some(4.0));
+        assert_eq!(hist.get("p99").and_then(Json::as_num), Some(4.0));
     }
 
     #[test]
@@ -359,7 +478,7 @@ mod tests {
         let text = report
             .to_json()
             .pretty()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = RunReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema version"), "{err}");
     }
@@ -380,8 +499,12 @@ mod tests {
     #[test]
     fn missing_fields_are_reported() {
         assert!(RunReport::from_json("{}").unwrap_err().contains("schema_version"));
-        let no_spans = r#"{"schema_version":1,"experiment":"x","config":{},
+        let no_spans = r#"{"schema_version":2,"experiment":"x","config":{},"rng":{},
             "cost":{"seq_io":0,"rand_io":0,"cpu":0,"spill":0,"total":0},"metrics":{}}"#;
         assert!(RunReport::from_json(no_spans).unwrap_err().contains("spans"));
+        let no_rng = r#"{"schema_version":2,"experiment":"x","config":{},
+            "cost":{"seq_io":0,"rand_io":0,"cpu":0,"spill":0,"total":0},
+            "spans":[],"metrics":{}}"#;
+        assert!(RunReport::from_json(no_rng).unwrap_err().contains("rng"));
     }
 }

@@ -1,0 +1,591 @@
+//! The cross-run scoreboard: one JSON document summarizing every
+//! experiment's robustness numbers.
+//!
+//! A [`Scoreboard`] folds a directory of [`RunReport`]s into one entry per
+//! experiment, computing the seminar's paper metrics (`rqp-metrics`) from
+//! the raw observations the reports carry:
+//!
+//! * **M1** and **C(Q)** from the spans' estimated-vs-actual cardinalities;
+//! * **M3** from the reserved `paper.m3.opt` / `paper.m3.best` gauges;
+//! * **smoothness S(Q)** from the `paper.perf_gap.*` gauge family (one
+//!   gauge per query in a parameterized sweep);
+//! * **intrinsic/extrinsic variability** from the `paper.env.*.chosen` /
+//!   `paper.env.*.ideal` gauge families (one pair per environment);
+//! * adaptive-decision **event counts** and spill volume from the spans.
+//!
+//! Folding is exactly order-independent: every sample pool is sorted before
+//! reduction, so any permutation of the same reports produces a
+//! byte-identical scoreboard. [`Scoreboard::diff`] compares two scoreboards
+//! under per-metric thresholds — the CI regression gate.
+
+use crate::json::Json;
+use crate::report::RunReport;
+use rqp_metrics::{cardinality_error_geomean, metric1, metric3, smoothness, VariabilityReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Version stamped into `scoreboard.json`; bump on breaking changes.
+pub const SCOREBOARD_VERSION: u32 = 1;
+
+/// Reserved metric names through which experiments publish the raw samples
+/// behind paper metrics the scoreboard cannot derive from spans alone.
+pub mod samples {
+    /// Gauge: `RunTimeOpt` for Metric3.
+    pub const M3_OPT: &str = "paper.m3.opt";
+    /// Gauge: `RunTimeBest` for Metric3.
+    pub const M3_BEST: &str = "paper.m3.best";
+    /// Gauge-family prefix: per-query performance gaps `P(qᵢ)` of a sweep,
+    /// e.g. `paper.perf_gap.007`. Smoothness `S(Q)` is their CV.
+    pub const PERF_GAP_PREFIX: &str = "paper.perf_gap.";
+    /// Gauge-family prefix for per-environment costs: `paper.env.<k>.chosen`
+    /// and `paper.env.<k>.ideal` feed the variability decomposition.
+    pub const ENV_PREFIX: &str = "paper.env.";
+    /// Suffix of the chosen-plan cost gauge in an environment pair.
+    pub const ENV_CHOSEN: &str = ".chosen";
+    /// Suffix of the ideal-plan cost gauge in an environment pair.
+    pub const ENV_IDEAL: &str = ".ideal";
+}
+
+/// One experiment's folded robustness numbers. Metrics whose samples the
+/// experiment did not publish are NaN (serialized as `null`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreboardEntry {
+    /// Number of run reports folded in.
+    pub runs: u64,
+    /// Nica et al. Metric1: Σ |est − act| / act over estimated spans.
+    pub m1: f64,
+    /// Nica et al. Metric3, from the `paper.m3.*` gauges.
+    pub m3: f64,
+    /// Sattler et al. smoothness S(Q), from the `paper.perf_gap.*` gauges.
+    pub smoothness: f64,
+    /// Intrinsic variability, from the `paper.env.*` gauge pairs.
+    pub intrinsic: f64,
+    /// Extrinsic variability, from the `paper.env.*` gauge pairs.
+    pub extrinsic: f64,
+    /// Worst per-span q-error.
+    pub max_q_error: f64,
+    /// Sattler et al. C(Q): geometric mean of relative cardinality errors.
+    pub card_error_geomean: f64,
+    /// Summed cost-clock totals across runs.
+    pub total_cost: f64,
+    /// Summed spilled rows across all spans.
+    pub spilled_rows: f64,
+    /// Adaptive-decision events by kind, summed across all spans.
+    pub events: BTreeMap<String, u64>,
+}
+
+/// Per-experiment sample pools, accumulated before any float reduction.
+#[derive(Debug, Default)]
+struct SamplePool {
+    runs: u64,
+    est_act: Vec<(f64, f64)>,
+    q_errors: Vec<f64>,
+    perf_gaps: Vec<(String, f64)>,
+    env_chosen: Vec<(String, f64)>,
+    env_ideal: Vec<(String, f64)>,
+    m3_pairs: Vec<(f64, f64)>,
+    costs: Vec<f64>,
+    spilled: Vec<f64>,
+    events: BTreeMap<String, u64>,
+}
+
+impl SamplePool {
+    fn absorb(&mut self, report: &RunReport) {
+        self.runs += 1;
+        self.costs.push(report.cost.total());
+        for s in &report.spans {
+            if !s.est_rows.is_nan() {
+                self.est_act.push((s.est_rows, s.rows_out as f64));
+                self.q_errors.push(s.q_error());
+            }
+            self.spilled.push(s.spilled_rows);
+            for e in &s.events {
+                *self.events.entry(e.kind.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut m3 = (f64::NAN, f64::NAN);
+        for (name, value) in &report.metrics {
+            let crate::metrics::MetricValue::Gauge(x) = value else { continue };
+            if name == samples::M3_OPT {
+                m3.0 = *x;
+            } else if name == samples::M3_BEST {
+                m3.1 = *x;
+            } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
+                self.perf_gaps.push((key.to_string(), *x));
+            } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
+                if let Some(key) = rest.strip_suffix(samples::ENV_CHOSEN) {
+                    self.env_chosen.push((key.to_string(), *x));
+                } else if let Some(key) = rest.strip_suffix(samples::ENV_IDEAL) {
+                    self.env_ideal.push((key.to_string(), *x));
+                }
+            }
+        }
+        if !m3.0.is_nan() && !m3.1.is_nan() {
+            self.m3_pairs.push(m3);
+        }
+    }
+
+    /// Reduce the pools to an entry. Every pool is sorted first, so the
+    /// entry is identical for any absorption order.
+    fn entry(mut self) -> ScoreboardEntry {
+        let by_key =
+            |a: &(String, f64), b: &(String, f64)| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1));
+        self.est_act
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        self.q_errors.sort_by(f64::total_cmp);
+        self.perf_gaps.sort_by(by_key);
+        self.env_chosen.sort_by(by_key);
+        self.env_ideal.sort_by(by_key);
+        self.m3_pairs
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        self.costs.sort_by(f64::total_cmp);
+        self.spilled.sort_by(f64::total_cmp);
+
+        let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
+        let card = if self.est_act.is_empty() {
+            f64::NAN
+        } else {
+            cardinality_error_geomean(&self.est_act)
+        };
+        let max_q = if self.q_errors.is_empty() {
+            f64::NAN
+        } else {
+            self.q_errors.iter().copied().fold(1.0, f64::max)
+        };
+        let m3 = if self.m3_pairs.is_empty() {
+            f64::NAN
+        } else {
+            // Mean Metric3 across runs.
+            self.m3_pairs.iter().map(|&(o, b)| metric3(o, b)).sum::<f64>()
+                / self.m3_pairs.len() as f64
+        };
+        let smooth = if self.perf_gaps.is_empty() {
+            f64::NAN
+        } else {
+            smoothness(&self.perf_gaps.iter().map(|(_, g)| *g).collect::<Vec<_>>())
+        };
+        // Pair up environments by key; a chosen without an ideal (or vice
+        // versa) is dropped.
+        let ideals: BTreeMap<&str, f64> =
+            self.env_ideal.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let env_pairs: Vec<(f64, f64)> = self
+            .env_chosen
+            .iter()
+            .filter_map(|(k, chosen)| ideals.get(k.as_str()).map(|ideal| (*chosen, *ideal)))
+            .collect();
+        let (intrinsic, extrinsic) = if env_pairs.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            let v = VariabilityReport::from_costs(&env_pairs);
+            (v.intrinsic(), v.extrinsic())
+        };
+        ScoreboardEntry {
+            runs: self.runs,
+            m1,
+            m3,
+            smoothness: smooth,
+            intrinsic,
+            extrinsic,
+            max_q_error: max_q,
+            card_error_geomean: card,
+            total_cost: self.costs.iter().sum(),
+            spilled_rows: self.spilled.iter().sum(),
+            events: self.events,
+        }
+    }
+}
+
+/// The cross-run scoreboard: one [`ScoreboardEntry`] per experiment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scoreboard {
+    /// Entries keyed by experiment name.
+    pub entries: BTreeMap<String, ScoreboardEntry>,
+}
+
+impl Scoreboard {
+    /// Fold reports into a scoreboard. Any permutation of the same reports
+    /// produces an identical scoreboard.
+    pub fn fold(reports: &[RunReport]) -> Scoreboard {
+        let mut pools: BTreeMap<String, SamplePool> = BTreeMap::new();
+        for r in reports {
+            pools.entry(r.experiment.clone()).or_default().absorb(r);
+        }
+        Scoreboard {
+            entries: pools.into_iter().map(|(name, pool)| (name, pool.entry())).collect(),
+        }
+    }
+
+    /// Fold every `*.json` run report under `dir` (skipping
+    /// `scoreboard.json` itself). A report that fails to parse is an error —
+    /// a gate must not silently ignore corrupt evidence.
+    pub fn from_dir(dir: &Path) -> Result<Scoreboard, String> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension().is_some_and(|ext| ext == "json")
+                    && p.file_name().is_some_and(|n| n != "scoreboard.json")
+            })
+            .collect();
+        paths.sort();
+        let mut reports = Vec::with_capacity(paths.len());
+        for p in paths {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("read {}: {e}", p.display()))?;
+            reports.push(
+                RunReport::from_json(&text).map_err(|e| format!("{}: {e}", p.display()))?,
+            );
+        }
+        Ok(Scoreboard::fold(&reports))
+    }
+
+    /// Serialize to a [`Json`] document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scoreboard_version", Json::num(SCOREBOARD_VERSION as f64)),
+            (
+                "entries",
+                Json::Obj(
+                    self.entries
+                        .iter()
+                        .map(|(name, e)| (name.clone(), entry_to_json(e)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a scoreboard back from JSON text.
+    pub fn from_json(text: &str) -> Result<Scoreboard, String> {
+        let doc = Json::parse(text)?;
+        let version = doc
+            .get("scoreboard_version")
+            .and_then(Json::as_num)
+            .ok_or("missing scoreboard_version")?;
+        if version as u32 != SCOREBOARD_VERSION {
+            return Err(format!(
+                "scoreboard version {version} (this build reads {SCOREBOARD_VERSION})"
+            ));
+        }
+        let entries = match doc.get("entries") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(name, v)| Ok((name.clone(), entry_from_json(v)?)))
+                .collect::<Result<BTreeMap<_, _>, String>>()?,
+            _ => return Err("missing entries".to_string()),
+        };
+        Ok(Scoreboard { entries })
+    }
+
+    /// Write to `path` as pretty JSON.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json().pretty())
+    }
+
+    /// Compare `current` against this baseline under `thresholds`. Returns
+    /// every regression found; empty means the gate passes.
+    pub fn diff(&self, current: &Scoreboard, thresholds: &DiffThresholds) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for (name, base) in &self.entries {
+            let Some(cur) = current.entries.get(name) else {
+                out.push(Regression {
+                    experiment: name.clone(),
+                    metric: "missing".to_string(),
+                    baseline: base.runs as f64,
+                    current: 0.0,
+                    limit: base.runs as f64,
+                });
+                continue;
+            };
+            let mut check = |metric: &str, baseline: f64, current_v: f64, limit: f64| {
+                if baseline.is_nan() {
+                    return;
+                }
+                // A metric that vanished is an observability regression.
+                if current_v.is_nan() || current_v > limit {
+                    out.push(Regression {
+                        experiment: name.clone(),
+                        metric: metric.to_string(),
+                        baseline,
+                        current: current_v,
+                        limit,
+                    });
+                }
+            };
+            check("total_cost", base.total_cost, cur.total_cost, base.total_cost * thresholds.cost_ratio);
+            check("m1", base.m1, cur.m1, base.m1 * thresholds.m1_ratio + thresholds.m1_slack);
+            check(
+                "max_q_error",
+                base.max_q_error,
+                cur.max_q_error,
+                base.max_q_error * thresholds.q_error_ratio,
+            );
+            check("smoothness", base.smoothness, cur.smoothness, base.smoothness + thresholds.smoothness_slack);
+            check("extrinsic", base.extrinsic, cur.extrinsic, base.extrinsic + thresholds.extrinsic_slack);
+            check("m3", base.m3, cur.m3, base.m3 + thresholds.m3_slack);
+        }
+        out
+    }
+}
+
+/// Per-metric regression thresholds for [`Scoreboard::diff`].
+///
+/// Ratio thresholds bound multiplicative growth; slack thresholds bound
+/// absolute growth (for metrics whose baseline is legitimately near zero).
+#[derive(Debug, Clone)]
+pub struct DiffThresholds {
+    /// `total_cost` may grow by this factor.
+    pub cost_ratio: f64,
+    /// `m1` may grow by this factor…
+    pub m1_ratio: f64,
+    /// …plus this absolute slack.
+    pub m1_slack: f64,
+    /// `max_q_error` may grow by this factor.
+    pub q_error_ratio: f64,
+    /// `smoothness` may grow by this absolute amount.
+    pub smoothness_slack: f64,
+    /// `extrinsic` may grow by this absolute amount.
+    pub extrinsic_slack: f64,
+    /// `m3` may grow by this absolute amount.
+    pub m3_slack: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            cost_ratio: 1.10,
+            m1_ratio: 1.25,
+            m1_slack: 0.5,
+            q_error_ratio: 1.50,
+            smoothness_slack: 0.25,
+            extrinsic_slack: 0.25,
+            m3_slack: 0.25,
+        }
+    }
+}
+
+/// One metric of one experiment exceeding its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Experiment the regression is in.
+    pub experiment: String,
+    /// Metric that regressed (`"total_cost"`, `"m1"`, … or `"missing"`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The limit the current value exceeded.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.4} -> {:.4} (limit {:.4})",
+            self.experiment, self.metric, self.baseline, self.current, self.limit
+        )
+    }
+}
+
+fn entry_to_json(e: &ScoreboardEntry) -> Json {
+    Json::obj(vec![
+        ("runs", Json::num(e.runs as f64)),
+        ("m1", Json::num(e.m1)),
+        ("m3", Json::num(e.m3)),
+        ("smoothness", Json::num(e.smoothness)),
+        ("intrinsic", Json::num(e.intrinsic)),
+        ("extrinsic", Json::num(e.extrinsic)),
+        ("max_q_error", Json::num(e.max_q_error)),
+        ("card_error_geomean", Json::num(e.card_error_geomean)),
+        ("total_cost", Json::num(e.total_cost)),
+        ("spilled_rows", Json::num(e.spilled_rows)),
+        (
+            "events",
+            Json::Obj(
+                e.events
+                    .iter()
+                    .map(|(kind, n)| (kind.clone(), Json::num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("entry missing {key}"))
+    };
+    let events = match doc.get("events") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(kind, v)| {
+                Ok((
+                    kind.clone(),
+                    v.as_num().ok_or("non-numeric event count")? as u64,
+                ))
+            })
+            .collect::<Result<BTreeMap<_, _>, String>>()?,
+        _ => return Err("entry missing events".to_string()),
+    };
+    Ok(ScoreboardEntry {
+        runs: num("runs")? as u64,
+        m1: num("m1")?,
+        m3: num("m3")?,
+        smoothness: num("smoothness")?,
+        intrinsic: num("intrinsic")?,
+        extrinsic: num("extrinsic")?,
+        max_q_error: num("max_q_error")?,
+        card_error_geomean: num("card_error_geomean")?,
+        total_cost: num("total_cost")?,
+        spilled_rows: num("spilled_rows")?,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::Tracer;
+    use rqp_common::CostClock;
+
+    fn report(experiment: &str, est: f64, act: u64, cost_rows: f64) -> RunReport {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let reg = MetricsRegistry::new();
+        let s = tracer.open("scan", &clock);
+        s.set_est_rows(est);
+        clock.charge_seq_rows(cost_rows);
+        for _ in 0..act {
+            s.produced(&clock);
+        }
+        s.record_event(&clock, "pop.violation", "test");
+        s.close(&clock);
+        reg.gauge(samples::M3_OPT).set(100.0);
+        reg.gauge(samples::M3_BEST).set(80.0);
+        for (i, gap) in [5.0, 6.0, 50.0].iter().enumerate() {
+            reg.gauge(&format!("{}{i:03}", samples::PERF_GAP_PREFIX)).set(*gap);
+        }
+        reg.gauge("paper.env.000.chosen").set(30.0);
+        reg.gauge("paper.env.000.ideal").set(10.0);
+        reg.gauge("paper.env.001.chosen").set(20.0);
+        reg.gauge("paper.env.001.ideal").set(20.0);
+        let mut r = RunReport::new(experiment).with_seed("workload", 7);
+        r.cost = clock.breakdown();
+        r.spans = tracer.snapshot();
+        r.metrics = reg.snapshot();
+        r
+    }
+
+    #[test]
+    fn fold_computes_paper_metrics() {
+        let board = Scoreboard::fold(&[report("e01", 50.0, 100, 1000.0)]);
+        let e = &board.entries["e01"];
+        assert_eq!(e.runs, 1);
+        assert!((e.m1 - 0.5).abs() < 1e-9, "|50-100|/100");
+        assert!((e.m3 - 0.25).abs() < 1e-9, "|100-80|/80");
+        assert!(e.smoothness > 0.5, "gap cliff at 50");
+        assert!(e.intrinsic > 0.0);
+        assert!(e.extrinsic > 0.0, "env 000 diverges 3x");
+        assert_eq!(e.max_q_error, 2.0);
+        assert_eq!(e.events["pop.violation"], 1);
+        assert!(e.total_cost > 0.0);
+    }
+
+    #[test]
+    fn fold_is_order_independent() {
+        let reports = vec![
+            report("e01", 50.0, 100, 1000.0),
+            report("e01", 10.0, 90, 500.0),
+            report("e02", 700.0, 7, 2000.0),
+            report("e01", 33.0, 33, 250.0),
+        ];
+        let a = Scoreboard::fold(&reports);
+        let mut rev = reports.clone();
+        rev.reverse();
+        let b = Scoreboard::fold(&rev);
+        let mut rotated = reports;
+        rotated.rotate_left(2);
+        let c = Scoreboard::fold(&rotated);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        assert_eq!(a.to_json().pretty(), c.to_json().pretty());
+        assert_eq!(a.entries["e01"].runs, 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let board = Scoreboard::fold(&[report("e01", 50.0, 100, 1000.0)]);
+        let text = board.to_json().pretty();
+        let back = Scoreboard::from_json(&text).expect("parse");
+        assert_eq!(back.to_json().pretty(), text);
+        // NaN-bearing entries survive too (a report with no paper gauges).
+        let mut bare = RunReport::new("e09");
+        bare.spans = Vec::new();
+        let board = Scoreboard::fold(&[bare]);
+        assert!(board.entries["e09"].m1.is_nan());
+        let text = board.to_json().pretty();
+        let back = Scoreboard::from_json(&text).expect("parse");
+        assert!(back.entries["e09"].m1.is_nan());
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn diff_passes_on_identical_boards() {
+        let board = Scoreboard::fold(&[report("e01", 50.0, 100, 1000.0)]);
+        assert!(board.diff(&board, &DiffThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn diff_trips_on_inflated_actuals() {
+        let baseline = Scoreboard::fold(&[report("e01", 50.0, 100, 1000.0)]);
+        // The regression fixture: same experiment, but the span's actual
+        // cardinality came out 50x higher — the estimate is now badly wrong.
+        let bad = Scoreboard::fold(&[report("e01", 50.0, 5000, 1000.0)]);
+        let regressions = baseline.diff(&bad, &DiffThresholds::default());
+        assert!(
+            regressions.iter().any(|r| r.metric == "max_q_error"),
+            "q-error blow-up must trip: {regressions:?}"
+        );
+        // And the reverse direction is fine (improvement, not regression).
+        assert!(bad.diff(&baseline, &DiffThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn diff_trips_on_missing_experiment_and_cost_growth() {
+        let baseline = Scoreboard::fold(&[
+            report("e01", 50.0, 100, 1000.0),
+            report("e02", 50.0, 100, 1000.0),
+        ]);
+        let current = Scoreboard::fold(&[report("e01", 50.0, 100, 2000.0)]);
+        let regressions = baseline.diff(&current, &DiffThresholds::default());
+        assert!(regressions.iter().any(|r| r.experiment == "e02" && r.metric == "missing"));
+        assert!(regressions.iter().any(|r| r.experiment == "e01" && r.metric == "total_cost"));
+    }
+
+    #[test]
+    fn from_dir_folds_and_skips_the_scoreboard_itself() {
+        let dir = std::env::temp_dir().join("rqp_scoreboard_from_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        report("e01", 50.0, 100, 1000.0).write_to(&dir).unwrap();
+        report("e02", 10.0, 90, 500.0).write_to(&dir).unwrap();
+        let board = Scoreboard::fold(&[
+            report("e01", 50.0, 100, 1000.0),
+            report("e02", 10.0, 90, 500.0),
+        ]);
+        board.write_to(&dir.join("scoreboard.json")).unwrap();
+        let folded = Scoreboard::from_dir(&dir).expect("fold dir");
+        assert_eq!(folded, board);
+        // A corrupt report is an error, not a silent skip.
+        std::fs::write(dir.join("e03.json"), "{broken").unwrap();
+        assert!(Scoreboard::from_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

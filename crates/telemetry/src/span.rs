@@ -15,6 +15,20 @@ use rqp_common::CostClock;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+/// A timestamped adaptive decision recorded on a span: a POP validity-range
+/// violation, a LEO correction, an eddy routing shift, a governor-forced
+/// spill. Events are the *why* behind the span's numbers — the moments the
+/// engine changed its mind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Cost-clock position when the decision fired.
+    pub at: f64,
+    /// Decision kind, e.g. `"pop.violation"` or `"eddy.reroute"`.
+    pub kind: String,
+    /// Free-form payload (old/new routing order, violated range, …).
+    pub detail: String,
+}
+
 /// The observation record behind a [`SpanHandle`].
 #[derive(Debug)]
 pub struct SpanData {
@@ -30,6 +44,7 @@ pub struct SpanData {
     mem_granted: Cell<f64>,
     spilled_rows: Cell<f64>,
     spill_events: Cell<u64>,
+    events: RefCell<Vec<SpanEvent>>,
 }
 
 /// Cheap (`Rc`) handle to one operator's span.
@@ -152,6 +167,20 @@ impl SpanHandle {
         self.0.spill_events.get()
     }
 
+    /// Record an adaptive decision at the clock's current position.
+    pub fn record_event(&self, clock: &CostClock, kind: &str, detail: &str) {
+        self.0.events.borrow_mut().push(SpanEvent {
+            at: clock.now(),
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Adaptive decisions recorded so far, in firing order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.0.events.borrow().clone()
+    }
+
     /// q-error of the estimate vs the observed actual: `max(est/act,
     /// act/est)` with both floored at one row. NaN when no estimate was set.
     pub fn q_error(&self) -> f64 {
@@ -179,6 +208,7 @@ impl SpanHandle {
             mem_granted: self.0.mem_granted.get(),
             spilled_rows: self.0.spilled_rows.get(),
             spill_events: self.0.spill_events.get(),
+            events: self.0.events.borrow().clone(),
         }
     }
 }
@@ -210,6 +240,8 @@ pub struct SpanSnapshot {
     pub spilled_rows: f64,
     /// Spill event count.
     pub spill_events: u64,
+    /// Adaptive decisions, in firing order.
+    pub events: Vec<SpanEvent>,
 }
 
 impl SpanSnapshot {
@@ -259,6 +291,7 @@ impl Tracer {
             mem_granted: Cell::new(0.0),
             spilled_rows: Cell::new(0.0),
             spill_events: Cell::new(0),
+            events: RefCell::new(Vec::new()),
         }));
         spans.push(handle.clone());
         handle
@@ -351,6 +384,24 @@ mod tests {
         s.record_spill(250.0);
         assert_eq!(s.spilled_rows(), 1250.0);
         assert_eq!(s.spill_events(), 2);
+    }
+
+    #[test]
+    fn events_are_timestamped_and_snapshotted() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let s = tracer.open("check", &clock);
+        clock.charge_seq_pages(3.0);
+        s.record_event(&clock, "pop.violation", "cp0 actual=500 range=[10,100]");
+        clock.charge_seq_pages(2.0);
+        s.record_event(&clock, "pop.violation", "cp1 actual=7 range=[10,100]");
+        let events = s.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 3.0);
+        assert_eq!(events[0].kind, "pop.violation");
+        assert_eq!(events[1].at, 5.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.events, events, "snapshot carries the events");
     }
 
     #[test]

@@ -353,3 +353,66 @@ fn memory_fluctuation_mid_plan_is_observed() {
     assert_eq!(out.len(), 5000);
     assert!(ctx.clock.breakdown().spill > 0.0, "shrunk budget must be seen");
 }
+
+/// A randomized run report: a few estimated spans, paper-metric gauges, and
+/// an adaptive event, all drawn from the case RNG.
+fn random_report(name: &str, rng: &mut StdRng) -> rqp::telemetry::RunReport {
+    use rqp::common::CostClock;
+    use rqp::telemetry::{MetricsRegistry, Tracer};
+    let clock = CostClock::default_clock();
+    let tracer = Tracer::new();
+    let reg = MetricsRegistry::new();
+    for i in 0..rng.gen_range(1..5usize) {
+        let span = tracer.open("scan", &clock);
+        span.set_est_rows(rng.gen_range(1.0f64..1000.0));
+        clock.charge_seq_rows(rng.gen_range(1.0f64..50.0));
+        for _ in 0..rng.gen_range(1..200u64) {
+            span.produced(&clock);
+        }
+        if i == 0 {
+            span.record_event(&clock, "pop.violation", "probe");
+        }
+        span.close(&clock);
+    }
+    use rqp::telemetry::scoreboard::samples;
+    for k in 0..rng.gen_range(2..6usize) {
+        reg.gauge(&format!("{}{k:03}", samples::PERF_GAP_PREFIX))
+            .set(rng.gen_range(0.0f64..100.0));
+        let ideal = rng.gen_range(10.0f64..100.0);
+        reg.gauge(&format!("{}{k:03}{}", samples::ENV_PREFIX, samples::ENV_CHOSEN))
+            .set(ideal * rng.gen_range(1.0f64..3.0));
+        reg.gauge(&format!("{}{k:03}{}", samples::ENV_PREFIX, samples::ENV_IDEAL))
+            .set(ideal);
+    }
+    let mut report = rqp::telemetry::RunReport::new(name);
+    report.cost = clock.breakdown();
+    report.spans = tracer.snapshot();
+    report.metrics = reg.snapshot();
+    report
+}
+
+#[test]
+fn scoreboard_folding_is_order_independent() {
+    use rqp::telemetry::Scoreboard;
+    for case in 0..CASES {
+        let mut rng = case_rng("scoreboard-fold", case);
+        let mut reports = Vec::new();
+        for e in 0..rng.gen_range(2..5usize) {
+            let name = format!("e{e:02}_probe");
+            for _ in 0..rng.gen_range(1..4usize) {
+                reports.push(random_report(&name, &mut rng));
+            }
+        }
+        let reference = Scoreboard::fold(&reports).to_json().pretty();
+        // Fisher–Yates with the case RNG: any permutation must fold to a
+        // byte-identical scoreboard.
+        for _ in 0..3 {
+            for i in (1..reports.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                reports.swap(i, j);
+            }
+            let permuted = Scoreboard::fold(&reports).to_json().pretty();
+            assert_eq!(permuted, reference, "case {case}: fold must commute");
+        }
+    }
+}

@@ -158,3 +158,43 @@ fn plan_stability_tracks_real_plans() {
     assert!(track.distinct_plans() >= 2, "crossover should flip the plan");
     assert!(track.flips() >= 1);
 }
+
+#[test]
+fn inflated_span_actuals_trip_the_scoreboard_diff_gate() {
+    // The regression gate behind `rqp-report diff`: take a healthy run's
+    // report, inflate the observed actuals on its spans (a plant whose
+    // estimates went stale), and the q-error threshold must fire.
+    use rqp::common::CostClock;
+    use rqp::telemetry::{DiffThresholds, MetricsRegistry, RunReport, Scoreboard, Tracer};
+
+    let make_report = |actual_rows: u64| -> RunReport {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let span = tracer.open("scan", &clock);
+        span.set_est_rows(100.0);
+        clock.charge_seq_rows(actual_rows as f64);
+        for _ in 0..actual_rows {
+            span.produced(&clock);
+        }
+        span.close(&clock);
+        let mut report = RunReport::new("e01_probe");
+        report.cost = clock.breakdown();
+        report.spans = tracer.snapshot();
+        report.metrics = MetricsRegistry::new().snapshot();
+        report
+    };
+
+    let baseline = Scoreboard::fold(&[make_report(120)]);
+    let healthy = Scoreboard::fold(&[make_report(120)]);
+    assert!(
+        baseline.diff(&healthy, &DiffThresholds::default()).is_empty(),
+        "identical runs must pass the gate"
+    );
+
+    let inflated = Scoreboard::fold(&[make_report(50_000)]);
+    let regressions = baseline.diff(&inflated, &DiffThresholds::default());
+    assert!(
+        regressions.iter().any(|r| r.metric == "max_q_error"),
+        "100x-inflated actuals must trip the q-error threshold, got {regressions:?}"
+    );
+}
