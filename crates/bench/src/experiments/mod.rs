@@ -10,7 +10,7 @@ pub mod optimizer;
 pub mod pop;
 pub mod resources;
 
-pub use ablations::{a01_pop_theta, a02_amerge_runsize, a03_eddy_decay};
+pub use ablations::{a01_pop_theta, a02_amerge_runsize, a03_eddy_decay, a04_parallel_scaling};
 pub use benchmarks::{e04_tractor_pull, e05_extrinsic, e06_equivalence};
 pub use estimation::{e08_card_metrics, e19_leo, e22_blackhat};
 pub use execution::{e11_cracking, e16_agreedy, e17_eddy, e18_gjoin};

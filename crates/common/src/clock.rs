@@ -8,11 +8,15 @@
 //! the experiment-level notion of "response time"; criterion benches measure
 //! real time separately for the micro-level claims.
 //!
-//! The clock uses interior mutability (`Cell`) so every operator in a plan can
-//! hold a [`SharedClock`] (an `Rc`) and charge as it runs, single-threaded.
+//! The clock uses atomic interior mutability so every operator in a plan can
+//! hold a [`SharedClock`] (an `Arc`) and charge as it runs — including from
+//! exchange workers on other threads. For *deterministic* parallel totals,
+//! workers charge private shard clocks ([`ExecContext::fork_worker`] in
+//! `rqp-exec`) that the gather side [`absorb`](CostClock::absorb)s in worker
+//! order, so floating-point accumulation order never depends on scheduling.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use crate::sync::AtomicF64;
+use std::sync::Arc;
 
 /// Weights of the abstract cost model, in arbitrary "cost units".
 ///
@@ -78,24 +82,24 @@ impl CostBreakdown {
 #[derive(Debug)]
 pub struct CostClock {
     params: CostModelParams,
-    seq_io: Cell<f64>,
-    rand_io: Cell<f64>,
-    cpu: Cell<f64>,
-    spill: Cell<f64>,
+    seq_io: AtomicF64,
+    rand_io: AtomicF64,
+    cpu: AtomicF64,
+    spill: AtomicF64,
 }
 
 /// Shared handle to a [`CostClock`]; clone freely into every operator.
-pub type SharedClock = Rc<CostClock>;
+pub type SharedClock = Arc<CostClock>;
 
 impl CostClock {
     /// New clock with the given parameters.
     pub fn new(params: CostModelParams) -> SharedClock {
-        Rc::new(CostClock {
+        Arc::new(CostClock {
             params,
-            seq_io: Cell::new(0.0),
-            rand_io: Cell::new(0.0),
-            cpu: Cell::new(0.0),
-            spill: Cell::new(0.0),
+            seq_io: AtomicF64::new(0.0),
+            rand_io: AtomicF64::new(0.0),
+            cpu: AtomicF64::new(0.0),
+            spill: AtomicF64::new(0.0),
         })
     }
 
@@ -112,44 +116,44 @@ impl CostClock {
     /// Charge a sequential scan of `rows` tuples (page I/O + per-tuple CPU).
     pub fn charge_seq_rows(&self, rows: f64) {
         let pages = (rows / self.params.rows_per_page).ceil();
-        self.seq_io.set(self.seq_io.get() + pages * self.params.seq_page);
-        self.cpu.set(self.cpu.get() + rows * self.params.cpu_tuple);
+        self.seq_io.add(pages * self.params.seq_page);
+        self.cpu.add(rows * self.params.cpu_tuple);
     }
 
     /// Charge `n` random page accesses (e.g. unclustered index fetches).
     pub fn charge_random_pages(&self, n: f64) {
-        self.rand_io.set(self.rand_io.get() + n * self.params.rand_page);
+        self.rand_io.add(n * self.params.rand_page);
     }
 
     /// Charge exactly `n` sequential page reads (no per-tuple CPU).
     pub fn charge_seq_pages(&self, n: f64) {
-        self.seq_io.set(self.seq_io.get() + n * self.params.seq_page);
+        self.seq_io.add(n * self.params.seq_page);
     }
 
     /// Charge CPU work for touching `n` tuples.
     pub fn charge_cpu_tuples(&self, n: f64) {
-        self.cpu.set(self.cpu.get() + n * self.params.cpu_tuple);
+        self.cpu.add(n * self.params.cpu_tuple);
     }
 
     /// Charge `n` comparisons.
     pub fn charge_compares(&self, n: f64) {
-        self.cpu.set(self.cpu.get() + n * self.params.cpu_compare);
+        self.cpu.add(n * self.params.cpu_compare);
     }
 
     /// Charge `n` hash-table builds.
     pub fn charge_hash_build(&self, n: f64) {
-        self.cpu.set(self.cpu.get() + n * self.params.hash_build);
+        self.cpu.add(n * self.params.hash_build);
     }
 
     /// Charge `n` hash-table probes.
     pub fn charge_hash_probe(&self, n: f64) {
-        self.cpu.set(self.cpu.get() + n * self.params.hash_probe);
+        self.cpu.add(n * self.params.hash_probe);
     }
 
     /// Charge spilling `rows` tuples to temp storage and reading them back.
     pub fn charge_spill_rows(&self, rows: f64) {
         let pages = (rows / self.params.rows_per_page).ceil();
-        self.spill.set(self.spill.get() + pages * self.params.spill_page);
+        self.spill.add(pages * self.params.spill_page);
     }
 
     /// Current virtual time (total cost charged so far).
@@ -165,6 +169,19 @@ impl CostClock {
             cpu: self.cpu.get(),
             spill: self.spill.get(),
         }
+    }
+
+    /// Fold another clock's totals into this one, category by category.
+    ///
+    /// The merge primitive of the exchange operators: each worker charges a
+    /// private shard clock, and the gather side absorbs the shards in worker
+    /// order. Because the absorption order is fixed, parallel totals are
+    /// reproducible run-to-run and independent of thread scheduling.
+    pub fn absorb(&self, shard: &CostBreakdown) {
+        self.seq_io.add(shard.seq_io);
+        self.rand_io.add(shard.rand_io);
+        self.cpu.add(shard.cpu);
+        self.spill.add(shard.spill);
     }
 
     /// Reset all counters to zero.
@@ -212,6 +229,26 @@ mod tests {
         let (_, d) = c.lap(|| c.charge_cpu_tuples(200.0));
         assert!((d - 1.0).abs() < 1e-9);
         assert!((c.now() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_merges_shard_breakdowns() {
+        let main = CostClock::default_clock();
+        main.charge_seq_pages(2.0);
+        let shard = CostClock::new(*main.params());
+        shard.charge_random_pages(1.0);
+        shard.charge_cpu_tuples(200.0);
+        main.absorb(&shard.breakdown());
+        let b = main.breakdown();
+        assert!((b.seq_io - 2.0).abs() < 1e-12);
+        assert!((b.rand_io - 4.0).abs() < 1e-12);
+        assert!((b.cpu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CostClock>();
     }
 
     #[test]

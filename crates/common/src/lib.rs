@@ -15,7 +15,9 @@
 //!   operator charges I/O and CPU cost units to, making robustness experiments
 //!   exactly reproducible;
 //! * [`rng`] — seeded random-number helpers (uniform, Zipf, correlated draws)
-//!   so all workloads are deterministic.
+//!   so all workloads are deterministic;
+//! * [`sync`] — the atomic primitives ([`sync::AtomicF64`]) behind the
+//!   thread-safe clock/governor/telemetry substrate.
 //!
 //! Everything else in the workspace (`rqp-storage`, `rqp-stats`, `rqp-exec`,
 //! `rqp-opt`, …) builds on these types.
@@ -27,10 +29,12 @@ pub mod error;
 pub mod expr;
 pub mod rng;
 pub mod schema;
+pub mod sync;
 pub mod value;
 
 pub use clock::{CostBreakdown, CostClock, CostModelParams, SharedClock};
 pub use error::{Result, RqpError};
 pub use expr::{CmpOp, Expr, SimplePred};
 pub use schema::{Field, Row, Schema};
+pub use sync::AtomicF64;
 pub use value::{DataType, Value};

@@ -1,0 +1,138 @@
+//! Lock-free shared primitives for the thread-safe substrate.
+//!
+//! The engine's observability surface (cost clock, memory governor, spans,
+//! metrics) started life on `Rc<Cell<...>>` and went multi-threaded when the
+//! exchange operators arrived. [`AtomicF64`] is the drop-in replacement for
+//! `Cell<f64>`: an `AtomicU64` holding IEEE-754 bits, with a CAS loop for
+//! read-modify-write updates. All operations use `Relaxed` ordering — every
+//! counter here is a monotone tally whose cross-thread visibility is
+//! guaranteed by the `join()` at gather time, not by the counter itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `Cell<f64>` that is `Send + Sync`: an `AtomicU64` of IEEE-754 bits.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// A new atomic holding `x`.
+    pub fn new(x: f64) -> Self {
+        AtomicF64(AtomicU64::new(x.to_bits()))
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, x: f64) {
+        self.0.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `dx` (CAS loop; `dx` may be negative).
+    #[inline]
+    pub fn add(&self, dx: f64) {
+        self.update(|x| x + dx);
+    }
+
+    /// Apply `f` atomically via compare-exchange, returning the new value.
+    pub fn update(&self, f: impl Fn(f64) -> f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur));
+            match self.0.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raise the value to `x` if `x` is larger (high-water tracking).
+    pub fn fetch_max(&self, x: f64) {
+        self.update(|cur| cur.max(x));
+    }
+
+    /// Set to `x` only if the current value is (bitwise) the canonical NaN;
+    /// returns true when the store happened. This is the idempotent
+    /// "stamp once" primitive behind span close/first-row marks.
+    pub fn set_if_nan(&self, x: f64) -> bool {
+        self.0
+            .compare_exchange(
+                f64::NAN.to_bits(),
+                x.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+}
+
+impl Clone for AtomicF64 {
+    fn clone(&self) -> Self {
+        AtomicF64::new(self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_set_add() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.get(), 1.5);
+        a.add(2.5);
+        assert_eq!(a.get(), 4.0);
+        a.add(-1.0);
+        assert_eq!(a.get(), 3.0);
+        a.set(0.0);
+        assert_eq!(a.get(), 0.0);
+    }
+
+    #[test]
+    fn fetch_max_keeps_high_water() {
+        let a = AtomicF64::new(5.0);
+        a.fetch_max(3.0);
+        assert_eq!(a.get(), 5.0);
+        a.fetch_max(9.0);
+        assert_eq!(a.get(), 9.0);
+    }
+
+    #[test]
+    fn set_if_nan_stamps_once() {
+        let a = AtomicF64::new(f64::NAN);
+        assert!(a.get().is_nan());
+        assert!(a.set_if_nan(7.0));
+        assert_eq!(a.get(), 7.0);
+        assert!(!a.set_if_nan(9.0), "second stamp rejected");
+        assert_eq!(a.get(), 7.0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let a = Arc::new(AtomicF64::new(0.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        a.add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.get(), 4000.0);
+    }
+}

@@ -1,10 +1,11 @@
 //! Execution context: cost clock, memory governor, span tracer, metrics.
 
 use crate::{BoxOp, Operator};
+use rqp_common::sync::AtomicF64;
 use rqp_common::{CostClock, Row, Schema, SharedClock};
 use rqp_telemetry::{MetricsRegistry, SpanHandle, Tracer};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Workspace-memory governor, in *rows* of workspace.
 ///
@@ -16,25 +17,28 @@ use std::rc::Rc;
 ///
 /// The governor also keeps pure-accounting tallies (grants issued,
 /// outstanding workspace, high-water mark) so run reports can show memory
-/// pressure; the tallies never influence what is granted.
+/// pressure; the tallies never influence what is granted. All state is
+/// atomic: one governor budget spans every exchange worker, so a leak in one
+/// worker would visibly starve the others — which is why operators release
+/// on `Drop`, not only on drain-to-`None`.
 #[derive(Debug)]
 pub struct MemoryGovernor {
-    budget_rows: Cell<f64>,
-    outstanding: Cell<f64>,
-    peak_outstanding: Cell<f64>,
-    grant_count: Cell<u64>,
-    granted_total: Cell<f64>,
+    budget_rows: AtomicF64,
+    outstanding: AtomicF64,
+    peak_outstanding: AtomicF64,
+    grant_count: AtomicU64,
+    granted_total: AtomicF64,
 }
 
 impl MemoryGovernor {
     /// A governor with the given workspace budget (rows).
-    pub fn new(budget_rows: f64) -> Rc<Self> {
-        Rc::new(MemoryGovernor {
-            budget_rows: Cell::new(budget_rows.max(0.0)),
-            outstanding: Cell::new(0.0),
-            peak_outstanding: Cell::new(0.0),
-            grant_count: Cell::new(0),
-            granted_total: Cell::new(0.0),
+    pub fn new(budget_rows: f64) -> Arc<Self> {
+        Arc::new(MemoryGovernor {
+            budget_rows: AtomicF64::new(budget_rows.max(0.0)),
+            outstanding: AtomicF64::new(0.0),
+            peak_outstanding: AtomicF64::new(0.0),
+            grant_count: AtomicU64::new(0),
+            granted_total: AtomicF64::new(0.0),
         })
     }
 
@@ -50,23 +54,27 @@ impl MemoryGovernor {
         self.budget_rows.set(rows.max(0.0));
     }
 
-    /// Grant up to `want` rows of workspace; returns the granted amount
-    /// (never below a one-page minimum so operators always make progress).
+    /// Grant up to `want` rows of workspace; returns the granted amount.
+    ///
+    /// A zero-budget governor still grants `min(want, 100)` — the one-page
+    /// progress floor, so operators never deadlock — but the floor never
+    /// exceeds the ask: `grant(0.0)` is 0, and a 5-row ask gets 5 rows, not
+    /// a phantom page inflating `outstanding`/`granted_total`.
     pub fn grant(&self, want: f64) -> f64 {
-        let granted = want.min(self.budget_rows.get()).max(100.0);
-        self.outstanding.set(self.outstanding.get() + granted);
-        if self.outstanding.get() > self.peak_outstanding.get() {
-            self.peak_outstanding.set(self.outstanding.get());
-        }
-        self.grant_count.set(self.grant_count.get() + 1);
-        self.granted_total.set(self.granted_total.get() + granted);
+        let want = want.max(0.0);
+        let floor = want.min(100.0);
+        let granted = want.min(self.budget_rows.get()).max(floor);
+        let now_out = self.outstanding.update(|x| x + granted);
+        self.peak_outstanding.fetch_max(now_out);
+        self.grant_count.fetch_add(1, Ordering::Relaxed);
+        self.granted_total.add(granted);
         granted
     }
 
     /// Return `rows` of workspace (an operator released its materialization).
     /// Clamped so sloppy callers cannot drive the tally negative.
     pub fn release(&self, rows: f64) {
-        self.outstanding.set((self.outstanding.get() - rows.max(0.0)).max(0.0));
+        self.outstanding.update(|x| (x - rows.max(0.0)).max(0.0));
     }
 
     /// Workspace currently handed out and not yet released.
@@ -81,7 +89,7 @@ impl MemoryGovernor {
 
     /// Number of grants issued.
     pub fn grant_count(&self) -> u64 {
-        self.grant_count.get()
+        self.grant_count.load(Ordering::Relaxed)
     }
 
     /// Sum of all grants issued.
@@ -102,7 +110,7 @@ pub struct ExecContext {
     /// The deterministic cost clock ("response time").
     pub clock: SharedClock,
     /// The workspace-memory governor.
-    pub memory: Rc<MemoryGovernor>,
+    pub memory: Arc<MemoryGovernor>,
     /// Collects one span per operator constructed under this context.
     pub tracer: Tracer,
     /// Named counters/gauges/histograms for everything that isn't a plan node.
@@ -128,6 +136,27 @@ impl ExecContext {
     /// Default context with a bounded workspace.
     pub fn with_memory(memory_rows: f64) -> Self {
         ExecContext::new(CostClock::default_clock(), memory_rows)
+    }
+
+    /// A worker-private context for one exchange worker: a **fresh shard
+    /// clock** (same cost parameters, zeroed) and a **fresh tracer**, but
+    /// the *same* governor and metrics registry.
+    ///
+    /// The split is what makes parallel execution deterministic: workers
+    /// charge their private shard clocks, and the gather side
+    /// [`absorb`](CostClock::absorb)s the shards and
+    /// [`adopt`](Tracer::adopt)s the worker traces in worker-index order —
+    /// so cost totals and trace contents never depend on thread scheduling.
+    /// Memory, by contrast, is genuinely shared: one budget spans all
+    /// workers, which is exactly the contention surface the governor exists
+    /// to observe.
+    pub fn fork_worker(&self) -> ExecContext {
+        ExecContext {
+            clock: CostClock::new(*self.clock.params()),
+            memory: Arc::clone(&self.memory),
+            tracer: Tracer::new(),
+            metrics: self.metrics.clone(),
+        }
     }
 
     /// Open a span for an operator under construction, re-parenting the
@@ -173,7 +202,7 @@ impl SpanOp {
     /// Wrap `inner` under a fresh span of the given kind.
     pub fn new(inner: BoxOp, kind: &'static str, ctx: &ExecContext) -> Self {
         let span = ctx.op_span(kind, &[&inner]);
-        SpanOp { inner, span, clock: Rc::clone(&ctx.clock) }
+        SpanOp { inner, span, clock: Arc::clone(&ctx.clock) }
     }
 
     /// A handle to the span counting this operator's output.
@@ -267,16 +296,34 @@ mod tests {
     fn governor_zero_budget_still_makes_progress() {
         let g = MemoryGovernor::new(0.0);
         assert_eq!(g.budget(), 0.0);
-        // Every ask is floored at one page so operators never deadlock…
+        // Big asks against a zero budget are floored at one page so
+        // operators never deadlock…
         assert_eq!(g.grant(1_000_000.0), 100.0);
-        assert_eq!(g.grant(0.0), 100.0);
         // …and the governor knows it handed out more than it has.
-        assert_eq!(g.outstanding(), 200.0);
+        assert_eq!(g.outstanding(), 100.0);
         assert!(g.overcommitted());
         // A negative construction budget clamps to zero, same behavior.
         let g = MemoryGovernor::new(-5.0);
         assert_eq!(g.budget(), 0.0);
         assert_eq!(g.grant(500.0), 100.0);
+    }
+
+    #[test]
+    fn governor_never_grants_more_than_asked() {
+        // The progress floor is capped at the ask: sub-page requests get
+        // exactly what they wanted, and a zero ask gets zero — no phantom
+        // pages in outstanding/granted_total.
+        let g = MemoryGovernor::new(0.0);
+        assert_eq!(g.grant(0.0), 0.0);
+        assert_eq!(g.grant(5.0), 5.0);
+        assert_eq!(g.grant(-3.0), 0.0, "negative asks clamp to zero");
+        assert_eq!(g.outstanding(), 5.0);
+        assert_eq!(g.granted_total(), 5.0);
+        // Same with a healthy budget: the floor never rounds an ask up.
+        let g = MemoryGovernor::new(10_000.0);
+        assert_eq!(g.grant(7.0), 7.0);
+        assert_eq!(g.grant(0.0), 0.0);
+        assert_eq!(g.outstanding(), 7.0);
     }
 
     #[test]
@@ -321,6 +368,28 @@ mod tests {
     }
 
     #[test]
+    fn governor_is_shared_across_threads() {
+        let g = MemoryGovernor::new(1_000_000.0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let got = g.grant(200.0);
+                        g.release(got);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.outstanding(), 0.0, "all grants returned");
+        assert_eq!(g.grant_count(), 2_000);
+        assert_eq!(g.granted_total(), 400_000.0);
+    }
+
+    #[test]
     fn contexts() {
         let c = ExecContext::unbounded();
         assert_eq!(c.clock.now(), 0.0);
@@ -333,5 +402,27 @@ mod tests {
         let c2 = c.clone();
         c2.tracer.open("probe", &c2.clock);
         assert_eq!(c.tracer.len(), 1);
+    }
+
+    #[test]
+    fn fork_worker_shares_memory_but_not_clock_or_trace() {
+        let ctx = ExecContext::with_memory(5_000.0);
+        ctx.clock.charge_seq_pages(10.0);
+        ctx.tracer.open("parent_op", &ctx.clock);
+        let w = ctx.fork_worker();
+        assert_eq!(w.clock.now(), 0.0, "shard clock starts at zero");
+        assert_eq!(w.clock.params(), ctx.clock.params());
+        assert!(w.tracer.is_empty(), "worker traces privately");
+        // The governor is the same object: a worker grant is visible to all.
+        w.memory.grant(400.0);
+        assert_eq!(ctx.memory.outstanding(), 400.0);
+        // So is the metrics namespace.
+        w.metrics.counter("shared.counter").inc();
+        assert_eq!(ctx.metrics.counter("shared.counter").get(), 1);
+        // Worker charges stay on the shard until absorbed.
+        w.clock.charge_seq_pages(3.0);
+        assert_eq!(ctx.clock.now(), 10.0);
+        ctx.clock.absorb(&w.clock.breakdown());
+        assert_eq!(ctx.clock.now(), 13.0);
     }
 }

@@ -1,0 +1,674 @@
+//! Volcano-style **exchange**: intra-query parallelism behind the
+//! [`Operator`] trait.
+//!
+//! Graefe's exchange operator encapsulates parallelism so that every other
+//! operator stays single-threaded: an [`ExchangeOp`] spawns one OS thread per
+//! partition, runs an independent operator pipeline in each, and gathers the
+//! results back into an ordinary pull-based stream. Three building blocks:
+//!
+//! * **partition** — [`ExchangeOp::parallel_scan`] splits a base table into
+//!   page-aligned ranges ([`Table::page_partitions`]) and runs one range scan
+//!   per worker;
+//! * **repartition** — [`ExchangeOp::repartition`] drains an arbitrary input
+//!   and redistributes its rows by [`Partitioning::Hash`] or
+//!   [`Partitioning::Range`] before running a per-partition pipeline;
+//! * **gather** — every exchange merges worker outputs *in worker-index
+//!   order*, so results and costs are reproducible.
+//!
+//! Determinism is the design center, because the cost clock is the
+//! experiments' notion of response time. Each worker runs under
+//! [`ExecContext::fork_worker`]: a private shard clock and tracer, the shared
+//! memory governor and metrics. The gather side then
+//! [`absorb`](rqp_common::CostClock::absorb)s shard breakdowns and
+//! [`adopt`](rqp_telemetry::Tracer::adopt)s worker traces in worker order —
+//! floating-point accumulation order never depends on thread scheduling, so
+//! a plan's cost total is a pure function of the data and the plan shape.
+//!
+//! Skew is **injectable**: both partitioners take a `skew` fraction in
+//! `[0, 1)` that deterministically reroutes that share of rows to partition
+//! 0. Experiment `a04_parallel_scaling` uses it to measure how smoothly
+//! speedup degrades as partitions become unbalanced; the gather publishes
+//! `exchange.critical_path`, `exchange.total_work`, `exchange.speedup` and
+//! `exchange.skew` gauges for exactly that purpose.
+
+use crate::context::ExecContext;
+use crate::scan::TableScanOp;
+use crate::{BoxOp, Operator};
+use rqp_common::{Result, Row, RqpError, Schema, SharedClock, Value};
+use rqp_storage::Table;
+use rqp_telemetry::SpanHandle;
+use std::sync::Arc;
+
+/// Number of exchange workers to use when the caller doesn't say: the
+/// `RQP_THREADS` environment variable, else 4. The CI matrix runs the suite
+/// at `RQP_THREADS=1` and `RQP_THREADS=8`; determinism means both legs must
+/// produce identical results and cost totals.
+pub fn default_workers() -> usize {
+    std::env::var("RQP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+/// How a repartition exchange routes rows to workers.
+#[derive(Debug, Clone)]
+pub enum Partitioning {
+    /// Route by an FNV-1a hash of the key columns (by index). `skew` in
+    /// `[0, 1)` deterministically reroutes that fraction of rows to
+    /// partition 0.
+    Hash {
+        /// Key column indexes into the row.
+        keys: Vec<usize>,
+        /// Fraction of rows rerouted to partition 0.
+        skew: f64,
+    },
+    /// Route by uniform numeric ranges over one key column (Int or Float).
+    /// Partition boundaries split `[min, max]` evenly, so partition `i`
+    /// holds keys below partition `i + 1`'s. `skew` works as for `Hash`.
+    Range {
+        /// Key column index into the row.
+        key: usize,
+        /// Fraction of rows rerouted to partition 0.
+        skew: f64,
+    },
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Deterministic FNV-1a hash of one value (type tag + payload bytes).
+/// Platform- and run-independent, unlike `std`'s `RandomState`, so hash
+/// partitions are reproducible across processes and CI legs.
+pub fn hash_value(h: u64, v: &Value) -> u64 {
+    match v {
+        Value::Null => fnv1a(h, &[0]),
+        Value::Int(i) => fnv1a(fnv1a(h, &[1]), &i.to_le_bytes()),
+        Value::Float(f) => fnv1a(fnv1a(h, &[2]), &f.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv1a(fnv1a(h, &[3]), s.as_bytes()),
+    }
+}
+
+/// Hash the given key columns of a row. Errors if an index is out of bounds.
+pub fn hash_keys(row: &Row, keys: &[usize]) -> Result<u64> {
+    let mut h = FNV_OFFSET;
+    for &k in keys {
+        let v = row.get(k).ok_or_else(|| {
+            RqpError::Invalid(format!("partition key index {k} out of bounds for row of {}", row.len()))
+        })?;
+        h = hash_value(h, v);
+    }
+    Ok(h)
+}
+
+/// Deterministic skew decision: treat the hash's top 32 bits as a uniform
+/// fraction and reroute to partition 0 when it falls below `skew`.
+fn skewed_to_zero(h: u64, skew: f64) -> bool {
+    skew > 0.0 && ((h >> 32) as f64 / u32::MAX as f64) < skew
+}
+
+fn numeric_key(row: &Row, key: usize) -> Result<f64> {
+    let v = row.get(key).ok_or_else(|| {
+        RqpError::Invalid(format!("partition key index {key} out of bounds for row of {}", row.len()))
+    })?;
+    v.as_float().ok_or_else(|| {
+        RqpError::Invalid(format!("range partitioning needs a numeric key, got {v:?}"))
+    })
+}
+
+/// Split `rows` into `parts` buckets per `spec`. Pure and deterministic:
+/// the same rows and spec always yield the same buckets, in input order
+/// within each bucket.
+pub fn partition_rows(rows: Vec<Row>, spec: &Partitioning, parts: usize) -> Result<Vec<Vec<Row>>> {
+    let parts = parts.max(1);
+    let mut out: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
+    match spec {
+        Partitioning::Hash { keys, skew } => {
+            for row in rows {
+                let h = hash_keys(&row, keys)?;
+                let p = if skewed_to_zero(h, *skew) { 0 } else { (h % parts as u64) as usize };
+                out[p].push(row);
+            }
+        }
+        Partitioning::Range { key, skew } => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for row in &rows {
+                let v = numeric_key(row, *key)?;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let width = (hi - lo).max(f64::MIN_POSITIVE);
+            for row in rows {
+                let v = numeric_key(&row, *key)?;
+                let by_range = (((v - lo) / width) * parts as f64) as usize;
+                let h = hash_value(FNV_OFFSET, &row[*key]);
+                let p = if skewed_to_zero(h, *skew) { 0 } else { by_range.min(parts - 1) };
+                out[p].push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds one worker's pipeline inside that worker's thread, under the
+/// worker's forked context. The returned [`BoxOp`] never crosses threads —
+/// only the builder (and the rows it captures) must be `Send`.
+pub type WorkerBuilder = Box<dyn FnOnce(&ExecContext) -> BoxOp + Send>;
+
+/// A per-partition pipeline applied on top of a partition source (or range
+/// scan) inside each worker. Shared across workers, hence `Fn + Send + Sync`.
+pub type PipelineBuilder = Arc<dyn Fn(BoxOp, &ExecContext) -> BoxOp + Send + Sync>;
+
+/// Wrap a closure as a [`PipelineBuilder`].
+pub fn pipeline(f: impl Fn(BoxOp, &ExecContext) -> BoxOp + Send + Sync + 'static) -> PipelineBuilder {
+    Arc::new(f)
+}
+
+/// A materialized partition, replayed as an operator inside a worker. This
+/// is the "receive" half of a repartition exchange.
+pub struct PartitionSourceOp {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+    span: SpanHandle,
+    clock: SharedClock,
+}
+
+impl PartitionSourceOp {
+    /// Source over pre-partitioned rows, traced under the worker's context.
+    pub fn new(schema: Schema, rows: Vec<Row>, ctx: &ExecContext) -> Self {
+        let span = ctx.tracer.open("partition_source", &ctx.clock);
+        span.set_detail(&format!("rows={}", rows.len()));
+        span.set_est_rows(rows.len() as f64);
+        PartitionSourceOp {
+            schema,
+            rows: rows.into_iter(),
+            span,
+            clock: Arc::clone(&ctx.clock),
+        }
+    }
+}
+
+impl Operator for PartitionSourceOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        match self.rows.next() {
+            Some(r) => {
+                self.clock.charge_cpu_tuples(1.0);
+                self.span.produced(&self.clock);
+                Some(r)
+            }
+            None => {
+                self.span.close(&self.clock);
+                None
+            }
+        }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
+    }
+}
+
+/// The exchange operator: runs one worker thread per builder, gathers
+/// deterministically, then streams the union.
+///
+/// Execution is **eager**: workers run inside `new` (the exchange is a
+/// pipeline breaker either way), so by the time the constructor returns the
+/// coordinator clock holds the absorbed shard costs, the trace holds one
+/// `exchange_worker` span per worker with the worker's operators beneath it,
+/// and the imbalance gauges are published. `next()` then replays the
+/// gathered rows, charging one CPU tuple each — the merge cost, identical
+/// for every worker count.
+pub struct ExchangeOp {
+    schema: Schema,
+    ctx: ExecContext,
+    out: std::vec::IntoIter<Row>,
+    span: SpanHandle,
+}
+
+impl ExchangeOp {
+    /// Run `builders` (one worker each) and gather in worker-index order.
+    ///
+    /// Panics if `builders` is empty or a worker panics.
+    pub fn new(builders: Vec<WorkerBuilder>, ctx: ExecContext) -> Self {
+        assert!(!builders.is_empty(), "exchange needs at least one worker");
+        let workers = builders.len();
+        let span = ctx.tracer.open("exchange", &ctx.clock);
+        span.set_detail(&format!("workers={workers}"));
+
+        // Fork one private context per worker, indexed by position.
+        let contexts: Vec<ExecContext> = (0..workers).map(|_| ctx.fork_worker()).collect();
+
+        // Run every pipeline to completion on its own thread. Scoped threads
+        // let builders borrow the forked contexts; dropping the operator
+        // before returning releases its grants and closes its spans even if
+        // a pipeline stops early.
+        let results: Vec<(Schema, Vec<Row>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = builders
+                .into_iter()
+                .zip(&contexts)
+                .map(|(build, wctx)| {
+                    s.spawn(move || {
+                        let mut op = build(wctx);
+                        let schema = op.schema().clone();
+                        let mut rows = Vec::new();
+                        while let Some(r) = op.next() {
+                            rows.push(r);
+                        }
+                        (schema, rows)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exchange worker panicked"))
+                .collect()
+        });
+
+        // Deterministic gather: absorb shard clocks and adopt worker traces
+        // strictly in worker-index order, never in completion order.
+        let mut schema: Option<Schema> = None;
+        let mut out: Vec<Row> = Vec::new();
+        let mut costs: Vec<f64> = Vec::with_capacity(workers);
+        for (i, ((wschema, rows), wctx)) in results.into_iter().zip(&contexts).enumerate() {
+            let shard = wctx.clock.breakdown();
+            ctx.clock.absorb(&shard);
+            let wspan = ctx.tracer.open("exchange_worker", &ctx.clock);
+            wspan.set_parent(span.id());
+            wspan.set_detail(&format!("worker={i} cost={:.4}", shard.total()));
+            wspan.produced_n(&ctx.clock, rows.len() as u64);
+            wspan.close(&ctx.clock);
+            ctx.tracer.adopt(&wctx.tracer, Some(wspan.id()));
+            span.record_event(
+                &ctx.clock,
+                "exchange.worker",
+                &format!("worker={i} rows={} cost={:.4}", rows.len(), shard.total()),
+            );
+            costs.push(shard.total());
+            out.extend(rows);
+            schema.get_or_insert(wschema);
+        }
+
+        // Imbalance gauges: in a cost-clock world the slowest worker is the
+        // elapsed time, so speedup = total work / critical path and skew is
+        // the critical path relative to a perfectly balanced split.
+        let total: f64 = costs.iter().sum();
+        let critical = costs.iter().copied().fold(0.0_f64, f64::max);
+        ctx.metrics.gauge("exchange.workers").set(workers as f64);
+        ctx.metrics.gauge("exchange.total_work").set(total);
+        ctx.metrics.gauge("exchange.critical_path").set(critical);
+        ctx.metrics
+            .gauge("exchange.speedup")
+            .set(if critical > 0.0 { total / critical } else { 1.0 });
+        ctx.metrics
+            .gauge("exchange.skew")
+            .set(if total > 0.0 { critical * workers as f64 / total } else { 1.0 });
+
+        ExchangeOp {
+            schema: schema.expect("at least one worker"),
+            ctx,
+            out: out.into_iter(),
+            span,
+        }
+    }
+
+    /// Parallel table scan: page-aligned range partitions, one
+    /// [`TableScanOp::with_range`] per worker. Because partitions are
+    /// page-aligned and gathered in worker order, the result rows *and* the
+    /// cost breakdown equal the sequential scan's (plus the gather's
+    /// per-tuple merge charge) for every worker count.
+    pub fn parallel_scan(table: Arc<Table>, workers: usize, ctx: ExecContext) -> Self {
+        Self::parallel_scan_with(table, workers, pipeline(|op, _| op), ctx)
+    }
+
+    /// Parallel scan with a per-worker pipeline on top of each range scan
+    /// (e.g. a filter pushed into the workers).
+    pub fn parallel_scan_with(
+        table: Arc<Table>,
+        workers: usize,
+        build: PipelineBuilder,
+        ctx: ExecContext,
+    ) -> Self {
+        let workers = workers.max(1);
+        let rpp = (ctx.clock.params().rows_per_page.max(1.0)) as usize;
+        let builders: Vec<WorkerBuilder> = table
+            .page_partitions(workers, rpp)
+            .into_iter()
+            .map(|(start, end)| {
+                let table = Arc::clone(&table);
+                let build = Arc::clone(&build);
+                Box::new(move |wctx: &ExecContext| {
+                    let scan: BoxOp = Box::new(TableScanOp::with_range(table, start, end, wctx.clone()));
+                    build(scan, wctx)
+                }) as WorkerBuilder
+            })
+            .collect();
+        Self::new(builders, ctx)
+    }
+
+    /// Repartition exchange: drain `input` on the coordinator (charging one
+    /// CPU tuple per row for the routing pass), split its rows per `spec`,
+    /// and run `build` over each partition's [`PartitionSourceOp`] in its
+    /// own worker.
+    pub fn repartition(
+        mut input: BoxOp,
+        spec: Partitioning,
+        workers: usize,
+        build: PipelineBuilder,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        let workers = workers.max(1);
+        let schema = input.schema().clone();
+        let mut rows = Vec::new();
+        while let Some(r) = input.next() {
+            rows.push(r);
+        }
+        drop(input);
+        ctx.clock.charge_cpu_tuples(rows.len() as f64);
+        let parts = partition_rows(rows, &spec, workers)?;
+        let builders: Vec<WorkerBuilder> = parts
+            .into_iter()
+            .map(|p| {
+                let build = Arc::clone(&build);
+                let schema = schema.clone();
+                Box::new(move |wctx: &ExecContext| {
+                    let src: BoxOp = Box::new(PartitionSourceOp::new(schema, p, wctx));
+                    build(src, wctx)
+                }) as WorkerBuilder
+            })
+            .collect();
+        Ok(Self::new(builders, ctx))
+    }
+}
+
+impl Operator for ExchangeOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Row> {
+        match self.out.next() {
+            Some(r) => {
+                self.ctx.clock.charge_cpu_tuples(1.0);
+                self.span.produced(&self.ctx.clock);
+                Some(r)
+            }
+            None => {
+                self.span.close(&self.ctx.clock);
+                None
+            }
+        }
+    }
+
+    fn span(&self) -> Option<&SpanHandle> {
+        Some(&self.span)
+    }
+}
+
+impl Drop for ExchangeOp {
+    fn drop(&mut self) {
+        if !self.span.is_closed() {
+            self.span.close(&self.ctx.clock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::collect;
+    use crate::filter::test_support::RowsOp;
+    use crate::FilterOp;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::{CostClock, CostModelParams, DataType};
+
+    fn table(n: i64) -> Arc<Table> {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..n {
+            t.append(vec![Value::Int(i), Value::Int(i % 7)]);
+        }
+        Arc::new(t)
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect()
+    }
+
+    fn row_schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)])
+    }
+
+    /// Cost params whose weights are all dyadic rationals (exact in binary
+    /// floating point), so per-row charges sum associatively and cost totals
+    /// are bit-identical no matter how rows are split across workers.
+    fn dyadic_params() -> CostModelParams {
+        CostModelParams {
+            rows_per_page: 128.0,
+            seq_page: 1.0,
+            rand_page: 4.0,
+            cpu_tuple: 1.0 / 256.0,
+            cpu_compare: 1.0 / 512.0,
+            hash_build: 1.0 / 64.0,
+            hash_probe: 1.0 / 128.0,
+            spill_page: 2.5,
+        }
+    }
+
+    #[test]
+    fn hash_partitions_are_deterministic_and_cover() {
+        let spec = Partitioning::Hash { keys: vec![1], skew: 0.0 };
+        let a = partition_rows(rows(100), &spec, 4).unwrap();
+        let b = partition_rows(rows(100), &spec, 4).unwrap();
+        assert_eq!(a, b, "same rows, same spec, same buckets");
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 100);
+        // Equal keys land in the same bucket (hash-join compatibility).
+        for bucket in &a {
+            for r in bucket {
+                let p = (hash_keys(r, &[1]).unwrap() % 4) as usize;
+                assert!(std::ptr::eq(&a[p], bucket) || a[p].contains(r));
+            }
+        }
+        // Out-of-bounds key errors instead of panicking.
+        assert!(partition_rows(rows(3), &Partitioning::Hash { keys: vec![9], skew: 0.0 }, 2).is_err());
+    }
+
+    #[test]
+    fn hash_skew_reroutes_to_partition_zero() {
+        let spec = Partitioning::Hash { keys: vec![0], skew: 0.9 };
+        let parts = partition_rows(rows(1000), &spec, 4).unwrap();
+        assert!(
+            parts[0].len() > 800,
+            "skew=0.9 routes ~90% to partition 0, got {}",
+            parts[0].len()
+        );
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1000);
+        // Still deterministic under skew.
+        assert_eq!(parts, partition_rows(rows(1000), &spec, 4).unwrap());
+    }
+
+    #[test]
+    fn range_partitions_order_by_key() {
+        let spec = Partitioning::Range { key: 0, skew: 0.0 };
+        let parts = partition_rows(rows(1000), &spec, 4).unwrap();
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1000);
+        // Every key in partition i is below every key in partition i+1.
+        let max_of = |p: &Vec<Row>| p.iter().map(|r| r[0].as_int().unwrap()).max();
+        let min_of = |p: &Vec<Row>| p.iter().map(|r| r[0].as_int().unwrap()).min();
+        for w in parts.windows(2) {
+            if let (Some(hi), Some(lo)) = (max_of(&w[0]), min_of(&w[1])) {
+                assert!(hi < lo, "range partitions must be ordered: {hi} !< {lo}");
+            }
+        }
+        // Non-numeric keys are an error.
+        let bad = vec![vec![Value::Str("x".into())]];
+        assert!(partition_rows(bad, &Partitioning::Range { key: 0, skew: 0.0 }, 2).is_err());
+    }
+
+    #[test]
+    fn parallel_scan_gathers_all_rows_in_table_order() {
+        let t = table(1_050);
+        let ctx = ExecContext::unbounded();
+        let mut ex = ExchangeOp::parallel_scan(Arc::clone(&t), 4, ctx.clone());
+        let out = collect(&mut ex);
+        // Range partitions are contiguous and gathered in worker order, so
+        // the parallel scan preserves table order exactly.
+        let expected: Vec<Row> = t.iter_rows().collect();
+        assert_eq!(out, expected);
+        assert_eq!(ex.span().unwrap().rows(), 1_050);
+        assert!(ex.span().unwrap().is_closed());
+    }
+
+    #[test]
+    fn exchange_merges_worker_costs_traces_and_gauges() {
+        let t = table(1_050);
+        let ctx = ExecContext::unbounded();
+        let mut ex = ExchangeOp::parallel_scan(Arc::clone(&t), 4, ctx.clone());
+        collect(&mut ex);
+        // Page charges equal the sequential scan's: page-aligned partitions
+        // tile the 11 pages exactly.
+        let bd = ctx.clock.breakdown();
+        assert_eq!(bd.seq_io, 11.0 * ctx.clock.params().seq_page);
+        // The trace holds the exchange span, one exchange_worker span per
+        // worker (parented to it), and each worker's scan beneath its
+        // exchange_worker span.
+        let spans = ctx.tracer.snapshot();
+        let ex_id = spans.iter().find(|s| s.kind == "exchange").unwrap().id;
+        let wspans: Vec<_> = spans.iter().filter(|s| s.kind == "exchange_worker").collect();
+        assert_eq!(wspans.len(), 4);
+        for w in &wspans {
+            assert_eq!(w.parent, Some(ex_id));
+        }
+        let scans: Vec<_> = spans.iter().filter(|s| s.kind == "table_scan").collect();
+        assert_eq!(scans.len(), 4);
+        for s in &scans {
+            let parent = s.parent.expect("scan adopted under a worker span");
+            assert!(wspans.iter().any(|w| w.id == parent));
+        }
+        // Worker spans count the rows their worker produced.
+        assert_eq!(wspans.iter().map(|w| w.rows_out).sum::<u64>(), 1_050);
+        // Gauges: 4 even workers → speedup near 4, skew near 1.
+        assert_eq!(ctx.metrics.gauge("exchange.workers").get(), 4.0);
+        let speedup = ctx.metrics.gauge("exchange.speedup").get();
+        assert!(speedup > 3.0 && speedup <= 4.0, "even split speedup ~4, got {speedup}");
+        let skew = ctx.metrics.gauge("exchange.skew").get();
+        assert!((1.0..1.4).contains(&skew), "even split skew ~1, got {skew}");
+        assert!(
+            ctx.metrics.gauge("exchange.total_work").get()
+                >= ctx.metrics.gauge("exchange.critical_path").get()
+        );
+    }
+
+    #[test]
+    fn parallel_plan_is_identical_for_1_2_and_8_workers() {
+        // The satellite property test: cost is simulated, so parallelism
+        // must not change *what* is charged — only how it is attributed to
+        // workers. With dyadic cost weights (exact in binary fp) and
+        // page-aligned partitions, rows AND cost breakdowns are
+        // bit-identical across worker counts.
+        let t = table(1_000);
+        let run = |workers: usize| {
+            let ctx = ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY);
+            let build = pipeline(|op, wctx| {
+                Box::new(FilterOp::new(op, &col("t.id").lt(lit(700_i64)), wctx.clone()).unwrap())
+                    as BoxOp
+            });
+            let mut ex =
+                ExchangeOp::parallel_scan_with(Arc::clone(&t), workers, build, ctx.clone());
+            let rows = collect(&mut ex);
+            (rows, ctx.clock.breakdown())
+        };
+        let (rows1, bd1) = run(1);
+        for workers in [2, 8] {
+            let (rows_n, bd_n) = run(workers);
+            assert_eq!(rows1, rows_n, "row sets differ at {workers} workers");
+            assert_eq!(bd1.seq_io.to_bits(), bd_n.seq_io.to_bits(), "{workers} workers");
+            assert_eq!(bd1.rand_io.to_bits(), bd_n.rand_io.to_bits(), "{workers} workers");
+            assert_eq!(bd1.cpu.to_bits(), bd_n.cpu.to_bits(), "{workers} workers");
+            assert_eq!(bd1.spill.to_bits(), bd_n.spill.to_bits(), "{workers} workers");
+        }
+        assert_eq!(rows1.len(), 700);
+    }
+
+    #[test]
+    fn repartition_runs_pipeline_per_partition_and_leaks_nothing() {
+        let ctx = ExecContext::with_memory(50_000.0);
+        let input = RowsOp::boxed(row_schema(), rows(500));
+        let build = pipeline(|op, wctx| {
+            Box::new(FilterOp::new(op, &col("id").ge(lit(100_i64)), wctx.clone()).unwrap()) as BoxOp
+        });
+        let spec = Partitioning::Hash { keys: vec![1], skew: 0.0 };
+        let mut ex = ExchangeOp::repartition(input, spec, 4, build, ctx.clone()).unwrap();
+        let mut out = collect(&mut ex);
+        out.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        let expected: Vec<Row> = rows(500).into_iter().filter(|r| r[0].as_int().unwrap() >= 100).collect();
+        assert_eq!(out, expected, "repartition preserves the filtered multiset");
+        // Per-partition sources show up in the trace, adopted under workers.
+        let spans = ctx.tracer.snapshot();
+        assert_eq!(spans.iter().filter(|s| s.kind == "partition_source").count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.kind == "filter").count(), 4);
+        // No workspace outstanding, every span closed.
+        drop(ex);
+        assert_eq!(ctx.memory.outstanding(), 0.0);
+        for s in ctx.tracer.snapshot() {
+            assert!(s.closed_at.is_finite(), "span {} ({}) left open", s.id, s.kind);
+        }
+    }
+
+    #[test]
+    fn skewed_exchange_reports_imbalance() {
+        let even = {
+            let ctx = ExecContext::unbounded();
+            let input = RowsOp::boxed(row_schema(), rows(2_000));
+            let spec = Partitioning::Hash { keys: vec![0], skew: 0.0 };
+            let mut ex =
+                ExchangeOp::repartition(input, spec, 4, pipeline(|op, _| op), ctx.clone()).unwrap();
+            collect(&mut ex);
+            ctx.metrics.gauge("exchange.speedup").get()
+        };
+        let skewed = {
+            let ctx = ExecContext::unbounded();
+            let input = RowsOp::boxed(row_schema(), rows(2_000));
+            let spec = Partitioning::Hash { keys: vec![0], skew: 0.9 };
+            let mut ex =
+                ExchangeOp::repartition(input, spec, 4, pipeline(|op, _| op), ctx.clone()).unwrap();
+            collect(&mut ex);
+            ctx.metrics.gauge("exchange.speedup").get()
+        };
+        assert!(even > 3.0, "even hash split should scale, got {even}");
+        assert!(skewed < 2.0, "90% skew should collapse speedup, got {skewed}");
+    }
+
+    #[test]
+    fn default_workers_reads_env() {
+        // Can't mutate the environment safely in a parallel test binary;
+        // just pin the unset/garbage fallback contract.
+        let n = default_workers();
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn env_worker_count_matches_single_worker_plan() {
+        // The CI matrix runs this suite at RQP_THREADS=1 and RQP_THREADS=8:
+        // whatever worker count the environment picks, the parallel plan
+        // must match the single-worker run bit for bit.
+        let t = table(1_000);
+        let run = |workers: usize| {
+            let ctx = ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY);
+            let mut ex = ExchangeOp::parallel_scan(Arc::clone(&t), workers, ctx.clone());
+            (collect(&mut ex), ctx.clock.breakdown())
+        };
+        let (rows1, bd1) = run(1);
+        let (rows_env, bd_env) = run(default_workers());
+        assert_eq!(rows1, rows_env);
+        assert_eq!(bd1.total().to_bits(), bd_env.total().to_bits());
+    }
+}

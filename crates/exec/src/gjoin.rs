@@ -20,14 +20,14 @@ use rqp_common::{Result, Row, RqpError, Schema, Value};
 use rqp_storage::{BTreeIndex, Table};
 use rqp_telemetry::SpanHandle;
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Optional index access path for the inner (right) input.
 pub struct InnerIndex {
     /// B-tree on the inner join key.
-    pub index: Rc<BTreeIndex>,
+    pub index: Arc<BTreeIndex>,
     /// The inner base table.
-    pub table: Rc<Table>,
+    pub table: Arc<Table>,
 }
 
 /// The generalized join operator.
@@ -43,6 +43,9 @@ pub struct GJoinOp {
     ctx: ExecContext,
     out: Option<std::vec::IntoIter<Row>>,
     strategy: Option<GJoinStrategy>,
+    /// Workspace actually granted (sum over both run-generation passes —
+    /// the span's `mem_granted` is a high-water max, not the amount owed).
+    granted: f64,
     span: SpanHandle,
 }
 
@@ -99,6 +102,7 @@ impl GJoinOp {
             ctx,
             out: None,
             strategy: None,
+            granted: 0.0,
             span,
         })
     }
@@ -116,16 +120,17 @@ impl GJoinOp {
         rows
     }
 
-    /// Charge run generation for an unsorted input of `n` rows and sort it.
-    fn prepare(&self, rows: &mut [Row], keys: &[usize], already_sorted: bool) {
+    /// Charge run generation for an unsorted input of `n` rows and sort it;
+    /// returns the workspace granted for the pass.
+    fn prepare(&self, rows: &mut [Row], keys: &[usize], already_sorted: bool) -> f64 {
         let n = rows.len() as f64;
         if n <= 1.0 {
-            return;
+            return 0.0;
         }
         if already_sorted {
             // Verification pass only.
             self.ctx.clock.charge_compares(n);
-            return;
+            return 0.0;
         }
         let grant = self.ctx.memory.grant(n);
         self.span.record_grant(grant);
@@ -137,6 +142,7 @@ impl GJoinOp {
             self.ctx.clock.charge_compares(n * runs.log2());
         }
         rows.sort_by(|a, b| cmp_keys(a, b, keys, keys));
+        grant
     }
 
     fn run(&mut self) {
@@ -179,8 +185,8 @@ impl GJoinOp {
         let mut right_rows = Self::drain(self.right.as_mut().expect("run once"));
         self.right = None;
         let (lk, rk) = (self.left_keys.clone(), self.right_keys.clone());
-        self.prepare(&mut left_rows, &lk, self.left_sorted);
-        self.prepare(&mut right_rows, &rk, self.right_sorted);
+        self.granted += self.prepare(&mut left_rows, &lk, self.left_sorted);
+        self.granted += self.prepare(&mut right_rows, &rk, self.right_sorted);
 
         // Merge with duplicate-group handling.
         let mut out = Vec::new();
@@ -222,6 +228,23 @@ impl GJoinOp {
         }
         self.out = Some(out.into_iter());
     }
+
+    /// Release the run-generation grants and close the span. Idempotent;
+    /// called on drain-to-`None` *and* on `Drop`, so early-terminating
+    /// consumers cannot leak `outstanding` or leave an open span.
+    fn finish(&mut self) {
+        if !self.span.is_closed() {
+            self.ctx.memory.release(self.granted);
+            self.granted = 0.0;
+            self.span.close(&self.ctx.clock);
+        }
+    }
+}
+
+impl Drop for GJoinOp {
+    fn drop(&mut self) {
+        self.finish();
+    }
 }
 
 fn cmp_keys(l: &Row, r: &Row, lk: &[usize], rk: &[usize]) -> Ordering {
@@ -262,12 +285,7 @@ impl Operator for GJoinOp {
         let row = self.out.as_mut().expect("ran").next();
         match &row {
             Some(_) => self.span.produced(&self.ctx.clock),
-            None => {
-                if !self.span.is_closed() {
-                    self.ctx.memory.release(self.span.mem_granted());
-                    self.span.close(&self.ctx.clock);
-                }
-            }
+            None => self.finish(),
         }
         row
     }
@@ -399,6 +417,49 @@ mod tests {
         let out = collect(&mut g);
         assert_eq!(g.strategy(), Some(GJoinStrategy::IndexProbe));
         assert_eq!(out.len(), 200, "two keys × 100 matches each");
+    }
+
+    #[test]
+    fn releases_both_run_generation_grants() {
+        // Merge mode grants workspace twice (left and right run generation);
+        // the release must cover the *sum*, not the high-water max.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut g = GJoinOp::new(
+            src("l", 1000, true),
+            src("r", 500, true),
+            &["l.k"],
+            &["r.k"],
+            false,
+            false,
+            None,
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(g.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 1_500.0, "both grants held");
+        collect(&mut g);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "full drain releases all");
+
+        // Early termination releases on Drop instead.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut g = GJoinOp::new(
+            src("l", 1000, true),
+            src("r", 500, true),
+            &["l.k"],
+            &["r.k"],
+            false,
+            false,
+            None,
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(g.next().is_some());
+        drop(g);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "drop releases the grants");
+        assert!(
+            ctx.tracer.snapshot().iter().all(|sp| !sp.closed_at.is_nan()),
+            "no open spans after drop"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rqp_common::{Expr, Result, Row, RqpError, Schema, Value};
 use rqp_storage::{BTreeIndex, Table};
 use rqp_telemetry::SpanHandle;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bind_keys(schema: &Schema, keys: &[&str]) -> Result<Vec<usize>> {
     keys.iter().map(|k| schema.index_of(k)).collect()
@@ -105,6 +105,22 @@ impl HashJoinOp {
         }
         self.built = true;
     }
+
+    /// Release the build-side grant and close the span. Idempotent; called
+    /// on drain-to-`None` *and* on `Drop`, so early-terminating consumers
+    /// cannot leak `outstanding` or leave an open span.
+    fn finish(&mut self) {
+        if !self.span.is_closed() {
+            self.ctx.memory.release(self.span.mem_granted());
+            self.span.close(&self.ctx.clock);
+        }
+    }
+}
+
+impl Drop for HashJoinOp {
+    fn drop(&mut self) {
+        self.finish();
+    }
 }
 
 impl Operator for HashJoinOp {
@@ -148,10 +164,7 @@ impl Operator for HashJoinOp {
                         );
                         self.probe_rows = 0.0;
                     }
-                    if !self.span.is_closed() {
-                        self.ctx.memory.release(self.span.mem_granted());
-                        self.span.close(&self.ctx.clock);
-                    }
+                    self.finish();
                     return None;
                 }
             }
@@ -320,8 +333,8 @@ impl Operator for MergeJoinOp {
 /// outer row.
 pub struct IndexNlJoinOp {
     outer: BoxOp,
-    index: Rc<BTreeIndex>,
-    inner_table: Rc<Table>,
+    index: Arc<BTreeIndex>,
+    inner_table: Arc<Table>,
     outer_key: usize,
     schema: Schema,
     ctx: ExecContext,
@@ -336,8 +349,8 @@ impl IndexNlJoinOp {
     pub fn new(
         outer: BoxOp,
         outer_key: &str,
-        index: Rc<BTreeIndex>,
-        inner_table: Rc<Table>,
+        index: Arc<BTreeIndex>,
+        inner_table: Arc<Table>,
         ctx: ExecContext,
     ) -> Result<Self> {
         let ok = outer.schema().index_of(outer_key)?;
@@ -586,6 +599,32 @@ mod tests {
         collect(&mut j);
         assert_eq!(ample.clock.breakdown().spill, 0.0);
         assert!(ample.clock.now() < tight.clock.now());
+    }
+
+    #[test]
+    fn hash_join_partial_drain_releases_grant_and_closes_span() {
+        // The headline early-termination bug: a consumer that stops after a
+        // few rows (limit, top-n, POP re-plan) must not leak the build-side
+        // grant or leave an open span in the run report.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let schema = Schema::from_pairs(&[("r.k", DataType::Int)]);
+        let big: Vec<Row> = (0..5_000).map(|i| vec![Value::Int(i % 5)]).collect();
+        let mut j = HashJoinOp::new(
+            left_src(),
+            RowsOp::boxed(schema, big),
+            &["l.k"],
+            &["r.k"],
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(j.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 5_000.0, "build grant held");
+        drop(j);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "drop releases the grant");
+        assert!(
+            ctx.tracer.snapshot().iter().all(|sp| !sp.closed_at.is_nan()),
+            "no open spans after drop"
+        );
     }
 
     #[test]

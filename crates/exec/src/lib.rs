@@ -30,6 +30,9 @@
 //! * [`checkpoint`] — **POP CHECK operators** (Markl et al.): materialization
 //!   points that compare actual cardinality against a validity range and
 //!   signal re-optimization;
+//! * [`exchange`] — Volcano-style exchange: parallel scan, hash/range
+//!   repartition with injectable skew, deterministic gather over
+//!   `std::thread` workers;
 //! * [`context`] — the execution context: cost clock, memory governor,
 //!   span tracer and metrics registry.
 //!
@@ -44,6 +47,7 @@ pub mod agreedy;
 pub mod checkpoint;
 pub mod context;
 pub mod eddy;
+pub mod exchange;
 pub mod filter;
 pub mod gjoin;
 pub mod join;
@@ -57,6 +61,7 @@ pub use agreedy::AGreedyFilterOp;
 pub use checkpoint::{CheckOp, CheckOutcome, PopSignal};
 pub use context::{collect, ExecContext, MemoryGovernor, SpanOp};
 pub use eddy::{EddyFilterOp, RoutingPolicy, StarEddyOp};
+pub use exchange::{ExchangeOp, Partitioning, PartitionSourceOp};
 pub use filter::{FilterOp, ProjectOp};
 pub use gjoin::GJoinOp;
 pub use join::{BnlJoinOp, HashJoinOp, IndexNlJoinOp, MergeJoinOp};

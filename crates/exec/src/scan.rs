@@ -14,25 +14,46 @@ use rqp_storage::{AdaptiveMergeIndex, BTreeIndex, CrackerColumn, MultiIndex, Row
 use rqp_telemetry::SpanHandle;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
-/// Sequential scan of a whole table.
+/// Sequential scan of a whole table, or of a contiguous row range (the
+/// building block of parallel partitioned scans).
 pub struct TableScanOp {
-    table: Rc<Table>,
+    table: Arc<Table>,
     schema: Schema,
     ctx: ExecContext,
     pos: usize,
+    start: usize,
+    end: usize,
     rows_per_page: f64,
     span: SpanHandle,
 }
 
 impl TableScanOp {
     /// Scan `table`, emitting rows with the qualified schema.
-    pub fn new(table: Rc<Table>, ctx: ExecContext) -> Self {
+    pub fn new(table: Arc<Table>, ctx: ExecContext) -> Self {
+        let end = table.nrows();
+        Self::with_range(table, 0, end, ctx)
+    }
+
+    /// Scan only rows `[start, end)` of `table`.
+    ///
+    /// Page charges use *absolute* row positions, so a range starting on a
+    /// page boundary (as [`Table::page_partitions`] guarantees) charges
+    /// exactly its own pages — per-partition charges sum to the sequential
+    /// scan's total for any partition count.
+    pub fn with_range(table: Arc<Table>, start: usize, end: usize, ctx: ExecContext) -> Self {
         let schema = table.qualified_schema();
         let rows_per_page = ctx.clock.params().rows_per_page;
+        let end = end.min(table.nrows());
+        let start = start.min(end);
         let span = ctx.tracer.open("table_scan", &ctx.clock);
-        span.set_detail(table.name());
-        TableScanOp { table, schema, ctx, pos: 0, rows_per_page, span }
+        if start == 0 && end == table.nrows() {
+            span.set_detail(table.name());
+        } else {
+            span.set_detail(&format!("{}[{start}..{end}]", table.name()));
+        }
+        TableScanOp { table, schema, ctx, pos: start, start, end, rows_per_page, span }
     }
 }
 
@@ -42,12 +63,13 @@ impl Operator for TableScanOp {
     }
 
     fn next(&mut self) -> Option<Row> {
-        if self.pos >= self.table.nrows() {
+        if self.pos >= self.end {
             self.span.close(&self.ctx.clock);
             return None;
         }
-        // One sequential page each time the cursor crosses a page boundary.
-        if self.pos as f64 % self.rows_per_page == 0.0 {
+        // One sequential page each time the cursor crosses a page boundary
+        // (or enters mid-page at the start of an unaligned range).
+        if self.pos as f64 % self.rows_per_page == 0.0 || self.pos == self.start {
             self.ctx.clock.charge_seq_pages(1.0);
         }
         self.ctx.clock.charge_cpu_tuples(1.0);
@@ -68,8 +90,8 @@ impl Operator for TableScanOp {
 /// every row costs one random page — cheap at low selectivity, disastrous at
 /// high selectivity.
 pub struct IndexScanOp {
-    index: Rc<BTreeIndex>,
-    table: Rc<Table>,
+    index: Arc<BTreeIndex>,
+    table: Arc<Table>,
     schema: Schema,
     ctx: ExecContext,
     lo: Option<Value>,
@@ -83,8 +105,8 @@ pub struct IndexScanOp {
 impl IndexScanOp {
     /// Scan `index` over `[lo, hi]` (inclusive; `None` = unbounded).
     pub fn new(
-        index: Rc<BTreeIndex>,
-        table: Rc<Table>,
+        index: Arc<BTreeIndex>,
+        table: Arc<Table>,
         lo: Option<Value>,
         hi: Option<Value>,
         ctx: ExecContext,
@@ -153,8 +175,8 @@ impl Operator for IndexScanOp {
 /// indexed column, residual predicates applied upstream. Fetches are charged
 /// as random pages (composite indexes are secondary/unclustered here).
 pub struct MultiIndexScanOp {
-    index: Rc<MultiIndex>,
-    table: Rc<Table>,
+    index: Arc<MultiIndex>,
+    table: Arc<Table>,
     schema: Schema,
     ctx: ExecContext,
     prefix: Vec<Value>,
@@ -169,8 +191,8 @@ impl MultiIndexScanOp {
     /// Scan rows whose leading indexed columns equal `prefix`, with the next
     /// column in `[lo, hi]`.
     pub fn new(
-        index: Rc<MultiIndex>,
-        table: Rc<Table>,
+        index: Arc<MultiIndex>,
+        table: Arc<Table>,
         prefix: Vec<Value>,
         lo: Option<Value>,
         hi: Option<Value>,
@@ -231,7 +253,7 @@ impl Operator for MultiIndexScanOp {
 /// rows are reconstructed from the base table.
 pub struct CrackerScanOp {
     cracker: Rc<RefCell<CrackerColumn>>,
-    table: Rc<Table>,
+    table: Arc<Table>,
     schema: Schema,
     ctx: ExecContext,
     lo: i64,
@@ -245,7 +267,7 @@ impl CrackerScanOp {
     /// Scan `[lo, hi]` via the cracker column of one of `table`'s columns.
     pub fn new(
         cracker: Rc<RefCell<CrackerColumn>>,
-        table: Rc<Table>,
+        table: Arc<Table>,
         lo: i64,
         hi: i64,
         ctx: ExecContext,
@@ -291,7 +313,7 @@ impl Operator for CrackerScanOp {
 /// Scan answered by an adaptive-merge index.
 pub struct AMergeScanOp {
     amerge: Rc<RefCell<AdaptiveMergeIndex>>,
-    table: Rc<Table>,
+    table: Arc<Table>,
     schema: Schema,
     ctx: ExecContext,
     lo: i64,
@@ -306,7 +328,7 @@ impl AMergeScanOp {
     /// columns.
     pub fn new(
         amerge: Rc<RefCell<AdaptiveMergeIndex>>,
-        table: Rc<Table>,
+        table: Arc<Table>,
         lo: i64,
         hi: i64,
         ctx: ExecContext,
@@ -380,6 +402,41 @@ mod tests {
         assert!((b.seq_io - 10.0).abs() < 1e-9, "10 pages, got {}", b.seq_io);
         assert!(b.rand_io == 0.0);
         assert_eq!(s.schema().field(0).name, "t.k");
+    }
+
+    #[test]
+    fn range_scans_tile_the_table_and_sum_to_sequential_cost() {
+        let c = catalog();
+        let table = c.table("t").unwrap();
+        // Sequential baseline.
+        let seq = ExecContext::unbounded();
+        let seq_rows = collect(&mut TableScanOp::new(table.clone(), seq.clone()));
+        // Page-aligned partitions: concatenated rows identical, page charges
+        // sum exactly to the sequential total.
+        for k in [2, 3, 8] {
+            let ctx = ExecContext::unbounded();
+            let mut rows = Vec::new();
+            for (s, e) in table.page_partitions(k, 100) {
+                rows.extend(collect(&mut TableScanOp::with_range(
+                    table.clone(),
+                    s,
+                    e,
+                    ctx.clone(),
+                )));
+            }
+            assert_eq!(rows, seq_rows, "k={k}");
+            assert_eq!(
+                ctx.clock.breakdown(),
+                seq.clock.breakdown(),
+                "k={k}: partitioned cost equals sequential cost"
+            );
+        }
+        // An unaligned range still pays for the page it enters mid-way.
+        let ctx = ExecContext::unbounded();
+        let rows = collect(&mut TableScanOp::with_range(table, 150, 250, ctx.clone()));
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[0][0], Value::Int(150));
+        assert!((ctx.clock.breakdown().seq_io - 2.0).abs() < 1e-9, "2 pages touched");
     }
 
     #[test]

@@ -94,6 +94,23 @@ impl SortOp {
         rows.sort_by(|a, b| cmp_rows(a, b, &self.keys));
         self.sorted = Some(rows.into_iter());
     }
+
+    /// Release the workspace grant and close the span. Idempotent; called on
+    /// drain-to-`None` *and* on `Drop`, so a consumer that stops early (a
+    /// limit, a POP re-plan abandoning the pipeline) cannot leak
+    /// `outstanding` or leave an open span in the run report.
+    fn finish(&mut self) {
+        if !self.span.is_closed() {
+            self.ctx.memory.release(self.span.mem_granted());
+            self.span.close(&self.ctx.clock);
+        }
+    }
+}
+
+impl Drop for SortOp {
+    fn drop(&mut self) {
+        self.finish();
+    }
 }
 
 impl Operator for SortOp {
@@ -111,12 +128,7 @@ impl Operator for SortOp {
                 self.ctx.clock.charge_cpu_tuples(1.0);
                 self.span.produced(&self.ctx.clock);
             }
-            None => {
-                if !self.span.is_closed() {
-                    self.ctx.memory.release(self.span.mem_granted());
-                    self.span.close(&self.ctx.clock);
-                }
-            }
+            None => self.finish(),
         }
         row
     }
@@ -127,6 +139,11 @@ impl Operator for SortOp {
 }
 
 /// Top-N by sort keys, using a bounded heap (never spills).
+///
+/// Accounting mirrors [`SortOp`]: the bounded buffer takes a governor grant
+/// (for its `n`-row capacity) and each output row charges per-tuple CPU, so
+/// Top-N is not invisible to the robustness metrics — it is merely cheaper
+/// than a full sort, not free.
 pub struct TopNOp {
     inner: Option<BoxOp>,
     keys: Vec<(usize, SortOrder)>,
@@ -153,6 +170,21 @@ impl TopNOp {
         let span = ctx.op_span("top_n", &[&inner]);
         Ok(TopNOp { inner: Some(inner), keys: bound, n, schema, ctx, out: None, span })
     }
+
+    /// Release the buffer grant and close the span (idempotent; see
+    /// [`SortOp::finish`]).
+    fn finish(&mut self) {
+        if !self.span.is_closed() {
+            self.ctx.memory.release(self.span.mem_granted());
+            self.span.close(&self.ctx.clock);
+        }
+    }
+}
+
+impl Drop for TopNOp {
+    fn drop(&mut self) {
+        self.finish();
+    }
 }
 
 impl Operator for TopNOp {
@@ -164,6 +196,8 @@ impl Operator for TopNOp {
         if self.out.is_none() {
             let mut inner = self.inner.take().expect("run once");
             // Simple bounded selection: keep a sorted buffer of ≤ n rows.
+            let grant = self.ctx.memory.grant(self.n as f64);
+            self.span.record_grant(grant);
             let mut buf: Vec<Row> = Vec::with_capacity(self.n + 1);
             while let Some(r) = inner.next() {
                 self.ctx
@@ -181,8 +215,11 @@ impl Operator for TopNOp {
         }
         let row = self.out.as_mut().expect("filled").next();
         match &row {
-            Some(_) => self.span.produced(&self.ctx.clock),
-            None => self.span.close(&self.ctx.clock),
+            Some(_) => {
+                self.ctx.clock.charge_cpu_tuples(1.0);
+                self.span.produced(&self.ctx.clock);
+            }
+            None => self.finish(),
         }
         row
     }
@@ -257,12 +294,60 @@ mod tests {
         let ctx = ExecContext::unbounded();
         let mut t = TopNOp::new(src(500), &[("a", SortOrder::Asc)], 10, ctx.clone()).unwrap();
         let top = collect(&mut t);
-        let mut s = SortOp::asc(src(500), &["a"], ctx).unwrap();
+        assert!(ctx.clock.now() > 0.0, "top-n is not free to the cost model");
+        let topn_cost = ctx.clock.now();
+        let mut s = SortOp::asc(src(500), &["a"], ctx.clone()).unwrap();
         let full = collect(&mut s);
         assert_eq!(top.len(), 10);
         for (a, b) in top.iter().zip(full.iter()) {
             assert_eq!(a[0], b[0]);
         }
+        assert!(
+            ctx.clock.now() - topn_cost > topn_cost,
+            "full sort costs more than top-n"
+        );
+        drop(s);
+        drop(t);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "buffer grants released");
+    }
+
+    #[test]
+    fn topn_takes_a_buffer_grant() {
+        let ctx = ExecContext::with_memory(1_000.0);
+        let mut t = TopNOp::new(src(500), &[("a", SortOrder::Asc)], 10, ctx.clone()).unwrap();
+        assert!(t.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 10.0, "n-row buffer is accounted");
+        collect(&mut t);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "released on drain");
+    }
+
+    #[test]
+    fn partial_drain_releases_grant_and_closes_span() {
+        // The headline early-termination bug: a consumer that stops early
+        // (limit, top-n, POP re-plan) must not leak workspace or leave open
+        // spans in the run report.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut s = SortOp::asc(src(10_000), &["a"], ctx.clone()).unwrap();
+        for _ in 0..3 {
+            s.next(); // materializes (grant 10_000), yields 3 of 10_000 rows
+        }
+        assert_eq!(ctx.memory.outstanding(), 10_000.0, "grant held mid-drain");
+        drop(s);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "drop releases the grant");
+        assert!(
+            ctx.tracer.snapshot().iter().all(|sp| !sp.closed_at.is_nan()),
+            "no open spans after drop"
+        );
+
+        // Same for a partially drained top-n.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut t =
+            TopNOp::new(src(1_000), &[("a", SortOrder::Asc)], 100, ctx.clone()).unwrap();
+        t.next();
+        assert_eq!(ctx.memory.outstanding(), 100.0);
+        drop(t);
+        assert_eq!(ctx.memory.outstanding(), 0.0);
+        assert!(ctx.tracer.snapshot().iter().all(|sp| !sp.closed_at.is_nan()));
     }
 
     #[test]

@@ -44,10 +44,24 @@ impl QErrorSummary {
         let count = qs.len();
         let max = *qs.last().expect("non-empty");
         let geo_mean = (qs.iter().map(|q| q.ln()).sum::<f64>() / count as f64).exp();
-        let median = qs[count / 2];
-        let p95 = qs[((count as f64 * 0.95) as usize).min(count - 1)];
+        let median = nearest_rank(&qs, 0.50);
+        let p95 = nearest_rank(&qs, 0.95);
         QErrorSummary { count, max, geo_mean, median, p95 }
     }
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice: the smallest value
+/// whose rank covers fraction `q` of the observations (`rank =
+/// max(ceil(q·n), 1)`). This is the convention the telemetry histogram's
+/// p50/p95/p99 use, so scoreboard columns computed from either source are
+/// comparable — and unlike `qs[n/2]` (the *upper* median) or truncating
+/// `(n·q) as usize` (which turns p95 into max for small n), it is exact at
+/// the boundaries: n=1 → the value, n=2 → the lower one at p50.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(n) - 1]
 }
 
 impl std::fmt::Display for QErrorSummary {
@@ -90,6 +104,60 @@ mod tests {
         assert_eq!(s.max, 1000.0);
         assert!(s.median >= 2.0 && s.median <= 4.0);
         assert!(s.geo_mean > 1.0 && s.geo_mean < s.max);
+    }
+
+    /// A pair whose q-error is exactly `q` (q ≥ 1).
+    fn pair(q: f64) -> (f64, f64) {
+        (q, 1.0)
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_boundaries() {
+        // n=1: every quantile is the single observation.
+        let s = QErrorSummary::from_pairs(&[pair(7.0)]);
+        assert_eq!((s.median, s.p95, s.max), (7.0, 7.0, 7.0));
+
+        // n=2: nearest-rank median is the LOWER of the two (rank ceil(1)=1),
+        // not the upper one qs[n/2] would give; p95 is the upper.
+        let s = QErrorSummary::from_pairs(&[pair(2.0), pair(8.0)]);
+        assert_eq!(s.median, 2.0, "lower median, not qs[1]");
+        assert_eq!(s.p95, 8.0);
+
+        // n=4: median is rank ceil(2)=2 → qs[1]; p95 rank ceil(3.8)=4 → max
+        // (for n=4 the 95th percentile legitimately is the max).
+        let s = QErrorSummary::from_pairs(&[pair(1.0), pair(2.0), pair(4.0), pair(1000.0)]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p95, 1000.0);
+
+        // n=20: the truncating (n*0.95) as usize = 19 indexed the max; the
+        // nearest-rank 95th is rank ceil(19)=19 → qs[18], below the max.
+        let pairs: Vec<(f64, f64)> = (1..=20).map(|i| pair(i as f64)).collect();
+        let s = QErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.median, 10.0, "rank ceil(10)=10 → qs[9]");
+        assert_eq!(s.p95, 19.0, "p95 is not the max once n covers 5% tails");
+        assert_eq!(s.max, 20.0);
+    }
+
+    #[test]
+    fn quantile_convention_matches_telemetry_histogram() {
+        // The scoreboard mixes quantiles from QErrorSummary and from the
+        // telemetry histogram; both must resolve the same rank. The
+        // histogram returns bucket *upper bounds*, so feed it values that
+        // are themselves power-of-two bounds shifted down: a value v in
+        // (2^i, 2^(i+1)] reports bound 2^(i+1).
+        let qs = [1.5, 3.0, 3.0, 12.0, 100.0];
+        let hist = rqp_telemetry::Histogram::default();
+        for q in qs {
+            hist.observe(q);
+        }
+        let pairs: Vec<(f64, f64)> = qs.iter().map(|&q| (q, 1.0)).collect();
+        let s = QErrorSummary::from_pairs(&pairs);
+        // Median: rank ceil(2.5)=3 → third-smallest in both conventions.
+        assert_eq!(s.median, 3.0);
+        assert_eq!(hist.p50(), 4.0, "same rank, reported as its bucket bound");
+        // p95: rank ceil(4.75)=5 → the largest, in both conventions.
+        assert_eq!(s.p95, 100.0);
+        assert_eq!(hist.p95(), 128.0);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The catalog: named tables, indexes and adaptive-index stores.
 //!
-//! Tables are held behind `Rc` so running operators can keep cheap snapshot
+//! Tables and B-tree indexes are held behind `Arc` so running operators —
+//! including exchange workers on other threads — can keep cheap snapshot
 //! handles; mutation goes through [`Catalog::table_mut`], which copies on
 //! write if a snapshot is still live (a poor man's snapshot isolation —
-//! readers never observe concurrent appends).
+//! readers never observe concurrent appends). The adaptive indexes
+//! (crackers, adaptive merge) stay `Rc<RefCell<…>>`: they mutate on every
+//! query and remain single-threaded by design.
 
 use crate::amerge::AdaptiveMergeIndex;
 use crate::crack::CrackerColumn;
@@ -14,15 +17,16 @@ use rqp_common::{Result, RqpError};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A named collection of tables, B-tree indexes and adaptive indexes.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Rc<Table>>,
-    indexes: HashMap<String, Rc<BTreeIndex>>,
+    tables: HashMap<String, Arc<Table>>,
+    indexes: HashMap<String, Arc<BTreeIndex>>,
     /// (table, column) → index name, for optimizer access-path lookup.
     index_by_col: HashMap<(String, String), String>,
-    multi_indexes: HashMap<String, Rc<MultiIndex>>,
+    multi_indexes: HashMap<String, Arc<MultiIndex>>,
     crackers: HashMap<(String, String), Rc<RefCell<CrackerColumn>>>,
     amerges: HashMap<(String, String), Rc<RefCell<AdaptiveMergeIndex>>>,
 }
@@ -35,11 +39,11 @@ impl Catalog {
 
     /// Register (or replace) a table.
     pub fn add_table(&mut self, table: Table) {
-        self.tables.insert(table.name().to_owned(), Rc::new(table));
+        self.tables.insert(table.name().to_owned(), Arc::new(table));
     }
 
     /// Snapshot handle to a table.
-    pub fn table(&self, name: &str) -> Result<Rc<Table>> {
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.tables
             .get(name)
             .cloned()
@@ -52,7 +56,7 @@ impl Catalog {
             .tables
             .get_mut(name)
             .ok_or_else(|| RqpError::TableNotFound(name.to_owned()))?;
-        Ok(Rc::make_mut(rc))
+        Ok(Arc::make_mut(rc))
     }
 
     /// All table names, sorted.
@@ -80,7 +84,7 @@ impl Catalog {
         let idx = BTreeIndex::build(index_name.clone(), &t, column)?;
         self.index_by_col
             .insert((table.to_owned(), idx.column().to_owned()), index_name.clone());
-        self.indexes.insert(index_name, Rc::new(idx));
+        self.indexes.insert(index_name, Arc::new(idx));
         Ok(())
     }
 
@@ -93,7 +97,7 @@ impl Catalog {
     }
 
     /// Index handle by name.
-    pub fn index(&self, name: &str) -> Result<Rc<BTreeIndex>> {
+    pub fn index(&self, name: &str) -> Result<Arc<BTreeIndex>> {
         self.indexes
             .get(name)
             .cloned()
@@ -101,7 +105,7 @@ impl Catalog {
     }
 
     /// Find an index on `table.column`, if one exists.
-    pub fn index_on(&self, table: &str, column: &str) -> Option<Rc<BTreeIndex>> {
+    pub fn index_on(&self, table: &str, column: &str) -> Option<Arc<BTreeIndex>> {
         let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
         self.index_by_col
             .get(&(table.to_owned(), unq.to_owned()))
@@ -125,12 +129,12 @@ impl Catalog {
         let index_name = index_name.into();
         let t = self.table(table)?;
         let idx = MultiIndex::build(index_name.clone(), &t, columns)?;
-        self.multi_indexes.insert(index_name, Rc::new(idx));
+        self.multi_indexes.insert(index_name, Arc::new(idx));
         Ok(())
     }
 
     /// Composite index by name.
-    pub fn multi_index(&self, name: &str) -> Result<Rc<MultiIndex>> {
+    pub fn multi_index(&self, name: &str) -> Result<Arc<MultiIndex>> {
         self.multi_indexes
             .get(name)
             .cloned()
@@ -138,8 +142,8 @@ impl Catalog {
     }
 
     /// All composite indexes on `table`.
-    pub fn multi_indexes_on(&self, table: &str) -> Vec<Rc<MultiIndex>> {
-        let mut out: Vec<Rc<MultiIndex>> = self
+    pub fn multi_indexes_on(&self, table: &str) -> Vec<Arc<MultiIndex>> {
+        let mut out: Vec<Arc<MultiIndex>> = self
             .multi_indexes
             .values()
             .filter(|ix| ix.table() == table)

@@ -131,6 +131,30 @@ impl Table {
         (0..self.nrows).map(|i| self.row(i))
     }
 
+    /// Split the table's row space into `parts` contiguous `[start, end)`
+    /// ranges with **page-aligned** boundaries (multiples of
+    /// `rows_per_page`), as evenly as the page granularity allows.
+    ///
+    /// Page alignment is what keeps parallel scans cost-deterministic: a
+    /// range scan starting on a page boundary charges exactly
+    /// `ceil(len / rows_per_page)` sequential pages, and aligned boundaries
+    /// make those per-partition page counts sum to the sequential scan's
+    /// total for every partition count. Trailing partitions may be empty
+    /// when the table has fewer pages than `parts`.
+    pub fn page_partitions(&self, parts: usize, rows_per_page: usize) -> Vec<(usize, usize)> {
+        let parts = parts.max(1);
+        let rpp = rows_per_page.max(1);
+        let pages = self.nrows.div_ceil(rpp);
+        let mut out = Vec::with_capacity(parts);
+        let mut start_page = 0usize;
+        for i in 0..parts {
+            let end_page = pages * (i + 1) / parts;
+            out.push(((start_page * rpp).min(self.nrows), (end_page * rpp).min(self.nrows)));
+            start_page = end_page;
+        }
+        out
+    }
+
     /// Count rows matching a predicate evaluated against the *qualified*
     /// schema. Used by "oracle" estimators and metric code (true
     /// cardinalities), not by the query path.
@@ -197,6 +221,39 @@ mod tests {
         assert_eq!(n, 4);
         let n = t.count_where(&col("v").ge(lit(2.0))).unwrap();
         assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn page_partitions_align_and_cover() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..1050 {
+            t.append(vec![Value::Int(i)]);
+        }
+        // 1050 rows at 100/page = 11 pages across 4 partitions.
+        let parts = t.page_partitions(4, 100);
+        assert_eq!(parts, vec![(0, 200), (200, 500), (500, 800), (800, 1050)]);
+        // Boundaries are page multiples; ranges tile the table exactly.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+            assert_eq!(w[0].1 % 100, 0);
+        }
+        // Per-partition page counts sum to the sequential total, for any
+        // partition count — the invariant parallel cost determinism rests on.
+        let seq_pages = 1050usize.div_ceil(100);
+        for k in [1, 2, 3, 4, 7, 16] {
+            let ps = t.page_partitions(k, 100);
+            assert_eq!(ps.first().unwrap().0, 0);
+            assert_eq!(ps.last().unwrap().1, 1050);
+            let pages: usize = ps.iter().map(|&(s, e)| (e - s).div_ceil(100)).sum();
+            assert_eq!(pages, seq_pages, "k={k}");
+        }
+        // More partitions than pages: the tail is empty, not out of bounds.
+        let ps = t.page_partitions(16, 100);
+        assert!(ps.iter().all(|&(s, e)| s <= e && e <= 1050));
+        // Empty table: all partitions empty.
+        let e = Table::new("e", Schema::from_pairs(&[("x", DataType::Int)]));
+        assert!(e.page_partitions(3, 100).iter().all(|&(s, end)| s == 0 && end == 0));
     }
 
     #[test]

@@ -2,17 +2,20 @@
 //!
 //! Where spans describe the *plan tree*, metrics describe everything else:
 //! POP re-plan counts, LEO adjustment magnitudes, governor grant traffic,
-//! eddy routing decisions. A [`MetricsRegistry`] hands out `Rc`-backed
+//! eddy routing decisions. A [`MetricsRegistry`] hands out `Arc`-backed
 //! handles ([`Counter`], [`Gauge`], [`Histogram`]) that are cheap enough to
-//! bump per tuple; registering the same name twice returns a handle to the
-//! same underlying instrument, so call sites don't need to coordinate.
+//! bump per tuple — counters and gauges are single atomics, so exchange
+//! workers on other threads share them freely; registering the same name
+//! twice returns a handle to the same underlying instrument, so call sites
+//! don't need to coordinate.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use rqp_common::sync::AtomicF64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing count.
 #[derive(Debug, Clone, Default)]
-pub struct Counter(Rc<Cell<u64>>);
+pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Add one.
@@ -24,18 +27,18 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get() + n);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current count.
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// A value that can move both ways (e.g. outstanding memory grants).
 #[derive(Debug, Clone, Default)]
-pub struct Gauge(Rc<Cell<f64>>);
+pub struct Gauge(Arc<AtomicF64>);
 
 impl Gauge {
     /// Set the value.
@@ -47,7 +50,7 @@ impl Gauge {
     /// Add `dx` (may be negative).
     #[inline]
     pub fn add(&self, dx: f64) {
-        self.0.set(self.0.get() + dx);
+        self.0.add(dx);
     }
 
     /// Current value.
@@ -67,75 +70,81 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// the order of magnitude, and the full range fits in 64 fixed slots with no
 /// allocation per observation.
 #[derive(Debug, Clone)]
-pub struct Histogram(Rc<HistogramData>);
+pub struct Histogram(Arc<Mutex<HistogramData>>);
 
 #[derive(Debug)]
 struct HistogramData {
-    buckets: RefCell<[u64; HISTOGRAM_BUCKETS]>,
-    count: Cell<u64>,
-    sum: Cell<f64>,
-    max: Cell<f64>,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: f64,
+    max: f64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram(Rc::new(HistogramData {
-            buckets: RefCell::new([0; HISTOGRAM_BUCKETS]),
-            count: Cell::new(0),
-            sum: Cell::new(0.0),
-            max: Cell::new(0.0),
-        }))
+        Histogram(Arc::new(Mutex::new(HistogramData {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        })))
     }
 }
 
 impl Histogram {
+    fn inner(&self) -> std::sync::MutexGuard<'_, HistogramData> {
+        self.0.lock().expect("histogram lock")
+    }
+
     /// Record one observation. Negative and NaN values clamp to zero.
     pub fn observe(&self, v: f64) {
         let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
         let idx = (v.max(1.0).log2().floor() as usize).min(HISTOGRAM_BUCKETS - 1);
-        self.0.buckets.borrow_mut()[idx] += 1;
-        self.0.count.set(self.0.count.get() + 1);
-        self.0.sum.set(self.0.sum.get() + v);
-        if v > self.0.max.get() {
-            self.0.max.set(v);
+        let mut h = self.inner();
+        h.buckets[idx] += 1;
+        h.count += 1;
+        h.sum += v;
+        if v > h.max {
+            h.max = v;
         }
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.0.count.get()
+        self.inner().count
     }
 
     /// Sum of observations.
     pub fn sum(&self) -> f64 {
-        self.0.sum.get()
+        self.inner().sum
     }
 
     /// Mean of observations (NaN when empty).
     pub fn mean(&self) -> f64 {
-        if self.count() == 0 {
+        let h = self.inner();
+        if h.count == 0 {
             f64::NAN
         } else {
-            self.sum() / self.count() as f64
+            h.sum / h.count as f64
         }
     }
 
     /// Largest observation (0 when empty).
     pub fn max(&self) -> f64 {
-        self.0.max.get()
+        self.inner().max
     }
 
     /// Upper bound of the bucket containing the q-quantile (by bucket
     /// counts). An order-of-magnitude answer, which is what log buckets can
     /// give; NaN when empty.
     pub fn quantile_bound(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
+        let h = self.inner();
+        if h.count == 0 {
             return f64::NAN;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let target = (q.clamp(0.0, 1.0) * h.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (i, &c) in self.0.buckets.borrow().iter().enumerate() {
+        for (i, &c) in h.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
                 return (1u64 << (i + 1).min(63)) as f64;
@@ -162,9 +171,8 @@ impl Histogram {
 
     /// The non-empty buckets as `(bucket_upper_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
-        self.0
+        self.inner()
             .buckets
-            .borrow()
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
@@ -224,14 +232,15 @@ enum Instrument {
 
 /// The home of every named instrument for one execution context.
 ///
-/// Cloning shares the underlying table (`Rc`), so every subsystem can hold
-/// its own registry handle and the run report still sees one namespace.
+/// Cloning shares the underlying table (`Arc`), so every subsystem — and
+/// every exchange worker — can hold its own registry handle and the run
+/// report still sees one namespace.
 #[derive(Clone, Default)]
-pub struct MetricsRegistry(Rc<RefCell<Vec<(String, Instrument)>>>);
+pub struct MetricsRegistry(Arc<Mutex<Vec<(String, Instrument)>>>);
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MetricsRegistry({} instruments)", self.0.borrow().len())
+        write!(f, "MetricsRegistry({} instruments)", self.len())
     }
 }
 
@@ -241,12 +250,16 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    fn table(&self) -> std::sync::MutexGuard<'_, Vec<(String, Instrument)>> {
+        self.0.lock().expect("metrics registry lock")
+    }
+
     /// The counter named `name`, creating it on first use.
     ///
     /// # Panics
     /// If `name` is already registered as a different instrument kind.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut table = self.0.borrow_mut();
+        let mut table = self.table();
         if let Some((_, inst)) = table.iter().find(|(n, _)| n == name) {
             match inst {
                 Instrument::Counter(c) => return c.clone(),
@@ -263,7 +276,7 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different instrument kind.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut table = self.0.borrow_mut();
+        let mut table = self.table();
         if let Some((_, inst)) = table.iter().find(|(n, _)| n == name) {
             match inst {
                 Instrument::Gauge(g) => return g.clone(),
@@ -280,7 +293,7 @@ impl MetricsRegistry {
     /// # Panics
     /// If `name` is already registered as a different instrument kind.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut table = self.0.borrow_mut();
+        let mut table = self.table();
         if let Some((_, inst)) = table.iter().find(|(n, _)| n == name) {
             match inst {
                 Instrument::Histogram(h) => return h.clone(),
@@ -294,8 +307,7 @@ impl MetricsRegistry {
 
     /// Snapshot every instrument, in registration order.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.0
-            .borrow()
+        self.table()
             .iter()
             .map(|(name, inst)| {
                 let value = match inst {
@@ -315,12 +327,12 @@ impl MetricsRegistry {
 
     /// Number of registered instruments.
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.table().len()
     }
 
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.table().is_empty()
     }
 }
 
@@ -416,5 +428,26 @@ mod tests {
             MetricValue::Histogram { count, .. } => assert_eq!(*count, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn instruments_shared_across_threads() {
+        let reg = MetricsRegistry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("workers.rows");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("workers.rows").get(), 4000);
+        assert_eq!(reg.len(), 1, "all threads shared one instrument");
     }
 }

@@ -25,7 +25,9 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Version stamped into `scoreboard.json`; bump on breaking changes.
-pub const SCOREBOARD_VERSION: u32 = 1;
+/// Version 2 added the parallel-execution metrics (`parallel_speedup`,
+/// `parallel_skew`).
+pub const SCOREBOARD_VERSION: u32 = 2;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -44,6 +46,13 @@ pub mod samples {
     pub const ENV_CHOSEN: &str = ".chosen";
     /// Suffix of the ideal-plan cost gauge in an environment pair.
     pub const ENV_IDEAL: &str = ".ideal";
+    /// Gauge: headline parallel speedup (total work / critical path at the
+    /// experiment's reference worker count, zero skew). Folded as the
+    /// *minimum* across runs — the worst scaling observed.
+    pub const PARALLEL_SPEEDUP: &str = "paper.parallel.speedup";
+    /// Gauge: worst partition-imbalance factor (critical path relative to a
+    /// perfectly balanced split). Folded as the *maximum* across runs.
+    pub const PARALLEL_SKEW: &str = "paper.parallel.skew";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -70,6 +79,10 @@ pub struct ScoreboardEntry {
     pub total_cost: f64,
     /// Summed spilled rows across all spans.
     pub spilled_rows: f64,
+    /// Worst (minimum) parallel speedup, from `paper.parallel.speedup`.
+    pub parallel_speedup: f64,
+    /// Worst (maximum) partition imbalance, from `paper.parallel.skew`.
+    pub parallel_skew: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -86,6 +99,8 @@ struct SamplePool {
     m3_pairs: Vec<(f64, f64)>,
     costs: Vec<f64>,
     spilled: Vec<f64>,
+    speedups: Vec<f64>,
+    skews: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -110,6 +125,10 @@ impl SamplePool {
                 m3.0 = *x;
             } else if name == samples::M3_BEST {
                 m3.1 = *x;
+            } else if name == samples::PARALLEL_SPEEDUP {
+                self.speedups.push(*x);
+            } else if name == samples::PARALLEL_SKEW {
+                self.skews.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -140,6 +159,8 @@ impl SamplePool {
             .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         self.costs.sort_by(f64::total_cmp);
         self.spilled.sort_by(f64::total_cmp);
+        self.speedups.sort_by(f64::total_cmp);
+        self.skews.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -190,6 +211,8 @@ impl SamplePool {
             card_error_geomean: card,
             total_cost: self.costs.iter().sum(),
             spilled_rows: self.spilled.iter().sum(),
+            parallel_speedup: self.speedups.first().copied().unwrap_or(f64::NAN),
+            parallel_skew: self.skews.last().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -326,6 +349,26 @@ impl Scoreboard {
             check("smoothness", base.smoothness, cur.smoothness, base.smoothness + thresholds.smoothness_slack);
             check("extrinsic", base.extrinsic, cur.extrinsic, base.extrinsic + thresholds.extrinsic_slack);
             check("m3", base.m3, cur.m3, base.m3 + thresholds.m3_slack);
+            check(
+                "parallel_skew",
+                base.parallel_skew,
+                cur.parallel_skew,
+                base.parallel_skew + thresholds.parallel_skew_slack,
+            );
+            // Speedup regresses *downward*: flag a drop below the floor, and
+            // (like the ceiling checks) a metric that vanished entirely.
+            if !base.parallel_speedup.is_nan() {
+                let floor = base.parallel_speedup - thresholds.speedup_slack;
+                if cur.parallel_speedup.is_nan() || cur.parallel_speedup < floor {
+                    out.push(Regression {
+                        experiment: name.clone(),
+                        metric: "parallel_speedup".to_string(),
+                        baseline: base.parallel_speedup,
+                        current: cur.parallel_speedup,
+                        limit: floor,
+                    });
+                }
+            }
         }
         out
     }
@@ -351,6 +394,10 @@ pub struct DiffThresholds {
     pub extrinsic_slack: f64,
     /// `m3` may grow by this absolute amount.
     pub m3_slack: f64,
+    /// `parallel_speedup` may *shrink* by this absolute amount.
+    pub speedup_slack: f64,
+    /// `parallel_skew` may grow by this absolute amount.
+    pub parallel_skew_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -363,6 +410,8 @@ impl Default for DiffThresholds {
             smoothness_slack: 0.25,
             extrinsic_slack: 0.25,
             m3_slack: 0.25,
+            speedup_slack: 0.25,
+            parallel_skew_slack: 0.5,
         }
     }
 }
@@ -404,6 +453,8 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("card_error_geomean", Json::num(e.card_error_geomean)),
         ("total_cost", Json::num(e.total_cost)),
         ("spilled_rows", Json::num(e.spilled_rows)),
+        ("parallel_speedup", Json::num(e.parallel_speedup)),
+        ("parallel_skew", Json::num(e.parallel_skew)),
         (
             "events",
             Json::Obj(
@@ -445,6 +496,8 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         card_error_geomean: num("card_error_geomean")?,
         total_cost: num("total_cost")?,
         spilled_rows: num("spilled_rows")?,
+        parallel_speedup: num("parallel_speedup")?,
+        parallel_skew: num("parallel_skew")?,
         events,
     })
 }
@@ -477,6 +530,8 @@ mod tests {
         reg.gauge("paper.env.000.ideal").set(10.0);
         reg.gauge("paper.env.001.chosen").set(20.0);
         reg.gauge("paper.env.001.ideal").set(20.0);
+        reg.gauge(samples::PARALLEL_SPEEDUP).set(3.5);
+        reg.gauge(samples::PARALLEL_SKEW).set(1.2);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -497,6 +552,33 @@ mod tests {
         assert_eq!(e.max_q_error, 2.0);
         assert_eq!(e.events["pop.violation"], 1);
         assert!(e.total_cost > 0.0);
+        assert_eq!(e.parallel_speedup, 3.5);
+        assert_eq!(e.parallel_skew, 1.2);
+    }
+
+    #[test]
+    fn diff_trips_on_speedup_collapse_and_skew_growth() {
+        let baseline = Scoreboard::fold(&[report("a04", 50.0, 100, 1000.0)]);
+        // A collapse to near-serial scaling must trip the floor check…
+        let mut collapsed = baseline.clone();
+        collapsed.entries.get_mut("a04").unwrap().parallel_speedup = 1.1;
+        let regs = baseline.diff(&collapsed, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "parallel_speedup"), "{regs:?}");
+        // …as must the metric vanishing entirely.
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a04").unwrap().parallel_speedup = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "parallel_speedup"), "{regs:?}");
+        // Skew growing past its slack trips the ceiling check.
+        let mut skewed = baseline.clone();
+        skewed.entries.get_mut("a04").unwrap().parallel_skew = 2.5;
+        let regs = baseline.diff(&skewed, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "parallel_skew"), "{regs:?}");
+        // A faster, better-balanced board is an improvement, not a regression.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a04").unwrap().parallel_speedup = 7.9;
+        better.entries.get_mut("a04").unwrap().parallel_skew = 1.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]

@@ -5,15 +5,19 @@
 //! are **cost-clock readings** (the engine's deterministic notion of
 //! response time), so span timings are exactly reproducible across runs.
 //!
-//! Handles are designed for inner loops: a [`SpanHandle`] is an `Rc` around
-//! `Cell` fields, so [`SpanHandle::produced`] is a branch and two
-//! unsynchronized stores — no allocation, no locking, no formatting. The
-//! expensive parts (labels, tree assembly, rendering) happen once, at
-//! construction or post-mortem.
+//! Handles are designed for inner loops: a [`SpanHandle`] is an `Arc` around
+//! atomic fields, so [`SpanHandle::produced`] is a branch and two relaxed
+//! stores — no allocation, no locking, no formatting. The expensive parts
+//! (labels, tree assembly, rendering) happen once, at construction or
+//! post-mortem. Since the exchange operators arrived, spans are `Send +
+//! Sync`: worker pipelines trace into private [`Tracer`]s that the gather
+//! side [`adopt`](Tracer::adopt)s into the query's main trace in worker
+//! order, keeping trace contents deterministic under parallelism.
 
+use rqp_common::sync::AtomicF64;
 use rqp_common::CostClock;
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A timestamped adaptive decision recorded on a span: a POP validity-range
 /// violation, a LEO correction, an eddy routing shift, a governor-forced
@@ -32,29 +36,31 @@ pub struct SpanEvent {
 /// The observation record behind a [`SpanHandle`].
 #[derive(Debug)]
 pub struct SpanData {
-    id: usize,
+    id: AtomicUsize,
     kind: &'static str,
-    detail: RefCell<String>,
-    parent: Cell<Option<usize>>,
-    est_rows: Cell<f64>,
-    rows_out: Cell<u64>,
-    opened_at: Cell<f64>,
-    first_row_at: Cell<f64>,
-    closed_at: Cell<f64>,
-    mem_granted: Cell<f64>,
-    spilled_rows: Cell<f64>,
-    spill_events: Cell<u64>,
-    events: RefCell<Vec<SpanEvent>>,
+    detail: Mutex<String>,
+    /// Parent span id, or -1 for "no parent" (ids are tracer indices, so
+    /// they always fit in an i64).
+    parent: AtomicI64,
+    est_rows: AtomicF64,
+    rows_out: AtomicU64,
+    opened_at: AtomicF64,
+    first_row_at: AtomicF64,
+    closed_at: AtomicF64,
+    mem_granted: AtomicF64,
+    spilled_rows: AtomicF64,
+    spill_events: AtomicU64,
+    events: Mutex<Vec<SpanEvent>>,
 }
 
-/// Cheap (`Rc`) handle to one operator's span.
+/// Cheap (`Arc`) handle to one operator's span.
 #[derive(Debug, Clone)]
-pub struct SpanHandle(Rc<SpanData>);
+pub struct SpanHandle(Arc<SpanData>);
 
 impl SpanHandle {
     /// Span id, unique within its [`Tracer`].
     pub fn id(&self) -> usize {
-        self.0.id
+        self.0.id.load(Ordering::Relaxed)
     }
 
     /// Operator kind, e.g. `"hash_join"`.
@@ -64,23 +70,26 @@ impl SpanHandle {
 
     /// Free-form annotation (plan fingerprints, key columns, …).
     pub fn detail(&self) -> String {
-        self.0.detail.borrow().clone()
+        self.0.detail.lock().expect("span detail lock").clone()
     }
 
     /// Replace the annotation.
     pub fn set_detail(&self, detail: &str) {
-        *self.0.detail.borrow_mut() = detail.to_string();
+        *self.0.detail.lock().expect("span detail lock") = detail.to_string();
     }
 
     /// Parent span id, if this operator feeds another instrumented operator.
     pub fn parent(&self) -> Option<usize> {
-        self.0.parent.get()
+        match self.0.parent.load(Ordering::Relaxed) {
+            p if p < 0 => None,
+            p => Some(p as usize),
+        }
     }
 
     /// Link this span under `parent_id`. Called by consuming operators on
     /// their inputs' spans — the plan tree emerges from construction order.
     pub fn set_parent(&self, parent_id: usize) {
-        self.0.parent.set(Some(parent_id));
+        self.0.parent.store(parent_id as i64, Ordering::Relaxed);
     }
 
     /// The optimizer's row estimate for this operator (NaN = never set).
@@ -95,18 +104,27 @@ impl SpanHandle {
 
     /// Rows produced so far.
     pub fn rows(&self) -> u64 {
-        self.0.rows_out.get()
+        self.0.rows_out.load(Ordering::Relaxed)
     }
 
     /// Record one produced row — the inner-loop hot path. The first row also
     /// stamps the clock position, so time-to-first-row is observable.
     #[inline]
     pub fn produced(&self, clock: &CostClock) {
-        let n = self.0.rows_out.get();
-        if n == 0 {
-            self.0.first_row_at.set(clock.now());
+        if self.0.rows_out.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.0.first_row_at.set_if_nan(clock.now());
         }
-        self.0.rows_out.set(n + 1);
+    }
+
+    /// Record `n` produced rows at once (bulk transfers like an exchange
+    /// gather); stamps time-to-first-row exactly like [`produced`](Self::produced).
+    pub fn produced_n(&self, clock: &CostClock, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.0.rows_out.fetch_add(n, Ordering::Relaxed) == 0 {
+            self.0.first_row_at.set_if_nan(clock.now());
+        }
     }
 
     /// Cost-clock position when the operator was constructed.
@@ -128,9 +146,7 @@ impl SpanHandle {
     /// only the first close is recorded (operators may see `next() == None`
     /// repeatedly).
     pub fn close(&self, clock: &CostClock) {
-        if self.0.closed_at.get().is_nan() {
-            self.0.closed_at.set(clock.now());
-        }
+        self.0.closed_at.set_if_nan(clock.now());
     }
 
     /// True once [`close`](Self::close) has been called.
@@ -141,9 +157,7 @@ impl SpanHandle {
     /// Record a workspace-memory grant (rows). The span keeps the maximum
     /// grant observed — the operator's high-water memory footprint.
     pub fn record_grant(&self, rows: f64) {
-        if rows > self.0.mem_granted.get() {
-            self.0.mem_granted.set(rows);
-        }
+        self.0.mem_granted.fetch_max(rows);
     }
 
     /// Largest memory grant observed (rows of workspace).
@@ -153,8 +167,8 @@ impl SpanHandle {
 
     /// Record a spill of `rows` rows to temp storage.
     pub fn record_spill(&self, rows: f64) {
-        self.0.spilled_rows.set(self.0.spilled_rows.get() + rows);
-        self.0.spill_events.set(self.0.spill_events.get() + 1);
+        self.0.spilled_rows.add(rows);
+        self.0.spill_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total rows spilled.
@@ -164,12 +178,12 @@ impl SpanHandle {
 
     /// Number of spill events.
     pub fn spill_events(&self) -> u64 {
-        self.0.spill_events.get()
+        self.0.spill_events.load(Ordering::Relaxed)
     }
 
     /// Record an adaptive decision at the clock's current position.
     pub fn record_event(&self, clock: &CostClock, kind: &str, detail: &str) {
-        self.0.events.borrow_mut().push(SpanEvent {
+        self.0.events.lock().expect("span events lock").push(SpanEvent {
             at: clock.now(),
             kind: kind.to_string(),
             detail: detail.to_string(),
@@ -178,7 +192,7 @@ impl SpanHandle {
 
     /// Adaptive decisions recorded so far, in firing order.
     pub fn events(&self) -> Vec<SpanEvent> {
-        self.0.events.borrow().clone()
+        self.0.events.lock().expect("span events lock").clone()
     }
 
     /// q-error of the estimate vs the observed actual: `max(est/act,
@@ -189,27 +203,38 @@ impl SpanHandle {
             return f64::NAN;
         }
         let est = est.max(1.0);
-        let act = (self.0.rows_out.get() as f64).max(1.0);
+        let act = (self.rows() as f64).max(1.0);
         (est / act).max(act / est)
     }
 
     /// An owned, plain-data copy of the span's current state.
     pub fn snapshot(&self) -> SpanSnapshot {
         SpanSnapshot {
-            id: self.0.id,
-            parent: self.0.parent.get(),
+            id: self.id(),
+            parent: self.parent(),
             kind: self.0.kind.to_string(),
-            detail: self.0.detail.borrow().clone(),
+            detail: self.detail(),
             est_rows: self.0.est_rows.get(),
-            rows_out: self.0.rows_out.get(),
+            rows_out: self.rows(),
             opened_at: self.0.opened_at.get(),
             first_row_at: self.0.first_row_at.get(),
             closed_at: self.0.closed_at.get(),
             mem_granted: self.0.mem_granted.get(),
             spilled_rows: self.0.spilled_rows.get(),
-            spill_events: self.0.spill_events.get(),
-            events: self.0.events.borrow().clone(),
+            spill_events: self.spill_events(),
+            events: self.events(),
         }
+    }
+
+    /// Rewrite the span id (tracer adoption only — ids must stay unique
+    /// within the owning tracer).
+    fn set_id(&self, id: usize) {
+        self.0.id.store(id, Ordering::Relaxed);
+    }
+
+    /// Drop the parent link (tracer adoption of roots without a new parent).
+    fn clear_parent(&self) {
+        self.0.parent.store(-1, Ordering::Relaxed);
     }
 }
 
@@ -258,15 +283,15 @@ impl SpanSnapshot {
 
 #[derive(Debug, Default)]
 struct TracerInner {
-    spans: RefCell<Vec<SpanHandle>>,
+    spans: Mutex<Vec<SpanHandle>>,
 }
 
 /// Collects every span opened under one execution context.
 ///
-/// Cloning shares the underlying collection (`Rc`), so the context, the
+/// Cloning shares the underlying collection (`Arc`), so the context, the
 /// plan builder and the post-mortem consumers all see the same trace.
 #[derive(Debug, Clone, Default)]
-pub struct Tracer(Rc<TracerInner>);
+pub struct Tracer(Arc<TracerInner>);
 
 impl Tracer {
     /// Fresh, empty tracer.
@@ -277,21 +302,21 @@ impl Tracer {
     /// Open a span of the given operator kind, stamped with the clock's
     /// current position.
     pub fn open(&self, kind: &'static str, clock: &CostClock) -> SpanHandle {
-        let mut spans = self.0.spans.borrow_mut();
-        let handle = SpanHandle(Rc::new(SpanData {
-            id: spans.len(),
+        let mut spans = self.0.spans.lock().expect("tracer lock");
+        let handle = SpanHandle(Arc::new(SpanData {
+            id: AtomicUsize::new(spans.len()),
             kind,
-            detail: RefCell::new(String::new()),
-            parent: Cell::new(None),
-            est_rows: Cell::new(f64::NAN),
-            rows_out: Cell::new(0),
-            opened_at: Cell::new(clock.now()),
-            first_row_at: Cell::new(f64::NAN),
-            closed_at: Cell::new(f64::NAN),
-            mem_granted: Cell::new(0.0),
-            spilled_rows: Cell::new(0.0),
-            spill_events: Cell::new(0),
-            events: RefCell::new(Vec::new()),
+            detail: Mutex::new(String::new()),
+            parent: AtomicI64::new(-1),
+            est_rows: AtomicF64::new(f64::NAN),
+            rows_out: AtomicU64::new(0),
+            opened_at: AtomicF64::new(clock.now()),
+            first_row_at: AtomicF64::new(f64::NAN),
+            closed_at: AtomicF64::new(f64::NAN),
+            mem_granted: AtomicF64::new(0.0),
+            spilled_rows: AtomicF64::new(0.0),
+            spill_events: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
         }));
         spans.push(handle.clone());
         handle
@@ -299,28 +324,67 @@ impl Tracer {
 
     /// Number of spans opened so far.
     pub fn len(&self) -> usize {
-        self.0.spans.borrow().len()
+        self.0.spans.lock().expect("tracer lock").len()
     }
 
     /// True when no spans have been opened.
     pub fn is_empty(&self) -> bool {
-        self.0.spans.borrow().is_empty()
+        self.0.spans.lock().expect("tracer lock").is_empty()
     }
 
     /// Snapshot every span (in open order).
     pub fn snapshot(&self) -> Vec<SpanSnapshot> {
-        self.0.spans.borrow().iter().map(|s| s.snapshot()).collect()
+        self.0
+            .spans
+            .lock()
+            .expect("tracer lock")
+            .iter()
+            .map(|s| s.snapshot())
+            .collect()
     }
 
     /// Live handles to every span (in open order).
     pub fn spans(&self) -> Vec<SpanHandle> {
-        self.0.spans.borrow().clone()
+        self.0.spans.lock().expect("tracer lock").clone()
     }
 
     /// Drop all spans collected so far (e.g. between POP rounds when only
     /// the final round should be reported).
     pub fn clear(&self) {
-        self.0.spans.borrow_mut().clear();
+        self.0.spans.lock().expect("tracer lock").clear();
+    }
+
+    /// Move every span of `worker` into this tracer, re-identifying them
+    /// past this tracer's current spans and re-parenting the worker trace's
+    /// roots under `parent` (typically the exchange operator's span).
+    ///
+    /// This is the gather side of a parallel exchange: each worker traced
+    /// into a private tracer, and the workers are adopted **in worker-index
+    /// order**, so the merged trace is identical run-to-run regardless of
+    /// thread scheduling. The worker tracer is drained.
+    ///
+    /// Worker span ids must be the contiguous `0..len` a fresh tracer
+    /// assigns (guaranteed unless the worker tracer was `clear`ed
+    /// mid-trace).
+    pub fn adopt(&self, worker: &Tracer, parent: Option<usize>) {
+        let moved: Vec<SpanHandle> =
+            std::mem::take(&mut *worker.0.spans.lock().expect("tracer lock"));
+        let mut spans = self.0.spans.lock().expect("tracer lock");
+        let base = spans.len();
+        // Re-parent before re-identifying: parent links hold *old* local ids.
+        for s in &moved {
+            match s.parent() {
+                Some(p) => s.set_parent(base + p),
+                None => match parent {
+                    Some(pid) => s.set_parent(pid),
+                    None => s.clear_parent(),
+                },
+            }
+        }
+        for (i, s) in moved.iter().enumerate() {
+            s.set_id(base + i);
+        }
+        spans.extend(moved);
     }
 }
 
@@ -425,5 +489,71 @@ mod tests {
         assert!(tracer.is_empty());
         // Ids restart from zero after a clear.
         assert_eq!(tracer.open("c", &clock).id(), 0);
+    }
+
+    #[test]
+    fn produced_n_bulk_counts_and_stamps_first_row() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let s = tracer.open("gather", &clock);
+        clock.charge_seq_pages(1.0);
+        s.produced_n(&clock, 0);
+        assert!(s.first_row_at().is_nan(), "zero rows is not a first row");
+        s.produced_n(&clock, 40);
+        assert_eq!(s.rows(), 40);
+        assert_eq!(s.first_row_at(), 1.0);
+        clock.charge_seq_pages(1.0);
+        s.produced_n(&clock, 2);
+        assert_eq!(s.rows(), 42);
+        assert_eq!(s.first_row_at(), 1.0, "first-row mark is sticky");
+    }
+
+    #[test]
+    fn adopt_reids_and_reparents_worker_spans() {
+        let clock = CostClock::default_clock();
+        let main = Tracer::new();
+        let exchange = main.open("exchange", &clock);
+        let extra = main.open("other_root", &clock);
+        let worker = Tracer::new();
+        let w_root = worker.open("sort", &clock);
+        let w_child = worker.open("table_scan", &clock);
+        w_child.set_parent(w_root.id());
+        main.adopt(&worker, Some(exchange.id()));
+        assert!(worker.is_empty(), "worker tracer drained");
+        assert_eq!(main.len(), 4);
+        let snaps = main.snapshot();
+        assert_eq!(snaps[2].kind, "sort");
+        assert_eq!(snaps[2].id, 2);
+        assert_eq!(snaps[2].parent, Some(exchange.id()), "root under exchange");
+        assert_eq!(snaps[3].kind, "table_scan");
+        assert_eq!(snaps[3].parent, Some(2), "child link remapped");
+        assert_eq!(extra.id(), 1, "existing spans untouched");
+        // Adoption without a parent leaves roots as roots.
+        let worker2 = Tracer::new();
+        worker2.open("scan", &clock);
+        main.adopt(&worker2, None);
+        assert_eq!(main.snapshot()[4].parent, None);
+    }
+
+    #[test]
+    fn spans_cross_threads() {
+        let clock = CostClock::default_clock();
+        let tracer = Tracer::new();
+        let s = tracer.open("parallel_filter", &clock);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                let clock = std::sync::Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        s.produced(&clock);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.rows(), 2000, "no lost updates");
     }
 }
