@@ -16,4 +16,4 @@ pub use estimation::{e08_card_metrics, e19_leo, e22_blackhat};
 pub use execution::{e11_cracking, e16_agreedy, e17_eddy, e18_gjoin};
 pub use optimizer::{e07_smoothness, e09_robust_opt, e10_plan_diagram, e20_rio, e21_stats_refresh};
 pub use pop::{e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter};
-pub use resources::{e12_advisor, e13_fmt, e14_fpt, e15_mixed};
+pub use resources::{a05_resource_robustness, e12_advisor, e13_fmt, e14_fpt, e15_mixed};

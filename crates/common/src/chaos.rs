@@ -1,0 +1,347 @@
+//! Deterministic, seeded fault injection — the "chaos governor".
+//!
+//! The seminar's resource-robustness sessions (FMT's fluctuating memory,
+//! FPT's fluctuating parallelism) demand an engine whose performance degrades
+//! *smoothly* when the environment misbehaves mid-query. To measure that, the
+//! testbed needs faults it can inject on purpose: memory-budget shocks,
+//! exchange-worker panics and stalls, transient scan errors.
+//!
+//! Determinism is the design center, exactly as for the cost clock: every
+//! injection decision is a **pure hash** of `(seed, site, keys)` — never of
+//! wall-clock time, thread scheduling, or call order. The keys are chosen to
+//! be schedule-independent (a scan keys on the *absolute page index*, a
+//! worker fault on the *worker index and attempt number*), so a run with a
+//! fixed chaos seed and worker count reproduces bit-for-bit, and page-keyed
+//! decisions don't even depend on how a table is partitioned across workers.
+//!
+//! A disabled policy ([`ChaosPolicy::off`], the default on every
+//! `ExecContext`) makes every decision a constant `None`/`false`, so
+//! chaos-off runs are byte-identical to builds that predate this module.
+
+use crate::error::RqpError;
+use std::sync::Once;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Tuning knobs for a [`ChaosPolicy`]. All rates are probabilities in
+/// `[0, 1]`; a rate of zero disables that fault class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed every injection decision is derived from.
+    pub seed: u64,
+    /// Probability that reading a scan page raises a transient I/O error.
+    pub scan_fault_rate: f64,
+    /// Transient-error retries a scan may burn before escalating to fatal.
+    pub scan_max_retries: u32,
+    /// Probability that a scan page boundary delivers a memory shock
+    /// (budget shrink or restore) to the governor.
+    pub shock_rate: f64,
+    /// Probability that an exchange worker panics at startup.
+    pub worker_panic_rate: f64,
+    /// Probability that an exchange worker stalls (extra I/O) at startup.
+    pub worker_stall_rate: f64,
+    /// Sequential pages a stalled worker charges before proceeding.
+    pub worker_stall_pages: f64,
+    /// Times the exchange re-runs a lost partition before giving up.
+    pub worker_max_retries: u32,
+}
+
+impl ChaosConfig {
+    /// The disabled configuration: every rate zero.
+    pub fn off() -> Self {
+        ChaosConfig {
+            seed: 0,
+            scan_fault_rate: 0.0,
+            scan_max_retries: 8,
+            shock_rate: 0.0,
+            worker_panic_rate: 0.0,
+            worker_stall_rate: 0.0,
+            worker_stall_pages: 16.0,
+            worker_max_retries: 4,
+        }
+    }
+
+    /// A moderate default fault mix for the given seed: the profile the
+    /// `RQP_CHAOS_SEED` CI leg and the chaos test-suite run under.
+    pub fn standard(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            scan_fault_rate: 0.05,
+            scan_max_retries: 8,
+            shock_rate: 0.02,
+            worker_panic_rate: 0.2,
+            worker_stall_rate: 0.2,
+            worker_stall_pages: 16.0,
+            worker_max_retries: 4,
+        }
+    }
+}
+
+/// What an injected worker fault does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerFault {
+    /// The worker panics before producing anything.
+    Panic,
+    /// The worker charges this many extra sequential pages, then proceeds.
+    Stall(f64),
+}
+
+/// Payload of an injected worker panic. The exchange downcasts join-handle
+/// errors to this (or to an escalated [`RqpError`]) to distinguish injected
+/// faults — which it retries — from genuine bugs, which it re-raises.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPanic {
+    /// Worker index the panic was injected into.
+    pub worker: usize,
+    /// Attempt number (0 = first execution, n = nth retry).
+    pub attempt: u32,
+}
+
+/// The fault-injection policy carried by `ExecContext`.
+///
+/// Every decision method is a pure function of the config seed and the
+/// caller-supplied site keys; the policy holds no mutable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPolicy {
+    cfg: ChaosConfig,
+    enabled: bool,
+}
+
+impl ChaosPolicy {
+    /// A policy injecting faults per `cfg`.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        let enabled = cfg.scan_fault_rate > 0.0
+            || cfg.shock_rate > 0.0
+            || cfg.worker_panic_rate > 0.0
+            || cfg.worker_stall_rate > 0.0;
+        ChaosPolicy { cfg, enabled }
+    }
+
+    /// The disabled policy: never injects anything.
+    pub fn off() -> Self {
+        ChaosPolicy::new(ChaosConfig::off())
+    }
+
+    /// The standard fault mix under the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosPolicy::new(ChaosConfig::standard(seed))
+    }
+
+    /// Policy from the `RQP_CHAOS_SEED` environment variable: the standard
+    /// mix when set to a number, disabled when unset (or unparsable). This
+    /// is how the CI chaos leg turns the whole test suite hostile.
+    pub fn from_env() -> Self {
+        match std::env::var("RQP_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            Some(seed) => ChaosPolicy::seeded(seed),
+            None => ChaosPolicy::off(),
+        }
+    }
+
+    /// Whether any fault class has a non-zero rate. Operators check this
+    /// once and skip their injection points entirely when false.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// A uniform draw in `[0, 1)` that is a pure function of
+    /// `(seed, site, keys)`.
+    fn draw(&self, site: &str, keys: &[u64]) -> f64 {
+        let mut h = fnv1a(FNV_OFFSET ^ self.cfg.seed.rotate_left(23), site.as_bytes());
+        for k in keys {
+            h = fnv1a(h, &k.to_le_bytes());
+        }
+        // Top 53 bits as a dyadic fraction: exact in an f64.
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Should reading `page` of `table` raise a transient I/O error on this
+    /// `attempt`? Keyed by the absolute page index, so the decision is the
+    /// same no matter how the table is partitioned across workers.
+    pub fn scan_fault(&self, table: &str, page: u64, attempt: u32) -> bool {
+        self.enabled
+            && self.cfg.scan_fault_rate > 0.0
+            && self.draw("scan_fault", &[fnv1a(FNV_OFFSET, table.as_bytes()), page, u64::from(attempt)])
+                < self.cfg.scan_fault_rate
+    }
+
+    /// Transient-error retries a scan may burn before escalating to fatal.
+    pub fn scan_max_retries(&self) -> u32 {
+        self.cfg.scan_max_retries
+    }
+
+    /// Memory shock at `page` of `table`: `Some(fraction)` shrinks the
+    /// budget to `fraction × base` (monotone — shocks only tighten), and
+    /// `Some(1.0)` restores the base budget (the "grow" half of FMT).
+    pub fn memory_shock(&self, table: &str, page: u64) -> Option<f64> {
+        if !self.enabled || self.cfg.shock_rate <= 0.0 {
+            return None;
+        }
+        let key = fnv1a(FNV_OFFSET, table.as_bytes());
+        if self.draw("memory_shock", &[key, page]) >= self.cfg.shock_rate {
+            return None;
+        }
+        // Which shock: mostly shrinks of varying depth, sometimes a restore.
+        const FRACTIONS: [f64; 4] = [0.5, 0.25, 0.125, 1.0];
+        let pick = (self.draw("shock_fraction", &[key, page]) * FRACTIONS.len() as f64) as usize;
+        Some(FRACTIONS[pick.min(FRACTIONS.len() - 1)])
+    }
+
+    /// Fault injected into exchange `worker` on `attempt` (0 = the original
+    /// execution, 1.. = retries of a lost partition).
+    pub fn worker_fault(&self, worker: usize, attempt: u32) -> Option<WorkerFault> {
+        if !self.enabled {
+            return None;
+        }
+        let u = self.draw("worker_fault", &[worker as u64, u64::from(attempt)]);
+        if u < self.cfg.worker_panic_rate {
+            Some(WorkerFault::Panic)
+        } else if u < self.cfg.worker_panic_rate + self.cfg.worker_stall_rate {
+            Some(WorkerFault::Stall(self.cfg.worker_stall_pages))
+        } else {
+            None
+        }
+    }
+
+    /// Times the exchange re-runs a lost partition before giving up.
+    pub fn worker_max_retries(&self) -> u32 {
+        self.cfg.worker_max_retries
+    }
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        ChaosPolicy::off()
+    }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for *injected* panics — payloads of type [`ChaosPanic`]
+/// or [`RqpError`] — and delegates every other panic to the previous hook.
+/// Chaos runs inject thousands of panics on purpose; drowning test output in
+/// "thread panicked" noise would hide real failures.
+pub fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<ChaosPanic>() || payload.is::<RqpError>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_policy_never_injects() {
+        let p = ChaosPolicy::off();
+        assert!(!p.is_enabled());
+        for page in 0..1000 {
+            assert!(!p.scan_fault("t", page, 0));
+            assert!(p.memory_shock("t", page).is_none());
+        }
+        for w in 0..64 {
+            assert!(p.worker_fault(w, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_and_keys() {
+        let a = ChaosPolicy::seeded(42);
+        let b = ChaosPolicy::seeded(42);
+        for page in 0..500 {
+            assert_eq!(a.scan_fault("t", page, 0), b.scan_fault("t", page, 0));
+            assert_eq!(a.memory_shock("t", page), b.memory_shock("t", page));
+        }
+        for w in 0..16 {
+            for att in 0..4 {
+                assert_eq!(a.worker_fault(w, att), b.worker_fault(w, att));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_disagree_somewhere() {
+        let a = ChaosPolicy::seeded(1);
+        let b = ChaosPolicy::seeded(2);
+        let diverges = (0..2000).any(|p| a.scan_fault("t", p, 0) != b.scan_fault("t", p, 0));
+        assert!(diverges, "two seeds should not share a fault schedule");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = ChaosPolicy::new(ChaosConfig {
+            scan_fault_rate: 0.2,
+            ..ChaosConfig::standard(7)
+        });
+        let hits = (0..10_000).filter(|&pg| p.scan_fault("t", pg, 0)).count();
+        assert!(
+            (1_500..2_500).contains(&hits),
+            "~20% of pages should fault, got {hits}/10000"
+        );
+    }
+
+    #[test]
+    fn shock_fractions_are_from_the_palette_and_include_restores() {
+        let p = ChaosPolicy::new(ChaosConfig { shock_rate: 1.0, ..ChaosConfig::standard(11) });
+        let mut restores = 0;
+        let mut shrinks = 0;
+        for page in 0..1000 {
+            match p.memory_shock("t", page) {
+                Some(f) if f >= 1.0 => restores += 1,
+                Some(f) => {
+                    assert!([0.5, 0.25, 0.125].contains(&f), "unexpected fraction {f}");
+                    shrinks += 1;
+                }
+                None => panic!("shock_rate=1.0 must always shock"),
+            }
+        }
+        assert!(restores > 0, "the grow half of FMT must occur");
+        assert!(shrinks > restores, "shrinks dominate the palette");
+    }
+
+    #[test]
+    fn attempts_get_independent_draws() {
+        // A page that faults on attempt 0 must be able to succeed on a
+        // retry: the attempt number is part of the key.
+        let p = ChaosPolicy::new(ChaosConfig {
+            scan_fault_rate: 0.5,
+            ..ChaosConfig::standard(3)
+        });
+        let faulting: Vec<u64> = (0..200).filter(|&pg| p.scan_fault("t", pg, 0)).collect();
+        assert!(!faulting.is_empty());
+        let recovered = faulting.iter().any(|&pg| !p.scan_fault("t", pg, 1));
+        assert!(recovered, "retries must redraw, not repeat the fault");
+    }
+
+    #[test]
+    fn env_policy_defaults_off() {
+        // The variable is not set in unit-test runs unless the chaos CI leg
+        // sets it; both states must construct a valid policy.
+        let p = ChaosPolicy::from_env();
+        if std::env::var("RQP_CHAOS_SEED").is_err() {
+            assert!(!p.is_enabled());
+        }
+    }
+}

@@ -29,6 +29,46 @@ pub enum RqpError {
     Execution(String),
     /// An invalid argument or configuration.
     Invalid(String),
+    /// A transient I/O failure at a scan boundary. Retryable: the engine
+    /// re-reads the page (charging the re-read) instead of failing the query.
+    TransientIo {
+        /// Where the fault occurred (e.g. `table/page`).
+        site: String,
+        /// Which attempt observed it (0 = first read).
+        attempt: u32,
+    },
+    /// An exchange worker was lost and its partition could not be recovered
+    /// within the retry budget. Fatal: the retries already happened.
+    WorkerFailed {
+        /// Index of the lost worker.
+        worker: usize,
+        /// Executions attempted (original + retries).
+        attempts: u32,
+    },
+    /// A partition key column index fell outside the row.
+    KeyOutOfBounds {
+        /// The offending key index.
+        index: usize,
+        /// The row's width.
+        width: usize,
+    },
+    /// Range partitioning was asked to split on a non-numeric key.
+    NonNumericKey(String),
+}
+
+impl RqpError {
+    /// The retryable/fatal taxonomy: retryable errors describe conditions
+    /// that an immediate bounded retry can clear (a transient read fault);
+    /// everything else — planning bugs, schema mismatches, exhausted retry
+    /// budgets — is fatal and must propagate.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RqpError::TransientIo { .. })
+    }
+
+    /// Convenience inverse of [`is_retryable`](Self::is_retryable).
+    pub fn is_fatal(&self) -> bool {
+        !self.is_retryable()
+    }
 }
 
 impl fmt::Display for RqpError {
@@ -44,6 +84,18 @@ impl fmt::Display for RqpError {
             RqpError::Planning(m) => write!(f, "planning error: {m}"),
             RqpError::Execution(m) => write!(f, "execution error: {m}"),
             RqpError::Invalid(m) => write!(f, "invalid argument: {m}"),
+            RqpError::TransientIo { site, attempt } => {
+                write!(f, "transient I/O error at {site} (attempt {attempt})")
+            }
+            RqpError::WorkerFailed { worker, attempts } => {
+                write!(f, "exchange worker {worker} failed after {attempts} attempts")
+            }
+            RqpError::KeyOutOfBounds { index, width } => {
+                write!(f, "partition key index {index} out of bounds for row of {width}")
+            }
+            RqpError::NonNumericKey(v) => {
+                write!(f, "range partitioning needs a numeric key, got {v}")
+            }
         }
     }
 }
@@ -63,6 +115,40 @@ mod tests {
         assert_eq!(
             RqpError::TypeMismatch { expected: "INT".into(), got: "STR".into() }.to_string(),
             "type mismatch: expected INT, got STR"
+        );
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        assert!(RqpError::TransientIo { site: "t/3".into(), attempt: 0 }.is_retryable());
+        // Everything that isn't a transient condition is fatal: retrying a
+        // planning bug or an exhausted worker cannot help.
+        for fatal in [
+            RqpError::WorkerFailed { worker: 2, attempts: 5 },
+            RqpError::KeyOutOfBounds { index: 9, width: 3 },
+            RqpError::NonNumericKey("Str(\"x\")".into()),
+            RqpError::Execution("boom".into()),
+            RqpError::Planning("p".into()),
+            RqpError::Invalid("i".into()),
+        ] {
+            assert!(fatal.is_fatal(), "{fatal} must be fatal");
+            assert!(!fatal.is_retryable());
+        }
+    }
+
+    #[test]
+    fn typed_variant_messages() {
+        assert_eq!(
+            RqpError::KeyOutOfBounds { index: 9, width: 3 }.to_string(),
+            "partition key index 9 out of bounds for row of 3"
+        );
+        assert_eq!(
+            RqpError::WorkerFailed { worker: 1, attempts: 4 }.to_string(),
+            "exchange worker 1 failed after 4 attempts"
+        );
+        assert_eq!(
+            RqpError::TransientIo { site: "t/7".into(), attempt: 2 }.to_string(),
+            "transient I/O error at t/7 (attempt 2)"
         );
     }
 

@@ -10,7 +10,11 @@
 //!   evaluation, binding (name → index resolution), conjunct decomposition and
 //!   the semantics-preserving rewrites used by the equivalent-query robustness
 //!   benchmark;
-//! * [`error`] — the crate-wide [`error::RqpError`] error enum;
+//! * [`error`] — the crate-wide [`error::RqpError`] error enum with its
+//!   retryable/fatal taxonomy;
+//! * [`chaos`] — deterministic, seeded fault injection ([`chaos::ChaosPolicy`]):
+//!   memory shocks, worker panics/stalls and transient scan errors whose
+//!   decisions are pure hashes of `(seed, site, keys)`;
 //! * [`clock`] — the deterministic [`clock::CostClock`] "virtual time" that every
 //!   operator charges I/O and CPU cost units to, making robustness experiments
 //!   exactly reproducible;
@@ -24,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod error;
 pub mod expr;
@@ -32,6 +37,7 @@ pub mod schema;
 pub mod sync;
 pub mod value;
 
+pub use chaos::{ChaosConfig, ChaosPolicy, WorkerFault};
 pub use clock::{CostBreakdown, CostClock, CostModelParams, SharedClock};
 pub use error::{Result, RqpError};
 pub use expr::{CmpOp, Expr, SimplePred};

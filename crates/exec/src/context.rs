@@ -2,7 +2,7 @@
 
 use crate::{BoxOp, Operator};
 use rqp_common::sync::AtomicF64;
-use rqp_common::{CostClock, Row, Schema, SharedClock};
+use rqp_common::{ChaosPolicy, CostClock, Row, Schema, SharedClock};
 use rqp_telemetry::{MetricsRegistry, SpanHandle, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,10 +24,12 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct MemoryGovernor {
     budget_rows: AtomicF64,
+    base_budget: AtomicF64,
     outstanding: AtomicF64,
     peak_outstanding: AtomicF64,
     grant_count: AtomicU64,
     granted_total: AtomicF64,
+    pressure_epoch: AtomicU64,
 }
 
 impl MemoryGovernor {
@@ -35,10 +37,12 @@ impl MemoryGovernor {
     pub fn new(budget_rows: f64) -> Arc<Self> {
         Arc::new(MemoryGovernor {
             budget_rows: AtomicF64::new(budget_rows.max(0.0)),
+            base_budget: AtomicF64::new(budget_rows.max(0.0)),
             outstanding: AtomicF64::new(0.0),
             peak_outstanding: AtomicF64::new(0.0),
             grant_count: AtomicU64::new(0),
             granted_total: AtomicF64::new(0.0),
+            pressure_epoch: AtomicU64::new(0),
         })
     }
 
@@ -47,11 +51,58 @@ impl MemoryGovernor {
         self.budget_rows.get()
     }
 
+    /// The budget the governor was configured with (what [`restore`]
+    /// (Self::restore) returns to after shocks).
+    pub fn base_budget(&self) -> f64 {
+        self.base_budget.get()
+    }
+
     /// Change the budget (FMT schedules call this mid-workload). Outstanding
     /// grants are *not* revoked: shrinking below what is already handed out
-    /// leaves the governor overcommitted until operators release.
-    pub fn set_budget(&self, rows: f64) {
+    /// leaves the governor overcommitted until operators release — but no
+    /// longer *silently*: the pressure epoch is bumped so holders
+    /// renegotiate ([`WorkspaceLease::renegotiate`]), and the overcommit is
+    /// reported to the caller. Also resets the base budget, so this is the
+    /// "official" resize; transient chaos shocks use [`shock_to`]
+    /// (Self::shock_to) instead.
+    pub fn set_budget(&self, rows: f64) -> bool {
+        self.base_budget.set(rows.max(0.0));
         self.budget_rows.set(rows.max(0.0));
+        let over = self.overcommitted();
+        if over {
+            self.pressure_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        over
+    }
+
+    /// Shock the budget down to at most `rows`, *monotonically*: the budget
+    /// only moves toward the minimum, so concurrent shocks from racing
+    /// workers commute and the post-shock budget is deterministic. The base
+    /// budget is untouched; [`restore`](Self::restore) undoes the shock.
+    /// Returns whether the shock left the governor overcommitted (and bumped
+    /// the pressure epoch).
+    pub fn shock_to(&self, rows: f64) -> bool {
+        let rows = rows.max(0.0);
+        self.budget_rows.update(|b| b.min(rows));
+        let over = self.overcommitted();
+        if over {
+            self.pressure_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        over
+    }
+
+    /// Restore the budget to its base value — the "grow" half of a
+    /// fluctuating-memory schedule. Never bumps the pressure epoch: growth
+    /// requires no renegotiation.
+    pub fn restore(&self) {
+        self.budget_rows.set(self.base_budget.get());
+    }
+
+    /// Monotone counter bumped every time a budget change leaves the
+    /// governor overcommitted. Operators holding workspace snapshot it at
+    /// grant time and renegotiate when it moves.
+    pub fn pressure_epoch(&self) -> u64 {
+        self.pressure_epoch.load(Ordering::Relaxed)
     }
 
     /// Grant up to `want` rows of workspace; returns the granted amount.
@@ -104,6 +155,92 @@ impl MemoryGovernor {
     }
 }
 
+/// One operator's workspace holding, with graceful degradation under
+/// mid-query budget shrinks.
+///
+/// Sort, hash join and g-join materialize under a governor grant. Before the
+/// chaos governor, that grant was fixed for the operator's lifetime, so an
+/// FMT-style budget shrink mid-drain silently left the governor
+/// overcommitted until the operator finished. A `WorkspaceLease` tracks what
+/// the operator actually holds and a snapshot of the governor's pressure
+/// epoch; when the epoch moves (a shrink landed), [`renegotiate`]
+/// (Self::renegotiate) sheds the overflow back to the governor and charges
+/// it as incremental spill — the smooth response the robustness metrics
+/// reward, instead of holding memory hostage or failing.
+///
+/// The lease tracks the *sum* of grants (an operator may grant more than
+/// once, e.g. g-join's two run-generation passes), unlike the span's
+/// `mem_granted`, which is a high-water max.
+#[derive(Debug, Default)]
+pub struct WorkspaceLease {
+    held: f64,
+    epoch: u64,
+}
+
+impl WorkspaceLease {
+    /// An empty lease.
+    pub fn new() -> Self {
+        WorkspaceLease::default()
+    }
+
+    /// Workspace currently held.
+    pub fn held(&self) -> f64 {
+        self.held
+    }
+
+    /// Take a grant of up to `want` rows, recording it on `span`.
+    pub fn grant(&mut self, ctx: &ExecContext, span: &SpanHandle, want: f64) -> f64 {
+        let granted = ctx.memory.grant(want);
+        span.record_grant(granted);
+        self.held += granted;
+        self.epoch = ctx.memory.pressure_epoch();
+        granted
+    }
+
+    /// React to budget pressure: if the governor's pressure epoch moved
+    /// since the last grant/renegotiation and this lease now holds more than
+    /// the budget, release the overflow (down to the one-page progress
+    /// floor) and charge it as spill — exactly once per shock. Returns the
+    /// rows shed. A no-op (two atomic loads) while the epoch is unchanged,
+    /// so drain loops can call it per row.
+    pub fn renegotiate(&mut self, ctx: &ExecContext, span: &SpanHandle) -> f64 {
+        let epoch = ctx.memory.pressure_epoch();
+        if epoch == self.epoch {
+            return 0.0;
+        }
+        self.epoch = epoch;
+        let budget = ctx.memory.budget();
+        if self.held <= budget {
+            return 0.0;
+        }
+        // Keep at least one page so the operator still makes progress.
+        let keep = budget.max(100.0).min(self.held);
+        let shed = self.held - keep;
+        if shed <= 0.0 {
+            return 0.0;
+        }
+        self.held = keep;
+        ctx.memory.release(shed);
+        ctx.clock.charge_spill_rows(shed);
+        span.record_spill(shed);
+        span.record_event(
+            &ctx.clock,
+            "governor.pressure",
+            &format!("budget shrink: shed {shed:.0} rows, kept {keep:.0}"),
+        );
+        ctx.metrics.counter("governor.renegotiations").inc();
+        shed
+    }
+
+    /// Return everything still held to the governor.
+    pub fn release(&mut self, ctx: &ExecContext) {
+        if self.held > 0.0 {
+            ctx.memory.release(self.held);
+            self.held = 0.0;
+        }
+    }
+}
+
 /// Everything an operator needs from its environment.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
@@ -115,6 +252,10 @@ pub struct ExecContext {
     pub tracer: Tracer,
     /// Named counters/gauges/histograms for everything that isn't a plan node.
     pub metrics: MetricsRegistry,
+    /// Deterministic fault-injection policy (disabled by default). Shared by
+    /// every worker forked from this context, so one seed governs a whole
+    /// parallel query.
+    pub chaos: Arc<ChaosPolicy>,
 }
 
 impl ExecContext {
@@ -125,7 +266,14 @@ impl ExecContext {
             memory: MemoryGovernor::new(memory_rows),
             tracer: Tracer::new(),
             metrics: MetricsRegistry::new(),
+            chaos: Arc::new(ChaosPolicy::off()),
         }
+    }
+
+    /// This context with the given fault-injection policy.
+    pub fn with_chaos(mut self, policy: ChaosPolicy) -> Self {
+        self.chaos = Arc::new(policy);
+        self
     }
 
     /// Default context: fresh clock, effectively unbounded memory.
@@ -156,6 +304,7 @@ impl ExecContext {
             memory: Arc::clone(&self.memory),
             tracer: Tracer::new(),
             metrics: self.metrics.clone(),
+            chaos: Arc::clone(&self.chaos),
         }
     }
 
@@ -365,6 +514,90 @@ mod tests {
         // Over-release clamps instead of going negative.
         g.release(1_000.0);
         assert_eq!(g.outstanding(), 0.0);
+    }
+
+    #[test]
+    fn set_budget_reports_overcommit_and_bumps_pressure_epoch() {
+        let g = MemoryGovernor::new(10_000.0);
+        assert_eq!(g.pressure_epoch(), 0);
+        // Shrinking with nothing outstanding is quiet.
+        assert!(!g.set_budget(5_000.0));
+        assert_eq!(g.pressure_epoch(), 0);
+        // Shrinking below outstanding is reported, not silently passed.
+        g.grant(4_000.0);
+        assert!(g.set_budget(1_000.0), "outstanding 4000 vs budget 1000");
+        assert_eq!(g.pressure_epoch(), 1);
+        assert!(g.overcommitted());
+        // Growing back is quiet again.
+        assert!(!g.set_budget(50_000.0));
+        assert_eq!(g.pressure_epoch(), 1);
+    }
+
+    #[test]
+    fn shock_is_monotone_and_restore_returns_to_base() {
+        let g = MemoryGovernor::new(8_000.0);
+        assert!(!g.shock_to(2_000.0));
+        assert_eq!(g.budget(), 2_000.0);
+        // Shocks only tighten: a "weaker" concurrent shock cannot undo a
+        // stronger one, so racing workers commute.
+        g.shock_to(4_000.0);
+        assert_eq!(g.budget(), 2_000.0);
+        g.shock_to(500.0);
+        assert_eq!(g.budget(), 500.0);
+        assert_eq!(g.base_budget(), 8_000.0, "base survives shocks");
+        g.restore();
+        assert_eq!(g.budget(), 8_000.0);
+        // An overcommitting shock bumps the epoch.
+        g.grant(6_000.0);
+        let before = g.pressure_epoch();
+        assert!(g.shock_to(1_000.0));
+        assert_eq!(g.pressure_epoch(), before + 1);
+    }
+
+    #[test]
+    fn lease_renegotiates_once_per_shock() {
+        let ctx = ExecContext::with_memory(10_000.0);
+        let span = ctx.tracer.open("probe", &ctx.clock);
+        let mut lease = WorkspaceLease::new();
+        assert_eq!(lease.grant(&ctx, &span, 8_000.0), 8_000.0);
+        assert_eq!(lease.held(), 8_000.0);
+        // No pressure: renegotiation is a no-op, charges nothing.
+        assert_eq!(lease.renegotiate(&ctx, &span), 0.0);
+        assert_eq!(ctx.clock.breakdown().spill, 0.0);
+        // One shock → exactly one shed, spilled exactly once.
+        ctx.memory.set_budget(2_000.0);
+        assert_eq!(lease.renegotiate(&ctx, &span), 6_000.0);
+        assert_eq!(lease.held(), 2_000.0);
+        assert_eq!(ctx.memory.outstanding(), 2_000.0);
+        assert_eq!(span.spill_events(), 1);
+        let spill_after_first = ctx.clock.breakdown().spill;
+        assert!(spill_after_first > 0.0);
+        // Re-checking without a new shock must not shed again.
+        assert_eq!(lease.renegotiate(&ctx, &span), 0.0);
+        assert_eq!(ctx.clock.breakdown().spill, spill_after_first);
+        // Shrinking to zero still leaves the one-page progress floor.
+        ctx.memory.set_budget(0.0);
+        lease.renegotiate(&ctx, &span);
+        assert_eq!(lease.held(), 100.0);
+        lease.release(&ctx);
+        assert_eq!(ctx.memory.outstanding(), 0.0);
+        assert_eq!(lease.held(), 0.0);
+        // governor.pressure surfaced as a span event.
+        assert!(span.events().iter().any(|e| e.kind == "governor.pressure"));
+    }
+
+    #[test]
+    fn chaos_defaults_off_and_forks_shared() {
+        let ctx = ExecContext::unbounded();
+        assert!(!ctx.chaos.is_enabled(), "default context injects nothing");
+        let chaotic = ExecContext::with_memory(1_000.0)
+            .with_chaos(rqp_common::ChaosPolicy::seeded(7));
+        assert!(chaotic.chaos.is_enabled());
+        let w = chaotic.fork_worker();
+        assert!(
+            Arc::ptr_eq(&w.chaos, &chaotic.chaos),
+            "workers share the coordinator's policy"
+        );
     }
 
     #[test]

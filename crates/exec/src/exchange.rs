@@ -34,9 +34,12 @@
 use crate::context::ExecContext;
 use crate::scan::TableScanOp;
 use crate::{BoxOp, Operator};
-use rqp_common::{Result, Row, RqpError, Schema, SharedClock, Value};
+use rqp_common::chaos::{install_quiet_panic_hook, ChaosPanic};
+use rqp_common::{Result, Row, RqpError, Schema, SharedClock, Value, WorkerFault};
 use rqp_storage::Table;
 use rqp_telemetry::SpanHandle;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Number of exchange workers to use when the caller doesn't say: the
@@ -97,9 +100,9 @@ pub fn hash_value(h: u64, v: &Value) -> u64 {
 pub fn hash_keys(row: &Row, keys: &[usize]) -> Result<u64> {
     let mut h = FNV_OFFSET;
     for &k in keys {
-        let v = row.get(k).ok_or_else(|| {
-            RqpError::Invalid(format!("partition key index {k} out of bounds for row of {}", row.len()))
-        })?;
+        let v = row
+            .get(k)
+            .ok_or(RqpError::KeyOutOfBounds { index: k, width: row.len() })?;
         h = hash_value(h, v);
     }
     Ok(h)
@@ -112,12 +115,11 @@ fn skewed_to_zero(h: u64, skew: f64) -> bool {
 }
 
 fn numeric_key(row: &Row, key: usize) -> Result<f64> {
-    let v = row.get(key).ok_or_else(|| {
-        RqpError::Invalid(format!("partition key index {key} out of bounds for row of {}", row.len()))
-    })?;
-    v.as_float().ok_or_else(|| {
-        RqpError::Invalid(format!("range partitioning needs a numeric key, got {v:?}"))
-    })
+    let v = row
+        .get(key)
+        .ok_or(RqpError::KeyOutOfBounds { index: key, width: row.len() })?;
+    v.as_float()
+        .ok_or_else(|| RqpError::NonNumericKey(format!("{v:?}")))
 }
 
 /// Split `rows` into `parts` buckets per `spec`. Pure and deterministic:
@@ -157,8 +159,11 @@ pub fn partition_rows(rows: Vec<Row>, spec: &Partitioning, parts: usize) -> Resu
 
 /// Builds one worker's pipeline inside that worker's thread, under the
 /// worker's forked context. The returned [`BoxOp`] never crosses threads —
-/// only the builder (and the rows it captures) must be `Send`.
-pub type WorkerBuilder = Box<dyn FnOnce(&ExecContext) -> BoxOp + Send>;
+/// only the builder (and the rows it captures) must be `Send`. Builders are
+/// `Fn`, not `FnOnce`: when a worker is lost to an injected fault, the
+/// gather re-invokes the same builder under a fresh context to retry the
+/// partition.
+pub type WorkerBuilder = Box<dyn Fn(&ExecContext) -> BoxOp + Send + Sync>;
 
 /// A per-partition pipeline applied on top of a partition source (or range
 /// scan) inside each worker. Shared across workers, hence `Fn + Send + Sync`.
@@ -234,13 +239,126 @@ pub struct ExchangeOp {
     span: SpanHandle,
 }
 
+/// Run one worker's pipeline to completion, applying any chaos fault
+/// scheduled for `(worker, attempt)` first. An injected panic carries a
+/// [`ChaosPanic`] payload so the gather can tell it apart from a genuine
+/// bug; an injected stall charges extra sequential pages to the shard
+/// clock before the pipeline runs.
+fn run_worker(build: &WorkerBuilder, wctx: &ExecContext, worker: usize, attempt: u32) -> (Schema, Vec<Row>) {
+    match wctx.chaos.worker_fault(worker, attempt) {
+        Some(WorkerFault::Panic) => {
+            wctx.metrics.counter("chaos.worker_panics").inc();
+            std::panic::panic_any(ChaosPanic { worker, attempt });
+        }
+        Some(WorkerFault::Stall(pages)) => {
+            wctx.metrics.counter("chaos.worker_stalls").inc();
+            wctx.clock.charge_seq_pages(pages);
+        }
+        None => {}
+    }
+    let mut op = build(wctx);
+    let schema = op.schema().clone();
+    let mut rows = Vec::new();
+    while let Some(r) = op.next() {
+        rows.push(r);
+    }
+    (schema, rows)
+}
+
+/// If the panic payload came from fault injection (a [`ChaosPanic`] marker
+/// or a typed [`RqpError`], e.g. scan retries exhausted), describe it for
+/// the trace; anything else is a genuine bug and must keep unwinding.
+fn injected_cause(payload: &(dyn Any + Send)) -> Option<String> {
+    if let Some(cp) = payload.downcast_ref::<ChaosPanic>() {
+        Some(format!("injected panic (worker {}, attempt {})", cp.worker, cp.attempt))
+    } else {
+        payload.downcast_ref::<RqpError>().map(|e| e.to_string())
+    }
+}
+
+/// Absorb one worker attempt's shard clock into the coordinator, open the
+/// `exchange_worker` span for it, adopt its partial trace, and record the
+/// gather event. Returns the shard's total cost. The `attempt == 0`
+/// success path emits byte-identical spans/events to the pre-chaos gather
+/// so chaos-off traces are unchanged.
+fn gather_attempt(
+    ctx: &ExecContext,
+    span: &SpanHandle,
+    wctx: &ExecContext,
+    worker: usize,
+    attempt: u32,
+    outcome: std::result::Result<usize, &str>,
+) -> f64 {
+    let shard = wctx.clock.breakdown();
+    ctx.clock.absorb(&shard);
+    let cost = shard.total();
+    let wspan = ctx.tracer.open("exchange_worker", &ctx.clock);
+    wspan.set_parent(span.id());
+    match outcome {
+        Ok(rows) => {
+            if attempt == 0 {
+                wspan.set_detail(&format!("worker={worker} cost={cost:.4}"));
+            } else {
+                wspan.set_detail(&format!("worker={worker} attempt={attempt} cost={cost:.4}"));
+            }
+            wspan.produced_n(&ctx.clock, rows as u64);
+            wspan.close(&ctx.clock);
+            ctx.tracer.adopt(&wctx.tracer, Some(wspan.id()));
+            if attempt == 0 {
+                span.record_event(
+                    &ctx.clock,
+                    "exchange.worker",
+                    &format!("worker={worker} rows={rows} cost={cost:.4}"),
+                );
+            } else {
+                span.record_event(
+                    &ctx.clock,
+                    "exchange.worker_recovered",
+                    &format!("worker={worker} attempt={attempt} rows={rows} cost={cost:.4}"),
+                );
+            }
+        }
+        Err(cause) => {
+            wspan.set_detail(&format!("worker={worker} attempt={attempt} failed cost={cost:.4}"));
+            wspan.close(&ctx.clock);
+            ctx.tracer.adopt(&wctx.tracer, Some(wspan.id()));
+            span.record_event(
+                &ctx.clock,
+                "exchange.worker_failed",
+                &format!("worker={worker} attempt={attempt} cost={cost:.4} cause={cause}"),
+            );
+        }
+    }
+    cost
+}
+
 impl ExchangeOp {
     /// Run `builders` (one worker each) and gather in worker-index order.
     ///
-    /// Panics if `builders` is empty or a worker panics.
+    /// Panics if `builders` is empty or a worker fails beyond recovery;
+    /// prefer [`ExchangeOp::try_new`] where worker loss should surface as a
+    /// typed error.
     pub fn new(builders: Vec<WorkerBuilder>, ctx: ExecContext) -> Self {
+        Self::try_new(builders, ctx).unwrap_or_else(|e| panic!("exchange worker failed: {e}"))
+    }
+
+    /// Run `builders` and gather in worker-index order, recovering lost
+    /// workers.
+    ///
+    /// A worker lost to an injected fault (a [`ChaosPanic`] or a typed
+    /// [`RqpError`] panic payload, e.g. scan retries exhausted) is retried
+    /// on the coordinator with a fresh forked context, charging one random
+    /// page per attempt as backoff, up to the policy's retry bound; the
+    /// lost attempt's partial cost and trace are still absorbed, so
+    /// recovery is visible as extra cost rather than vanished work. Retries
+    /// exhausted surfaces as [`RqpError::WorkerFailed`]. Genuine panics
+    /// (any other payload) keep unwinding.
+    pub fn try_new(builders: Vec<WorkerBuilder>, ctx: ExecContext) -> Result<Self> {
         assert!(!builders.is_empty(), "exchange needs at least one worker");
         let workers = builders.len();
+        if ctx.chaos.is_enabled() {
+            install_quiet_panic_hook();
+        }
         let span = ctx.tracer.open("exchange", &ctx.clock);
         span.set_detail(&format!("workers={workers}"));
 
@@ -251,48 +369,67 @@ impl ExchangeOp {
         // let builders borrow the forked contexts; dropping the operator
         // before returning releases its grants and closes its spans even if
         // a pipeline stops early.
-        let results: Vec<(Schema, Vec<Row>)> = std::thread::scope(|s| {
+        let results: Vec<std::thread::Result<(Schema, Vec<Row>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = builders
-                .into_iter()
+                .iter()
                 .zip(&contexts)
-                .map(|(build, wctx)| {
-                    s.spawn(move || {
-                        let mut op = build(wctx);
-                        let schema = op.schema().clone();
-                        let mut rows = Vec::new();
-                        while let Some(r) = op.next() {
-                            rows.push(r);
-                        }
-                        (schema, rows)
-                    })
-                })
+                .enumerate()
+                .map(|(i, (build, wctx))| s.spawn(move || run_worker(build, wctx, i, 0)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("exchange worker panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join()).collect()
         });
 
         // Deterministic gather: absorb shard clocks and adopt worker traces
-        // strictly in worker-index order, never in completion order.
+        // strictly in worker-index order, never in completion order. Lost
+        // workers are retried inline here, still in worker-index order, so
+        // recovery does not perturb the gather order either.
         let mut schema: Option<Schema> = None;
         let mut out: Vec<Row> = Vec::new();
         let mut costs: Vec<f64> = Vec::with_capacity(workers);
-        for (i, ((wschema, rows), wctx)) in results.into_iter().zip(&contexts).enumerate() {
-            let shard = wctx.clock.breakdown();
-            ctx.clock.absorb(&shard);
-            let wspan = ctx.tracer.open("exchange_worker", &ctx.clock);
-            wspan.set_parent(span.id());
-            wspan.set_detail(&format!("worker={i} cost={:.4}", shard.total()));
-            wspan.produced_n(&ctx.clock, rows.len() as u64);
-            wspan.close(&ctx.clock);
-            ctx.tracer.adopt(&wctx.tracer, Some(wspan.id()));
-            span.record_event(
-                &ctx.clock,
-                "exchange.worker",
-                &format!("worker={i} rows={} cost={:.4}", rows.len(), shard.total()),
-            );
-            costs.push(shard.total());
+        for (i, (result, wctx)) in results.into_iter().zip(&contexts).enumerate() {
+            let mut worker_cost;
+            let (wschema, rows) = match result {
+                Ok((wschema, rows)) => {
+                    worker_cost = gather_attempt(&ctx, &span, wctx, i, 0, Ok(rows.len()));
+                    (wschema, rows)
+                }
+                Err(payload) => {
+                    let Some(cause) = injected_cause(payload.as_ref()) else {
+                        resume_unwind(payload);
+                    };
+                    ctx.metrics.counter("exchange.workers_lost").inc();
+                    worker_cost = gather_attempt(&ctx, &span, wctx, i, 0, Err(&cause));
+                    let max_retries = ctx.chaos.worker_max_retries();
+                    let mut attempt = 1u32;
+                    loop {
+                        if attempt > max_retries {
+                            span.close(&ctx.clock);
+                            return Err(RqpError::WorkerFailed { worker: i, attempts: attempt });
+                        }
+                        // Backoff: the coordinator pays a growing random-I/O
+                        // charge before each retry, so recovery has a
+                        // deterministic, visible cost.
+                        ctx.clock.charge_random_pages(f64::from(attempt));
+                        ctx.metrics.counter("exchange.worker_retries").inc();
+                        let rctx = ctx.fork_worker();
+                        match catch_unwind(AssertUnwindSafe(|| run_worker(&builders[i], &rctx, i, attempt))) {
+                            Ok((wschema, rows)) => {
+                                worker_cost += gather_attempt(&ctx, &span, &rctx, i, attempt, Ok(rows.len()));
+                                ctx.metrics.counter("exchange.recoveries").inc();
+                                break (wschema, rows);
+                            }
+                            Err(p2) => {
+                                let Some(cause) = injected_cause(p2.as_ref()) else {
+                                    resume_unwind(p2);
+                                };
+                                worker_cost += gather_attempt(&ctx, &span, &rctx, i, attempt, Err(&cause));
+                                attempt += 1;
+                            }
+                        }
+                    }
+                }
+            };
+            costs.push(worker_cost);
             out.extend(rows);
             schema.get_or_insert(wschema);
         }
@@ -312,12 +449,12 @@ impl ExchangeOp {
             .gauge("exchange.skew")
             .set(if total > 0.0 { critical * workers as f64 / total } else { 1.0 });
 
-        ExchangeOp {
+        Ok(ExchangeOp {
             schema: schema.expect("at least one worker"),
             ctx,
             out: out.into_iter(),
             span,
-        }
+        })
     }
 
     /// Parallel table scan: page-aligned range partitions, one
@@ -337,6 +474,18 @@ impl ExchangeOp {
         build: PipelineBuilder,
         ctx: ExecContext,
     ) -> Self {
+        Self::try_parallel_scan_with(table, workers, build, ctx)
+            .unwrap_or_else(|e| panic!("exchange worker failed: {e}"))
+    }
+
+    /// [`ExchangeOp::parallel_scan_with`], surfacing unrecoverable worker
+    /// loss as [`RqpError::WorkerFailed`] instead of panicking.
+    pub fn try_parallel_scan_with(
+        table: Arc<Table>,
+        workers: usize,
+        build: PipelineBuilder,
+        ctx: ExecContext,
+    ) -> Result<Self> {
         let workers = workers.max(1);
         let rpp = (ctx.clock.params().rows_per_page.max(1.0)) as usize;
         let builders: Vec<WorkerBuilder> = table
@@ -346,12 +495,13 @@ impl ExchangeOp {
                 let table = Arc::clone(&table);
                 let build = Arc::clone(&build);
                 Box::new(move |wctx: &ExecContext| {
-                    let scan: BoxOp = Box::new(TableScanOp::with_range(table, start, end, wctx.clone()));
+                    let scan: BoxOp =
+                        Box::new(TableScanOp::with_range(Arc::clone(&table), start, end, wctx.clone()));
                     build(scan, wctx)
                 }) as WorkerBuilder
             })
             .collect();
-        Self::new(builders, ctx)
+        Self::try_new(builders, ctx)
     }
 
     /// Repartition exchange: drain `input` on the coordinator (charging one
@@ -380,12 +530,12 @@ impl ExchangeOp {
                 let build = Arc::clone(&build);
                 let schema = schema.clone();
                 Box::new(move |wctx: &ExecContext| {
-                    let src: BoxOp = Box::new(PartitionSourceOp::new(schema, p, wctx));
+                    let src: BoxOp = Box::new(PartitionSourceOp::new(schema.clone(), p.clone(), wctx));
                     build(src, wctx)
                 }) as WorkerBuilder
             })
             .collect();
-        Ok(Self::new(builders, ctx))
+        Self::try_new(builders, ctx)
     }
 }
 
@@ -670,5 +820,124 @@ mod tests {
         let (rows_env, bd_env) = run(default_workers());
         assert_eq!(rows1, rows_env);
         assert_eq!(bd1.total().to_bits(), bd_env.total().to_bits());
+    }
+
+    use rqp_common::{ChaosConfig, ChaosPolicy};
+
+    fn chaos_ctx(cfg: ChaosConfig) -> ExecContext {
+        ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY)
+            .with_chaos(ChaosPolicy::new(cfg))
+    }
+
+    #[test]
+    fn chaos_off_exchange_is_byte_identical_to_plain() {
+        let t = table(1_050);
+        let plain = ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY);
+        let off = ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY)
+            .with_chaos(ChaosPolicy::off());
+        let mut a = ExchangeOp::parallel_scan(Arc::clone(&t), 4, plain.clone());
+        let mut b = ExchangeOp::parallel_scan(Arc::clone(&t), 4, off.clone());
+        assert_eq!(collect(&mut a), collect(&mut b));
+        assert_eq!(plain.clock.breakdown().total().to_bits(), off.clock.breakdown().total().to_bits());
+        assert_eq!(plain.tracer.snapshot().len(), off.tracer.snapshot().len());
+    }
+
+    #[test]
+    fn injected_worker_panic_is_retried_and_recovers() {
+        let cfg = ChaosConfig {
+            worker_panic_rate: 0.5,
+            worker_max_retries: 8,
+            ..ChaosConfig::standard(42)
+        };
+        let policy = ChaosPolicy::new(cfg);
+        // The seed is chosen so at least one of the four workers panics on
+        // its first attempt; the policy is a pure function, so probe it.
+        assert!(
+            (0..4).any(|w| matches!(policy.worker_fault(w, 0), Some(WorkerFault::Panic))),
+            "seed must inject at least one first-attempt panic"
+        );
+        let t = table(1_050);
+        let ctx = chaos_ctx(ChaosConfig { scan_fault_rate: 0.0, shock_rate: 0.0, worker_stall_rate: 0.0, ..cfg });
+        let mut ex = ExchangeOp::try_parallel_scan_with(Arc::clone(&t), 4, pipeline(|op, _| op), ctx.clone())
+            .expect("panicked workers must recover within the retry bound");
+        let out = collect(&mut ex);
+        let expected: Vec<Row> = t.iter_rows().collect();
+        assert_eq!(out, expected, "recovered exchange must lose no rows");
+        assert!(ctx.metrics.counter("chaos.worker_panics").get() >= 1);
+        assert!(ctx.metrics.counter("exchange.recoveries").get() >= 1);
+        assert_eq!(
+            ctx.metrics.counter("exchange.workers_lost").get(),
+            ctx.metrics.counter("exchange.recoveries").get(),
+            "every lost worker recovered"
+        );
+        // Recovery is visible as extra cost: backoff random pages on top of
+        // the plain scan's charges.
+        let plain = ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY);
+        let mut p = ExchangeOp::parallel_scan(Arc::clone(&t), 4, plain.clone());
+        collect(&mut p);
+        assert!(ctx.clock.breakdown().total() > plain.clock.breakdown().total());
+    }
+
+    #[test]
+    fn worker_retries_exhausted_surface_typed_error() {
+        let cfg = ChaosConfig {
+            worker_panic_rate: 1.0,
+            worker_stall_rate: 0.0,
+            scan_fault_rate: 0.0,
+            shock_rate: 0.0,
+            worker_max_retries: 2,
+            ..ChaosConfig::standard(7)
+        };
+        let t = table(200);
+        let ctx = chaos_ctx(cfg);
+        let err = ExchangeOp::try_parallel_scan_with(Arc::clone(&t), 2, pipeline(|op, _| op), ctx)
+            .map(|_| ())
+            .expect_err("every attempt panics, so recovery must fail");
+        assert!(matches!(err, RqpError::WorkerFailed { attempts: 3, .. }), "got {err}");
+        assert!(err.is_fatal());
+    }
+
+    #[test]
+    fn injected_stall_adds_exact_cost_without_failure() {
+        let cfg = ChaosConfig {
+            worker_panic_rate: 0.0,
+            worker_stall_rate: 1.0,
+            worker_stall_pages: 16.0,
+            scan_fault_rate: 0.0,
+            shock_rate: 0.0,
+            ..ChaosConfig::standard(1)
+        };
+        let t = table(1_050);
+        let ctx = chaos_ctx(cfg);
+        let mut ex = ExchangeOp::parallel_scan(Arc::clone(&t), 4, ctx.clone());
+        let out = collect(&mut ex);
+        assert_eq!(out.len(), 1_050, "stalls slow workers down but lose nothing");
+        let plain = ExecContext::new(CostClock::new(dyadic_params()), f64::INFINITY);
+        let mut p = ExchangeOp::parallel_scan(Arc::clone(&t), 4, plain.clone());
+        collect(&mut p);
+        let extra = ctx.clock.breakdown().seq_io - plain.clock.breakdown().seq_io;
+        let per_stall = 16.0 * ctx.clock.params().seq_page;
+        assert_eq!(extra, 4.0 * per_stall, "each of 4 workers stalls exactly once");
+        assert_eq!(ctx.metrics.counter("chaos.worker_stalls").get(), 4);
+    }
+
+    #[test]
+    fn transient_scan_faults_inside_workers_are_retried() {
+        let cfg = ChaosConfig {
+            worker_panic_rate: 0.0,
+            worker_stall_rate: 0.0,
+            shock_rate: 0.0,
+            scan_fault_rate: 0.2,
+            scan_max_retries: 16,
+            ..ChaosConfig::standard(99)
+        };
+        let t = table(2_000);
+        let ctx = chaos_ctx(cfg);
+        let mut ex = ExchangeOp::parallel_scan(Arc::clone(&t), 4, ctx.clone());
+        let out = collect(&mut ex);
+        let expected: Vec<Row> = t.iter_rows().collect();
+        assert_eq!(out, expected, "retried scans must not lose or reorder rows");
+        assert!(ctx.metrics.counter("chaos.scan_retries").get() >= 1);
+        assert_eq!(ctx.metrics.counter("chaos.scan_fatal").get(), 0);
     }
 }

@@ -14,7 +14,7 @@
 //! that its cost stays within a small constant of the per-regime best
 //! algorithm *without the optimizer having to choose correctly*.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, WorkspaceLease};
 use crate::{BoxOp, Operator};
 use rqp_common::{Result, Row, RqpError, Schema, Value};
 use rqp_storage::{BTreeIndex, Table};
@@ -43,9 +43,10 @@ pub struct GJoinOp {
     ctx: ExecContext,
     out: Option<std::vec::IntoIter<Row>>,
     strategy: Option<GJoinStrategy>,
-    /// Workspace actually granted (sum over both run-generation passes —
-    /// the span's `mem_granted` is a high-water max, not the amount owed).
-    granted: f64,
+    /// Workspace actually held (sum over both run-generation passes — the
+    /// span's `mem_granted` is a high-water max, not the amount owed), with
+    /// renegotiation under mid-query budget shrinks.
+    lease: WorkspaceLease,
     span: SpanHandle,
 }
 
@@ -102,7 +103,7 @@ impl GJoinOp {
             ctx,
             out: None,
             strategy: None,
-            granted: 0.0,
+            lease: WorkspaceLease::new(),
             span,
         })
     }
@@ -120,20 +121,19 @@ impl GJoinOp {
         rows
     }
 
-    /// Charge run generation for an unsorted input of `n` rows and sort it;
-    /// returns the workspace granted for the pass.
-    fn prepare(&self, rows: &mut [Row], keys: &[usize], already_sorted: bool) -> f64 {
+    /// Charge run generation for an unsorted input of `n` rows and sort it,
+    /// taking the pass's workspace on the lease.
+    fn prepare(&mut self, rows: &mut [Row], keys: &[usize], already_sorted: bool) {
         let n = rows.len() as f64;
         if n <= 1.0 {
-            return 0.0;
+            return;
         }
         if already_sorted {
             // Verification pass only.
             self.ctx.clock.charge_compares(n);
-            return 0.0;
+            return;
         }
-        let grant = self.ctx.memory.grant(n);
-        self.span.record_grant(grant);
+        let grant = self.lease.grant(&self.ctx, &self.span, n);
         self.ctx.clock.charge_compares(n * n.log2().max(1.0));
         if n > grant {
             self.ctx.clock.charge_spill_rows(n - grant);
@@ -142,7 +142,6 @@ impl GJoinOp {
             self.ctx.clock.charge_compares(n * runs.log2());
         }
         rows.sort_by(|a, b| cmp_keys(a, b, keys, keys));
-        grant
     }
 
     fn run(&mut self) {
@@ -185,8 +184,9 @@ impl GJoinOp {
         let mut right_rows = Self::drain(self.right.as_mut().expect("run once"));
         self.right = None;
         let (lk, rk) = (self.left_keys.clone(), self.right_keys.clone());
-        self.granted += self.prepare(&mut left_rows, &lk, self.left_sorted);
-        self.granted += self.prepare(&mut right_rows, &rk, self.right_sorted);
+        let (ls, rs) = (self.left_sorted, self.right_sorted);
+        self.prepare(&mut left_rows, &lk, ls);
+        self.prepare(&mut right_rows, &rk, rs);
 
         // Merge with duplicate-group handling.
         let mut out = Vec::new();
@@ -234,8 +234,7 @@ impl GJoinOp {
     /// consumers cannot leak `outstanding` or leave an open span.
     fn finish(&mut self) {
         if !self.span.is_closed() {
-            self.ctx.memory.release(self.granted);
-            self.granted = 0.0;
+            self.lease.release(&self.ctx);
             self.span.close(&self.ctx.clock);
         }
     }
@@ -282,6 +281,8 @@ impl Operator for GJoinOp {
                 None => "",
             });
         }
+        // Shed run-generation workspace if the budget shrank mid-drain.
+        self.lease.renegotiate(&self.ctx, &self.span);
         let row = self.out.as_mut().expect("ran").next();
         match &row {
             Some(_) => self.span.produced(&self.ctx.clock),
@@ -460,6 +461,46 @@ mod tests {
             ctx.tracer.snapshot().iter().all(|sp| !sp.closed_at.is_nan()),
             "no open spans after drop"
         );
+    }
+
+    #[test]
+    fn budget_shrink_mid_drain_sheds_and_spills_once() {
+        // Chaos-governor regression: both run-generation grants are held on
+        // one lease; a mid-drain shrink sheds from the *sum* (spilling
+        // exactly once per shock) and completion leaves nothing outstanding.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut g = GJoinOp::new(
+            src("l", 1000, true),
+            src("r", 500, true),
+            &["l.k"],
+            &["r.k"],
+            false,
+            false,
+            None,
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(g.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 1_500.0, "both grants held");
+        assert_eq!(ctx.clock.breakdown().spill, 0.0);
+        ctx.memory.set_budget(300.0);
+        assert!(g.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 300.0, "sum shed to the new budget");
+        let spill1 = ctx.clock.breakdown().spill;
+        assert!(spill1 > 0.0);
+        assert_eq!(g.span().unwrap().spill_events(), 1, "one spill per shock");
+        for _ in 0..20 {
+            g.next();
+        }
+        assert_eq!(ctx.clock.breakdown().spill, spill1);
+        collect(&mut g);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "outstanding()==0 after completion");
+        assert!(g
+            .span()
+            .unwrap()
+            .events()
+            .iter()
+            .any(|e| e.kind == "governor.pressure"));
     }
 
     #[test]

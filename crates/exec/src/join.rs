@@ -8,7 +8,7 @@
 //! cardinality flips the choice — E18 maps who wins where, E01–E03 measure
 //! what POP recovers when the choice was wrong.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, WorkspaceLease};
 use crate::{BoxOp, Operator};
 use rqp_common::expr::BoundExpr;
 use rqp_common::{Expr, Result, Row, RqpError, Schema, Value};
@@ -42,6 +42,7 @@ pub struct HashJoinOp {
     probe_rows: f64,
     pending: Vec<Row>,
     current_left: Option<Row>,
+    lease: WorkspaceLease,
     span: SpanHandle,
 }
 
@@ -74,6 +75,7 @@ impl HashJoinOp {
             probe_rows: 0.0,
             pending: Vec::new(),
             current_left: None,
+            lease: WorkspaceLease::new(),
             span,
         })
     }
@@ -85,8 +87,7 @@ impl HashJoinOp {
             rows.push(r);
         }
         let n = rows.len() as f64;
-        let grant = self.ctx.memory.grant(n);
-        self.span.record_grant(grant);
+        let grant = self.lease.grant(&self.ctx, &self.span, n);
         if n > grant {
             self.spill_fraction = 1.0 - grant / n;
             let spilled = n * self.spill_fraction;
@@ -111,7 +112,7 @@ impl HashJoinOp {
     /// cannot leak `outstanding` or leave an open span.
     fn finish(&mut self) {
         if !self.span.is_closed() {
-            self.ctx.memory.release(self.span.mem_granted());
+            self.lease.release(&self.ctx);
             self.span.close(&self.ctx.clock);
         }
     }
@@ -132,6 +133,9 @@ impl Operator for HashJoinOp {
         if !self.built {
             self.build();
         }
+        // Graceful degradation: shed build-side workspace (as incremental
+        // spill) when the governor's budget shrank mid-probe.
+        self.lease.renegotiate(&self.ctx, &self.span);
         loop {
             if let Some(right_row) = self.pending.pop() {
                 let left_row = self.current_left.as_ref().expect("pending implies left");
@@ -545,6 +549,51 @@ mod tests {
             .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
             .collect();
         RowsOp::boxed(schema, rows)
+    }
+
+    fn big_src(name: &str, n: i64) -> BoxOp {
+        let schema = Schema::from_pairs(&[
+            (Box::leak(format!("{name}.k").into_boxed_str()) as &str, DataType::Int),
+        ]);
+        let rows: Vec<Row> = (0..n).map(|i| vec![Value::Int(i % 50)]).collect();
+        RowsOp::boxed(schema, rows)
+    }
+
+    #[test]
+    fn budget_shrink_mid_probe_sheds_and_spills_once() {
+        // Chaos-governor regression: a budget shrink landing while the hash
+        // join is probing must shed build-side workspace (charged as spill
+        // exactly once per shock) and leave outstanding()==0 at completion.
+        let ctx = ExecContext::with_memory(10_000.0);
+        let mut j = HashJoinOp::new(
+            big_src("l", 2_000),
+            big_src("r", 5_000),
+            &["l.k"],
+            &["r.k"],
+            ctx.clone(),
+        )
+        .unwrap();
+        assert!(j.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 5_000.0, "build side granted in full");
+        assert_eq!(ctx.clock.breakdown().spill, 0.0);
+        ctx.memory.set_budget(1_000.0);
+        assert!(j.next().is_some());
+        assert_eq!(ctx.memory.outstanding(), 1_000.0, "overflow shed");
+        let spill1 = ctx.clock.breakdown().spill;
+        assert!(spill1 > 0.0);
+        assert_eq!(j.span().unwrap().spill_events(), 1, "exactly one spill per shock");
+        for _ in 0..50 {
+            j.next();
+        }
+        assert_eq!(ctx.clock.breakdown().spill, spill1, "no repeat spill without a shock");
+        collect(&mut j);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "outstanding()==0 after completion");
+        assert!(j
+            .span()
+            .unwrap()
+            .events()
+            .iter()
+            .any(|e| e.kind == "governor.pressure"));
     }
 
     #[test]

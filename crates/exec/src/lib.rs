@@ -59,7 +59,7 @@ pub mod symjoin;
 pub use agg::{AggFunc, AggSpec, HashAggOp};
 pub use agreedy::AGreedyFilterOp;
 pub use checkpoint::{CheckOp, CheckOutcome, PopSignal};
-pub use context::{collect, ExecContext, MemoryGovernor, SpanOp};
+pub use context::{collect, ExecContext, MemoryGovernor, SpanOp, WorkspaceLease};
 pub use eddy::{EddyFilterOp, RoutingPolicy, StarEddyOp};
 pub use exchange::{ExchangeOp, Partitioning, PartitionSourceOp};
 pub use filter::{FilterOp, ProjectOp};

@@ -9,7 +9,7 @@
 
 use crate::context::ExecContext;
 use crate::Operator;
-use rqp_common::{Row, Schema, Value};
+use rqp_common::{Row, RqpError, Schema, Value};
 use rqp_storage::{AdaptiveMergeIndex, BTreeIndex, CrackerColumn, MultiIndex, RowId, Table};
 use rqp_telemetry::SpanHandle;
 use std::cell::RefCell;
@@ -26,6 +26,7 @@ pub struct TableScanOp {
     start: usize,
     end: usize,
     rows_per_page: f64,
+    chaos: bool,
     span: SpanHandle,
 }
 
@@ -53,7 +54,70 @@ impl TableScanOp {
         } else {
             span.set_detail(&format!("{}[{start}..{end}]", table.name()));
         }
-        TableScanOp { table, schema, ctx, pos: start, start, end, rows_per_page, span }
+        let chaos = ctx.chaos.is_enabled();
+        if chaos {
+            rqp_common::chaos::install_quiet_panic_hook();
+        }
+        TableScanOp { table, schema, ctx, pos: start, start, end, rows_per_page, chaos, span }
+    }
+
+    /// Chaos injection point, hit once per page boundary. Both decisions key
+    /// on the **absolute page index**, so the fault schedule is identical no
+    /// matter how the table is partitioned across exchange workers.
+    ///
+    /// Transient read faults are retried per the error taxonomy
+    /// ([`RqpError::is_retryable`]), each retry charging one random-page
+    /// re-read; exhausting the retry budget escalates to a fatal error,
+    /// raised as a panic that the exchange's join-handle recovery converts
+    /// into a lost-partition retry. Memory shocks shrink (or restore) the
+    /// governor budget; renegotiating operators observe the pressure epoch.
+    fn page_chaos(&mut self, page: u64) {
+        let policy = &self.ctx.chaos;
+        let mut attempt = 0u32;
+        while policy.scan_fault(self.table.name(), page, attempt) {
+            let err = RqpError::TransientIo {
+                site: format!("{}/{page}", self.table.name()),
+                attempt,
+            };
+            if attempt >= policy.scan_max_retries() || !err.is_retryable() {
+                let fatal = RqpError::Execution(format!("retries exhausted: {err}"));
+                self.span
+                    .record_event(&self.ctx.clock, "chaos.scan_fatal", &fatal.to_string());
+                self.ctx.metrics.counter("chaos.scan_fatal").inc();
+                std::panic::panic_any(fatal);
+            }
+            attempt += 1;
+            // The retry re-reads the page out of sequence.
+            self.ctx.clock.charge_random_pages(1.0);
+            self.span.record_event(
+                &self.ctx.clock,
+                "chaos.scan_retry",
+                &format!("{err} (retrying)"),
+            );
+            self.ctx.metrics.counter("chaos.scan_retries").inc();
+        }
+        if let Some(fraction) = policy.memory_shock(self.table.name(), page) {
+            self.ctx.metrics.counter("chaos.memory_shocks").inc();
+            if fraction >= 1.0 {
+                self.ctx.memory.restore();
+                self.span.record_event(
+                    &self.ctx.clock,
+                    "chaos.memory_restore",
+                    &format!("budget restored to {:.0}", self.ctx.memory.base_budget()),
+                );
+            } else {
+                let target = self.ctx.memory.base_budget() * fraction;
+                let overcommitted = self.ctx.memory.shock_to(target);
+                self.span.record_event(
+                    &self.ctx.clock,
+                    "chaos.memory_shock",
+                    &format!(
+                        "budget shocked to {target:.0} ({fraction}x base){}",
+                        if overcommitted { ", governor overcommitted" } else { "" }
+                    ),
+                );
+            }
+        }
     }
 }
 
@@ -71,6 +135,9 @@ impl Operator for TableScanOp {
         // (or enters mid-page at the start of an unaligned range).
         if self.pos as f64 % self.rows_per_page == 0.0 || self.pos == self.start {
             self.ctx.clock.charge_seq_pages(1.0);
+            if self.chaos {
+                self.page_chaos((self.pos as f64 / self.rows_per_page) as u64);
+            }
         }
         self.ctx.clock.charge_cpu_tuples(1.0);
         let row = self.table.row(self.pos);

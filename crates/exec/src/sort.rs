@@ -1,6 +1,6 @@
 //! Sort and top-N operators with memory-bounded spill accounting.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, WorkspaceLease};
 use crate::{BoxOp, Operator};
 use rqp_common::{Result, Row, Schema};
 use rqp_telemetry::SpanHandle;
@@ -42,6 +42,7 @@ pub struct SortOp {
     schema: Schema,
     ctx: ExecContext,
     sorted: Option<std::vec::IntoIter<Row>>,
+    lease: WorkspaceLease,
     span: SpanHandle,
 }
 
@@ -54,7 +55,15 @@ impl SortOp {
             .map(|(k, o)| schema.index_of(k).map(|i| (i, *o)))
             .collect::<Result<_>>()?;
         let span = ctx.op_span("sort", &[&inner]);
-        Ok(SortOp { inner: Some(inner), keys: bound, schema, ctx, sorted: None, span })
+        Ok(SortOp {
+            inner: Some(inner),
+            keys: bound,
+            schema,
+            ctx,
+            sorted: None,
+            lease: WorkspaceLease::new(),
+            span,
+        })
     }
 
     /// Ascending sort by the named columns.
@@ -72,8 +81,7 @@ impl SortOp {
         }
         let n = rows.len() as f64;
         if n > 1.0 {
-            let grant = self.ctx.memory.grant(n);
-            self.span.record_grant(grant);
+            let grant = self.lease.grant(&self.ctx, &self.span, n);
             // In-memory comparisons: n log2(n) within runs.
             self.ctx.clock.charge_compares(n * n.log2());
             if n > grant {
@@ -101,7 +109,7 @@ impl SortOp {
     /// `outstanding` or leave an open span in the run report.
     fn finish(&mut self) {
         if !self.span.is_closed() {
-            self.ctx.memory.release(self.span.mem_granted());
+            self.lease.release(&self.ctx);
             self.span.close(&self.ctx.clock);
         }
     }
@@ -122,6 +130,9 @@ impl Operator for SortOp {
         if self.sorted.is_none() {
             self.materialize();
         }
+        // A budget shrink mid-drain (FMT shock) sheds workspace and charges
+        // incremental spill instead of holding the grant hostage.
+        self.lease.renegotiate(&self.ctx, &self.span);
         let row = self.sorted.as_mut().expect("materialized").next();
         match &row {
             Some(_) => {
@@ -151,6 +162,7 @@ pub struct TopNOp {
     schema: Schema,
     ctx: ExecContext,
     out: Option<std::vec::IntoIter<Row>>,
+    lease: WorkspaceLease,
     span: SpanHandle,
 }
 
@@ -168,14 +180,23 @@ impl TopNOp {
             .map(|(k, o)| schema.index_of(k).map(|i| (i, *o)))
             .collect::<Result<_>>()?;
         let span = ctx.op_span("top_n", &[&inner]);
-        Ok(TopNOp { inner: Some(inner), keys: bound, n, schema, ctx, out: None, span })
+        Ok(TopNOp {
+            inner: Some(inner),
+            keys: bound,
+            n,
+            schema,
+            ctx,
+            out: None,
+            lease: WorkspaceLease::new(),
+            span,
+        })
     }
 
     /// Release the buffer grant and close the span (idempotent; see
     /// [`SortOp::finish`]).
     fn finish(&mut self) {
         if !self.span.is_closed() {
-            self.ctx.memory.release(self.span.mem_granted());
+            self.lease.release(&self.ctx);
             self.span.close(&self.ctx.clock);
         }
     }
@@ -196,8 +217,7 @@ impl Operator for TopNOp {
         if self.out.is_none() {
             let mut inner = self.inner.take().expect("run once");
             // Simple bounded selection: keep a sorted buffer of ≤ n rows.
-            let grant = self.ctx.memory.grant(self.n as f64);
-            self.span.record_grant(grant);
+            self.lease.grant(&self.ctx, &self.span, self.n as f64);
             let mut buf: Vec<Row> = Vec::with_capacity(self.n + 1);
             while let Some(r) = inner.next() {
                 self.ctx
@@ -348,6 +368,49 @@ mod tests {
         drop(t);
         assert_eq!(ctx.memory.outstanding(), 0.0);
         assert!(ctx.tracer.snapshot().iter().all(|sp| !sp.closed_at.is_nan()));
+    }
+
+    #[test]
+    fn budget_shrink_mid_drain_sheds_and_spills_once() {
+        // The chaos-governor regression test: a shrink landing while the
+        // sort is draining must shed workspace, charge spill exactly once
+        // per shock, and leave nothing outstanding at completion.
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut s = SortOp::asc(src(10_000), &["a"], ctx.clone()).unwrap();
+        for _ in 0..3 {
+            s.next();
+        }
+        assert_eq!(ctx.memory.outstanding(), 10_000.0, "grant held mid-drain");
+        assert_eq!(ctx.clock.breakdown().spill, 0.0, "no pressure yet");
+        // Shock 1: shrink below the holding.
+        ctx.memory.set_budget(2_000.0);
+        s.next();
+        assert_eq!(ctx.memory.outstanding(), 2_000.0, "overflow shed");
+        let spill1 = ctx.clock.breakdown().spill;
+        assert!(spill1 > 0.0, "shed workspace is charged as spill");
+        assert_eq!(s.span().unwrap().spill_events(), 1, "exactly one spill per shock");
+        // Draining further without another shock spills nothing more.
+        for _ in 0..100 {
+            s.next();
+        }
+        assert_eq!(ctx.clock.breakdown().spill, spill1);
+        // Shock 2: another shrink, exactly one more spill event.
+        ctx.memory.set_budget(500.0);
+        s.next();
+        assert_eq!(ctx.memory.outstanding(), 500.0);
+        assert!(ctx.clock.breakdown().spill > spill1);
+        assert_eq!(s.span().unwrap().spill_events(), 2);
+        // Full drain completes with nothing outstanding and the event trail
+        // in the span.
+        let rest = collect(&mut s);
+        assert_eq!(rest.len(), 10_000 - 3 - 1 - 100 - 1);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "outstanding()==0 after completion");
+        let events = s.span().unwrap().events();
+        assert_eq!(
+            events.iter().filter(|e| e.kind == "governor.pressure").count(),
+            2,
+            "one governor.pressure event per shock"
+        );
     }
 
     #[test]

@@ -26,8 +26,9 @@ use std::path::{Path, PathBuf};
 
 /// Version stamped into `scoreboard.json`; bump on breaking changes.
 /// Version 2 added the parallel-execution metrics (`parallel_speedup`,
-/// `parallel_skew`).
-pub const SCOREBOARD_VERSION: u32 = 2;
+/// `parallel_skew`). Version 3 added the chaos metrics
+/// (`degradation_cliff`, `recovery_rate`).
+pub const SCOREBOARD_VERSION: u32 = 3;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -53,6 +54,14 @@ pub mod samples {
     /// Gauge: worst partition-imbalance factor (critical path relative to a
     /// perfectly balanced split). Folded as the *maximum* across runs.
     pub const PARALLEL_SKEW: &str = "paper.parallel.skew";
+    /// Gauge: worst cost ratio between adjacent memory fractions of a chaos
+    /// sweep — the steepest degradation "cliff". Folded as the *maximum*
+    /// across runs; a robust system degrades smoothly (stays near 1).
+    pub const DEGRADATION_CLIFF: &str = "paper.chaos.degradation_cliff";
+    /// Gauge: fraction of chaos-injected queries that completed (after
+    /// retries and renegotiation). Folded as the *minimum* across runs —
+    /// the worst recovery observed.
+    pub const RECOVERY_RATE: &str = "paper.chaos.recovery_rate";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -83,6 +92,10 @@ pub struct ScoreboardEntry {
     pub parallel_speedup: f64,
     /// Worst (maximum) partition imbalance, from `paper.parallel.skew`.
     pub parallel_skew: f64,
+    /// Worst (maximum) degradation cliff, from `paper.chaos.degradation_cliff`.
+    pub degradation_cliff: f64,
+    /// Worst (minimum) chaos recovery rate, from `paper.chaos.recovery_rate`.
+    pub recovery_rate: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -101,6 +114,8 @@ struct SamplePool {
     spilled: Vec<f64>,
     speedups: Vec<f64>,
     skews: Vec<f64>,
+    cliffs: Vec<f64>,
+    recoveries: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -129,6 +144,10 @@ impl SamplePool {
                 self.speedups.push(*x);
             } else if name == samples::PARALLEL_SKEW {
                 self.skews.push(*x);
+            } else if name == samples::DEGRADATION_CLIFF {
+                self.cliffs.push(*x);
+            } else if name == samples::RECOVERY_RATE {
+                self.recoveries.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -161,6 +180,8 @@ impl SamplePool {
         self.spilled.sort_by(f64::total_cmp);
         self.speedups.sort_by(f64::total_cmp);
         self.skews.sort_by(f64::total_cmp);
+        self.cliffs.sort_by(f64::total_cmp);
+        self.recoveries.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -213,6 +234,8 @@ impl SamplePool {
             spilled_rows: self.spilled.iter().sum(),
             parallel_speedup: self.speedups.first().copied().unwrap_or(f64::NAN),
             parallel_skew: self.skews.last().copied().unwrap_or(f64::NAN),
+            degradation_cliff: self.cliffs.last().copied().unwrap_or(f64::NAN),
+            recovery_rate: self.recoveries.first().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -355,20 +378,40 @@ impl Scoreboard {
                 cur.parallel_skew,
                 base.parallel_skew + thresholds.parallel_skew_slack,
             );
-            // Speedup regresses *downward*: flag a drop below the floor, and
-            // (like the ceiling checks) a metric that vanished entirely.
-            if !base.parallel_speedup.is_nan() {
-                let floor = base.parallel_speedup - thresholds.speedup_slack;
-                if cur.parallel_speedup.is_nan() || cur.parallel_speedup < floor {
+            check(
+                "degradation_cliff",
+                base.degradation_cliff,
+                cur.degradation_cliff,
+                base.degradation_cliff + thresholds.degradation_cliff_slack,
+            );
+            // Floor metrics regress *downward*: flag a drop below the floor,
+            // and (like the ceiling checks) a metric that vanished entirely.
+            let mut check_floor = |metric: &str, baseline: f64, current_v: f64, floor: f64| {
+                if baseline.is_nan() {
+                    return;
+                }
+                if current_v.is_nan() || current_v < floor {
                     out.push(Regression {
                         experiment: name.clone(),
-                        metric: "parallel_speedup".to_string(),
-                        baseline: base.parallel_speedup,
-                        current: cur.parallel_speedup,
+                        metric: metric.to_string(),
+                        baseline,
+                        current: current_v,
                         limit: floor,
                     });
                 }
-            }
+            };
+            check_floor(
+                "parallel_speedup",
+                base.parallel_speedup,
+                cur.parallel_speedup,
+                base.parallel_speedup - thresholds.speedup_slack,
+            );
+            check_floor(
+                "recovery_rate",
+                base.recovery_rate,
+                cur.recovery_rate,
+                base.recovery_rate - thresholds.recovery_rate_slack,
+            );
         }
         out
     }
@@ -398,6 +441,10 @@ pub struct DiffThresholds {
     pub speedup_slack: f64,
     /// `parallel_skew` may grow by this absolute amount.
     pub parallel_skew_slack: f64,
+    /// `degradation_cliff` may grow by this absolute amount.
+    pub degradation_cliff_slack: f64,
+    /// `recovery_rate` may *shrink* by this absolute amount.
+    pub recovery_rate_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -412,6 +459,8 @@ impl Default for DiffThresholds {
             m3_slack: 0.25,
             speedup_slack: 0.25,
             parallel_skew_slack: 0.5,
+            degradation_cliff_slack: 0.25,
+            recovery_rate_slack: 0.02,
         }
     }
 }
@@ -455,6 +504,8 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("spilled_rows", Json::num(e.spilled_rows)),
         ("parallel_speedup", Json::num(e.parallel_speedup)),
         ("parallel_skew", Json::num(e.parallel_skew)),
+        ("degradation_cliff", Json::num(e.degradation_cliff)),
+        ("recovery_rate", Json::num(e.recovery_rate)),
         (
             "events",
             Json::Obj(
@@ -498,6 +549,8 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         spilled_rows: num("spilled_rows")?,
         parallel_speedup: num("parallel_speedup")?,
         parallel_skew: num("parallel_skew")?,
+        degradation_cliff: num("degradation_cliff")?,
+        recovery_rate: num("recovery_rate")?,
         events,
     })
 }
@@ -532,6 +585,8 @@ mod tests {
         reg.gauge("paper.env.001.ideal").set(20.0);
         reg.gauge(samples::PARALLEL_SPEEDUP).set(3.5);
         reg.gauge(samples::PARALLEL_SKEW).set(1.2);
+        reg.gauge(samples::DEGRADATION_CLIFF).set(1.4);
+        reg.gauge(samples::RECOVERY_RATE).set(1.0);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -554,6 +609,33 @@ mod tests {
         assert!(e.total_cost > 0.0);
         assert_eq!(e.parallel_speedup, 3.5);
         assert_eq!(e.parallel_skew, 1.2);
+        assert_eq!(e.degradation_cliff, 1.4);
+        assert_eq!(e.recovery_rate, 1.0);
+    }
+
+    #[test]
+    fn diff_trips_on_degradation_cliff_and_recovery_collapse() {
+        let baseline = Scoreboard::fold(&[report("a05", 50.0, 100, 1000.0)]);
+        // A cost cliff appearing between adjacent memory fractions trips
+        // the ceiling check…
+        let mut cliffy = baseline.clone();
+        cliffy.entries.get_mut("a05").unwrap().degradation_cliff = 2.5;
+        let regs = baseline.diff(&cliffy, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "degradation_cliff"), "{regs:?}");
+        // …and queries starting to die under injected faults trips the
+        // recovery floor, as does the gauge vanishing entirely.
+        let mut dying = baseline.clone();
+        dying.entries.get_mut("a05").unwrap().recovery_rate = 0.8;
+        let regs = baseline.diff(&dying, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "recovery_rate"), "{regs:?}");
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a05").unwrap().recovery_rate = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "recovery_rate"), "{regs:?}");
+        // Smoother degradation and full recovery are improvements.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a05").unwrap().degradation_cliff = 1.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]
