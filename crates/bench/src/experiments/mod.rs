@@ -9,6 +9,7 @@ pub mod harness;
 pub mod optimizer;
 pub mod pop;
 pub mod resources;
+pub mod service;
 
 pub use ablations::{a01_pop_theta, a02_amerge_runsize, a03_eddy_decay, a04_parallel_scaling};
 pub use benchmarks::{e04_tractor_pull, e05_extrinsic, e06_equivalence};
@@ -17,3 +18,4 @@ pub use execution::{e11_cracking, e16_agreedy, e17_eddy, e18_gjoin};
 pub use optimizer::{e07_smoothness, e09_robust_opt, e10_plan_diagram, e20_rio, e21_stats_refresh};
 pub use pop::{e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter};
 pub use resources::{a05_resource_robustness, e12_advisor, e13_fmt, e14_fpt, e15_mixed};
+pub use service::a06_concurrent_service;

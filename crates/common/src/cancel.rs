@@ -1,0 +1,220 @@
+//! Cooperative cancellation for long-running queries.
+//!
+//! A [`CancelToken`] is a cheap, `Send + Sync` handle shared between a query's
+//! controller (a session, an admission controller, a human at a REPL) and the
+//! operators executing it. Operators never block on it; they *poll* it at
+//! natural cost-charging boundaries — a scan page, a sort/join output row, an
+//! exchange worker loop — so a cancelled query stops within one page of work
+//! and unwinds through the normal early-termination path (operator `Drop`
+//! impls release workspace leases and close spans, exactly as PR 3's
+//! partial-drain machinery guarantees).
+//!
+//! Two causes are distinguished and latched:
+//!
+//! * **explicit cancellation** — [`CancelToken::cancel`] was called; every
+//!   subsequent poll observes [`RqpError::Cancelled`];
+//! * **deadline exceeded** — the query's deterministic cost clock passed the
+//!   deadline set with [`CancelToken::set_deadline`]; the first poll to notice
+//!   latches the state so all workers agree on [`RqpError::DeadlineExceeded`]
+//!   as the cause, even when they race.
+//!
+//! Deadlines are expressed in **cost units on the query's virtual clock**, not
+//! wall time: the same query with the same seed trips its deadline at the same
+//! page on every run, which is what keeps the cancellation experiments
+//! deterministic. Exchange workers charge private shard clocks that start at
+//! zero, so a forked token carries the coordinator's elapsed cost as an
+//! `origin` offset ([`CancelToken::child`]) and compares `origin + shard_now`
+//! against the shared deadline.
+
+use crate::error::{Result, RqpError};
+use crate::sync::AtomicF64;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Latched lifecycle of a token: live → cancelled | deadline-exceeded.
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug)]
+struct Inner {
+    /// `LIVE` until the first cancel/deadline trip, then latched forever.
+    state: AtomicU8,
+    /// Deadline in cost units on the query's root clock; `+inf` = none.
+    deadline: AtomicF64,
+}
+
+/// Shared cooperative-cancellation handle (see module docs).
+///
+/// Cloning shares the underlying state: cancelling any clone cancels them
+/// all. The token is deliberately *cooperative* — nothing is interrupted
+/// preemptively; operators observe it via [`CancelToken::check`] (or
+/// `ExecContext::checkpoint` in `rqp-exec`) at cost-charging boundaries.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+    /// Cost already elapsed on the root clock when this handle was forked to
+    /// a worker whose shard clock restarts at zero. Zero for the root token.
+    origin: f64,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, live token with no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline: AtomicF64::new(f64::INFINITY),
+            }),
+            origin: 0.0,
+        }
+    }
+
+    /// Request cancellation. Idempotent; a deadline trip that already latched
+    /// wins (the cause seen first is the cause reported everywhere).
+    pub fn cancel(&self) {
+        let _ = self.inner.state.compare_exchange(
+            LIVE,
+            CANCELLED,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Set (or tighten) the deadline, in cost units on the root clock.
+    /// The effective deadline only ever shrinks.
+    pub fn set_deadline(&self, deadline: f64) {
+        self.inner.deadline.update(|cur| cur.min(deadline));
+    }
+
+    /// The current deadline in root-clock cost units (`+inf` when unset).
+    pub fn deadline(&self) -> f64 {
+        self.inner.deadline.get()
+    }
+
+    /// Whether the token has tripped (either cause).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != LIVE
+    }
+
+    /// A token sharing this one's state for a worker whose private clock
+    /// starts at zero: `parent_elapsed` is the root-clock cost already spent
+    /// when the worker forked, so the worker's polls compare
+    /// `parent_elapsed + shard_now` against the shared deadline.
+    pub fn child(&self, parent_elapsed: f64) -> Self {
+        CancelToken {
+            inner: Arc::clone(&self.inner),
+            origin: self.origin + parent_elapsed,
+        }
+    }
+
+    /// Poll at virtual time `now` (this handle's clock). Returns the latched
+    /// cause, latching `DeadlineExceeded` on the first trip so concurrent
+    /// workers report one consistent cause.
+    pub fn poll(&self, now: f64) -> Option<RqpError> {
+        match self.inner.state.load(Ordering::Relaxed) {
+            CANCELLED => Some(RqpError::Cancelled),
+            DEADLINE => Some(RqpError::DeadlineExceeded),
+            _ => {
+                let deadline = self.inner.deadline.get();
+                if self.origin + now >= deadline {
+                    let _ = self.inner.state.compare_exchange(
+                        LIVE,
+                        DEADLINE,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    // Report whatever actually latched: a racing explicit
+                    // cancel may have won the exchange.
+                    return self.poll(now);
+                }
+                None
+            }
+        }
+    }
+
+    /// [`poll`](Self::poll) as a `Result` for call sites that propagate
+    /// errors by value instead of unwinding.
+    pub fn check(&self, now: f64) -> Result<()> {
+        match self.poll(now) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.poll(1e12), None, "no deadline means no trip");
+        assert!(t.check(0.0).is_ok());
+        assert_eq!(t.deadline(), f64::INFINITY);
+    }
+
+    #[test]
+    fn cancel_latches_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.poll(0.0), Some(RqpError::Cancelled));
+        assert_eq!(t.check(0.0), Err(RqpError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_at_virtual_time() {
+        let t = CancelToken::new();
+        t.set_deadline(100.0);
+        assert_eq!(t.poll(99.9), None);
+        assert_eq!(t.poll(100.0), Some(RqpError::DeadlineExceeded));
+        // Latched: even an earlier timestamp now reports the trip.
+        assert_eq!(t.poll(0.0), Some(RqpError::DeadlineExceeded));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_only_tightens() {
+        let t = CancelToken::new();
+        t.set_deadline(100.0);
+        t.set_deadline(500.0);
+        assert_eq!(t.deadline(), 100.0, "loosening is ignored");
+        t.set_deadline(50.0);
+        assert_eq!(t.deadline(), 50.0);
+    }
+
+    #[test]
+    fn explicit_cancel_wins_if_first() {
+        let t = CancelToken::new();
+        t.set_deadline(10.0);
+        t.cancel();
+        // Past the deadline, but the explicit cancel latched first.
+        assert_eq!(t.poll(1000.0), Some(RqpError::Cancelled));
+    }
+
+    #[test]
+    fn child_offsets_shard_clock() {
+        let t = CancelToken::new();
+        t.set_deadline(100.0);
+        // Worker forked after the coordinator spent 80 cost units; its shard
+        // clock restarts at zero but its polls account for the 80.
+        let w = t.child(80.0);
+        assert_eq!(w.poll(19.9), None);
+        assert_eq!(w.poll(20.0), Some(RqpError::DeadlineExceeded));
+        // The trip is shared state: the root token sees it too.
+        assert!(t.is_cancelled());
+        // Grandchild origins accumulate.
+        let g = w.child(5.0);
+        assert_eq!(g.origin, 85.0);
+    }
+}

@@ -54,6 +54,13 @@ pub enum RqpError {
     },
     /// Range partitioning was asked to split on a non-numeric key.
     NonNumericKey(String),
+    /// The query was cancelled by its controller (session close, explicit
+    /// `CancelToken::cancel`). Not retryable: a retry would resurrect work
+    /// the controller asked to stop.
+    Cancelled,
+    /// The query ran past its deadline (in cost units on its virtual clock)
+    /// and was cooperatively aborted. Not retryable for the same reason.
+    DeadlineExceeded,
 }
 
 impl RqpError {
@@ -68,6 +75,16 @@ impl RqpError {
     /// Convenience inverse of [`is_retryable`](Self::is_retryable).
     pub fn is_fatal(&self) -> bool {
         !self.is_retryable()
+    }
+
+    /// Whether this error is a cooperative-cancellation outcome
+    /// ([`Cancelled`](Self::Cancelled) or
+    /// [`DeadlineExceeded`](Self::DeadlineExceeded)). Retry and fault-recovery
+    /// loops must check this *before* their injected-fault triage: a cancelled
+    /// worker that gets retried would re-trip its token immediately, burn the
+    /// retry budget, and surface as a spurious `WorkerFailed`.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, RqpError::Cancelled | RqpError::DeadlineExceeded)
     }
 }
 
@@ -96,6 +113,8 @@ impl fmt::Display for RqpError {
             RqpError::NonNumericKey(v) => {
                 write!(f, "range partitioning needs a numeric key, got {v}")
             }
+            RqpError::Cancelled => write!(f, "query cancelled"),
+            RqpError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -130,10 +149,43 @@ mod tests {
             RqpError::Execution("boom".into()),
             RqpError::Planning("p".into()),
             RqpError::Invalid("i".into()),
+            RqpError::Cancelled,
+            RqpError::DeadlineExceeded,
         ] {
             assert!(fatal.is_fatal(), "{fatal} must be fatal");
             assert!(!fatal.is_retryable());
         }
+    }
+
+    #[test]
+    fn cancellation_taxonomy() {
+        // Cancellations are their own axis: fatal AND cancellations, so retry
+        // loops that only consult is_retryable() already refuse to resurrect
+        // them, and fault-recovery triage can additionally single them out.
+        for cancel in [RqpError::Cancelled, RqpError::DeadlineExceeded] {
+            assert!(cancel.is_cancellation(), "{cancel} is a cancellation");
+            assert!(!cancel.is_retryable(), "{cancel} must never be retried");
+            assert!(cancel.is_fatal());
+        }
+        // Nothing else is a cancellation — notably not the retryable
+        // transient fault or the exhausted-retry worker failure.
+        for other in [
+            RqpError::TransientIo { site: "t/3".into(), attempt: 0 },
+            RqpError::WorkerFailed { worker: 2, attempts: 5 },
+            RqpError::Execution("boom".into()),
+            RqpError::Planning("p".into()),
+        ] {
+            assert!(!other.is_cancellation(), "{other} is not a cancellation");
+        }
+    }
+
+    #[test]
+    fn cancellation_messages() {
+        assert_eq!(RqpError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            RqpError::DeadlineExceeded.to_string(),
+            "query deadline exceeded"
+        );
     }
 
     #[test]

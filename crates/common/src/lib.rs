@@ -11,7 +11,10 @@
 //!   the semantics-preserving rewrites used by the equivalent-query robustness
 //!   benchmark;
 //! * [`error`] — the crate-wide [`error::RqpError`] error enum with its
-//!   retryable/fatal taxonomy;
+//!   retryable/fatal/cancellation taxonomy;
+//! * [`cancel`] — the [`cancel::CancelToken`] cooperative-cancellation handle
+//!   polled by operators at cost-charging boundaries, with deadlines in
+//!   deterministic cost units;
 //! * [`chaos`] — deterministic, seeded fault injection ([`chaos::ChaosPolicy`]):
 //!   memory shocks, worker panics/stalls and transient scan errors whose
 //!   decisions are pure hashes of `(seed, site, keys)`;
@@ -28,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod chaos;
 pub mod clock;
 pub mod error;
@@ -37,6 +41,7 @@ pub mod schema;
 pub mod sync;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use chaos::{ChaosConfig, ChaosPolicy, WorkerFault};
 pub use clock::{CostBreakdown, CostClock, CostModelParams, SharedClock};
 pub use error::{Result, RqpError};

@@ -18,6 +18,7 @@
 //! | [`adaptive`] | `rqp-adaptive` | **POP** and **LEO** drivers, the adaptivity loop |
 //! | [`physical`] | `rqp-physical` | index advisor (classic and **Risk/Generality**), drift evaluation, stats-refresh disasters |
 //! | [`workload`] | `rqp-workload` | TPC-H-like / star / OLTP generators, black-hat traps, tractor pull, FMT/FPT, workload manager |
+//! | [`server`] | `rqp-server` | concurrent query service: sessions, MPL admission, cross-query memory brokering, plan cache, cooperative cancellation |
 //! | [`metrics`] | `rqp-metrics` | S(Q), C(Q), Metric1/3, intrinsic/extrinsic variability, plan stability, box plots |
 //! | [`telemetry`] | `rqp-telemetry` | operator spans, metrics registry, EXPLAIN ANALYZE trace trees, JSON run reports |
 //!
@@ -51,6 +52,7 @@ pub use rqp_exec as exec;
 pub use rqp_metrics as metrics;
 pub use rqp_opt as opt;
 pub use rqp_physical as physical;
+pub use rqp_server as server;
 pub use rqp_stats as stats;
 pub use rqp_storage as storage;
 pub use rqp_telemetry as telemetry;

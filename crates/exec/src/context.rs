@@ -2,7 +2,7 @@
 
 use crate::{BoxOp, Operator};
 use rqp_common::sync::AtomicF64;
-use rqp_common::{ChaosPolicy, CostClock, Row, Schema, SharedClock};
+use rqp_common::{CancelToken, ChaosPolicy, CostClock, Row, Schema, SharedClock};
 use rqp_telemetry::{MetricsRegistry, SpanHandle, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -256,6 +256,12 @@ pub struct ExecContext {
     /// every worker forked from this context, so one seed governs a whole
     /// parallel query.
     pub chaos: Arc<ChaosPolicy>,
+    /// Cooperative-cancellation token polled at cost-charging boundaries via
+    /// [`checkpoint`](Self::checkpoint). Fresh (never cancelled, no deadline)
+    /// unless installed with [`with_cancel`](Self::with_cancel); forked
+    /// workers share it, offset by the coordinator's elapsed cost so
+    /// deadlines stay in root-clock units.
+    pub cancel: CancelToken,
 }
 
 impl ExecContext {
@@ -267,12 +273,20 @@ impl ExecContext {
             tracer: Tracer::new(),
             metrics: MetricsRegistry::new(),
             chaos: Arc::new(ChaosPolicy::off()),
+            cancel: CancelToken::new(),
         }
     }
 
     /// This context with the given fault-injection policy.
     pub fn with_chaos(mut self, policy: ChaosPolicy) -> Self {
         self.chaos = Arc::new(policy);
+        self
+    }
+
+    /// This context with the given cancellation token (a query service
+    /// installs the session's token here before building the plan).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -305,6 +319,32 @@ impl ExecContext {
             tracer: Tracer::new(),
             metrics: self.metrics.clone(),
             chaos: Arc::clone(&self.chaos),
+            // Same token, offset by the coordinator's elapsed cost: the
+            // worker's shard clock restarts at zero but its deadline polls
+            // must still compare against root-clock cost units.
+            cancel: self.cancel.child(self.clock.now()),
+        }
+    }
+
+    /// Poll the cancellation token at the current virtual time and unwind
+    /// with the typed cause ([`RqpError::Cancelled`] /
+    /// [`RqpError::DeadlineExceeded`]) if it has tripped.
+    ///
+    /// Operators call this at cost-charging boundaries (scan pages, sort and
+    /// join output rows, exchange worker loops), right where they already
+    /// call [`WorkspaceLease::renegotiate`]: cancellation is just one more
+    /// resource condition observed cooperatively. The unwind takes the
+    /// normal early-termination path — operator `Drop` impls release
+    /// workspace leases and close spans — and the exchange gather triages
+    /// the payload as a cancellation, never as a retryable worker fault.
+    #[inline]
+    pub fn checkpoint(&self) {
+        if let Some(cause) = self.cancel.poll(self.clock.now()) {
+            self.metrics.counter("cancel.trips").inc();
+            // The payload is a typed RqpError the unwind-catchers triage;
+            // the quiet hook keeps the deliberate unwind off stderr.
+            rqp_common::chaos::install_quiet_panic_hook();
+            std::panic::panic_any(cause);
         }
     }
 
@@ -657,5 +697,65 @@ mod tests {
         assert_eq!(ctx.clock.now(), 10.0);
         ctx.clock.absorb(&w.clock.breakdown());
         assert_eq!(ctx.clock.now(), 13.0);
+    }
+
+    #[test]
+    fn checkpoint_is_a_no_op_on_a_live_token() {
+        let ctx = ExecContext::unbounded();
+        ctx.clock.charge_seq_pages(1_000.0);
+        ctx.checkpoint(); // must not panic
+        assert_eq!(ctx.metrics.counter("cancel.trips").get(), 0);
+    }
+
+    #[test]
+    fn checkpoint_unwinds_with_the_typed_cause() {
+        use rqp_common::RqpError;
+        let ctx = ExecContext::unbounded();
+        ctx.cancel.cancel();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.checkpoint();
+        }))
+        .expect_err("cancelled context must unwind");
+        let err = payload.downcast_ref::<RqpError>().expect("typed payload");
+        assert_eq!(*err, RqpError::Cancelled);
+        assert!(err.is_cancellation());
+        assert_eq!(ctx.metrics.counter("cancel.trips").get(), 1);
+    }
+
+    #[test]
+    fn deadline_trips_on_the_cost_clock() {
+        use rqp_common::RqpError;
+        let ctx = ExecContext::unbounded();
+        ctx.cancel.set_deadline(50.0);
+        ctx.clock.charge_seq_pages(4.0); // 4 cost units < 50
+        ctx.checkpoint();
+        ctx.clock.charge_seq_pages(100.0);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.checkpoint();
+        }))
+        .expect_err("past-deadline context must unwind");
+        assert_eq!(
+            *payload.downcast_ref::<RqpError>().expect("typed payload"),
+            RqpError::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn forked_worker_shares_the_deadline_in_root_units() {
+        let ctx = ExecContext::unbounded();
+        ctx.cancel.set_deadline(100.0);
+        ctx.clock.charge_seq_pages(80.0);
+        let w = ctx.fork_worker();
+        // The shard clock restarts at zero, but the worker's token carries
+        // the coordinator's 80 elapsed units: 20 more trips the deadline.
+        w.clock.charge_seq_pages(19.0);
+        w.checkpoint();
+        w.clock.charge_seq_pages(1.0);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.checkpoint();
+        }))
+        .is_err());
+        // The trip latched on the shared token: the coordinator sees it too.
+        assert!(ctx.cancel.is_cancelled());
     }
 }

@@ -245,6 +245,9 @@ pub struct ExchangeOp {
 /// bug; an injected stall charges extra sequential pages to the shard
 /// clock before the pipeline runs.
 fn run_worker(build: &WorkerBuilder, wctx: &ExecContext, worker: usize, attempt: u32) -> (Schema, Vec<Row>) {
+    // Don't start (or retry) a worker for a query that is already cancelled;
+    // the pipeline's own scan/sort/join checkpoints take over from here.
+    wctx.checkpoint();
     match wctx.chaos.worker_fault(worker, attempt) {
         Some(WorkerFault::Panic) => {
             wctx.metrics.counter("chaos.worker_panics").inc();
@@ -274,6 +277,19 @@ fn injected_cause(payload: &(dyn Any + Send)) -> Option<String> {
     } else {
         payload.downcast_ref::<RqpError>().map(|e| e.to_string())
     }
+}
+
+/// If the panic payload is a cooperative-cancellation trip
+/// ([`RqpError::Cancelled`] / [`RqpError::DeadlineExceeded`]), return it.
+/// The gather consults this *before* [`injected_cause`]: a cancelled worker
+/// must propagate the typed cancellation, never enter the retry loop —
+/// retrying it would re-trip the token immediately, burn the retry budget,
+/// and misreport the abort as [`RqpError::WorkerFailed`].
+fn cancellation_cause(payload: &(dyn Any + Send)) -> Option<RqpError> {
+    payload
+        .downcast_ref::<RqpError>()
+        .filter(|e| e.is_cancellation())
+        .cloned()
 }
 
 /// Absorb one worker attempt's shard clock into the coordinator, open the
@@ -394,6 +410,12 @@ impl ExchangeOp {
                     (wschema, rows)
                 }
                 Err(payload) => {
+                    if let Some(cancel) = cancellation_cause(payload.as_ref()) {
+                        ctx.metrics.counter("exchange.workers_cancelled").inc();
+                        gather_attempt(&ctx, &span, wctx, i, 0, Err(&cancel.to_string()));
+                        span.close(&ctx.clock);
+                        return Err(cancel);
+                    }
                     let Some(cause) = injected_cause(payload.as_ref()) else {
                         resume_unwind(payload);
                     };
@@ -419,6 +441,12 @@ impl ExchangeOp {
                                 break (wschema, rows);
                             }
                             Err(p2) => {
+                                if let Some(cancel) = cancellation_cause(p2.as_ref()) {
+                                    ctx.metrics.counter("exchange.workers_cancelled").inc();
+                                    gather_attempt(&ctx, &span, &rctx, i, attempt, Err(&cancel.to_string()));
+                                    span.close(&ctx.clock);
+                                    return Err(cancel);
+                                }
                                 let Some(cause) = injected_cause(p2.as_ref()) else {
                                     resume_unwind(p2);
                                 };

@@ -281,7 +281,9 @@ impl Operator for GJoinOp {
                 None => "",
             });
         }
-        // Shed run-generation workspace if the budget shrank mid-drain.
+        // Cooperative abort, then shed run-generation workspace if the
+        // budget shrank mid-drain.
+        self.ctx.checkpoint();
         self.lease.renegotiate(&self.ctx, &self.span);
         let row = self.out.as_mut().expect("ran").next();
         match &row {

@@ -133,8 +133,9 @@ impl Operator for HashJoinOp {
         if !self.built {
             self.build();
         }
-        // Graceful degradation: shed build-side workspace (as incremental
-        // spill) when the governor's budget shrank mid-probe.
+        // Cooperative abort, then graceful degradation: shed build-side
+        // workspace (as incremental spill) when the budget shrank mid-probe.
+        self.ctx.checkpoint();
         self.lease.renegotiate(&self.ctx, &self.span);
         loop {
             if let Some(right_row) = self.pending.pop() {

@@ -132,8 +132,11 @@ impl Operator for TableScanOp {
             return None;
         }
         // One sequential page each time the cursor crosses a page boundary
-        // (or enters mid-page at the start of an unaligned range).
+        // (or enters mid-page at the start of an unaligned range). The page
+        // boundary is also the cancellation checkpoint: a cancelled or
+        // past-deadline query stops within one page of work.
         if self.pos as f64 % self.rows_per_page == 0.0 || self.pos == self.start {
+            self.ctx.checkpoint();
             self.ctx.clock.charge_seq_pages(1.0);
             if self.chaos {
                 self.page_chaos((self.pos as f64 / self.rows_per_page) as u64);

@@ -130,8 +130,11 @@ impl Operator for SortOp {
         if self.sorted.is_none() {
             self.materialize();
         }
-        // A budget shrink mid-drain (FMT shock) sheds workspace and charges
+        // Cooperative abort and budget pressure are observed at the same
+        // boundary: a cancelled sort unwinds here (Drop releases the lease),
+        // a budget shrink mid-drain (FMT shock) sheds workspace and charges
         // incremental spill instead of holding the grant hostage.
+        self.ctx.checkpoint();
         self.lease.renegotiate(&self.ctx, &self.span);
         let row = self.sorted.as_mut().expect("materialized").next();
         match &row {
@@ -291,6 +294,30 @@ mod tests {
         let out = collect(&mut s);
         assert_eq!(out[0][0], Value::Int(2));
         assert_eq!(out[1], vec![Value::Int(1), Value::Int(1)]);
+    }
+
+    #[test]
+    fn cancelled_sort_unwinds_and_releases_its_lease() {
+        use rqp_common::RqpError;
+        let ctx = ExecContext::with_memory(50_000.0);
+        let mut s = SortOp::asc(src(10_000), &["a"], ctx.clone()).unwrap();
+        // Partially drain, then cancel mid-stream: the next checkpoint
+        // unwinds with the typed cause and Drop releases the grant.
+        for _ in 0..5 {
+            s.next();
+        }
+        assert!(ctx.memory.outstanding() > 0.0, "sort holds its grant");
+        ctx.cancel.cancel();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.next();
+        }))
+        .expect_err("cancelled sort must unwind");
+        assert_eq!(
+            *payload.downcast_ref::<RqpError>().expect("typed payload"),
+            RqpError::Cancelled
+        );
+        drop(s);
+        assert_eq!(ctx.memory.outstanding(), 0.0, "lease released on unwind");
     }
 
     #[test]

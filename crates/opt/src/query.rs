@@ -247,12 +247,89 @@ impl QuerySpec {
         }
         Ok(())
     }
+
+    /// A deterministic text key identifying this query's *shape*: tables,
+    /// predicates (rendered through the expression pretty-printer), join
+    /// edges, projection/grouping/ordering and limit. Two specs that would
+    /// plan identically produce the same key — the lookup key of a query
+    /// service's plan cache. Predicates are emitted in sorted table order so
+    /// the `HashMap` iteration order can never leak into the key.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::new();
+        let _ = write!(key, "t[{}]", self.tables.join(","));
+        let mut preds: Vec<(&String, &Expr)> = self.local_preds.iter().collect();
+        preds.sort_by_key(|(t, _)| (*t).clone());
+        for (t, p) in preds {
+            let _ = write!(key, ";p[{t}:{p}]");
+        }
+        for e in &self.joins {
+            let _ = write!(
+                key,
+                ";j[{}.{}={}.{}]",
+                e.left_table, e.left_col, e.right_table, e.right_col
+            );
+        }
+        if let Some(proj) = &self.projections {
+            let _ = write!(key, ";sel[{}]", proj.join(","));
+        }
+        if !self.group_by.is_empty() {
+            let _ = write!(key, ";g[{}]", self.group_by.join(","));
+        }
+        for a in &self.aggs {
+            let _ = write!(
+                key,
+                ";a[{:?}({}) as {}]",
+                a.func,
+                a.col.as_deref().unwrap_or("*"),
+                a.alias
+            );
+        }
+        if !self.order_by.is_empty() {
+            let _ = write!(key, ";o[{}]", self.order_by.join(","));
+        }
+        if let Some(n) = self.limit {
+            let _ = write!(key, ";l[{n}]");
+        }
+        key
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rqp_common::expr::{col, lit};
+
+    #[test]
+    fn cache_key_is_order_independent_and_discriminating() {
+        let q1 = QuerySpec::new()
+            .table("a")
+            .table("b")
+            .join("a", "x", "b", "x")
+            .filter("a", col("a.v").lt(lit(10)))
+            .filter("b", col("b.w").lt(lit(5)))
+            .limit(7);
+        // Same query with the predicates registered in the opposite order:
+        // the key must not depend on HashMap iteration order.
+        let q2 = QuerySpec::new()
+            .table("a")
+            .table("b")
+            .join("a", "x", "b", "x")
+            .filter("b", col("b.w").lt(lit(5)))
+            .filter("a", col("a.v").lt(lit(10)))
+            .limit(7);
+        assert_eq!(q1.cache_key(), q2.cache_key());
+        // A changed literal changes the key — parameter values are part of
+        // the shape, not sniffed out.
+        let q3 = QuerySpec::new()
+            .table("a")
+            .table("b")
+            .join("a", "x", "b", "x")
+            .filter("a", col("a.v").lt(lit(11)))
+            .filter("b", col("b.w").lt(lit(5)))
+            .limit(7);
+        assert_ne!(q1.cache_key(), q3.cache_key());
+    }
 
     #[test]
     fn builder_accumulates() {

@@ -200,6 +200,82 @@ impl Catalog {
         let unq = column.rsplit_once('.').map(|(_, c)| c).unwrap_or(column);
         self.amerges.get(&(table.to_owned(), unq.to_owned())).cloned()
     }
+
+    /// Register an existing table handle without copying its data (the
+    /// reconstruction half of [`snapshot`](Self::snapshot)).
+    pub fn add_shared_table(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name().to_owned(), table);
+    }
+
+    /// Register an existing index handle, wiring the optimizer's
+    /// column-lookup map from the index's own table/column.
+    pub fn add_shared_index(&mut self, index: Arc<BTreeIndex>) {
+        self.index_by_col.insert(
+            (index.table().to_owned(), index.column().to_owned()),
+            index.name().to_owned(),
+        );
+        self.indexes.insert(index.name().to_owned(), index);
+    }
+
+    /// Register an existing composite-index handle.
+    pub fn add_shared_multi_index(&mut self, index: Arc<MultiIndex>) {
+        self.multi_indexes.insert(index.name().to_owned(), index);
+    }
+
+    /// A `Send + Sync` snapshot of the shareable half of the catalog: table,
+    /// B-tree and composite-index handles, in sorted name order.
+    ///
+    /// The `Catalog` itself is not `Send` — the adaptive indexes (crackers,
+    /// adaptive merge) are `Rc<RefCell<…>>` and mutate on every query — but
+    /// everything an optimizer-planned query reads is already behind `Arc`.
+    /// A query service snapshots the catalog once, hands the snapshot to
+    /// each query thread, and every thread rebuilds a cheap thread-local
+    /// `Catalog` with [`CatalogSnapshot::to_catalog`] (handle copies only,
+    /// no data copies). Adaptive indexes are deliberately absent: a
+    /// reconstructed catalog plans the non-adaptive access paths.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        let mut tables: Vec<Arc<Table>> = self.tables.values().cloned().collect();
+        tables.sort_by(|a, b| a.name().cmp(b.name()));
+        let mut indexes: Vec<Arc<BTreeIndex>> = self.indexes.values().cloned().collect();
+        indexes.sort_by(|a, b| a.name().cmp(b.name()));
+        let mut multi_indexes: Vec<Arc<MultiIndex>> =
+            self.multi_indexes.values().cloned().collect();
+        multi_indexes.sort_by(|a, b| a.name().cmp(b.name()));
+        CatalogSnapshot { tables, indexes, multi_indexes }
+    }
+}
+
+/// The `Send + Sync` half of a [`Catalog`]: shared handles to tables and
+/// static indexes, produced by [`Catalog::snapshot`] and turned back into a
+/// thread-local catalog with [`CatalogSnapshot::to_catalog`].
+#[derive(Debug, Clone, Default)]
+pub struct CatalogSnapshot {
+    tables: Vec<Arc<Table>>,
+    indexes: Vec<Arc<BTreeIndex>>,
+    multi_indexes: Vec<Arc<MultiIndex>>,
+}
+
+impl CatalogSnapshot {
+    /// Rebuild a thread-local [`Catalog`] from the shared handles. Cheap:
+    /// only `Arc` clones, never data copies.
+    pub fn to_catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for t in &self.tables {
+            c.add_shared_table(Arc::clone(t));
+        }
+        for ix in &self.indexes {
+            c.add_shared_index(Arc::clone(ix));
+        }
+        for ix in &self.multi_indexes {
+            c.add_shared_multi_index(Arc::clone(ix));
+        }
+        c
+    }
+
+    /// Number of tables in the snapshot.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
 }
 
 #[cfg(test)]
@@ -269,5 +345,34 @@ mod tests {
         let mut c = catalog();
         assert!(c.create_cracker("t", "v").is_err());
         assert!(c.create_amerge("t", "v", 4).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips_across_threads() {
+        let mut c = catalog();
+        c.create_index("ix_t_k", "t", "k").unwrap();
+        c.create_multi_index("mx_t_kv", "t", &["k", "v"]).unwrap();
+        let snap = c.snapshot();
+        assert_eq!(snap.table_count(), 1);
+        // The snapshot crosses a thread boundary; the rebuilt catalog sees
+        // the same tables and indexes (including the column-lookup wiring).
+        let rebuilt = std::thread::spawn(move || {
+            let local = snap.to_catalog();
+            (
+                local.table("t").unwrap().nrows(),
+                local.index_on("t", "k").is_some(),
+                local.multi_index("mx_t_kv").unwrap().name().to_owned(),
+            )
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rebuilt, (50, true, "mx_t_kv".to_owned()));
+        // Shared handles, not copies: the snapshot is isolated from later
+        // writes exactly like any other live table handle.
+        c.table_mut("t")
+            .unwrap()
+            .append(vec![Value::Int(99), Value::Float(9.9)]);
+        let snap2 = c.snapshot();
+        assert_eq!(snap2.to_catalog().table("t").unwrap().nrows(), 51);
     }
 }

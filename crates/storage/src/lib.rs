@@ -35,7 +35,7 @@ pub mod shared_scan;
 pub mod table;
 
 pub use amerge::AdaptiveMergeIndex;
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogSnapshot};
 pub use column::ColumnData;
 pub use crack::CrackerColumn;
 pub use index::BTreeIndex;

@@ -27,8 +27,9 @@ use std::path::{Path, PathBuf};
 /// Version stamped into `scoreboard.json`; bump on breaking changes.
 /// Version 2 added the parallel-execution metrics (`parallel_speedup`,
 /// `parallel_skew`). Version 3 added the chaos metrics
-/// (`degradation_cliff`, `recovery_rate`).
-pub const SCOREBOARD_VERSION: u32 = 3;
+/// (`degradation_cliff`, `recovery_rate`). Version 4 added the concurrent-
+/// service metrics (`tail_amplification`, `admission_wait`).
+pub const SCOREBOARD_VERSION: u32 = 4;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -62,6 +63,13 @@ pub mod samples {
     /// retries and renegotiation). Folded as the *minimum* across runs —
     /// the worst recovery observed.
     pub const RECOVERY_RATE: &str = "paper.chaos.recovery_rate";
+    /// Gauge: worst p99-latency amplification of concurrent execution over
+    /// solo execution across a service sweep (`p99 / solo p99`). Folded as
+    /// the *maximum* across runs — a managed service keeps the tail bounded.
+    pub const TAIL_AMPLIFICATION: &str = "paper.service.tail_amplification";
+    /// Gauge: worst p99 admission-queue wait (cost units) across a service
+    /// sweep. Folded as the *maximum* across runs.
+    pub const ADMISSION_WAIT: &str = "paper.service.admission_wait";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -96,6 +104,11 @@ pub struct ScoreboardEntry {
     pub degradation_cliff: f64,
     /// Worst (minimum) chaos recovery rate, from `paper.chaos.recovery_rate`.
     pub recovery_rate: f64,
+    /// Worst (maximum) tail-latency amplification, from
+    /// `paper.service.tail_amplification`.
+    pub tail_amplification: f64,
+    /// Worst (maximum) p99 admission wait, from `paper.service.admission_wait`.
+    pub admission_wait: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -116,6 +129,8 @@ struct SamplePool {
     skews: Vec<f64>,
     cliffs: Vec<f64>,
     recoveries: Vec<f64>,
+    amplifications: Vec<f64>,
+    admission_waits: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -148,6 +163,10 @@ impl SamplePool {
                 self.cliffs.push(*x);
             } else if name == samples::RECOVERY_RATE {
                 self.recoveries.push(*x);
+            } else if name == samples::TAIL_AMPLIFICATION {
+                self.amplifications.push(*x);
+            } else if name == samples::ADMISSION_WAIT {
+                self.admission_waits.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -182,6 +201,8 @@ impl SamplePool {
         self.skews.sort_by(f64::total_cmp);
         self.cliffs.sort_by(f64::total_cmp);
         self.recoveries.sort_by(f64::total_cmp);
+        self.amplifications.sort_by(f64::total_cmp);
+        self.admission_waits.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -236,6 +257,8 @@ impl SamplePool {
             parallel_skew: self.skews.last().copied().unwrap_or(f64::NAN),
             degradation_cliff: self.cliffs.last().copied().unwrap_or(f64::NAN),
             recovery_rate: self.recoveries.first().copied().unwrap_or(f64::NAN),
+            tail_amplification: self.amplifications.last().copied().unwrap_or(f64::NAN),
+            admission_wait: self.admission_waits.last().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -384,6 +407,19 @@ impl Scoreboard {
                 cur.degradation_cliff,
                 base.degradation_cliff + thresholds.degradation_cliff_slack,
             );
+            check(
+                "tail_amplification",
+                base.tail_amplification,
+                cur.tail_amplification,
+                base.tail_amplification + thresholds.tail_amplification_slack,
+            );
+            check(
+                "admission_wait",
+                base.admission_wait,
+                cur.admission_wait,
+                base.admission_wait * thresholds.admission_wait_ratio
+                    + thresholds.admission_wait_slack,
+            );
             // Floor metrics regress *downward*: flag a drop below the floor,
             // and (like the ceiling checks) a metric that vanished entirely.
             let mut check_floor = |metric: &str, baseline: f64, current_v: f64, floor: f64| {
@@ -445,6 +481,12 @@ pub struct DiffThresholds {
     pub degradation_cliff_slack: f64,
     /// `recovery_rate` may *shrink* by this absolute amount.
     pub recovery_rate_slack: f64,
+    /// `tail_amplification` may grow by this absolute amount.
+    pub tail_amplification_slack: f64,
+    /// `admission_wait` may grow by this factor…
+    pub admission_wait_ratio: f64,
+    /// …plus this absolute slack (baselines can legitimately be near zero).
+    pub admission_wait_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -461,6 +503,9 @@ impl Default for DiffThresholds {
             parallel_skew_slack: 0.5,
             degradation_cliff_slack: 0.25,
             recovery_rate_slack: 0.02,
+            tail_amplification_slack: 0.5,
+            admission_wait_ratio: 1.5,
+            admission_wait_slack: 1.0,
         }
     }
 }
@@ -506,6 +551,8 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("parallel_skew", Json::num(e.parallel_skew)),
         ("degradation_cliff", Json::num(e.degradation_cliff)),
         ("recovery_rate", Json::num(e.recovery_rate)),
+        ("tail_amplification", Json::num(e.tail_amplification)),
+        ("admission_wait", Json::num(e.admission_wait)),
         (
             "events",
             Json::Obj(
@@ -551,6 +598,8 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         parallel_skew: num("parallel_skew")?,
         degradation_cliff: num("degradation_cliff")?,
         recovery_rate: num("recovery_rate")?,
+        tail_amplification: num("tail_amplification")?,
+        admission_wait: num("admission_wait")?,
         events,
     })
 }
@@ -587,6 +636,8 @@ mod tests {
         reg.gauge(samples::PARALLEL_SKEW).set(1.2);
         reg.gauge(samples::DEGRADATION_CLIFF).set(1.4);
         reg.gauge(samples::RECOVERY_RATE).set(1.0);
+        reg.gauge(samples::TAIL_AMPLIFICATION).set(2.0);
+        reg.gauge(samples::ADMISSION_WAIT).set(40.0);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -611,6 +662,33 @@ mod tests {
         assert_eq!(e.parallel_skew, 1.2);
         assert_eq!(e.degradation_cliff, 1.4);
         assert_eq!(e.recovery_rate, 1.0);
+        assert_eq!(e.tail_amplification, 2.0);
+        assert_eq!(e.admission_wait, 40.0);
+    }
+
+    #[test]
+    fn diff_trips_on_tail_amplification_and_admission_wait_growth() {
+        let baseline = Scoreboard::fold(&[report("a06", 50.0, 100, 1000.0)]);
+        // The tail stretching past its slack trips the ceiling check…
+        let mut stretched = baseline.clone();
+        stretched.entries.get_mut("a06").unwrap().tail_amplification = 2.6;
+        let regs = baseline.diff(&stretched, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "tail_amplification"), "{regs:?}");
+        // …as does the admission queue backing up past ratio + slack.
+        let mut queued = baseline.clone();
+        queued.entries.get_mut("a06").unwrap().admission_wait = 62.0;
+        let regs = baseline.diff(&queued, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "admission_wait"), "{regs:?}");
+        // Either gauge vanishing is an observability regression.
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a06").unwrap().tail_amplification = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "tail_amplification"), "{regs:?}");
+        // A tighter tail and shorter queue are improvements.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a06").unwrap().tail_amplification = 1.0;
+        better.entries.get_mut("a06").unwrap().admission_wait = 0.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]

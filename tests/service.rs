@@ -1,0 +1,186 @@
+//! Acceptance tests for the concurrent query service (`rqp-server`):
+//! the MPL gate, result identity under concurrency, typed deadline aborts
+//! that release every workspace grant, cancellation while queued, agreement
+//! between the real service and the virtual-time [`WorkloadManager`] on a
+//! deterministic trace, and the A06 scoreboard gate.
+//!
+//! Compiled under `rqp-bench` so it can drive both the service API and the
+//! `a06_concurrent_service` experiment end to end.
+
+use rqp::common::RqpError;
+use rqp::server::{QueryOptions, QueryService, ServiceConfig};
+use rqp::telemetry::scoreboard::{DiffThresholds, Scoreboard};
+use rqp::workload::{tpch::TpchParams, Job, TpchDb, WorkloadManager};
+
+fn small_db() -> TpchDb {
+    TpchDb::build(TpchParams { lineitem_rows: 4_000, ..Default::default() }, 42)
+}
+
+/// A service whose plan cache never invalidates on drift, so repeated
+/// submissions of one spec always execute the identical physical plan.
+fn service(db: &TpchDb, mpl: usize) -> QueryService {
+    QueryService::new(
+        &db.catalog,
+        ServiceConfig { mpl, memory_rows: 20_000.0, drift_threshold: 1e9, ..Default::default() },
+    )
+}
+
+#[test]
+fn mpl_gate_holds_and_concurrent_results_match_solo() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let specs = [db.q1(30), db.q3(1, 400), db.q6(100, 0.05, 30)];
+    let solo: Vec<_> = specs.iter().map(|q| svc.run_solo(q).expect("solo run")).collect();
+
+    let session = svc.session(0);
+    let mut handles = Vec::new();
+    for round in 0..2 {
+        for (i, q) in specs.iter().enumerate() {
+            handles.push((i, session.submit(q.clone(), QueryOptions::default().at(round as f64))));
+        }
+    }
+    for (i, h) in handles {
+        let out = h.join().expect("concurrent query failed");
+        assert_eq!(out.rows, solo[i].rows, "admitted query diverged from solo execution");
+        assert!(out.plan_cached, "second execution should hit the plan cache");
+    }
+    assert!(svc.peak_concurrency() <= 2, "MPL gate exceeded: {}", svc.peak_concurrency());
+    assert!(svc.peak_concurrency() >= 1, "nothing ever ran");
+    assert_eq!(svc.reserved(), 0.0, "completed queries must return every grant");
+}
+
+#[test]
+fn past_deadline_query_aborts_typed_releases_grants_and_spares_others() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let healthy_spec = db.q3(1, 400);
+    let solo = svc.run_solo(&healthy_spec).expect("solo run");
+
+    let session = svc.session(0);
+    // The doomed query gets a deadline far below its demand; the healthy one
+    // runs beside it and must be untouched by its neighbour's abort.
+    let doomed =
+        session.submit(db.q5(0, 10, 100), QueryOptions::with_deadline(1.0).reserve(8_000.0));
+    let doomed_id = doomed.query();
+    let healthy = session.submit(healthy_spec, QueryOptions::default());
+
+    assert_eq!(
+        doomed.join().unwrap_err(),
+        RqpError::DeadlineExceeded,
+        "past-deadline query must abort with the typed error"
+    );
+    let out = healthy.join().expect("healthy neighbour failed");
+    assert_eq!(out.rows, solo.rows, "neighbour's abort corrupted a healthy query");
+    assert_eq!(svc.reserved(), 0.0, "aborted query leaked workspace grants");
+
+    let completions = svc.completions();
+    let aborted = completions
+        .iter()
+        .find(|c| c.query == doomed_id)
+        .expect("aborted query must still be recorded");
+    assert!(aborted.cancel_latency.is_some(), "deadline abort must report its latency");
+}
+
+#[test]
+fn cancelling_a_queued_query_frees_its_slot() {
+    let db = small_db();
+    let svc = service(&db, 1);
+    let session = svc.session(0);
+
+    svc.pause_admission();
+    let queued = session.submit(db.q1(30), QueryOptions::default());
+    while svc.queue_depth() != 1 {
+        std::thread::yield_now();
+    }
+    queued.cancel();
+    let err = queued.join().unwrap_err();
+    assert!(err.is_cancellation(), "expected a cancellation, got {err:?}");
+    svc.resume_admission();
+    assert_eq!(svc.queue_depth(), 0, "cancelled waiter stayed in the queue");
+    assert_eq!(svc.reserved(), 0.0);
+}
+
+#[test]
+fn service_and_simulator_agree_on_a_deterministic_three_job_trace() {
+    let db = small_db();
+    let svc = service(&db, 1);
+    let specs = [db.q1(30), db.q3(1, 400), db.q6(100, 0.05, 30)];
+    // Solo runs pin the demands and warm the plan cache.
+    let demands: Vec<f64> =
+        specs.iter().map(|q| svc.run_solo(q).expect("solo run").cost).collect();
+
+    // Queue all three behind a paused gate with distinct priorities; with
+    // MPL 1 the completion order is then fully determined by the gate.
+    svc.pause_admission();
+    let priorities = [2u8, 0, 1];
+    let handles: Vec<_> = specs
+        .iter()
+        .zip(priorities)
+        .map(|(q, p)| svc.session(p).submit(q.clone(), QueryOptions::default()))
+        .collect();
+    while svc.queue_depth() != 3 {
+        std::thread::yield_now();
+    }
+    let jobs: Vec<Job> = handles
+        .iter()
+        .zip(priorities)
+        .zip(&demands)
+        .map(|((h, priority), &demand)| Job {
+            id: h.query() as usize,
+            arrival: 0.0,
+            demand,
+            priority,
+            weight: 1.0,
+        })
+        .collect();
+    svc.resume_admission();
+    for h in handles {
+        assert!(h.join().is_ok());
+    }
+    let sim = WorkloadManager::new(1, 1.0).simulate(&jobs);
+    let mut by_finish: Vec<_> = sim.jobs.clone();
+    by_finish.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+    let simulated: Vec<u64> = by_finish.iter().map(|j| j.id as u64).collect();
+
+    assert_eq!(
+        svc.completion_order(),
+        simulated,
+        "real service and virtual-time simulator disagree on completion order"
+    );
+}
+
+#[test]
+fn a06_runs_and_scoreboard_v4_gates_the_service_metrics() {
+    // Redirect the harness output to a scratch dir; this test is the only
+    // one in this binary that touches RQP_EXP_OUTPUT.
+    let dir = std::env::temp_dir().join(format!("rqp_a06_gate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("RQP_EXP_OUTPUT", &dir);
+    let summary = rqp_bench::a06_concurrent_service(true);
+    std::env::remove_var("RQP_EXP_OUTPUT");
+    assert!(summary.contains("A06"), "experiment produced no summary");
+
+    let board = Scoreboard::from_dir(&dir).expect("fold the a06 run report");
+    let entry = board.entries.get("a06_concurrent_service").expect("a06 entry");
+    assert!(entry.tail_amplification.is_finite() && entry.tail_amplification >= 1.0);
+    assert!(entry.admission_wait.is_finite() && entry.admission_wait >= 0.0);
+
+    // The diff gate must trip when either service metric degrades past its
+    // threshold relative to this run as baseline.
+    let mut worse = board.clone();
+    {
+        let e = worse.entries.get_mut("a06_concurrent_service").unwrap();
+        e.tail_amplification += 1.0;
+        e.admission_wait = e.admission_wait * 2.0 + 5.0;
+    }
+    let regressions = board.diff(&worse, &DiffThresholds::default());
+    let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+    assert!(metrics.contains(&"tail_amplification"), "tail amplification gate missing");
+    assert!(metrics.contains(&"admission_wait"), "admission wait gate missing");
+
+    // And the clean self-diff must pass.
+    assert!(board.diff(&board, &DiffThresholds::default()).is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
