@@ -10,6 +10,7 @@ pub mod optimizer;
 pub mod pop;
 pub mod resources;
 pub mod service;
+pub mod wire;
 
 pub use ablations::{a01_pop_theta, a02_amerge_runsize, a03_eddy_decay, a04_parallel_scaling};
 pub use benchmarks::{e04_tractor_pull, e05_extrinsic, e06_equivalence};
@@ -19,3 +20,4 @@ pub use optimizer::{e07_smoothness, e09_robust_opt, e10_plan_diagram, e20_rio, e
 pub use pop::{e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter};
 pub use resources::{a05_resource_robustness, e12_advisor, e13_fmt, e14_fpt, e15_mixed};
 pub use service::a06_concurrent_service;
+pub use wire::a07_wire_service;

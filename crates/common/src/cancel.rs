@@ -29,19 +29,45 @@
 use crate::error::{Result, RqpError};
 use crate::sync::AtomicF64;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Latched lifecycle of a token: live → cancelled | deadline-exceeded.
 const LIVE: u8 = 0;
 const CANCELLED: u8 = 1;
 const DEADLINE: u8 = 2;
 
-#[derive(Debug)]
+/// A callback fired (once) when the token latches, whatever the cause.
+type Waker = Box<dyn Fn() + Send + Sync>;
+
 struct Inner {
     /// `LIVE` until the first cancel/deadline trip, then latched forever.
     state: AtomicU8,
     /// Deadline in cost units on the query's root clock; `+inf` = none.
     deadline: AtomicF64,
+    /// Wakers registered by blocked waiters (e.g. the admission gate's
+    /// condvar). Drained and fired exactly once, on the latch transition.
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl Inner {
+    /// Drain and run every registered waker. Latching is a one-shot CAS, so
+    /// under normal flow this runs once; the re-check in `on_cancel` may call
+    /// it again on an already-empty list, which is harmless.
+    fn fire_wakers(&self) {
+        let wakers = std::mem::take(&mut *self.wakers.lock().unwrap());
+        for w in wakers {
+            w();
+        }
+    }
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("state", &self.state)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
 }
 
 /// Shared cooperative-cancellation handle (see module docs).
@@ -71,6 +97,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 state: AtomicU8::new(LIVE),
                 deadline: AtomicF64::new(f64::INFINITY),
+                wakers: Mutex::new(Vec::new()),
             }),
             origin: 0.0,
         }
@@ -79,12 +106,34 @@ impl CancelToken {
     /// Request cancellation. Idempotent; a deadline trip that already latched
     /// wins (the cause seen first is the cause reported everywhere).
     pub fn cancel(&self) {
-        let _ = self.inner.state.compare_exchange(
-            LIVE,
-            CANCELLED,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        );
+        let latched = self
+            .inner
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        if latched {
+            self.inner.fire_wakers();
+        }
+    }
+
+    /// Register a callback fired when the token latches (explicit cancel or
+    /// deadline trip). Fired at most once per registration; if the token is
+    /// already latched the callback runs immediately on the caller's thread.
+    ///
+    /// This is what lets blocking waiters (the admission gate's condvar) sleep
+    /// without polling: the waker nudges the condvar instead of the waiter
+    /// re-checking `is_cancelled` on a timer.
+    pub fn on_cancel(&self, waker: impl Fn() + Send + Sync + 'static) {
+        if self.is_cancelled() {
+            waker();
+            return;
+        }
+        self.inner.wakers.lock().unwrap().push(Box::new(waker));
+        // Latch may have raced the registration: the canceller could have
+        // drained the list before our push landed. Re-check and fire.
+        if self.is_cancelled() {
+            self.inner.fire_wakers();
+        }
     }
 
     /// Set (or tighten) the deadline, in cost units on the root clock.
@@ -124,12 +173,14 @@ impl CancelToken {
             _ => {
                 let deadline = self.inner.deadline.get();
                 if self.origin + now >= deadline {
-                    let _ = self.inner.state.compare_exchange(
-                        LIVE,
-                        DEADLINE,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    );
+                    let latched = self
+                        .inner
+                        .state
+                        .compare_exchange(LIVE, DEADLINE, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok();
+                    if latched {
+                        self.inner.fire_wakers();
+                    }
                     // Report whatever actually latched: a racing explicit
                     // cancel may have won the exchange.
                     return self.poll(now);
@@ -200,6 +251,50 @@ mod tests {
         t.cancel();
         // Past the deadline, but the explicit cancel latched first.
         assert_eq!(t.poll(1000.0), Some(RqpError::Cancelled));
+    }
+
+    #[test]
+    fn waker_fires_on_cancel_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let t = CancelToken::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        t.on_cancel(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "waker fired before the latch");
+        t.cancel();
+        t.cancel(); // idempotent: no second firing
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_fires_on_deadline_latch() {
+        use std::sync::atomic::AtomicUsize;
+        let t = CancelToken::new();
+        t.set_deadline(10.0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        t.on_cancel(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(t.poll(5.0), None);
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(t.poll(10.0), Some(RqpError::DeadlineExceeded));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_on_already_latched_token_fires_immediately() {
+        use std::sync::atomic::AtomicUsize;
+        let t = CancelToken::new();
+        t.cancel();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        t.on_cancel(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "late registration must still fire");
     }
 
     #[test]

@@ -61,9 +61,71 @@ pub enum RqpError {
     /// The query ran past its deadline (in cost units on its virtual clock)
     /// and was cooperatively aborted. Not retryable for the same reason.
     DeadlineExceeded,
+    /// A wire-protocol violation: corrupt frame, unknown message type,
+    /// version mismatch, or a malformed payload. Fatal — the peer is
+    /// speaking a different (or damaged) protocol, so the connection is
+    /// torn down rather than retried.
+    Protocol(String),
 }
 
+/// `(wire code, canonical name)` of every [`RqpError`] variant, in wire-code
+/// order. The table is the single registry new variants must be added to;
+/// the exhaustive-match in [`RqpError::wire_code`] makes forgetting a
+/// compile error, and the round-trip test makes an aliased code a test
+/// failure.
+pub const WIRE_CODES: &[(u16, &str)] = &[
+    (1, "ColumnNotFound"),
+    (2, "AmbiguousColumn"),
+    (3, "TableNotFound"),
+    (4, "IndexNotFound"),
+    (5, "TypeMismatch"),
+    (6, "Planning"),
+    (7, "Execution"),
+    (8, "Invalid"),
+    (9, "TransientIo"),
+    (10, "WorkerFailed"),
+    (11, "KeyOutOfBounds"),
+    (12, "NonNumericKey"),
+    (13, "Cancelled"),
+    (14, "DeadlineExceeded"),
+    (15, "Protocol"),
+];
+
 impl RqpError {
+    /// The stable numeric wire code of this variant — what the network
+    /// protocol puts on the wire instead of matching display strings.
+    /// Codes are append-only: a published code is never reused or
+    /// renumbered, so old clients keep classifying errors correctly.
+    pub fn wire_code(&self) -> u16 {
+        // Exhaustive on purpose: adding a variant without assigning it a
+        // code (and a WIRE_CODES row) must fail to compile, not silently
+        // alias an existing code.
+        match self {
+            RqpError::ColumnNotFound(_) => 1,
+            RqpError::AmbiguousColumn(_) => 2,
+            RqpError::TableNotFound(_) => 3,
+            RqpError::IndexNotFound(_) => 4,
+            RqpError::TypeMismatch { .. } => 5,
+            RqpError::Planning(_) => 6,
+            RqpError::Execution(_) => 7,
+            RqpError::Invalid(_) => 8,
+            RqpError::TransientIo { .. } => 9,
+            RqpError::WorkerFailed { .. } => 10,
+            RqpError::KeyOutOfBounds { .. } => 11,
+            RqpError::NonNumericKey(_) => 12,
+            RqpError::Cancelled => 13,
+            RqpError::DeadlineExceeded => 14,
+            RqpError::Protocol(_) => 15,
+        }
+    }
+
+    /// The canonical variant name of a wire code, or `None` for a code this
+    /// build does not know (a newer peer's error — callers should treat it
+    /// as a generic failure, not a protocol violation).
+    pub fn wire_code_name(code: u16) -> Option<&'static str> {
+        WIRE_CODES.iter().find(|(c, _)| *c == code).map(|(_, n)| *n)
+    }
+
     /// The retryable/fatal taxonomy: retryable errors describe conditions
     /// that an immediate bounded retry can clear (a transient read fault);
     /// everything else — planning bugs, schema mismatches, exhausted retry
@@ -115,6 +177,7 @@ impl fmt::Display for RqpError {
             }
             RqpError::Cancelled => write!(f, "query cancelled"),
             RqpError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            RqpError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -151,10 +214,66 @@ mod tests {
             RqpError::Invalid("i".into()),
             RqpError::Cancelled,
             RqpError::DeadlineExceeded,
+            RqpError::Protocol("bad magic".into()),
         ] {
             assert!(fatal.is_fatal(), "{fatal} must be fatal");
             assert!(!fatal.is_retryable());
         }
+    }
+
+    /// One exemplar of every variant. The exhaustive match in
+    /// [`RqpError::wire_code`] forces new variants to pick a code; the
+    /// count/uniqueness assertions below force them to register the code in
+    /// [`WIRE_CODES`] and to show up here, so a new variant can never
+    /// silently alias an existing code.
+    fn exemplars() -> Vec<RqpError> {
+        vec![
+            RqpError::ColumnNotFound("x".into()),
+            RqpError::AmbiguousColumn("x".into()),
+            RqpError::TableNotFound("t".into()),
+            RqpError::IndexNotFound("i".into()),
+            RqpError::TypeMismatch { expected: "INT".into(), got: "STR".into() },
+            RqpError::Planning("p".into()),
+            RqpError::Execution("e".into()),
+            RqpError::Invalid("i".into()),
+            RqpError::TransientIo { site: "t/3".into(), attempt: 1 },
+            RqpError::WorkerFailed { worker: 2, attempts: 5 },
+            RqpError::KeyOutOfBounds { index: 9, width: 3 },
+            RqpError::NonNumericKey("Str".into()),
+            RqpError::Cancelled,
+            RqpError::DeadlineExceeded,
+            RqpError::Protocol("bad magic".into()),
+        ]
+    }
+
+    #[test]
+    fn wire_codes_are_exhaustive_unique_and_round_trip() {
+        let all = exemplars();
+        // Every variant is represented exactly once in the registry.
+        assert_eq!(all.len(), WIRE_CODES.len(), "exemplar per WIRE_CODES row");
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &all {
+            let code = e.wire_code();
+            assert!(seen.insert(code), "{e} aliases wire code {code}");
+            // The registry knows the code, and the name round-trips to the
+            // variant's debug name.
+            let name = RqpError::wire_code_name(code)
+                .unwrap_or_else(|| panic!("{e}: code {code} missing from WIRE_CODES"));
+            let debug = format!("{e:?}");
+            assert!(
+                debug.starts_with(name),
+                "code {code} name {name} does not match variant {debug}"
+            );
+        }
+        // No stale registry rows: every registered code has a live variant.
+        assert_eq!(seen.len(), WIRE_CODES.len());
+        let mut codes: Vec<u16> = WIRE_CODES.iter().map(|(c, _)| *c).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), WIRE_CODES.len(), "duplicate code in WIRE_CODES");
+        // Unknown codes classify as unknown, not as some existing variant.
+        assert_eq!(RqpError::wire_code_name(0), None);
+        assert_eq!(RqpError::wire_code_name(u16::MAX), None);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Multi-process load generator for the wire server.
+//!
+//! ```sh
+//! rqp-loadgen --addr 127.0.0.1:PORT [--clients 4] [--queries 4]
+//!             [--mode closed|open] [--rate 1.0] [--churn 1] [--seed 7]
+//! ```
+//!
+//! The parent re-executes its own binary once per client with `--worker`,
+//! so every client is a real OS *process* with its own TCP connection —
+//! not a thread sharing the server's address space. Workers run a
+//! deterministic query menu (chosen by `(seed, client, index)`), with:
+//!
+//! * **closed-loop** arrival: submit → drain → next (one query in flight);
+//! * **open-loop** arrival: all queries submitted up front, then drained —
+//!   arrival *timestamps* are virtual (`index / rate`), carried in the
+//!   submission options for the server's deterministic schedule replay,
+//!   while the submission burst itself is real;
+//! * a **priority mix**: worker `i` uses priority `i % 3`;
+//! * optional **churn**: the first `--churn` workers submit one extra
+//!   query and then kill their own process while it is still queued or
+//!   executing — no GOODBYE, no drain — exercising the server's
+//!   abrupt-disconnect teardown (cancel, reap, release slot + grants).
+//!
+//! Each worker prints one machine-readable summary line
+//! (`RQPLOAD client=… results=idx:checksum,…`); the parent relays them
+//! (inherited stdout) and appends an aggregate `RQPLOAD total …` line.
+//! Checksums are [`rqp_net::rows_checksum`] over the wire encoding, so a
+//! driver that also knows the menu can verify bit-identity against solo
+//! runs without the rows ever being re-shipped.
+
+use rqp_net::loadgen::{menu, menu_index};
+use rqp_net::proto::WireQueryOptions;
+use rqp_net::{rows_checksum, WireClient};
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    clients: usize,
+    queries: usize,
+    open_loop: bool,
+    rate: f64,
+    churn: usize,
+    seed: u64,
+    worker: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        clients: 4,
+        queries: 4,
+        open_loop: false,
+        rate: 1.0,
+        churn: 0,
+        seed: 7,
+        worker: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = val("--addr"),
+            "--clients" => args.clients = val("--clients").parse().expect("--clients"),
+            "--queries" => args.queries = val("--queries").parse().expect("--queries"),
+            "--mode" => {
+                args.open_loop = match val("--mode").as_str() {
+                    "open" => true,
+                    "closed" => false,
+                    m => {
+                        eprintln!("unknown mode {m} (open|closed)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--rate" => args.rate = val("--rate").parse().expect("--rate"),
+            "--churn" => args.churn = val("--churn").parse().expect("--churn"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--worker" => args.worker = Some(val("--worker").parse().expect("--worker")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn run_worker(args: &Args, id: usize) {
+    let menu = menu();
+    let priority = (id % 3) as u8;
+    let mut client = match WireClient::connect(&args.addr, priority) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("RQPLOAD client={id} error=connect msg={e}");
+            std::process::exit(1);
+        }
+    };
+    let mut results: Vec<(usize, u64)> = Vec::new();
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut codes: Vec<u16> = Vec::new();
+
+    let opts_for = |global_q: usize| WireQueryOptions {
+        arrival: global_q as f64 / args.rate.max(1e-9),
+        ..WireQueryOptions::default()
+    };
+
+    fn outcome_of(
+        results: &mut Vec<(usize, u64)>,
+        ok: &mut usize,
+        failed: &mut usize,
+        codes: &mut Vec<u16>,
+        idx: usize,
+        res: Result<rqp_net::RemoteOutcome, rqp_net::RemoteFailure>,
+    ) {
+        match res {
+            Ok(out) => {
+                results.push((idx, rows_checksum(&out.rows)));
+                *ok += 1;
+            }
+            Err(f) => {
+                codes.push(f.code);
+                *failed += 1;
+            }
+        }
+    }
+
+    if args.open_loop {
+        // Open loop: every query submitted before any is drained.
+        let mut pending = Vec::new();
+        for q in 0..args.queries {
+            let idx = menu_index(args.seed, id, q, menu.len());
+            let global_q = q * args.clients + id;
+            match client.submit(&menu[idx], opts_for(global_q)) {
+                Ok(query) => pending.push((idx, query)),
+                Err(e) => {
+                    println!("RQPLOAD client={id} error=submit msg={e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        for (idx, query) in pending {
+            match client.fetch(query) {
+                Ok(res) => outcome_of(&mut results, &mut ok, &mut failed, &mut codes, idx, res),
+                Err(e) => {
+                    println!("RQPLOAD client={id} error=fetch msg={e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        // Closed loop: one query in flight at a time.
+        for q in 0..args.queries {
+            let idx = menu_index(args.seed, id, q, menu.len());
+            let global_q = q * args.clients + id;
+            match client.run(&menu[idx], opts_for(global_q)) {
+                Ok(res) => outcome_of(&mut results, &mut ok, &mut failed, &mut codes, idx, res),
+                Err(e) => {
+                    println!("RQPLOAD client={id} error=run msg={e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let disconnect = id < args.churn;
+    if disconnect {
+        // Submit one more query and die mid-flight: no GOODBYE, no fetch
+        // drain, just a vanished peer. The server must cancel the query and
+        // release its MPL slot and memory grants.
+        let idx = menu_index(args.seed, id, args.queries, menu.len());
+        let _ = client.submit(&menu[idx], WireQueryOptions::default());
+        print_summary(id, ok, failed, true, &results, &codes);
+        std::process::exit(0); // drops the TCP stream mid-query
+    }
+
+    print_summary(id, ok, failed, false, &results, &codes);
+    let _ = client.goodbye();
+}
+
+fn print_summary(
+    id: usize,
+    ok: usize,
+    failed: usize,
+    disconnected: bool,
+    results: &[(usize, u64)],
+    codes: &[u16],
+) {
+    let results_s = results
+        .iter()
+        .map(|(i, c)| format!("{i}:{c:016x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let codes_s = codes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+    println!(
+        "RQPLOAD client={id} ok={ok} failed={failed} disconnected={} results={results_s} codes={codes_s}",
+        disconnected as u8
+    );
+}
+
+fn run_parent(args: &Args) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children = Vec::new();
+    for id in 0..args.clients {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--addr")
+            .arg(&args.addr)
+            .arg("--clients")
+            .arg(args.clients.to_string())
+            .arg("--queries")
+            .arg(args.queries.to_string())
+            .arg("--mode")
+            .arg(if args.open_loop { "open" } else { "closed" })
+            .arg("--rate")
+            .arg(args.rate.to_string())
+            .arg("--churn")
+            .arg(args.churn.to_string())
+            .arg("--seed")
+            .arg(args.seed.to_string())
+            .arg("--worker")
+            .arg(id.to_string())
+            .stdout(Stdio::piped());
+        let child = cmd.spawn().expect("spawn worker process");
+        children.push(child);
+    }
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut disconnected = 0usize;
+    let mut hard_errors = 0usize;
+    for mut child in children {
+        let stdout = child.stdout.take().expect("worker stdout");
+        for line in BufReader::new(stdout).lines() {
+            let line = line.expect("read worker line");
+            // Relay the worker's summary, then fold it into the aggregate.
+            println!("{line}");
+            if line.contains("error=") {
+                hard_errors += 1;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("ok=") {
+                    ok += v.parse::<usize>().unwrap_or(0);
+                } else if let Some(v) = tok.strip_prefix("failed=") {
+                    failed += v.parse::<usize>().unwrap_or(0);
+                } else if tok == "disconnected=1" {
+                    disconnected += 1;
+                }
+            }
+        }
+        let status = child.wait().expect("wait worker");
+        if !status.success() {
+            hard_errors += 1;
+        }
+    }
+    println!(
+        "RQPLOAD total clients={} ok={ok} failed={failed} disconnected={disconnected} errors={hard_errors}",
+        args.clients
+    );
+    if hard_errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.worker {
+        Some(id) => run_worker(&args, id),
+        None => run_parent(&args),
+    }
+}

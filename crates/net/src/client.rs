@@ -1,0 +1,201 @@
+//! Blocking wire client.
+//!
+//! [`WireClient`] drives the client side of the protocol in lockstep:
+//! connect + HELLO, then per query SUBMIT → FETCH (granting credits and
+//! draining pages) → DONE/ERROR. Because the server only sends pages
+//! against credits this client granted, and this client grants credits for
+//! one query at a time, no demultiplexing is needed — every frame read
+//! belongs to the conversation in progress.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions};
+use rqp_common::{Row, RqpError};
+use rqp_opt::QuerySpec;
+use std::collections::HashMap;
+use std::net::TcpStream;
+
+/// Credits granted per FETCH round trip.
+const FETCH_CREDITS: u32 = 4;
+
+/// The fully-drained result of one remote query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteOutcome {
+    /// Service-wide query id.
+    pub query: u64,
+    /// All result rows, page-assembled in order.
+    pub rows: Vec<Row>,
+    /// Cost charged to the query's virtual clock.
+    pub cost: f64,
+    /// Whether the server served the plan from its plan cache.
+    pub plan_cached: bool,
+}
+
+/// A blocking connection to a [`WireServer`](crate::WireServer).
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    session: u64,
+    /// Failures the server reported eagerly for queries other than the one
+    /// currently being driven (failure frames need no credit, so with
+    /// several queries in flight — open-loop submission — they can arrive
+    /// early). Consumed by the matching [`fetch`](Self::fetch).
+    stashed_failures: HashMap<u64, RemoteFailure>,
+}
+
+impl WireClient {
+    /// Connect to `addr` and open a session with the given admission
+    /// priority (0 = highest).
+    pub fn connect(addr: &str, priority: u8) -> Result<WireClient, RqpError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| RqpError::Protocol(format!("connect {addr}: {e}")))?;
+        let mut client = WireClient { stream, session: 0, stashed_failures: HashMap::new() };
+        client.send(&ClientMsg::Hello { priority })?;
+        match client.recv()? {
+            ServerMsg::HelloAck { session } => {
+                client.session = session;
+                Ok(client)
+            }
+            ServerMsg::Error { failure, .. } => Err(RqpError::Protocol(failure.to_string())),
+            other => Err(RqpError::Protocol(format!("expected HELLO_ACK, got {other:?}"))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Submit a query; returns its service-wide query id.
+    pub fn submit(
+        &mut self,
+        spec: &QuerySpec,
+        opts: WireQueryOptions,
+    ) -> Result<u64, RqpError> {
+        self.send(&ClientMsg::Submit { spec: spec.clone(), opts })?;
+        loop {
+            match self.recv()? {
+                ServerMsg::SubmitAck { query } => return Ok(query),
+                ServerMsg::Error { query: 0, failure } => {
+                    return Err(RqpError::Protocol(failure.to_string()))
+                }
+                // An earlier in-flight query failed while we were waiting
+                // for the ack; stash its failure for that query's fetch.
+                ServerMsg::Error { query, failure } => {
+                    self.stashed_failures.insert(query, failure);
+                }
+                other => {
+                    return Err(RqpError::Protocol(format!(
+                        "expected SUBMIT_ACK, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Drain `query` to completion: grant credits, collect pages, and
+    /// return the assembled outcome — or the server-reported failure with
+    /// its stable wire code.
+    pub fn fetch(
+        &mut self,
+        query: u64,
+    ) -> Result<Result<RemoteOutcome, RemoteFailure>, RqpError> {
+        if let Some(failure) = self.stashed_failures.remove(&query) {
+            return Ok(Err(failure));
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        let mut outstanding: u32 = 0;
+        loop {
+            if outstanding == 0 {
+                self.send(&ClientMsg::Fetch { query, credits: FETCH_CREDITS })?;
+                outstanding = FETCH_CREDITS;
+            }
+            match self.recv()? {
+                ServerMsg::Page { query: q, rows: page } if q == query => {
+                    rows.extend(page);
+                    outstanding = outstanding.saturating_sub(1);
+                }
+                ServerMsg::Done { query: q, total_rows, cost, plan_cached } if q == query => {
+                    if rows.len() as u64 != total_rows {
+                        return Err(RqpError::Protocol(format!(
+                            "server reported {total_rows} rows, received {}",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(Ok(RemoteOutcome { query, rows, cost, plan_cached }));
+                }
+                ServerMsg::Error { query: q, failure } if q == query || q == 0 => {
+                    return Ok(Err(failure));
+                }
+                ServerMsg::Error { query: q, failure } => {
+                    self.stashed_failures.insert(q, failure);
+                }
+                other => {
+                    return Err(RqpError::Protocol(format!(
+                        "unexpected frame while fetching query {query}: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Grant exactly `credits` pages for `query` without waiting for
+    /// completion — the building block of slow-consumer tests.
+    pub fn fetch_partial(
+        &mut self,
+        query: u64,
+        credits: u32,
+    ) -> Result<Vec<Row>, RqpError> {
+        self.send(&ClientMsg::Fetch { query, credits })?;
+        let mut rows = Vec::new();
+        for _ in 0..credits {
+            match self.recv()? {
+                ServerMsg::Page { query: q, rows: page } if q == query => rows.extend(page),
+                ServerMsg::Done { .. } => break,
+                ServerMsg::Error { failure, .. } => {
+                    return Err(RqpError::Protocol(failure.to_string()))
+                }
+                other => {
+                    return Err(RqpError::Protocol(format!("unexpected frame: {other:?}")))
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Request cooperative cancellation of `query` (fire-and-forget).
+    pub fn cancel(&mut self, query: u64) -> Result<(), RqpError> {
+        self.send(&ClientMsg::Cancel { query })
+    }
+
+    /// Close the session cleanly (GOODBYE / GOODBYE_ACK).
+    pub fn goodbye(mut self) -> Result<(), RqpError> {
+        self.send(&ClientMsg::Goodbye)?;
+        match self.recv()? {
+            ServerMsg::GoodbyeAck => Ok(()),
+            other => Err(RqpError::Protocol(format!("expected GOODBYE_ACK, got {other:?}"))),
+        }
+    }
+
+    /// Convenience: submit and fully drain in one call.
+    pub fn run(
+        &mut self,
+        spec: &QuerySpec,
+        opts: WireQueryOptions,
+    ) -> Result<Result<RemoteOutcome, RemoteFailure>, RqpError> {
+        let query = self.submit(spec, opts)?;
+        self.fetch(query)
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), RqpError> {
+        let (tag, payload) = msg.encode().map_err(RqpError::from)?;
+        write_frame(&mut self.stream, tag, &payload).map_err(RqpError::from)
+    }
+
+    fn recv(&mut self) -> Result<ServerMsg, RqpError> {
+        match read_frame(&mut self.stream) {
+            Ok(Some(frame)) => ServerMsg::decode(&frame).map_err(RqpError::from),
+            Ok(None) => Err(RqpError::Protocol("server closed the connection".into())),
+            Err(e) => Err(e.into()),
+        }
+    }
+}

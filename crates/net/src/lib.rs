@@ -1,0 +1,41 @@
+//! # rqp-net
+//!
+//! TCP front door for the rqp query service: a dependency-free,
+//! length-prefixed binary wire protocol in front of
+//! [`rqp_server::QueryService`].
+//!
+//! * [`frame`] — the frame layer: magic, version, type, length, payload;
+//!   total decoding with typed [`frame::FrameError`]s and a hard payload
+//!   bound checked before allocation;
+//! * [`wire`] — binary codecs for the engine's structural types
+//!   ([`rqp_opt::QuerySpec`], [`rqp_common::Expr`], [`rqp_common::Value`],
+//!   rows) with checked cursors and recursion-depth limits;
+//! * [`proto`] — the typed message set (HELLO/SUBMIT/FETCH/CANCEL/GOODBYE
+//!   and their server-side answers) plus [`proto::RemoteFailure`], the
+//!   stable-code error report;
+//! * [`server`] — [`server::WireServer`]: thread-per-connection serving
+//!   with per-query pager threads and credit-based result paging (a
+//!   stalled client holds at most one encoded page, never broker memory);
+//! * [`client`] — [`client::WireClient`]: a blocking lockstep client.
+//!
+//! The `rqp-netserver` binary stands a server over a generated TPC-H-like
+//! database; `rqp-loadgen` spawns N real client *processes* against it
+//! (open/closed-loop arrival, priority mix, optional mid-query
+//! disconnects) — the workload driver of the A07 experiment.
+//!
+//! See DESIGN.md ("Wire protocol") for the byte-level specification.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{RemoteOutcome, WireClient};
+pub use frame::{Frame, FrameError, MAGIC, MAX_PAYLOAD, VERSION};
+pub use proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions};
+pub use server::{WireServer, WireStats, PAGE_ROWS};
+pub use wire::rows_checksum;

@@ -1,0 +1,48 @@
+//! The load generator's deterministic query menu, shared between the
+//! `rqp-loadgen` worker processes and any driver (the A07 experiment) that
+//! wants to verify their reported result checksums: both sides derive the
+//! same `(seed, client, index) → menu entry` mapping, so a checksum printed
+//! by a worker process can be checked against a solo run without the rows
+//! ever being re-shipped.
+
+use rqp_opt::QuerySpec;
+use rqp_workload::{tpch::TpchParams, TpchDb};
+
+/// The deterministic query menu. Spec construction only needs the TPC-H
+/// *parameters*, so the throwaway 64-row database is just a spec factory —
+/// menu builders never materialize real data.
+pub fn menu() -> Vec<QuerySpec> {
+    let db = TpchDb::build(TpchParams { lineitem_rows: 64, ..Default::default() }, 1);
+    vec![db.q1(30), db.q3(1, 400), db.q6(100, 0.05, 30), db.q1(90)]
+}
+
+/// Menu index for `(seed, client, query index)` — a splitmix64-style hash,
+/// identical in every process that knows the seed.
+pub fn menu_index(seed: u64, client: usize, q: usize, menu_len: usize) -> usize {
+    let mut x = seed ^ ((client as u64) << 32) ^ (q as u64);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) as usize % menu_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn menu_index_is_deterministic_and_in_range() {
+        for client in 0..8 {
+            for q in 0..8 {
+                let a = menu_index(7, client, q, 4);
+                let b = menu_index(7, client, q, 4);
+                assert_eq!(a, b);
+                assert!(a < 4);
+            }
+        }
+        // Different seeds shuffle the assignment somewhere.
+        let with_7: Vec<_> = (0..16).map(|q| menu_index(7, 0, q, 4)).collect();
+        let with_8: Vec<_> = (0..16).map(|q| menu_index(8, 0, q, 4)).collect();
+        assert_ne!(with_7, with_8, "seed must influence the menu draw");
+    }
+}

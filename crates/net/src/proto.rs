@@ -1,0 +1,424 @@
+//! Typed wire messages on top of the frame layer.
+//!
+//! The conversation is strictly client-driven: the server only ever writes
+//! in response to client frames (HELLO → HELLO_ACK, SUBMIT → SUBMIT_ACK,
+//! FETCH credits → up to that many PAGE frames then DONE/ERROR, CANCEL is
+//! fire-and-forget, GOODBYE → GOODBYE_ACK). Because result pages flow only
+//! against explicitly granted credits, a client that stops fetching stops
+//! *receiving* — its query's remaining rows wait server-side in their
+//! already-accounted result buffer, and no unbounded queue of encoded
+//! frames builds up (see `server`).
+//!
+//! Errors travel as a stable numeric code from
+//! [`RqpError::wire_code`](rqp_common::RqpError::wire_code) plus the display
+//! message, so clients classify failures by code — never by matching
+//! message strings.
+
+use crate::frame::{Frame, FrameError};
+use crate::wire::{self, Reader, Writer};
+use rqp_common::Row;
+use rqp_opt::QuerySpec;
+
+type Result<T> = std::result::Result<T, FrameError>;
+
+// Client → server message type tags.
+const T_HELLO: u8 = 1;
+const T_SUBMIT: u8 = 2;
+const T_FETCH: u8 = 3;
+const T_CANCEL: u8 = 4;
+const T_GOODBYE: u8 = 5;
+
+// Server → client message type tags.
+const T_HELLO_ACK: u8 = 16;
+const T_SUBMIT_ACK: u8 = 17;
+const T_PAGE: u8 = 18;
+const T_DONE: u8 = 19;
+const T_ERROR: u8 = 20;
+const T_GOODBYE_ACK: u8 = 21;
+
+/// Per-query submission options carried on the wire; mirrors
+/// [`rqp_server::QueryOptions`] field for field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireQueryOptions {
+    /// Admission priority override (0 = highest); `None` uses the session's.
+    pub priority: Option<u8>,
+    /// Deadline in cost units on the query's virtual clock.
+    pub deadline: Option<f64>,
+    /// Workspace reservation ask in rows.
+    pub reservation: Option<f64>,
+    /// Virtual arrival time for the deterministic schedule replay.
+    pub arrival: f64,
+    /// Processor-sharing weight in the schedule replay.
+    pub weight: f64,
+}
+
+impl Default for WireQueryOptions {
+    fn default() -> Self {
+        WireQueryOptions {
+            priority: None,
+            deadline: None,
+            reservation: None,
+            arrival: 0.0,
+            weight: 1.0,
+        }
+    }
+}
+
+impl From<WireQueryOptions> for rqp_server::QueryOptions {
+    fn from(w: WireQueryOptions) -> Self {
+        rqp_server::QueryOptions {
+            priority: w.priority,
+            deadline: w.deadline,
+            reservation: w.reservation,
+            arrival: w.arrival,
+            weight: w.weight,
+        }
+    }
+}
+
+/// A remote failure as reported by the server: the stable wire code of the
+/// underlying [`RqpError`](rqp_common::RqpError) plus its display message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteFailure {
+    /// Stable numeric code ([`RqpError::wire_code`](rqp_common::RqpError::wire_code)).
+    pub code: u16,
+    /// Human-readable message (display form of the server-side error).
+    pub message: String,
+}
+
+impl RemoteFailure {
+    /// The variant name behind [`code`](Self::code), if the code is known.
+    pub fn name(&self) -> Option<&'static str> {
+        rqp_common::RqpError::wire_code_name(self.code)
+    }
+
+    /// Whether the failure is a cooperative cancellation (explicit cancel or
+    /// deadline abort) — classified *by code*, not by message text.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self.name(), Some("Cancelled") | Some("DeadlineExceeded"))
+    }
+}
+
+impl std::fmt::Display for RemoteFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "remote error {} ({}): {}",
+            self.code,
+            self.name().unwrap_or("unknown"),
+            self.message
+        )
+    }
+}
+
+/// Client → server messages.
+///
+/// `Submit` dominates the enum size through its inline `QuerySpec`, but
+/// messages are decoded one at a time per connection and matched on
+/// immediately — never collected — so the indirection a `Box` would buy
+/// has nothing to amortize.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ClientMsg {
+    /// Open a session with the given default admission priority.
+    Hello {
+        /// Session priority (0 = highest).
+        priority: u8,
+    },
+    /// Submit a query for concurrent execution.
+    Submit {
+        /// The query.
+        spec: QuerySpec,
+        /// Submission options.
+        opts: WireQueryOptions,
+    },
+    /// Grant `credits` more result pages for `query`.
+    Fetch {
+        /// Target query id (from `SubmitAck`).
+        query: u64,
+        /// Number of additional pages the client is ready to receive.
+        credits: u32,
+    },
+    /// Cooperatively cancel `query`.
+    Cancel {
+        /// Target query id.
+        query: u64,
+    },
+    /// Close the session cleanly.
+    Goodbye,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Session opened.
+    HelloAck {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Query accepted and submitted.
+    SubmitAck {
+        /// Service-wide query id.
+        query: u64,
+    },
+    /// One page of result rows (consumes one credit).
+    Page {
+        /// Owning query id.
+        query: u64,
+        /// Result rows in this page.
+        rows: Vec<Row>,
+    },
+    /// Query finished; all pages delivered.
+    Done {
+        /// Owning query id.
+        query: u64,
+        /// Total rows delivered across all pages.
+        total_rows: u64,
+        /// Cost charged to the query's virtual clock.
+        cost: f64,
+        /// Whether the plan came from the plan cache.
+        plan_cached: bool,
+    },
+    /// Query (or, with `query == 0`, the connection) failed.
+    Error {
+        /// Owning query id; 0 for connection-level protocol errors.
+        query: u64,
+        /// The failure, by stable code.
+        failure: RemoteFailure,
+    },
+    /// Clean session shutdown acknowledged.
+    GoodbyeAck,
+}
+
+impl ClientMsg {
+    /// Encode into a frame body (type tag + payload).
+    pub fn encode(&self) -> Result<(u8, Vec<u8>)> {
+        let mut w = Writer::new();
+        let tag = match self {
+            ClientMsg::Hello { priority } => {
+                w.u8(*priority);
+                T_HELLO
+            }
+            ClientMsg::Submit { spec, opts } => {
+                wire::put_query_spec(&mut w, spec)?;
+                match opts.priority {
+                    Some(p) => {
+                        w.u8(1);
+                        w.u8(p);
+                    }
+                    None => w.u8(0),
+                }
+                w.opt_f64(opts.deadline);
+                w.opt_f64(opts.reservation);
+                w.f64(opts.arrival);
+                w.f64(opts.weight);
+                T_SUBMIT
+            }
+            ClientMsg::Fetch { query, credits } => {
+                w.u64(*query);
+                w.u32(*credits);
+                T_FETCH
+            }
+            ClientMsg::Cancel { query } => {
+                w.u64(*query);
+                T_CANCEL
+            }
+            ClientMsg::Goodbye => T_GOODBYE,
+        };
+        Ok((tag, w.into_bytes()))
+    }
+
+    /// Decode from a received frame.
+    pub fn decode(frame: &Frame) -> Result<ClientMsg> {
+        let mut r = Reader::new(&frame.payload);
+        let msg = match frame.msg_type {
+            T_HELLO => ClientMsg::Hello { priority: r.u8()? },
+            T_SUBMIT => {
+                let spec = wire::get_query_spec(&mut r)?;
+                let priority = if r.bool()? { Some(r.u8()?) } else { None };
+                let deadline = r.opt_f64()?;
+                let reservation = r.opt_f64()?;
+                let arrival = r.f64()?;
+                let weight = r.f64()?;
+                ClientMsg::Submit {
+                    spec,
+                    opts: WireQueryOptions { priority, deadline, reservation, arrival, weight },
+                }
+            }
+            T_FETCH => ClientMsg::Fetch { query: r.u64()?, credits: r.u32()? },
+            T_CANCEL => ClientMsg::Cancel { query: r.u64()? },
+            T_GOODBYE => ClientMsg::Goodbye,
+            t => return Err(FrameError::Malformed(format!("unknown client message type {t}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Encode into a frame body (type tag + payload).
+    pub fn encode(&self) -> Result<(u8, Vec<u8>)> {
+        let mut w = Writer::new();
+        let tag = match self {
+            ServerMsg::HelloAck { session } => {
+                w.u64(*session);
+                T_HELLO_ACK
+            }
+            ServerMsg::SubmitAck { query } => {
+                w.u64(*query);
+                T_SUBMIT_ACK
+            }
+            ServerMsg::Page { query, rows } => {
+                w.u64(*query);
+                wire::put_rows(&mut w, rows);
+                T_PAGE
+            }
+            ServerMsg::Done { query, total_rows, cost, plan_cached } => {
+                w.u64(*query);
+                w.u64(*total_rows);
+                w.f64(*cost);
+                w.bool(*plan_cached);
+                T_DONE
+            }
+            ServerMsg::Error { query, failure } => {
+                w.u64(*query);
+                w.u16(failure.code);
+                w.str(&failure.message);
+                T_ERROR
+            }
+            ServerMsg::GoodbyeAck => T_GOODBYE_ACK,
+        };
+        Ok((tag, w.into_bytes()))
+    }
+
+    /// Decode from a received frame.
+    pub fn decode(frame: &Frame) -> Result<ServerMsg> {
+        let mut r = Reader::new(&frame.payload);
+        let msg = match frame.msg_type {
+            T_HELLO_ACK => ServerMsg::HelloAck { session: r.u64()? },
+            T_SUBMIT_ACK => ServerMsg::SubmitAck { query: r.u64()? },
+            T_PAGE => ServerMsg::Page { query: r.u64()?, rows: wire::get_rows(&mut r)? },
+            T_DONE => ServerMsg::Done {
+                query: r.u64()?,
+                total_rows: r.u64()?,
+                cost: r.f64()?,
+                plan_cached: r.bool()?,
+            },
+            T_ERROR => ServerMsg::Error {
+                query: r.u64()?,
+                failure: RemoteFailure { code: r.u16()?, message: r.str()? },
+            },
+            T_GOODBYE_ACK => ServerMsg::GoodbyeAck,
+            t => return Err(FrameError::Malformed(format!("unknown server message type {t}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_common::expr::{col, lit};
+    use rqp_common::RqpError;
+
+    fn frame(tag: u8, payload: Vec<u8>) -> Frame {
+        Frame { msg_type: tag, payload }
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        let spec = QuerySpec::new()
+            .table("t")
+            .filter("t", col("t.a").gt(lit(3i64)))
+            .limit(5);
+        let msgs = [
+            ClientMsg::Hello { priority: 2 },
+            ClientMsg::Submit {
+                spec,
+                opts: WireQueryOptions {
+                    priority: Some(1),
+                    deadline: Some(123.5),
+                    reservation: None,
+                    arrival: 7.0,
+                    weight: 2.0,
+                },
+            },
+            ClientMsg::Fetch { query: 9, credits: 4 },
+            ClientMsg::Cancel { query: 9 },
+            ClientMsg::Goodbye,
+        ];
+        for m in msgs {
+            let (tag, payload) = m.encode().unwrap();
+            let back = ClientMsg::decode(&frame(tag, payload)).unwrap();
+            match (&m, &back) {
+                // QuerySpec has no PartialEq; compare by cache key.
+                (ClientMsg::Submit { spec: a, opts: oa }, ClientMsg::Submit { spec: b, opts: ob }) => {
+                    assert_eq!(a.cache_key(), b.cache_key());
+                    assert_eq!(oa, ob);
+                }
+                (ClientMsg::Hello { priority: a }, ClientMsg::Hello { priority: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    ClientMsg::Fetch { query: a, credits: ca },
+                    ClientMsg::Fetch { query: b, credits: cb },
+                ) => assert_eq!((a, ca), (b, cb)),
+                (ClientMsg::Cancel { query: a }, ClientMsg::Cancel { query: b }) => {
+                    assert_eq!(a, b)
+                }
+                (ClientMsg::Goodbye, ClientMsg::Goodbye) => {}
+                (sent, got) => panic!("variant changed in round trip: {sent:?} -> {got:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let failure = RemoteFailure {
+            code: RqpError::DeadlineExceeded.wire_code(),
+            message: RqpError::DeadlineExceeded.to_string(),
+        };
+        let msgs = [
+            ServerMsg::HelloAck { session: 3 },
+            ServerMsg::SubmitAck { query: 11 },
+            ServerMsg::Page {
+                query: 11,
+                rows: vec![vec![rqp_common::Value::Int(1), rqp_common::Value::Null]],
+            },
+            ServerMsg::Done { query: 11, total_rows: 1, cost: 42.0, plan_cached: true },
+            ServerMsg::Error { query: 11, failure: failure.clone() },
+            ServerMsg::GoodbyeAck,
+        ];
+        for m in msgs {
+            let (tag, payload) = m.encode().unwrap();
+            assert_eq!(ServerMsg::decode(&frame(tag, payload)).unwrap(), m);
+        }
+        assert!(failure.is_cancellation());
+        assert_eq!(failure.name(), Some("DeadlineExceeded"));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_malformed() {
+        assert!(ClientMsg::decode(&frame(250, Vec::new())).is_err());
+        assert!(ServerMsg::decode(&frame(250, Vec::new())).is_err());
+        let (tag, mut payload) = ClientMsg::Cancel { query: 1 }.encode().unwrap();
+        payload.push(0);
+        assert!(ClientMsg::decode(&frame(tag, payload)).is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn remote_failure_classification_is_code_based() {
+        let cancelled = RemoteFailure { code: RqpError::Cancelled.wire_code(), message: "x".into() };
+        assert!(cancelled.is_cancellation());
+        let exec = RemoteFailure {
+            code: RqpError::Execution("deadline mentioned in text".into()).wire_code(),
+            message: "deadline exceeded".into(), // lying message text
+        };
+        // The code, not the message, decides.
+        assert!(!exec.is_cancellation());
+        let unknown = RemoteFailure { code: 65000, message: "?".into() };
+        assert_eq!(unknown.name(), None);
+        assert!(!unknown.is_cancellation());
+    }
+}

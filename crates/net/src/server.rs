@@ -1,0 +1,399 @@
+//! Thread-per-connection TCP front door for a [`QueryService`].
+//!
+//! Each accepted connection runs one reader thread speaking the `proto`
+//! message set. SUBMIT spawns a per-query *pager* thread that joins the
+//! query's [`QueryHandle`](rqp_server::QueryHandle) and then serves result
+//! pages strictly against client-granted credits: the pager encodes **one
+//! page at a time, only while holding a credit**, so a client that stops
+//! fetching stalls only its own query — the already-materialized result
+//! rows wait in their (already broker-released) buffer and at most one
+//! encoded page exists per query at any instant. The broker's shared
+//! memory ledger is never held hostage by a slow consumer: `run_query`
+//! returns every grant before paging begins.
+//!
+//! Disconnects — clean (GOODBYE) or abrupt (EOF/reset mid-query) — cancel
+//! every live query's token and join its pager, which in turn means the
+//! query thread has fully unwound: MPL slot surrendered, memory grants
+//! returned. The churn counters this maintains
+//! (`wire.queries.disconnected` / `wire.queries.recovered`) are what the
+//! A07 experiment's churn-recovery gauge is derived from.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{ClientMsg, RemoteFailure, ServerMsg};
+use rqp_common::{CancelToken, CostClock, RqpError};
+use rqp_server::{QueryService, Session};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Rows per result page.
+pub const PAGE_ROWS: usize = 256;
+
+/// Credit ledger shared between a query's pager thread and the connection
+/// reader (which deposits FETCH grants and kills the ledger on teardown).
+#[derive(Debug, Default)]
+struct Credits {
+    state: Mutex<(u32, bool)>, // (credits, dead)
+    cv: Condvar,
+}
+
+impl Credits {
+    fn grant(&self, n: u32) {
+        let mut st = self.state.lock().expect("credits lock");
+        st.0 = st.0.saturating_add(n);
+        self.cv.notify_all();
+    }
+
+    fn kill(&self) {
+        self.state.lock().expect("credits lock").1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until one credit is available (consuming it) or the ledger is
+    /// killed. Returns false on kill.
+    fn acquire_one(&self) -> bool {
+        let mut st = self.state.lock().expect("credits lock");
+        loop {
+            if st.1 {
+                return false;
+            }
+            if st.0 > 0 {
+                st.0 -= 1;
+                return true;
+            }
+            st = self.cv.wait(st).expect("credits lock");
+        }
+    }
+}
+
+/// One in-flight query on a connection.
+struct LiveQuery {
+    token: CancelToken,
+    credits: Arc<Credits>,
+    finished: Arc<AtomicBool>,
+    pager: std::thread::JoinHandle<()>,
+}
+
+struct ServerShared {
+    svc: Arc<QueryService>,
+    shutdown: AtomicBool,
+    clock: rqp_common::SharedClock,
+    next_conn: AtomicU64,
+}
+
+/// Cumulative wire-level statistics, all monotone counters except the peak.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections fully torn down.
+    pub closed: u64,
+    /// Queries still live when their connection died (mid-query churn).
+    pub disconnected_queries: u64,
+    /// Of those, queries whose pager (and thus query thread) was fully
+    /// reaped — slot surrendered, grants returned.
+    pub recovered_queries: u64,
+    /// Peak number of encoded-but-unsent result pages held for any single
+    /// query. 1 by construction of the credit loop; the A07 gauge asserts
+    /// this stays bounded.
+    pub peak_buffered_pages: u64,
+    /// Protocol violations observed from peers.
+    pub protocol_errors: u64,
+}
+
+/// A running TCP wire server. Dropping it (or calling
+/// [`shutdown`](WireServer::shutdown)) stops the accept loop and joins
+/// every connection thread.
+pub struct WireServer {
+    shared: Arc<ServerShared>,
+    port: u16,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stats: Arc<Mutex<WireStats>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer").field("port", &self.port).finish()
+    }
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections against `svc`.
+    pub fn start(svc: Arc<QueryService>, addr: &str) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(ServerShared {
+            svc,
+            shutdown: AtomicBool::new(false),
+            clock: CostClock::default_clock(),
+            next_conn: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(Mutex::new(WireStats::default()));
+        let accept = {
+            let (shared, conns, stats) = (Arc::clone(&shared), Arc::clone(&conns), Arc::clone(&stats));
+            std::thread::Builder::new()
+                .name("rqp-net-accept".into())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match incoming {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+                        stats.lock().expect("stats lock").connections += 1;
+                        let (shared, stats) = (Arc::clone(&shared), Arc::clone(&stats));
+                        let handle = std::thread::Builder::new()
+                            .name(format!("rqp-net-conn-{conn_id}"))
+                            .spawn(move || serve_connection(shared, stats, stream, conn_id))
+                            .expect("spawn connection thread");
+                        conns.lock().expect("conns lock").push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(WireServer { shared, port, accept: Some(accept), conns, stats })
+    }
+
+    /// The bound TCP port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A snapshot of the wire-level statistics.
+    pub fn stats(&self) -> WireStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Stop accepting, then join the accept loop and every connection
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.conns.lock().expect("conns lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Best-effort framed send under the shared writer lock.
+fn send(writer: &Mutex<TcpStream>, msg: &ServerMsg) -> Result<(), FrameError> {
+    let (tag, payload) = msg.encode()?;
+    let mut w = writer.lock().expect("writer lock");
+    write_frame(&mut *w, tag, &payload)
+}
+
+fn failure_of(e: &RqpError) -> RemoteFailure {
+    RemoteFailure { code: e.wire_code(), message: e.to_string() }
+}
+
+fn serve_connection(
+    shared: Arc<ServerShared>,
+    stats: Arc<Mutex<WireStats>>,
+    stream: TcpStream,
+    conn_id: u64,
+) {
+    let span = shared.svc.tracer().open("connection", &shared.clock);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    span.set_detail(&format!("conn {conn_id} peer {peer}"));
+
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+
+    // The session opens on HELLO; everything before that is a protocol error.
+    let mut session: Option<Session> = None;
+    let mut live: HashMap<u64, LiveQuery> = HashMap::new();
+    let mut clean_exit = false;
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => break, // peer hung up
+            Err(e) => {
+                stats.lock().expect("stats lock").protocol_errors += 1;
+                let _ = send(
+                    &writer,
+                    &ServerMsg::Error { query: 0, failure: failure_of(&e.into()) },
+                );
+                break;
+            }
+        };
+        let msg = match ClientMsg::decode(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                stats.lock().expect("stats lock").protocol_errors += 1;
+                let _ = send(
+                    &writer,
+                    &ServerMsg::Error { query: 0, failure: failure_of(&e.into()) },
+                );
+                break;
+            }
+        };
+        match msg {
+            ClientMsg::Hello { priority } => {
+                if session.is_some() {
+                    stats.lock().expect("stats lock").protocol_errors += 1;
+                    let e = RqpError::Protocol("duplicate HELLO".into());
+                    let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
+                    break;
+                }
+                let s = shared.svc.session(priority);
+                let _ = send(&writer, &ServerMsg::HelloAck { session: s.id() });
+                session = Some(s);
+            }
+            ClientMsg::Submit { spec, opts } => {
+                let Some(s) = session.as_ref() else {
+                    stats.lock().expect("stats lock").protocol_errors += 1;
+                    let e = RqpError::Protocol("SUBMIT before HELLO".into());
+                    let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
+                    break;
+                };
+                let handle = s.submit(spec, opts.into());
+                let query = handle.query();
+                let token = handle.token();
+                let credits = Arc::new(Credits::default());
+                let finished = Arc::new(AtomicBool::new(false));
+                let pager = {
+                    let (writer, credits, finished, stats) = (
+                        Arc::clone(&writer),
+                        Arc::clone(&credits),
+                        Arc::clone(&finished),
+                        Arc::clone(&stats),
+                    );
+                    std::thread::Builder::new()
+                        .name(format!("rqp-net-pager-{query}"))
+                        .spawn(move || {
+                            page_results(&writer, query, handle, &credits, &stats);
+                            finished.store(true, Ordering::SeqCst);
+                        })
+                        .expect("spawn pager thread")
+                };
+                live.insert(query, LiveQuery { token, credits, finished, pager });
+                let _ = send(&writer, &ServerMsg::SubmitAck { query });
+            }
+            ClientMsg::Fetch { query, credits } => match live.get(&query) {
+                Some(q) => q.credits.grant(credits),
+                None => {
+                    let e = RqpError::Invalid(format!("FETCH for unknown query {query}"));
+                    let _ = send(&writer, &ServerMsg::Error { query, failure: failure_of(&e) });
+                }
+            },
+            ClientMsg::Cancel { query } => {
+                if let Some(q) = live.get(&query) {
+                    q.token.cancel();
+                }
+                // Cancelling an unknown/finished query is a no-op, not an
+                // error: cancellation races completion by design.
+            }
+            ClientMsg::Goodbye => {
+                let _ = send(&writer, &ServerMsg::GoodbyeAck);
+                clean_exit = true;
+                break;
+            }
+        }
+    }
+
+    // Teardown: every live query is cancelled and its pager joined. Joining
+    // the pager means handle.join() returned — the query thread has unwound
+    // through run_query, so its MPL slot and memory grants are released.
+    let mut disconnected = 0u64;
+    let mut recovered = 0u64;
+    for (_, q) in live.drain() {
+        let was_live = !q.finished.load(Ordering::SeqCst);
+        if was_live && !clean_exit {
+            disconnected += 1;
+        }
+        q.token.cancel();
+        q.credits.kill();
+        let joined = q.pager.join().is_ok();
+        if was_live && !clean_exit && joined {
+            recovered += 1;
+        }
+    }
+    {
+        let mut st = stats.lock().expect("stats lock");
+        st.closed += 1;
+        st.disconnected_queries += disconnected;
+        st.recovered_queries += recovered;
+    }
+    span.close(&shared.clock);
+}
+
+/// Pager thread body: join the query, then stream pages against credits.
+fn page_results(
+    writer: &Mutex<TcpStream>,
+    query: u64,
+    handle: rqp_server::QueryHandle,
+    credits: &Credits,
+    stats: &Mutex<WireStats>,
+) {
+    let outcome = match handle.join() {
+        Ok(o) => o,
+        Err(e) => {
+            // Failure frames are small and sent eagerly — a client blocked
+            // in fetch() learns its fate without granting a credit.
+            let _ = send(writer, &ServerMsg::Error { query, failure: failure_of(&e) });
+            return;
+        }
+    };
+    let rows = outcome.rows;
+    let total = rows.len();
+    let mut sent = 0;
+    // Pages encoded but not yet handed to the socket for THIS query; the
+    // credit loop keeps it at 1, and the recorded peak proves it.
+    let mut buffered: u64 = 0;
+    while sent < total {
+        if !credits.acquire_one() {
+            return; // connection torn down
+        }
+        // Encode exactly one page per held credit: at most one encoded page
+        // per query exists at any instant, whatever the client does.
+        let page = rows[sent..(sent + PAGE_ROWS).min(total)].to_vec();
+        buffered += 1;
+        {
+            let mut st = stats.lock().expect("stats lock");
+            st.peak_buffered_pages = st.peak_buffered_pages.max(buffered);
+        }
+        let n = page.len();
+        if send(writer, &ServerMsg::Page { query, rows: page }).is_err() {
+            return;
+        }
+        buffered -= 1;
+        sent += n;
+    }
+    let _ = send(
+        writer,
+        &ServerMsg::Done {
+            query,
+            total_rows: total as u64,
+            cost: outcome.cost,
+            plan_cached: outcome.plan_cached,
+        },
+    );
+}

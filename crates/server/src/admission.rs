@@ -14,8 +14,7 @@
 //! trace through both and asserts the completion orders agree.
 
 use rqp_common::{CancelToken, Result};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Debug, Clone, Copy)]
 struct Ticket {
@@ -39,7 +38,9 @@ struct State {
 pub struct AdmissionController {
     mpl: usize,
     state: Mutex<State>,
-    cv: Condvar,
+    /// Shared with cancel wakers: a token latched while its query is queued
+    /// nudges this condvar so the waiter wakes and leaves, with no polling.
+    cv: Arc<Condvar>,
 }
 
 impl AdmissionController {
@@ -48,7 +49,7 @@ impl AdmissionController {
         AdmissionController {
             mpl: mpl.max(1),
             state: Mutex::new(State::default()),
-            cv: Condvar::new(),
+            cv: Arc::new(Condvar::new()),
         }
     }
 
@@ -60,11 +61,19 @@ impl AdmissionController {
     /// Block until admitted (or the token trips while queued). The returned
     /// permit occupies one MPL slot until dropped.
     ///
-    /// The wait polls the token on a short timeout rather than waiting
-    /// forever: a queued query that is cancelled (or whose controller gave
-    /// up) leaves the queue with the token's latched cause instead of
-    /// occupying it as a zombie.
+    /// The wait is a pure condvar sleep — no timeout polling. Every event
+    /// that can change admittability notifies the condvar: a slot release, a
+    /// [`resume`](Self::resume), and — via a [`CancelToken::on_cancel`]
+    /// waker registered here — the waiter's own token latching, so a queued
+    /// query that is cancelled leaves the queue with the token's latched
+    /// cause instead of occupying it as a zombie.
     pub fn admit(&self, priority: u8, cancel: &CancelToken) -> Result<AdmissionPermit<'_>> {
+        // Register before queueing: if the token latches at any point after
+        // this, the condvar is nudged and the loop below observes it. The
+        // waker outlives the wait (it lives as long as the token); stray
+        // notifies after admission are harmless.
+        let cv = Arc::clone(&self.cv);
+        cancel.on_cancel(move || cv.notify_all());
         let mut st = self.state.lock().expect("admission lock");
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -92,11 +101,7 @@ impl AdmissionController {
                 self.cv.notify_all();
                 return Ok(AdmissionPermit { ctl: self });
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(st, Duration::from_millis(5))
-                .expect("admission lock");
-            st = guard;
+            st = self.cv.wait(st).expect("admission lock");
         }
     }
 
@@ -174,7 +179,11 @@ mod tests {
                     let permit = ctl.admit(1, &token).unwrap();
                     let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                     peak.fetch_max(now, Ordering::SeqCst);
-                    std::thread::sleep(Duration::from_millis(2));
+                    // Widen the overlap window without a wall-clock sleep;
+                    // the MPL bound must hold regardless of timing.
+                    for _ in 0..64 {
+                        std::thread::yield_now();
+                    }
                     live.fetch_sub(1, Ordering::SeqCst);
                     drop(permit);
                 })

@@ -28,8 +28,10 @@ use std::path::{Path, PathBuf};
 /// Version 2 added the parallel-execution metrics (`parallel_speedup`,
 /// `parallel_skew`). Version 3 added the chaos metrics
 /// (`degradation_cliff`, `recovery_rate`). Version 4 added the concurrent-
-/// service metrics (`tail_amplification`, `admission_wait`).
-pub const SCOREBOARD_VERSION: u32 = 4;
+/// service metrics (`tail_amplification`, `admission_wait`). Version 5
+/// added the wire-service metrics (`wire_tail_p99`, `wire_tail_p999`,
+/// `wire_churn_recovery`, `wire_backpressure_pages`).
+pub const SCOREBOARD_VERSION: u32 = 5;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -70,6 +72,20 @@ pub mod samples {
     /// Gauge: worst p99 admission-queue wait (cost units) across a service
     /// sweep. Folded as the *maximum* across runs.
     pub const ADMISSION_WAIT: &str = "paper.service.admission_wait";
+    /// Gauge: worst p99 end-to-end latency amplification over solo execution
+    /// across the wire-service sweep. Folded as the *maximum* across runs.
+    pub const WIRE_TAIL_P99: &str = "paper.wire.tail_p99";
+    /// Gauge: worst p99.9 end-to-end latency amplification over solo
+    /// execution across the wire-service sweep. Folded as the *maximum*.
+    pub const WIRE_TAIL_P999: &str = "paper.wire.tail_p999";
+    /// Gauge: fraction of mid-query client disconnects whose queries were
+    /// fully reaped (slot surrendered, grants returned). Folded as the
+    /// *minimum* across runs — the worst churn recovery observed.
+    pub const WIRE_CHURN_RECOVERY: &str = "paper.wire.churn_recovery";
+    /// Gauge: peak encoded-but-unsent result pages held for any single query
+    /// under a stalled consumer. Folded as the *maximum* across runs —
+    /// credit-based paging keeps this at 1.
+    pub const WIRE_BACKPRESSURE_PAGES: &str = "paper.wire.backpressure_pages";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -109,6 +125,18 @@ pub struct ScoreboardEntry {
     pub tail_amplification: f64,
     /// Worst (maximum) p99 admission wait, from `paper.service.admission_wait`.
     pub admission_wait: f64,
+    /// Worst (maximum) wire p99 latency amplification, from
+    /// `paper.wire.tail_p99`.
+    pub wire_tail_p99: f64,
+    /// Worst (maximum) wire p99.9 latency amplification, from
+    /// `paper.wire.tail_p999`.
+    pub wire_tail_p999: f64,
+    /// Worst (minimum) churn recovery fraction, from
+    /// `paper.wire.churn_recovery`.
+    pub wire_churn_recovery: f64,
+    /// Worst (maximum) stalled-consumer page buffering, from
+    /// `paper.wire.backpressure_pages`.
+    pub wire_backpressure_pages: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -131,6 +159,10 @@ struct SamplePool {
     recoveries: Vec<f64>,
     amplifications: Vec<f64>,
     admission_waits: Vec<f64>,
+    wire_p99s: Vec<f64>,
+    wire_p999s: Vec<f64>,
+    churn_recoveries: Vec<f64>,
+    backpressure_pages: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -167,6 +199,14 @@ impl SamplePool {
                 self.amplifications.push(*x);
             } else if name == samples::ADMISSION_WAIT {
                 self.admission_waits.push(*x);
+            } else if name == samples::WIRE_TAIL_P99 {
+                self.wire_p99s.push(*x);
+            } else if name == samples::WIRE_TAIL_P999 {
+                self.wire_p999s.push(*x);
+            } else if name == samples::WIRE_CHURN_RECOVERY {
+                self.churn_recoveries.push(*x);
+            } else if name == samples::WIRE_BACKPRESSURE_PAGES {
+                self.backpressure_pages.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -203,6 +243,10 @@ impl SamplePool {
         self.recoveries.sort_by(f64::total_cmp);
         self.amplifications.sort_by(f64::total_cmp);
         self.admission_waits.sort_by(f64::total_cmp);
+        self.wire_p99s.sort_by(f64::total_cmp);
+        self.wire_p999s.sort_by(f64::total_cmp);
+        self.churn_recoveries.sort_by(f64::total_cmp);
+        self.backpressure_pages.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -259,6 +303,10 @@ impl SamplePool {
             recovery_rate: self.recoveries.first().copied().unwrap_or(f64::NAN),
             tail_amplification: self.amplifications.last().copied().unwrap_or(f64::NAN),
             admission_wait: self.admission_waits.last().copied().unwrap_or(f64::NAN),
+            wire_tail_p99: self.wire_p99s.last().copied().unwrap_or(f64::NAN),
+            wire_tail_p999: self.wire_p999s.last().copied().unwrap_or(f64::NAN),
+            wire_churn_recovery: self.churn_recoveries.first().copied().unwrap_or(f64::NAN),
+            wire_backpressure_pages: self.backpressure_pages.last().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -420,6 +468,24 @@ impl Scoreboard {
                 base.admission_wait * thresholds.admission_wait_ratio
                     + thresholds.admission_wait_slack,
             );
+            check(
+                "wire_tail_p99",
+                base.wire_tail_p99,
+                cur.wire_tail_p99,
+                base.wire_tail_p99 * thresholds.wire_tail_ratio + thresholds.wire_tail_slack,
+            );
+            check(
+                "wire_tail_p999",
+                base.wire_tail_p999,
+                cur.wire_tail_p999,
+                base.wire_tail_p999 * thresholds.wire_tail_ratio + thresholds.wire_tail_slack,
+            );
+            check(
+                "wire_backpressure_pages",
+                base.wire_backpressure_pages,
+                cur.wire_backpressure_pages,
+                base.wire_backpressure_pages + thresholds.wire_backpressure_slack,
+            );
             // Floor metrics regress *downward*: flag a drop below the floor,
             // and (like the ceiling checks) a metric that vanished entirely.
             let mut check_floor = |metric: &str, baseline: f64, current_v: f64, floor: f64| {
@@ -447,6 +513,12 @@ impl Scoreboard {
                 base.recovery_rate,
                 cur.recovery_rate,
                 base.recovery_rate - thresholds.recovery_rate_slack,
+            );
+            check_floor(
+                "wire_churn_recovery",
+                base.wire_churn_recovery,
+                cur.wire_churn_recovery,
+                base.wire_churn_recovery - thresholds.wire_churn_recovery_slack,
             );
         }
         out
@@ -487,6 +559,14 @@ pub struct DiffThresholds {
     pub admission_wait_ratio: f64,
     /// …plus this absolute slack (baselines can legitimately be near zero).
     pub admission_wait_slack: f64,
+    /// `wire_tail_p99` / `wire_tail_p999` may grow by this factor…
+    pub wire_tail_ratio: f64,
+    /// …plus this absolute slack.
+    pub wire_tail_slack: f64,
+    /// `wire_churn_recovery` may *shrink* by this absolute amount.
+    pub wire_churn_recovery_slack: f64,
+    /// `wire_backpressure_pages` may grow by this absolute amount.
+    pub wire_backpressure_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -506,6 +586,10 @@ impl Default for DiffThresholds {
             tail_amplification_slack: 0.5,
             admission_wait_ratio: 1.5,
             admission_wait_slack: 1.0,
+            wire_tail_ratio: 1.25,
+            wire_tail_slack: 0.5,
+            wire_churn_recovery_slack: 0.02,
+            wire_backpressure_slack: 0.5,
         }
     }
 }
@@ -553,6 +637,10 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("recovery_rate", Json::num(e.recovery_rate)),
         ("tail_amplification", Json::num(e.tail_amplification)),
         ("admission_wait", Json::num(e.admission_wait)),
+        ("wire_tail_p99", Json::num(e.wire_tail_p99)),
+        ("wire_tail_p999", Json::num(e.wire_tail_p999)),
+        ("wire_churn_recovery", Json::num(e.wire_churn_recovery)),
+        ("wire_backpressure_pages", Json::num(e.wire_backpressure_pages)),
         (
             "events",
             Json::Obj(
@@ -600,6 +688,10 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         recovery_rate: num("recovery_rate")?,
         tail_amplification: num("tail_amplification")?,
         admission_wait: num("admission_wait")?,
+        wire_tail_p99: num("wire_tail_p99")?,
+        wire_tail_p999: num("wire_tail_p999")?,
+        wire_churn_recovery: num("wire_churn_recovery")?,
+        wire_backpressure_pages: num("wire_backpressure_pages")?,
         events,
     })
 }
@@ -638,6 +730,10 @@ mod tests {
         reg.gauge(samples::RECOVERY_RATE).set(1.0);
         reg.gauge(samples::TAIL_AMPLIFICATION).set(2.0);
         reg.gauge(samples::ADMISSION_WAIT).set(40.0);
+        reg.gauge(samples::WIRE_TAIL_P99).set(3.0);
+        reg.gauge(samples::WIRE_TAIL_P999).set(4.0);
+        reg.gauge(samples::WIRE_CHURN_RECOVERY).set(1.0);
+        reg.gauge(samples::WIRE_BACKPRESSURE_PAGES).set(1.0);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -664,6 +760,45 @@ mod tests {
         assert_eq!(e.recovery_rate, 1.0);
         assert_eq!(e.tail_amplification, 2.0);
         assert_eq!(e.admission_wait, 40.0);
+        assert_eq!(e.wire_tail_p99, 3.0);
+        assert_eq!(e.wire_tail_p999, 4.0);
+        assert_eq!(e.wire_churn_recovery, 1.0);
+        assert_eq!(e.wire_backpressure_pages, 1.0);
+    }
+
+    #[test]
+    fn diff_trips_on_wire_tail_growth_churn_collapse_and_page_buildup() {
+        let baseline = Scoreboard::fold(&[report("a07", 50.0, 100, 1000.0)]);
+        // Either tail percentile stretching past ratio + slack trips its
+        // ceiling check…
+        let mut stretched = baseline.clone();
+        stretched.entries.get_mut("a07").unwrap().wire_tail_p99 = 4.5;
+        let regs = baseline.diff(&stretched, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "wire_tail_p99"), "{regs:?}");
+        let mut stretched = baseline.clone();
+        stretched.entries.get_mut("a07").unwrap().wire_tail_p999 = 6.0;
+        let regs = baseline.diff(&stretched, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "wire_tail_p999"), "{regs:?}");
+        // …disconnected queries going unreaped trips the recovery floor…
+        let mut leaky = baseline.clone();
+        leaky.entries.get_mut("a07").unwrap().wire_churn_recovery = 0.9;
+        let regs = baseline.diff(&leaky, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "wire_churn_recovery"), "{regs:?}");
+        // …and a stalled consumer accumulating encoded pages trips the
+        // backpressure ceiling, as does any wire gauge vanishing.
+        let mut hoarding = baseline.clone();
+        hoarding.entries.get_mut("a07").unwrap().wire_backpressure_pages = 8.0;
+        let regs = baseline.diff(&hoarding, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "wire_backpressure_pages"), "{regs:?}");
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a07").unwrap().wire_churn_recovery = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "wire_churn_recovery"), "{regs:?}");
+        // A tighter tail with full recovery is an improvement.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a07").unwrap().wire_tail_p99 = 1.0;
+        better.entries.get_mut("a07").unwrap().wire_tail_p999 = 1.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]

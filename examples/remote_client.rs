@@ -1,0 +1,86 @@
+//! The TCP wire protocol: a remote session against a live wire server.
+//!
+//! Stands up a [`rqp_net::WireServer`] over a TPC-H-like catalog on an
+//! ephemeral localhost port, then drives it the way an external process
+//! would: connect + HELLO, run queries (submit, credit-granting fetch),
+//! observe a typed failure crossing the wire with its stable code, cancel a
+//! queued query, and say GOODBYE — while the server's wire statistics
+//! confirm nothing leaked.
+//!
+//! ```sh
+//! cargo run --release -p rqp-net --example remote_client
+//! ```
+
+use rqp_net::{rows_checksum, WireClient, WireQueryOptions, WireServer};
+use rqp_server::{QueryService, ServiceConfig};
+use rqp_workload::{tpch::TpchParams, TpchDb};
+use std::sync::Arc;
+
+fn main() {
+    let db = TpchDb::build(TpchParams { lineitem_rows: 10_000, ..Default::default() }, 7);
+    let svc = Arc::new(QueryService::new(
+        &db.catalog,
+        ServiceConfig { mpl: 2, memory_rows: 20_000.0, drift_threshold: 1e9, ..Default::default() },
+    ));
+
+    // --- A real TCP server on an ephemeral port. ---
+    let server = WireServer::start(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+    let addr = format!("127.0.0.1:{}", server.port());
+    println!("wire server listening on {addr}");
+
+    // --- Solo baseline, then the same query over the wire. ---
+    let q = db.q3(1, 400);
+    let solo = svc.run_solo(&q).unwrap();
+    let mut client = WireClient::connect(&addr, 0).unwrap();
+    println!("session {} open", client.session());
+    let out = client.run(&q, WireQueryOptions::default()).unwrap().unwrap();
+    assert_eq!(out.rows, solo.rows, "remote rows are bit-identical to solo");
+    println!(
+        "remote query {}: {} rows in {:.0} cost units, checksum {:016x} (matches solo)",
+        out.query,
+        out.rows.len(),
+        out.cost,
+        rows_checksum(&out.rows)
+    );
+
+    // --- A deadline too tight to finish: the typed abort crosses the wire
+    // with a stable numeric code, not a string to be parsed. ---
+    let failure = client
+        .run(&q, WireQueryOptions { deadline: Some(solo.cost / 10.0), ..Default::default() })
+        .unwrap()
+        .unwrap_err();
+    println!(
+        "deadline query: code {} ({}) — {}",
+        failure.code,
+        failure.name().unwrap_or("?"),
+        failure.message
+    );
+
+    // --- Cancel a queued query from the client side. Pausing the gate
+    // makes it deterministic: the CANCEL lands while the query waits, and
+    // the cancelled waiter leaves the queue before the gate reopens. ---
+    svc.pause_admission();
+    let queued = client.submit(&q, WireQueryOptions::default()).unwrap();
+    while svc.queue_depth() != 1 {
+        std::thread::yield_now();
+    }
+    client.cancel(queued).unwrap();
+    while svc.queue_depth() != 0 {
+        std::thread::yield_now();
+    }
+    svc.resume_admission();
+    let failure = client.fetch(queued).unwrap().unwrap_err();
+    println!("cancelled query {queued}: code {} ({})", failure.code, failure.name().unwrap_or("?"));
+
+    client.goodbye().unwrap();
+    let stats = server.stats();
+    println!(
+        "\nwire stats: {} connection(s), {} closed, {} protocol errors, \
+         peak {} buffered page(s); service holds {} reserved rows",
+        stats.connections,
+        stats.closed,
+        stats.protocol_errors,
+        stats.peak_buffered_pages,
+        svc.reserved()
+    );
+}

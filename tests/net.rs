@@ -1,0 +1,252 @@
+//! Acceptance tests for the TCP wire layer (`rqp-net`): remote results
+//! bit-identical to solo execution, credit-based backpressure that bounds
+//! what a stalled client can hold, abrupt-disconnect teardown that releases
+//! the MPL slot and every memory grant, stable error codes across the wire,
+//! and cooperative cancellation of a queued query from a remote client.
+
+use rqp_common::expr::{col, lit};
+use rqp_common::RqpError;
+use rqp_telemetry::scoreboard::{DiffThresholds, Scoreboard};
+use rqp_net::{rows_checksum, WireClient, WireQueryOptions, WireServer, PAGE_ROWS};
+use rqp_opt::QuerySpec;
+use rqp_server::{QueryService, ServiceConfig};
+use rqp_workload::{tpch::TpchParams, TpchDb};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_db() -> TpchDb {
+    TpchDb::build(TpchParams { lineitem_rows: 4_000, ..Default::default() }, 42)
+}
+
+fn service(db: &TpchDb, mpl: usize) -> Arc<QueryService> {
+    Arc::new(QueryService::new(
+        &db.catalog,
+        ServiceConfig { mpl, memory_rows: 20_000.0, drift_threshold: 1e9, ..Default::default() },
+    ))
+}
+
+fn start(svc: &Arc<QueryService>) -> (WireServer, String) {
+    let server = WireServer::start(Arc::clone(svc), "127.0.0.1:0").expect("bind");
+    let addr = format!("127.0.0.1:{}", server.port());
+    (server, addr)
+}
+
+/// A predicate-only scan returning every lineitem row — many pages' worth,
+/// for exercising the pager rather than a one-row aggregate.
+fn wide_scan() -> QuerySpec {
+    QuerySpec::new()
+        .table("lineitem")
+        .filter("lineitem", col("lineitem.quantity").ge(lit(0)))
+        .project(&["lineitem.orderkey", "lineitem.quantity", "lineitem.extendedprice"])
+}
+
+/// Spin until `cond` holds or a generous deadline passes. The wire layer is
+/// asynchronous by nature; tests only ever wait on monotone conditions.
+fn await_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn remote_results_are_bit_identical_to_solo_runs() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let (server, addr) = start(&svc);
+
+    let specs = [db.q1(30), db.q3(1, 400), db.q6(100, 0.05, 30), wide_scan()];
+    let solo: Vec<_> = specs.iter().map(|q| svc.run_solo(q).expect("solo run")).collect();
+
+    let mut client = WireClient::connect(&addr, 0).expect("connect");
+    for (spec, solo) in specs.iter().zip(&solo) {
+        let out = client
+            .run(spec, WireQueryOptions::default())
+            .expect("wire transport")
+            .expect("remote query failed");
+        assert_eq!(out.rows, solo.rows, "remote rows diverged from solo execution");
+        assert_eq!(
+            rows_checksum(&out.rows),
+            rows_checksum(&solo.rows),
+            "checksum identity must follow row identity"
+        );
+    }
+    client.goodbye().expect("clean goodbye");
+    assert_eq!(svc.reserved(), 0.0, "remote queries leaked grants");
+
+    drop(server);
+}
+
+#[test]
+fn stalled_consumer_holds_one_page_and_never_broker_memory() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let (server, addr) = start(&svc);
+
+    // The slow consumer: submit a many-page scan but grant a single credit.
+    let mut slow = WireClient::connect(&addr, 0).expect("connect slow");
+    let query = slow.submit(&wide_scan(), WireQueryOptions::default()).expect("submit");
+    let first = slow.fetch_partial(query, 1).expect("first page");
+    assert_eq!(first.len(), PAGE_ROWS, "first page should be full");
+
+    // While the consumer stalls: the broker owes it nothing (results are
+    // materialized and grants returned before paging), and a neighbour on a
+    // separate connection runs to completion unimpeded.
+    assert_eq!(svc.reserved(), 0.0, "stalled consumer held broker memory");
+    let solo = svc.run_solo(&db.q1(30)).expect("solo");
+    let mut other = WireClient::connect(&addr, 0).expect("connect other");
+    let out = other
+        .run(&db.q1(30), WireQueryOptions::default())
+        .expect("wire transport")
+        .expect("neighbour failed behind a stalled consumer");
+    assert_eq!(out.rows, solo.rows);
+    other.goodbye().expect("goodbye other");
+
+    // Drain the rest; the stall must not have corrupted the page stream.
+    let rest = slow.fetch_partial(query, u32::MAX).expect("drain");
+    assert_eq!(first.len() + rest.len(), 4_000, "row loss across the stall");
+    slow.goodbye().expect("goodbye slow");
+
+    let stats = server.stats();
+    assert!(
+        stats.peak_buffered_pages <= 1,
+        "pager buffered {} pages; credits must bound this at 1",
+        stats.peak_buffered_pages
+    );
+    drop(server);
+}
+
+#[test]
+fn abrupt_disconnect_mid_query_releases_slot_and_grants() {
+    let db = small_db();
+    let svc = service(&db, 1);
+    let (server, addr) = start(&svc);
+
+    // Park a query in the admission queue so it is definitely live when the
+    // connection dies, then vanish without GOODBYE — the TCP stream drops
+    // with the client value.
+    svc.pause_admission();
+    let mut doomed = WireClient::connect(&addr, 0).expect("connect");
+    let _query = doomed
+        .submit(&wide_scan(), WireQueryOptions { reservation: Some(5_000.0), ..Default::default() })
+        .expect("submit");
+    await_until(|| svc.queue_depth() == 1, "query to queue");
+    drop(doomed);
+
+    // The server must notice the dead peer, cancel the query, and reap it.
+    await_until(|| server.stats().closed == 1, "connection teardown");
+    let stats = server.stats();
+    assert_eq!(stats.disconnected_queries, 1, "mid-query disconnect not counted");
+    assert_eq!(stats.recovered_queries, 1, "disconnected query not reaped");
+    svc.resume_admission();
+    await_until(|| svc.queue_depth() == 0, "queue to drain");
+    assert_eq!(svc.reserved(), 0.0, "disconnected query leaked memory grants");
+
+    // The MPL slot must be free: with MPL 1 a fresh query would hang forever
+    // on a leaked slot.
+    let mut fresh = WireClient::connect(&addr, 0).expect("reconnect");
+    fresh
+        .run(&db.q6(100, 0.05, 30), WireQueryOptions::default())
+        .expect("wire transport")
+        .expect("query after churn failed: leaked MPL slot?");
+    fresh.goodbye().expect("goodbye");
+    drop(server);
+}
+
+#[test]
+fn deadline_abort_crosses_the_wire_with_its_stable_code() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let (server, addr) = start(&svc);
+
+    let mut client = WireClient::connect(&addr, 0).expect("connect");
+    let failure = client
+        .run(
+            &db.q5(0, 10, 100),
+            WireQueryOptions {
+                deadline: Some(1.0),
+                reservation: Some(8_000.0),
+                ..Default::default()
+            },
+        )
+        .expect("wire transport")
+        .expect_err("past-deadline query must fail");
+    assert_eq!(
+        failure.code,
+        RqpError::DeadlineExceeded.wire_code(),
+        "deadline abort arrived with the wrong wire code"
+    );
+    assert_eq!(failure.name(), Some("DeadlineExceeded"));
+    assert!(failure.is_cancellation(), "classification must be code-based");
+    client.goodbye().expect("goodbye");
+    assert_eq!(svc.reserved(), 0.0, "aborted query leaked grants");
+    drop(server);
+}
+
+#[test]
+fn cancelling_a_queued_query_over_the_wire_frees_its_slot() {
+    let db = small_db();
+    let svc = service(&db, 1);
+    let (server, addr) = start(&svc);
+
+    svc.pause_admission();
+    let mut client = WireClient::connect(&addr, 0).expect("connect");
+    let query = client.submit(&db.q1(30), WireQueryOptions::default()).expect("submit");
+    await_until(|| svc.queue_depth() == 1, "query to queue");
+    client.cancel(query).expect("send cancel");
+    let failure = client.fetch(query).expect("wire transport").expect_err("cancelled");
+    assert_eq!(failure.code, RqpError::Cancelled.wire_code());
+    assert!(failure.is_cancellation());
+    svc.resume_admission();
+    await_until(|| svc.queue_depth() == 0, "cancelled waiter to leave the queue");
+    assert_eq!(svc.reserved(), 0.0);
+    client.goodbye().expect("goodbye");
+    drop(server);
+}
+
+#[test]
+fn a07_runs_real_client_processes_and_scoreboard_v5_gates_the_wire_metrics() {
+    // Redirect the harness output to a scratch dir; this test is the only
+    // one in this binary that touches RQP_EXP_OUTPUT. Cargo built our own
+    // bins for this integration test, so the loadgen path is authoritative.
+    let dir = std::env::temp_dir().join(format!("rqp_a07_gate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("RQP_EXP_OUTPUT", &dir);
+    std::env::set_var("RQP_LOADGEN_BIN", env!("CARGO_BIN_EXE_rqp-loadgen"));
+    let summary = rqp_bench::a07_wire_service(true);
+    std::env::remove_var("RQP_EXP_OUTPUT");
+    std::env::remove_var("RQP_LOADGEN_BIN");
+    assert!(summary.contains("A07"), "experiment produced no summary");
+
+    let board = Scoreboard::from_dir(&dir).expect("fold the a07 run report");
+    let entry = board.entries.get("a07_wire_service").expect("a07 entry");
+    assert!(entry.wire_tail_p99.is_finite() && entry.wire_tail_p99 >= 1.0);
+    assert!(entry.wire_tail_p999.is_finite() && entry.wire_tail_p999 >= 1.0);
+    assert_eq!(entry.wire_churn_recovery, 1.0, "every disconnect must be reaped");
+    assert_eq!(entry.wire_backpressure_pages, 1.0, "credits must bound buffering");
+
+    // The diff gate must trip when any wire metric degrades past its
+    // threshold relative to this run as baseline.
+    let mut worse = board.clone();
+    {
+        let e = worse.entries.get_mut("a07_wire_service").unwrap();
+        e.wire_tail_p99 = e.wire_tail_p99 * 2.0 + 1.0;
+        e.wire_tail_p999 = e.wire_tail_p999 * 2.0 + 1.0;
+        e.wire_churn_recovery = 0.5;
+        e.wire_backpressure_pages += 5.0;
+    }
+    let regressions = board.diff(&worse, &DiffThresholds::default());
+    let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+    for gate in
+        ["wire_tail_p99", "wire_tail_p999", "wire_churn_recovery", "wire_backpressure_pages"]
+    {
+        assert!(metrics.contains(&gate), "{gate} gate missing: {metrics:?}");
+    }
+
+    // And the clean self-diff must pass.
+    assert!(board.diff(&board, &DiffThresholds::default()).is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
