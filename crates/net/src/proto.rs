@@ -270,7 +270,7 @@ impl ServerMsg {
             }
             ServerMsg::Page { query, rows } => {
                 w.u64(*query);
-                wire::put_rows(&mut w, rows);
+                wire::put_rows(&mut w, rows)?;
                 T_PAGE
             }
             ServerMsg::Done { query, total_rows, cost, plan_cached } => {
@@ -283,7 +283,7 @@ impl ServerMsg {
             ServerMsg::Error { query, failure } => {
                 w.u64(*query);
                 w.u16(failure.code);
-                w.str(&failure.message);
+                w.str(&failure.message)?;
                 T_ERROR
             }
             ServerMsg::GoodbyeAck => T_GOODBYE_ACK,

@@ -18,12 +18,12 @@
 //! (`wire.queries.disconnected` / `wire.queries.recovered`) are what the
 //! A07 experiment's churn-recovery gauge is derived from.
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{read_frame, write_frame, FrameError, MAX_PAYLOAD};
 use crate::proto::{ClientMsg, RemoteFailure, ServerMsg};
 use rqp_common::{CancelToken, CostClock, RqpError};
 use rqp_server::{QueryService, Session};
 use std::collections::HashMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -107,7 +107,7 @@ pub struct WireStats {
 /// every connection thread.
 pub struct WireServer {
     shared: Arc<ServerShared>,
-    port: u16,
+    local: SocketAddr,
     accept: Option<std::thread::JoinHandle<()>>,
     conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     stats: Arc<Mutex<WireStats>>,
@@ -115,7 +115,7 @@ pub struct WireServer {
 
 impl std::fmt::Debug for WireServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WireServer").field("port", &self.port).finish()
+        f.debug_struct("WireServer").field("addr", &self.local).finish()
     }
 }
 
@@ -124,7 +124,7 @@ impl WireServer {
     /// accepting connections against `svc`.
     pub fn start(svc: Arc<QueryService>, addr: &str) -> std::io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
-        let port = listener.local_addr()?.port();
+        let local = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             svc,
             shutdown: AtomicBool::new(false),
@@ -154,17 +154,29 @@ impl WireServer {
                             .name(format!("rqp-net-conn-{conn_id}"))
                             .spawn(move || serve_connection(shared, stats, stream, conn_id))
                             .expect("spawn connection thread");
-                        conns.lock().expect("conns lock").push(handle);
+                        // Reap connections that have already ended before
+                        // tracking the new one, so a long-lived server does
+                        // not accumulate a handle per connection ever served.
+                        let mut guard = conns.lock().expect("conns lock");
+                        let mut i = 0;
+                        while i < guard.len() {
+                            if guard[i].is_finished() {
+                                let _ = guard.swap_remove(i).join();
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        guard.push(handle);
                     }
                 })
                 .expect("spawn accept thread")
         };
-        Ok(WireServer { shared, port, accept: Some(accept), conns, stats })
+        Ok(WireServer { shared, local, accept: Some(accept), conns, stats })
     }
 
     /// The bound TCP port.
     pub fn port(&self) -> u16 {
-        self.port
+        self.local.port()
     }
 
     /// A snapshot of the wire-level statistics.
@@ -178,8 +190,17 @@ impl WireServer {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        // Unblock the accept loop with a throwaway connection to the
+        // address actually bound — a wildcard bind (0.0.0.0/[::]) is not
+        // connectable as-is, so map it to the matching loopback.
+        let mut target = self.local;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(target);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -204,7 +225,33 @@ fn send(writer: &Mutex<TcpStream>, msg: &ServerMsg) -> Result<(), FrameError> {
 }
 
 fn failure_of(e: &RqpError) -> RemoteFailure {
-    RemoteFailure { code: e.wire_code(), message: e.to_string() }
+    // Bound the message so an ERROR frame itself can always encode
+    // (Writer::str rejects oversized strings); codes carry the semantics,
+    // the text is advisory.
+    let mut message = e.to_string();
+    if message.len() > 4096 {
+        let cut = (0..=4096).rev().find(|&i| message.is_char_boundary(i)).unwrap_or(0);
+        message.truncate(cut);
+        message.push('…');
+    }
+    RemoteFailure { code: e.wire_code(), message }
+}
+
+/// Drop (and join the pagers of) queries whose pager has finished. Called
+/// opportunistically from the connection loop so a long-lived connection
+/// does not accumulate a dead pager handle and credit ledger per query it
+/// has ever run.
+fn reap_finished(live: &mut HashMap<u64, LiveQuery>) {
+    let done: Vec<u64> = live
+        .iter()
+        .filter(|(_, q)| q.finished.load(Ordering::SeqCst))
+        .map(|(id, _)| *id)
+        .collect();
+    for id in done {
+        if let Some(q) = live.remove(&id) {
+            let _ = q.pager.join();
+        }
+    }
 }
 
 fn serve_connection(
@@ -244,6 +291,7 @@ fn serve_connection(
                 break;
             }
         };
+        reap_finished(&mut live);
         let msg = match ClientMsg::decode(&frame) {
             Ok(m) => m,
             Err(e) => {
@@ -297,13 +345,15 @@ fn serve_connection(
                 live.insert(query, LiveQuery { token, credits, finished, pager });
                 let _ = send(&writer, &ServerMsg::SubmitAck { query });
             }
-            ClientMsg::Fetch { query, credits } => match live.get(&query) {
-                Some(q) => q.credits.grant(credits),
-                None => {
-                    let e = RqpError::Invalid(format!("FETCH for unknown query {query}"));
-                    let _ = send(&writer, &ServerMsg::Error { query, failure: failure_of(&e) });
+            ClientMsg::Fetch { query, credits } => {
+                if let Some(q) = live.get(&query) {
+                    q.credits.grant(credits);
                 }
-            },
+                // A grant for an unknown/finished query is a no-op, not an
+                // error: a client legitimately re-grants before it has read
+                // the DONE/ERROR frame already in flight, so FETCH races
+                // completion by design — exactly like CANCEL below.
+            }
             ClientMsg::Cancel { query } => {
                 if let Some(q) = live.get(&query) {
                     q.token.cancel();
@@ -365,6 +415,10 @@ fn page_results(
     let rows = outcome.rows;
     let total = rows.len();
     let mut sent = 0;
+    // Rows per page, shrunk adaptively when wide rows push a page's
+    // *encoded* size past the frame limit — the bound that matters is
+    // bytes, not row count.
+    let mut page_rows = PAGE_ROWS;
     // Pages encoded but not yet handed to the socket for THIS query; the
     // credit loop keeps it at 1, and the recorded peak proves it.
     let mut buffered: u64 = 0;
@@ -373,15 +427,51 @@ fn page_results(
             return; // connection torn down
         }
         // Encode exactly one page per held credit: at most one encoded page
-        // per query exists at any instant, whatever the client does.
-        let page = rows[sent..(sent + PAGE_ROWS).min(total)].to_vec();
+        // per query exists at any instant, whatever the client does. If the
+        // encoding fails or cannot fit a frame even at one row per page,
+        // the stream MUST still terminate with an ERROR frame — a blocking
+        // client is otherwise left waiting forever for a DONE that never
+        // comes.
+        let mut n = page_rows.min(total - sent);
+        let (tag, payload) = loop {
+            let msg = ServerMsg::Page { query, rows: rows[sent..sent + n].to_vec() };
+            match msg.encode() {
+                Ok((tag, payload)) if payload.len() <= MAX_PAYLOAD as usize => {
+                    break (tag, payload)
+                }
+                Ok(_) if n > 1 => {
+                    n /= 2;
+                    page_rows = n;
+                }
+                Ok(_) => {
+                    let e = RqpError::Protocol(format!(
+                        "result row of query {query} exceeds the {MAX_PAYLOAD}-byte frame limit"
+                    ));
+                    let _ = send(writer, &ServerMsg::Error { query, failure: failure_of(&e) });
+                    return;
+                }
+                Err(e) => {
+                    let _ =
+                        send(writer, &ServerMsg::Error { query, failure: failure_of(&e.into()) });
+                    return;
+                }
+            }
+        };
         buffered += 1;
         {
             let mut st = stats.lock().expect("stats lock");
             st.peak_buffered_pages = st.peak_buffered_pages.max(buffered);
         }
-        let n = page.len();
-        if send(writer, &ServerMsg::Page { query, rows: page }).is_err() {
+        let res = {
+            let mut w = writer.lock().expect("writer lock");
+            write_frame(&mut *w, tag, &payload)
+        };
+        if res.is_err() {
+            // Socket-level failure: the connection is almost certainly dead,
+            // but attempt a terminal ERROR anyway so a peer with a one-way
+            // fault is not left hanging, then abandon the stream.
+            let e = RqpError::Protocol(format!("failed to deliver a page of query {query}"));
+            let _ = send(writer, &ServerMsg::Error { query, failure: failure_of(&e) });
             return;
         }
         buffered -= 1;

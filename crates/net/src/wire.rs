@@ -87,10 +87,19 @@ impl Writer {
         self.buf.push(v as u8);
     }
 
-    /// Append a length-prefixed UTF-8 string.
-    pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+    /// Append a length-prefixed UTF-8 string. Mirrors [`Reader::str`]:
+    /// strings over [`MAX_STR`] are rejected at encode time, so this side
+    /// never emits a frame the peer is guaranteed to drop as malformed
+    /// (and a ≥ 4 GiB string can never silently truncate its length).
+    pub fn str(&mut self, s: &str) -> Result<()> {
+        let len = u32::try_from(s.len())
+            .map_err(|_| malformed(format!("string of {} bytes overflows u32", s.len())))?;
+        if len > MAX_STR {
+            return Err(malformed(format!("string of {len} bytes exceeds {MAX_STR}")));
+        }
+        self.u32(len);
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
     /// Append an `Option<f64>` (presence byte + value).
@@ -205,8 +214,9 @@ impl<'a> Reader<'a> {
 // Engine types
 // ---------------------------------------------------------------------------
 
-/// Encode a [`Value`].
-pub fn put_value(w: &mut Writer, v: &Value) {
+/// Encode a [`Value`]. Fails on a string value the wire cannot carry
+/// (over [`MAX_STR`]), mirroring the decode-side bound.
+pub fn put_value(w: &mut Writer, v: &Value) -> Result<()> {
     match v {
         Value::Null => w.u8(0),
         Value::Int(i) => {
@@ -219,9 +229,10 @@ pub fn put_value(w: &mut Writer, v: &Value) {
         }
         Value::Str(s) => {
             w.u8(3);
-            w.str(s);
+            w.str(s)?;
         }
     }
+    Ok(())
 }
 
 /// Decode a [`Value`].
@@ -236,11 +247,12 @@ pub fn get_value(r: &mut Reader) -> Result<Value> {
 }
 
 /// Encode a [`Row`].
-pub fn put_row(w: &mut Writer, row: &Row) {
+pub fn put_row(w: &mut Writer, row: &Row) -> Result<()> {
     w.u32(row.len() as u32);
     for v in row {
-        put_value(w, v);
+        put_value(w, v)?;
     }
+    Ok(())
 }
 
 /// Decode a [`Row`].
@@ -254,11 +266,12 @@ pub fn get_row(r: &mut Reader) -> Result<Row> {
 }
 
 /// Encode a batch of rows.
-pub fn put_rows(w: &mut Writer, rows: &[Row]) {
+pub fn put_rows(w: &mut Writer, rows: &[Row]) -> Result<()> {
     w.u32(rows.len() as u32);
     for row in rows {
-        put_row(w, row);
+        put_row(w, row)?;
     }
+    Ok(())
 }
 
 /// Decode a batch of rows.
@@ -324,11 +337,11 @@ fn put_expr_depth(w: &mut Writer, e: &Expr, depth: usize) -> Result<()> {
     match e {
         Expr::Col(c) => {
             w.u8(0);
-            w.str(c);
+            w.str(c)?;
         }
         Expr::Lit(v) => {
             w.u8(1);
-            put_value(w, v);
+            put_value(w, v)?;
         }
         Expr::Cmp { op, lhs, rhs } => {
             w.u8(2);
@@ -339,15 +352,15 @@ fn put_expr_depth(w: &mut Writer, e: &Expr, depth: usize) -> Result<()> {
         Expr::Between { expr, lo, hi } => {
             w.u8(3);
             put_expr_depth(w, expr, depth + 1)?;
-            put_value(w, lo);
-            put_value(w, hi);
+            put_value(w, lo)?;
+            put_value(w, hi)?;
         }
         Expr::InList { expr, list } => {
             w.u8(4);
             put_expr_depth(w, expr, depth + 1)?;
             w.u32(list.len() as u32);
             for v in list {
-                put_value(w, v);
+                put_value(w, v)?;
             }
         }
         Expr::And(v) => {
@@ -465,35 +478,35 @@ fn agg_func_from(tag: u8) -> Result<AggFunc> {
 pub fn put_query_spec(w: &mut Writer, spec: &QuerySpec) -> Result<()> {
     w.u32(spec.tables.len() as u32);
     for t in &spec.tables {
-        w.str(t);
+        w.str(t)?;
     }
     let mut preds: Vec<(&String, &Expr)> = spec.local_preds.iter().collect();
     preds.sort_by_key(|(t, _)| (*t).clone());
     w.u32(preds.len() as u32);
     for (t, p) in preds {
-        w.str(t);
+        w.str(t)?;
         put_expr(w, p)?;
     }
     w.u32(spec.joins.len() as u32);
     for j in &spec.joins {
-        w.str(&j.left_table);
-        w.str(&j.left_col);
-        w.str(&j.right_table);
-        w.str(&j.right_col);
+        w.str(&j.left_table)?;
+        w.str(&j.left_col)?;
+        w.str(&j.right_table)?;
+        w.str(&j.right_col)?;
     }
     match &spec.projections {
         Some(cols) => {
             w.u8(1);
             w.u32(cols.len() as u32);
             for c in cols {
-                w.str(c);
+                w.str(c)?;
             }
         }
         None => w.u8(0),
     }
     w.u32(spec.group_by.len() as u32);
     for c in &spec.group_by {
-        w.str(c);
+        w.str(c)?;
     }
     w.u32(spec.aggs.len() as u32);
     for a in &spec.aggs {
@@ -501,15 +514,15 @@ pub fn put_query_spec(w: &mut Writer, spec: &QuerySpec) -> Result<()> {
         match &a.col {
             Some(c) => {
                 w.u8(1);
-                w.str(c);
+                w.str(c)?;
             }
             None => w.u8(0),
         }
-        w.str(&a.alias);
+        w.str(&a.alias)?;
     }
     w.u32(spec.order_by.len() as u32);
     for c in &spec.order_by {
-        w.str(c);
+        w.str(c)?;
     }
     match spec.limit {
         Some(n) => {
@@ -575,13 +588,24 @@ pub fn get_query_spec(r: &mut Reader) -> Result<QuerySpec> {
 /// result-identity currency of the wire experiments: a client-side checksum
 /// equal to the server-side solo checksum proves bit-identical rows without
 /// shipping the rows back again.
+///
+/// A batch that cannot legally encode (a string over [`MAX_STR`]) can never
+/// cross the wire either, so no remote checksum can exist to compare it
+/// against; the failure is folded into the hash deterministically instead
+/// of making every comparison site fallible.
 pub fn rows_checksum(rows: &[Row]) -> u64 {
     let mut w = Writer::new();
-    put_rows(&mut w, rows);
+    let err = put_rows(&mut w, rows).err();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in w.into_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(&w.into_bytes());
+    if let Some(e) = err {
+        mix(e.to_string().as_bytes());
     }
     h
 }
@@ -643,7 +667,7 @@ mod tests {
             Value::Str("héllo".into()),
         ];
         let mut w = Writer::new();
-        put_rows(&mut w, &[row.clone(), row.clone()]);
+        put_rows(&mut w, &[row.clone(), row.clone()]).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let back = get_rows(&mut r).unwrap();
@@ -682,6 +706,29 @@ mod tests {
     }
 
     #[test]
+    fn oversized_strings_are_rejected_at_encode_time_too() {
+        // Writer::str mirrors Reader::str: a string the peer would reject
+        // as malformed never makes it into a payload in the first place.
+        let big = "x".repeat(MAX_STR as usize + 1);
+        let mut w = Writer::new();
+        assert!(w.str(&big).is_err());
+        let mut w = Writer::new();
+        assert!(put_value(&mut w, &Value::Str(big.clone())).is_err());
+        let mut w = Writer::new();
+        assert!(put_rows(&mut w, &[vec![Value::Str(big.clone())]]).is_err());
+        // And rows_checksum stays total: the unencodable batch still hashes
+        // (to something different from a near-miss legal batch).
+        let legal = vec![vec![Value::Str("x".repeat(MAX_STR as usize))]];
+        assert_ne!(rows_checksum(&[vec![Value::Str(big)]]), rows_checksum(&legal));
+        // Exactly MAX_STR is fine on both sides.
+        let mut w = Writer::new();
+        put_rows(&mut w, &legal).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_rows(&mut r).unwrap(), legal);
+    }
+
+    #[test]
     fn hostile_deep_expression_hits_the_depth_limit() {
         // Not(Not(Not(... Col))) deeper than the limit, hand-encoded so the
         // encoder's own limit can't refuse to produce it.
@@ -690,7 +737,7 @@ mod tests {
             w.u8(7); // Not
         }
         w.u8(0);
-        w.str("c");
+        w.str("c").unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let err = get_expr(&mut r).unwrap_err();

@@ -37,7 +37,9 @@ struct State {
 #[derive(Debug)]
 pub struct AdmissionController {
     mpl: usize,
-    state: Mutex<State>,
+    /// Behind an `Arc` so cancel wakers can lock it: notifying while holding
+    /// this mutex is what makes the cancel wakeup race-free (see `admit`).
+    state: Arc<Mutex<State>>,
     /// Shared with cancel wakers: a token latched while its query is queued
     /// nudges this condvar so the waiter wakes and leaves, with no polling.
     cv: Arc<Condvar>,
@@ -48,7 +50,7 @@ impl AdmissionController {
     pub fn new(mpl: usize) -> Self {
         AdmissionController {
             mpl: mpl.max(1),
-            state: Mutex::new(State::default()),
+            state: Arc::new(Mutex::new(State::default())),
             cv: Arc::new(Condvar::new()),
         }
     }
@@ -72,8 +74,19 @@ impl AdmissionController {
         // this, the condvar is nudged and the loop below observes it. The
         // waker outlives the wait (it lives as long as the token); stray
         // notifies after admission are harmless.
+        //
+        // The waker takes the state lock (an empty critical section) before
+        // notifying: a waiter is then either before its `is_cancelled` check
+        // — it holds the lock and will observe the latch — or already parked
+        // in `cv.wait`, which the notify wakes. Without the lock the notify
+        // could land in the window between check and sleep and be lost,
+        // leaving a cancelled waiter asleep until some unrelated release.
         let cv = Arc::clone(&self.cv);
-        cancel.on_cancel(move || cv.notify_all());
+        let state = Arc::clone(&self.state);
+        cancel.on_cancel(move || {
+            let _sync = state.lock();
+            cv.notify_all();
+        });
         let mut st = self.state.lock().expect("admission lock");
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -226,6 +239,28 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn cancel_racing_the_wait_never_loses_the_wakeup() {
+        // Hammer the window between the waiter's is_cancelled() check and
+        // its cv.wait(): the gate stays paused the whole time, so only the
+        // cancel notification can ever free a waiter — if that notify is
+        // lost, the join below hangs and the test times out.
+        let ctl = Arc::new(AdmissionController::new(1));
+        ctl.pause();
+        for _ in 0..200 {
+            let token = CancelToken::new();
+            let t2 = token.clone();
+            let ctl2 = Arc::clone(&ctl);
+            let waiter = std::thread::spawn(move || ctl2.admit(0, &t2).map(|_| ()));
+            // No queue-depth handshake: let cancel land anywhere relative to
+            // the waiter's registration, check, and sleep.
+            token.cancel();
+            assert_eq!(waiter.join().unwrap(), Err(RqpError::Cancelled));
+        }
+        assert_eq!(ctl.queue_depth(), 0);
+        assert_eq!(ctl.admitted(), 0);
     }
 
     #[test]

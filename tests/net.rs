@@ -155,6 +155,35 @@ fn abrupt_disconnect_mid_query_releases_slot_and_grants() {
 }
 
 #[test]
+fn stray_grants_for_a_finished_query_do_not_corrupt_the_stream() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let (server, addr) = start(&svc);
+
+    let mut client = WireClient::connect(&addr, 0).expect("connect");
+    let out = client
+        .run(&db.q6(100, 0.05, 30), WireQueryOptions::default())
+        .expect("wire transport")
+        .expect("query failed");
+
+    // The query is done and its server-side entry may be reaped at any
+    // moment. Late grants and cancels race completion by design (a client
+    // re-grants before reading the DONE already in flight) and must be
+    // silently absorbed — an ERROR reply here would be read by whatever
+    // exchange comes next and corrupt the conversation.
+    client.fetch_partial(out.query, 0).expect("stray fetch must be a no-op");
+    client.cancel(out.query).expect("stray cancel must be a no-op");
+
+    // A fresh query and a clean goodbye prove no stray frame leaked in.
+    client
+        .run(&db.q1(30), WireQueryOptions::default())
+        .expect("wire transport")
+        .expect("follow-up query failed");
+    client.goodbye().expect("clean goodbye after stray grants");
+    drop(server);
+}
+
+#[test]
 fn deadline_abort_crosses_the_wire_with_its_stable_code() {
     let db = small_db();
     let svc = service(&db, 2);
