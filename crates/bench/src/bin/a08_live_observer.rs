@@ -1,0 +1,9 @@
+//! Experiment binary; see DESIGN.md's per-experiment index. Pass `--fast`
+//! for a reduced-size run. Writes `a08_live_observer.txt` and a JSON run
+//! report to `exp_output/` (override with `RQP_EXP_OUTPUT`). Requires the
+//! `rqp-loadgen` binary (built with `cargo build -p rqp-net`) next to this
+//! one, or named via `RQP_LOADGEN_BIN`.
+
+fn main() {
+    rqp_bench::experiments::harness::cli_main("a08_live_observer", rqp_bench::a08_live_observer);
+}

@@ -13,7 +13,7 @@
 //! with per-metric thresholds and exits non-zero when the current board
 //! regresses against the baseline — the CI gate.
 
-use rqp::telemetry::{DiffThresholds, MetricValue, RunReport, Scoreboard};
+use rqp::telemetry::{DiffThresholds, EventTail, Json, MetricValue, RunReport, Scoreboard};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -42,11 +42,6 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_report(path: &str) -> Result<RunReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    RunReport::from_json(&text).map_err(|e| format!("parse {path}: {e}"))
-}
-
 fn load_scoreboard(path: &str) -> Result<Scoreboard, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     Scoreboard::from_json(&text).map_err(|e| format!("parse {path}: {e}"))
@@ -54,9 +49,39 @@ fn load_scoreboard(path: &str) -> Result<Scoreboard, String> {
 
 fn show(args: &[String]) -> Result<(), String> {
     let [path] = args else { return Err(USAGE.to_string()) };
-    let report = load_report(path)?;
-    print!("{}", render_report(&report));
+    // A `show` target is either a run report or a live-captured events
+    // dump (`rqp-top --events-dump`); the dump's `kind` marker decides.
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if let Ok(dump) = EventTail::from_json(&doc) {
+        print!("{}", render_events_dump(&dump));
+    } else {
+        let report = RunReport::from_json(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        print!("{}", render_report(&report));
+    }
     Ok(())
+}
+
+/// Render a captured flight-recorder tail with the same event formatter
+/// as the run-report adaptive-decision listing, keyed by owning query
+/// instead of span id.
+fn render_events_dump(dump: &EventTail) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "flight-recorder events ({}), {} overwritten before capture:\n",
+        dump.events.len(),
+        dump.gap,
+    ));
+    for ev in &dump.events {
+        out.push_str(&event_line(ev.at, &format!("q {:>4}", ev.query), &ev.kind, &ev.detail));
+    }
+    out
+}
+
+/// One event line: shared by the run-report adaptive-decision listing
+/// (owner = a span id) and the events-dump rendering (owner = a query id).
+fn event_line(at: f64, owner: &str, kind: &str, detail: &str) -> String {
+    format!("  @{at:<10.0} {owner}  {kind:<14} {detail}\n")
 }
 
 /// The full human rendering of one run report.
@@ -87,10 +112,7 @@ fn render_report(report: &RunReport) -> String {
     if !events.is_empty() {
         out.push_str(&format!("\nadaptive-decision events ({}):\n", events.len()));
         for (span_id, ev) in &events {
-            out.push_str(&format!(
-                "  @{:<10.0} span {:>3}  {:<14} {}\n",
-                ev.at, span_id, ev.kind, ev.detail
-            ));
+            out.push_str(&event_line(ev.at, &format!("span {span_id:>3}"), &ev.kind, &ev.detail));
         }
     }
 

@@ -24,6 +24,11 @@
 //! Each worker prints one machine-readable summary line
 //! (`RQPLOAD client=… results=idx:checksum,…`); the parent relays them
 //! (inherited stdout) and appends an aggregate `RQPLOAD total …` line.
+//! With `--observe` the parent also runs an observer thread on its own
+//! connection, tailing the server's flight recorder (EVENTS) for the
+//! duration of the run; the total line then reports
+//! `observer_events=N observer_gaps=G` — `G > 0` means the recorder ring
+//! overwrote events faster than the observer drained them.
 //! Checksums are [`rqp_net::rows_checksum`] over the wire encoding, so a
 //! driver that also knows the menu can verify bit-identity against solo
 //! runs without the rows ever being re-shipped.
@@ -43,6 +48,7 @@ struct Args {
     rate: f64,
     churn: usize,
     seed: u64,
+    observe: bool,
     worker: Option<usize>,
 }
 
@@ -55,6 +61,7 @@ fn parse_args() -> Args {
         rate: 1.0,
         churn: 0,
         seed: 7,
+        observe: false,
         worker: None,
     };
     let mut it = std::env::args().skip(1);
@@ -82,6 +89,7 @@ fn parse_args() -> Args {
             "--rate" => args.rate = val("--rate").parse().expect("--rate"),
             "--churn" => args.churn = val("--churn").parse().expect("--churn"),
             "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--observe" => args.observe = true,
             "--worker" => args.worker = Some(val("--worker").parse().expect("--worker")),
             other => {
                 eprintln!("unknown flag {other}");
@@ -209,8 +217,45 @@ fn print_summary(
     );
 }
 
+/// Tail the server's flight recorder on a dedicated connection until told
+/// to stop, then report `(events_seen, gaps)`. Read-only frames bypass
+/// admission, so the observer never perturbs the workload's scheduling.
+fn run_observer(
+    addr: String,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<(u64, u64)> {
+    std::thread::spawn(move || {
+        let Ok(mut client) = WireClient::connect(&addr, 0) else { return (0, 0) };
+        let mut cursor = 0u64;
+        let mut events = 0u64;
+        let mut gaps = 0u64;
+        loop {
+            let done = stop.load(std::sync::atomic::Ordering::SeqCst);
+            // One last drain after the stop flag so nothing published
+            // before the workload finished goes uncounted.
+            loop {
+                let Ok(tail) = client.events(cursor, 4096) else { return (events, gaps) };
+                cursor = tail.next_cursor;
+                events += tail.events.len() as u64;
+                gaps += tail.gap;
+                if tail.events.is_empty() {
+                    break;
+                }
+            }
+            if done {
+                return (events, gaps);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    })
+}
+
 fn run_parent(args: &Args) {
     let exe = std::env::current_exe().expect("current exe");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observer = args
+        .observe
+        .then(|| run_observer(args.addr.clone(), std::sync::Arc::clone(&stop)));
     let mut children = Vec::new();
     for id in 0..args.clients {
         let mut cmd = Command::new(&exe);
@@ -263,8 +308,16 @@ fn run_parent(args: &Args) {
             hard_errors += 1;
         }
     }
+    let observed = observer.map(|handle| {
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        handle.join().expect("join observer thread")
+    });
+    let observer_s = match observed {
+        Some((events, gaps)) => format!(" observer_events={events} observer_gaps={gaps}"),
+        None => String::new(),
+    };
     println!(
-        "RQPLOAD total clients={} ok={ok} failed={failed} disconnected={disconnected} errors={hard_errors}",
+        "RQPLOAD total clients={} ok={ok} failed={failed} disconnected={disconnected} errors={hard_errors}{observer_s}",
         args.clients
     );
     if hard_errors > 0 {

@@ -11,6 +11,8 @@ use crate::frame::{read_frame, write_frame};
 use crate::proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions};
 use rqp_common::{Row, RqpError};
 use rqp_opt::QuerySpec;
+use rqp_server::{LiveQueryStats, QueryPhase};
+use rqp_telemetry::{EventTail, MetricsSnapshot};
 use std::collections::HashMap;
 use std::net::TcpStream;
 
@@ -28,6 +30,29 @@ pub struct RemoteOutcome {
     pub cost: f64,
     /// Whether the server served the plan from its plan cache.
     pub plan_cached: bool,
+}
+
+/// A STATS reply: the server's metrics registry plus every in-flight
+/// query's live state, as one consistent-enough snapshot (gauges are
+/// refreshed server-side immediately before the snapshot is taken).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    /// Service metrics, in registration order.
+    pub metrics: MetricsSnapshot,
+    /// In-flight queries, ordered by query id.
+    pub live: Vec<LiveQueryStats>,
+}
+
+/// An INSPECT reply: the live (or final) `EXPLAIN ANALYZE` of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectOutcome {
+    /// Whether the server knew the query id at all.
+    pub found: bool,
+    /// The query's phase at snapshot time (meaningful while in flight).
+    pub phase: QueryPhase,
+    /// Rendered span tree, possibly truncated server-side; empty while
+    /// the query is queued (nothing has executed yet).
+    pub rendered: String,
 }
 
 /// A blocking connection to a [`WireServer`](crate::WireServer).
@@ -173,6 +198,50 @@ impl WireClient {
         match self.recv()? {
             ServerMsg::GoodbyeAck => Ok(()),
             other => Err(RqpError::Protocol(format!("expected GOODBYE_ACK, got {other:?}"))),
+        }
+    }
+
+    /// Snapshot the server's metrics and in-flight queries (STATS).
+    ///
+    /// Like all three introspection calls, this runs in lockstep on this
+    /// connection: call it only when no query frames are outstanding here.
+    /// Observers (`rqp-top`, loadgen `--observe`) use a dedicated
+    /// connection so they never interleave with a query conversation.
+    pub fn stats(&mut self) -> Result<ServiceSnapshot, RqpError> {
+        self.send(&ClientMsg::Stats)?;
+        match self.recv()? {
+            ServerMsg::StatsReply { metrics, live } => Ok(ServiceSnapshot { metrics, live }),
+            ServerMsg::Error { failure, .. } => Err(RqpError::Protocol(failure.to_string())),
+            other => Err(RqpError::Protocol(format!("expected STATS_REPLY, got {other:?}"))),
+        }
+    }
+
+    /// Live `EXPLAIN ANALYZE` of `query` (INSPECT): its span tree so far
+    /// if running, its final tree if already completed.
+    pub fn inspect(&mut self, query: u64) -> Result<InspectOutcome, RqpError> {
+        self.send(&ClientMsg::Inspect { query })?;
+        match self.recv()? {
+            ServerMsg::InspectReply { found, phase, rendered, .. } => {
+                Ok(InspectOutcome { found, phase: QueryPhase::from_u8(phase), rendered })
+            }
+            ServerMsg::Error { failure, .. } => Err(RqpError::Protocol(failure.to_string())),
+            other => {
+                Err(RqpError::Protocol(format!("expected INSPECT_REPLY, got {other:?}")))
+            }
+        }
+    }
+
+    /// Tail the server's flight recorder from `cursor` (EVENTS), up to
+    /// `max` events. Resume from the returned `next_cursor`; a non-zero
+    /// `gap` means the ring overwrote events this reader never saw.
+    pub fn events(&mut self, cursor: u64, max: u32) -> Result<EventTail, RqpError> {
+        self.send(&ClientMsg::Events { cursor, max })?;
+        match self.recv()? {
+            ServerMsg::EventsReply { events, next_cursor, gap } => {
+                Ok(EventTail { events, next_cursor, gap })
+            }
+            ServerMsg::Error { failure, .. } => Err(RqpError::Protocol(failure.to_string())),
+            other => Err(RqpError::Protocol(format!("expected EVENTS_REPLY, got {other:?}"))),
         }
     }
 

@@ -18,6 +18,12 @@
 //!   stalled client holds at most one encoded page, never broker memory);
 //! * [`client`] — [`client::WireClient`]: a blocking lockstep client.
 //!
+//! Beyond the query conversation, three read-only introspection frames —
+//! STATS, INSPECT, EVENTS — are answered inline and bypass admission, so
+//! an observer connection never competes with the workload it watches.
+//! They feed the `rqp-top` live dashboard and the A08 observer-overhead
+//! experiment.
+//!
 //! The `rqp-netserver` binary stands a server over a generated TPC-H-like
 //! database; `rqp-loadgen` spawns N real client *processes* against it
 //! (open/closed-loop arrival, priority mix, optional mid-query
@@ -34,7 +40,7 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{RemoteOutcome, WireClient};
+pub use client::{InspectOutcome, RemoteOutcome, ServiceSnapshot, WireClient};
 pub use frame::{Frame, FrameError, MAGIC, MAX_PAYLOAD, VERSION};
 pub use proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions};
 pub use server::{WireServer, WireStats, PAGE_ROWS};

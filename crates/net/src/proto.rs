@@ -18,6 +18,8 @@ use crate::frame::{Frame, FrameError};
 use crate::wire::{self, Reader, Writer};
 use rqp_common::Row;
 use rqp_opt::QuerySpec;
+use rqp_server::LiveQueryStats;
+use rqp_telemetry::{MetricsSnapshot, RecordedEvent};
 
 type Result<T> = std::result::Result<T, FrameError>;
 
@@ -27,6 +29,9 @@ const T_SUBMIT: u8 = 2;
 const T_FETCH: u8 = 3;
 const T_CANCEL: u8 = 4;
 const T_GOODBYE: u8 = 5;
+const T_STATS: u8 = 6;
+const T_INSPECT: u8 = 7;
+const T_EVENTS: u8 = 8;
 
 // Server → client message type tags.
 const T_HELLO_ACK: u8 = 16;
@@ -35,6 +40,9 @@ const T_PAGE: u8 = 18;
 const T_DONE: u8 = 19;
 const T_ERROR: u8 = 20;
 const T_GOODBYE_ACK: u8 = 21;
+const T_STATS_REPLY: u8 = 22;
+const T_INSPECT_REPLY: u8 = 23;
+const T_EVENTS_REPLY: u8 = 24;
 
 /// Per-query submission options carried on the wire; mirrors
 /// [`rqp_server::QueryOptions`] field for field.
@@ -146,6 +154,24 @@ pub enum ClientMsg {
     },
     /// Close the session cleanly.
     Goodbye,
+    /// Read-only gauge snapshot (service metrics + in-flight queries).
+    /// Answered inline, bypassing admission; no HELLO required.
+    Stats,
+    /// Live `EXPLAIN ANALYZE` of an in-flight query's span tree so far.
+    /// Answered inline, bypassing admission; no HELLO required.
+    Inspect {
+        /// Target query id.
+        query: u64,
+    },
+    /// Tail the flight recorder from a sequence-number cursor. Answered
+    /// inline, bypassing admission; no HELLO required.
+    Events {
+        /// Resume cursor (0 = oldest retained event).
+        cursor: u64,
+        /// Maximum events in one reply (bounds the frame size; poll again
+        /// from the returned cursor for more).
+        max: u32,
+    },
 }
 
 /// Server → client messages.
@@ -188,6 +214,38 @@ pub enum ServerMsg {
     },
     /// Clean session shutdown acknowledged.
     GoodbyeAck,
+    /// Gauge snapshot: the service metrics registry plus every in-flight
+    /// query's live state.
+    StatsReply {
+        /// Service metrics, in registration order.
+        metrics: MetricsSnapshot,
+        /// In-flight queries, ordered by query id.
+        live: Vec<LiveQueryStats>,
+    },
+    /// Live `EXPLAIN ANALYZE` of one query.
+    InspectReply {
+        /// The inspected query id.
+        query: u64,
+        /// Whether the id was known (in flight, or already in the service
+        /// trace forest). When false the remaining fields are defaults.
+        found: bool,
+        /// Current phase ([`QueryPhase::as_u8`](rqp_server::QueryPhase::as_u8)
+        /// encoding); meaningful only for in-flight queries.
+        phase: u8,
+        /// Rendered span tree so far (`TraceTree::render` output,
+        /// truncated server-side to fit one frame).
+        rendered: String,
+    },
+    /// A flight-recorder tail.
+    EventsReply {
+        /// Events with `seq >= cursor`, oldest first.
+        events: Vec<RecordedEvent>,
+        /// Cursor to resume the tail from.
+        next_cursor: u64,
+        /// Requested-but-overwritten events between the cursor and the
+        /// first returned event (reader fell behind the ring).
+        gap: u64,
+    },
 }
 
 impl ClientMsg {
@@ -224,6 +282,16 @@ impl ClientMsg {
                 T_CANCEL
             }
             ClientMsg::Goodbye => T_GOODBYE,
+            ClientMsg::Stats => T_STATS,
+            ClientMsg::Inspect { query } => {
+                w.u64(*query);
+                T_INSPECT
+            }
+            ClientMsg::Events { cursor, max } => {
+                w.u64(*cursor);
+                w.u32(*max);
+                T_EVENTS
+            }
         };
         Ok((tag, w.into_bytes()))
     }
@@ -248,6 +316,9 @@ impl ClientMsg {
             T_FETCH => ClientMsg::Fetch { query: r.u64()?, credits: r.u32()? },
             T_CANCEL => ClientMsg::Cancel { query: r.u64()? },
             T_GOODBYE => ClientMsg::Goodbye,
+            T_STATS => ClientMsg::Stats,
+            T_INSPECT => ClientMsg::Inspect { query: r.u64()? },
+            T_EVENTS => ClientMsg::Events { cursor: r.u64()?, max: r.u32()? },
             t => return Err(FrameError::Malformed(format!("unknown client message type {t}"))),
         };
         r.finish()?;
@@ -287,6 +358,24 @@ impl ServerMsg {
                 T_ERROR
             }
             ServerMsg::GoodbyeAck => T_GOODBYE_ACK,
+            ServerMsg::StatsReply { metrics, live } => {
+                wire::put_metrics(&mut w, metrics)?;
+                wire::put_live_queries(&mut w, live)?;
+                T_STATS_REPLY
+            }
+            ServerMsg::InspectReply { query, found, phase, rendered } => {
+                w.u64(*query);
+                w.bool(*found);
+                w.u8(*phase);
+                w.str(rendered)?;
+                T_INSPECT_REPLY
+            }
+            ServerMsg::EventsReply { events, next_cursor, gap } => {
+                wire::put_events(&mut w, events)?;
+                w.u64(*next_cursor);
+                w.u64(*gap);
+                T_EVENTS_REPLY
+            }
         };
         Ok((tag, w.into_bytes()))
     }
@@ -309,6 +398,21 @@ impl ServerMsg {
                 failure: RemoteFailure { code: r.u16()?, message: r.str()? },
             },
             T_GOODBYE_ACK => ServerMsg::GoodbyeAck,
+            T_STATS_REPLY => ServerMsg::StatsReply {
+                metrics: wire::get_metrics(&mut r)?,
+                live: wire::get_live_queries(&mut r)?,
+            },
+            T_INSPECT_REPLY => ServerMsg::InspectReply {
+                query: r.u64()?,
+                found: r.bool()?,
+                phase: r.u8()?,
+                rendered: r.str()?,
+            },
+            T_EVENTS_REPLY => ServerMsg::EventsReply {
+                events: wire::get_events(&mut r)?,
+                next_cursor: r.u64()?,
+                gap: r.u64()?,
+            },
             t => return Err(FrameError::Malformed(format!("unknown server message type {t}"))),
         };
         r.finish()?;
@@ -347,6 +451,9 @@ mod tests {
             ClientMsg::Fetch { query: 9, credits: 4 },
             ClientMsg::Cancel { query: 9 },
             ClientMsg::Goodbye,
+            ClientMsg::Stats,
+            ClientMsg::Inspect { query: 12 },
+            ClientMsg::Events { cursor: 1000, max: 256 },
         ];
         for m in msgs {
             let (tag, payload) = m.encode().unwrap();
@@ -368,6 +475,14 @@ mod tests {
                     assert_eq!(a, b)
                 }
                 (ClientMsg::Goodbye, ClientMsg::Goodbye) => {}
+                (ClientMsg::Stats, ClientMsg::Stats) => {}
+                (ClientMsg::Inspect { query: a }, ClientMsg::Inspect { query: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    ClientMsg::Events { cursor: a, max: ma },
+                    ClientMsg::Events { cursor: b, max: mb },
+                ) => assert_eq!((a, ma), (b, mb)),
                 (sent, got) => panic!("variant changed in round trip: {sent:?} -> {got:?}"),
             }
         }
@@ -389,6 +504,39 @@ mod tests {
             ServerMsg::Done { query: 11, total_rows: 1, cost: 42.0, plan_cached: true },
             ServerMsg::Error { query: 11, failure: failure.clone() },
             ServerMsg::GoodbyeAck,
+            ServerMsg::StatsReply {
+                metrics: vec![
+                    ("wire.connections".into(), rqp_telemetry::MetricValue::Counter(2)),
+                    ("server.live.reserved".into(), rqp_telemetry::MetricValue::Gauge(0.5)),
+                ],
+                live: vec![LiveQueryStats {
+                    query: 11,
+                    session: 3,
+                    priority: 1,
+                    phase: rqp_server::QueryPhase::Running,
+                    ticks: 9.0,
+                    granted: 100.0,
+                    share: 500.0,
+                    deadline_remaining: None,
+                }],
+            },
+            ServerMsg::InspectReply {
+                query: 11,
+                found: true,
+                phase: rqp_server::QueryPhase::Running.as_u8(),
+                rendered: "query q11 s3\n  table_scan 42 rows\n".into(),
+            },
+            ServerMsg::EventsReply {
+                events: vec![RecordedEvent {
+                    seq: 5,
+                    at: 0.25,
+                    query: 11,
+                    kind: "admission.admit".into(),
+                    detail: "running 1 of mpl 4".into(),
+                }],
+                next_cursor: 6,
+                gap: 2,
+            },
         ];
         for m in msgs {
             let (tag, payload) = m.encode().unwrap();

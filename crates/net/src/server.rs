@@ -21,7 +21,8 @@
 use crate::frame::{read_frame, write_frame, FrameError, MAX_PAYLOAD};
 use crate::proto::{ClientMsg, RemoteFailure, ServerMsg};
 use rqp_common::{CancelToken, CostClock, RqpError};
-use rqp_server::{QueryService, Session};
+use rqp_server::{QueryPhase, QueryService, Session};
+use rqp_telemetry::{SpanSnapshot, TraceTree};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +49,14 @@ impl Credits {
     fn kill(&self) {
         self.state.lock().expect("credits lock").1 = true;
         self.cv.notify_all();
+    }
+
+    /// Whether an `acquire_one` right now would block (no credit, not
+    /// dead). Advisory — the answer can be stale by the time it is used;
+    /// the pager only uses it to publish `pager.stall` events.
+    fn would_block(&self) -> bool {
+        let st = self.state.lock().expect("credits lock");
+        st.0 == 0 && !st.1
     }
 
     /// Block until one credit is available (consuming it) or the ledger is
@@ -149,6 +158,7 @@ impl WireServer {
                         };
                         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
                         stats.lock().expect("stats lock").connections += 1;
+                        shared.svc.metrics().counter("wire.connections").inc();
                         let (shared, stats) = (Arc::clone(&shared), Arc::clone(&stats));
                         let handle = std::thread::Builder::new()
                             .name(format!("rqp-net-conn-{conn_id}"))
@@ -284,6 +294,7 @@ fn serve_connection(
             Ok(None) => break, // peer hung up
             Err(e) => {
                 stats.lock().expect("stats lock").protocol_errors += 1;
+                shared.svc.metrics().counter("wire.protocol_errors").inc();
                 let _ = send(
                     &writer,
                     &ServerMsg::Error { query: 0, failure: failure_of(&e.into()) },
@@ -296,6 +307,7 @@ fn serve_connection(
             Ok(m) => m,
             Err(e) => {
                 stats.lock().expect("stats lock").protocol_errors += 1;
+                shared.svc.metrics().counter("wire.protocol_errors").inc();
                 let _ = send(
                     &writer,
                     &ServerMsg::Error { query: 0, failure: failure_of(&e.into()) },
@@ -307,6 +319,8 @@ fn serve_connection(
             ClientMsg::Hello { priority } => {
                 if session.is_some() {
                     stats.lock().expect("stats lock").protocol_errors += 1;
+                    shared.svc.metrics().counter("wire.protocol_errors").inc();
+                shared.svc.metrics().counter("wire.protocol_errors").inc();
                     let e = RqpError::Protocol("duplicate HELLO".into());
                     let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
                     break;
@@ -318,17 +332,21 @@ fn serve_connection(
             ClientMsg::Submit { spec, opts } => {
                 let Some(s) = session.as_ref() else {
                     stats.lock().expect("stats lock").protocol_errors += 1;
+                    shared.svc.metrics().counter("wire.protocol_errors").inc();
+                shared.svc.metrics().counter("wire.protocol_errors").inc();
                     let e = RqpError::Protocol("SUBMIT before HELLO".into());
                     let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
                     break;
                 };
+                let session_id = s.id();
                 let handle = s.submit(spec, opts.into());
                 let query = handle.query();
                 let token = handle.token();
                 let credits = Arc::new(Credits::default());
                 let finished = Arc::new(AtomicBool::new(false));
                 let pager = {
-                    let (writer, credits, finished, stats) = (
+                    let (shared, writer, credits, finished, stats) = (
+                        Arc::clone(&shared),
                         Arc::clone(&writer),
                         Arc::clone(&credits),
                         Arc::clone(&finished),
@@ -337,7 +355,7 @@ fn serve_connection(
                     std::thread::Builder::new()
                         .name(format!("rqp-net-pager-{query}"))
                         .spawn(move || {
-                            page_results(&writer, query, handle, &credits, &stats);
+                            page_results(&shared, &writer, query, session_id, handle, &credits, &stats);
                             finished.store(true, Ordering::SeqCst);
                         })
                         .expect("spawn pager thread")
@@ -366,6 +384,37 @@ fn serve_connection(
                 clean_exit = true;
                 break;
             }
+            // The three introspection frames are answered inline on the
+            // reader thread, bypass admission entirely, and need no HELLO:
+            // an observer connection never competes with the workload it
+            // is watching.
+            ClientMsg::Stats => {
+                shared.svc.refresh_live_gauges();
+                let _ = send(
+                    &writer,
+                    &ServerMsg::StatsReply {
+                        metrics: shared.svc.metrics().snapshot(),
+                        live: shared.svc.stats().snapshot(),
+                    },
+                );
+            }
+            ClientMsg::Inspect { query } => {
+                let _ = send(&writer, &inspect_reply(&shared, query));
+            }
+            ClientMsg::Events { cursor, max } => {
+                // Cap the tail length so one reply always fits a frame;
+                // clients resume from `next_cursor` for the rest.
+                let tail =
+                    shared.svc.stats().recorder().tail(cursor, (max as usize).min(4096));
+                let _ = send(
+                    &writer,
+                    &ServerMsg::EventsReply {
+                        events: tail.events,
+                        next_cursor: tail.next_cursor,
+                        gap: tail.gap,
+                    },
+                );
+            }
         }
     }
 
@@ -392,13 +441,95 @@ fn serve_connection(
         st.disconnected_queries += disconnected;
         st.recovered_queries += recovered;
     }
+    let m = shared.svc.metrics();
+    m.counter("wire.connections.closed").inc();
+    m.counter("wire.queries.disconnected").add(disconnected);
+    m.counter("wire.queries.recovered").add(recovered);
     span.close(&shared.clock);
 }
 
+/// Cap a rendered span tree so the INSPECT_REPLY payload always encodes
+/// and fits one frame; the tree is advisory, truncation loses only depth.
+fn clip_rendered(mut rendered: String) -> String {
+    const MAX_RENDERED: usize = 64 * 1024;
+    if rendered.len() > MAX_RENDERED {
+        let cut = (0..=MAX_RENDERED)
+            .rev()
+            .find(|&i| rendered.is_char_boundary(i))
+            .unwrap_or(0);
+        rendered.truncate(cut);
+        rendered.push('…');
+    }
+    rendered
+}
+
+/// The spans reachable from `root` in a forest snapshot. Spans are listed
+/// in open order and adoption re-identifies children past their parents,
+/// so a single forward pass finds the whole subtree.
+fn subtree(spans: &[SpanSnapshot], root: usize) -> Vec<SpanSnapshot> {
+    let mut ids = std::collections::HashSet::new();
+    ids.insert(root);
+    let mut keep = Vec::new();
+    for s in spans {
+        if s.id == root || s.parent.is_some_and(|p| ids.contains(&p)) {
+            ids.insert(s.id);
+            keep.push(s.clone());
+        }
+    }
+    keep
+}
+
+/// Answer INSPECT: a live `EXPLAIN ANALYZE` for a running query (its
+/// tracer and cost clock are `Arc`-over-atomics, so snapshotting mid-run
+/// is safe), a phase-only reply for queued/paging queries, and the merged
+/// service forest's adopted tree for queries that already finished.
+fn inspect_reply(shared: &ServerShared, query: u64) -> ServerMsg {
+    let stats = shared.svc.stats();
+    if let Some((tracer, _clock)) = stats.live_tracer(query) {
+        let rendered = clip_rendered(TraceTree::assemble(&tracer.snapshot()).render());
+        return ServerMsg::InspectReply {
+            query,
+            found: true,
+            phase: QueryPhase::Running.as_u8(),
+            rendered,
+        };
+    }
+    let phase = stats.phase(query);
+    if phase == Some(QueryPhase::Queued) {
+        // At the admission gate: nothing has executed, there is no tree.
+        return ServerMsg::InspectReply {
+            query,
+            found: true,
+            phase: QueryPhase::Queued.as_u8(),
+            rendered: String::new(),
+        };
+    }
+    // Paging (execution finished, results streaming out) or already gone:
+    // either way the query's tree was adopted into the merged service
+    // forest when `run_query` returned — render that.
+    let spans = shared.svc.tracer().snapshot();
+    let prefix = format!("q{query} ");
+    let rendered = spans
+        .iter()
+        .find(|s| s.kind == "query" && s.detail.starts_with(&prefix))
+        .map(|root| clip_rendered(TraceTree::assemble(&subtree(&spans, root.id)).render()))
+        .unwrap_or_default();
+    ServerMsg::InspectReply {
+        query,
+        found: phase.is_some() || !rendered.is_empty(),
+        phase: phase.unwrap_or(QueryPhase::Queued).as_u8(),
+        rendered,
+    }
+}
+
 /// Pager thread body: join the query, then stream pages against credits.
+/// While pages stream, the query lives in the registry as `Paging` (its
+/// execution thread, MPL slot and grants are already gone).
 fn page_results(
+    shared: &ServerShared,
     writer: &Mutex<TcpStream>,
     query: u64,
+    session: u64,
     handle: rqp_server::QueryHandle,
     credits: &Credits,
     stats: &Mutex<WireStats>,
@@ -412,6 +543,20 @@ fn page_results(
             return;
         }
     };
+    shared.svc.stats().begin_paging(query, session);
+    stream_rows(shared, writer, query, outcome, credits, stats);
+    shared.svc.stats().end_paging(query);
+}
+
+/// Stream one query's materialized rows against credits (module docs).
+fn stream_rows(
+    shared: &ServerShared,
+    writer: &Mutex<TcpStream>,
+    query: u64,
+    outcome: rqp_server::QueryOutcome,
+    credits: &Credits,
+    stats: &Mutex<WireStats>,
+) {
     let rows = outcome.rows;
     let total = rows.len();
     let mut sent = 0;
@@ -423,6 +568,12 @@ fn page_results(
     // credit loop keeps it at 1, and the recorded peak proves it.
     let mut buffered: u64 = 0;
     while sent < total {
+        if credits.would_block() {
+            shared
+                .svc
+                .stats()
+                .publish(query, "pager.stall", &format!("awaiting FETCH at {sent}/{total}"));
+        }
         if !credits.acquire_one() {
             return; // connection torn down
         }
@@ -461,6 +612,11 @@ fn page_results(
         {
             let mut st = stats.lock().expect("stats lock");
             st.peak_buffered_pages = st.peak_buffered_pages.max(buffered);
+            shared
+                .svc
+                .metrics()
+                .gauge("wire.pages.peak_buffered")
+                .set(st.peak_buffered_pages as f64);
         }
         let res = {
             let mut w = writer.lock().expect("writer lock");
@@ -475,6 +631,10 @@ fn page_results(
             return;
         }
         buffered -= 1;
+        shared
+            .svc
+            .stats()
+            .publish(query, "pager.page", &format!("{n} rows at {sent}/{total}"));
         sent += n;
     }
     let _ = send(

@@ -18,6 +18,8 @@ use rqp_common::expr::{ArithOp, CmpOp};
 use rqp_common::{Expr, Row, Value};
 use rqp_exec::{AggFunc, AggSpec};
 use rqp_opt::{JoinEdge, QuerySpec};
+use rqp_server::{LiveQueryStats, QueryPhase};
+use rqp_telemetry::{MetricValue, MetricsSnapshot, RecordedEvent};
 
 /// Maximum [`Expr`] nesting accepted on the wire.
 pub const MAX_EXPR_DEPTH: usize = 64;
@@ -584,6 +586,164 @@ pub fn get_query_spec(r: &mut Reader) -> Result<QuerySpec> {
     Ok(spec)
 }
 
+// ---------------------------------------------------------------------------
+// Introspection types (STATS / INSPECT / EVENTS payloads)
+// ---------------------------------------------------------------------------
+
+/// Encode a [`MetricValue`] (tag 0 = counter, 1 = gauge, 2 = histogram).
+pub fn put_metric_value(w: &mut Writer, v: &MetricValue) -> Result<()> {
+    match v {
+        MetricValue::Counter(c) => {
+            w.u8(0);
+            w.u64(*c);
+        }
+        MetricValue::Gauge(g) => {
+            w.u8(1);
+            w.f64(*g);
+        }
+        MetricValue::Histogram { count, sum, max, buckets } => {
+            w.u8(2);
+            w.u64(*count);
+            w.f64(*sum);
+            w.f64(*max);
+            w.u32(buckets.len() as u32);
+            for (le, c) in buckets {
+                w.f64(*le);
+                w.u64(*c);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode a [`MetricValue`].
+pub fn get_metric_value(r: &mut Reader) -> Result<MetricValue> {
+    match r.u8()? {
+        0 => Ok(MetricValue::Counter(r.u64()?)),
+        1 => Ok(MetricValue::Gauge(r.f64()?)),
+        2 => {
+            let count = r.u64()?;
+            let sum = r.f64()?;
+            let max = r.f64()?;
+            let n = r.u32()?;
+            let mut buckets = Vec::new();
+            for _ in 0..n {
+                buckets.push((r.f64()?, r.u64()?));
+            }
+            Ok(MetricValue::Histogram { count, sum, max, buckets })
+        }
+        t => Err(malformed(format!("unknown metric value tag {t}"))),
+    }
+}
+
+/// Encode a whole [`MetricsSnapshot`] (name + value pairs, in order).
+pub fn put_metrics(w: &mut Writer, snap: &MetricsSnapshot) -> Result<()> {
+    w.u32(snap.len() as u32);
+    for (name, value) in snap {
+        w.str(name)?;
+        put_metric_value(w, value)?;
+    }
+    Ok(())
+}
+
+/// Decode a [`MetricsSnapshot`].
+pub fn get_metrics(r: &mut Reader) -> Result<MetricsSnapshot> {
+    let n = r.u32()?;
+    let mut snap = Vec::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let value = get_metric_value(r)?;
+        snap.push((name, value));
+    }
+    Ok(snap)
+}
+
+/// Encode one in-flight query's live state.
+pub fn put_live_query(w: &mut Writer, q: &LiveQueryStats) -> Result<()> {
+    w.u64(q.query);
+    w.u64(q.session);
+    w.u8(q.priority);
+    w.u8(q.phase.as_u8());
+    w.f64(q.ticks);
+    w.f64(q.granted);
+    w.f64(q.share);
+    w.opt_f64(q.deadline_remaining);
+    Ok(())
+}
+
+/// Decode one in-flight query's live state.
+pub fn get_live_query(r: &mut Reader) -> Result<LiveQueryStats> {
+    Ok(LiveQueryStats {
+        query: r.u64()?,
+        session: r.u64()?,
+        priority: r.u8()?,
+        phase: QueryPhase::from_u8(r.u8()?),
+        ticks: r.f64()?,
+        granted: r.f64()?,
+        share: r.f64()?,
+        deadline_remaining: r.opt_f64()?,
+    })
+}
+
+/// Encode a list of in-flight queries.
+pub fn put_live_queries(w: &mut Writer, live: &[LiveQueryStats]) -> Result<()> {
+    w.u32(live.len() as u32);
+    for q in live {
+        put_live_query(w, q)?;
+    }
+    Ok(())
+}
+
+/// Decode a list of in-flight queries.
+pub fn get_live_queries(r: &mut Reader) -> Result<Vec<LiveQueryStats>> {
+    let n = r.u32()?;
+    let mut live = Vec::new();
+    for _ in 0..n {
+        live.push(get_live_query(r)?);
+    }
+    Ok(live)
+}
+
+/// Encode one flight-recorder event.
+pub fn put_event(w: &mut Writer, e: &RecordedEvent) -> Result<()> {
+    w.u64(e.seq);
+    w.f64(e.at);
+    w.u64(e.query);
+    w.str(&e.kind)?;
+    w.str(&e.detail)?;
+    Ok(())
+}
+
+/// Decode one flight-recorder event.
+pub fn get_event(r: &mut Reader) -> Result<RecordedEvent> {
+    Ok(RecordedEvent {
+        seq: r.u64()?,
+        at: r.f64()?,
+        query: r.u64()?,
+        kind: r.str()?,
+        detail: r.str()?,
+    })
+}
+
+/// Encode a flight-recorder event batch.
+pub fn put_events(w: &mut Writer, events: &[RecordedEvent]) -> Result<()> {
+    w.u32(events.len() as u32);
+    for e in events {
+        put_event(w, e)?;
+    }
+    Ok(())
+}
+
+/// Decode a flight-recorder event batch.
+pub fn get_events(r: &mut Reader) -> Result<Vec<RecordedEvent>> {
+    let n = r.u32()?;
+    let mut events = Vec::new();
+    for _ in 0..n {
+        events.push(get_event(r)?);
+    }
+    Ok(events)
+}
+
 /// Canonical FNV-1a checksum of a row batch over its wire encoding — the
 /// result-identity currency of the wire experiments: a client-side checksum
 /// equal to the server-side solo checksum proves bit-identical rows without
@@ -673,6 +833,79 @@ mod tests {
         let back = get_rows(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(back, vec![row.clone(), row]);
+    }
+
+    #[test]
+    fn introspection_payloads_round_trip_and_reject_truncation() {
+        let metrics: MetricsSnapshot = vec![
+            ("wire.connections".into(), MetricValue::Counter(3)),
+            ("server.live.reserved".into(), MetricValue::Gauge(1234.5)),
+            (
+                "wire.page.rows".into(),
+                MetricValue::Histogram {
+                    count: 4,
+                    sum: 700.0,
+                    max: 256.0,
+                    buckets: vec![(2.0, 1), (256.0, 3)],
+                },
+            ),
+        ];
+        let live = vec![
+            LiveQueryStats {
+                query: 7,
+                session: 2,
+                priority: 1,
+                phase: QueryPhase::Running,
+                ticks: 123.0,
+                granted: 500.0,
+                share: 2_500.0,
+                deadline_remaining: Some(77.0),
+            },
+            LiveQueryStats {
+                query: 9,
+                session: 3,
+                priority: 0,
+                phase: QueryPhase::Paging,
+                ticks: 0.0,
+                granted: 0.0,
+                share: 0.0,
+                deadline_remaining: None,
+            },
+        ];
+        let events = vec![
+            RecordedEvent {
+                seq: 41,
+                at: 1.5,
+                query: 7,
+                kind: "admission.admit".into(),
+                detail: "running 2 of mpl 4".into(),
+            },
+            RecordedEvent { seq: 42, at: 1.6, query: 0, kind: "pager.stall".into(), detail: String::new() },
+        ];
+        let mut w = Writer::new();
+        put_metrics(&mut w, &metrics).unwrap();
+        put_live_queries(&mut w, &live).unwrap();
+        put_events(&mut w, &events).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_metrics(&mut r).unwrap(), metrics);
+        assert_eq!(get_live_queries(&mut r).unwrap(), live);
+        assert_eq!(get_events(&mut r).unwrap(), events);
+        r.finish().unwrap();
+        // Every truncation point fails with a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let res = get_metrics(&mut r)
+                .and_then(|_| get_live_queries(&mut r))
+                .and_then(|_| get_events(&mut r))
+                .and_then(|_| r.finish());
+            assert!(res.is_err(), "truncation at {cut} must not decode");
+        }
+        // Unknown metric-value tags are malformed, not panics.
+        let mut w = Writer::new();
+        w.u8(9);
+        let bytes = w.into_bytes();
+        assert!(get_metric_value(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

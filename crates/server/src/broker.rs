@@ -23,6 +23,7 @@
 //! sum of the running queries' budgets — and drops to zero when the service
 //! is idle, which the deadline-abort acceptance test checks.
 
+use crate::stats::ServiceStats;
 use rqp_exec::MemoryGovernor;
 use std::sync::{Arc, Mutex};
 
@@ -44,12 +45,28 @@ pub struct MemoryBroker {
     /// floor the governor's own grants enforce.
     floor: f64,
     running: Mutex<Vec<Entry>>,
+    /// Flight-recorder home for `broker.*` events; brokering works the same
+    /// with or without one (tests construct bare brokers).
+    observer: Option<Arc<ServiceStats>>,
 }
 
 impl MemoryBroker {
     /// A broker dividing `shared`'s base budget among admitted queries.
     pub fn new(shared: Arc<MemoryGovernor>) -> Self {
-        MemoryBroker { shared, floor: 100.0, running: Mutex::new(Vec::new()) }
+        MemoryBroker { shared, floor: 100.0, running: Mutex::new(Vec::new()), observer: None }
+    }
+
+    /// Publish `broker.grant` / `broker.shrink` / `broker.epoch` events to
+    /// `observer`'s flight recorder on every rebalance.
+    pub fn with_observer(mut self, observer: Arc<ServiceStats>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    fn publish(&self, query: u64, kind: &str, detail: &str) {
+        if let Some(obs) = &self.observer {
+            obs.publish(query, kind, detail);
+        }
     }
 
     /// The shared ledger governor.
@@ -107,13 +124,21 @@ impl MemoryBroker {
             }
             if target > e.share {
                 self.shared.grant(target - e.share);
+                self.publish(e.query, "broker.grant", &format!("{:.0} -> {target:.0}", e.share));
             } else {
                 self.shared.release(e.share - target);
+                self.publish(e.query, "broker.shrink", &format!("{:.0} -> {target:.0}", e.share));
             }
             e.share = target;
             // A shrink below what the query currently holds bumps its
             // pressure epoch; its leases shed at the next renegotiation.
-            e.gov.set_budget(target);
+            if e.gov.set_budget(target) {
+                self.publish(
+                    e.query,
+                    "broker.epoch",
+                    &format!("epoch {} overcommitted", e.gov.pressure_epoch()),
+                );
+            }
         }
     }
 }

@@ -43,12 +43,14 @@ pub mod broker;
 pub mod cache;
 pub mod service;
 pub mod session;
+pub mod stats;
 
 pub use admission::{AdmissionController, AdmissionPermit};
 pub use broker::MemoryBroker;
 pub use cache::PlanCache;
 pub use service::{CompletedQuery, QueryService, QueryStatus, ServiceConfig, ServiceReport};
 pub use session::{QueryHandle, QueryOptions, QueryOutcome, Session};
+pub use stats::{LiveQueryStats, QueryPhase, ServiceStats};
 
 #[cfg(test)]
 mod tests {

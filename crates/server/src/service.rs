@@ -5,6 +5,7 @@ use crate::admission::AdmissionController;
 use crate::broker::MemoryBroker;
 use crate::cache::PlanCache;
 use crate::session::{QueryOptions, QueryOutcome, Session};
+use crate::stats::ServiceStats;
 use rqp_common::chaos::{install_quiet_panic_hook, ChaosPolicy};
 use rqp_common::{CancelToken, CostClock, Result, RqpError};
 use rqp_exec::{ExecContext, MemoryGovernor};
@@ -35,6 +36,8 @@ pub struct ServiceConfig {
     pub capacity: f64,
     /// Exponential-smoothing weight of new LEO feedback observations.
     pub feedback_smoothing: f64,
+    /// Flight-recorder ring capacity (events retained for EVENTS tailing).
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +49,7 @@ impl Default for ServiceConfig {
             drift_threshold: 4.0,
             capacity: 1.0,
             feedback_smoothing: 0.5,
+            recorder_capacity: 4096,
         }
     }
 }
@@ -136,6 +140,7 @@ pub(crate) struct ServiceInner {
     pub(crate) feedback: Mutex<FeedbackRepo>,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) tracer: Tracer,
+    pub(crate) live: Arc<ServiceStats>,
     /// Serializes "open root span + adopt + close" so concurrent queries
     /// interleave whole span trees, never halves of them.
     trace_merge: Mutex<()>,
@@ -194,9 +199,11 @@ impl QueryService {
         let snapshot = catalog.snapshot();
         let stats = TableStatsRegistry::analyze_catalog(catalog, 32);
         let shared = MemoryGovernor::new(config.memory_rows);
+        let live = Arc::new(ServiceStats::new(config.recorder_capacity));
         let inner = ServiceInner {
             admission: AdmissionController::new(config.mpl),
-            broker: MemoryBroker::new(shared),
+            broker: MemoryBroker::new(shared).with_observer(Arc::clone(&live)),
+            live,
             plan_cache: PlanCache::new(config.drift_threshold),
             feedback: Mutex::new(FeedbackRepo::new(config.feedback_smoothing)),
             metrics: MetricsRegistry::new(),
@@ -246,6 +253,30 @@ impl QueryService {
     /// The merged span forest: one `query` root per executed query.
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The live half of the observatory: the in-flight query registry and
+    /// the service flight recorder.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.inner.live
+    }
+
+    /// Refresh the `server.live.*` / `server.recorder.*` gauges from the
+    /// admission gate, broker and recorder. Called by the STATS wire
+    /// handler (and anyone else about to snapshot the registry) so the
+    /// snapshot reflects the service *now*, not at the last completion.
+    pub fn refresh_live_gauges(&self) {
+        let inner = &self.inner;
+        let m = &inner.metrics;
+        m.gauge("server.live.running").set(inner.admission.running() as f64);
+        m.gauge("server.live.queued").set(inner.admission.queue_depth() as f64);
+        m.gauge("server.live.admitted").set(inner.admission.admitted() as f64);
+        m.gauge("server.live.peak_mpl").set(inner.admission.peak_running() as f64);
+        m.gauge("server.live.reserved").set(inner.broker.reserved());
+        m.gauge("server.live.population").set(inner.broker.population() as f64);
+        m.gauge("server.live.inflight").set(inner.live.live_count() as f64);
+        m.gauge("server.recorder.published").set(inner.live.recorder().head() as f64);
+        m.gauge("server.recorder.dropped").set(inner.live.recorder().dropped() as f64);
     }
 
     /// The shared plan cache.
@@ -394,6 +425,15 @@ fn status_of(e: &RqpError) -> QueryStatus {
     }
 }
 
+fn status_label(s: QueryStatus) -> &'static str {
+    match s {
+        QueryStatus::Completed => "completed",
+        QueryStatus::Cancelled => "cancelled",
+        QueryStatus::DeadlineExceeded => "deadline_exceeded",
+        QueryStatus::Failed => "failed",
+    }
+}
+
 /// Body of one query thread: admission → brokering → execution → record.
 pub(crate) fn run_query(
     svc: Arc<ServiceInner>,
@@ -405,10 +445,19 @@ pub(crate) fn run_query(
     cancel: CancelToken,
 ) -> Result<QueryOutcome> {
     install_quiet_panic_hook();
+    svc.live.register(query, session, priority, &cancel);
+    svc.live.publish(
+        query,
+        "admission.enqueue",
+        &format!("prio {priority} depth {}", svc.admission.queue_depth()),
+    );
     let permit = match svc.admission.admit(priority, &cancel) {
         Ok(p) => p,
         Err(e) => {
             // Cancelled while queued: never held a slot or a reservation.
+            svc.live.publish(query, "admission.cancel", &format!("{e:?}"));
+            let status = status_of(&e);
+            svc.live.deregister(query, status_label(status));
             svc.record(CompletedQuery {
                 query,
                 session,
@@ -416,12 +465,17 @@ pub(crate) fn run_query(
                 weight: opts.weight,
                 arrival: opts.arrival,
                 demand: 0.0,
-                status: status_of(&e),
+                status,
                 cancel_latency: None,
             });
             return Err(e);
         }
     };
+    svc.live.publish(
+        query,
+        "admission.admit",
+        &format!("running {} of mpl {}", svc.admission.running(), svc.admission.mpl()),
+    );
     let want = opts.reservation.unwrap_or(svc.config.default_reservation);
     let gov = svc.broker.admit(query, want);
     let (result, demand, cancel_latency) = execute(&svc, session, query, &spec, gov, &cancel);
@@ -430,6 +484,7 @@ pub(crate) fn run_query(
         Ok(_) => QueryStatus::Completed,
         Err(e) => status_of(e),
     };
+    svc.live.deregister(query, status_label(status));
     // Record while still holding the MPL slot: the completion log must
     // reflect admission order (the trace-agreement tests rely on it), so
     // the slot may not pass to the next waiter before this entry lands.
@@ -462,6 +517,15 @@ fn execute(
         .with_chaos(ChaosPolicy::from_env())
         .with_cancel(cancel.clone());
     ctx.memory = gov;
+    // Flip the live registry to Running with handles to this query's own
+    // instruments — INSPECT renders the span tree from them mid-flight.
+    // No-op for solo runs, which are never registered.
+    svc.live.mark_running(
+        query,
+        Arc::clone(&ctx.clock),
+        Arc::clone(&ctx.memory),
+        ctx.tracer.clone(),
+    );
     let catalog = svc.snapshot.to_catalog();
     let key = spec.cache_key();
     let (phys, plan_cached) = match svc.plan_cache.lookup(&key) {
@@ -507,6 +571,15 @@ fn execute(
         Ok((rows, max_q, observations))
     }));
     let demand = ctx.clock.now();
+    // Republish span-carried adaptive decisions (chaos injections, governor
+    // pressure, POP/LEO corrections) to the flight recorder, keeping their
+    // cost-clock positions — this is how per-operator events reach EVENTS
+    // tailers without the recorder being threaded through the engine.
+    for span in ctx.tracer.spans() {
+        for ev in span.events() {
+            svc.live.publish_at(ev.at, query, &ev.kind, &ev.detail);
+        }
+    }
     {
         // Merge the query's spans into the service forest under one root,
         // whatever the outcome — aborted queries leave their partial tree.

@@ -16,6 +16,9 @@
 //!   locking;
 //! * [`metrics`] — a **metrics registry** of named counters, gauges and
 //!   log-scale histograms, with the same cheap-handle discipline;
+//! * [`recorder`] — the **flight recorder**: a fixed-capacity ring of
+//!   sequenced service events (admission, broker, pager, lifecycle) with
+//!   overwrite-with-gap-counting semantics, tailable live by a cursor;
 //! * [`trace`] — assembles spans into a **query trace tree** and renders it
 //!   `EXPLAIN ANALYZE`-style;
 //! * [`report`] — **structured run reports**: a JSON document per
@@ -33,6 +36,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod scoreboard;
 pub mod span;
@@ -42,6 +46,7 @@ pub use json::Json;
 pub use metrics::{
     bucket_quantile, Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
+pub use recorder::{EventTail, FlightRecorder, RecordedEvent};
 pub use report::RunReport;
 pub use scoreboard::{DiffThresholds, Regression, Scoreboard, ScoreboardEntry};
 pub use span::{SpanEvent, SpanHandle, SpanSnapshot, Tracer};

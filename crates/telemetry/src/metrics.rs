@@ -169,6 +169,12 @@ impl Histogram {
         self.quantile_bound(0.99)
     }
 
+    /// Upper bound of the bucket holding the 99.9th percentile — the live
+    /// dashboard's extreme tail.
+    pub fn p999(&self) -> f64 {
+        self.quantile_bound(0.999)
+    }
+
     /// The non-empty buckets as `(bucket_upper_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
         self.inner()

@@ -1,0 +1,391 @@
+//! The flight recorder: a bounded ring of sequenced service events.
+//!
+//! Post-hoc run reports answer "what happened?"; a long-running service
+//! needs "what is happening *now*?" — Graefe/Kuno/Wiener's visualization
+//! paper argues robustness work starts from exactly that visibility. The
+//! [`FlightRecorder`] is the live half: every interesting service event
+//! (admission enqueue/admit/cancel, broker grant/shrink/epoch, pager
+//! page/stall, query lifecycle, chaos injections) is published as a
+//! [`RecordedEvent`] carrying a **monotonically increasing sequence
+//! number**, into a fixed-capacity ring buffer.
+//!
+//! Two properties make it safe to leave on in production:
+//!
+//! * **Bounded memory, never blocking the publisher on a reader.** When the
+//!   ring is full the oldest event is overwritten and a `dropped` counter is
+//!   bumped — publishers pay one short mutex critical section (push + maybe
+//!   pop), never an allocation proportional to reader lag.
+//! * **Gap-accounted tailing.** Readers poll with [`FlightRecorder::tail`]
+//!   from a cursor (a sequence number). If the cursor has been overwritten,
+//!   the reply reports exactly how many events the reader missed — loss is
+//!   *visible*, never silent. Sequence numbers are allocated under the same
+//!   lock as the push, so the tail of the ring is always seq-contiguous and
+//!   a reader that keeps up sees every event exactly once.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One structured event in the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedEvent {
+    /// Monotonically increasing sequence number (dense: no gaps are ever
+    /// *allocated*; gaps a reader observes are overwritten events).
+    pub seq: u64,
+    /// Cost-clock position (or wall-clock proxy) when published.
+    pub at: f64,
+    /// The query the event concerns, or 0 for service-wide events.
+    pub query: u64,
+    /// Dotted event kind, e.g. `admission.admit` or `broker.shrink`.
+    pub kind: String,
+    /// Free-form detail, small — the ring multiplies it by capacity.
+    pub detail: String,
+}
+
+/// A [`FlightRecorder::tail`] reply: the events, where to resume, and how
+/// many events between the cursor and the first returned one were lost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventTail {
+    /// Events with `seq >= cursor` still in the ring, oldest first.
+    pub events: Vec<RecordedEvent>,
+    /// Pass this as the next `cursor` to continue the tail.
+    pub next_cursor: u64,
+    /// Events the reader asked for that were already overwritten.
+    pub gap: u64,
+}
+
+impl EventTail {
+    /// Serialize as an events-dump document (`rqp-top --events-dump`
+    /// writes these; `rqp-report show` renders them like run-report span
+    /// events). The `kind` marker lets readers tell a dump from a
+    /// [`RunReport`](crate::report::RunReport).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("rqp-events-dump")),
+            ("next_cursor", Json::num(self.next_cursor as f64)),
+            ("gap", Json::num(self.gap as f64)),
+            (
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("seq", Json::num(e.seq as f64)),
+                                ("at", Json::num(e.at)),
+                                ("query", Json::num(e.query as f64)),
+                                ("kind", Json::str(&e.kind)),
+                                ("detail", Json::str(&e.detail)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse an events-dump document produced by [`to_json`](Self::to_json).
+    pub fn from_json(doc: &Json) -> Result<EventTail, String> {
+        if doc.get("kind").and_then(Json::as_str) != Some("rqp-events-dump") {
+            return Err("not an rqp-events-dump document".into());
+        }
+        let num = |j: &Json, key: &str| {
+            j.get(key).and_then(Json::as_num).ok_or_else(|| format!("dump missing {key}"))
+        };
+        let events = doc
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("dump missing events")?
+            .iter()
+            .map(|e| {
+                Ok(RecordedEvent {
+                    seq: num(e, "seq")? as u64,
+                    at: num(e, "at")?,
+                    query: num(e, "query")? as u64,
+                    kind: e
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or("event missing kind")?
+                        .to_string(),
+                    detail: e
+                        .get("detail")
+                        .and_then(Json::as_str)
+                        .ok_or("event missing detail")?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<RecordedEvent>, String>>()?;
+        Ok(EventTail {
+            events,
+            next_cursor: num(doc, "next_cursor")? as u64,
+            gap: num(doc, "gap")? as u64,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    ring: VecDeque<RecordedEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity ring buffer of [`RecordedEvent`]s. Cloning shares the
+/// ring (`Arc`), so every subsystem holds its own handle.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    state: Arc<Mutex<RecorderState>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            state: Arc::new(Mutex::new(RecorderState {
+                ring: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                dropped: 0,
+            })),
+            capacity,
+        }
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, RecorderState> {
+        self.state.lock().expect("flight recorder lock")
+    }
+
+    /// Publish one event, returning its sequence number. O(1); overwrites
+    /// the oldest event (bumping the drop count) when the ring is full.
+    pub fn publish(&self, at: f64, query: u64, kind: &str, detail: &str) -> u64 {
+        let mut st = self.inner();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.ring.push_back(RecordedEvent {
+            seq,
+            at,
+            query,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+        if st.ring.len() > self.capacity {
+            st.ring.pop_front();
+            st.dropped += 1;
+        }
+        seq
+    }
+
+    /// Events with `seq >= cursor`, at most `max` of them, plus the cursor
+    /// to resume from and the count of requested-but-overwritten events.
+    ///
+    /// A `cursor` of 0 tails from the oldest retained event. A cursor past
+    /// the end (`> next_seq`) is answered as if it were `next_seq`: no
+    /// events, no gap. When more than `max` events are available the reply
+    /// is truncated — `next_cursor` points at the first unreturned event,
+    /// so the reader just polls again (truncation is *not* loss and adds
+    /// nothing to `gap`).
+    pub fn tail(&self, cursor: u64, max: usize) -> EventTail {
+        let st = self.inner();
+        let oldest = st.next_seq - st.ring.len() as u64;
+        let cursor = cursor.min(st.next_seq);
+        let gap = oldest.saturating_sub(cursor);
+        let start = cursor.max(oldest);
+        let events: Vec<RecordedEvent> = st
+            .ring
+            .iter()
+            .skip((start - oldest) as usize)
+            .take(max)
+            .cloned()
+            .collect();
+        let next_cursor = events.last().map_or(st.next_seq, |e| e.seq + 1);
+        EventTail { events, next_cursor, gap }
+    }
+
+    /// Sequence number the *next* published event will get — also the total
+    /// number of events ever published.
+    pub fn head(&self) -> u64 {
+        self.inner().next_seq
+    }
+
+    /// Total events overwritten before any reader saw them leave the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner().dropped
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.inner().ring.len()
+    }
+
+    /// True when nothing has been published (or everything aged out — the
+    /// ring only shrinks by overwrite, so in practice: nothing published).
+    pub fn is_empty(&self) -> bool {
+        self.inner().ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn publish_and_tail_round_trip() {
+        let rec = FlightRecorder::new(16);
+        for i in 0..5 {
+            let seq = rec.publish(i as f64, 42, "query.start", &format!("n{i}"));
+            assert_eq!(seq, i);
+        }
+        let tail = rec.tail(0, 100);
+        assert_eq!(tail.events.len(), 5);
+        assert_eq!(tail.gap, 0);
+        assert_eq!(tail.next_cursor, 5);
+        assert_eq!(tail.events[3].seq, 3);
+        assert_eq!(tail.events[3].detail, "n3");
+        assert_eq!(tail.events[3].query, 42);
+        // Resuming from the returned cursor sees nothing new.
+        let again = rec.tail(tail.next_cursor, 100);
+        assert!(again.events.is_empty());
+        assert_eq!(again.gap, 0);
+        assert_eq!(again.next_cursor, 5);
+    }
+
+    #[test]
+    fn overwrite_accounts_every_dropped_event() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.publish(0.0, 0, "e", &i.to_string());
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(rec.head(), 10);
+        // A fresh reader starting at 0 is told exactly what it missed.
+        let tail = rec.tail(0, 100);
+        assert_eq!(tail.gap, 6);
+        let seqs: Vec<u64> = tail.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn cursor_tail_across_wraparound() {
+        let rec = FlightRecorder::new(8);
+        let mut cursor = 0u64;
+        let mut seen: Vec<u64> = Vec::new();
+        let mut gaps = 0u64;
+        // Publish in bursts smaller than capacity while tailing: the reader
+        // keeps up, so it must see every sequence number exactly once even
+        // though the ring wraps many times.
+        for burst in 0..20 {
+            for i in 0..5 {
+                rec.publish(burst as f64, 0, "e", &i.to_string());
+            }
+            let tail = rec.tail(cursor, 100);
+            gaps += tail.gap;
+            seen.extend(tail.events.iter().map(|e| e.seq));
+            cursor = tail.next_cursor;
+        }
+        assert_eq!(gaps, 0, "reader kept up; no loss");
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>());
+
+        // Now fall behind on purpose: publish 3x capacity, then tail.
+        for i in 0..24 {
+            rec.publish(0.0, 0, "e", &i.to_string());
+        }
+        let tail = rec.tail(cursor, 100);
+        assert_eq!(tail.gap, 16, "24 published, 8 retained");
+        assert_eq!(tail.events.len(), 8);
+        assert_eq!(tail.events[0].seq, 116);
+        assert_eq!(tail.next_cursor, 124);
+    }
+
+    #[test]
+    fn truncated_tail_is_not_loss() {
+        let rec = FlightRecorder::new(16);
+        for _ in 0..10 {
+            rec.publish(0.0, 0, "e", "");
+        }
+        let first = rec.tail(0, 4);
+        assert_eq!(first.events.len(), 4);
+        assert_eq!(first.gap, 0);
+        assert_eq!(first.next_cursor, 4);
+        let rest = rec.tail(first.next_cursor, 100);
+        assert_eq!(rest.events.len(), 6);
+        assert_eq!(rest.gap, 0);
+    }
+
+    #[test]
+    fn bogus_future_cursor_is_clamped() {
+        let rec = FlightRecorder::new(4);
+        rec.publish(0.0, 0, "e", "");
+        let tail = rec.tail(1_000_000, 10);
+        assert!(tail.events.is_empty());
+        assert_eq!(tail.gap, 0);
+        assert_eq!(tail.next_cursor, 1);
+    }
+
+    #[test]
+    fn events_dump_round_trips_through_json() {
+        let rec = FlightRecorder::new(8);
+        rec.publish(0.5, 3, "admission.admit", "running 1 of mpl 4");
+        rec.publish(1.25, 3, "broker.grant", "0 -> 5000");
+        for i in 0..10 {
+            rec.publish(2.0, 0, "e", &i.to_string());
+        }
+        let tail = rec.tail(0, 100);
+        assert!(tail.gap > 0, "ring wrapped");
+        let text = tail.to_json().pretty();
+        let back = EventTail::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, tail);
+        // A run report (or any other object) is rejected by the marker.
+        let not_a_dump = Json::obj(vec![("experiment", Json::str("a01"))]);
+        assert!(EventTail::from_json(&not_a_dump).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_a_sequence_number() {
+        // Property: with W writers publishing N events each into a ring big
+        // enough to hold them all, every sequence number 0..W*N appears
+        // exactly once and dropped == 0. With a *small* ring, the retained
+        // seqs plus the drop count still account for every allocation.
+        const W: usize = 8;
+        const N: usize = 500;
+        for capacity in [W * N, 64] {
+            let rec = FlightRecorder::new(capacity);
+            let handles: Vec<_> = (0..W)
+                .map(|w| {
+                    let rec = rec.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..N {
+                            rec.publish(i as f64, w as u64, "stress", "");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(rec.head(), (W * N) as u64);
+            let tail = rec.tail(0, W * N);
+            let seqs: HashSet<u64> = tail.events.iter().map(|e| e.seq).collect();
+            assert_eq!(seqs.len(), tail.events.len(), "no duplicate seqs");
+            assert_eq!(
+                tail.events.len() as u64 + rec.dropped(),
+                (W * N) as u64,
+                "retained + dropped accounts for every allocated seq (cap {capacity})"
+            );
+            // The retained tail is seq-contiguous and ends at head-1.
+            let mut sorted: Vec<u64> = seqs.into_iter().collect();
+            sorted.sort_unstable();
+            for pair in sorted.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1, "tail is contiguous");
+            }
+            assert_eq!(sorted.last().copied(), Some((W * N - 1) as u64));
+        }
+    }
+}

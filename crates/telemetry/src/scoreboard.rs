@@ -30,8 +30,10 @@ use std::path::{Path, PathBuf};
 /// (`degradation_cliff`, `recovery_rate`). Version 4 added the concurrent-
 /// service metrics (`tail_amplification`, `admission_wait`). Version 5
 /// added the wire-service metrics (`wire_tail_p99`, `wire_tail_p999`,
-/// `wire_churn_recovery`, `wire_backpressure_pages`).
-pub const SCOREBOARD_VERSION: u32 = 5;
+/// `wire_churn_recovery`, `wire_backpressure_pages`). Version 6 added the
+/// live-observability metrics (`observer_overhead_p99`,
+/// `observer_event_loss`).
+pub const SCOREBOARD_VERSION: u32 = 6;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -86,6 +88,15 @@ pub mod samples {
     /// under a stalled consumer. Folded as the *maximum* across runs —
     /// credit-based paging keeps this at 1.
     pub const WIRE_BACKPRESSURE_PAGES: &str = "paper.wire.backpressure_pages";
+    /// Gauge: p99 wire-tail amplification with a live observer attached,
+    /// relative to the same workload unobserved (`observed p99 / bare
+    /// p99`). Folded as the *maximum* across runs — introspection frames
+    /// bypass admission and must not perturb the workload's tail.
+    pub const OBSERVER_OVERHEAD_P99: &str = "paper.observer.overhead_p99";
+    /// Gauge: flight-recorder events the observer requested but lost to
+    /// ring overwrite (summed `gap`). Folded as the *maximum* across runs
+    /// — a correctly provisioned recorder loses nothing.
+    pub const OBSERVER_EVENT_LOSS: &str = "paper.observer.event_loss";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -137,6 +148,12 @@ pub struct ScoreboardEntry {
     /// Worst (maximum) stalled-consumer page buffering, from
     /// `paper.wire.backpressure_pages`.
     pub wire_backpressure_pages: f64,
+    /// Worst (maximum) observed-over-bare wire-tail ratio, from
+    /// `paper.observer.overhead_p99`.
+    pub observer_overhead_p99: f64,
+    /// Worst (maximum) flight-recorder event loss seen by an observer,
+    /// from `paper.observer.event_loss`.
+    pub observer_event_loss: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -163,6 +180,8 @@ struct SamplePool {
     wire_p999s: Vec<f64>,
     churn_recoveries: Vec<f64>,
     backpressure_pages: Vec<f64>,
+    observer_overheads: Vec<f64>,
+    observer_losses: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -207,6 +226,10 @@ impl SamplePool {
                 self.churn_recoveries.push(*x);
             } else if name == samples::WIRE_BACKPRESSURE_PAGES {
                 self.backpressure_pages.push(*x);
+            } else if name == samples::OBSERVER_OVERHEAD_P99 {
+                self.observer_overheads.push(*x);
+            } else if name == samples::OBSERVER_EVENT_LOSS {
+                self.observer_losses.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -247,6 +270,8 @@ impl SamplePool {
         self.wire_p999s.sort_by(f64::total_cmp);
         self.churn_recoveries.sort_by(f64::total_cmp);
         self.backpressure_pages.sort_by(f64::total_cmp);
+        self.observer_overheads.sort_by(f64::total_cmp);
+        self.observer_losses.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -307,6 +332,8 @@ impl SamplePool {
             wire_tail_p999: self.wire_p999s.last().copied().unwrap_or(f64::NAN),
             wire_churn_recovery: self.churn_recoveries.first().copied().unwrap_or(f64::NAN),
             wire_backpressure_pages: self.backpressure_pages.last().copied().unwrap_or(f64::NAN),
+            observer_overhead_p99: self.observer_overheads.last().copied().unwrap_or(f64::NAN),
+            observer_event_loss: self.observer_losses.last().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -486,6 +513,19 @@ impl Scoreboard {
                 cur.wire_backpressure_pages,
                 base.wire_backpressure_pages + thresholds.wire_backpressure_slack,
             );
+            check(
+                "observer_overhead_p99",
+                base.observer_overhead_p99,
+                cur.observer_overhead_p99,
+                base.observer_overhead_p99 * thresholds.observer_overhead_ratio
+                    + thresholds.observer_overhead_slack,
+            );
+            check(
+                "observer_event_loss",
+                base.observer_event_loss,
+                cur.observer_event_loss,
+                base.observer_event_loss + thresholds.observer_event_loss_slack,
+            );
             // Floor metrics regress *downward*: flag a drop below the floor,
             // and (like the ceiling checks) a metric that vanished entirely.
             let mut check_floor = |metric: &str, baseline: f64, current_v: f64, floor: f64| {
@@ -567,6 +607,12 @@ pub struct DiffThresholds {
     pub wire_churn_recovery_slack: f64,
     /// `wire_backpressure_pages` may grow by this absolute amount.
     pub wire_backpressure_slack: f64,
+    /// `observer_overhead_p99` may grow by this factor…
+    pub observer_overhead_ratio: f64,
+    /// …plus this absolute slack.
+    pub observer_overhead_slack: f64,
+    /// `observer_event_loss` may grow by this absolute amount.
+    pub observer_event_loss_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -590,6 +636,9 @@ impl Default for DiffThresholds {
             wire_tail_slack: 0.5,
             wire_churn_recovery_slack: 0.02,
             wire_backpressure_slack: 0.5,
+            observer_overhead_ratio: 1.25,
+            observer_overhead_slack: 0.5,
+            observer_event_loss_slack: 0.5,
         }
     }
 }
@@ -641,6 +690,8 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("wire_tail_p999", Json::num(e.wire_tail_p999)),
         ("wire_churn_recovery", Json::num(e.wire_churn_recovery)),
         ("wire_backpressure_pages", Json::num(e.wire_backpressure_pages)),
+        ("observer_overhead_p99", Json::num(e.observer_overhead_p99)),
+        ("observer_event_loss", Json::num(e.observer_event_loss)),
         (
             "events",
             Json::Obj(
@@ -692,6 +743,8 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         wire_tail_p999: num("wire_tail_p999")?,
         wire_churn_recovery: num("wire_churn_recovery")?,
         wire_backpressure_pages: num("wire_backpressure_pages")?,
+        observer_overhead_p99: num("observer_overhead_p99")?,
+        observer_event_loss: num("observer_event_loss")?,
         events,
     })
 }
@@ -734,6 +787,8 @@ mod tests {
         reg.gauge(samples::WIRE_TAIL_P999).set(4.0);
         reg.gauge(samples::WIRE_CHURN_RECOVERY).set(1.0);
         reg.gauge(samples::WIRE_BACKPRESSURE_PAGES).set(1.0);
+        reg.gauge(samples::OBSERVER_OVERHEAD_P99).set(1.0);
+        reg.gauge(samples::OBSERVER_EVENT_LOSS).set(0.0);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -764,6 +819,34 @@ mod tests {
         assert_eq!(e.wire_tail_p999, 4.0);
         assert_eq!(e.wire_churn_recovery, 1.0);
         assert_eq!(e.wire_backpressure_pages, 1.0);
+        assert_eq!(e.observer_overhead_p99, 1.0);
+        assert_eq!(e.observer_event_loss, 0.0);
+    }
+
+    #[test]
+    fn diff_trips_on_observer_overhead_and_event_loss() {
+        let baseline = Scoreboard::fold(&[report("a08", 50.0, 100, 1000.0)]);
+        // An observer that perturbs the workload's tail trips the overhead
+        // ceiling (baseline 1.0 * ratio 1.25 + slack 0.5 = 1.75)…
+        let mut heavy = baseline.clone();
+        heavy.entries.get_mut("a08").unwrap().observer_overhead_p99 = 2.0;
+        let regs = baseline.diff(&heavy, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "observer_overhead_p99"), "{regs:?}");
+        // …a recorder overwriting events before the observer drains them
+        // trips the loss ceiling (baseline 0 + slack 0.5)…
+        let mut lossy = baseline.clone();
+        lossy.entries.get_mut("a08").unwrap().observer_event_loss = 1.0;
+        let regs = baseline.diff(&lossy, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "observer_event_loss"), "{regs:?}");
+        // …and an observer gauge vanishing entirely trips as well.
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a08").unwrap().observer_overhead_p99 = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "observer_overhead_p99"), "{regs:?}");
+        // A cheaper observer is an improvement, not a regression.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a08").unwrap().observer_overhead_p99 = 0.9;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rqp_common::RqpError;
 use rqp_telemetry::scoreboard::{DiffThresholds, Scoreboard};
 use rqp_net::{rows_checksum, WireClient, WireQueryOptions, WireServer, PAGE_ROWS};
 use rqp_opt::QuerySpec;
-use rqp_server::{QueryService, ServiceConfig};
+use rqp_server::{QueryPhase, QueryService, ServiceConfig};
 use rqp_workload::{tpch::TpchParams, TpchDb};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -231,6 +231,83 @@ fn cancelling_a_queued_query_over_the_wire_frees_its_slot() {
     await_until(|| svc.queue_depth() == 0, "cancelled waiter to leave the queue");
     assert_eq!(svc.reserved(), 0.0);
     client.goodbye().expect("goodbye");
+    drop(server);
+}
+
+#[test]
+fn introspection_frames_observe_a_live_service() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let (server, addr) = start(&svc);
+
+    // Park a query at the admission gate so the live registry has a
+    // deterministic occupant, then observe it from a *separate* connection
+    // that never said HELLO-and-submitted anything.
+    svc.pause_admission();
+    let mut worker = WireClient::connect(&addr, 0).expect("connect worker");
+    let query = worker.submit(&wide_scan(), WireQueryOptions::default()).expect("submit");
+    await_until(|| svc.queue_depth() == 1, "query to queue");
+
+    let mut obs = WireClient::connect(&addr, 0).expect("connect observer");
+    let snap = obs.stats().expect("stats");
+    let gauge = |name: &str| {
+        snap.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+    };
+    gauge("server.live.queued");
+    gauge("server.recorder.published");
+    gauge("wire.connections");
+    assert_eq!(snap.live.len(), 1, "exactly one in-flight query");
+    assert_eq!(snap.live[0].query, query);
+    assert_eq!(snap.live[0].phase, QueryPhase::Queued);
+    assert_eq!(snap.live[0].ticks, 0.0, "queued queries have not ticked");
+
+    let queued = obs.inspect(query).expect("inspect queued");
+    assert!(queued.found);
+    assert_eq!(queued.phase, QueryPhase::Queued);
+    assert!(queued.rendered.is_empty(), "nothing has executed yet");
+
+    // Release the gate and poll INSPECT until a span tree appears — live
+    // if we catch the query mid-run, final (from the merged service
+    // forest) once it completes. Either way the condition is monotone.
+    svc.resume_admission();
+    let mut rendered = String::new();
+    await_until(
+        || {
+            let ins = obs.inspect(query).expect("inspect running");
+            rendered = ins.rendered;
+            ins.found && !rendered.is_empty()
+        },
+        "a span tree to materialize",
+    );
+    assert!(rendered.contains("scan"), "span tree misses the scan:\n{rendered}");
+
+    let out = worker.fetch(query).expect("wire transport").expect("query failed");
+    assert_eq!(out.rows.len(), 4_000);
+
+    // The flight recorder replays the whole lifecycle in sequence order.
+    let tail = obs.events(0, 4096).expect("events");
+    assert_eq!(tail.gap, 0, "nothing can have been overwritten yet");
+    assert!(tail.events.windows(2).all(|w| w[0].seq < w[1].seq), "seqs not increasing");
+    let kinds: Vec<&str> = tail.events.iter().map(|e| e.kind.as_str()).collect();
+    for expected in ["query.submit", "admission.enqueue", "admission.admit", "query.finish", "pager.page"]
+    {
+        assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+    }
+    // Tailing from the returned cursor yields nothing new and no gap.
+    let empty = obs.events(tail.next_cursor, 4096).expect("events resume");
+    assert!(empty.events.is_empty());
+    assert_eq!(empty.gap, 0);
+    assert_eq!(empty.next_cursor, tail.next_cursor);
+
+    // An unknown id is found=false, not an error.
+    let missing = obs.inspect(999_999).expect("inspect unknown");
+    assert!(!missing.found);
+
+    worker.goodbye().expect("goodbye worker");
+    obs.goodbye().expect("goodbye observer");
     drop(server);
 }
 
