@@ -1,0 +1,7 @@
+//! Experiment binary; see DESIGN.md's per-experiment index. Pass `--fast`
+//! for a reduced-size run. Writes `a09_batch_speedup.txt` and a JSON run
+//! report to `exp_output/` (override with `RQP_EXP_OUTPUT`).
+
+fn main() {
+    rqp_bench::experiments::harness::cli_main("a09_batch_speedup", rqp_bench::a09_batch_speedup);
+}

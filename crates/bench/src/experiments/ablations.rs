@@ -1,10 +1,15 @@
-//! A01–A04: ablations over the design choices `DESIGN.md` calls out.
+//! A01–A04 and A09: ablations over the design choices `DESIGN.md` calls out.
 
 use super::harness::{self, Harness};
 use rand::Rng;
 use rqp::adaptive::pop::{run_standard, run_with_pop, EstimatorWrapper, PopConfig};
+use rqp::common::{CostClock, CostModelParams, StringDict};
 use rqp::exec::exchange::{pipeline, ExchangeOp, Partitioning};
-use rqp::exec::{collect, EddyFilterOp, ExecContext, FilterOp, Operator, RoutingPolicy, TableScanOp};
+use rqp::exec::{
+    collect, AggFunc, AggSpec, BatchFilterOp, BatchHashAggOp, BatchHashJoinOp, BatchRowsOp,
+    BatchScanOp, BoxBatchOp, BoxOp, EddyFilterOp, ExecContext, FilterOp, HashAggOp, HashJoinOp,
+    Operator, RoutingPolicy, TableScanOp,
+};
 use rqp::expr::{col, lit};
 use rqp::metrics::{smoothness, ReportTable};
 use rqp::opt::PlannerConfig;
@@ -241,6 +246,236 @@ fn a04_body(h: &mut Harness) -> String {
          degrades smoothly toward serial as skew grows, while total work stays \
          constant: the robustness story is *graceful* degradation, measured by \
          the imbalance factor and the speedup-smoothness gauge.\n",
+    )
+}
+
+/// A09 — batch-vs-scalar wall-clock speedup on the filter/join/agg sweep.
+pub fn a09_batch_speedup(fast: bool) -> String {
+    harness::run("a09_batch_speedup", fast, a09_body)
+}
+
+/// Ceiling on the reported [`samples::BATCH_SPEEDUP`] gauge. The scoreboard
+/// folds that gauge as a *minimum* and gates CI at `baseline - slack`, so
+/// committing a capped baseline pins the floor at the 2x acceptance bar
+/// (2.5 - 0.5 slack) — a fast machine regenerating artifacts cannot ratchet
+/// the floor past what CI hardware reproduces.
+const A09_SPEEDUP_CAP: f64 = 2.5;
+
+/// One timed pipeline variant: returns its rows plus the context whose clock
+/// charged it, so twins can be checked for row and cost parity.
+type A09Run = Box<dyn Fn() -> (Vec<Row>, ExecContext)>;
+
+/// A private context with dyadic cost weights, so twin charges compare
+/// bit-for-bit (the same trick the batch acceptance tests use).
+fn a09_ctx() -> ExecContext {
+    let params = CostModelParams {
+        rows_per_page: 128.0,
+        seq_page: 1.0,
+        rand_page: 4.0,
+        cpu_tuple: 1.0 / 256.0,
+        cpu_compare: 1.0 / 512.0,
+        hash_build: 1.0 / 64.0,
+        hash_probe: 1.0 / 128.0,
+        spill_page: 2.5,
+    };
+    ExecContext::new(CostClock::new(params), f64::INFINITY)
+}
+
+/// One canonical run (kept for the parity check), then `reps` timed runs,
+/// reporting the best — wall clock, since charged costs are identical by
+/// construction.
+fn a09_time(reps: usize, run: &dyn Fn() -> (Vec<Row>, ExecContext)) -> (f64, Vec<Row>, ExecContext) {
+    let (rows, ctx) = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        let _ = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, rows, ctx)
+}
+
+fn a09_body(h: &mut Harness) -> String {
+    let n: i64 = if h.fast() { 30_000 } else { 150_000 };
+    let reps = if h.fast() { 3 } else { 5 };
+    h.config("rows", n);
+    h.config("reps", reps);
+
+    // A string-heavy fact table: the dictionary-coded `cat` column is where
+    // row-at-a-time execution pays for String comparisons and clones.
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("amt", DataType::Float),
+        ("cat", DataType::Str),
+    ]);
+    let mut t = Table::new("s", schema);
+    let mut rng = h.seeded("rows", 109);
+    for i in 0..n {
+        t.append(vec![
+            Value::Int(i),
+            // Dyadic amounts, so aggregate sums fold associatively.
+            Value::Float(rng.gen_range(0..4_000i64) as f64 * 0.25),
+            Value::Str(format!("cat{:02}", rng.gen_range(0..48u32))),
+        ]);
+    }
+    let sales = Arc::new(t);
+    // A selective dimension (6 of 48 categories), so the join, like the
+    // filter, qualifies a minority of probe rows — the regime vectorized
+    // execution is built for: the batch path only materializes survivors.
+    let dim_schema = Schema::from_pairs(&[("cat", DataType::Str), ("tax", DataType::Float)]);
+    let mut d = Table::new("d", dim_schema);
+    for i in 0..6i64 {
+        d.append(vec![Value::Str(format!("cat{i:02}")), Value::Float(i as f64 * 0.125)]);
+    }
+    let dim = Arc::new(d);
+
+    let pred = col("s.cat").eq(lit("cat07"));
+    let aggs =
+        || [AggSpec::count_star("n"), AggSpec::on(AggFunc::Sum, "s.amt", "revenue")];
+
+    let scalar_filter: A09Run = {
+        let (t, p) = (Arc::clone(&sales), pred.clone());
+        Box::new(move || {
+            let c = a09_ctx();
+            let scan: BoxOp = Box::new(TableScanOp::new(Arc::clone(&t), c.clone()));
+            let mut f = FilterOp::new(scan, &p, c.clone()).expect("filter");
+            (collect(&mut f), c)
+        })
+    };
+    let batch_filter: A09Run = {
+        let (t, p) = (Arc::clone(&sales), pred.clone());
+        Box::new(move || {
+            let c = a09_ctx();
+            let scan: BoxBatchOp = Box::new(BatchScanOp::new(Arc::clone(&t), c.clone()));
+            let f: BoxBatchOp = Box::new(BatchFilterOp::new(scan, &p, c.clone()).expect("filter"));
+            let mut rows = BatchRowsOp::boxed(f, c.clone());
+            (collect(rows.as_mut()), c)
+        })
+    };
+    let scalar_join: A09Run = {
+        let (t, d) = (Arc::clone(&sales), Arc::clone(&dim));
+        Box::new(move || {
+            let c = a09_ctx();
+            let left: BoxOp = Box::new(TableScanOp::new(Arc::clone(&t), c.clone()));
+            let right: BoxOp = Box::new(TableScanOp::new(Arc::clone(&d), c.clone()));
+            let mut j = HashJoinOp::new(left, right, &["s.cat"], &["d.cat"], c.clone())
+                .expect("join");
+            (collect(&mut j), c)
+        })
+    };
+    let batch_join: A09Run = {
+        let (t, d) = (Arc::clone(&sales), Arc::clone(&dim));
+        Box::new(move || {
+            let c = a09_ctx();
+            let dict = Arc::new(StringDict::new());
+            let left: BoxBatchOp = Box::new(BatchScanOp::with_dict(
+                Arc::clone(&t),
+                0,
+                t.nrows(),
+                Arc::clone(&dict),
+                c.clone(),
+            ));
+            let right: BoxBatchOp =
+                Box::new(BatchScanOp::with_dict(Arc::clone(&d), 0, d.nrows(), dict, c.clone()));
+            let j: BoxBatchOp =
+                Box::new(BatchHashJoinOp::new(left, right, "s.cat", "d.cat", c.clone())
+                    .expect("join"));
+            let mut rows = BatchRowsOp::boxed(j, c.clone());
+            (collect(rows.as_mut()), c)
+        })
+    };
+    let scalar_agg: A09Run = {
+        let t = Arc::clone(&sales);
+        Box::new(move || {
+            let c = a09_ctx();
+            let scan: BoxOp = Box::new(TableScanOp::new(Arc::clone(&t), c.clone()));
+            let mut a = HashAggOp::new(scan, &["s.cat"], &aggs(), c.clone()).expect("agg");
+            (collect(&mut a), c)
+        })
+    };
+    let batch_agg: A09Run = {
+        let t = Arc::clone(&sales);
+        Box::new(move || {
+            let c = a09_ctx();
+            let scan: BoxBatchOp = Box::new(BatchScanOp::new(Arc::clone(&t), c.clone()));
+            let mut a = BatchHashAggOp::new(scan, &["s.cat"], &aggs(), c.clone()).expect("agg");
+            (collect(&mut a), c)
+        })
+    };
+    let pipelines = [
+        ("filter", scalar_filter, batch_filter),
+        ("join", scalar_join, batch_join),
+        ("agg", scalar_agg, batch_agg),
+    ];
+
+    let mut t_out = ReportTable::new(&["pipeline", "rows", "scalar ms", "batch ms", "speedup"]);
+    let mut charged = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, scalar_run, batch_run) in &pipelines {
+        let (s_best, s_rows, s_ctx) = a09_time(reps, scalar_run.as_ref());
+        let (b_best, b_rows, b_ctx) = a09_time(reps, batch_run.as_ref());
+        // The speedup only counts if the twins stay twins: identical rows,
+        // identical charged-cost bits.
+        assert_eq!(s_rows, b_rows, "{name}: twin row streams diverge");
+        let (sb, bb) = (s_ctx.clock.breakdown(), b_ctx.clock.breakdown());
+        assert_eq!(sb.total().to_bits(), bb.total().to_bits(), "{name}: twin charges diverge");
+        let speedup = s_best / b_best;
+        speedups.push(speedup);
+        charged.push(sb.total());
+        t_out.row(&[
+            (*name).into(),
+            format!("{}", s_rows.len()),
+            format!("{:.2}", s_best * 1e3),
+            format!("{:.2}", b_best * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+        h.gauge(&format!("batch.speedup_{name}"), speedup);
+    }
+
+    // One full batch join runs on the harness context so its operator spans
+    // (and deterministic charged costs) land in the run report.
+    {
+        let c = h.ctx().clone();
+        let dict = Arc::new(StringDict::new());
+        let left: BoxBatchOp = Box::new(BatchScanOp::with_dict(
+            Arc::clone(&sales),
+            0,
+            sales.nrows(),
+            Arc::clone(&dict),
+            c.clone(),
+        ));
+        let right: BoxBatchOp =
+            Box::new(BatchScanOp::with_dict(Arc::clone(&dim), 0, dim.nrows(), dict, c.clone()));
+        let j: BoxBatchOp = Box::new(
+            BatchHashJoinOp::new(left, right, "s.cat", "d.cat", c.clone()).expect("join"),
+        );
+        let mut rows = BatchRowsOp::boxed(j, c.clone());
+        let _ = collect(rows.as_mut());
+    }
+
+    // Paper samples stay deterministic: charged-cost gaps across the sweep
+    // (smoothness) and per-pipeline (chosen, ideal) pairs — twins charge
+    // identically, so env divergence is zero and the wall-clock win is told
+    // entirely by the speedup gauge.
+    let floor = charged.iter().copied().fold(f64::INFINITY, f64::min);
+    h.perf_gaps(&charged.iter().map(|c| c - floor).collect::<Vec<_>>());
+    h.env_costs(&charged.iter().map(|c| (*c, *c)).collect::<Vec<_>>());
+    let raw = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    h.gauge(samples::BATCH_SPEEDUP, raw.min(A09_SPEEDUP_CAP));
+
+    format!(
+        "A09 — batch-vs-scalar speedup ({n} rows, best of {reps} runs; worst \
+         pipeline {raw:.2}x, gauge capped at {A09_SPEEDUP_CAP})\n\n{t_out}\n\
+         Expected shape: every pipeline clears 2x — the batch twins charge the \
+         same cost-clock totals (asserted bit-for-bit above) but replace \
+         per-row virtual dispatch, `Row` materialization and String compares \
+         with tight loops over typed columns and u32 dictionary codes. The \
+         filter and join qualify a minority of rows, so the batch path \
+         materializes only survivors while the scalar path builds every \
+         scanned row; the aggregate gains from u32 group codes replacing \
+         String keys. Speedups shrink toward 1x as output cardinality \
+         approaches input cardinality (both paths then pay the same per-row \
+         materialization), which is why the sweep pins selective shapes.\n",
     )
 }
 

@@ -13,7 +13,9 @@ pub mod resources;
 pub mod service;
 pub mod wire;
 
-pub use ablations::{a01_pop_theta, a02_amerge_runsize, a03_eddy_decay, a04_parallel_scaling};
+pub use ablations::{
+    a01_pop_theta, a02_amerge_runsize, a03_eddy_decay, a04_parallel_scaling, a09_batch_speedup,
+};
 pub use benchmarks::{e04_tractor_pull, e05_extrinsic, e06_equivalence};
 pub use estimation::{e08_card_metrics, e19_leo, e22_blackhat};
 pub use observer::a08_live_observer;

@@ -24,16 +24,23 @@
 //! * [`rng`] — seeded random-number helpers (uniform, Zipf, correlated draws)
 //!   so all workloads are deterministic;
 //! * [`sync`] — the atomic primitives ([`sync::AtomicF64`]) behind the
-//!   thread-safe clock/governor/telemetry substrate.
+//!   thread-safe clock/governor/telemetry substrate;
+//! * [`dict`] — the shared [`dict::StringDict`] interner mapping strings to
+//!   dense `u32` codes so batch joins and group-bys compare integers;
+//! * [`batch`] — the columnar [`batch::ColumnBatch`] (typed vectors + a
+//!   selection bitmap) that batch-mode operators exchange instead of rows,
+//!   and the [`batch::batch_enabled`] `RQP_BATCH` switch.
 //!
 //! Everything else in the workspace (`rqp-storage`, `rqp-stats`, `rqp-exec`,
 //! `rqp-opt`, …) builds on these types.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cancel;
 pub mod chaos;
 pub mod clock;
+pub mod dict;
 pub mod error;
 pub mod expr;
 pub mod rng;
@@ -41,11 +48,13 @@ pub mod schema;
 pub mod sync;
 pub mod value;
 
+pub use batch::{batch_enabled, ColumnBatch, ColVec, SelMask, DEFAULT_BATCH_ROWS};
 pub use cancel::CancelToken;
 pub use chaos::{ChaosConfig, ChaosPolicy, WorkerFault};
 pub use clock::{CostBreakdown, CostClock, CostModelParams, SharedClock};
+pub use dict::StringDict;
 pub use error::{Result, RqpError};
 pub use expr::{CmpOp, Expr, SimplePred};
 pub use schema::{Field, Row, Schema};
 pub use sync::AtomicF64;
-pub use value::{DataType, Value};
+pub use value::{key_atom_f64, key_atom_i64, DataType, KeyAtom, Value};

@@ -31,11 +31,14 @@
 //! `exchange.critical_path`, `exchange.total_work`, `exchange.speedup` and
 //! `exchange.skew` gauges for exactly that purpose.
 
+use crate::batch::{BatchPartitionSourceOp, BatchRowsOp, BatchScanOp, BoxBatchOp};
 use crate::context::ExecContext;
 use crate::scan::TableScanOp;
 use crate::{BoxOp, Operator};
 use rqp_common::chaos::{install_quiet_panic_hook, ChaosPanic};
-use rqp_common::{Result, Row, RqpError, Schema, SharedClock, Value, WorkerFault};
+use rqp_common::{
+    ColVec, ColumnBatch, KeyAtom, Result, Row, RqpError, Schema, SharedClock, Value, WorkerFault,
+};
 use rqp_storage::Table;
 use rqp_telemetry::SpanHandle;
 use std::any::Any;
@@ -77,23 +80,41 @@ pub enum Partitioning {
     },
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
     bytes.iter().fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
 }
 
+/// Fold one canonical [`KeyAtom`] into an FNV-1a stream (tag byte, then
+/// payload bytes). Shared by [`hash_value`] and the batch-mode routing path,
+/// which packs atoms straight from column vectors without materializing
+/// `Value`s — both must produce identical streams, or batch and scalar
+/// repartitions would route the same key to different workers.
+pub(crate) fn hash_atom(h: u64, atom: KeyAtom<'_>) -> u64 {
+    match atom {
+        KeyAtom::Null => fnv1a(h, &[0]),
+        KeyAtom::Int(i) => fnv1a(fnv1a(h, &[1]), &i.to_le_bytes()),
+        KeyAtom::FloatBits(b) => fnv1a(fnv1a(h, &[2]), &b.to_le_bytes()),
+        KeyAtom::Str(s) => fnv1a(fnv1a(h, &[3]), s.as_bytes()),
+    }
+}
+
 /// Deterministic FNV-1a hash of one value (type tag + payload bytes).
 /// Platform- and run-independent, unlike `std`'s `RandomState`, so hash
 /// partitions are reproducible across processes and CI legs.
+///
+/// Hashes the value's **canonical key atom** ([`Value::key_atom`]), not its
+/// variant: `Value::total_cmp` calls `Int(3)` and `Float(3.0)` equal, so
+/// hashing them under different type tags (as this function once did) routed
+/// numerically-equal mixed-type keys to different workers — a silent
+/// wrong-answer bug for hash repartitioning. An integral float now hashes
+/// byte-identically to its integer twin; `Int` keys and non-integral floats
+/// keep their original encodings, so hash partitions (and `rows_checksum`
+/// streams) over single-type keys are unchanged.
 pub fn hash_value(h: u64, v: &Value) -> u64 {
-    match v {
-        Value::Null => fnv1a(h, &[0]),
-        Value::Int(i) => fnv1a(fnv1a(h, &[1]), &i.to_le_bytes()),
-        Value::Float(f) => fnv1a(fnv1a(h, &[2]), &f.to_bits().to_le_bytes()),
-        Value::Str(s) => fnv1a(fnv1a(h, &[3]), s.as_bytes()),
-    }
+    hash_atom(h, v.key_atom())
 }
 
 /// Hash the given key columns of a row. Errors if an index is out of bounds.
@@ -171,6 +192,19 @@ pub type PipelineBuilder = Arc<dyn Fn(BoxOp, &ExecContext) -> BoxOp + Send + Syn
 
 /// Wrap a closure as a [`PipelineBuilder`].
 pub fn pipeline(f: impl Fn(BoxOp, &ExecContext) -> BoxOp + Send + Sync + 'static) -> PipelineBuilder {
+    Arc::new(f)
+}
+
+/// A per-partition **batch** pipeline applied on top of a batch range scan
+/// (or batch partition source) inside each worker — the batch-mode analogue
+/// of [`PipelineBuilder`].
+pub type BatchPipelineBuilder =
+    Arc<dyn Fn(BoxBatchOp, &ExecContext) -> BoxBatchOp + Send + Sync>;
+
+/// Wrap a closure as a [`BatchPipelineBuilder`].
+pub fn batch_pipeline(
+    f: impl Fn(BoxBatchOp, &ExecContext) -> BoxBatchOp + Send + Sync + 'static,
+) -> BatchPipelineBuilder {
     Arc::new(f)
 }
 
@@ -565,6 +599,179 @@ impl ExchangeOp {
             .collect();
         Self::try_new(builders, ctx)
     }
+
+    /// Parallel **batch** table scan: page-aligned range partitions, one
+    /// [`BatchScanOp`] per worker with `build` stacked on top, adapted to
+    /// rows at each worker's boundary. Gather, worker recovery and charge
+    /// totals are identical to [`ExchangeOp::try_parallel_scan_with`] over
+    /// the equivalent scalar pipeline.
+    pub fn try_parallel_batch_scan(
+        table: Arc<Table>,
+        workers: usize,
+        build: BatchPipelineBuilder,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        let workers = workers.max(1);
+        let rpp = (ctx.clock.params().rows_per_page.max(1.0)) as usize;
+        let builders: Vec<WorkerBuilder> = table
+            .page_partitions(workers, rpp)
+            .into_iter()
+            .map(|(start, end)| {
+                let table = Arc::clone(&table);
+                let build = Arc::clone(&build);
+                Box::new(move |wctx: &ExecContext| {
+                    let scan: BoxBatchOp = Box::new(BatchScanOp::with_range(
+                        Arc::clone(&table),
+                        start,
+                        end,
+                        wctx.clone(),
+                    ));
+                    BatchRowsOp::boxed(build(scan, wctx), wctx.clone())
+                }) as WorkerBuilder
+            })
+            .collect();
+        Self::try_new(builders, ctx)
+    }
+
+    /// Repartition a **batch** stream: drain `input` on the coordinator,
+    /// route each surviving row per `spec` into per-partition columnar
+    /// buffers (never materializing `Value` rows — string keys hash through
+    /// a per-code memo of their resolved bytes), and run `build` over each
+    /// partition's [`BatchPartitionSourceOp`] in its own worker.
+    ///
+    /// Row routing, the one-CPU-tuple-per-row routing charge, and the
+    /// worker/gather behavior are identical to [`ExchangeOp::repartition`]
+    /// over the materialized rows: the FNV key stream hashes canonical
+    /// [`KeyAtom`]s on both paths.
+    pub fn repartition_batches(
+        mut input: BoxBatchOp,
+        spec: Partitioning,
+        workers: usize,
+        build: BatchPipelineBuilder,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        let workers = workers.max(1);
+        let schema = input.schema().clone();
+        let dict = Arc::clone(input.dict());
+        let mut batches = Vec::new();
+        let mut routed = 0usize;
+        while let Some(b) = input.next_batch() {
+            routed += b.sel.count();
+            batches.push(b);
+        }
+        drop(input);
+        ctx.clock.charge_cpu_tuples(routed as f64);
+        let parts = partition_batches(&batches, &schema, &spec, workers)?;
+        let builders: Vec<WorkerBuilder> = parts
+            .into_iter()
+            .map(|p| {
+                let build = Arc::clone(&build);
+                let schema = schema.clone();
+                let dict = Arc::clone(&dict);
+                Box::new(move |wctx: &ExecContext| {
+                    let src: BoxBatchOp = Box::new(BatchPartitionSourceOp::new(
+                        p.clone(),
+                        schema.clone(),
+                        Arc::clone(&dict),
+                        wctx.clone(),
+                    ));
+                    BatchRowsOp::boxed(build(src, wctx), wctx.clone())
+                }) as WorkerBuilder
+            })
+            .collect();
+        Self::try_new(builders, ctx)
+    }
+}
+
+/// Split a drained batch stream into `parts` per-partition columnar buffers
+/// per `spec`, preserving input order within each partition — the batch twin
+/// of [`partition_rows`], routing by the same canonical key hashes.
+fn partition_batches(
+    batches: &[ColumnBatch],
+    schema: &Schema,
+    spec: &Partitioning,
+    parts: usize,
+) -> Result<Vec<Vec<ColVec>>> {
+    let parts = parts.max(1);
+    let mut out: Vec<Vec<ColVec>> = (0..parts)
+        .map(|_| schema.fields().iter().map(|f| crate::batch::empty_for(f.dtype)).collect())
+        .collect();
+    let push_row = |out: &mut Vec<Vec<ColVec>>, batch: &ColumnBatch, p: usize, i: usize| {
+        for (dst, src) in out[p].iter_mut().zip(&batch.columns) {
+            crate::batch::push_from(dst, src, i);
+        }
+    };
+    match spec {
+        Partitioning::Hash { keys, skew } => {
+            for &k in keys {
+                if k >= schema.len() {
+                    return Err(RqpError::KeyOutOfBounds { index: k, width: schema.len() });
+                }
+            }
+            // Single string key: the whole-row hash depends only on the
+            // dictionary code, so memoize it per code.
+            let single_str_key = match keys.as_slice() {
+                [k] if matches!(schema.field(*k).dtype, rqp_common::DataType::Str) => Some(*k),
+                _ => None,
+            };
+            let mut code_memo: Vec<Option<u64>> = Vec::new();
+            for batch in batches {
+                for i in batch.sel.iter_set() {
+                    let h = if let Some(k) = single_str_key {
+                        let codes = batch.columns[k].as_codes().expect("typed Str column");
+                        let c = codes[i] as usize;
+                        if c >= code_memo.len() {
+                            code_memo.resize(batch.dict.len(), None);
+                        }
+                        *code_memo[c].get_or_insert_with(|| {
+                            batch
+                                .dict
+                                .with_resolved(codes[i], |s| hash_atom(FNV_OFFSET, KeyAtom::Str(s)))
+                        })
+                    } else {
+                        crate::batch::hash_batch_row_keys(batch, keys, i)
+                    };
+                    let p = if skewed_to_zero(h, *skew) { 0 } else { (h % parts as u64) as usize };
+                    push_row(&mut out, batch, p, i);
+                }
+            }
+        }
+        Partitioning::Range { key, skew } => {
+            if *key >= schema.len() {
+                return Err(RqpError::KeyOutOfBounds { index: *key, width: schema.len() });
+            }
+            let numeric = |batch: &ColumnBatch, i: usize| -> Result<f64> {
+                match &batch.columns[*key] {
+                    ColVec::Int(xs) => Ok(xs[i] as f64),
+                    ColVec::Float(xs) => Ok(xs[i]),
+                    ColVec::Str(xs) => Err(RqpError::NonNumericKey(format!(
+                        "{:?}",
+                        Value::Str(batch.dict.resolve(xs[i]))
+                    ))),
+                }
+            };
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for batch in batches {
+                for i in batch.sel.iter_set() {
+                    let v = numeric(batch, i)?;
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let width = (hi - lo).max(f64::MIN_POSITIVE);
+            for batch in batches {
+                for i in batch.sel.iter_set() {
+                    let v = numeric(batch, i)?;
+                    let by_range = (((v - lo) / width) * parts as f64) as usize;
+                    let h = crate::batch::hash_batch_row_keys(batch, &[*key], i);
+                    let p = if skewed_to_zero(h, *skew) { 0 } else { by_range.min(parts - 1) };
+                    push_row(&mut out, batch, p, i);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 impl Operator for ExchangeOp {
@@ -657,6 +864,89 @@ mod tests {
         }
         // Out-of-bounds key errors instead of panicking.
         assert!(partition_rows(rows(3), &Partitioning::Hash { keys: vec![9], skew: 0.0 }, 2).is_err());
+    }
+
+    #[test]
+    fn hash_value_agrees_with_equality() {
+        // The headline bugfix: a == b (total_cmp) ⇒ hash_value(h, a) ==
+        // hash_value(h, b), for every seed. Crafted pairs first…
+        let h = |v: &Value| hash_value(FNV_OFFSET, v);
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert_eq!(h(&Value::Int(0)), h(&Value::Float(0.0)));
+        assert_eq!(h(&Value::Int(-41)), h(&Value::Float(-41.0)));
+        assert_eq!(h(&Value::Int(1 << 53)), h(&Value::Float((1u64 << 53) as f64)));
+        assert_ne!(h(&Value::Int(2)), h(&Value::Float(2.5)), "unequal should (here) differ");
+        // …then a seeded random sweep over seeds × mixed-type pairs.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut equal_pairs = 0;
+        for _ in 0..5_000 {
+            let seed = next();
+            let i = (next() as i64) % 1_000_000;
+            let a = Value::Int(i);
+            let b = if next() % 2 == 0 {
+                Value::Float(i as f64)
+            } else {
+                Value::Float((next() as i64 % 1_000_000) as f64 / 8.0)
+            };
+            if a == b {
+                equal_pairs += 1;
+                assert_eq!(hash_value(seed, &a), hash_value(seed, &b), "{a:?} == {b:?}");
+            }
+        }
+        assert!(equal_pairs > 500, "sweep must hit equal mixed pairs: {equal_pairs}");
+    }
+
+    #[test]
+    fn mixed_type_keys_route_to_one_partition() {
+        // Regression for the silent wrong-answer class: rows whose keys are
+        // Int(k) on one side and Float(k.0) on the other must land in the
+        // same hash partition, at any worker count.
+        let mixed: Vec<Row> = (0..400)
+            .map(|i| {
+                let key = if i % 2 == 0 { Value::Int(i % 50) } else { Value::Float((i % 50) as f64) };
+                vec![Value::Int(i), key]
+            })
+            .collect();
+        for parts in [1usize, 2, 8] {
+            let spec = Partitioning::Hash { keys: vec![1], skew: 0.0 };
+            let buckets = partition_rows(mixed.clone(), &spec, parts).unwrap();
+            for (p, bucket) in buckets.iter().enumerate() {
+                for r in bucket {
+                    // Every row with an equal key shares this row's bucket.
+                    for (q, other) in buckets.iter().enumerate() {
+                        if p == q {
+                            continue;
+                        }
+                        assert!(
+                            !other.iter().any(|o| o[1] == r[1]),
+                            "key {:?} split across partitions {p} and {q} of {parts}",
+                            r[1]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_key_hash_encoding_is_unchanged() {
+        // Committed experiment artifacts depend on the routing of Int keys;
+        // the canonicalization must leave tag-1 + i64-LE bytes intact for
+        // every round-trip-safe integer.
+        for i in [0i64, 1, -1, 42, 999_983, -2_000_000, (1 << 53) - 1] {
+            let expected = fnv1a(fnv1a(FNV_OFFSET, &[1]), &i.to_le_bytes());
+            assert_eq!(hash_value(FNV_OFFSET, &Value::Int(i)), expected);
+        }
+        // Non-integral floats keep tag 2 + bit pattern.
+        let f = 2.5f64;
+        let expected = fnv1a(fnv1a(FNV_OFFSET, &[2]), &f.to_bits().to_le_bytes());
+        assert_eq!(hash_value(FNV_OFFSET, &Value::Float(f)), expected);
     }
 
     #[test]

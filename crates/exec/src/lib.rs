@@ -33,6 +33,10 @@
 //! * [`exchange`] — Volcano-style exchange: parallel scan, hash/range
 //!   repartition with injectable skew, deterministic gather over
 //!   `std::thread` workers;
+//! * [`batch`] — batch-at-a-time twins of the hot-path operators
+//!   (scan/filter/project/hash join/hash agg) exchanging columnar
+//!   [`rqp_common::ColumnBatch`]es with dictionary-encoded strings, plus the
+//!   batch→row adapter; charge-compatible with their scalar twins;
 //! * [`context`] — the execution context: cost clock, memory governor,
 //!   span tracer and metrics registry.
 //!
@@ -44,6 +48,7 @@
 
 pub mod agg;
 pub mod agreedy;
+pub mod batch;
 pub mod checkpoint;
 pub mod context;
 pub mod eddy;
@@ -58,10 +63,17 @@ pub mod symjoin;
 
 pub use agg::{AggFunc, AggSpec, HashAggOp};
 pub use agreedy::AGreedyFilterOp;
+pub use batch::{
+    BatchFilterOp, BatchHashAggOp, BatchHashJoinOp, BatchOperator, BatchPartitionSourceOp,
+    BatchProjectOp, BatchRowsOp, BatchScanOp, BoxBatchOp,
+};
 pub use checkpoint::{CheckOp, CheckOutcome, PopSignal};
 pub use context::{collect, ExecContext, MemoryGovernor, SpanOp, WorkspaceLease};
 pub use eddy::{EddyFilterOp, RoutingPolicy, StarEddyOp};
-pub use exchange::{ExchangeOp, Partitioning, PartitionSourceOp};
+pub use exchange::{
+    batch_pipeline, pipeline, BatchPipelineBuilder, ExchangeOp, Partitioning, PartitionSourceOp,
+    PipelineBuilder,
+};
 pub use filter::{FilterOp, ProjectOp};
 pub use gjoin::GJoinOp;
 pub use join::{BnlJoinOp, HashJoinOp, IndexNlJoinOp, MergeJoinOp};

@@ -61,62 +61,68 @@ impl TableScanOp {
         TableScanOp { table, schema, ctx, pos: start, start, end, rows_per_page, chaos, span }
     }
 
-    /// Chaos injection point, hit once per page boundary. Both decisions key
-    /// on the **absolute page index**, so the fault schedule is identical no
-    /// matter how the table is partitioned across exchange workers.
-    ///
-    /// Transient read faults are retried per the error taxonomy
-    /// ([`RqpError::is_retryable`]), each retry charging one random-page
-    /// re-read; exhausting the retry budget escalates to a fatal error,
-    /// raised as a panic that the exchange's join-handle recovery converts
-    /// into a lost-partition retry. Memory shocks shrink (or restore) the
-    /// governor budget; renegotiating operators observe the pressure epoch.
+    /// Chaos injection point, hit once per page boundary; see [`page_chaos`].
     fn page_chaos(&mut self, page: u64) {
-        let policy = &self.ctx.chaos;
-        let mut attempt = 0u32;
-        while policy.scan_fault(self.table.name(), page, attempt) {
-            let err = RqpError::TransientIo {
-                site: format!("{}/{page}", self.table.name()),
-                attempt,
-            };
-            if attempt >= policy.scan_max_retries() || !err.is_retryable() {
-                let fatal = RqpError::Execution(format!("retries exhausted: {err}"));
-                self.span
-                    .record_event(&self.ctx.clock, "chaos.scan_fatal", &fatal.to_string());
-                self.ctx.metrics.counter("chaos.scan_fatal").inc();
-                std::panic::panic_any(fatal);
-            }
-            attempt += 1;
-            // The retry re-reads the page out of sequence.
-            self.ctx.clock.charge_random_pages(1.0);
-            self.span.record_event(
-                &self.ctx.clock,
-                "chaos.scan_retry",
-                &format!("{err} (retrying)"),
-            );
-            self.ctx.metrics.counter("chaos.scan_retries").inc();
+        page_chaos(&self.ctx, &self.span, self.table.name(), page);
+    }
+}
+
+/// Chaos injection point, hit once per page boundary by both the scalar
+/// [`TableScanOp`] and the batch scan. Both decisions key on the **absolute
+/// page index**, so the fault schedule is identical no matter how the table
+/// is partitioned across exchange workers — or whether rows are pulled one
+/// at a time or in batches.
+///
+/// Transient read faults are retried per the error taxonomy
+/// ([`RqpError::is_retryable`]), each retry charging one random-page
+/// re-read; exhausting the retry budget escalates to a fatal error,
+/// raised as a panic that the exchange's join-handle recovery converts
+/// into a lost-partition retry. Memory shocks shrink (or restore) the
+/// governor budget; renegotiating operators observe the pressure epoch.
+pub(crate) fn page_chaos(ctx: &ExecContext, span: &SpanHandle, table_name: &str, page: u64) {
+    let policy = &ctx.chaos;
+    let mut attempt = 0u32;
+    while policy.scan_fault(table_name, page, attempt) {
+        let err = RqpError::TransientIo {
+            site: format!("{table_name}/{page}"),
+            attempt,
+        };
+        if attempt >= policy.scan_max_retries() || !err.is_retryable() {
+            let fatal = RqpError::Execution(format!("retries exhausted: {err}"));
+            span.record_event(&ctx.clock, "chaos.scan_fatal", &fatal.to_string());
+            ctx.metrics.counter("chaos.scan_fatal").inc();
+            std::panic::panic_any(fatal);
         }
-        if let Some(fraction) = policy.memory_shock(self.table.name(), page) {
-            self.ctx.metrics.counter("chaos.memory_shocks").inc();
-            if fraction >= 1.0 {
-                self.ctx.memory.restore();
-                self.span.record_event(
-                    &self.ctx.clock,
-                    "chaos.memory_restore",
-                    &format!("budget restored to {:.0}", self.ctx.memory.base_budget()),
-                );
-            } else {
-                let target = self.ctx.memory.base_budget() * fraction;
-                let overcommitted = self.ctx.memory.shock_to(target);
-                self.span.record_event(
-                    &self.ctx.clock,
-                    "chaos.memory_shock",
-                    &format!(
-                        "budget shocked to {target:.0} ({fraction}x base){}",
-                        if overcommitted { ", governor overcommitted" } else { "" }
-                    ),
-                );
-            }
+        attempt += 1;
+        // The retry re-reads the page out of sequence.
+        ctx.clock.charge_random_pages(1.0);
+        span.record_event(
+            &ctx.clock,
+            "chaos.scan_retry",
+            &format!("{err} (retrying)"),
+        );
+        ctx.metrics.counter("chaos.scan_retries").inc();
+    }
+    if let Some(fraction) = policy.memory_shock(table_name, page) {
+        ctx.metrics.counter("chaos.memory_shocks").inc();
+        if fraction >= 1.0 {
+            ctx.memory.restore();
+            span.record_event(
+                &ctx.clock,
+                "chaos.memory_restore",
+                &format!("budget restored to {:.0}", ctx.memory.base_budget()),
+            );
+        } else {
+            let target = ctx.memory.base_budget() * fraction;
+            let overcommitted = ctx.memory.shock_to(target);
+            span.record_event(
+                &ctx.clock,
+                "chaos.memory_shock",
+                &format!(
+                    "budget shocked to {target:.0} ({fraction}x base){}",
+                    if overcommitted { ", governor overcommitted" } else { "" }
+                ),
+            );
         }
     }
 }

@@ -17,16 +17,17 @@
 
 use crate::cost::CostModel;
 use crate::query::JoinEdge;
-use rqp_common::{Expr, Result, RqpError, Value};
+use rqp_common::{batch_enabled, Expr, Result, RqpError, Value};
 use rqp_exec::{
-    AggSpec, BoxOp, CheckOp, ExecContext, FilterOp, GJoinOp, HashAggOp, HashJoinOp,
-    IndexNlJoinOp, IndexScanOp, MergeJoinOp, PopSignal, ProjectOp, SortOp, SpanHandle,
-    TableScanOp, TopNOp,
+    AggSpec, BatchFilterOp, BatchRowsOp, BatchScanOp, BoxBatchOp, BoxOp, CheckOp, ExecContext,
+    FilterOp, GJoinOp, HashAggOp, HashJoinOp, IndexNlJoinOp, IndexScanOp, MergeJoinOp, PopSignal,
+    ProjectOp, SortOp, SpanHandle, TableScanOp, TopNOp,
 };
 use rqp_stats::CardEstimator;
-use rqp_storage::Catalog;
+use rqp_storage::{Catalog, Table};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A physical plan node (with estimates attached).
 #[derive(Debug, Clone)]
@@ -451,10 +452,15 @@ impl PhysicalPlan {
         let op: BoxOp = match self {
             TableScan { table, filter, .. } => {
                 let t = catalog.table(table)?;
-                let scan: BoxOp = Box::new(TableScanOp::new(t, ctx.clone()));
-                match filter {
-                    Some(f) => Box::new(FilterOp::new(scan, f, ctx.clone())?),
-                    None => scan,
+                match batch_scan_pipeline(&t, filter, ctx) {
+                    Some(op) => op,
+                    None => {
+                        let scan: BoxOp = Box::new(TableScanOp::new(t, ctx.clone()));
+                        match filter {
+                            Some(f) => Box::new(FilterOp::new(scan, f, ctx.clone())?),
+                            None => scan,
+                        }
+                    }
                 }
             }
             IndexScan { table, index, lo, hi, residual, .. } => {
@@ -733,6 +739,28 @@ fn fmt_edges(edges: &[JoinEdge]) -> String {
         .map(|e| format!("{}={}", e.left_qualified(), e.right_qualified()))
         .collect::<Vec<_>>()
         .join(" AND ")
+}
+
+/// Batch-gated scan pipeline: when `RQP_BATCH` is on, build the
+/// scan(+filter) batch twins behind a [`BatchRowsOp`] row adapter. Returns
+/// `None` — falling back to the scalar construction — when batching is off
+/// or the predicate does not compile to a batch filter, so binding errors
+/// and unsupported expressions surface identically with the switch on.
+fn batch_scan_pipeline(t: &Arc<Table>, filter: &Option<Expr>, ctx: &ExecContext) -> Option<BoxOp> {
+    if !batch_enabled() {
+        return None;
+    }
+    // Check compilability before opening any spans, so the common fallback
+    // (a predicate with no batch form) leaves no orphan operator in the trace.
+    if let Some(f) = filter {
+        rqp_common::SimplePred::from_expr(f)?;
+    }
+    let scan: BoxBatchOp = Box::new(BatchScanOp::new(Arc::clone(t), ctx.clone()));
+    let inner: BoxBatchOp = match filter {
+        Some(f) => Box::new(BatchFilterOp::new(scan, f, ctx.clone()).ok()?),
+        None => scan,
+    };
+    Some(BatchRowsOp::boxed(inner, ctx.clone()))
 }
 
 /// Qualified key column lists for join construction.

@@ -137,6 +137,16 @@ impl ColumnData {
         }
     }
 
+    /// String slice view (None for non-string columns). Batch scans use
+    /// this to dictionary-encode a range of rows without per-row `Value`
+    /// materialization.
+    pub fn as_str_slice(&self) -> Option<&[String]> {
+        match self {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Iterate values as [`Value`]s (allocates per string row).
     pub fn iter_values(&self) -> Box<dyn Iterator<Item = Value> + '_> {
         match self {

@@ -41,7 +41,7 @@ pub use crack::CrackerColumn;
 pub use index::BTreeIndex;
 pub use multi_index::MultiIndex;
 pub use shared_scan::SharedScanCoordinator;
-pub use table::Table;
+pub use table::{StrEncoding, Table};
 
 /// Row identifier within a table (position in insertion order).
 pub type RowId = usize;

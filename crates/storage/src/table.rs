@@ -3,6 +3,25 @@
 use crate::column::ColumnData;
 use crate::RowId;
 use rqp_common::{Result, Row, RqpError, Schema, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A storage-resident dictionary encoding of one string column: the distinct
+/// values in first-appearance order plus one dense local code per row.
+///
+/// Built lazily by [`Table::str_encoding`] and memoized for the table's
+/// lifetime (any append invalidates it), so batch scans translate small
+/// integer codes instead of re-hashing every string cell on every scan.
+/// Local codes are private to the table; scans map them into their
+/// pipeline's shared `StringDict` through a per-distinct-value translation
+/// table.
+#[derive(Debug)]
+pub struct StrEncoding {
+    /// Distinct values, indexed by local code.
+    pub values: Vec<String>,
+    /// One local code per row: `values[codes[i] as usize] == column[i]`.
+    pub codes: Vec<u32>,
+}
 
 /// An in-memory table stored column-wise.
 ///
@@ -14,17 +33,19 @@ pub struct Table {
     schema: Schema,
     columns: Vec<ColumnData>,
     nrows: usize,
+    encodings: Vec<OnceLock<Arc<StrEncoding>>>,
 }
 
 impl Table {
     /// Create an empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        let columns = schema
+        let columns: Vec<ColumnData> = schema
             .fields()
             .iter()
             .map(|f| ColumnData::empty(f.dtype))
             .collect();
-        Table { name: name.into(), schema, columns, nrows: 0 }
+        let encodings = (0..columns.len()).map(|_| OnceLock::new()).collect();
+        Table { name: name.into(), schema, columns, nrows: 0, encodings }
     }
 
     /// Create a table directly from columns (must be equal length and match
@@ -56,7 +77,8 @@ impl Table {
                 });
             }
         }
-        Ok(Table { name: name.into(), schema, columns, nrows })
+        let encodings = (0..columns.len()).map(|_| OnceLock::new()).collect();
+        Ok(Table { name: name.into(), schema, columns, nrows, encodings })
     }
 
     /// Table name.
@@ -112,6 +134,32 @@ impl Table {
             col.push(v);
         }
         self.nrows += 1;
+        // Mutation invalidates the memoized per-column encodings.
+        for e in &mut self.encodings {
+            if e.get().is_some() {
+                *e = OnceLock::new();
+            }
+        }
+    }
+
+    /// The memoized dictionary encoding of string column `i`, built on first
+    /// use; `None` for non-string columns.
+    pub fn str_encoding(&self, i: usize) -> Option<&Arc<StrEncoding>> {
+        let xs = self.columns[i].as_str_slice()?;
+        Some(self.encodings[i].get_or_init(|| {
+            let mut values: Vec<String> = Vec::new();
+            let mut map: HashMap<&str, u32> = HashMap::new();
+            let codes = xs
+                .iter()
+                .map(|s| {
+                    *map.entry(s.as_str()).or_insert_with(|| {
+                        values.push(s.clone());
+                        (values.len() - 1) as u32
+                    })
+                })
+                .collect();
+            Arc::new(StrEncoding { values, codes })
+        }))
     }
 
     /// Append many rows.
@@ -254,6 +302,30 @@ mod tests {
         // Empty table: all partitions empty.
         let e = Table::new("e", Schema::from_pairs(&[("x", DataType::Int)]));
         assert!(e.page_partitions(3, 100).iter().all(|&(s, end)| s == 0 && end == 0));
+    }
+
+    #[test]
+    fn str_encoding_memoizes_and_invalidates() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("cat", DataType::Str)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..10i64 {
+            t.append(vec![Value::Int(i), Value::Str(format!("c{}", i % 3))]);
+        }
+        assert!(t.str_encoding(0).is_none(), "int column has no encoding");
+        let enc = Arc::clone(t.str_encoding(1).unwrap());
+        assert_eq!(enc.values, vec!["c0", "c1", "c2"], "first-appearance order");
+        assert_eq!(enc.codes.len(), 10);
+        for (i, &code) in enc.codes.iter().enumerate() {
+            assert_eq!(enc.values[code as usize], format!("c{}", i % 3));
+        }
+        // Memoized: same Arc on the next call.
+        assert!(Arc::ptr_eq(&enc, t.str_encoding(1).unwrap()));
+        // Appending invalidates and rebuilds with the new row covered.
+        t.append(vec![Value::Int(10), Value::Str("c9".into())]);
+        let enc2 = t.str_encoding(1).unwrap();
+        assert!(!Arc::ptr_eq(&enc, enc2));
+        assert_eq!(enc2.codes.len(), 11);
+        assert_eq!(enc2.values.last().map(String::as_str), Some("c9"));
     }
 
     #[test]

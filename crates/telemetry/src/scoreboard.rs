@@ -32,8 +32,9 @@ use std::path::{Path, PathBuf};
 /// added the wire-service metrics (`wire_tail_p99`, `wire_tail_p999`,
 /// `wire_churn_recovery`, `wire_backpressure_pages`). Version 6 added the
 /// live-observability metrics (`observer_overhead_p99`,
-/// `observer_event_loss`).
-pub const SCOREBOARD_VERSION: u32 = 6;
+/// `observer_event_loss`). Version 7 added the batch-execution metric
+/// (`batch_speedup`).
+pub const SCOREBOARD_VERSION: u32 = 7;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -97,6 +98,11 @@ pub mod samples {
     /// ring overwrite (summed `gap`). Folded as the *maximum* across runs
     /// — a correctly provisioned recorder loses nothing.
     pub const OBSERVER_EVENT_LOSS: &str = "paper.observer.event_loss";
+    /// Gauge: worst wall-clock speedup of the batch execution path over its
+    /// row-at-a-time twin on the `a09` microbench sweep (batch plans are
+    /// charge-identical, so only elapsed time can show the win). Folded as
+    /// the *minimum* across runs — the weakest vectorization observed.
+    pub const BATCH_SPEEDUP: &str = "paper.batch.speedup";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -154,6 +160,9 @@ pub struct ScoreboardEntry {
     /// Worst (maximum) flight-recorder event loss seen by an observer,
     /// from `paper.observer.event_loss`.
     pub observer_event_loss: f64,
+    /// Worst (minimum) batch-over-scalar wall-clock speedup, from
+    /// `paper.batch.speedup`.
+    pub batch_speedup: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -182,6 +191,7 @@ struct SamplePool {
     backpressure_pages: Vec<f64>,
     observer_overheads: Vec<f64>,
     observer_losses: Vec<f64>,
+    batch_speedups: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -230,6 +240,8 @@ impl SamplePool {
                 self.observer_overheads.push(*x);
             } else if name == samples::OBSERVER_EVENT_LOSS {
                 self.observer_losses.push(*x);
+            } else if name == samples::BATCH_SPEEDUP {
+                self.batch_speedups.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -272,6 +284,7 @@ impl SamplePool {
         self.backpressure_pages.sort_by(f64::total_cmp);
         self.observer_overheads.sort_by(f64::total_cmp);
         self.observer_losses.sort_by(f64::total_cmp);
+        self.batch_speedups.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -334,6 +347,7 @@ impl SamplePool {
             wire_backpressure_pages: self.backpressure_pages.last().copied().unwrap_or(f64::NAN),
             observer_overhead_p99: self.observer_overheads.last().copied().unwrap_or(f64::NAN),
             observer_event_loss: self.observer_losses.last().copied().unwrap_or(f64::NAN),
+            batch_speedup: self.batch_speedups.first().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -560,6 +574,12 @@ impl Scoreboard {
                 cur.wire_churn_recovery,
                 base.wire_churn_recovery - thresholds.wire_churn_recovery_slack,
             );
+            check_floor(
+                "batch_speedup",
+                base.batch_speedup,
+                cur.batch_speedup,
+                base.batch_speedup - thresholds.batch_speedup_slack,
+            );
         }
         out
     }
@@ -613,6 +633,9 @@ pub struct DiffThresholds {
     pub observer_overhead_slack: f64,
     /// `observer_event_loss` may grow by this absolute amount.
     pub observer_event_loss_slack: f64,
+    /// `batch_speedup` may *shrink* by this absolute amount (wall-clock
+    /// measurements jitter more than charged costs).
+    pub batch_speedup_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -639,6 +662,7 @@ impl Default for DiffThresholds {
             observer_overhead_ratio: 1.25,
             observer_overhead_slack: 0.5,
             observer_event_loss_slack: 0.5,
+            batch_speedup_slack: 0.5,
         }
     }
 }
@@ -692,6 +716,7 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("wire_backpressure_pages", Json::num(e.wire_backpressure_pages)),
         ("observer_overhead_p99", Json::num(e.observer_overhead_p99)),
         ("observer_event_loss", Json::num(e.observer_event_loss)),
+        ("batch_speedup", Json::num(e.batch_speedup)),
         (
             "events",
             Json::Obj(
@@ -745,6 +770,7 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         wire_backpressure_pages: num("wire_backpressure_pages")?,
         observer_overhead_p99: num("observer_overhead_p99")?,
         observer_event_loss: num("observer_event_loss")?,
+        batch_speedup: num("batch_speedup")?,
         events,
     })
 }
@@ -789,6 +815,7 @@ mod tests {
         reg.gauge(samples::WIRE_BACKPRESSURE_PAGES).set(1.0);
         reg.gauge(samples::OBSERVER_OVERHEAD_P99).set(1.0);
         reg.gauge(samples::OBSERVER_EVENT_LOSS).set(0.0);
+        reg.gauge(samples::BATCH_SPEEDUP).set(2.5);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -821,6 +848,7 @@ mod tests {
         assert_eq!(e.wire_backpressure_pages, 1.0);
         assert_eq!(e.observer_overhead_p99, 1.0);
         assert_eq!(e.observer_event_loss, 0.0);
+        assert_eq!(e.batch_speedup, 2.5);
     }
 
     #[test]
@@ -881,6 +909,26 @@ mod tests {
         let mut better = baseline.clone();
         better.entries.get_mut("a07").unwrap().wire_tail_p99 = 1.0;
         better.entries.get_mut("a07").unwrap().wire_tail_p999 = 1.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn diff_trips_on_batch_speedup_collapse() {
+        let baseline = Scoreboard::fold(&[report("a09", 50.0, 100, 1000.0)]);
+        // Vectorization eroding past the floor (baseline 2.5 - slack 0.5 = 2.0)
+        // trips the check…
+        let mut eroded = baseline.clone();
+        eroded.entries.get_mut("a09").unwrap().batch_speedup = 1.4;
+        let regs = baseline.diff(&eroded, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "batch_speedup"), "{regs:?}");
+        // …as does the gauge vanishing entirely.
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a09").unwrap().batch_speedup = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "batch_speedup"), "{regs:?}");
+        // A faster batch path is an improvement, not a regression.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a09").unwrap().batch_speedup = 4.0;
         assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
