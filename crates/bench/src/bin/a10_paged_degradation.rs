@@ -1,0 +1,10 @@
+//! Experiment binary; see DESIGN.md's per-experiment index. Pass `--fast`
+//! for a reduced-size run. Writes `a10_paged_degradation.txt` and a JSON
+//! run report to `exp_output/` (override with `RQP_EXP_OUTPUT`).
+
+fn main() {
+    rqp_bench::experiments::harness::cli_main(
+        "a10_paged_degradation",
+        rqp_bench::a10_paged_degradation,
+    );
+}

@@ -22,6 +22,8 @@ pub use observer::a08_live_observer;
 pub use execution::{e11_cracking, e16_agreedy, e17_eddy, e18_gjoin};
 pub use optimizer::{e07_smoothness, e09_robust_opt, e10_plan_diagram, e20_rio, e21_stats_refresh};
 pub use pop::{e01_pop_aggregate, e02_pop_ratio, e03_pop_scatter};
-pub use resources::{a05_resource_robustness, e12_advisor, e13_fmt, e14_fpt, e15_mixed};
+pub use resources::{
+    a05_resource_robustness, a10_paged_degradation, e12_advisor, e13_fmt, e14_fpt, e15_mixed,
+};
 pub use service::a06_concurrent_service;
 pub use wire::a07_wire_service;

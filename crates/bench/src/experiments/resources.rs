@@ -8,7 +8,7 @@ use rqp::opt::{plan, PlannerConfig};
 use rqp::physical::advisor::{advise, AdvisorConfig};
 use rqp::physical::evaluate_advice;
 use rqp::stats::{StatsEstimator, TableStatsRegistry};
-use rqp::workload::manager::{fluctuating_memory_test, fluctuating_parallelism_test};
+use rqp::workload::manager::{fluctuating_memory_test_with, fluctuating_parallelism_test};
 use rqp::workload::{tpch::TpchParams, Job, OltpSimulator, TpchDb, WorkloadManager};
 use rqp::QuerySpec;
 use std::rc::Rc;
@@ -109,10 +109,29 @@ pub fn e13_fmt(fast: bool) -> String {
 fn e13_body(h: &mut Harness) -> String {
     let fast = h.fast();
     let li = if fast { 3000 } else { 10_000 };
+    // No indexes: index scans read base pages directly (they are not paged),
+    // so an index plan chosen at one memory level would bypass the pool's
+    // refault charges and break the FMT ordering. With table scans only,
+    // every access is pool-accounted and cost stays monotone in memory.
     let db = TpchDb::build(
-        TpchParams { lineitem_rows: li, ..Default::default() },
+        TpchParams { lineitem_rows: li, with_indexes: false, ..Default::default() },
         h.note_seed("db", 13),
     );
+    // The whole test runs behind a page budget of half of lineitem: every
+    // scan pins through the buffer pool on data larger than memory, which
+    // is exactly the regime the FMT baselines are about. Before every
+    // measured run a fresh (cold) pool is attached, so memUBL, memLBL, and
+    // the schedule all start from identical residency: first touches are
+    // free cold loads, and only plans that *rescan* evicted pages — the
+    // memory-starved ones — pay refault charges. The FMT bound stays a
+    // statement about memory, not pool history.
+    let rpp = rqp::common::CostModelParams::default().rows_per_page;
+    let data_pages = (li as f64 / rpp).ceil() as usize;
+    let page_budget = (data_pages / 2).max(4);
+    h.config("page_budget_pages", page_budget);
+    let reset_pool = || {
+        db.catalog.attach_pool(&rqp::storage::BufferPool::new(page_budget));
+    };
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
     let est = StatsEstimator::new(reg);
     let mut rng = h.seeded("analytic-mix", 13);
@@ -127,13 +146,14 @@ fn e13_body(h: &mut Harness) -> String {
     let mut header = String::new();
     let mut env_pairs = Vec::new();
     for (name, schedule) in &schedules {
-        let report = fluctuating_memory_test(
+        let report = fluctuating_memory_test_with(
             &db.catalog,
             &est,
             &specs,
             schedule,
             1e9,
             150.0,
+            &reset_pool,
         )
         .expect("fmt");
         if header.is_empty() {
@@ -142,7 +162,13 @@ fn e13_body(h: &mut Harness) -> String {
                 report.mem_ubl_cost, report.mem_lbl_cost
             );
         }
-        assert!(report.within_bounds(), "robustness bound violated");
+        assert!(
+            report.within_bounds(),
+            "robustness bound violated: ubl {} <= sched {} <= lbl {} for {name}",
+            report.mem_ubl_cost,
+            report.scheduled_cost(),
+            report.mem_lbl_cost
+        );
         // Each memory schedule is an environment; memUBL is the ideal.
         env_pairs.push((report.scheduled_cost(), report.mem_ubl_cost));
         t.row(&[
@@ -172,6 +198,16 @@ fn e14_body(h: &mut Harness) -> String {
         TpchParams { lineitem_rows: li, ..Default::default() },
         h.note_seed("db", 14),
     );
+    // Demands are measured behind a page budget of half of lineitem, so
+    // both queries really execute on data larger than memory (refaults
+    // charged on the cost clock) before contention is simulated.
+    let data_pages = (li as f64
+        / rqp::common::CostModelParams::default().rows_per_page)
+        .ceil() as usize;
+    let page_budget = (data_pages / 2).max(4);
+    let pool = rqp::storage::BufferPool::new(page_budget);
+    db.catalog.attach_pool(&pool);
+    h.config("page_budget_pages", page_budget);
     let reg = Rc::new(TableStatsRegistry::analyze_catalog(&db.catalog, 16));
     let est = StatsEstimator::new(reg);
     // Qi and Qm demands measured by really executing.
@@ -316,6 +352,203 @@ fn e15_body(h: &mut Harness) -> String {
     )
 }
 
+/// A10 — paged degradation: page-budget fraction × page-fault-rate sweep
+/// over the buffer pool.
+pub fn a10_paged_degradation(fast: bool) -> String {
+    harness::run("a10_paged_degradation", fast, a10_body)
+}
+
+fn a10_body(h: &mut Harness) -> String {
+    use rand::Rng;
+    use rqp::common::chaos::{ChaosConfig, ChaosPolicy};
+    use rqp::common::rng::child_seed;
+    use rqp::common::CostModelParams;
+    use rqp::exec::exchange::{pipeline, ExchangeOp, Partitioning};
+    use rqp::exec::sort::SortOrder;
+    use rqp::exec::{collect, SortOp, TableScanOp};
+    use rqp::storage::BufferPool;
+    use rqp::telemetry::scoreboard::samples;
+    use rqp::{DataType, Schema, Table, Value};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    let n: i64 = if h.fast() { 8_000 } else { 30_000 };
+    let schema = Schema::from_pairs(&[("id", DataType::Int), ("key", DataType::Int)]);
+    let mut t = Table::new("paged", schema);
+    let mut rng = h.seeded("rows", 110);
+    for i in 0..n {
+        t.append(vec![Value::Int(i), Value::Int(rng.gen_range(0..1_000_000i64))]);
+    }
+    let table = Arc::new(t);
+    let data_pages =
+        (n as f64 / CostModelParams::default().rows_per_page).ceil() as usize;
+
+    let fractions = [1.0, 0.5, 0.25];
+    let fault_rates = [0.0, 0.1, 0.3];
+    let workers = 4usize;
+    let queries = if h.fast() { 4 } else { 6 };
+    let base_seed = h.note_seed("chaos", 1110);
+    h.config("rows", n);
+    h.config("data_pages", data_pages as i64);
+    h.config("workers", workers);
+    h.config("fractions", fractions.len());
+    h.config("fault_rates", fault_rates.len());
+    h.config("queries_per_cell", queries);
+
+    // One query: a paged scan (every page read goes through the pool, where
+    // chaos injects transient page-I/O faults), hash repartition, one sort
+    // per worker, gather. Returns the query's cost, or None if it died —
+    // page retries exhausted or the page budget exhausted, both of which
+    // must surface as typed errors, never a raw panic.
+    let run_query = |policy: ChaosPolicy, headline: Option<&ExecContext>| {
+        let ctx = headline.cloned().unwrap_or_else(ExecContext::unbounded);
+        let ctx = ctx.with_chaos(policy);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let scan = Box::new(TableScanOp::new(Arc::clone(&table), ctx.clone()));
+            let build = pipeline(|op, wctx| {
+                Box::new(
+                    SortOp::new(op, &[("paged.key", SortOrder::Asc)], wctx.clone())
+                        .expect("sort"),
+                )
+            });
+            let spec = Partitioning::Hash { keys: vec![1], skew: 0.0 };
+            ExchangeOp::repartition(scan, spec, workers, build, ctx.clone())
+                .map(|mut ex| collect(&mut ex).len())
+        }));
+        match result {
+            Ok(Ok(rows)) => {
+                assert_eq!(rows as i64, n, "completed query must not lose rows");
+                Some(ctx.clock.now())
+            }
+            // A typed error (budget exhausted, page retries exhausted) is a
+            // failed-but-graceful query; count it against completion.
+            Ok(Err(_)) => None,
+            Err(payload) => {
+                if payload.downcast_ref::<rqp::common::RqpError>().is_none() {
+                    std::panic::resume_unwind(payload);
+                }
+                None
+            }
+        }
+    };
+
+    let mut t_out = ReportTable::new(&[
+        "page budget", "fault rate", "mean cost", "refaults", "io retries", "completed",
+    ]);
+    let mut mean_costs = vec![vec![f64::NAN; fractions.len()]; fault_rates.len()];
+    let mut completed_all = 0usize;
+    let mut total_all = 0usize;
+    let mut headline_cost = f64::NAN;
+    for (ri, &rate) in fault_rates.iter().enumerate() {
+        for (fi, &fraction) in fractions.iter().enumerate() {
+            let budget = ((data_pages as f64 * fraction).round() as usize).max(1);
+            // A fresh pool per cell: attach_pool replaces the table's pool,
+            // so cells never inherit residency (or stats) from each other.
+            let pool = BufferPool::new(budget);
+            table.attach_pool(&pool);
+            let mut completed = 0usize;
+            let mut costs = Vec::new();
+            for q in 0..queries {
+                // Per-query chaos streams, fully determined by the base
+                // seed: completion is a real fraction, not all-or-nothing.
+                let seed = child_seed(base_seed, &format!("r{ri}f{fi}q{q}"));
+                let policy = if rate > 0.0 {
+                    ChaosPolicy::new(ChaosConfig {
+                        seed,
+                        page_fault_rate: rate,
+                        page_max_retries: 8,
+                        ..ChaosConfig::off()
+                    })
+                } else {
+                    ChaosPolicy::off()
+                };
+                // The headline cell (tightest budget, worst faults, first
+                // query) runs on the harness context so a pager-annotated
+                // trace lands in the report.
+                let headline =
+                    ri + 1 == fault_rates.len() && fi + 1 == fractions.len() && q == 0;
+                let cost = run_query(policy, if headline { Some(h.ctx()) } else { None });
+                total_all += 1;
+                if let Some(c) = cost {
+                    completed += 1;
+                    completed_all += 1;
+                    costs.push(c);
+                    if headline {
+                        headline_cost = c;
+                    }
+                }
+            }
+            assert_eq!(pool.pins(), 0, "every cell must end with all pins released");
+            let stats = pool.stats();
+            let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
+            mean_costs[ri][fi] = mean;
+            t_out.row(&[
+                format!("{budget} ({fraction}x)"),
+                format!("{rate}"),
+                format!("{mean:.0}"),
+                format!("{}", stats.refaults),
+                format!("{}", stats.io_retries),
+                format!("{completed}/{queries}"),
+            ]);
+        }
+    }
+
+    // Degradation smoothness: the worst mean-cost ratio between *adjacent*
+    // page-budget fractions at any fault rate. A robust pager halves its
+    // budget and pays incrementally (refaults charge one random page each);
+    // a cliff means some budget suddenly falls off the in-memory path.
+    let mut cliff = 1.0f64;
+    for row in &mean_costs {
+        for w in row.windows(2) {
+            if w[0].is_finite() && w[1].is_finite() && w[0] > 0.0 {
+                cliff = cliff.max(w[1] / w[0]);
+            }
+        }
+    }
+    let completion = completed_all as f64 / total_all.max(1) as f64;
+    assert!(
+        cliff <= 2.5,
+        "paged degradation cliff {cliff:.2}x exceeds the 2.5x smoothness bound"
+    );
+    assert_eq!(
+        completed_all, total_all,
+        "every query must complete: transient page faults are retried and \
+         the page budget is never exhausted by a single scan"
+    );
+
+    // Paper samples: per-cell mean costs as a sweep (smoothness), the
+    // fault-free cost at the same budget as each cell's ideal (variability),
+    // and the headline worst-cell cost vs the sweep's floor (M3).
+    let floor = mean_costs
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|c| c.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let gaps: Vec<f64> = mean_costs.iter().flatten().map(|c| c - floor).collect();
+    h.perf_gaps(&gaps);
+    let pairs: Vec<(f64, f64)> = mean_costs
+        .iter()
+        .flat_map(|row| row.iter().zip(&mean_costs[0]).map(|(&c, &ideal)| (c, ideal)))
+        .collect();
+    h.env_costs(&pairs);
+    h.m3(headline_cost, floor);
+    h.gauge(samples::PAGED_CLIFF, cliff);
+    h.gauge(samples::PAGED_COMPLETION, completion);
+    format!(
+        "A10 — paged degradation ({n} rows = {data_pages} pages, {workers} \
+         workers, {queries} queries/cell, paged scan + hash repartition + \
+         per-worker sort)\n\n{t_out}\n\
+         degradation cliff: {cliff:.2}x (bound 2.5)   completion: \
+         {completion:.3} (floor 1.0)\n\n\
+         Expected shape: shrinking the page budget below the data size \
+         costs one random-page charge per refault — cost grows smoothly, \
+         no cliff — and injected page-I/O faults cost a charged re-read \
+         per retry but never the query: the pool degrades gracefully on \
+         both axes at once.\n",
+    )
+}
+
 /// A05 — resource robustness: memory-fraction × fault-rate chaos sweep.
 pub fn a05_resource_robustness(fast: bool) -> String {
     harness::run("a05_resource_robustness", fast, a05_body)
@@ -404,6 +637,7 @@ fn a05_body(h: &mut Harness) -> String {
         worker_stall_rate: rate,
         worker_stall_pages: 16.0,
         worker_max_retries: 4,
+        ..ChaosConfig::off()
     };
 
     let mut t_out = ReportTable::new(&["memory", "fault rate", "mean cost", "completed"]);

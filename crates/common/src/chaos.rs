@@ -52,6 +52,11 @@ pub struct ChaosConfig {
     pub worker_stall_pages: f64,
     /// Times the exchange re-runs a lost partition before giving up.
     pub worker_max_retries: u32,
+    /// Probability that faulting a page into the buffer pool raises a
+    /// transient page-I/O error.
+    pub page_fault_rate: f64,
+    /// Page-I/O retries the pager may burn before escalating to fatal.
+    pub page_max_retries: u32,
 }
 
 impl ChaosConfig {
@@ -66,6 +71,8 @@ impl ChaosConfig {
             worker_stall_rate: 0.0,
             worker_stall_pages: 16.0,
             worker_max_retries: 4,
+            page_fault_rate: 0.0,
+            page_max_retries: 8,
         }
     }
 
@@ -81,6 +88,8 @@ impl ChaosConfig {
             worker_stall_rate: 0.2,
             worker_stall_pages: 16.0,
             worker_max_retries: 4,
+            page_fault_rate: 0.05,
+            page_max_retries: 8,
         }
     }
 }
@@ -121,7 +130,8 @@ impl ChaosPolicy {
         let enabled = cfg.scan_fault_rate > 0.0
             || cfg.shock_rate > 0.0
             || cfg.worker_panic_rate > 0.0
-            || cfg.worker_stall_rate > 0.0;
+            || cfg.worker_stall_rate > 0.0
+            || cfg.page_fault_rate > 0.0;
         ChaosPolicy { cfg, enabled }
     }
 
@@ -183,6 +193,29 @@ impl ChaosPolicy {
     /// Transient-error retries a scan may burn before escalating to fatal.
     pub fn scan_max_retries(&self) -> u32 {
         self.cfg.scan_max_retries
+    }
+
+    /// Should faulting `page` of the table keyed `table_key` into the buffer
+    /// pool raise a transient page-I/O error on this `attempt`? Keyed by the
+    /// absolute page index (like [`scan_fault`](Self::scan_fault)), so the
+    /// decision is invariant under worker count and partitioning.
+    pub fn page_io_fault(&self, table_key: u64, page: u64, attempt: u32) -> bool {
+        self.enabled
+            && self.cfg.page_fault_rate > 0.0
+            && self.draw("page_io_fault", &[table_key, page, u64::from(attempt)])
+                < self.cfg.page_fault_rate
+    }
+
+    /// Page-I/O retries the pager may burn before escalating to fatal.
+    pub fn page_max_retries(&self) -> u32 {
+        self.cfg.page_max_retries
+    }
+
+    /// The stable chaos/pool key of a table name: FNV-1a of the bytes. Both
+    /// the pager and the chaos policy key pages by `(table_key, page)` so
+    /// decisions survive catalog snapshots rebuilding `Table` handles.
+    pub fn table_key(table: &str) -> u64 {
+        fnv1a(FNV_OFFSET, table.as_bytes())
     }
 
     /// Memory shock at `page` of `table`: `Some(fraction)` shrinks the
@@ -257,8 +290,10 @@ mod tests {
     fn off_policy_never_injects() {
         let p = ChaosPolicy::off();
         assert!(!p.is_enabled());
+        let tk = ChaosPolicy::table_key("t");
         for page in 0..1000 {
             assert!(!p.scan_fault("t", page, 0));
+            assert!(!p.page_io_fault(tk, page, 0));
             assert!(p.memory_shock("t", page).is_none());
         }
         for w in 0..64 {
@@ -333,6 +368,25 @@ mod tests {
         assert!(!faulting.is_empty());
         let recovered = faulting.iter().any(|&pg| !p.scan_fault("t", pg, 1));
         assert!(recovered, "retries must redraw, not repeat the fault");
+    }
+
+    #[test]
+    fn page_io_faults_are_page_keyed_and_redraw_per_attempt() {
+        // Same table key + page + attempt → same decision across policy
+        // instances (worker-count invariance rests on this purity)…
+        let a = ChaosPolicy::new(ChaosConfig { page_fault_rate: 0.3, ..ChaosConfig::standard(9) });
+        let b = ChaosPolicy::new(ChaosConfig { page_fault_rate: 0.3, ..ChaosConfig::standard(9) });
+        let tk = ChaosPolicy::table_key("t");
+        for page in 0..500 {
+            assert_eq!(a.page_io_fault(tk, page, 0), b.page_io_fault(tk, page, 0));
+        }
+        // …while a faulting page can recover on a retry (attempt in the key).
+        let faulting: Vec<u64> = (0..200).filter(|&pg| a.page_io_fault(tk, pg, 0)).collect();
+        assert!(!faulting.is_empty(), "30% of 200 pages should fault");
+        assert!(faulting.iter().any(|&pg| !a.page_io_fault(tk, pg, 1)));
+        // Distinct tables get independent schedules.
+        let other = ChaosPolicy::table_key("u");
+        assert!((0..500).any(|pg| a.page_io_fault(tk, pg, 0) != a.page_io_fault(other, pg, 0)));
     }
 
     #[test]

@@ -66,6 +66,25 @@ pub enum RqpError {
     /// speaking a different (or damaged) protocol, so the connection is
     /// torn down rather than retried.
     Protocol(String),
+    /// The buffer pool could not find an evictable frame: every resident
+    /// page is pinned and the brokered page budget is spent. Fatal — a
+    /// retry would re-request the same frame against the same budget; the
+    /// broker has to grow the budget (or a pin has to drop) first.
+    PageBudgetExhausted {
+        /// Frames currently pinned.
+        pinned: usize,
+        /// The page budget in frames.
+        budget: usize,
+    },
+    /// A transient page-I/O failure while faulting a page into the buffer
+    /// pool. Retryable: the pager re-reads the page (charging the re-read)
+    /// instead of failing the query.
+    PageIo {
+        /// Where the fault occurred (`table/page`).
+        site: String,
+        /// Which attempt observed it (0 = first read).
+        attempt: u32,
+    },
 }
 
 /// `(wire code, canonical name)` of every [`RqpError`] variant, in wire-code
@@ -89,6 +108,8 @@ pub const WIRE_CODES: &[(u16, &str)] = &[
     (13, "Cancelled"),
     (14, "DeadlineExceeded"),
     (15, "Protocol"),
+    (16, "PageBudgetExhausted"),
+    (17, "PageIo"),
 ];
 
 impl RqpError {
@@ -116,6 +137,8 @@ impl RqpError {
             RqpError::Cancelled => 13,
             RqpError::DeadlineExceeded => 14,
             RqpError::Protocol(_) => 15,
+            RqpError::PageBudgetExhausted { .. } => 16,
+            RqpError::PageIo { .. } => 17,
         }
     }
 
@@ -131,7 +154,7 @@ impl RqpError {
     /// everything else — planning bugs, schema mismatches, exhausted retry
     /// budgets — is fatal and must propagate.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RqpError::TransientIo { .. })
+        matches!(self, RqpError::TransientIo { .. } | RqpError::PageIo { .. })
     }
 
     /// Convenience inverse of [`is_retryable`](Self::is_retryable).
@@ -178,6 +201,12 @@ impl fmt::Display for RqpError {
             RqpError::Cancelled => write!(f, "query cancelled"),
             RqpError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             RqpError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RqpError::PageBudgetExhausted { pinned, budget } => {
+                write!(f, "page budget exhausted: {pinned} of {budget} frames pinned")
+            }
+            RqpError::PageIo { site, attempt } => {
+                write!(f, "page I/O error at {site} (attempt {attempt})")
+            }
         }
     }
 }
@@ -203,9 +232,13 @@ mod tests {
     #[test]
     fn retryable_taxonomy() {
         assert!(RqpError::TransientIo { site: "t/3".into(), attempt: 0 }.is_retryable());
+        assert!(RqpError::PageIo { site: "t/3".into(), attempt: 0 }.is_retryable());
         // Everything that isn't a transient condition is fatal: retrying a
-        // planning bug or an exhausted worker cannot help.
+        // planning bug or an exhausted worker cannot help. An exhausted page
+        // budget in particular: retrying re-requests the same frame against
+        // the same spent budget.
         for fatal in [
+            RqpError::PageBudgetExhausted { pinned: 8, budget: 8 },
             RqpError::WorkerFailed { worker: 2, attempts: 5 },
             RqpError::KeyOutOfBounds { index: 9, width: 3 },
             RqpError::NonNumericKey("Str(\"x\")".into()),
@@ -243,6 +276,8 @@ mod tests {
             RqpError::Cancelled,
             RqpError::DeadlineExceeded,
             RqpError::Protocol("bad magic".into()),
+            RqpError::PageBudgetExhausted { pinned: 8, budget: 8 },
+            RqpError::PageIo { site: "t/3".into(), attempt: 1 },
         ]
     }
 
@@ -320,6 +355,14 @@ mod tests {
         assert_eq!(
             RqpError::TransientIo { site: "t/7".into(), attempt: 2 }.to_string(),
             "transient I/O error at t/7 (attempt 2)"
+        );
+        assert_eq!(
+            RqpError::PageBudgetExhausted { pinned: 3, budget: 4 }.to_string(),
+            "page budget exhausted: 3 of 4 frames pinned"
+        );
+        assert_eq!(
+            RqpError::PageIo { site: "t/7".into(), attempt: 2 }.to_string(),
+            "page I/O error at t/7 (attempt 2)"
         );
     }
 

@@ -23,7 +23,7 @@
 //! back to the scalar operators.
 
 use crate::context::{ExecContext, WorkspaceLease};
-use crate::scan::page_chaos;
+use crate::scan::{page_chaos, pin_page};
 use crate::Operator;
 use crate::agg::{AggFunc, AggSpec};
 use rqp_common::{
@@ -110,6 +110,11 @@ pub struct BatchScanOp {
     rows_per_page: f64,
     batch_rows: usize,
     chaos: bool,
+    /// The table's buffer pool, if attached (see [`crate::scan::pin_page`]).
+    pager: Option<Arc<rqp_storage::BufferPool>>,
+    /// Pins on the pages the current batch was built from, cleared (unpinned)
+    /// when the next batch starts or on drain/drop.
+    batch_pins: Vec<rqp_storage::PagePin>,
     span: SpanHandle,
 }
 
@@ -152,10 +157,11 @@ impl BatchScanOp {
             .map(|c| {
                 table.str_encoding(c).map(|enc| {
                     let xlate: Vec<u32> = enc.values.iter().map(|s| dict.intern(s)).collect();
-                    (Arc::clone(enc), xlate)
+                    (enc, xlate)
                 })
             })
             .collect();
+        let pager = table.pager();
         BatchScanOp {
             table,
             schema,
@@ -168,6 +174,8 @@ impl BatchScanOp {
             rows_per_page,
             batch_rows: rqp_common::DEFAULT_BATCH_ROWS,
             chaos,
+            pager,
+            batch_pins: Vec::new(),
             span,
         }
     }
@@ -190,6 +198,7 @@ impl BatchOperator for BatchScanOp {
 
     fn next_batch(&mut self) -> Option<ColumnBatch> {
         if self.pos >= self.end {
+            self.batch_pins.clear();
             self.span.close(&self.ctx.clock);
             return None;
         }
@@ -197,18 +206,26 @@ impl BatchOperator for BatchScanOp {
         let end = (start + self.batch_rows).min(self.end);
         // Identical page-boundary walk to the scalar scan: one sequential
         // page (plus checkpoint and chaos keyed on the absolute page index)
-        // each time the cursor crosses a boundary or enters mid-page.
+        // each time the cursor crosses a boundary or enters mid-page. Pages
+        // stay pinned while the batch is built from them; the previous
+        // batch's pins are released first.
+        self.batch_pins.clear();
         for pos in start..end {
             if pos as f64 % self.rows_per_page == 0.0 || pos == self.start {
                 self.ctx.checkpoint();
                 self.ctx.clock.charge_seq_pages(1.0);
+                let page = (pos as f64 / self.rows_per_page) as u64;
                 if self.chaos {
-                    page_chaos(
+                    page_chaos(&self.ctx, &self.span, self.table.name(), page);
+                }
+                if let Some(pool) = &self.pager {
+                    self.batch_pins.push(pin_page(
                         &self.ctx,
                         &self.span,
+                        pool,
                         self.table.name(),
-                        (pos as f64 / self.rows_per_page) as u64,
-                    );
+                        page,
+                    ));
                 }
             }
         }

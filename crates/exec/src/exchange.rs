@@ -313,16 +313,20 @@ fn injected_cause(payload: &(dyn Any + Send)) -> Option<String> {
     }
 }
 
-/// If the panic payload is a cooperative-cancellation trip
-/// ([`RqpError::Cancelled`] / [`RqpError::DeadlineExceeded`]), return it.
-/// The gather consults this *before* [`injected_cause`]: a cancelled worker
-/// must propagate the typed cancellation, never enter the retry loop —
-/// retrying it would re-trip the token immediately, burn the retry budget,
-/// and misreport the abort as [`RqpError::WorkerFailed`].
+/// If the panic payload is a typed error the gather must propagate *as is* —
+/// a cooperative-cancellation trip ([`RqpError::Cancelled`] /
+/// [`RqpError::DeadlineExceeded`]) or buffer-pool budget exhaustion
+/// ([`RqpError::PageBudgetExhausted`]) — return it. The gather consults this
+/// *before* [`injected_cause`]: retrying a cancelled worker would re-trip
+/// the token immediately, and retrying an exhausted page budget would
+/// exhaust it again; both would burn the retry budget and misreport the
+/// abort as [`RqpError::WorkerFailed`].
 fn cancellation_cause(payload: &(dyn Any + Send)) -> Option<RqpError> {
     payload
         .downcast_ref::<RqpError>()
-        .filter(|e| e.is_cancellation())
+        .filter(|e| {
+            e.is_cancellation() || matches!(e, RqpError::PageBudgetExhausted { .. })
+        })
         .cloned()
 }
 

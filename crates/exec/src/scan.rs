@@ -10,7 +10,9 @@
 use crate::context::ExecContext;
 use crate::Operator;
 use rqp_common::{Row, RqpError, Schema, Value};
-use rqp_storage::{AdaptiveMergeIndex, BTreeIndex, CrackerColumn, MultiIndex, RowId, Table};
+use rqp_storage::{
+    AdaptiveMergeIndex, BTreeIndex, BufferPool, CrackerColumn, MultiIndex, PagePin, RowId, Table,
+};
 use rqp_telemetry::SpanHandle;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -27,6 +29,13 @@ pub struct TableScanOp {
     end: usize,
     rows_per_page: f64,
     chaos: bool,
+    /// The table's buffer pool, if one is attached; `None` keeps the legacy
+    /// always-resident path (no pin accounting, no extra charges).
+    pager: Option<Arc<BufferPool>>,
+    /// The pin on the page the cursor is currently reading. Replaced at each
+    /// page boundary; dropped on drain or operator drop, so early
+    /// termination (cancel, deadline, disconnect) never leaks a pin.
+    pin: Option<PagePin>,
     span: SpanHandle,
 }
 
@@ -58,7 +67,20 @@ impl TableScanOp {
         if chaos {
             rqp_common::chaos::install_quiet_panic_hook();
         }
-        TableScanOp { table, schema, ctx, pos: start, start, end, rows_per_page, chaos, span }
+        let pager = table.pager();
+        TableScanOp {
+            table,
+            schema,
+            ctx,
+            pos: start,
+            start,
+            end,
+            rows_per_page,
+            chaos,
+            pager,
+            pin: None,
+            span,
+        }
     }
 
     /// Chaos injection point, hit once per page boundary; see [`page_chaos`].
@@ -127,6 +149,53 @@ pub(crate) fn page_chaos(ctx: &ExecContext, span: &SpanHandle, table_name: &str,
     }
 }
 
+/// Pin one page of `table_name` through the buffer pool, shared by the
+/// scalar and batch scans. Pool hits and first-ever loads charge nothing
+/// (the scan's own per-boundary sequential charge *is* that read); re-faults
+/// after eviction and injected page-I/O retries each charge one random page
+/// inside [`BufferPool::pin`]. Pager activity is mirrored into `pager.*`
+/// metrics; retries and fatal outcomes also land in the flight recorder via
+/// span events. Pool errors — typed budget exhaustion, retries exhausted —
+/// are raised as panics carrying the [`RqpError`], which the exchange's
+/// join-handle triage surfaces typed instead of retrying.
+pub(crate) fn pin_page(
+    ctx: &ExecContext,
+    span: &SpanHandle,
+    pool: &Arc<BufferPool>,
+    table_name: &str,
+    page: u64,
+) -> PagePin {
+    match pool.pin(table_name, page, &ctx.clock, &ctx.chaos) {
+        Ok((pin, outcome)) => {
+            if outcome.hit {
+                ctx.metrics.counter("pager.hits").inc();
+            } else {
+                ctx.metrics.counter("pager.faults").inc();
+                if outcome.refault {
+                    ctx.metrics.counter("pager.refaults").inc();
+                }
+            }
+            if outcome.retries > 0 {
+                ctx.metrics.counter("pager.retries").add(u64::from(outcome.retries));
+                span.record_event(
+                    &ctx.clock,
+                    "pager.page_retry",
+                    &format!(
+                        "{table_name}/{page}: {} transient page-I/O fault(s), re-read charged",
+                        outcome.retries
+                    ),
+                );
+            }
+            pin
+        }
+        Err(err) => {
+            ctx.metrics.counter("pager.fatal").inc();
+            span.record_event(&ctx.clock, "pager.fatal", &err.to_string());
+            std::panic::panic_any(err);
+        }
+    }
+}
+
 impl Operator for TableScanOp {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -134,6 +203,7 @@ impl Operator for TableScanOp {
 
     fn next(&mut self) -> Option<Row> {
         if self.pos >= self.end {
+            self.pin = None;
             self.span.close(&self.ctx.clock);
             return None;
         }
@@ -144,8 +214,16 @@ impl Operator for TableScanOp {
         if self.pos as f64 % self.rows_per_page == 0.0 || self.pos == self.start {
             self.ctx.checkpoint();
             self.ctx.clock.charge_seq_pages(1.0);
+            let page = (self.pos as f64 / self.rows_per_page) as u64;
             if self.chaos {
-                self.page_chaos((self.pos as f64 / self.rows_per_page) as u64);
+                self.page_chaos(page);
+            }
+            if let Some(pool) = &self.pager {
+                // Unpin the page just left *before* pinning the next one, so
+                // a lone scan makes progress with a single frame of budget.
+                self.pin = None;
+                self.pin =
+                    Some(pin_page(&self.ctx, &self.span, pool, self.table.name(), page));
             }
         }
         self.ctx.clock.charge_cpu_tuples(1.0);

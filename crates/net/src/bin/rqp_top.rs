@@ -8,7 +8,8 @@
 //! Polls the read-only STATS and EVENTS introspection frames on a
 //! dedicated connection (they bypass admission, so watching the service
 //! never competes with it) and redraws a refreshing dashboard: admission
-//! and broker gauges, the wire counters, every in-flight query with its
+//! and broker gauges, the buffer-pool pager gauges (when the server runs
+//! with a page budget), the wire counters, every in-flight query with its
 //! phase / cost-clock ticks / grants / deadline headroom, and the newest
 //! flight-recorder events. `--once` prints a single snapshot and exits —
 //! the CI wire-smoke job greps that output for non-empty gauges.
@@ -110,12 +111,24 @@ fn render(
             out.push_str(&metric_line(name, value));
         }
     }
+    let pager: Vec<&(String, MetricValue)> = snap
+        .metrics
+        .iter()
+        .filter(|(n, _)| n.starts_with("server.pager."))
+        .collect();
+    if !pager.is_empty() {
+        out.push_str("pager:\n");
+        for (name, value) in pager {
+            out.push_str(&metric_line(name, value));
+        }
+    }
     let rest: Vec<&(String, MetricValue)> = snap
         .metrics
         .iter()
         .filter(|(n, _)| {
             !n.starts_with("server.live.")
                 && !n.starts_with("server.recorder.")
+                && !n.starts_with("server.pager.")
                 && !n.starts_with("wire.")
         })
         .collect();

@@ -25,6 +25,7 @@
 
 use crate::stats::ServiceStats;
 use rqp_exec::MemoryGovernor;
+use rqp_storage::BufferPool;
 use std::sync::{Arc, Mutex};
 
 #[derive(Debug)]
@@ -48,12 +49,24 @@ pub struct MemoryBroker {
     /// Flight-recorder home for `broker.*` events; brokering works the same
     /// with or without one (tests construct bare brokers).
     observer: Option<Arc<ServiceStats>>,
+    /// Page pool funded alongside the workspace shares: `(pool, full page
+    /// budget)`. The pool's frames are accounted *outside* the workspace
+    /// ledger (an idle service still reports `reserved() == 0`); rebalances
+    /// shrink the pool as the query population grows, evicting cold pages
+    /// and bumping the pool's budget epoch like a workspace-lease shrink.
+    pool: Option<(Arc<BufferPool>, usize)>,
 }
 
 impl MemoryBroker {
     /// A broker dividing `shared`'s base budget among admitted queries.
     pub fn new(shared: Arc<MemoryGovernor>) -> Self {
-        MemoryBroker { shared, floor: 100.0, running: Mutex::new(Vec::new()), observer: None }
+        MemoryBroker {
+            shared,
+            floor: 100.0,
+            running: Mutex::new(Vec::new()),
+            observer: None,
+            pool: None,
+        }
     }
 
     /// Publish `broker.grant` / `broker.shrink` / `broker.epoch` events to
@@ -61,6 +74,22 @@ impl MemoryBroker {
     pub fn with_observer(mut self, observer: Arc<ServiceStats>) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Fund `pool` from this broker: an idle service leaves it at its full
+    /// `pages` budget; each admitted query halves the concurrent working
+    /// sets the pool must serve, so its budget becomes
+    /// `max(pages / population, pages / 4, 1)` and shrinks evict cold pages
+    /// through the pool's own clock sweep (struct docs).
+    pub fn with_page_pool(mut self, pool: Arc<BufferPool>, pages: usize) -> Self {
+        pool.set_budget(pages.max(1));
+        self.pool = Some((pool, pages.max(1)));
+        self
+    }
+
+    /// The brokered page pool, if one is funded.
+    pub fn page_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref().map(|(p, _)| p)
     }
 
     fn publish(&self, query: u64, kind: &str, detail: &str) {
@@ -109,6 +138,30 @@ impl MemoryBroker {
     /// Recompute every entry's share as `min(want, budget/n)` (floored at
     /// one page) and push the change into its governor and the ledger.
     fn rebalance(&self, running: &mut [Entry]) {
+        if let Some((pool, full)) = &self.pool {
+            // Idle (or single-query) service: the pool keeps its full frame
+            // budget. Concurrency shrinks it — floored at a quarter of full
+            // so the pager keeps making progress under any MPL.
+            let n = running.len().max(1);
+            let target = (*full / n).max(*full / 4).max(1);
+            if target != pool.budget() {
+                let epoch_before = pool.budget_epoch();
+                let overcommitted = pool.set_budget(target);
+                if pool.budget_epoch() != epoch_before {
+                    self.publish(
+                        0,
+                        "broker.pool_shrink",
+                        &format!(
+                            "page budget -> {target} (epoch {}{})",
+                            pool.budget_epoch(),
+                            if overcommitted { ", pins overcommit" } else { "" }
+                        ),
+                    );
+                } else {
+                    self.publish(0, "broker.pool_grow", &format!("page budget -> {target}"));
+                }
+            }
+        }
         if running.is_empty() {
             return;
         }
@@ -183,6 +236,33 @@ mod tests {
         assert_eq!(g1.budget(), 5_000.0);
         assert!(g1.overcommitted());
         assert!(g1.pressure_epoch() > epoch_before);
+    }
+
+    #[test]
+    fn page_pool_shrinks_with_population_and_stays_off_the_ledger() {
+        let shared = MemoryGovernor::new(10_000.0);
+        let broker =
+            MemoryBroker::new(Arc::clone(&shared)).with_page_pool(BufferPool::new(40), 40);
+        let pool = Arc::clone(broker.page_pool().expect("funded"));
+        assert_eq!(pool.budget(), 40, "idle service funds the full page budget");
+        assert_eq!(broker.reserved(), 0.0, "pool frames are not workspace reservations");
+
+        broker.admit(1, 1_000.0);
+        assert_eq!(pool.budget(), 40, "a lone query keeps the full pool");
+        let epoch = pool.budget_epoch();
+        broker.admit(2, 1_000.0);
+        assert_eq!(pool.budget(), 20, "two queries halve the pool");
+        assert!(pool.budget_epoch() > epoch, "shrink bumps the budget epoch");
+        for q in 3..10 {
+            broker.admit(q, 1_000.0);
+        }
+        assert_eq!(pool.budget(), 10, "floor: a quarter of the full budget");
+
+        for q in 1..10 {
+            broker.complete(q);
+        }
+        assert_eq!(pool.budget(), 40, "idle again: the pool grows back");
+        assert_eq!(broker.reserved(), 0.0);
     }
 
     #[test]

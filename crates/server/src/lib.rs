@@ -109,8 +109,15 @@ mod tests {
     #[test]
     fn report_is_deterministic_for_a_fixed_trace() {
         let run = || {
+            // No page budget: replay determinism is a claim about the
+            // scheduler, and it needs deterministic per-query costs. A
+            // *constrained* shared pool makes refault charges depend on
+            // which queries' scans interleaved (the paging contract only
+            // guarantees row-identity below budget), so the CI paging leg
+            // must not turn this into a flake.
             let svc = QueryService::new(&catalog(2_000), ServiceConfig {
                 mpl: 2,
+                page_budget: None,
                 ..ServiceConfig::default()
             });
             svc.pause_admission();

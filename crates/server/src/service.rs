@@ -38,10 +38,21 @@ pub struct ServiceConfig {
     pub feedback_smoothing: f64,
     /// Flight-recorder ring capacity (events retained for EVENTS tailing).
     pub recorder_capacity: usize,
+    /// Page budget (frames) of the brokered buffer pool. `Some(n)` creates a
+    /// [`BufferPool`] attached to every snapshot table and funded by the
+    /// broker; `None` keeps the legacy always-resident storage path. The
+    /// default reads `RQP_PAGE_BUDGET` so a whole service (including the
+    /// wire server) can be squeezed below its data size from the
+    /// environment.
+    pub page_budget: Option<usize>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
+        let page_budget = std::env::var("RQP_PAGE_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
         ServiceConfig {
             mpl: 4,
             memory_rows: 40_000.0,
@@ -50,6 +61,7 @@ impl Default for ServiceConfig {
             capacity: 1.0,
             feedback_smoothing: 0.5,
             recorder_capacity: 4096,
+            page_budget,
         }
     }
 }
@@ -200,9 +212,19 @@ impl QueryService {
         let stats = TableStatsRegistry::analyze_catalog(catalog, 32);
         let shared = MemoryGovernor::new(config.memory_rows);
         let live = Arc::new(ServiceStats::new(config.recorder_capacity));
+        let mut broker = MemoryBroker::new(shared).with_observer(Arc::clone(&live));
+        if let Some(pages) = config.page_budget {
+            // One pool for the whole service: attached to the snapshot's
+            // table Arcs, so every per-query thread-local catalog rebuild
+            // pins through it; funded (and shrunk under concurrency) by the
+            // broker, outside the workspace ledger.
+            let pool = rqp_storage::BufferPool::new(pages);
+            snapshot.attach_pool(&pool);
+            broker = broker.with_page_pool(pool, pages);
+        }
         let inner = ServiceInner {
             admission: AdmissionController::new(config.mpl),
-            broker: MemoryBroker::new(shared).with_observer(Arc::clone(&live)),
+            broker,
             live,
             plan_cache: PlanCache::new(config.drift_threshold),
             feedback: Mutex::new(FeedbackRepo::new(config.feedback_smoothing)),
@@ -277,6 +299,22 @@ impl QueryService {
         m.gauge("server.live.inflight").set(inner.live.live_count() as f64);
         m.gauge("server.recorder.published").set(inner.live.recorder().head() as f64);
         m.gauge("server.recorder.dropped").set(inner.live.recorder().dropped() as f64);
+        if let Some(pool) = inner.broker.page_pool() {
+            let s = pool.stats();
+            m.gauge("server.pager.budget").set(pool.budget() as f64);
+            m.gauge("server.pager.resident").set(pool.resident() as f64);
+            m.gauge("server.pager.pinned").set(pool.pins() as f64);
+            m.gauge("server.pager.faults").set(s.faults() as f64);
+            m.gauge("server.pager.refaults").set(s.refaults as f64);
+            m.gauge("server.pager.evictions").set(s.evictions as f64);
+            m.gauge("server.pager.io_retries").set(s.io_retries as f64);
+            m.gauge("server.pager.hit_rate").set(s.hit_rate());
+        }
+    }
+
+    /// The brokered buffer pool, when [`ServiceConfig::page_budget`] is set.
+    pub fn pager(&self) -> Option<&Arc<rqp_storage::BufferPool>> {
+        self.inner.broker.page_pool()
     }
 
     /// The shared plan cache.

@@ -222,6 +222,16 @@ impl Catalog {
         self.multi_indexes.insert(index.name().to_owned(), index);
     }
 
+    /// Attach (or replace) `pool` on every registered table, so scans pin
+    /// data pages through one shared [`BufferPool`](crate::pool::BufferPool).
+    /// Tables registered *after* this call are not wired — attach the pool
+    /// once the catalog is fully loaded (or re-attach).
+    pub fn attach_pool(&self, pool: &Arc<crate::pool::BufferPool>) {
+        for t in self.tables.values() {
+            t.attach_pool(pool);
+        }
+    }
+
     /// A `Send + Sync` snapshot of the shareable half of the catalog: table,
     /// B-tree and composite-index handles, in sorted name order.
     ///
@@ -275,6 +285,16 @@ impl CatalogSnapshot {
     /// Number of tables in the snapshot.
     pub fn table_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Attach (or replace) `pool` on every table handle in the snapshot.
+    /// Because [`to_catalog`](Self::to_catalog) copies handles rather than
+    /// data, every thread-local catalog rebuilt from this snapshot shares
+    /// the attached pool.
+    pub fn attach_pool(&self, pool: &Arc<crate::pool::BufferPool>) {
+        for t in &self.tables {
+            t.attach_pool(pool);
+        }
     }
 }
 

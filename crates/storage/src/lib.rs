@@ -17,11 +17,16 @@
 //! * [`shared_scan`] — a circular shared-scan coordinator in the spirit of
 //!   QPipe/Crescando ("clock scan"), used by the mixed-workload experiments;
 //! * [`catalog`] — the named collection of tables and indexes the optimizer
-//!   plans against.
+//!   plans against;
+//! * [`mod@pool`] — the paged [`BufferPool`]: pin/unpin accounting over
+//!   fixed-size logical pages with clock eviction, deterministic fault
+//!   charging, and chaos-injected transient page-I/O errors.
 //!
-//! Storage is pure data: it counts the tuples and pieces it touches but does
-//! not charge the cost clock — execution operators in `rqp-exec` translate
-//! touch counts into cost units.
+//! Storage is mostly pure data: it counts the tuples and pieces it touches
+//! and leaves cost charging to the execution operators in `rqp-exec`. The
+//! one exception is the buffer pool, whose re-faults and injected page-I/O
+//! retries are charged where they happen so the pager's degradation is
+//! deterministic no matter which operator pinned the page.
 
 #![warn(missing_docs)]
 
@@ -31,6 +36,7 @@ pub mod column;
 pub mod crack;
 pub mod index;
 pub mod multi_index;
+pub mod pool;
 pub mod shared_scan;
 pub mod table;
 
@@ -40,6 +46,7 @@ pub use column::ColumnData;
 pub use crack::CrackerColumn;
 pub use index::BTreeIndex;
 pub use multi_index::MultiIndex;
+pub use pool::{BufferPool, PagePin, PagerStats, PinOutcome};
 pub use shared_scan::SharedScanCoordinator;
 pub use table::{StrEncoding, Table};
 

@@ -1,20 +1,22 @@
 //! Tables: named collections of equal-length columns.
 
 use crate::column::ColumnData;
+use crate::pool::BufferPool;
 use crate::RowId;
-use rqp_common::{Result, Row, RqpError, Schema, Value};
+use rqp_common::{ChaosPolicy, Result, Row, RqpError, Schema, Value};
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// A storage-resident dictionary encoding of one string column: the distinct
 /// values in first-appearance order plus one dense local code per row.
 ///
-/// Built lazily by [`Table::str_encoding`] and memoized for the table's
-/// lifetime (any append invalidates it), so batch scans translate small
-/// integer codes instead of re-hashing every string cell on every scan.
-/// Local codes are private to the table; scans map them into their
-/// pipeline's shared `StringDict` through a per-distinct-value translation
-/// table.
+/// Built lazily by [`Table::str_encoding`] and memoized (any append
+/// invalidates it, and so does any buffer-pool eviction of the table's
+/// pages — the memo is tagged with the pool's per-table eviction epoch), so
+/// batch scans translate small integer codes instead of re-hashing every
+/// string cell on every scan. Local codes are private to the table; scans
+/// map them into their pipeline's shared `StringDict` through a
+/// per-distinct-value translation table.
 #[derive(Debug)]
 pub struct StrEncoding {
     /// Distinct values, indexed by local code.
@@ -23,17 +25,43 @@ pub struct StrEncoding {
     pub codes: Vec<u32>,
 }
 
+/// A memoized column encoding tagged with the pool eviction epoch it was
+/// built under (0 when no pool is attached).
+type EncodingMemo = Mutex<Option<(u64, Arc<StrEncoding>)>>;
+
 /// An in-memory table stored column-wise.
 ///
 /// The schema's field names are *unqualified* (`"quantity"`); scans qualify
 /// them with the table name so joins don't collide.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
     columns: Vec<ColumnData>,
     nrows: usize,
-    encodings: Vec<OnceLock<Arc<StrEncoding>>>,
+    /// Per-column memoized encoding, tagged with the pool eviction epoch it
+    /// was built under (0 when no pool is attached).
+    encodings: Vec<EncodingMemo>,
+    /// The buffer pool scans of this table pin pages through; `None` means
+    /// legacy always-resident behavior.
+    pager: Mutex<Option<Arc<BufferPool>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            nrows: self.nrows,
+            encodings: self
+                .encodings
+                .iter()
+                .map(|e| Mutex::new(e.lock().unwrap().clone()))
+                .collect(),
+            pager: Mutex::new(self.pager.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl Table {
@@ -44,8 +72,8 @@ impl Table {
             .iter()
             .map(|f| ColumnData::empty(f.dtype))
             .collect();
-        let encodings = (0..columns.len()).map(|_| OnceLock::new()).collect();
-        Table { name: name.into(), schema, columns, nrows: 0, encodings }
+        let encodings = (0..columns.len()).map(|_| Mutex::new(None)).collect();
+        Table { name: name.into(), schema, columns, nrows: 0, encodings, pager: Mutex::new(None) }
     }
 
     /// Create a table directly from columns (must be equal length and match
@@ -77,13 +105,31 @@ impl Table {
                 });
             }
         }
-        let encodings = (0..columns.len()).map(|_| OnceLock::new()).collect();
-        Ok(Table { name: name.into(), schema, columns, nrows, encodings })
+        let encodings = (0..columns.len()).map(|_| Mutex::new(None)).collect();
+        Ok(Table { name: name.into(), schema, columns, nrows, encodings, pager: Mutex::new(None) })
     }
 
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The stable pool/chaos key of this table (FNV-1a of the name), shared
+    /// by every `Table` handle for the same name across catalog snapshots.
+    pub fn table_key(&self) -> u64 {
+        ChaosPolicy::table_key(&self.name)
+    }
+
+    /// Attach (or replace) the buffer pool scans pin this table's pages
+    /// through. Interior-mutable so a shared `Arc<Table>` can be wired after
+    /// catalog construction.
+    pub fn attach_pool(&self, pool: &Arc<BufferPool>) {
+        *self.pager.lock().unwrap() = Some(Arc::clone(pool));
+    }
+
+    /// The attached buffer pool, if any.
+    pub fn pager(&self) -> Option<Arc<BufferPool>> {
+        self.pager.lock().unwrap().clone()
     }
 
     /// Unqualified schema.
@@ -136,30 +182,43 @@ impl Table {
         self.nrows += 1;
         // Mutation invalidates the memoized per-column encodings.
         for e in &mut self.encodings {
-            if e.get().is_some() {
-                *e = OnceLock::new();
-            }
+            *e.get_mut().unwrap() = None;
         }
     }
 
     /// The memoized dictionary encoding of string column `i`, built on first
     /// use; `None` for non-string columns.
-    pub fn str_encoding(&self, i: usize) -> Option<&Arc<StrEncoding>> {
+    ///
+    /// The memo is tagged with the attached pool's eviction epoch for this
+    /// table: once any of the table's pages is evicted, the cached encoding
+    /// may describe pages that will be re-read, so the next call rebuilds it
+    /// instead of serving a stale `Arc`.
+    pub fn str_encoding(&self, i: usize) -> Option<Arc<StrEncoding>> {
         let xs = self.columns[i].as_str_slice()?;
-        Some(self.encodings[i].get_or_init(|| {
-            let mut values: Vec<String> = Vec::new();
-            let mut map: HashMap<&str, u32> = HashMap::new();
-            let codes = xs
-                .iter()
-                .map(|s| {
-                    *map.entry(s.as_str()).or_insert_with(|| {
-                        values.push(s.clone());
-                        (values.len() - 1) as u32
-                    })
+        let epoch = self
+            .pager()
+            .map(|p| p.evict_epoch(self.table_key()))
+            .unwrap_or(0);
+        let mut slot = self.encodings[i].lock().unwrap();
+        if let Some((built_at, enc)) = slot.as_ref() {
+            if *built_at == epoch {
+                return Some(Arc::clone(enc));
+            }
+        }
+        let mut values: Vec<String> = Vec::new();
+        let mut map: HashMap<&str, u32> = HashMap::new();
+        let codes = xs
+            .iter()
+            .map(|s| {
+                *map.entry(s.as_str()).or_insert_with(|| {
+                    values.push(s.clone());
+                    (values.len() - 1) as u32
                 })
-                .collect();
-            Arc::new(StrEncoding { values, codes })
-        }))
+            })
+            .collect();
+        let enc = Arc::new(StrEncoding { values, codes });
+        *slot = Some((epoch, Arc::clone(&enc)));
+        Some(enc)
     }
 
     /// Append many rows.
@@ -312,20 +371,60 @@ mod tests {
             t.append(vec![Value::Int(i), Value::Str(format!("c{}", i % 3))]);
         }
         assert!(t.str_encoding(0).is_none(), "int column has no encoding");
-        let enc = Arc::clone(t.str_encoding(1).unwrap());
+        let enc = t.str_encoding(1).unwrap();
         assert_eq!(enc.values, vec!["c0", "c1", "c2"], "first-appearance order");
         assert_eq!(enc.codes.len(), 10);
         for (i, &code) in enc.codes.iter().enumerate() {
             assert_eq!(enc.values[code as usize], format!("c{}", i % 3));
         }
         // Memoized: same Arc on the next call.
-        assert!(Arc::ptr_eq(&enc, t.str_encoding(1).unwrap()));
+        assert!(Arc::ptr_eq(&enc, &t.str_encoding(1).unwrap()));
         // Appending invalidates and rebuilds with the new row covered.
         t.append(vec![Value::Int(10), Value::Str("c9".into())]);
         let enc2 = t.str_encoding(1).unwrap();
-        assert!(!Arc::ptr_eq(&enc, enc2));
+        assert!(!Arc::ptr_eq(&enc, &enc2));
         assert_eq!(enc2.codes.len(), 11);
         assert_eq!(enc2.values.last().map(String::as_str), Some("c9"));
+    }
+
+    #[test]
+    fn str_encoding_invalidates_on_pool_eviction() {
+        use crate::pool::BufferPool;
+        use rqp_common::{ChaosPolicy, CostClock};
+
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("cat", DataType::Str)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..10i64 {
+            t.append(vec![Value::Int(i), Value::Str(format!("c{}", i % 3))]);
+        }
+        let pool = BufferPool::new(2);
+        t.attach_pool(&pool);
+        let clock = CostClock::default_clock();
+        let off = ChaosPolicy::off();
+        let enc = t.str_encoding(1).unwrap();
+        // Scans that stay within budget leave the memo valid…
+        drop(pool.pin("t", 0, &clock, &off).unwrap());
+        drop(pool.pin("t", 1, &clock, &off).unwrap());
+        assert!(Arc::ptr_eq(&enc, &t.str_encoding(1).unwrap()), "no eviction, memo holds");
+        // …but once a page of this table is evicted the next rescan must
+        // rebuild rather than serve the stale pre-eviction encoding.
+        drop(pool.pin("t", 2, &clock, &off).unwrap());
+        assert!(pool.stats().evictions >= 1);
+        let rebuilt = t.str_encoding(1).unwrap();
+        assert!(!Arc::ptr_eq(&enc, &rebuilt), "evict-then-rescan rebuilds");
+        assert_eq!(rebuilt.values, enc.values, "same data, fresh encoding");
+        // The rebuilt memo is tagged with the new epoch and holds again.
+        assert!(Arc::ptr_eq(&rebuilt, &t.str_encoding(1).unwrap()));
+        // Another table's own churn doesn't invalidate this one: fill the
+        // pool with `other` pages (displacing t's pages does bump t's
+        // epoch), then keep churning `other` against itself.
+        drop(pool.pin("other", 0, &clock, &off).unwrap());
+        drop(pool.pin("other", 1, &clock, &off).unwrap());
+        let epoch = pool.evict_epoch(t.table_key());
+        let cur = t.str_encoding(1).unwrap();
+        drop(pool.pin("other", 2, &clock, &off).unwrap());
+        assert_eq!(pool.evict_epoch(t.table_key()), epoch, "epochs are per-table");
+        assert!(Arc::ptr_eq(&cur, &t.str_encoding(1).unwrap()));
     }
 
     #[test]

@@ -33,8 +33,9 @@ use std::path::{Path, PathBuf};
 /// `wire_churn_recovery`, `wire_backpressure_pages`). Version 6 added the
 /// live-observability metrics (`observer_overhead_p99`,
 /// `observer_event_loss`). Version 7 added the batch-execution metric
-/// (`batch_speedup`).
-pub const SCOREBOARD_VERSION: u32 = 7;
+/// (`batch_speedup`). Version 8 added the paged-storage metrics
+/// (`paged_cliff`, `paged_completion`).
+pub const SCOREBOARD_VERSION: u32 = 8;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -103,6 +104,16 @@ pub mod samples {
     /// charge-identical, so only elapsed time can show the win). Folded as
     /// the *minimum* across runs — the weakest vectorization observed.
     pub const BATCH_SPEEDUP: &str = "paper.batch.speedup";
+    /// Gauge: worst mean-cost ratio between adjacent page-budget fractions
+    /// of the paged-degradation sweep (`a10`) — the steepest cliff the
+    /// buffer pool shows when data stops fitting in memory. Folded as the
+    /// *maximum* across runs; bounded refaulting keeps this small.
+    pub const PAGED_CLIFF: &str = "paper.paged.degradation_cliff";
+    /// Gauge: fraction of queries that completed across the paged sweep's
+    /// constrained-budget × fault-rate cells (budget exhaustion and
+    /// retry-exhausted page I/O both count as losses). Folded as the
+    /// *minimum* across runs — graceful degradation means losing none.
+    pub const PAGED_COMPLETION: &str = "paper.paged.completion_rate";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -163,6 +174,12 @@ pub struct ScoreboardEntry {
     /// Worst (minimum) batch-over-scalar wall-clock speedup, from
     /// `paper.batch.speedup`.
     pub batch_speedup: f64,
+    /// Worst (maximum) paged-degradation cliff, from
+    /// `paper.paged.degradation_cliff`.
+    pub paged_cliff: f64,
+    /// Worst (minimum) paged-sweep completion rate, from
+    /// `paper.paged.completion_rate`.
+    pub paged_completion: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -192,6 +209,8 @@ struct SamplePool {
     observer_overheads: Vec<f64>,
     observer_losses: Vec<f64>,
     batch_speedups: Vec<f64>,
+    paged_cliffs: Vec<f64>,
+    paged_completions: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -242,6 +261,10 @@ impl SamplePool {
                 self.observer_losses.push(*x);
             } else if name == samples::BATCH_SPEEDUP {
                 self.batch_speedups.push(*x);
+            } else if name == samples::PAGED_CLIFF {
+                self.paged_cliffs.push(*x);
+            } else if name == samples::PAGED_COMPLETION {
+                self.paged_completions.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -285,6 +308,8 @@ impl SamplePool {
         self.observer_overheads.sort_by(f64::total_cmp);
         self.observer_losses.sort_by(f64::total_cmp);
         self.batch_speedups.sort_by(f64::total_cmp);
+        self.paged_cliffs.sort_by(f64::total_cmp);
+        self.paged_completions.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -348,6 +373,8 @@ impl SamplePool {
             observer_overhead_p99: self.observer_overheads.last().copied().unwrap_or(f64::NAN),
             observer_event_loss: self.observer_losses.last().copied().unwrap_or(f64::NAN),
             batch_speedup: self.batch_speedups.first().copied().unwrap_or(f64::NAN),
+            paged_cliff: self.paged_cliffs.last().copied().unwrap_or(f64::NAN),
+            paged_completion: self.paged_completions.first().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -540,6 +567,12 @@ impl Scoreboard {
                 cur.observer_event_loss,
                 base.observer_event_loss + thresholds.observer_event_loss_slack,
             );
+            check(
+                "paged_cliff",
+                base.paged_cliff,
+                cur.paged_cliff,
+                base.paged_cliff + thresholds.paged_cliff_slack,
+            );
             // Floor metrics regress *downward*: flag a drop below the floor,
             // and (like the ceiling checks) a metric that vanished entirely.
             let mut check_floor = |metric: &str, baseline: f64, current_v: f64, floor: f64| {
@@ -579,6 +612,12 @@ impl Scoreboard {
                 base.batch_speedup,
                 cur.batch_speedup,
                 base.batch_speedup - thresholds.batch_speedup_slack,
+            );
+            check_floor(
+                "paged_completion",
+                base.paged_completion,
+                cur.paged_completion,
+                base.paged_completion - thresholds.paged_completion_slack,
             );
         }
         out
@@ -636,6 +675,10 @@ pub struct DiffThresholds {
     /// `batch_speedup` may *shrink* by this absolute amount (wall-clock
     /// measurements jitter more than charged costs).
     pub batch_speedup_slack: f64,
+    /// `paged_cliff` may grow by this absolute amount.
+    pub paged_cliff_slack: f64,
+    /// `paged_completion` may *shrink* by this absolute amount.
+    pub paged_completion_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -663,6 +706,8 @@ impl Default for DiffThresholds {
             observer_overhead_slack: 0.5,
             observer_event_loss_slack: 0.5,
             batch_speedup_slack: 0.5,
+            paged_cliff_slack: 0.25,
+            paged_completion_slack: 0.02,
         }
     }
 }
@@ -717,6 +762,8 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("observer_overhead_p99", Json::num(e.observer_overhead_p99)),
         ("observer_event_loss", Json::num(e.observer_event_loss)),
         ("batch_speedup", Json::num(e.batch_speedup)),
+        ("paged_cliff", Json::num(e.paged_cliff)),
+        ("paged_completion", Json::num(e.paged_completion)),
         (
             "events",
             Json::Obj(
@@ -771,6 +818,8 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         observer_overhead_p99: num("observer_overhead_p99")?,
         observer_event_loss: num("observer_event_loss")?,
         batch_speedup: num("batch_speedup")?,
+        paged_cliff: num("paged_cliff")?,
+        paged_completion: num("paged_completion")?,
         events,
     })
 }
@@ -816,6 +865,8 @@ mod tests {
         reg.gauge(samples::OBSERVER_OVERHEAD_P99).set(1.0);
         reg.gauge(samples::OBSERVER_EVENT_LOSS).set(0.0);
         reg.gauge(samples::BATCH_SPEEDUP).set(2.5);
+        reg.gauge(samples::PAGED_CLIFF).set(1.3);
+        reg.gauge(samples::PAGED_COMPLETION).set(1.0);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -849,6 +900,34 @@ mod tests {
         assert_eq!(e.observer_overhead_p99, 1.0);
         assert_eq!(e.observer_event_loss, 0.0);
         assert_eq!(e.batch_speedup, 2.5);
+        assert_eq!(e.paged_cliff, 1.3);
+        assert_eq!(e.paged_completion, 1.0);
+    }
+
+    #[test]
+    fn diff_trips_on_paged_cliff_and_completion_collapse() {
+        let baseline = Scoreboard::fold(&[report("a10", 50.0, 100, 1000.0)]);
+        // A paging cliff appearing between adjacent page-budget fractions
+        // trips the ceiling check (baseline 1.3 + slack 0.25 = 1.55)…
+        let mut cliffy = baseline.clone();
+        cliffy.entries.get_mut("a10").unwrap().paged_cliff = 1.6;
+        let regs = baseline.diff(&cliffy, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "paged_cliff"), "{regs:?}");
+        // …queries dying when the budget is constrained trips the
+        // completion floor (baseline 1.0 - slack 0.02)…
+        let mut dying = baseline.clone();
+        dying.entries.get_mut("a10").unwrap().paged_completion = 0.9;
+        let regs = baseline.diff(&dying, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "paged_completion"), "{regs:?}");
+        // …and either gauge vanishing is an observability regression.
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a10").unwrap().paged_completion = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "paged_completion"), "{regs:?}");
+        // A flatter degradation curve is an improvement, not a regression.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a10").unwrap().paged_cliff = 1.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]

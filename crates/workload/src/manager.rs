@@ -231,10 +231,30 @@ pub fn fluctuating_memory_test(
     max_memory: f64,
     min_memory: f64,
 ) -> Result<FmtReport> {
+    fluctuating_memory_test_with(catalog, est, specs, schedule, max_memory, min_memory, &|| {})
+}
+
+/// [`fluctuating_memory_test`] with a hook invoked before every measured
+/// run. The FMT's bound (UBL ≤ scheduled ≤ LBL) presumes each run's cost
+/// depends only on its memory grant — stateful storage (a buffer pool
+/// warmed by one run and charged to the next) breaks that. The hook lets
+/// the caller restore storage to one fixed state (e.g. re-attach a freshly
+/// warmed pool) so every run is measured from identical residency.
+#[allow(clippy::too_many_arguments)]
+pub fn fluctuating_memory_test_with(
+    catalog: &Catalog,
+    est: &dyn CardEstimator,
+    specs: &[QuerySpec],
+    schedule: &[f64],
+    max_memory: f64,
+    min_memory: f64,
+    before_run: &dyn Fn(),
+) -> Result<FmtReport> {
     if schedule.is_empty() || specs.is_empty() {
         return Err(RqpError::Invalid("FMT needs queries and a schedule".into()));
     }
     let run_at = |mem: f64, spec: &QuerySpec| -> Result<f64> {
+        before_run();
         let cfg = PlannerConfig { memory_rows: mem, ..Default::default() };
         let p = plan(spec, catalog, est, cfg)?;
         let ctx = ExecContext::with_memory(mem);

@@ -1,0 +1,344 @@
+//! Acceptance tests for the paged buffer pool: with a page budget at or
+//! above the data size the engine must be **bit-identical** (rows and cost
+//! breakdown) to the pre-pool engine at 1, 2 and 8 workers on both the
+//! scalar and batch paths; below the data size it must stay row-identical
+//! and charge only the pager's fault surcharges; budget exhaustion must
+//! surface as the typed [`RqpError::PageBudgetExhausted`] — never a panic,
+//! never burned worker retries — and every termination path (full drain,
+//! partial drain, deadline abort, wire disconnect) must leave the pool with
+//! zero pins and the broker with zero reservations.
+//!
+//! Compiled under `rqp-bench` so it can drive the exec operators, the query
+//! service and the wire layer in one place.
+
+use rqp::common::chaos::{ChaosConfig, ChaosPolicy};
+use rqp::common::{CostClock, CostModelParams, Row, RqpError};
+use rqp::exec::{
+    batch_pipeline, collect, pipeline, ExchangeOp, ExecContext, Operator, TableScanOp,
+};
+use rqp::server::{QueryOptions, QueryService, ServiceConfig};
+use rqp::storage::BufferPool;
+use rqp::{DataType, Schema, Table, Value};
+use rqp::workload::{tpch::TpchParams, TpchDb};
+use rqp_net::{WireClient, WireQueryOptions, WireServer};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Dyadic cost weights (exact in binary floating point), so charges sum
+/// associatively and totals are bit-comparable across worker counts and
+/// batch shapes — the same trick the chaos and batch suites use.
+fn dyadic_params() -> CostModelParams {
+    CostModelParams {
+        rows_per_page: 128.0,
+        seq_page: 1.0,
+        rand_page: 4.0,
+        cpu_tuple: 1.0 / 256.0,
+        cpu_compare: 1.0 / 512.0,
+        hash_build: 1.0 / 64.0,
+        hash_probe: 1.0 / 128.0,
+        spill_page: 2.5,
+    }
+}
+
+/// 4,000 rows = 32 pages at 128 rows/page (the last one partial).
+const TABLE_PAGES: usize = 32;
+
+fn table(n: i64) -> Arc<Table> {
+    let schema = Schema::from_pairs(&[("id", DataType::Int), ("key", DataType::Int)]);
+    let mut t = Table::new("t", schema);
+    for i in 0..n {
+        t.append(vec![Value::Int(i), Value::Int((i * 7919) % 1000)]);
+    }
+    Arc::new(t)
+}
+
+struct RunOutput {
+    rows: Vec<Row>,
+    seq_io: u64,
+    rand_io: u64,
+    cpu: u64,
+    spill: u64,
+}
+
+/// Parallel scan (scalar or batch path) of a fresh 4,000-row table, with an
+/// optional pool of `budget` pages attached. Returns rows, the four cost
+/// components as bits, and the pool for post-run pin/stat assertions.
+fn scan_run(
+    budget: Option<usize>,
+    workers: usize,
+    batch: bool,
+    chaos: ChaosPolicy,
+) -> (RunOutput, Option<Arc<BufferPool>>) {
+    let t = table(4_000);
+    let pool = budget.map(|pages| {
+        let p = BufferPool::new(pages);
+        t.attach_pool(&p);
+        p
+    });
+    let ctx = ExecContext::new(CostClock::new(dyadic_params()), 1_000.0).with_chaos(chaos);
+    let mut ex = if batch {
+        ExchangeOp::try_parallel_batch_scan(t, workers, batch_pipeline(|op, _| op), ctx.clone())
+            .expect("batch exchange")
+    } else {
+        ExchangeOp::try_parallel_scan_with(t, workers, pipeline(|op, _| op), ctx.clone())
+            .expect("scalar exchange")
+    };
+    let rows = collect(&mut ex);
+    let b = ctx.clock.breakdown();
+    (
+        RunOutput {
+            rows,
+            seq_io: b.seq_io.to_bits(),
+            rand_io: b.rand_io.to_bits(),
+            cpu: b.cpu.to_bits(),
+            spill: b.spill.to_bits(),
+        },
+        pool,
+    )
+}
+
+#[test]
+fn full_budget_pool_is_bit_identical_to_the_unpooled_engine() {
+    // The acceptance property: budget >= data means no eviction, no
+    // re-fault, no surcharge — the pool is pure accounting and both the
+    // row stream and every cost component match the pre-pool engine bit
+    // for bit, on the scalar and batch paths alike.
+    for workers in [1usize, 2, 8] {
+        for batch in [false, true] {
+            let label = format!("workers={workers} batch={batch}");
+            let (plain, _) = scan_run(None, workers, batch, ChaosPolicy::off());
+            let (pooled, pool) =
+                scan_run(Some(TABLE_PAGES), workers, batch, ChaosPolicy::off());
+            assert_eq!(plain.rows, pooled.rows, "{label}: rows diverged");
+            assert_eq!(plain.seq_io, pooled.seq_io, "{label}: seq_io bits");
+            assert_eq!(plain.rand_io, pooled.rand_io, "{label}: rand_io bits");
+            assert_eq!(plain.cpu, pooled.cpu, "{label}: cpu bits");
+            assert_eq!(plain.spill, pooled.spill, "{label}: spill bits");
+            let pool = pool.expect("pooled run");
+            let s = pool.stats();
+            assert_eq!(s.refaults, 0, "{label}: full budget must never re-fault");
+            assert_eq!(s.cold_loads as usize, TABLE_PAGES, "{label}: one load per page");
+            assert_eq!(pool.pins(), 0, "{label}: drained scan leaked pins");
+        }
+    }
+}
+
+#[test]
+fn chaos_page_faults_are_worker_count_invariant() {
+    // Page-I/O faults are keyed by the absolute page index, and with a full
+    // budget each page loads exactly once — so the fault schedule, the rows
+    // and the charge totals are identical no matter how the scan is sharded.
+    let cfg = ChaosConfig {
+        seed: 0x9A6E,
+        page_fault_rate: 0.2,
+        page_max_retries: 8,
+        ..ChaosConfig::off()
+    };
+    let (base, base_pool) =
+        scan_run(Some(TABLE_PAGES), 1, false, ChaosPolicy::new(cfg));
+    let retries = base_pool.expect("pool").stats().io_retries;
+    assert!(retries > 0, "this seed must inject at least one page fault");
+    for workers in [2usize, 8] {
+        for batch in [false, true] {
+            let (run, pool) =
+                scan_run(Some(TABLE_PAGES), workers, batch, ChaosPolicy::new(cfg));
+            let label = format!("workers={workers} batch={batch}");
+            assert_eq!(base.rows, run.rows, "{label}: rows diverged under page faults");
+            assert_eq!(base.rand_io, run.rand_io, "{label}: retry charges diverged");
+            assert_eq!(base.seq_io, run.seq_io, "{label}: seq_io diverged");
+            assert_eq!(
+                pool.expect("pool").stats().io_retries,
+                retries,
+                "{label}: fault schedule moved with the worker count"
+            );
+        }
+    }
+}
+
+#[test]
+fn constrained_budget_stays_row_identical_and_charges_only_refaults() {
+    // Bare-scan baseline (no exchange, no pool), charge bits per component.
+    let plain = {
+        let ctx = ExecContext::new(CostClock::new(dyadic_params()), 1_000.0);
+        let rows = collect(&mut TableScanOp::new(table(4_000), ctx.clone()));
+        let b = ctx.clock.breakdown();
+        RunOutput {
+            rows,
+            seq_io: b.seq_io.to_bits(),
+            rand_io: b.rand_io.to_bits(),
+            cpu: b.cpu.to_bits(),
+            spill: b.spill.to_bits(),
+        }
+    };
+
+    // One pool, two sequential passes: the first is all cold loads (free —
+    // the scan's own sequential charge is that read); the second re-faults
+    // every page because a quarter-size budget evicted them all behind the
+    // first pass's cursor.
+    let t = table(4_000);
+    let pool = BufferPool::new(8);
+    t.attach_pool(&pool);
+    for pass in 0..2usize {
+        let ctx = ExecContext::new(CostClock::new(dyadic_params()), 1_000.0);
+        let rows = collect(&mut TableScanOp::new(Arc::clone(&t), ctx.clone()));
+        assert_eq!(plain.rows, rows, "pass {pass}: constrained pool changed the rows");
+        let b = ctx.clock.breakdown();
+        assert_eq!(b.seq_io.to_bits(), plain.seq_io, "pass {pass}: seq_io moved");
+        assert_eq!(b.cpu.to_bits(), plain.cpu, "pass {pass}: cpu moved");
+        let s = pool.stats();
+        if pass == 0 {
+            assert_eq!(b.rand_io, 0.0, "cold loads must not be surcharged");
+            assert_eq!(s.cold_loads as usize, TABLE_PAGES);
+            assert_eq!(s.refaults, 0);
+        } else {
+            assert_eq!(s.refaults as usize, TABLE_PAGES, "second pass re-faults every page");
+            let expected = TABLE_PAGES as f64 * dyadic_params().rand_page;
+            assert_eq!(
+                b.rand_io.to_bits(),
+                expected.to_bits(),
+                "re-faults charge exactly one random page each"
+            );
+        }
+        assert_eq!(pool.pins(), 0, "pass {pass} leaked pins");
+    }
+}
+
+#[test]
+fn page_budget_exhaustion_is_typed_and_propagates_through_the_exchange() {
+    let t = table(4_000);
+    let pool = BufferPool::new(1);
+    t.attach_pool(&pool);
+    // An outside pin holds the only frame, so the scan's first fault cannot
+    // evict: the pool must fail typed, and the exchange must propagate that
+    // error as-is instead of burning lost-partition retries on it.
+    let clock = CostClock::new(dyadic_params());
+    let chaos = ChaosPolicy::off();
+    let (_guard, _) = pool.pin("t", 0, &clock, &chaos).expect("guard pin");
+    // The scan's first page is a hit on the guarded frame; page 1 needs a
+    // second frame, finds the only one pinned, and must fail typed.
+    let ctx = ExecContext::new(CostClock::new(dyadic_params()), 1_000.0);
+    let err = match ExchangeOp::try_parallel_scan_with(
+        Arc::clone(&t),
+        1,
+        pipeline(|op, _| op),
+        ctx.clone(),
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("one pinned frame of one cannot serve a scan"),
+    };
+    match err {
+        RqpError::PageBudgetExhausted { pinned, budget } => {
+            assert_eq!((pinned, budget), (1, 1));
+        }
+        other => panic!("expected typed PageBudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(
+        ctx.metrics.counter("exchange.worker_retries").get(),
+        0,
+        "exhaustion must not be retried as a lost partition"
+    );
+    assert_eq!(pool.pins(), 1, "only the outside guard pin survives the abort");
+    drop(_guard);
+    assert_eq!(pool.pins(), 0);
+}
+
+#[test]
+fn partial_drain_releases_every_pin() {
+    let t = table(4_000);
+    let pool = BufferPool::new(8);
+    t.attach_pool(&pool);
+    let ctx = ExecContext::new(CostClock::new(dyadic_params()), 1_000.0);
+    let mut scan = TableScanOp::new(Arc::clone(&t), ctx.clone());
+    for _ in 0..5 {
+        scan.next().expect("row");
+    }
+    assert_eq!(pool.pins(), 1, "a mid-page scan holds exactly its current page");
+    drop(scan);
+    assert_eq!(pool.pins(), 0, "dropping a part-way scan must release its pin");
+}
+
+fn paged_service(db: &TpchDb, mpl: usize, pages: usize) -> Arc<QueryService> {
+    Arc::new(QueryService::new(
+        &db.catalog,
+        ServiceConfig {
+            mpl,
+            memory_rows: 20_000.0,
+            drift_threshold: 1e9,
+            page_budget: Some(pages),
+            ..Default::default()
+        },
+    ))
+}
+
+fn small_db() -> TpchDb {
+    TpchDb::build(TpchParams { lineitem_rows: 4_000, ..Default::default() }, 42)
+}
+
+#[test]
+fn deadline_abort_on_a_paged_service_releases_pins_and_reservations() {
+    let db = small_db();
+    // 8 frames is far below lineitem's page count, so the doomed query is
+    // actively faulting through the pool when its deadline trips.
+    let svc = paged_service(&db, 2, 8);
+    let session = svc.session(0);
+    let handle = session.submit(db.q5(0, 10, 100), QueryOptions::with_deadline(1.0));
+    match handle.join() {
+        Err(RqpError::DeadlineExceeded) => {}
+        other => panic!("expected a deadline abort, got {other:?}"),
+    }
+    let pool = svc.pager().expect("paged service");
+    assert_eq!(pool.pins(), 0, "deadline abort leaked page pins");
+    assert_eq!(svc.reserved(), 0.0, "deadline abort leaked workspace grants");
+
+    // The survivor still computes the right answer through the same pool.
+    let solo = svc.run_solo(&db.q6(100, 0.05, 30)).expect("survivor");
+    assert!(!solo.rows.is_empty());
+    assert_eq!(pool.pins(), 0);
+}
+
+#[test]
+fn wire_disconnect_on_a_paged_service_releases_pins_and_reservations() {
+    let db = small_db();
+    let svc = paged_service(&db, 1, 8);
+    let server = WireServer::start(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let addr = format!("127.0.0.1:{}", server.port());
+
+    // Submit a many-page scan and vanish without GOODBYE: the reaper must
+    // cancel the query, and unwinding its operators must drop every pin.
+    let spec = rqp::QuerySpec::new()
+        .table("lineitem")
+        .filter(
+            "lineitem",
+            rqp::common::expr::col("lineitem.quantity").ge(rqp::common::expr::lit(0)),
+        )
+        .project(&["lineitem.orderkey", "lineitem.quantity"]);
+    let mut doomed = WireClient::connect(&addr, 0).expect("connect");
+    let _query = doomed
+        .submit(&spec, WireQueryOptions::default())
+        .expect("submit");
+    drop(doomed);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().closed < 1 {
+        assert!(Instant::now() < deadline, "timed out waiting for teardown");
+        std::thread::yield_now();
+    }
+    // The reap is asynchronous with the query thread: wait for the broker
+    // ledger to empty (monotone once the query ends), then check the pool.
+    while svc.reserved() > 0.0 || svc.stats().live_count() > 0 {
+        assert!(Instant::now() < deadline, "timed out waiting for query teardown");
+        std::thread::yield_now();
+    }
+    let pool = svc.pager().expect("paged service");
+    assert_eq!(pool.pins(), 0, "disconnect teardown leaked page pins");
+    assert_eq!(svc.reserved(), 0.0);
+
+    // Service still healthy below its data size.
+    let mut fresh = WireClient::connect(&addr, 0).expect("reconnect");
+    fresh
+        .run(&db.q6(100, 0.05, 30), WireQueryOptions::default())
+        .expect("wire transport")
+        .expect("query after churn failed");
+    fresh.goodbye().expect("goodbye");
+    drop(server);
+}
