@@ -1,0 +1,10 @@
+//! Experiment binary; see DESIGN.md's per-experiment index. Pass `--fast`
+//! for a reduced-size run. Writes `a11_continuous_queries.txt` and a JSON
+//! run report to `exp_output/` (override with `RQP_EXP_OUTPUT`).
+
+fn main() {
+    rqp_bench::experiments::harness::cli_main(
+        "a11_continuous_queries",
+        rqp_bench::a11_continuous_queries,
+    );
+}

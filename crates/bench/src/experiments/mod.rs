@@ -11,6 +11,7 @@ pub mod optimizer;
 pub mod pop;
 pub mod resources;
 pub mod service;
+pub mod streaming;
 pub mod wire;
 
 pub use ablations::{
@@ -26,4 +27,5 @@ pub use resources::{
     a05_resource_robustness, a10_paged_degradation, e12_advisor, e13_fmt, e14_fpt, e15_mixed,
 };
 pub use service::a06_concurrent_service;
+pub use streaming::a11_continuous_queries;
 pub use wire::a07_wire_service;

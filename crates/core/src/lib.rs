@@ -18,7 +18,8 @@
 //! | [`adaptive`] | `rqp-adaptive` | **POP** and **LEO** drivers, the adaptivity loop |
 //! | [`physical`] | `rqp-physical` | index advisor (classic and **Risk/Generality**), drift evaluation, stats-refresh disasters |
 //! | [`workload`] | `rqp-workload` | TPC-H-like / star / OLTP generators, black-hat traps, tractor pull, FMT/FPT, workload manager |
-//! | [`server`] | `rqp-server` | concurrent query service: sessions, MPL admission, cross-query memory brokering, plan cache, cooperative cancellation |
+//! | [`server`] | `rqp-server` | concurrent query service: sessions, MPL admission, cross-query memory brokering, plan cache, cooperative cancellation, standing subscriptions |
+//! | [`stream`] | `rqp-stream` | incremental view maintenance: delta circuits over streaming inserts/deletes, retractable aggregates |
 //! | [`metrics`] | `rqp-metrics` | S(Q), C(Q), Metric1/3, intrinsic/extrinsic variability, plan stability, box plots |
 //! | [`telemetry`] | `rqp-telemetry` | operator spans, metrics registry, EXPLAIN ANALYZE trace trees, JSON run reports |
 //!
@@ -55,6 +56,7 @@ pub use rqp_physical as physical;
 pub use rqp_server as server;
 pub use rqp_stats as stats;
 pub use rqp_storage as storage;
+pub use rqp_stream as stream;
 pub use rqp_telemetry as telemetry;
 pub use rqp_workload as workload;
 

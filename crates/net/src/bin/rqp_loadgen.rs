@@ -3,7 +3,16 @@
 //! ```sh
 //! rqp-loadgen --addr 127.0.0.1:PORT [--clients 4] [--queries 4]
 //!             [--mode closed|open] [--rate 1.0] [--churn 1] [--seed 7]
+//!             [--subscribe]
 //! ```
+//!
+//! With `--subscribe` each worker drives a *streaming* workload instead:
+//! it registers a standing subscription over the (ORDER BY-stripped) query
+//! menu, then alternates APPEND batches into `lineitem` with POLL rounds
+//! that drain the subscription to zero lag, reporting
+//! `subs=1 polls=… deltas=…`. Churn workers vanish with the subscription
+//! still live, exercising the server's disconnect teardown of standing
+//! state (the `wire.subs.torn_down` counter).
 //!
 //! The parent re-executes its own binary once per client with `--worker`,
 //! so every client is a real OS *process* with its own TCP connection —
@@ -33,9 +42,11 @@
 //! driver that also knows the menu can verify bit-identity against solo
 //! runs without the rows ever being re-shipped.
 
+use rqp_common::{Row, Value};
 use rqp_net::loadgen::{menu, menu_index};
-use rqp_net::proto::WireQueryOptions;
+use rqp_net::proto::{WireQueryOptions, WireSubscribeOptions};
 use rqp_net::{rows_checksum, WireClient};
+use rqp_opt::QuerySpec;
 use std::io::{BufRead, BufReader};
 use std::process::{Command, Stdio};
 
@@ -49,6 +60,7 @@ struct Args {
     churn: usize,
     seed: u64,
     observe: bool,
+    subscribe: bool,
     worker: Option<usize>,
 }
 
@@ -62,6 +74,7 @@ fn parse_args() -> Args {
         churn: 0,
         seed: 7,
         observe: false,
+        subscribe: false,
         worker: None,
     };
     let mut it = std::env::args().skip(1);
@@ -90,6 +103,7 @@ fn parse_args() -> Args {
             "--churn" => args.churn = val("--churn").parse().expect("--churn"),
             "--seed" => args.seed = val("--seed").parse().expect("--seed"),
             "--observe" => args.observe = true,
+            "--subscribe" => args.subscribe = true,
             "--worker" => args.worker = Some(val("--worker").parse().expect("--worker")),
             other => {
                 eprintln!("unknown flag {other}");
@@ -114,6 +128,10 @@ fn run_worker(args: &Args, id: usize) {
             std::process::exit(1);
         }
     };
+    if args.subscribe {
+        run_subscriber(args, id, &mut client);
+        return;
+    }
     let mut results: Vec<(usize, u64)> = Vec::new();
     let mut ok = 0usize;
     let mut failed = 0usize;
@@ -197,6 +215,95 @@ fn run_worker(args: &Args, id: usize) {
     let _ = client.goodbye();
 }
 
+/// The query menu with ORDER BY / LIMIT stripped: standing subscriptions
+/// maintain order-canonical *sets*, so the server rejects ordered specs.
+fn sub_menu() -> Vec<QuerySpec> {
+    menu()
+        .into_iter()
+        .map(|mut s| {
+            s.order_by.clear();
+            s.limit = None;
+            s
+        })
+        .collect()
+}
+
+/// A deterministic `lineitem` row for `(client, batch, row)`. Floats stay
+/// dyadic so grouped SUM/AVG retraction is exact under churn.
+fn lineitem_row(client: usize, batch: usize, r: usize) -> Row {
+    let k = (client * 1_000 + batch * 10 + r) as i64;
+    vec![
+        Value::Int(k % 50),
+        Value::Int(k % 20),
+        Value::Int(k % 10),
+        Value::Int(1 + k % 50),
+        Value::Float(1_000.0 + (k % 100) as f64 * 0.25),
+        Value::Float(0.0625),
+        Value::Int(k % 2_400),
+        Value::Int(k % 3),
+    ]
+}
+
+/// Subscription workload for one worker: register a standing view over
+/// the menu, then alternate APPEND batches into `lineitem` with POLL
+/// rounds that drain the subscription to zero lag, counting delta rows.
+/// Churn workers vanish without UNSUBSCRIBE or GOODBYE, exercising the
+/// server's disconnect teardown of standing subscriptions.
+fn run_subscriber(args: &Args, id: usize, client: &mut WireClient) {
+    let menu = sub_menu();
+    let idx = menu_index(args.seed, id, 0, menu.len());
+    let sub = match client.subscribe(&menu[idx], WireSubscribeOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("RQPLOAD client={id} error=subscribe msg={e}");
+            std::process::exit(1);
+        }
+    };
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut polls = 0u64;
+    let mut deltas = 0u64;
+    for batch in 0..args.queries {
+        let rows: Vec<Row> = (0..8).map(|r| lineitem_row(id, batch, r)).collect();
+        match client.append("lineitem", rows) {
+            Ok(Ok(_epoch)) => ok += 1,
+            Ok(Err(_)) => failed += 1,
+            Err(e) => {
+                println!("RQPLOAD client={id} error=append msg={e}");
+                std::process::exit(1);
+            }
+        }
+        loop {
+            polls += 1;
+            match client.poll_sub(sub, 0) {
+                Ok(Ok((delta, lag))) => {
+                    deltas += (delta.inserted.len() + delta.retracted.len()) as u64;
+                    if lag == 0 {
+                        break;
+                    }
+                }
+                Ok(Err(_)) => {
+                    failed += 1;
+                    break;
+                }
+                Err(e) => {
+                    println!("RQPLOAD client={id} error=poll msg={e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let disconnect = id < args.churn;
+    println!(
+        "RQPLOAD client={id} ok={ok} failed={failed} disconnected={} subs=1 polls={polls} deltas={deltas}",
+        disconnect as u8
+    );
+    if disconnect {
+        std::process::exit(0); // vanish with the subscription still live
+    }
+    let _ = client.unsubscribe(sub);
+}
+
 fn print_summary(
     id: usize,
     ok: usize,
@@ -276,6 +383,9 @@ fn run_parent(args: &Args) {
             .arg("--worker")
             .arg(id.to_string())
             .stdout(Stdio::piped());
+        if args.subscribe {
+            cmd.arg("--subscribe");
+        }
         let child = cmd.spawn().expect("spawn worker process");
         children.push(child);
     }
@@ -283,6 +393,7 @@ fn run_parent(args: &Args) {
     let mut failed = 0usize;
     let mut disconnected = 0usize;
     let mut hard_errors = 0usize;
+    let mut deltas = 0u64;
     for mut child in children {
         let stdout = child.stdout.take().expect("worker stdout");
         for line in BufReader::new(stdout).lines() {
@@ -298,6 +409,8 @@ fn run_parent(args: &Args) {
                     ok += v.parse::<usize>().unwrap_or(0);
                 } else if let Some(v) = tok.strip_prefix("failed=") {
                     failed += v.parse::<usize>().unwrap_or(0);
+                } else if let Some(v) = tok.strip_prefix("deltas=") {
+                    deltas += v.parse::<u64>().unwrap_or(0);
                 } else if tok == "disconnected=1" {
                     disconnected += 1;
                 }
@@ -316,8 +429,9 @@ fn run_parent(args: &Args) {
         Some((events, gaps)) => format!(" observer_events={events} observer_gaps={gaps}"),
         None => String::new(),
     };
+    let subs_s = if args.subscribe { format!(" deltas={deltas}") } else { String::new() };
     println!(
-        "RQPLOAD total clients={} ok={ok} failed={failed} disconnected={disconnected} errors={hard_errors}{observer_s}",
+        "RQPLOAD total clients={} ok={ok} failed={failed} disconnected={disconnected} errors={hard_errors}{observer_s}{subs_s}",
         args.clients
     );
     if hard_errors > 0 {

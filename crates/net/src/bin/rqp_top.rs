@@ -9,7 +9,9 @@
 //! dedicated connection (they bypass admission, so watching the service
 //! never competes with it) and redraws a refreshing dashboard: admission
 //! and broker gauges, the buffer-pool pager gauges (when the server runs
-//! with a page budget), the wire counters, every in-flight query with its
+//! with a page budget), the standing-subscription gauges (`server.subs.*`,
+//! when subscriptions are registered), the wire counters, every in-flight
+//! query with its
 //! phase / cost-clock ticks / grants / deadline headroom, and the newest
 //! flight-recorder events. `--once` prints a single snapshot and exits —
 //! the CI wire-smoke job greps that output for non-empty gauges.
@@ -122,6 +124,17 @@ fn render(
             out.push_str(&metric_line(name, value));
         }
     }
+    let subs: Vec<&(String, MetricValue)> = snap
+        .metrics
+        .iter()
+        .filter(|(n, _)| n.starts_with("server.subs."))
+        .collect();
+    if !subs.is_empty() {
+        out.push_str("subs:\n");
+        for (name, value) in subs {
+            out.push_str(&metric_line(name, value));
+        }
+    }
     let rest: Vec<&(String, MetricValue)> = snap
         .metrics
         .iter()
@@ -129,6 +142,7 @@ fn render(
             !n.starts_with("server.live.")
                 && !n.starts_with("server.recorder.")
                 && !n.starts_with("server.pager.")
+                && !n.starts_with("server.subs.")
                 && !n.starts_with("wire.")
         })
         .collect();

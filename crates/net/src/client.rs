@@ -8,7 +8,7 @@
 //! belongs to the conversation in progress.
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions};
+use crate::proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions, WireSubscribeOptions};
 use rqp_common::{Row, RqpError};
 use rqp_opt::QuerySpec;
 use rqp_server::{LiveQueryStats, QueryPhase};
@@ -30,6 +30,20 @@ pub struct RemoteOutcome {
     pub cost: f64,
     /// Whether the server served the plan from its plan cache.
     pub plan_cached: bool,
+}
+
+/// One assembled delta from a subscription poll: the view changed by
+/// retracting `retracted` and inserting `inserted`, as of changelog
+/// `epoch`. Chunked DELTA frames are re-joined client-side, so a packet
+/// of any size comes back whole.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoteDelta {
+    /// Changelog epoch the maintained view now reflects.
+    pub epoch: u64,
+    /// Rows entering the view (with multiplicity).
+    pub inserted: Vec<Row>,
+    /// Rows leaving the view (with multiplicity).
+    pub retracted: Vec<Row>,
 }
 
 /// A STATS reply: the server's metrics registry plus every in-flight
@@ -242,6 +256,88 @@ impl WireClient {
             }
             ServerMsg::Error { failure, .. } => Err(RqpError::Protocol(failure.to_string())),
             other => Err(RqpError::Protocol(format!("expected EVENTS_REPLY, got {other:?}"))),
+        }
+    }
+
+    /// Register a standing subscription (SUBSCRIBE); returns its
+    /// service-wide id. The initial view is loaded server-side; deltas
+    /// arrive only when [`poll_sub`](Self::poll_sub) asks for them.
+    pub fn subscribe(
+        &mut self,
+        spec: &QuerySpec,
+        opts: WireSubscribeOptions,
+    ) -> Result<u64, RqpError> {
+        self.send(&ClientMsg::Subscribe { spec: spec.clone(), opts })?;
+        match self.recv()? {
+            ServerMsg::SubAck { sub } => Ok(sub),
+            ServerMsg::Error { failure, .. } => Err(RqpError::Protocol(failure.to_string())),
+            other => Err(RqpError::Protocol(format!("expected SUB_ACK, got {other:?}"))),
+        }
+    }
+
+    /// Tear down subscription `sub` (UNSUBSCRIBE). Idempotent from the
+    /// caller's point of view: an id the server no longer knows comes back
+    /// as a remote failure, not a protocol error.
+    pub fn unsubscribe(
+        &mut self,
+        sub: u64,
+    ) -> Result<Result<(), RemoteFailure>, RqpError> {
+        self.send(&ClientMsg::Unsubscribe { sub })?;
+        match self.recv()? {
+            ServerMsg::SubDone { sub: s, .. } if s == sub => Ok(Ok(())),
+            ServerMsg::Error { failure, .. } => Ok(Err(failure)),
+            other => Err(RqpError::Protocol(format!("expected SUB_DONE, got {other:?}"))),
+        }
+    }
+
+    /// Poll subscription `sub` for its next delta (POLL): applies up to
+    /// `max_records` changelog records server-side (0 = all pending) and
+    /// assembles the chunked DELTA frames into one [`RemoteDelta`]. Also
+    /// returns the remaining changelog lag — non-zero means another poll
+    /// has work waiting. Failures (cancelled, deadline, torn down) come
+    /// back with their stable wire code.
+    pub fn poll_sub(
+        &mut self,
+        sub: u64,
+        max_records: u32,
+    ) -> Result<Result<(RemoteDelta, u64), RemoteFailure>, RqpError> {
+        self.send(&ClientMsg::Poll { sub, max_records })?;
+        let mut delta = RemoteDelta::default();
+        loop {
+            match self.recv()? {
+                ServerMsg::Delta { sub: s, epoch, inserted, retracted } if s == sub => {
+                    delta.epoch = epoch;
+                    delta.inserted.extend(inserted);
+                    delta.retracted.extend(retracted);
+                }
+                ServerMsg::SubDone { sub: s, lag } if s == sub => {
+                    return Ok(Ok((delta, lag)));
+                }
+                ServerMsg::Error { query: q, failure } if q == sub || q == 0 => {
+                    return Ok(Err(failure));
+                }
+                other => {
+                    return Err(RqpError::Protocol(format!(
+                        "unexpected frame while polling subscription {sub}: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Append rows to a base table (APPEND); returns the changelog epoch
+    /// after the append. Standing subscriptions over the table pick the
+    /// rows up at their next poll.
+    pub fn append(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<Result<u64, RemoteFailure>, RqpError> {
+        self.send(&ClientMsg::Append { table: table.into(), rows })?;
+        match self.recv()? {
+            ServerMsg::AppendAck { epoch } => Ok(Ok(epoch)),
+            ServerMsg::Error { failure, .. } => Ok(Err(failure)),
+            other => Err(RqpError::Protocol(format!("expected APPEND_ACK, got {other:?}"))),
         }
     }
 

@@ -11,8 +11,9 @@
 //!   ([`rqp_opt::QuerySpec`], [`rqp_common::Expr`], [`rqp_common::Value`],
 //!   rows) with checked cursors and recursion-depth limits;
 //! * [`proto`] — the typed message set (HELLO/SUBMIT/FETCH/CANCEL/GOODBYE
-//!   and their server-side answers) plus [`proto::RemoteFailure`], the
-//!   stable-code error report;
+//!   for one-shot queries, SUBSCRIBE/UNSUBSCRIBE/POLL/APPEND for standing
+//!   subscriptions, and their server-side answers) plus
+//!   [`proto::RemoteFailure`], the stable-code error report;
 //! * [`server`] — [`server::WireServer`]: thread-per-connection serving
 //!   with per-query pager threads and credit-based result paging (a
 //!   stalled client holds at most one encoded page, never broker memory);
@@ -27,7 +28,8 @@
 //! The `rqp-netserver` binary stands a server over a generated TPC-H-like
 //! database; `rqp-loadgen` spawns N real client *processes* against it
 //! (open/closed-loop arrival, priority mix, optional mid-query
-//! disconnects) — the workload driver of the A07 experiment.
+//! disconnects, `--subscribe` for standing-subscription churn) — the
+//! workload driver of the A07 experiment.
 //!
 //! See DESIGN.md ("Wire protocol") for the byte-level specification.
 
@@ -40,8 +42,8 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{InspectOutcome, RemoteOutcome, ServiceSnapshot, WireClient};
+pub use client::{InspectOutcome, RemoteDelta, RemoteOutcome, ServiceSnapshot, WireClient};
 pub use frame::{Frame, FrameError, MAGIC, MAX_PAYLOAD, VERSION};
-pub use proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions};
+pub use proto::{ClientMsg, RemoteFailure, ServerMsg, WireQueryOptions, WireSubscribeOptions};
 pub use server::{WireServer, WireStats, PAGE_ROWS};
 pub use wire::rows_checksum;

@@ -32,6 +32,10 @@ const T_GOODBYE: u8 = 5;
 const T_STATS: u8 = 6;
 const T_INSPECT: u8 = 7;
 const T_EVENTS: u8 = 8;
+const T_SUBSCRIBE: u8 = 9;
+const T_UNSUBSCRIBE: u8 = 10;
+const T_POLL: u8 = 11;
+const T_APPEND: u8 = 12;
 
 // Server → client message type tags.
 const T_HELLO_ACK: u8 = 16;
@@ -43,6 +47,10 @@ const T_GOODBYE_ACK: u8 = 21;
 const T_STATS_REPLY: u8 = 22;
 const T_INSPECT_REPLY: u8 = 23;
 const T_EVENTS_REPLY: u8 = 24;
+const T_SUB_ACK: u8 = 25;
+const T_DELTA: u8 = 26;
+const T_SUB_DONE: u8 = 27;
+const T_APPEND_ACK: u8 = 28;
 
 /// Per-query submission options carried on the wire; mirrors
 /// [`rqp_server::QueryOptions`] field for field.
@@ -80,6 +88,28 @@ impl From<WireQueryOptions> for rqp_server::QueryOptions {
             reservation: w.reservation,
             arrival: w.arrival,
             weight: w.weight,
+        }
+    }
+}
+
+/// Subscription registration options carried on the wire; mirrors
+/// [`rqp_server::SubscribeOptions`] field for field.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireSubscribeOptions {
+    /// Admission-priority override for polls (0 = highest).
+    pub priority: Option<u8>,
+    /// Workspace reservation ask in rows.
+    pub reservation: Option<f64>,
+    /// Propagation-cost deadline on the subscription's clock.
+    pub deadline: Option<f64>,
+}
+
+impl From<WireSubscribeOptions> for rqp_server::SubscribeOptions {
+    fn from(w: WireSubscribeOptions) -> Self {
+        rqp_server::SubscribeOptions {
+            priority: w.priority,
+            reservation: w.reservation,
+            deadline: w.deadline,
         }
     }
 }
@@ -172,6 +202,39 @@ pub enum ClientMsg {
         /// from the returned cursor for more).
         max: u32,
     },
+    /// Register a standing subscription (requires HELLO; owned by the
+    /// session, torn down with it).
+    Subscribe {
+        /// The query to maintain incrementally. `ORDER BY`/`LIMIT` specs
+        /// are rejected — standing views are unordered.
+        spec: QuerySpec,
+        /// Registration options.
+        opts: WireSubscribeOptions,
+    },
+    /// Tear down a subscription this session owns.
+    Unsubscribe {
+        /// Subscription id (from `SubAck`).
+        sub: u64,
+    },
+    /// Advance a subscription: fold pending changelog records through its
+    /// circuit and stream the resulting delta. Deltas flow only in answer
+    /// to POLL — the same client-driven discipline as FETCH credits — so a
+    /// stalled subscriber has at most one encoded delta page outstanding.
+    Poll {
+        /// Subscription id.
+        sub: u64,
+        /// Changelog-record budget for this poll (0 = drain everything);
+        /// leftover records are reported as `lag` in `SubDone`.
+        max_records: u32,
+    },
+    /// Append rows to a base table (requires HELLO), feeding every
+    /// standing subscription through the service changelog.
+    Append {
+        /// Target table name.
+        table: String,
+        /// Rows to append; arity-checked server-side.
+        rows: Vec<Row>,
+    },
 }
 
 /// Server → client messages.
@@ -246,6 +309,37 @@ pub enum ServerMsg {
         /// first returned event (reader fell behind the ring).
         gap: u64,
     },
+    /// Subscription registered.
+    SubAck {
+        /// Service-wide subscription id.
+        sub: u64,
+    },
+    /// One page of a subscription's delta. A single POLL may be answered
+    /// by several DELTA frames (each bounded by the page-row/frame-size
+    /// limits), terminated by `SubDone`; the inserted/retracted splits of
+    /// the frames in one poll concatenate into the full delta packet.
+    Delta {
+        /// Owning subscription id.
+        sub: u64,
+        /// One past the last changelog epoch folded into the view.
+        epoch: u64,
+        /// Rows the subscriber must add to its copy of the view.
+        inserted: Vec<Row>,
+        /// Rows the subscriber must remove from its copy of the view.
+        retracted: Vec<Row>,
+    },
+    /// A poll (or unsubscribe) finished.
+    SubDone {
+        /// Owning subscription id.
+        sub: u64,
+        /// Changelog records still unfolded (0 after an unbounded poll).
+        lag: u64,
+    },
+    /// Rows appended and published to the changelog.
+    AppendAck {
+        /// Changelog length after the append (one past the last record).
+        epoch: u64,
+    },
 }
 
 impl ClientMsg {
@@ -292,6 +386,33 @@ impl ClientMsg {
                 w.u32(*max);
                 T_EVENTS
             }
+            ClientMsg::Subscribe { spec, opts } => {
+                wire::put_query_spec(&mut w, spec)?;
+                match opts.priority {
+                    Some(p) => {
+                        w.u8(1);
+                        w.u8(p);
+                    }
+                    None => w.u8(0),
+                }
+                w.opt_f64(opts.reservation);
+                w.opt_f64(opts.deadline);
+                T_SUBSCRIBE
+            }
+            ClientMsg::Unsubscribe { sub } => {
+                w.u64(*sub);
+                T_UNSUBSCRIBE
+            }
+            ClientMsg::Poll { sub, max_records } => {
+                w.u64(*sub);
+                w.u32(*max_records);
+                T_POLL
+            }
+            ClientMsg::Append { table, rows } => {
+                w.str(table)?;
+                wire::put_rows(&mut w, rows)?;
+                T_APPEND
+            }
         };
         Ok((tag, w.into_bytes()))
     }
@@ -319,6 +440,19 @@ impl ClientMsg {
             T_STATS => ClientMsg::Stats,
             T_INSPECT => ClientMsg::Inspect { query: r.u64()? },
             T_EVENTS => ClientMsg::Events { cursor: r.u64()?, max: r.u32()? },
+            T_SUBSCRIBE => {
+                let spec = wire::get_query_spec(&mut r)?;
+                let priority = if r.bool()? { Some(r.u8()?) } else { None };
+                let reservation = r.opt_f64()?;
+                let deadline = r.opt_f64()?;
+                ClientMsg::Subscribe {
+                    spec,
+                    opts: WireSubscribeOptions { priority, reservation, deadline },
+                }
+            }
+            T_UNSUBSCRIBE => ClientMsg::Unsubscribe { sub: r.u64()? },
+            T_POLL => ClientMsg::Poll { sub: r.u64()?, max_records: r.u32()? },
+            T_APPEND => ClientMsg::Append { table: r.str()?, rows: wire::get_rows(&mut r)? },
             t => return Err(FrameError::Malformed(format!("unknown client message type {t}"))),
         };
         r.finish()?;
@@ -376,6 +510,26 @@ impl ServerMsg {
                 w.u64(*gap);
                 T_EVENTS_REPLY
             }
+            ServerMsg::SubAck { sub } => {
+                w.u64(*sub);
+                T_SUB_ACK
+            }
+            ServerMsg::Delta { sub, epoch, inserted, retracted } => {
+                w.u64(*sub);
+                w.u64(*epoch);
+                wire::put_rows(&mut w, inserted)?;
+                wire::put_rows(&mut w, retracted)?;
+                T_DELTA
+            }
+            ServerMsg::SubDone { sub, lag } => {
+                w.u64(*sub);
+                w.u64(*lag);
+                T_SUB_DONE
+            }
+            ServerMsg::AppendAck { epoch } => {
+                w.u64(*epoch);
+                T_APPEND_ACK
+            }
         };
         Ok((tag, w.into_bytes()))
     }
@@ -413,6 +567,15 @@ impl ServerMsg {
                 next_cursor: r.u64()?,
                 gap: r.u64()?,
             },
+            T_SUB_ACK => ServerMsg::SubAck { sub: r.u64()? },
+            T_DELTA => ServerMsg::Delta {
+                sub: r.u64()?,
+                epoch: r.u64()?,
+                inserted: wire::get_rows(&mut r)?,
+                retracted: wire::get_rows(&mut r)?,
+            },
+            T_SUB_DONE => ServerMsg::SubDone { sub: r.u64()?, lag: r.u64()? },
+            T_APPEND_ACK => ServerMsg::AppendAck { epoch: r.u64()? },
             t => return Err(FrameError::Malformed(format!("unknown server message type {t}"))),
         };
         r.finish()?;
@@ -454,6 +617,20 @@ mod tests {
             ClientMsg::Stats,
             ClientMsg::Inspect { query: 12 },
             ClientMsg::Events { cursor: 1000, max: 256 },
+            ClientMsg::Subscribe {
+                spec: QuerySpec::new().table("t").filter("t", col("t.a").gt(lit(3i64))),
+                opts: WireSubscribeOptions {
+                    priority: Some(2),
+                    reservation: Some(64.0),
+                    deadline: None,
+                },
+            },
+            ClientMsg::Unsubscribe { sub: 17 },
+            ClientMsg::Poll { sub: 17, max_records: 128 },
+            ClientMsg::Append {
+                table: "t".into(),
+                rows: vec![vec![rqp_common::Value::Int(5), rqp_common::Value::Null]],
+            },
         ];
         for m in msgs {
             let (tag, payload) = m.encode().unwrap();
@@ -483,6 +660,24 @@ mod tests {
                     ClientMsg::Events { cursor: a, max: ma },
                     ClientMsg::Events { cursor: b, max: mb },
                 ) => assert_eq!((a, ma), (b, mb)),
+                (
+                    ClientMsg::Subscribe { spec: a, opts: oa },
+                    ClientMsg::Subscribe { spec: b, opts: ob },
+                ) => {
+                    assert_eq!(a.cache_key(), b.cache_key());
+                    assert_eq!(oa, ob);
+                }
+                (ClientMsg::Unsubscribe { sub: a }, ClientMsg::Unsubscribe { sub: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    ClientMsg::Poll { sub: a, max_records: ma },
+                    ClientMsg::Poll { sub: b, max_records: mb },
+                ) => assert_eq!((a, ma), (b, mb)),
+                (
+                    ClientMsg::Append { table: a, rows: ra },
+                    ClientMsg::Append { table: b, rows: rb },
+                ) => assert_eq!((a, ra), (b, rb)),
                 (sent, got) => panic!("variant changed in round trip: {sent:?} -> {got:?}"),
             }
         }
@@ -537,6 +732,15 @@ mod tests {
                 next_cursor: 6,
                 gap: 2,
             },
+            ServerMsg::SubAck { sub: 17 },
+            ServerMsg::Delta {
+                sub: 17,
+                epoch: 42,
+                inserted: vec![vec![rqp_common::Value::Int(7)]],
+                retracted: vec![vec![rqp_common::Value::Int(3)], vec![rqp_common::Value::Null]],
+            },
+            ServerMsg::SubDone { sub: 17, lag: 5 },
+            ServerMsg::AppendAck { epoch: 43 },
         ];
         for m in msgs {
             let (tag, payload) = m.encode().unwrap();
@@ -553,6 +757,12 @@ mod tests {
         let (tag, mut payload) = ClientMsg::Cancel { query: 1 }.encode().unwrap();
         payload.push(0);
         assert!(ClientMsg::decode(&frame(tag, payload)).is_err(), "trailing byte accepted");
+        let (tag, mut payload) = ClientMsg::Poll { sub: 1, max_records: 0 }.encode().unwrap();
+        payload.push(0);
+        assert!(ClientMsg::decode(&frame(tag, payload)).is_err(), "trailing byte accepted");
+        let (tag, mut payload) = ServerMsg::SubDone { sub: 1, lag: 0 }.encode().unwrap();
+        payload.push(0);
+        assert!(ServerMsg::decode(&frame(tag, payload)).is_err(), "trailing byte accepted");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::frame::{read_frame, write_frame, FrameError, MAX_PAYLOAD};
 use crate::proto::{ClientMsg, RemoteFailure, ServerMsg};
-use rqp_common::{CancelToken, CostClock, RqpError};
+use rqp_common::{CancelToken, CostClock, Row, RqpError};
 use rqp_server::{QueryPhase, QueryService, Session};
 use rqp_telemetry::{SpanSnapshot, TraceTree};
 use std::collections::HashMap;
@@ -320,7 +320,6 @@ fn serve_connection(
                 if session.is_some() {
                     stats.lock().expect("stats lock").protocol_errors += 1;
                     shared.svc.metrics().counter("wire.protocol_errors").inc();
-                shared.svc.metrics().counter("wire.protocol_errors").inc();
                     let e = RqpError::Protocol("duplicate HELLO".into());
                     let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
                     break;
@@ -333,7 +332,6 @@ fn serve_connection(
                 let Some(s) = session.as_ref() else {
                     stats.lock().expect("stats lock").protocol_errors += 1;
                     shared.svc.metrics().counter("wire.protocol_errors").inc();
-                shared.svc.metrics().counter("wire.protocol_errors").inc();
                     let e = RqpError::Protocol("SUBMIT before HELLO".into());
                     let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
                     break;
@@ -415,6 +413,81 @@ fn serve_connection(
                     },
                 );
             }
+            ClientMsg::Subscribe { spec, opts } => {
+                let Some(s) = session.as_ref() else {
+                    stats.lock().expect("stats lock").protocol_errors += 1;
+                    shared.svc.metrics().counter("wire.protocol_errors").inc();
+                    let e = RqpError::Protocol("SUBSCRIBE before HELLO".into());
+                    let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
+                    break;
+                };
+                // Registration (including the initial view load) runs inline
+                // on the reader thread: it goes through the same admission
+                // gate as a query, and the connection cannot meaningfully
+                // proceed until it knows the subscription id anyway.
+                match s.subscribe(&spec, opts.into()) {
+                    Ok(sub) => {
+                        let _ = send(&writer, &ServerMsg::SubAck { sub });
+                    }
+                    Err(e) => {
+                        let _ =
+                            send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
+                    }
+                }
+            }
+            ClientMsg::Unsubscribe { sub } => {
+                match owned_subscription(&shared, &session, sub) {
+                    Ok(()) => {
+                        shared.svc.unsubscribe(sub);
+                        let _ = send(&writer, &ServerMsg::SubDone { sub, lag: 0 });
+                    }
+                    Err(e) => {
+                        let _ =
+                            send(&writer, &ServerMsg::Error { query: sub, failure: failure_of(&e) });
+                    }
+                }
+            }
+            ClientMsg::Poll { sub, max_records } => {
+                // Strictly client-driven delta delivery: the poll is answered
+                // inline with zero or more DELTA frames and a terminal
+                // SUB_DONE carrying the remaining changelog lag. A stalled
+                // subscriber therefore pins nothing server-side between
+                // polls — deltas live in its circuit until it asks.
+                let res = owned_subscription(&shared, &session, sub)
+                    .and_then(|()| shared.svc.poll_subscription(sub, max_records as usize));
+                match res {
+                    Ok((packet, lag)) => stream_delta(
+                        &writer,
+                        sub,
+                        packet.epoch,
+                        &packet.inserted,
+                        &packet.retracted,
+                        lag,
+                    ),
+                    Err(e) => {
+                        let _ =
+                            send(&writer, &ServerMsg::Error { query: sub, failure: failure_of(&e) });
+                    }
+                }
+            }
+            ClientMsg::Append { table, rows } => {
+                if session.is_none() {
+                    stats.lock().expect("stats lock").protocol_errors += 1;
+                    shared.svc.metrics().counter("wire.protocol_errors").inc();
+                    let e = RqpError::Protocol("APPEND before HELLO".into());
+                    let _ = send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
+                    break;
+                }
+                match shared.svc.append_rows(&table, rows) {
+                    Ok(epoch) => {
+                        let _ = send(&writer, &ServerMsg::AppendAck { epoch });
+                    }
+                    Err(e) => {
+                        let _ =
+                            send(&writer, &ServerMsg::Error { query: 0, failure: failure_of(&e) });
+                    }
+                }
+            }
         }
     }
 
@@ -441,11 +514,105 @@ fn serve_connection(
         st.disconnected_queries += disconnected;
         st.recovered_queries += recovered;
     }
+    // Standing subscriptions die with their connection — clean or abrupt.
+    // unsubscribe_session releases every broker grant, so a disconnected
+    // subscriber pins zero pages and reserves zero workspace afterwards.
+    let torn_down = match session.as_ref() {
+        Some(s) => shared.svc.unsubscribe_session(s.id()) as u64,
+        None => 0,
+    };
     let m = shared.svc.metrics();
     m.counter("wire.connections.closed").inc();
     m.counter("wire.queries.disconnected").add(disconnected);
     m.counter("wire.queries.recovered").add(recovered);
+    m.counter("wire.subs.torn_down").add(torn_down);
     span.close(&shared.clock);
+}
+
+/// Whether `sub` exists and belongs to this connection's session. Polls
+/// and unsubscribes legitimately race subscription teardown (deadline,
+/// server shutdown), so an unknown id is a typed error on the frame,
+/// never a connection break.
+fn owned_subscription(
+    shared: &ServerShared,
+    session: &Option<Session>,
+    sub: u64,
+) -> rqp_common::Result<()> {
+    let Some(s) = session.as_ref() else {
+        return Err(RqpError::Protocol("subscription frame before HELLO".into()));
+    };
+    match shared.svc.subscriptions().get(sub) {
+        Some(live) if live.session() == s.id() => Ok(()),
+        Some(_) => {
+            Err(RqpError::Invalid(format!("subscription {sub} belongs to another session")))
+        }
+        None => Err(RqpError::Invalid(format!("unknown subscription {sub}"))),
+    }
+}
+
+/// Send one delta packet as chunked DELTA frames terminated by SUB_DONE.
+/// Inserted rows fill each frame first, then retracted ones; the page size
+/// adapts downward when wide rows push the encoded size past the frame
+/// limit, mirroring `stream_rows`. An empty packet sends only the
+/// SUB_DONE, so a quiescent poll costs one small frame each way — and
+/// because delivery is strictly poll-driven, at most one encoded delta
+/// page exists per subscription at any instant.
+fn stream_delta(
+    writer: &Mutex<TcpStream>,
+    sub: u64,
+    epoch: u64,
+    inserted: &[Row],
+    retracted: &[Row],
+    lag: u64,
+) {
+    let (mut ins, mut ret) = (0, 0);
+    let mut page_rows = PAGE_ROWS;
+    while ins < inserted.len() || ret < retracted.len() {
+        let mut ni = page_rows.min(inserted.len() - ins);
+        let mut nr = page_rows.saturating_sub(ni).min(retracted.len() - ret);
+        let (tag, payload) = loop {
+            let msg = ServerMsg::Delta {
+                sub,
+                epoch,
+                inserted: inserted[ins..ins + ni].to_vec(),
+                retracted: retracted[ret..ret + nr].to_vec(),
+            };
+            match msg.encode() {
+                Ok((tag, payload)) if payload.len() <= MAX_PAYLOAD as usize => {
+                    break (tag, payload)
+                }
+                Ok(_) if ni + nr > 1 => {
+                    page_rows = ((ni + nr) / 2).max(1);
+                    ni = page_rows.min(inserted.len() - ins);
+                    nr = page_rows.saturating_sub(ni).min(retracted.len() - ret);
+                }
+                Ok(_) => {
+                    let e = RqpError::Protocol(format!(
+                        "delta row of subscription {sub} exceeds the {MAX_PAYLOAD}-byte frame limit"
+                    ));
+                    let _ = send(writer, &ServerMsg::Error { query: sub, failure: failure_of(&e) });
+                    return;
+                }
+                Err(e) => {
+                    let _ =
+                        send(writer, &ServerMsg::Error { query: sub, failure: failure_of(&e.into()) });
+                    return;
+                }
+            }
+        };
+        let res = {
+            let mut w = writer.lock().expect("writer lock");
+            write_frame(&mut *w, tag, &payload)
+        };
+        if res.is_err() {
+            let e = RqpError::Protocol(format!("failed to deliver a delta of subscription {sub}"));
+            let _ = send(writer, &ServerMsg::Error { query: sub, failure: failure_of(&e) });
+            return;
+        }
+        ins += ni;
+        ret += nr;
+    }
+    let _ = send(writer, &ServerMsg::SubDone { sub, lag });
 }
 
 /// Cap a rendered span tree so the INSPECT_REPLY payload always encodes

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod service;
 pub mod session;
 pub mod stats;
+pub mod subs;
 
 pub use admission::{AdmissionController, AdmissionPermit};
 pub use broker::MemoryBroker;
@@ -51,6 +52,7 @@ pub use cache::PlanCache;
 pub use service::{CompletedQuery, QueryService, QueryStatus, ServiceConfig, ServiceReport};
 pub use session::{QueryHandle, QueryOptions, QueryOutcome, Session};
 pub use stats::{LiveQueryStats, QueryPhase, ServiceStats};
+pub use subs::{SubscribeOptions, Subscription, SubscriptionRegistry};
 
 #[cfg(test)]
 mod tests {

@@ -6,19 +6,21 @@ use crate::broker::MemoryBroker;
 use crate::cache::PlanCache;
 use crate::session::{QueryOptions, QueryOutcome, Session};
 use crate::stats::ServiceStats;
+use crate::subs::{SubscribeOptions, Subscription, SubscriptionRegistry};
 use rqp_common::chaos::{install_quiet_panic_hook, ChaosPolicy};
-use rqp_common::{CancelToken, CostClock, Result, RqpError};
+use rqp_common::{CancelToken, CostClock, Result, Row, RqpError};
 use rqp_exec::{ExecContext, MemoryGovernor};
 use rqp_opt::{plan, PlannerConfig, QuerySpec};
 use rqp_stats::{FeedbackEstimator, FeedbackRepo, StatsEstimator, TableStatsRegistry};
-use rqp_storage::{Catalog, CatalogSnapshot};
+use rqp_storage::{Catalog, CatalogSnapshot, Changelog};
+use rqp_stream::{DeltaPacket, ViewCircuit};
 use rqp_telemetry::{MetricsRegistry, Tracer};
 use rqp_workload::{Job, WorkloadManager};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Service-wide configuration.
 #[derive(Debug, Clone)]
@@ -144,7 +146,15 @@ pub struct ServiceReport {
 
 pub(crate) struct ServiceInner {
     pub(crate) config: ServiceConfig,
-    pub(crate) snapshot: CatalogSnapshot,
+    /// The serving catalog. Reads (query planning/execution, subscription
+    /// registration) take the read lock; [`QueryService::append_rows`]
+    /// takes the write lock, so a subscription's initial load and its
+    /// changelog cursor are captured atomically with respect to appends.
+    pub(crate) snapshot: RwLock<CatalogSnapshot>,
+    /// Epoch-sequenced mutation feed, attached to every snapshot table.
+    pub(crate) changelog: Arc<Changelog>,
+    /// Live standing subscriptions.
+    pub(crate) subs: SubscriptionRegistry,
     pub(crate) stats: TableStatsRegistry,
     pub(crate) admission: AdmissionController,
     pub(crate) broker: MemoryBroker,
@@ -206,6 +216,10 @@ pub struct QueryService {
 }
 
 impl QueryService {
+    pub(crate) fn from_inner(inner: Arc<ServiceInner>) -> Self {
+        QueryService { inner }
+    }
+
     /// Stand up a service over `catalog` (snapshotted and analyzed here).
     pub fn new(catalog: &Catalog, config: ServiceConfig) -> Self {
         let snapshot = catalog.snapshot();
@@ -222,7 +236,14 @@ impl QueryService {
             snapshot.attach_pool(&pool);
             broker = broker.with_page_pool(pool, pages);
         }
+        // Every table publishes mutations into one service changelog, the
+        // total order standing subscriptions replay.
+        let changelog = Arc::new(Changelog::new());
+        snapshot.attach_changelog(&changelog);
         let inner = ServiceInner {
+            snapshot: RwLock::new(snapshot),
+            changelog,
+            subs: SubscriptionRegistry::new(),
             admission: AdmissionController::new(config.mpl),
             broker,
             live,
@@ -234,7 +255,6 @@ impl QueryService {
             next_query: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             completions: Mutex::new(Vec::new()),
-            snapshot,
             stats,
             config,
         };
@@ -310,6 +330,232 @@ impl QueryService {
             m.gauge("server.pager.io_retries").set(s.io_retries as f64);
             m.gauge("server.pager.hit_rate").set(s.hit_rate());
         }
+        m.gauge("server.subs.count").set(inner.subs.count() as f64);
+        m.gauge("server.subs.deltas").set(inner.subs.total_deltas() as f64);
+        m.gauge("server.subs.max_lag").set(inner.subs.max_lag(inner.changelog.len()) as f64);
+    }
+
+    /// The service's epoch-sequenced mutation feed.
+    pub fn changelog(&self) -> &Arc<Changelog> {
+        &self.inner.changelog
+    }
+
+    /// The live subscription registry.
+    pub fn subscriptions(&self) -> &SubscriptionRegistry {
+        &self.inner.subs
+    }
+
+    /// Append `rows` to `table` under the catalog write lock, publishing
+    /// each row to the changelog. Returns the changelog length after the
+    /// append (the epoch one past the last published record). Running
+    /// queries keep their frozen table handles (snapshot isolation);
+    /// queries planned after this call see the new rows, and standing
+    /// subscriptions pick them up at their next poll.
+    pub fn append_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let inner = &self.inner;
+        let count = rows.len();
+        let mut guard = inner.snapshot.write().expect("snapshot lock");
+        let t = guard.table_mut(table)?;
+        let arity = t.schema().fields().len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != arity) {
+            return Err(RqpError::Invalid(format!(
+                "append to '{table}': row arity {} != table arity {arity}",
+                bad.len()
+            )));
+        }
+        for row in rows {
+            t.append(row);
+        }
+        let epoch = inner.changelog.len();
+        drop(guard);
+        inner.metrics.counter("server.appends.rows").add(count as u64);
+        inner.live.publish(0, "table.append", &format!("{table} +{count} epoch {epoch}"));
+        Ok(epoch)
+    }
+
+    /// Register a standing subscription for `spec` on behalf of `session`
+    /// (0 for service-local subscribers): compile the delta circuit, fold
+    /// in the current table contents (under an admission permit — the
+    /// initial load is a scan and competes like any query), capture the
+    /// changelog cursor atomically with that load, and fund the circuit's
+    /// maintained state from the memory broker. Returns the subscription
+    /// id, drawn from the query-id sequence.
+    pub fn subscribe_for(
+        &self,
+        session: u64,
+        priority: u8,
+        spec: &QuerySpec,
+        opts: SubscribeOptions,
+    ) -> Result<u64> {
+        let inner = &self.inner;
+        let id = inner.next_query_id();
+        let priority = opts.priority.unwrap_or(priority);
+        let cancel = CancelToken::new();
+        if let Some(d) = opts.deadline {
+            cancel.set_deadline(d);
+        }
+        let permit = inner.admission.admit(priority, &cancel)?;
+        let want = opts.reservation.unwrap_or(inner.config.default_reservation);
+        let gov = inner.broker.admit(id, want);
+        let clock = CostClock::default_clock();
+        let loaded = (|| {
+            let guard = inner.snapshot.read().expect("snapshot lock");
+            let catalog = guard.to_catalog();
+            let mut circuit = ViewCircuit::compile(spec, &catalog)?;
+            circuit.load_initial(&catalog, &clock)?;
+            // The read lock excludes appends, so the cursor is exactly the
+            // epoch of the state the circuit just absorbed.
+            circuit.set_cursor(inner.changelog.len());
+            Ok(circuit)
+        })();
+        drop(permit);
+        let circuit = match loaded {
+            Ok(c) => c,
+            Err(e) => {
+                inner.broker.complete(id);
+                return Err(e);
+            }
+        };
+        gov.grant(circuit.view_rows() as f64);
+        let cursor = circuit.cursor();
+        let view_rows = circuit.view_rows();
+        inner.subs.insert(Arc::new(Subscription {
+            id,
+            session,
+            priority,
+            circuit: Mutex::new(circuit),
+            clock,
+            gov,
+            cancel,
+            deltas: AtomicU64::new(0),
+            packets: AtomicU64::new(0),
+        }));
+        inner.metrics.counter("server.subs.registered").inc();
+        inner.live.publish(
+            id,
+            "sub.register",
+            &format!("s{session} prio {priority} cursor {cursor} view {view_rows}"),
+        );
+        Ok(id)
+    }
+
+    /// [`subscribe_for`](Self::subscribe_for) with no owning session and
+    /// default priority 1 — the in-process subscriber entry point.
+    pub fn subscribe(&self, spec: &QuerySpec, opts: SubscribeOptions) -> Result<u64> {
+        self.subscribe_for(0, 1, spec, opts)
+    }
+
+    /// Tear down subscription `id`: remove it from the registry, return
+    /// its broker grant, and cancel its token. Returns `false` if the id
+    /// is not a live subscription. After this returns the service holds
+    /// nothing for the subscription — no registry entry, no reservation,
+    /// no pins.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let inner = &self.inner;
+        let Some(sub) = inner.subs.remove(id) else { return false };
+        inner.broker.complete(id);
+        sub.cancel.cancel();
+        inner.metrics.counter("server.subs.unregistered").inc();
+        inner.live.publish(
+            id,
+            "sub.unregister",
+            &format!("deltas {} cost {:.0}", sub.delta_rows(), sub.cost()),
+        );
+        true
+    }
+
+    /// Tear down every subscription owned by `session` (wire disconnect).
+    pub fn unsubscribe_session(&self, session: u64) -> usize {
+        let ids = self.inner.subs.ids_of_session(session);
+        ids.iter().filter(|&&id| self.unsubscribe(id)).count()
+    }
+
+    /// Tear down every live subscription (service shutdown).
+    pub fn shutdown_subscriptions(&self) -> usize {
+        let ids = self.inner.subs.ids();
+        ids.iter().filter(|&&id| self.unsubscribe(id)).count()
+    }
+
+    /// Advance subscription `id`: drain up to `max_records` changelog
+    /// records (0 = all) through its circuit and return the resulting
+    /// delta packet plus the lag (records still unfolded) left behind.
+    ///
+    /// Propagation shares the MPL gate: the poll takes an admission permit
+    /// at the subscription's priority, so delta storms and ad-hoc queries
+    /// arbitrate through the same gate. Costs charge the subscription's
+    /// clock (and chaos inflates them with retry charges — deltas degrade
+    /// in latency, never get dropped). A cancelled or deadline-exhausted
+    /// subscription is torn down here and the typed error returned.
+    pub fn poll_subscription(&self, id: u64, max_records: usize) -> Result<(DeltaPacket, u64)> {
+        let inner = &self.inner;
+        let sub = inner
+            .subs
+            .get(id)
+            .ok_or_else(|| RqpError::Invalid(format!("unknown subscription {id}")))?;
+        let teardown = |e: RqpError| {
+            self.unsubscribe(id);
+            Err(e)
+        };
+        if let Some(e) = sub.cancel.poll(sub.clock.now()) {
+            return teardown(e);
+        }
+        let permit = match inner.admission.admit(sub.priority, &sub.cancel) {
+            Ok(p) => p,
+            Err(e) => return teardown(e),
+        };
+        let mut circuit = sub.circuit.lock().expect("circuit lock");
+        let (recs, _) = inner.changelog.since(circuit.cursor());
+        let take = if max_records == 0 { recs.len() } else { recs.len().min(max_records) };
+        let chaos = ChaosPolicy::from_env();
+        if chaos.is_enabled() {
+            // Chaos never drops a delta; transient faults surface as retry
+            // charges that inflate this subscription's propagation latency.
+            for rec in &recs[..take] {
+                let mut attempt = 0;
+                while attempt < chaos.scan_max_retries()
+                    && chaos.scan_fault(&rec.table, rec.epoch, attempt)
+                {
+                    sub.clock.charge_random_pages(1.0);
+                    attempt += 1;
+                }
+            }
+        }
+        let packet = circuit.apply(&recs[..take], &sub.clock);
+        // Renegotiate the broker grant to the maintained state's new size.
+        let held = sub.gov.outstanding();
+        let want = circuit.view_rows() as f64;
+        if want > held {
+            sub.gov.grant(want - held);
+        } else {
+            sub.gov.release(held - want);
+        }
+        let lag = inner.changelog.len().saturating_sub(circuit.cursor());
+        drop(circuit);
+        drop(permit);
+        if !packet.is_empty() {
+            sub.deltas.fetch_add(packet.delta_rows() as u64, Ordering::Relaxed);
+            sub.packets.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.counter("server.subs.delta_rows").add(packet.delta_rows() as u64);
+            inner.live.publish(
+                id,
+                "sub.delta",
+                &format!(
+                    "epoch {} +{} -{} lag {lag}",
+                    packet.epoch,
+                    packet.inserted.len(),
+                    packet.retracted.len()
+                ),
+            );
+        }
+        if lag > 0 {
+            inner.live.publish(id, "sub.lag", &format!("{lag} records behind"));
+        }
+        if let Some(e) = sub.cancel.poll(sub.clock.now()) {
+            // The poll itself charged past the deadline: tear down now so
+            // no grant outlives the budget.
+            return teardown(e);
+        }
+        Ok((packet, lag))
     }
 
     /// The brokered buffer pool, when [`ServiceConfig::page_budget`] is set.
@@ -564,7 +810,7 @@ fn execute(
         Arc::clone(&ctx.memory),
         ctx.tracer.clone(),
     );
-    let catalog = svc.snapshot.to_catalog();
+    let catalog = svc.snapshot.read().expect("snapshot lock").to_catalog();
     let key = spec.cache_key();
     let (phys, plan_cached) = match svc.plan_cache.lookup(&key) {
         Some(p) => (p, true),

@@ -1,6 +1,7 @@
 //! Sessions and query handles: the client-facing API of the service.
 
-use crate::service::{run_query, ServiceInner};
+use crate::service::{run_query, QueryService, ServiceInner};
+use crate::subs::SubscribeOptions;
 use rqp_common::{CancelToken, Result, Row};
 use rqp_opt::QuerySpec;
 use std::sync::Arc;
@@ -121,6 +122,16 @@ impl Session {
             .spawn(move || run_query(inner, session, query, priority, spec, opts, token))
             .expect("spawn query thread");
         QueryHandle { query, cancel, thread }
+    }
+
+    /// Register a standing subscription owned by this session, at the
+    /// session's priority unless the options override it. Tearing down the
+    /// session's subscriptions on disconnect is the owner's job
+    /// ([`QueryService::unsubscribe_session`]
+    /// (crate::QueryService::unsubscribe_session)).
+    pub fn subscribe(&self, spec: &QuerySpec, opts: SubscribeOptions) -> Result<u64> {
+        QueryService::from_inner(Arc::clone(&self.inner))
+            .subscribe_for(self.id, self.priority, spec, opts)
     }
 }
 

@@ -232,6 +232,18 @@ impl Catalog {
         }
     }
 
+    /// Attach (or replace) `log` on every registered table, so all mutations
+    /// publish into one epoch-sequenced
+    /// [`Changelog`](crate::changelog::Changelog) — the total order a
+    /// multi-table subscription circuit replays. Same caveat as
+    /// [`attach_pool`](Self::attach_pool): tables registered later are not
+    /// wired.
+    pub fn attach_changelog(&self, log: &Arc<crate::changelog::Changelog>) {
+        for t in self.tables.values() {
+            t.attach_changelog(log);
+        }
+    }
+
     /// A `Send + Sync` snapshot of the shareable half of the catalog: table,
     /// B-tree and composite-index handles, in sorted name order.
     ///
@@ -287,6 +299,30 @@ impl CatalogSnapshot {
         self.tables.len()
     }
 
+    /// Shared handle to a table in the snapshot.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .cloned()
+            .ok_or_else(|| RqpError::TableNotFound(name.to_owned()))
+    }
+
+    /// Mutable access to a table in the snapshot, copying on write when
+    /// other handles are live — the same snapshot isolation as
+    /// [`Catalog::table_mut`]. Because the table's attached pool and
+    /// changelog are shared `Arc`s, the copy keeps publishing to the same
+    /// feed; catalogs rebuilt from this snapshot *after* the write see the
+    /// new rows, ones rebuilt before keep their frozen view.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let rc = self
+            .tables
+            .iter_mut()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| RqpError::TableNotFound(name.to_owned()))?;
+        Ok(Arc::make_mut(rc))
+    }
+
     /// Attach (or replace) `pool` on every table handle in the snapshot.
     /// Because [`to_catalog`](Self::to_catalog) copies handles rather than
     /// data, every thread-local catalog rebuilt from this snapshot shares
@@ -294,6 +330,14 @@ impl CatalogSnapshot {
     pub fn attach_pool(&self, pool: &Arc<crate::pool::BufferPool>) {
         for t in &self.tables {
             t.attach_pool(pool);
+        }
+    }
+
+    /// Attach (or replace) `log` on every table handle in the snapshot; all
+    /// thread-local catalogs rebuilt from this snapshot share the feed.
+    pub fn attach_changelog(&self, log: &Arc<crate::changelog::Changelog>) {
+        for t in &self.tables {
+            t.attach_changelog(log);
         }
     }
 }

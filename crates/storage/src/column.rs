@@ -81,6 +81,17 @@ impl ColumnData {
         }
     }
 
+    /// Remove and return the value at row `i`, shifting later rows up
+    /// (panics if out of bounds). O(n) — deletes are a changelog-visible
+    /// maintenance path, not a scan-speed path.
+    pub fn remove(&mut self, i: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v.remove(i)),
+            ColumnData::Float(v) => Value::Float(v.remove(i)),
+            ColumnData::Str(v) => Value::Str(v.remove(i)),
+        }
+    }
+
     /// Minimum value, or `None` if empty.
     pub fn min(&self) -> Option<Value> {
         match self {

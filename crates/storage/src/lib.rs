@@ -32,6 +32,7 @@
 
 pub mod amerge;
 pub mod catalog;
+pub mod changelog;
 pub mod column;
 pub mod crack;
 pub mod index;
@@ -42,6 +43,7 @@ pub mod table;
 
 pub use amerge::AdaptiveMergeIndex;
 pub use catalog::{Catalog, CatalogSnapshot};
+pub use changelog::{ChangeOp, ChangeRecord, Changelog};
 pub use column::ColumnData;
 pub use crack::CrackerColumn;
 pub use index::BTreeIndex;

@@ -80,6 +80,9 @@ pub struct PagerStats {
     pub evictions: u64,
     /// Injected page-I/O faults retried (each charged one random page).
     pub io_retries: u64,
+    /// Frames dropped by targeted invalidation (an append mutated the
+    /// page); not evictions — the table's epoch is deliberately untouched.
+    pub invalidations: u64,
 }
 
 impl PagerStats {
@@ -119,6 +122,7 @@ pub struct BufferPool {
     refaults: AtomicU64,
     evictions: AtomicU64,
     io_retries: AtomicU64,
+    invalidations: AtomicU64,
     /// Budget epoch: bumped on every shrink, like the memory governor's
     /// pressure epoch, so consumers can renegotiate mid-drain.
     epoch: AtomicU64,
@@ -142,6 +146,7 @@ impl BufferPool {
             refaults: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             io_retries: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
         })
     }
@@ -271,6 +276,34 @@ impl BufferPool {
             refaults: self.refaults.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop the resident frame for one page of one table because the page's
+    /// content changed (an append landed in it). This is *not* an eviction:
+    /// the table's eviction epoch is untouched (the memoized `StrEncoding`
+    /// extends itself incrementally and must not see a spurious epoch bump),
+    /// no eviction is counted, and every other frame — including unrelated
+    /// tables' cold pages — keeps its place in the clock ring. The page
+    /// stays in `ever_loaded`, so the next pin charges an honest re-fault
+    /// for re-reading the mutated page. A pinned frame is left alone (the
+    /// reader keeps its snapshot); returns whether a frame was dropped.
+    pub fn invalidate_page(&self, table_key: u64, page: u64) -> bool {
+        let key = PageKey { table: table_key, page };
+        let mut inner = self.inner.lock().unwrap();
+        match inner.frames.get(&key) {
+            Some(frame) if frame.pins == 0 => {
+                inner.frames.remove(&key);
+                let pos = inner.ring.iter().position(|k| *k == key).expect("ring in sync");
+                inner.ring.remove(pos);
+                if pos < inner.hand {
+                    inner.hand -= 1;
+                }
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -479,6 +512,41 @@ mod tests {
         }
         assert!(retried > 0, "40% fault rate must retry somewhere");
         assert_eq!(pool.stats().io_retries as u32, retried);
+    }
+
+    #[test]
+    fn invalidate_page_drops_one_frame_without_epoch_or_eviction() {
+        let pool = BufferPool::new(4);
+        let clock = CostClock::default_clock();
+        let off = ChaosPolicy::off();
+        let tk = ChaosPolicy::table_key("t");
+        for p in 0..3 {
+            drop(pool.pin("t", p, &clock, &off).unwrap());
+        }
+        // Dropping a resident unpinned frame: counted as an invalidation,
+        // not an eviction, and the table epoch holds.
+        assert!(pool.invalidate_page(tk, 1));
+        let s = pool.stats();
+        assert_eq!((s.invalidations, s.evictions), (1, 0));
+        assert_eq!(pool.evict_epoch(tk), 0);
+        assert_eq!(pool.resident(), 2);
+        // Not resident (already dropped, or never loaded): no-op.
+        assert!(!pool.invalidate_page(tk, 1));
+        assert!(!pool.invalidate_page(tk, 99));
+        // A pinned frame is left alone — the reader keeps its snapshot.
+        let (held, _) = pool.pin("t", 0, &clock, &off).unwrap();
+        assert!(!pool.invalidate_page(tk, 0));
+        assert_eq!(pool.resident(), 2);
+        drop(held);
+        // Re-pinning the invalidated page charges an honest re-fault.
+        let (_pin, out) = pool.pin("t", 1, &clock, &off).unwrap();
+        assert!(out.refault);
+        // The clock ring stays coherent: pressure eviction still works.
+        for p in 10..16 {
+            drop(pool.pin("t", p, &clock, &off).unwrap());
+        }
+        assert_eq!(pool.resident(), 4);
+        assert!(pool.stats().evictions > 0);
     }
 
     #[test]

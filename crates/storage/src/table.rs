@@ -1,9 +1,10 @@
 //! Tables: named collections of equal-length columns.
 
+use crate::changelog::Changelog;
 use crate::column::ColumnData;
 use crate::pool::BufferPool;
 use crate::RowId;
-use rqp_common::{ChaosPolicy, Result, Row, RqpError, Schema, Value};
+use rqp_common::{ChaosPolicy, CostModelParams, Result, Row, RqpError, Schema, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -45,6 +46,9 @@ pub struct Table {
     /// The buffer pool scans of this table pin pages through; `None` means
     /// legacy always-resident behavior.
     pager: Mutex<Option<Arc<BufferPool>>>,
+    /// The changelog mutations publish into; `None` means no subscribers.
+    /// Shared by `Arc` across copy-on-write clones, like the pager.
+    changelog: Mutex<Option<Arc<Changelog>>>,
 }
 
 impl Clone for Table {
@@ -60,6 +64,7 @@ impl Clone for Table {
                 .map(|e| Mutex::new(e.lock().unwrap().clone()))
                 .collect(),
             pager: Mutex::new(self.pager.lock().unwrap().clone()),
+            changelog: Mutex::new(self.changelog.lock().unwrap().clone()),
         }
     }
 }
@@ -73,7 +78,15 @@ impl Table {
             .map(|f| ColumnData::empty(f.dtype))
             .collect();
         let encodings = (0..columns.len()).map(|_| Mutex::new(None)).collect();
-        Table { name: name.into(), schema, columns, nrows: 0, encodings, pager: Mutex::new(None) }
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            nrows: 0,
+            encodings,
+            pager: Mutex::new(None),
+            changelog: Mutex::new(None),
+        }
     }
 
     /// Create a table directly from columns (must be equal length and match
@@ -106,7 +119,15 @@ impl Table {
             }
         }
         let encodings = (0..columns.len()).map(|_| Mutex::new(None)).collect();
-        Ok(Table { name: name.into(), schema, columns, nrows, encodings, pager: Mutex::new(None) })
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            nrows,
+            encodings,
+            pager: Mutex::new(None),
+            changelog: Mutex::new(None),
+        })
     }
 
     /// Table name.
@@ -130,6 +151,19 @@ impl Table {
     /// The attached buffer pool, if any.
     pub fn pager(&self) -> Option<Arc<BufferPool>> {
         self.pager.lock().unwrap().clone()
+    }
+
+    /// Attach (or replace) the changelog mutations publish into. Interior-
+    /// mutable so a shared `Arc<Table>` can be wired after construction;
+    /// copy-on-write clones share the same log, so writes through
+    /// `Catalog::table_mut` keep feeding subscribers holding old snapshots.
+    pub fn attach_changelog(&self, log: &Arc<Changelog>) {
+        *self.changelog.lock().unwrap() = Some(Arc::clone(log));
+    }
+
+    /// The attached changelog, if any.
+    pub fn changelog(&self) -> Option<Arc<Changelog>> {
+        self.changelog.lock().unwrap().clone()
     }
 
     /// Unqualified schema.
@@ -174,16 +208,62 @@ impl Table {
 
     /// Append one row (panics on arity/type mismatch — loading is
     /// programmatic).
+    ///
+    /// Appends are *incremental* with respect to the caches hanging off this
+    /// table: memoized [`StrEncoding`]s are left in place (they record how
+    /// many rows they cover; [`str_encoding`](Self::str_encoding) extends
+    /// them lazily with only the new rows' codes) and only the buffer-pool
+    /// frame of the page the row landed in is dropped — the rest of the
+    /// resident set survives, so a subscription-heavy append loop doesn't
+    /// thrash unrelated cold pages.
     pub fn append(&mut self, row: Row) {
         assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        let published = self
+            .changelog
+            .get_mut()
+            .unwrap()
+            .is_some()
+            .then(|| row.clone());
         for (col, v) in self.columns.iter_mut().zip(row) {
             col.push(v);
         }
         self.nrows += 1;
-        // Mutation invalidates the memoized per-column encodings.
+        // The appended row lands in the table's last page: any cached frame
+        // for that page is stale, every other page is untouched.
+        let key = self.table_key();
+        if let Some(pool) = self.pager.get_mut().unwrap().as_deref() {
+            let rpp = CostModelParams::default().rows_per_page.max(1.0) as usize;
+            pool.invalidate_page(key, ((self.nrows - 1) / rpp) as u64);
+        }
+        if let Some(row) = published {
+            if let Some(log) = self.changelog.get_mut().unwrap().as_deref() {
+                log.publish_insert(&self.name, row);
+            }
+        }
+    }
+
+    /// Delete row `id`, shifting later rows up; returns the removed row and
+    /// publishes it to the attached changelog. Deletes are a maintenance
+    /// path: the whole encoding memo and the table's resident pages are
+    /// invalidated, since every row at or after `id` moves.
+    pub fn delete_row(&mut self, id: RowId) -> Row {
+        assert!(id < self.nrows, "delete_row out of bounds");
+        let row: Row = self.columns.iter_mut().map(|c| c.remove(id)).collect();
+        self.nrows -= 1;
         for e in &mut self.encodings {
             *e.get_mut().unwrap() = None;
         }
+        let key = self.table_key();
+        if let Some(pool) = self.pager.get_mut().unwrap().as_deref() {
+            let rpp = CostModelParams::default().rows_per_page.max(1.0) as usize;
+            for page in (id / rpp)..=(self.nrows / rpp) {
+                pool.invalidate_page(key, page as u64);
+            }
+        }
+        if let Some(log) = self.changelog.get_mut().unwrap().as_deref() {
+            log.publish_delete(&self.name, row.clone());
+        }
+        row
     }
 
     /// The memoized dictionary encoding of string column `i`, built on first
@@ -202,7 +282,33 @@ impl Table {
         let mut slot = self.encodings[i].lock().unwrap();
         if let Some((built_at, enc)) = slot.as_ref() {
             if *built_at == epoch {
-                return Some(Arc::clone(enc));
+                if enc.codes.len() == xs.len() {
+                    return Some(Arc::clone(enc));
+                }
+                if enc.codes.len() < xs.len() {
+                    // Appends since the memo was built: extend it with codes
+                    // for the new suffix only, re-seeding the dictionary map
+                    // from the distinct values (O(distinct + new), not
+                    // O(rows)) — append-heavy subscription churn doesn't
+                    // re-encode the whole column.
+                    let mut values = enc.values.clone();
+                    let mut codes = enc.codes.clone();
+                    let mut map: HashMap<String, u32> = values
+                        .iter()
+                        .enumerate()
+                        .map(|(c, s)| (s.clone(), c as u32))
+                        .collect();
+                    for s in &xs[codes.len()..] {
+                        let code = *map.entry(s.clone()).or_insert_with(|| {
+                            values.push(s.clone());
+                            (values.len() - 1) as u32
+                        });
+                        codes.push(code);
+                    }
+                    let enc = Arc::new(StrEncoding { values, codes });
+                    *slot = Some((epoch, Arc::clone(&enc)));
+                    return Some(enc);
+                }
             }
         }
         let mut values: Vec<String> = Vec::new();
@@ -425,6 +531,112 @@ mod tests {
         drop(pool.pin("other", 2, &clock, &off).unwrap());
         assert_eq!(pool.evict_epoch(t.table_key()), epoch, "epochs are per-table");
         assert!(Arc::ptr_eq(&cur, &t.str_encoding(1).unwrap()));
+    }
+
+    #[test]
+    fn changelog_publishes_through_cow_clones() {
+        use crate::changelog::{ChangeOp, Changelog};
+
+        let mut t = tbl();
+        let log = Arc::new(Changelog::new());
+        t.attach_changelog(&log);
+        // A copy-on-write clone (what `Catalog::table_mut` produces when a
+        // snapshot is live) shares the same feed.
+        let mut cow = t.clone();
+        cow.append(vec![Value::Int(10), Value::Float(5.0)]);
+        let removed = cow.delete_row(0);
+        assert_eq!(removed, vec![Value::Int(0), Value::Float(0.0)]);
+        assert_eq!(cow.nrows(), 10);
+        assert_eq!(cow.row(0), vec![Value::Int(1), Value::Float(0.5)]);
+        let (recs, cursor) = log.since(0);
+        assert_eq!(cursor, 2);
+        assert_eq!(recs[0].op, ChangeOp::Insert);
+        assert_eq!(recs[0].row, vec![Value::Int(10), Value::Float(5.0)]);
+        assert_eq!(recs[1].op, ChangeOp::Delete);
+        assert_eq!(recs[1].row, vec![Value::Int(0), Value::Float(0.0)]);
+        assert!(recs.iter().all(|r| r.table == "t"));
+        // The original table, never mutated, published nothing of its own.
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn str_encoding_extends_incrementally_on_append() {
+        let schema = Schema::from_pairs(&[("cat", DataType::Str)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..6i64 {
+            t.append(vec![Value::Str(format!("c{}", i % 2))]);
+        }
+        let enc = t.str_encoding(0).unwrap();
+        assert_eq!(enc.values, vec!["c0", "c1"]);
+        // Appends reuse the existing dictionary: an old value keeps its
+        // code, a new value gets the next one, and codes cover all rows.
+        t.append(vec![Value::Str("c1".into())]);
+        t.append(vec![Value::Str("zz".into())]);
+        let ext = t.str_encoding(0).unwrap();
+        assert!(!Arc::ptr_eq(&enc, &ext));
+        assert_eq!(ext.values, vec!["c0", "c1", "zz"]);
+        assert_eq!(ext.codes.len(), 8);
+        assert_eq!(&ext.codes[..6], &enc.codes[..]);
+        assert_eq!(&ext.codes[6..], &[1, 2]);
+        // Deletes shift rows, so they fall back to a full rebuild.
+        t.delete_row(0);
+        let rebuilt = t.str_encoding(0).unwrap();
+        assert_eq!(rebuilt.codes.len(), 7);
+        assert_eq!(rebuilt.values[rebuilt.codes[0] as usize], "c1");
+    }
+
+    #[test]
+    fn append_loop_does_not_thrash_unrelated_cold_pages() {
+        use crate::pool::BufferPool;
+        use rqp_common::{ChaosPolicy, CostClock};
+
+        let rpp = CostModelParams::default().rows_per_page.max(1.0) as usize;
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let mut hot = Table::new("hot", schema.clone());
+        // 2.5 pages: the last resident page is partially filled, so the
+        // first appends land *inside* it.
+        for i in 0..(2 * rpp + rpp / 2) {
+            hot.append(vec![Value::Int(i as i64)]);
+        }
+        let pool = BufferPool::new(8);
+        hot.attach_pool(&pool);
+        let clock = CostClock::default_clock();
+        let off = ChaosPolicy::off();
+        // Make all of `hot` plus another table's pages resident — the
+        // latter are the "unrelated cold pages" a subscription-heavy
+        // append loop must not thrash.
+        for p in 0..3 {
+            drop(pool.pin("hot", p, &clock, &off).unwrap());
+        }
+        for p in 0..4 {
+            drop(pool.pin("other", p, &clock, &off).unwrap());
+        }
+        let cold_epoch = pool.evict_epoch(ChaosPolicy::table_key("other"));
+        let hot_epoch = pool.evict_epoch(hot.table_key());
+        // An append-heavy loop: each append invalidates only the page the
+        // row landed in; the partial page 2 is dropped once, later appends
+        // touch pages that were never resident (no-ops).
+        for i in 0..(2 * rpp) {
+            hot.append(vec![Value::Int(i as i64)]);
+        }
+        assert_eq!(pool.stats().invalidations, 1, "only the mutated page dropped");
+        assert_eq!(pool.stats().evictions, 0, "no pressure eviction from appends");
+        assert_eq!(
+            pool.evict_epoch(ChaosPolicy::table_key("other")),
+            cold_epoch,
+            "unrelated table epoch untouched"
+        );
+        assert_eq!(pool.evict_epoch(hot.table_key()), hot_epoch, "own epoch untouched too");
+        // Every `other` frame is still resident: re-pinning hits.
+        for p in 0..4 {
+            assert!(pool.pin("other", p, &clock, &off).unwrap().1.hit);
+        }
+        // Untouched pages of `hot` stay hot; the mutated page re-reads as
+        // an honest re-fault (it was loaded before, its frame was dropped).
+        assert!(pool.pin("hot", 0, &clock, &off).unwrap().1.hit);
+        assert!(pool.pin("hot", 1, &clock, &off).unwrap().1.hit);
+        let (_pin, out) = pool.pin("hot", 2, &clock, &off).unwrap();
+        assert!(!out.hit && out.refault, "mutated page re-reads as a re-fault");
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Retractable aggregate accumulators.
+//!
+//! `HashAggOp`'s `AggState` only ever moves forward; incremental
+//! maintenance must also *undo* a row's contribution when it is retracted.
+//! COUNT/SUM/AVG invert algebraically; MIN/MAX cannot (removing the
+//! minimum needs the runner-up), so the accumulator keeps an ordered
+//! multiset of the values it has seen and reads the extremes off its ends.
+//!
+//! `finish` mirrors `AggState::finish` exactly — same output types, same
+//! empty-input behavior — because the view-consistency contract compares
+//! the maintained view against a from-scratch run through `HashAggOp`.
+
+use rqp_common::Value;
+use rqp_exec::AggFunc;
+use std::collections::BTreeMap;
+
+/// One aggregate's retractable state: weighted count and sum plus an
+/// ordered value multiset for MIN/MAX retraction.
+#[derive(Debug, Clone, Default)]
+pub struct RetractableAcc {
+    /// Weighted non-null count (f64 to match `AggState`'s arithmetic).
+    count: f64,
+    /// Weighted sum over `as_float` values.
+    sum: f64,
+    /// Ordered multiset of non-null values with net weights.
+    values: BTreeMap<Value, i64>,
+}
+
+impl RetractableAcc {
+    /// A fresh accumulator (all aggregates at their empty state).
+    pub fn new() -> Self {
+        RetractableAcc::default()
+    }
+
+    /// Fold one row's value in with `weight` (+1 insert, −1 retract).
+    /// `None` is the COUNT(*) case (no input column: every row counts);
+    /// an SQL NULL contributes nothing — both exactly as `AggState::update`.
+    pub fn apply(&mut self, v: Option<&Value>, weight: i64) {
+        match v {
+            None => self.count += weight as f64,
+            Some(v) if !v.is_null() => {
+                self.count += weight as f64;
+                if let Some(x) = v.as_float() {
+                    self.sum += x * weight as f64;
+                }
+                let w = self.values.entry(v.clone()).or_insert(0);
+                *w += weight;
+                if *w == 0 {
+                    self.values.remove(v);
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// The aggregate's current value, mirroring `AggState::finish`.
+    pub fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Min => self
+                .values
+                .keys()
+                .next()
+                .cloned()
+                .unwrap_or(Value::Null),
+            AggFunc::Max => self
+                .values
+                .keys()
+                .next_back()
+                .cloned()
+                .unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.count > 0.0 {
+                    Value::Float(self.sum / self.count)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sum_avg_invert_exactly() {
+        let mut a = RetractableAcc::new();
+        for v in [2.0, 4.0, 6.0] {
+            a.apply(Some(&Value::Float(v)), 1);
+        }
+        assert_eq!(a.finish(AggFunc::Count), Value::Int(3));
+        assert_eq!(a.finish(AggFunc::Sum), Value::Float(12.0));
+        assert_eq!(a.finish(AggFunc::Avg), Value::Float(4.0));
+        a.apply(Some(&Value::Float(4.0)), -1);
+        assert_eq!(a.finish(AggFunc::Count), Value::Int(2));
+        assert_eq!(a.finish(AggFunc::Sum), Value::Float(8.0));
+        assert_eq!(a.finish(AggFunc::Avg), Value::Float(4.0));
+        // Full retraction returns to the empty state.
+        a.apply(Some(&Value::Float(2.0)), -1);
+        a.apply(Some(&Value::Float(6.0)), -1);
+        assert_eq!(a.finish(AggFunc::Count), Value::Int(0));
+        assert_eq!(a.finish(AggFunc::Sum), Value::Float(0.0));
+        assert!(a.finish(AggFunc::Avg).is_null());
+    }
+
+    #[test]
+    fn min_max_fall_back_to_runner_up_on_retraction() {
+        let mut a = RetractableAcc::new();
+        for v in [5i64, 1, 9, 1] {
+            a.apply(Some(&Value::Int(v)), 1);
+        }
+        assert_eq!(a.finish(AggFunc::Min), Value::Int(1));
+        assert_eq!(a.finish(AggFunc::Max), Value::Int(9));
+        // One of the two 1s goes: 1 is still the minimum.
+        a.apply(Some(&Value::Int(1)), -1);
+        assert_eq!(a.finish(AggFunc::Min), Value::Int(1));
+        // The second 1 goes: the runner-up takes over.
+        a.apply(Some(&Value::Int(1)), -1);
+        assert_eq!(a.finish(AggFunc::Min), Value::Int(5));
+        a.apply(Some(&Value::Int(9)), -1);
+        assert_eq!(a.finish(AggFunc::Max), Value::Int(5));
+        a.apply(Some(&Value::Int(5)), -1);
+        assert!(a.finish(AggFunc::Min).is_null());
+        assert!(a.finish(AggFunc::Max).is_null());
+    }
+
+    #[test]
+    fn count_star_and_nulls_mirror_agg_state() {
+        let mut a = RetractableAcc::new();
+        a.apply(None, 1); // COUNT(*): counts
+        a.apply(None, 1);
+        a.apply(Some(&Value::Null), 1); // SQL NULL: contributes nothing
+        assert_eq!(a.finish(AggFunc::Count), Value::Int(2));
+        a.apply(None, -1);
+        assert_eq!(a.finish(AggFunc::Count), Value::Int(1));
+        // Sum/extremes never saw a value.
+        assert_eq!(a.finish(AggFunc::Sum), Value::Float(0.0));
+        assert!(a.finish(AggFunc::Min).is_null());
+    }
+}

@@ -34,8 +34,9 @@ use std::path::{Path, PathBuf};
 /// live-observability metrics (`observer_overhead_p99`,
 /// `observer_event_loss`). Version 7 added the batch-execution metric
 /// (`batch_speedup`). Version 8 added the paged-storage metrics
-/// (`paged_cliff`, `paged_completion`).
-pub const SCOREBOARD_VERSION: u32 = 8;
+/// (`paged_cliff`, `paged_completion`). Version 9 added the streaming
+/// metrics (`stream_delta_p99`, `stream_view_divergence`).
+pub const SCOREBOARD_VERSION: u32 = 9;
 
 /// Reserved metric names through which experiments publish the raw samples
 /// behind paper metrics the scoreboard cannot derive from spans alone.
@@ -114,6 +115,16 @@ pub mod samples {
     /// retry-exhausted page I/O both count as losses). Folded as the
     /// *minimum* across runs — graceful degradation means losing none.
     pub const PAGED_COMPLETION: &str = "paper.paged.completion_rate";
+    /// Gauge: worst p99 per-delta maintenance cost (cost units charged per
+    /// applied delta packet) across the continuous-query sweep (`a11`).
+    /// Folded as the *maximum* across runs — incremental maintenance keeps
+    /// delta latency bounded as subscriptions and churn scale.
+    pub const STREAM_DELTA_P99: &str = "paper.stream.delta_p99";
+    /// Gauge: maintained views that diverged from a from-scratch
+    /// re-execution anywhere in the continuous-query sweep. Folded as the
+    /// *maximum* across runs — the view-consistency contract allows
+    /// exactly zero.
+    pub const STREAM_VIEW_DIVERGENCE: &str = "paper.stream.view_divergence";
 }
 
 /// One experiment's folded robustness numbers. Metrics whose samples the
@@ -180,6 +191,12 @@ pub struct ScoreboardEntry {
     /// Worst (minimum) paged-sweep completion rate, from
     /// `paper.paged.completion_rate`.
     pub paged_completion: f64,
+    /// Worst (maximum) p99 per-delta maintenance cost, from
+    /// `paper.stream.delta_p99`.
+    pub stream_delta_p99: f64,
+    /// Worst (maximum) count of diverged maintained views, from
+    /// `paper.stream.view_divergence`.
+    pub stream_view_divergence: f64,
     /// Adaptive-decision events by kind, summed across all spans.
     pub events: BTreeMap<String, u64>,
 }
@@ -211,6 +228,8 @@ struct SamplePool {
     batch_speedups: Vec<f64>,
     paged_cliffs: Vec<f64>,
     paged_completions: Vec<f64>,
+    stream_delta_p99s: Vec<f64>,
+    stream_divergences: Vec<f64>,
     events: BTreeMap<String, u64>,
 }
 
@@ -265,6 +284,10 @@ impl SamplePool {
                 self.paged_cliffs.push(*x);
             } else if name == samples::PAGED_COMPLETION {
                 self.paged_completions.push(*x);
+            } else if name == samples::STREAM_DELTA_P99 {
+                self.stream_delta_p99s.push(*x);
+            } else if name == samples::STREAM_VIEW_DIVERGENCE {
+                self.stream_divergences.push(*x);
             } else if let Some(key) = name.strip_prefix(samples::PERF_GAP_PREFIX) {
                 self.perf_gaps.push((key.to_string(), *x));
             } else if let Some(rest) = name.strip_prefix(samples::ENV_PREFIX) {
@@ -310,6 +333,8 @@ impl SamplePool {
         self.batch_speedups.sort_by(f64::total_cmp);
         self.paged_cliffs.sort_by(f64::total_cmp);
         self.paged_completions.sort_by(f64::total_cmp);
+        self.stream_delta_p99s.sort_by(f64::total_cmp);
+        self.stream_divergences.sort_by(f64::total_cmp);
 
         let m1 = if self.est_act.is_empty() { f64::NAN } else { metric1(&self.est_act) };
         let card = if self.est_act.is_empty() {
@@ -375,6 +400,8 @@ impl SamplePool {
             batch_speedup: self.batch_speedups.first().copied().unwrap_or(f64::NAN),
             paged_cliff: self.paged_cliffs.last().copied().unwrap_or(f64::NAN),
             paged_completion: self.paged_completions.first().copied().unwrap_or(f64::NAN),
+            stream_delta_p99: self.stream_delta_p99s.last().copied().unwrap_or(f64::NAN),
+            stream_view_divergence: self.stream_divergences.last().copied().unwrap_or(f64::NAN),
             events: self.events,
         }
     }
@@ -573,6 +600,21 @@ impl Scoreboard {
                 cur.paged_cliff,
                 base.paged_cliff + thresholds.paged_cliff_slack,
             );
+            check(
+                "stream_delta_p99",
+                base.stream_delta_p99,
+                cur.stream_delta_p99,
+                base.stream_delta_p99 * thresholds.stream_delta_ratio
+                    + thresholds.stream_delta_slack,
+            );
+            // View consistency is a contract, not a budget: the divergence
+            // slack is exactly zero, so ANY diverged view is a regression.
+            check(
+                "stream_view_divergence",
+                base.stream_view_divergence,
+                cur.stream_view_divergence,
+                base.stream_view_divergence + thresholds.stream_divergence_slack,
+            );
             // Floor metrics regress *downward*: flag a drop below the floor,
             // and (like the ceiling checks) a metric that vanished entirely.
             let mut check_floor = |metric: &str, baseline: f64, current_v: f64, floor: f64| {
@@ -679,6 +721,13 @@ pub struct DiffThresholds {
     pub paged_cliff_slack: f64,
     /// `paged_completion` may *shrink* by this absolute amount.
     pub paged_completion_slack: f64,
+    /// `stream_delta_p99` may grow by this factor…
+    pub stream_delta_ratio: f64,
+    /// …plus this absolute slack.
+    pub stream_delta_slack: f64,
+    /// `stream_view_divergence` may grow by this absolute amount. Zero by
+    /// default: a single diverged maintained view is a correctness bug.
+    pub stream_divergence_slack: f64,
 }
 
 impl Default for DiffThresholds {
@@ -708,6 +757,9 @@ impl Default for DiffThresholds {
             batch_speedup_slack: 0.5,
             paged_cliff_slack: 0.25,
             paged_completion_slack: 0.02,
+            stream_delta_ratio: 1.25,
+            stream_delta_slack: 1.0,
+            stream_divergence_slack: 0.0,
         }
     }
 }
@@ -764,6 +816,8 @@ fn entry_to_json(e: &ScoreboardEntry) -> Json {
         ("batch_speedup", Json::num(e.batch_speedup)),
         ("paged_cliff", Json::num(e.paged_cliff)),
         ("paged_completion", Json::num(e.paged_completion)),
+        ("stream_delta_p99", Json::num(e.stream_delta_p99)),
+        ("stream_view_divergence", Json::num(e.stream_view_divergence)),
         (
             "events",
             Json::Obj(
@@ -820,6 +874,8 @@ fn entry_from_json(doc: &Json) -> Result<ScoreboardEntry, String> {
         batch_speedup: num("batch_speedup")?,
         paged_cliff: num("paged_cliff")?,
         paged_completion: num("paged_completion")?,
+        stream_delta_p99: num("stream_delta_p99")?,
+        stream_view_divergence: num("stream_view_divergence")?,
         events,
     })
 }
@@ -867,6 +923,8 @@ mod tests {
         reg.gauge(samples::BATCH_SPEEDUP).set(2.5);
         reg.gauge(samples::PAGED_CLIFF).set(1.3);
         reg.gauge(samples::PAGED_COMPLETION).set(1.0);
+        reg.gauge(samples::STREAM_DELTA_P99).set(4.0);
+        reg.gauge(samples::STREAM_VIEW_DIVERGENCE).set(0.0);
         let mut r = RunReport::new(experiment).with_seed("workload", 7);
         r.cost = clock.breakdown();
         r.spans = tracer.snapshot();
@@ -902,6 +960,34 @@ mod tests {
         assert_eq!(e.batch_speedup, 2.5);
         assert_eq!(e.paged_cliff, 1.3);
         assert_eq!(e.paged_completion, 1.0);
+        assert_eq!(e.stream_delta_p99, 4.0);
+        assert_eq!(e.stream_view_divergence, 0.0);
+    }
+
+    #[test]
+    fn diff_trips_on_stream_delta_growth_and_any_view_divergence() {
+        let baseline = Scoreboard::fold(&[report("a11", 50.0, 100, 1000.0)]);
+        // Delta latency stretching past ratio + slack trips the ceiling
+        // check (baseline 4.0 * 1.25 + 1.0 = 6.0)…
+        let mut slow = baseline.clone();
+        slow.entries.get_mut("a11").unwrap().stream_delta_p99 = 6.5;
+        let regs = baseline.diff(&slow, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "stream_delta_p99"), "{regs:?}");
+        // …and view consistency is a contract with zero slack: a single
+        // diverged view is a regression.
+        let mut diverged = baseline.clone();
+        diverged.entries.get_mut("a11").unwrap().stream_view_divergence = 1.0;
+        let regs = baseline.diff(&diverged, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "stream_view_divergence"), "{regs:?}");
+        // Either gauge vanishing is an observability regression.
+        let mut gone = baseline.clone();
+        gone.entries.get_mut("a11").unwrap().stream_delta_p99 = f64::NAN;
+        let regs = baseline.diff(&gone, &DiffThresholds::default());
+        assert!(regs.iter().any(|r| r.metric == "stream_delta_p99"), "{regs:?}");
+        // Faster deltas with the view still consistent are an improvement.
+        let mut better = baseline.clone();
+        better.entries.get_mut("a11").unwrap().stream_delta_p99 = 2.0;
+        assert!(baseline.diff(&better, &DiffThresholds::default()).is_empty());
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! and cooperative cancellation of a queued query from a remote client.
 
 use rqp_common::expr::{col, lit};
-use rqp_common::RqpError;
+use rqp_common::{Row, RqpError, Value};
 use rqp_telemetry::scoreboard::{DiffThresholds, Scoreboard};
-use rqp_net::{rows_checksum, WireClient, WireQueryOptions, WireServer, PAGE_ROWS};
+use rqp_net::proto::WireSubscribeOptions;
+use rqp_net::{rows_checksum, RemoteDelta, WireClient, WireQueryOptions, WireServer, PAGE_ROWS};
 use rqp_opt::QuerySpec;
 use rqp_server::{QueryPhase, QueryService, ServiceConfig};
 use rqp_workload::{tpch::TpchParams, TpchDb};
@@ -308,6 +309,163 @@ fn introspection_frames_observe_a_live_service() {
 
     worker.goodbye().expect("goodbye worker");
     obs.goodbye().expect("goodbye observer");
+    drop(server);
+}
+
+/// A fresh `lineitem` row (dyadic floats, so retractable sums stay exact).
+fn fresh_lineitem(k: i64) -> Row {
+    vec![
+        Value::Int(k % 50),
+        Value::Int(k % 20),
+        Value::Int(k % 10),
+        Value::Int(1 + k % 50),
+        Value::Float(1_000.0 + (k % 100) as f64 * 0.25),
+        Value::Float(0.0625),
+        Value::Int(k % 2_400),
+        Value::Int(k % 3),
+    ]
+}
+
+/// Apply one wire delta to a sorted client-side view copy.
+fn replay(view: &mut Vec<Row>, delta: &RemoteDelta) {
+    for r in &delta.retracted {
+        let pos = view.iter().position(|v| v == r).expect("retracted row absent from view");
+        view.remove(pos);
+    }
+    view.extend(delta.inserted.iter().cloned());
+    view.sort();
+}
+
+#[test]
+fn standing_subscriptions_stream_deltas_and_survive_partial_polls() {
+    let db = small_db();
+    let svc = service(&db, 2);
+    let (server, addr) = start(&svc);
+
+    // Two standing views on one connection: a filter-only scan (deltas are
+    // 1:1 with appended rows, so chunking is exercised precisely) and a
+    // grouped aggregate (appends retract and re-insert group rows).
+    let scan = wide_scan();
+    let mut agg = db.q1(30);
+    agg.order_by.clear();
+    agg.limit = None;
+
+    let mut client = WireClient::connect(&addr, 0).expect("connect");
+    let mut scan_view = svc.run_solo(&scan).expect("solo scan").rows;
+    scan_view.sort();
+    let mut agg_view = svc.run_solo(&agg).expect("solo agg").rows;
+    agg_view.sort();
+    let s_scan =
+        client.subscribe(&scan, WireSubscribeOptions::default()).expect("subscribe scan");
+    let s_agg =
+        client.subscribe(&agg, WireSubscribeOptions::default()).expect("subscribe agg");
+    assert_ne!(s_scan, s_agg, "subscriptions share the query id space");
+
+    // Ordered specs are rejected with a remote failure, not a hangup.
+    let err = client
+        .subscribe(&db.q1(30), WireSubscribeOptions::default())
+        .expect_err("ordered spec must be rejected");
+    assert!(err.to_string().contains("ORDER BY"), "unexpected rejection: {err}");
+
+    // One 600-row append: every row passes the scan's predicate, so the
+    // poll must deliver 600 inserted rows across chunked DELTA frames
+    // (PAGE_ROWS = 256 rows per frame).
+    let rows: Vec<Row> = (0..600).map(fresh_lineitem).collect();
+    let epoch = client.append("lineitem", rows).expect("wire").expect("append");
+    assert_eq!(epoch, 600, "append epoch is the changelog length");
+
+    // Partial poll first: apply 250 records, leave 350 lagging.
+    let (d1, lag1) = client.poll_sub(s_scan, 250).expect("wire").expect("poll");
+    assert_eq!(d1.inserted.len(), 250);
+    assert!(d1.retracted.is_empty());
+    assert_eq!(lag1, 350, "partial poll must report the remaining lag");
+    let (d2, lag2) = client.poll_sub(s_scan, 0).expect("wire").expect("drain");
+    assert_eq!(d2.inserted.len(), 350);
+    assert_eq!(lag2, 0);
+    replay(&mut scan_view, &d1);
+    replay(&mut scan_view, &d2);
+    let mut cold = svc.run_solo(&scan).expect("cold scan").rows;
+    cold.sort();
+    assert_eq!(scan_view, cold, "maintained scan view diverged from re-execution");
+
+    // The aggregate subscription sees the same changelog: its delta
+    // retracts the touched group rows and inserts their replacements.
+    let (da, lag) = client.poll_sub(s_agg, 0).expect("wire").expect("poll agg");
+    assert_eq!(lag, 0);
+    assert!(!da.inserted.is_empty(), "appends must touch some group");
+    replay(&mut agg_view, &da);
+    let mut cold = svc.run_solo(&agg).expect("cold agg").rows;
+    cold.sort();
+    assert_eq!(agg_view, cold, "maintained aggregate view diverged from re-execution");
+
+    // Unsubscribe is acknowledged; a dead id then fails with a typed code.
+    client.unsubscribe(s_scan).expect("wire").expect("unsubscribe scan");
+    client.unsubscribe(s_agg).expect("wire").expect("unsubscribe agg");
+    assert_eq!(svc.subscriptions().count(), 0, "registry must be empty");
+    assert_eq!(svc.reserved(), 0.0, "standing views leaked workspace grants");
+    let failure = client.poll_sub(s_scan, 0).expect("wire").expect_err("dead sub");
+    assert_eq!(failure.code, RqpError::Invalid(String::new()).wire_code());
+
+    client.goodbye().expect("goodbye");
+    drop(server);
+}
+
+#[test]
+fn wire_disconnect_tears_down_standing_subscriptions() {
+    let db = small_db();
+    let svc = Arc::new(QueryService::new(
+        &db.catalog,
+        ServiceConfig {
+            mpl: 2,
+            memory_rows: 20_000.0,
+            drift_threshold: 1e9,
+            page_budget: Some(64),
+            ..Default::default()
+        },
+    ));
+    let (server, addr) = start(&svc);
+
+    let mut agg = db.q1(30);
+    agg.order_by.clear();
+    agg.limit = None;
+    let mut doomed = WireClient::connect(&addr, 0).expect("connect doomed");
+    let s1 = doomed
+        .subscribe(&wide_scan(), WireSubscribeOptions::default())
+        .expect("subscribe scan");
+    doomed.subscribe(&agg, WireSubscribeOptions::default()).expect("subscribe agg");
+    assert_eq!(svc.subscriptions().count(), 2);
+    assert!(svc.reserved() > 0.0, "standing views hold workspace grants");
+
+    // Another session cannot poll or tear down someone else's subscription.
+    let mut other = WireClient::connect(&addr, 0).expect("connect other");
+    let failure = other.poll_sub(s1, 0).expect("wire").expect_err("foreign poll");
+    assert_eq!(failure.code, RqpError::Invalid(String::new()).wire_code());
+    let failure = other.unsubscribe(s1).expect("wire").expect_err("foreign unsubscribe");
+    assert_eq!(failure.code, RqpError::Invalid(String::new()).wire_code());
+    assert_eq!(svc.subscriptions().count(), 2, "foreign frames must not tear down");
+
+    // Vanish without GOODBYE: the server must notice the dead peer and
+    // tear down every standing subscription — zero grants, zero pins,
+    // empty registry.
+    drop(doomed);
+    await_until(|| svc.subscriptions().count() == 0, "subscription teardown");
+    assert_eq!(svc.reserved(), 0.0, "disconnected subscriber leaked grants");
+    assert_eq!(svc.pager().expect("paged service").pins(), 0, "teardown leaked page pins");
+    await_until(
+        || svc.metrics().counter("wire.subs.torn_down").get() == 2,
+        "teardown counter",
+    );
+
+    // The survivor's session is untouched and fully functional.
+    let s2 = other
+        .subscribe(&wide_scan(), WireSubscribeOptions::default())
+        .expect("subscribe after churn");
+    other.append("lineitem", vec![fresh_lineitem(1)]).expect("wire").expect("append");
+    let (d, lag) = other.poll_sub(s2, 0).expect("wire").expect("poll");
+    assert_eq!(d.inserted.len(), 1);
+    assert_eq!(lag, 0);
+    other.unsubscribe(s2).expect("wire").expect("unsubscribe");
+    other.goodbye().expect("goodbye");
     drop(server);
 }
 

@@ -1,0 +1,204 @@
+//! Acceptance tests for standing subscriptions: the maintained view must be
+//! **bit-identical** to re-running the spec from scratch after every drained
+//! churn interleaving — under whatever `RQP_THREADS`, `RQP_BATCH` and
+//! `RQP_CHAOS_SEED` the CI matrix sets (chaos inflates propagation cost with
+//! retry charges; it must never change the maintained rows) — and every
+//! teardown path (explicit unsubscribe, deadline abort, token cancel,
+//! service shutdown) must leave the registry empty, the broker at zero
+//! reservations and the pool at zero pins.
+//!
+//! Compiled under `rqp-bench` so it can drive the query service and the
+//! stream crate in one place (the wire-disconnect teardown leg lives in
+//! `tests/net.rs` next to the rest of the wire suite).
+
+use rqp::common::rng::{child_seed, seeded};
+use rqp::server::{QueryService, ServiceConfig, SubscribeOptions};
+use rqp::stream::canonicalize;
+use rqp::workload::{tpch::TpchParams, TpchDb};
+use rqp::{QuerySpec, Row, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A service over a small TPC-H-like snapshot. Drift invalidation is off so
+/// cold re-runs always execute the cached physical plan (the comparison is
+/// about maintained state, not replanning).
+fn service(li: usize, page_budget: Option<usize>) -> (TpchDb, QueryService) {
+    let db = TpchDb::build(TpchParams { lineitem_rows: li, ..Default::default() }, 4242);
+    let svc = QueryService::new(
+        &db.catalog,
+        ServiceConfig { mpl: 4, drift_threshold: 1e9, page_budget, ..ServiceConfig::default() },
+    );
+    (db, svc)
+}
+
+/// The standing-query menu: grouped aggregate, 3-way join + aggregate,
+/// global aggregate, filter + projection — ORDER BY/LIMIT stripped.
+fn menu(db: &TpchDb) -> Vec<QuerySpec> {
+    let wide = QuerySpec::new()
+        .table("lineitem")
+        .filter(
+            "lineitem",
+            rqp::expr::col("lineitem.shipdate").lt(rqp::expr::lit(1_200i64)),
+        )
+        .project(&["lineitem.orderkey", "lineitem.quantity", "lineitem.extendedprice"]);
+    let mut specs = vec![db.q1(30), db.q3(1, 400), db.q6(100, 0.05, 30)];
+    for s in &mut specs {
+        s.order_by.clear();
+        s.limit = None;
+    }
+    specs.push(wide);
+    specs
+}
+
+/// A fresh lineitem row; float columns dyadic so retractable sums stay
+/// exact no matter how the interleaving slices them.
+fn fresh_row(rng: &mut StdRng) -> Row {
+    let k = rng.gen_range(0..1_000_000i64);
+    vec![
+        Value::Int(k % 200),
+        Value::Int(k % 20),
+        Value::Int(k % 10),
+        Value::Int(1 + k % 50),
+        Value::Float(1_000.0 + (k % 100) as f64 * 0.25),
+        Value::Float((k % 5) as f64 * 0.015_625),
+        Value::Int(k % 2_400),
+        Value::Int(k % 3),
+    ]
+}
+
+/// The core property: for random append/poll interleavings — batches of
+/// random size, polls draining random record counts, some subscriptions
+/// left lagging for whole rounds — every fully-drained view equals a cold
+/// re-run, bit for bit.
+#[test]
+fn maintained_views_match_cold_reruns_under_random_churn() {
+    let (db, svc) = service(800, None);
+    let specs = menu(&db);
+    let subs: Vec<(u64, &QuerySpec)> = specs
+        .iter()
+        .map(|s| (svc.subscribe(s, SubscribeOptions::default()).expect("subscribe"), s))
+        .collect();
+    for case in 0..6u64 {
+        let mut rng = seeded(child_seed(0x57ea + case, "churn"));
+        for _ in 0..4 {
+            let rows: Vec<Row> = (0..rng.gen_range(1..40)).map(|_| fresh_row(&mut rng)).collect();
+            svc.append_rows("lineitem", rows).expect("append");
+            // Random partial drains: each subscription advances by a random
+            // number of records (possibly zero — it just lags).
+            for &(id, _) in &subs {
+                let max = rng.gen_range(0..30usize);
+                if max > 0 {
+                    svc.poll_subscription(id, max).expect("partial poll");
+                }
+            }
+        }
+        // Checkpoint: drain fully, then every view must equal a cold rerun.
+        for &(id, spec) in &subs {
+            let (_, lag) = svc.poll_subscription(id, 0).expect("drain");
+            assert_eq!(lag, 0, "a full drain leaves no lag");
+            let view = svc.subscriptions().get(id).expect("live").view();
+            let cold = canonicalize(svc.run_solo(spec).expect("cold rerun").rows);
+            assert_eq!(view, cold, "case {case}: maintained view diverged from cold rerun");
+        }
+    }
+    assert_eq!(svc.shutdown_subscriptions(), subs.len());
+    assert_eq!(svc.subscriptions().count(), 0);
+    assert!(svc.reserved().abs() < 1e-6, "grants returned on shutdown");
+}
+
+/// Epoch sequencing and lag accounting are exact: `append_rows` returns the
+/// changelog length, a poll bounded to `k` records advances the cursor by
+/// exactly `k`, and the delta packets compose to the full delta.
+#[test]
+fn partial_polls_account_lag_exactly() {
+    let (db, svc) = service(400, None);
+    let spec = &menu(&db)[3]; // filter + projection: one delta row per match
+    let id = svc.subscribe(spec, SubscribeOptions::default()).expect("subscribe");
+    let view0 = svc.subscriptions().get(id).expect("live").view();
+    let before = svc.changelog().len();
+    let mut rng = seeded(0xacc);
+    let epoch = svc
+        .append_rows("lineitem", (0..25).map(|_| fresh_row(&mut rng)).collect())
+        .expect("append");
+    assert_eq!(epoch, before + 25, "append returns the post-append epoch");
+    let mut remaining = 25u64;
+    let mut drained = Vec::new();
+    for k in [10u64, 10, 10] {
+        let (packet, lag) = svc.poll_subscription(id, k as usize).expect("poll");
+        remaining = remaining.saturating_sub(k);
+        assert_eq!(lag, remaining, "lag decreases by exactly the drained records");
+        assert!(packet.retracted.is_empty(), "insert-only churn never retracts");
+        drained.extend(packet.inserted);
+    }
+    let view = svc.subscriptions().get(id).expect("live").view();
+    let cold = canonicalize(svc.run_solo(spec).expect("cold").rows);
+    assert_eq!(view, cold);
+    // The partial packets compose to the full delta: initial view plus
+    // every drained insert is exactly the final view.
+    let mut composed = view0;
+    composed.extend(drained);
+    assert_eq!(canonicalize(composed), view);
+    assert!(svc.unsubscribe(id));
+    assert!(!svc.unsubscribe(id), "double unsubscribe reports false");
+}
+
+/// A subscription registered with a propagation-cost deadline is torn down
+/// by the first poll that charges past it — typed error, empty registry, no
+/// grants, no pins.
+#[test]
+fn deadline_abort_tears_down_subscription() {
+    let (db, svc) = service(600, Some(64));
+    let spec = &menu(&db)[1]; // the join: polls charge real probe work
+    let id = svc
+        .subscribe(spec, SubscribeOptions::with_deadline(1e-9))
+        .expect("a tiny deadline still registers: the initial load is pre-deadline");
+    let mut rng = seeded(0xdead);
+    svc.append_rows("lineitem", (0..8).map(|_| fresh_row(&mut rng)).collect()).expect("append");
+    let err = svc.poll_subscription(id, 0).expect_err("deadline must trip");
+    assert_eq!(err, rqp::common::RqpError::DeadlineExceeded);
+    assert!(svc.subscriptions().get(id).is_none(), "deadline abort removed the subscription");
+    assert_eq!(svc.subscriptions().count(), 0);
+    assert!(svc.reserved().abs() < 1e-6, "deadline abort returned the grant");
+    assert_eq!(svc.pager().expect("paged service").pins(), 0, "no pins survive the abort");
+}
+
+/// Cancelling a subscription's token makes the next poll fail typed and
+/// tear it down, exactly like a cancelled query.
+#[test]
+fn cancelled_token_tears_down_on_next_poll() {
+    let (db, svc) = service(400, None);
+    let id = svc.subscribe(&menu(&db)[0], SubscribeOptions::default()).expect("subscribe");
+    svc.subscriptions().get(id).expect("live").token().cancel();
+    let err = svc.poll_subscription(id, 0).expect_err("cancelled poll");
+    assert!(err.is_cancellation(), "got {err:?}");
+    assert_eq!(svc.subscriptions().count(), 0);
+    assert!(svc.reserved().abs() < 1e-6);
+}
+
+/// Service shutdown tears down every subscription at once: registry empty,
+/// all grants returned, pool at zero pins, and the teardown counter in the
+/// metrics matches.
+#[test]
+fn shutdown_tears_down_every_subscription() {
+    let (db, svc) = service(600, Some(64));
+    let specs = menu(&db);
+    let ids: Vec<u64> = (0..8)
+        .map(|i| {
+            svc.subscribe(&specs[i % specs.len()], SubscribeOptions::default()).expect("subscribe")
+        })
+        .collect();
+    let mut rng = seeded(0x5d0);
+    svc.append_rows("lineitem", (0..16).map(|_| fresh_row(&mut rng)).collect()).expect("append");
+    for &id in &ids {
+        svc.poll_subscription(id, 0).expect("poll");
+    }
+    assert!(svc.reserved() > 0.0, "live subscriptions hold broker grants");
+    assert_eq!(svc.shutdown_subscriptions(), ids.len());
+    assert_eq!(svc.subscriptions().count(), 0, "registry empty after shutdown");
+    assert!(svc.reserved().abs() < 1e-6, "every grant returned");
+    assert_eq!(svc.pager().expect("paged service").pins(), 0, "no pins survive shutdown");
+    for &id in &ids {
+        let err = svc.poll_subscription(id, 0).expect_err("dead id");
+        assert!(matches!(err, rqp::common::RqpError::Invalid(_)), "got {err:?}");
+    }
+}
